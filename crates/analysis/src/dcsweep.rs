@@ -1,0 +1,130 @@
+//! DC sweep: repeated operating points while stepping one source.
+
+use crate::error::AnalysisError;
+use crate::op::{dc_operating_point, OpOptions, OperatingPoint};
+use remix_circuit::{Circuit, Element, Node, Waveform};
+
+/// Result of a DC sweep.
+#[derive(Debug, Clone)]
+pub struct DcSweepResult {
+    /// Swept source values.
+    pub values: Vec<f64>,
+    /// Operating point at each value.
+    pub points: Vec<OperatingPoint>,
+}
+
+impl DcSweepResult {
+    /// Transfer curve: voltage of `node` vs swept value.
+    pub fn voltage_curve(&self, node: Node) -> Vec<(f64, f64)> {
+        self.values
+            .iter()
+            .zip(self.points.iter())
+            .map(|(&v, op)| (v, op.voltage(node)))
+            .collect()
+    }
+}
+
+/// Sweeps the DC value of the named voltage source.
+///
+/// # Errors
+///
+/// * [`AnalysisError::UnknownProbe`] if the source does not exist or is
+///   not a voltage source;
+/// * any operating-point error at a sweep value.
+pub fn dc_sweep(
+    circuit: &Circuit,
+    source_name: &str,
+    values: &[f64],
+    opts: &OpOptions,
+) -> Result<DcSweepResult, AnalysisError> {
+    let id = circuit
+        .find_element(source_name)
+        .ok_or_else(|| AnalysisError::UnknownProbe {
+            probe: format!("voltage source '{source_name}'"),
+        })?;
+    if !matches!(circuit.element(id), Element::VoltageSource { .. }) {
+        return Err(AnalysisError::UnknownProbe {
+            probe: format!("'{source_name}' is not a voltage source"),
+        });
+    }
+    let mut work = circuit.clone();
+    let mut points = Vec::with_capacity(values.len());
+    for &v in values {
+        if let Element::VoltageSource { wave, .. } = work.element_mut(id) {
+            *wave = Waveform::Dc(v);
+        }
+        points.push(dc_operating_point(&work, opts)?);
+    }
+    Ok(DcSweepResult {
+        values: values.to_vec(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_linear_circuit() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("vin", a, Circuit::gnd(), Waveform::Dc(0.0));
+        c.add_resistor("r1", a, b, 1e3);
+        c.add_resistor("r2", b, Circuit::gnd(), 1e3);
+        let vals = [0.0, 0.5, 1.0, 1.5];
+        let res = dc_sweep(&c, "vin", &vals, &OpOptions::default()).unwrap();
+        let curve = res.voltage_curve(b);
+        for (vin, vout) in curve {
+            assert!((vout - vin / 2.0).abs() < 1e-9, "({vin}, {vout})");
+        }
+    }
+
+    #[test]
+    fn inverter_transfer_curve_monotone() {
+        use remix_circuit::MosModel;
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_vsource("vin", inp, Circuit::gnd(), Waveform::Dc(0.0));
+        c.add_mosfet("mp", MosModel::pmos_65nm(), 4e-6, 65e-9, out, inp, vdd, vdd);
+        c.add_mosfet(
+            "mn",
+            MosModel::nmos_65nm(),
+            2e-6,
+            65e-9,
+            out,
+            inp,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        let vals: Vec<f64> = (0..=12).map(|k| k as f64 * 0.1).collect();
+        let res = dc_sweep(&c, "vin", &vals, &OpOptions::default()).unwrap();
+        let curve = res.voltage_curve(out);
+        // Monotonically non-increasing and rail-to-rail.
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-6, "not monotone: {curve:?}");
+        }
+        assert!(curve[0].1 > 1.1);
+        assert!(curve[curve.len() - 1].1 < 0.1);
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("vin", a, Circuit::gnd(), Waveform::Dc(0.0));
+        c.add_resistor("r", a, Circuit::gnd(), 1.0);
+        assert!(matches!(
+            dc_sweep(&c, "zap", &[0.0], &OpOptions::default()),
+            Err(AnalysisError::UnknownProbe { .. })
+        ));
+        assert!(matches!(
+            dc_sweep(&c, "r", &[0.0], &OpOptions::default()),
+            Err(AnalysisError::UnknownProbe { .. })
+        ));
+    }
+}

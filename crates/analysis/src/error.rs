@@ -1,0 +1,107 @@
+//! Analysis error types.
+
+use remix_circuit::CircuitError;
+use remix_numerics::FactorError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the analysis engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The circuit failed structural validation.
+    BadCircuit(CircuitError),
+    /// The system matrix could not be factored (floating node, broken
+    /// topology) even with gmin.
+    Singular(FactorError),
+    /// The nonlinear iteration did not converge.
+    NoConvergence {
+        /// What was being solved when convergence failed.
+        context: String,
+        /// Iterations attempted.
+        iterations: usize,
+    },
+    /// The transient step size underflowed `h_min` without acceptance.
+    StepSizeUnderflow {
+        /// Simulation time at which the step collapsed.
+        time: f64,
+    },
+    /// An analysis was asked for a node/element the circuit lacks.
+    UnknownProbe {
+        /// Description of the missing probe.
+        probe: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::BadCircuit(e) => write!(f, "invalid circuit: {e}"),
+            AnalysisError::Singular(e) => write!(f, "singular system: {e}"),
+            AnalysisError::NoConvergence {
+                context,
+                iterations,
+            } => write!(f, "{context} did not converge after {iterations} iterations"),
+            AnalysisError::StepSizeUnderflow { time } => {
+                write!(f, "transient step size underflow at t = {time:.6e} s")
+            }
+            AnalysisError::UnknownProbe { probe } => write!(f, "unknown probe: {probe}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::BadCircuit(e) => Some(e),
+            AnalysisError::Singular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for AnalysisError {
+    fn from(e: CircuitError) -> Self {
+        AnalysisError::BadCircuit(e)
+    }
+}
+
+impl From<FactorError> for AnalysisError {
+    fn from(e: FactorError) -> Self {
+        AnalysisError::Singular(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = AnalysisError::NoConvergence {
+            context: "dc operating point".into(),
+            iterations: 50,
+        };
+        assert!(e.to_string().contains("dc operating point"));
+        assert!(e.to_string().contains("50"));
+        assert!(AnalysisError::StepSizeUnderflow { time: 1e-9 }
+            .to_string()
+            .contains("1e-9") || AnalysisError::StepSizeUnderflow { time: 1e-9 }
+            .to_string()
+            .contains("1.000000e-9"));
+        assert!(AnalysisError::UnknownProbe {
+            probe: "node x".into()
+        }
+        .to_string()
+        .contains("node x"));
+    }
+
+    #[test]
+    fn from_conversions() {
+        let ce = CircuitError::Empty;
+        let ae: AnalysisError = ce.clone().into();
+        assert_eq!(ae, AnalysisError::BadCircuit(ce));
+        let fe = FactorError::Singular { step: 1 };
+        let ae: AnalysisError = fe.clone().into();
+        assert_eq!(ae, AnalysisError::Singular(fe));
+    }
+}

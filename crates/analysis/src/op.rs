@@ -1,0 +1,472 @@
+//! DC operating-point analysis.
+//!
+//! Solves the nonlinear DC system by iterated linearization (the classic
+//! SPICE formulation: each solve of the companion-linearized system yields
+//! the next iterate), with:
+//!
+//! * per-iteration **damping** that limits the maximum node-voltage change
+//!   (keeps exponential device curves from flinging the iterate);
+//! * **gmin stepping** — if the direct solve fails, a large conductance is
+//!   placed across every MOS channel and relaxed decade by decade;
+//! * **source stepping** — as a final fallback, supplies are ramped from
+//!   0 to 100 %.
+
+use crate::error::AnalysisError;
+use crate::stamp::{assemble_real, RealMode};
+use remix_circuit::{Circuit, Element, ElementId, MnaLayout, MosCaps, MosEval, Node};
+use remix_numerics::{SparseLu, TripletMatrix};
+
+/// Options controlling the operating-point solve.
+#[derive(Debug, Clone)]
+pub struct OpOptions {
+    /// Maximum iterations per stage.
+    pub max_iter: usize,
+    /// Convergence tolerance on node-voltage change (V).
+    pub v_tol: f64,
+    /// Maximum per-iteration node-voltage change (V); larger proposed
+    /// steps are scaled down.
+    pub dv_max: f64,
+    /// Final (smallest) gmin left in the circuit (S).
+    pub gmin: f64,
+}
+
+impl Default for OpOptions {
+    fn default() -> Self {
+        OpOptions {
+            max_iter: 150,
+            v_tol: 1e-9,
+            dv_max: 0.3,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// A converged DC operating point.
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    /// The MNA layout used (shared by follow-on analyses).
+    pub layout: MnaLayout,
+    /// Solution vector (node voltages then branch currents).
+    pub solution: Vec<f64>,
+    /// Per-element MOS evaluation at the solution (None for non-MOS).
+    pub mos_evals: Vec<Option<MosEval>>,
+    /// Per-element MOS capacitances at the solution (None for non-MOS).
+    pub mos_caps: Vec<Option<MosCaps>>,
+    /// Total iterations across all homotopy stages.
+    pub iterations: usize,
+}
+
+impl OperatingPoint {
+    /// Voltage of a node.
+    pub fn voltage(&self, n: Node) -> f64 {
+        self.layout.voltage(&self.solution, n)
+    }
+
+    /// Branch current of a voltage-defined element (positive `p → n`
+    /// through the element).
+    pub fn branch_current(&self, id: ElementId) -> f64 {
+        self.layout.branch_current(&self.solution, id)
+    }
+
+    /// MOS evaluation for an element id, if it is a MOSFET.
+    pub fn mos_eval(&self, id: ElementId) -> Option<&MosEval> {
+        self.mos_evals[id.index()].as_ref()
+    }
+}
+
+/// Runs one damped fixed-point stage at the given gmin / source scale.
+/// Returns `Ok(iterations)` on convergence.
+fn converge_stage(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    x: &mut [f64],
+    gmin: f64,
+    source_scale: f64,
+    opts: &OpOptions,
+    mos_evals: &mut Vec<Option<MosEval>>,
+) -> Result<usize, AnalysisError> {
+    let dim = layout.dim();
+    let mut m = TripletMatrix::<f64>::new(dim, dim);
+    let mut rhs = vec![0.0; dim];
+    let mode = RealMode::Dc { gmin, source_scale };
+
+    for iter in 0..opts.max_iter {
+        assemble_real(circuit, layout, x, &mode, &mut m, &mut rhs, Some(mos_evals));
+        let lu = SparseLu::factor(&m.to_csr())?;
+        let x_new = lu.solve(&rhs)?;
+
+        // Damping limited to node voltages; branch currents follow freely.
+        let mut max_dv: f64 = 0.0;
+        for i in 0..layout.node_unknowns() {
+            max_dv = max_dv.max((x_new[i] - x[i]).abs());
+        }
+        let alpha = if max_dv > opts.dv_max {
+            opts.dv_max / max_dv
+        } else {
+            1.0
+        };
+        let mut max_change: f64 = 0.0;
+        for i in 0..dim {
+            let nv = x[i] + alpha * (x_new[i] - x[i]);
+            if i < layout.node_unknowns() {
+                max_change = max_change.max((nv - x[i]).abs());
+            }
+            x[i] = nv;
+        }
+        if !x.iter().all(|v| v.is_finite()) {
+            return Err(AnalysisError::NoConvergence {
+                context: "dc operating point (diverged)".into(),
+                iterations: iter + 1,
+            });
+        }
+        if max_change < opts.v_tol && alpha == 1.0 {
+            return Ok(iter + 1);
+        }
+    }
+    Err(AnalysisError::NoConvergence {
+        context: "dc operating point".into(),
+        iterations: opts.max_iter,
+    })
+}
+
+/// Computes the DC operating point of a circuit.
+///
+/// # Errors
+///
+/// * [`AnalysisError::BadCircuit`] if validation fails;
+/// * [`AnalysisError::Singular`] if the MNA matrix cannot be factored even
+///   with maximum gmin;
+/// * [`AnalysisError::NoConvergence`] if all homotopy stages fail.
+pub fn dc_operating_point(
+    circuit: &Circuit,
+    opts: &OpOptions,
+) -> Result<OperatingPoint, AnalysisError> {
+    circuit.validate()?;
+    let layout = MnaLayout::new(circuit);
+    let dim = layout.dim();
+    let n_elem = circuit.element_count();
+    let mut x = vec![0.0; dim];
+    let mut mos_evals: Vec<Option<MosEval>> = vec![None; n_elem];
+    let mut total_iter = 0usize;
+
+    // Homotopy ladder (direct → gmin stepping → source stepping), retried
+    // with progressively tighter damping: strong feedback loops (the TIA
+    // around its two-stage OTA) can limit-cycle at loose damping.
+    let mut converged = false;
+    let mut last_err: Option<AnalysisError> = None;
+    'damping: for tighten in 0..3 {
+        let stage_opts = OpOptions {
+            dv_max: opts.dv_max / 3f64.powi(tighten),
+            max_iter: opts.max_iter * (1 + 2 * tighten as usize),
+            ..opts.clone()
+        };
+
+        // Stage 1: direct solve at target gmin.
+        x.iter_mut().for_each(|v| *v = 0.0);
+        if let Ok(iters) = converge_stage(
+            circuit,
+            &layout,
+            &mut x,
+            opts.gmin,
+            1.0,
+            &stage_opts,
+            &mut mos_evals,
+        ) {
+            total_iter += iters;
+            converged = true;
+            break 'damping;
+        }
+
+        // Stage 2: gmin stepping from 1e-3 down to target.
+        x.iter_mut().for_each(|v| *v = 0.0);
+        let mut gmin = 1e-3;
+        let mut ok = true;
+        while gmin >= opts.gmin {
+            match converge_stage(
+                circuit,
+                &layout,
+                &mut x,
+                gmin,
+                1.0,
+                &stage_opts,
+                &mut mos_evals,
+            ) {
+                Ok(iters) => total_iter += iters,
+                Err(e) => {
+                    last_err = Some(e);
+                    ok = false;
+                    break;
+                }
+            }
+            gmin /= 10.0;
+        }
+        if ok {
+            converged = true;
+            break 'damping;
+        }
+
+        // Stage 3: source stepping at target gmin.
+        x.iter_mut().for_each(|v| *v = 0.0);
+        let mut ok = true;
+        for step in 1..=10 {
+            let scale = step as f64 / 10.0;
+            match converge_stage(
+                circuit,
+                &layout,
+                &mut x,
+                opts.gmin,
+                scale,
+                &stage_opts,
+                &mut mos_evals,
+            ) {
+                Ok(iters) => total_iter += iters,
+                Err(_) => {
+                    last_err = Some(AnalysisError::NoConvergence {
+                        context: format!(
+                            "dc operating point (source stepping at {scale:.0e}, dv_max {:.0e})",
+                            stage_opts.dv_max
+                        ),
+                        iterations: total_iter,
+                    });
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            converged = true;
+            break 'damping;
+        }
+    }
+    if !converged {
+        return Err(last_err.unwrap_or(AnalysisError::NoConvergence {
+            context: "dc operating point".into(),
+            iterations: total_iter,
+        }));
+    }
+
+    // Capture MOS caps at the final solution.
+    let mut mos_caps: Vec<Option<MosCaps>> = vec![None; n_elem];
+    for (idx, e) in circuit.elements().iter().enumerate() {
+        if let Element::Mos { dev, .. } = e {
+            if let Some(ev) = &mos_evals[idx] {
+                mos_caps[idx] = Some(dev.capacitances(ev));
+            }
+        }
+    }
+
+    Ok(OperatingPoint {
+        layout,
+        solution: x,
+        mos_evals,
+        mos_caps,
+        iterations: total_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_circuit::{Circuit, MosModel, Waveform};
+
+    fn op(circuit: &Circuit) -> OperatingPoint {
+        dc_operating_point(circuit, &OpOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("v1", vin, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("r1", vin, out, 10e3);
+        c.add_resistor("r2", out, Circuit::gnd(), 20e3);
+        let op = op(&c);
+        assert!((op.voltage(vin) - 1.2).abs() < 1e-9);
+        assert!((op.voltage(out) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vsource_branch_current_sign() {
+        // 1 V across 1 kΩ: 1 mA flows out of the + terminal through the
+        // external resistor, i.e. the *branch* current (p→n through the
+        // source) is −1 mA.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let v1 = c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.0));
+        c.add_resistor("r1", a, Circuit::gnd(), 1e3);
+        let op = op(&c);
+        assert!((op.branch_current(v1) + 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        // 1 mA pulled out of node a (p = a): v(a) = −R·I.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_isource("i1", a, Circuit::gnd(), Waveform::Dc(1e-3));
+        c.add_resistor("r1", a, Circuit::gnd(), 1e3);
+        let op = op(&c);
+        assert!((op.voltage(a) + 1.0).abs() < 1e-9, "v = {}", op.voltage(a));
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.0));
+        c.add_inductor("l1", a, b, 1e-9);
+        c.add_resistor("r1", b, Circuit::gnd(), 1e3);
+        let op = op(&c);
+        assert!((op.voltage(b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacitor_is_dc_open() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.0));
+        c.add_resistor("r1", a, b, 1e3);
+        c.add_capacitor("c1", b, Circuit::gnd(), 1e-12);
+        c.add_resistor("r2", b, Circuit::gnd(), 1e6);
+        let op = op(&c);
+        // Divider 1k/1M: v(b) ≈ 0.999.
+        assert!((op.voltage(b) - 1e6 / 1.001e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmos_diode_connected() {
+        // Diode-connected NMOS pulled up through a resistor: solves the
+        // classic nonlinear bias point.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("r1", vdd, d, 10e3);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            d,
+            d,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        let op = op(&c);
+        let vd = op.voltage(d);
+        // Gate-drain tied: device in saturation, vd somewhat above vth.
+        assert!(vd > 0.35 && vd < 0.8, "vd = {vd}");
+        // KCL: resistor current equals drain current.
+        let id = op.mos_eval(ElementId::from_index(2)).unwrap().id;
+        let ir = (1.2 - vd) / 10e3;
+        assert!((id - ir).abs() < 1e-6 * ir.max(1e-9), "id {id} vs ir {ir}");
+    }
+
+    #[test]
+    fn common_source_amplifier_bias() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_vsource("vg", g, Circuit::gnd(), Waveform::Dc(0.55));
+        c.add_resistor("rd", vdd, d, 1e3);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            5e-6,
+            65e-9,
+            d,
+            g,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        let op = op(&c);
+        let vd = op.voltage(d);
+        assert!(vd > 0.1 && vd < 1.15, "vd = {vd}");
+        let ev = op.mos_eval(ElementId::from_index(3)).unwrap();
+        assert!(ev.gm > 1e-4, "gm = {}", ev.gm);
+    }
+
+    #[test]
+    fn cmos_inverter_transfer_extremes() {
+        for (vin, expect_high) in [(0.0, true), (1.2, false)] {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+            c.add_vsource("vin", inp, Circuit::gnd(), Waveform::Dc(vin));
+            c.add_mosfet(
+                "mp",
+                MosModel::pmos_65nm(),
+                4e-6,
+                65e-9,
+                out,
+                inp,
+                vdd,
+                vdd,
+            );
+            c.add_mosfet(
+                "mn",
+                MosModel::nmos_65nm(),
+                2e-6,
+                65e-9,
+                out,
+                inp,
+                Circuit::gnd(),
+                Circuit::gnd(),
+            );
+            let op = op(&c);
+            let vo = op.voltage(out);
+            if expect_high {
+                assert!(vo > 1.1, "inverter high: {vo}");
+            } else {
+                assert!(vo < 0.1, "inverter low: {vo}");
+            }
+        }
+    }
+
+    #[test]
+    fn iterations_reported() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.0));
+        c.add_resistor("r1", a, Circuit::gnd(), 1e3);
+        let op = op(&c);
+        assert!(op.iterations >= 1);
+    }
+
+    #[test]
+    fn invalid_circuit_rejected() {
+        let c = Circuit::new();
+        match dc_operating_point(&c, &OpOptions::default()) {
+            Err(AnalysisError::BadCircuit(_)) => {}
+            other => panic!("expected BadCircuit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sine_source_op_uses_t0_value() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource(
+            "v1",
+            a,
+            Circuit::gnd(),
+            Waveform::Sin {
+                offset: 0.6,
+                amplitude: 0.1,
+                freq: 1e9,
+                phase: 0.0,
+                delay: 0.0,
+            },
+        );
+        c.add_resistor("r1", a, Circuit::gnd(), 1e3);
+        let op = op(&c);
+        assert!((op.voltage(a) - 0.6).abs() < 1e-9);
+    }
+}

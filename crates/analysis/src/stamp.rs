@@ -1,0 +1,405 @@
+//! MNA stamping for all analyses.
+//!
+//! The element types live in `remix-circuit`; this module knows how to
+//! linearize and stamp them for:
+//!
+//! * the **real** system solved by DC and transient (nonlinear elements
+//!   contribute their iterated-companion linearization at the current
+//!   guess `x`);
+//! * the **complex** system solved by AC and noise (linearized at a DC
+//!   operating point, reactances as `jωC` / `jωL`).
+
+use remix_circuit::{
+    stamp_conductance, stamp_current, stamp_transconductance, Circuit, Element, MnaLayout,
+    MosCaps, MosEval, Node,
+};
+use remix_numerics::{Complex, CompanionCoeffs, TripletMatrix};
+
+/// Dynamic state of a capacitor-like branch between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CapState {
+    /// Branch voltage at the previous accepted time point.
+    pub v: f64,
+    /// Branch current at the previous accepted time point.
+    pub i: f64,
+}
+
+/// Dynamic state of an inductor branch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IndState {
+    /// Branch current at the previous accepted time point.
+    pub i: f64,
+    /// Branch voltage at the previous accepted time point.
+    pub v: f64,
+}
+
+/// Per-element dynamic state for transient analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElementState {
+    /// No dynamic state.
+    None,
+    /// Linear capacitor.
+    Cap(CapState),
+    /// Inductor.
+    Ind(IndState),
+    /// MOSFET intrinsic capacitances, ordered
+    /// `[cgs, cgd, cgb, cdb, csb]`.
+    MosCaps([CapState; 5]),
+}
+
+/// The five MOS capacitor branches as `(node_a, node_b, value)` for a
+/// device with the given caps (already in the real frame).
+pub fn mos_cap_branches(
+    d: Node,
+    g: Node,
+    s: Node,
+    b: Node,
+    caps: &MosCaps,
+) -> [(Node, Node, f64); 5] {
+    [
+        (g, s, caps.cgs),
+        (g, d, caps.cgd),
+        (g, b, caps.cgb),
+        (d, b, caps.cdb),
+        (s, b, caps.csb),
+    ]
+}
+
+/// Stamping mode for the real (DC / transient) system.
+#[derive(Debug, Clone, Copy)]
+pub enum RealMode<'a> {
+    /// DC operating point: capacitors open, inductors short, sources at
+    /// their DC value scaled by `source_scale` (for source stepping).
+    Dc {
+        /// Minimum conductance added across every MOS channel.
+        gmin: f64,
+        /// Homotopy scale applied to independent sources (0..=1).
+        source_scale: f64,
+    },
+    /// Transient step ending at time `t` with companion coefficients
+    /// `coeffs` (already specialized for the step size).
+    Tran {
+        /// Time at the *end* of the step being solved.
+        t: f64,
+        /// gmin across MOS channels.
+        gmin: f64,
+        /// Integration companion coefficients for this step.
+        coeffs: CompanionCoeffs,
+        /// Per-element dynamic state at the previous accepted point.
+        states: &'a [ElementState],
+        /// Frozen MOS capacitances (from the initial operating point).
+        mos_caps: &'a [Option<MosCaps>],
+    },
+}
+
+/// Stamps one linear-capacitor companion model.
+fn stamp_cap_companion(
+    m: &mut TripletMatrix<f64>,
+    rhs: &mut [f64],
+    a: Node,
+    b: Node,
+    c: f64,
+    state: &CapState,
+    coeffs: &CompanionCoeffs,
+) {
+    let geq = c * coeffs.geq_per_unit;
+    // i(v) = geq·v + ieq with ieq collecting history.
+    let ieq = -c * coeffs.hist_v * state.v - coeffs.hist_i * state.i;
+    stamp_conductance(m, a, b, geq);
+    stamp_current(rhs, a, b, ieq);
+}
+
+/// Computes the branch current of a capacitor companion after a solve.
+pub fn cap_companion_current(c: f64, coeffs: &CompanionCoeffs, v_new: f64, state: &CapState) -> f64 {
+    c * coeffs.geq_per_unit * v_new - c * coeffs.hist_v * state.v - coeffs.hist_i * state.i
+}
+
+/// Assembles the real MNA system at guess `x`.
+///
+/// For nonlinear elements the result is the iterated-companion
+/// linearization: solving the assembled system yields the *next* Newton
+/// iterate directly. When `mos_evals` is provided it receives the
+/// per-element [`MosEval`] used (for operating-point capture).
+pub fn assemble_real(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    x: &[f64],
+    mode: &RealMode<'_>,
+    m: &mut TripletMatrix<f64>,
+    rhs: &mut [f64],
+    mut mos_evals: Option<&mut Vec<Option<MosEval>>>,
+) {
+    m.clear();
+    for v in rhs.iter_mut() {
+        *v = 0.0;
+    }
+    let vof = |n: Node| layout.voltage(x, n);
+
+    for (idx, e) in circuit.elements().iter().enumerate() {
+        let eid = remix_circuit::ElementId::from_index(idx);
+        match e {
+            Element::Resistor { a, b, r, .. } => {
+                stamp_conductance(m, *a, *b, 1.0 / r);
+            }
+            Element::Capacitor { a, b, c, .. } => match mode {
+                RealMode::Dc { .. } => {
+                    // Open at DC; tiny conductance keeps truly isolated
+                    // internal nodes from going singular.
+                    stamp_conductance(m, *a, *b, 1e-12);
+                }
+                RealMode::Tran { coeffs, states, .. } => {
+                    let ElementState::Cap(st) = &states[idx] else {
+                        panic!("state mismatch for capacitor");
+                    };
+                    stamp_cap_companion(m, rhs, *a, *b, *c, st, coeffs);
+                }
+            },
+            Element::Inductor { a, b, l, .. } => {
+                let br = layout.branch_index(eid).expect("inductor branch");
+                // KCL rows: branch current leaves a, enters b.
+                if let Some(ia) = layout.node_index(*a) {
+                    m.push(ia, br, 1.0);
+                }
+                if let Some(ib) = layout.node_index(*b) {
+                    m.push(ib, br, -1.0);
+                }
+                // Branch equation.
+                if let Some(ia) = layout.node_index(*a) {
+                    m.push(br, ia, 1.0);
+                }
+                if let Some(ib) = layout.node_index(*b) {
+                    m.push(br, ib, -1.0);
+                }
+                match mode {
+                    RealMode::Dc { .. } => {
+                        // Short at DC: v(a) − v(b) = 0 (tiny series R for
+                        // conditioning).
+                        m.push(br, br, -1e-9);
+                    }
+                    RealMode::Tran { coeffs, states, .. } => {
+                        let ElementState::Ind(st) = &states[idx] else {
+                            panic!("state mismatch for inductor");
+                        };
+                        // v − L·di/dt = 0 discretized:
+                        //   v_{n+1} − (L·geq)·i_{n+1} = −L·hist_v·i_n − hist_i·v_n
+                        let lgeq = l * coeffs.geq_per_unit;
+                        m.push(br, br, -lgeq);
+                        rhs[br] = -l * coeffs.hist_v * st.i - coeffs.hist_i * st.v;
+                    }
+                }
+            }
+            Element::VoltageSource { p, n, wave, .. } => {
+                let br = layout.branch_index(eid).expect("vsource branch");
+                if let Some(ip) = layout.node_index(*p) {
+                    m.push(ip, br, 1.0);
+                    m.push(br, ip, 1.0);
+                }
+                if let Some(inn) = layout.node_index(*n) {
+                    m.push(inn, br, -1.0);
+                    m.push(br, inn, -1.0);
+                }
+                let v = match mode {
+                    RealMode::Dc { source_scale, .. } => wave.eval(0.0) * source_scale,
+                    RealMode::Tran { t, .. } => wave.eval(*t),
+                };
+                rhs[br] += v;
+            }
+            Element::CurrentSource { p, n, wave, .. } => {
+                let i = match mode {
+                    RealMode::Dc { source_scale, .. } => wave.eval(0.0) * source_scale,
+                    RealMode::Tran { t, .. } => wave.eval(*t),
+                };
+                stamp_current(rhs, *p, *n, i);
+            }
+            Element::Vccs { p, n, cp, cn, gm, .. } => {
+                stamp_transconductance(m, *p, *n, *cp, *cn, *gm);
+            }
+            Element::Vcvs {
+                p, n, cp, cn, gain, ..
+            } => {
+                let br = layout.branch_index(eid).expect("vcvs branch");
+                if let Some(ip) = layout.node_index(*p) {
+                    m.push(ip, br, 1.0);
+                    m.push(br, ip, 1.0);
+                }
+                if let Some(inn) = layout.node_index(*n) {
+                    m.push(inn, br, -1.0);
+                    m.push(br, inn, -1.0);
+                }
+                if let Some(icp) = layout.node_index(*cp) {
+                    m.push(br, icp, -*gain);
+                }
+                if let Some(icn) = layout.node_index(*cn) {
+                    m.push(br, icn, *gain);
+                }
+            }
+            Element::Mos { dev, .. } => {
+                let (vd, vg, vs, vb) = (vof(dev.d), vof(dev.g), vof(dev.s), vof(dev.b));
+                let ev = dev.evaluate(vd, vg, vs, vb);
+                // Linearized drain current: rows d (+) and s (−).
+                let grad = [
+                    (dev.d, ev.d_vd),
+                    (dev.g, ev.d_vg),
+                    (dev.s, ev.d_vs),
+                    (dev.b, ev.d_vb),
+                ];
+                let ieq = ev.id - (ev.d_vd * vd + ev.d_vg * vg + ev.d_vs * vs + ev.d_vb * vb);
+                for (row, sign) in [(dev.d, 1.0), (dev.s, -1.0)] {
+                    let Some(r) = layout.node_index(row) else {
+                        continue;
+                    };
+                    for (col, g) in grad {
+                        if let Some(cidx) = layout.node_index(col) {
+                            m.push(r, cidx, sign * g);
+                        }
+                    }
+                    rhs[r] -= sign * ieq;
+                }
+                let gmin = match mode {
+                    RealMode::Dc { gmin, .. } | RealMode::Tran { gmin, .. } => *gmin,
+                };
+                if gmin > 0.0 {
+                    stamp_conductance(m, dev.d, dev.s, gmin);
+                }
+                // Transient: intrinsic capacitances (frozen values).
+                if let RealMode::Tran {
+                    coeffs,
+                    states,
+                    mos_caps,
+                    ..
+                } = mode
+                {
+                    if let (ElementState::MosCaps(sts), Some(caps)) =
+                        (&states[idx], &mos_caps[idx])
+                    {
+                        let branches = mos_cap_branches(dev.d, dev.g, dev.s, dev.b, caps);
+                        for (k, (a, b, c)) in branches.iter().enumerate() {
+                            if *c > 0.0 {
+                                stamp_cap_companion(m, rhs, *a, *b, *c, &sts[k], coeffs);
+                            }
+                        }
+                    }
+                }
+                if let Some(out) = mos_evals.as_deref_mut() {
+                    out[idx] = Some(ev);
+                }
+            }
+        }
+    }
+}
+
+/// Assembles the complex AC system at angular frequency `omega`, linearized
+/// around the operating point captured in `mos_evals`/`mos_caps`.
+///
+/// The RHS carries the AC excitations of independent sources.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_ac(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    omega: f64,
+    mos_evals: &[Option<MosEval>],
+    mos_caps: &[Option<MosCaps>],
+    m: &mut TripletMatrix<Complex>,
+    rhs: &mut [Complex],
+) {
+    m.clear();
+    for v in rhs.iter_mut() {
+        *v = Complex::ZERO;
+    }
+    let jw = Complex::new(0.0, omega);
+
+    for (idx, e) in circuit.elements().iter().enumerate() {
+        let eid = remix_circuit::ElementId::from_index(idx);
+        match e {
+            Element::Resistor { a, b, r, .. } => {
+                stamp_conductance(m, *a, *b, Complex::from_re(1.0 / r));
+            }
+            Element::Capacitor { a, b, c, .. } => {
+                stamp_conductance(m, *a, *b, jw * *c);
+            }
+            Element::Inductor { a, b, l, .. } => {
+                let br = layout.branch_index(eid).expect("inductor branch");
+                if let Some(ia) = layout.node_index(*a) {
+                    m.push(ia, br, Complex::ONE);
+                    m.push(br, ia, Complex::ONE);
+                }
+                if let Some(ib) = layout.node_index(*b) {
+                    m.push(ib, br, -Complex::ONE);
+                    m.push(br, ib, -Complex::ONE);
+                }
+                m.push(br, br, -(jw * *l));
+            }
+            Element::VoltageSource {
+                p,
+                n,
+                ac_mag,
+                ac_phase,
+                ..
+            } => {
+                let br = layout.branch_index(eid).expect("vsource branch");
+                if let Some(ip) = layout.node_index(*p) {
+                    m.push(ip, br, Complex::ONE);
+                    m.push(br, ip, Complex::ONE);
+                }
+                if let Some(inn) = layout.node_index(*n) {
+                    m.push(inn, br, -Complex::ONE);
+                    m.push(br, inn, -Complex::ONE);
+                }
+                rhs[br] += Complex::from_polar(*ac_mag, *ac_phase);
+            }
+            Element::CurrentSource { p, n, ac_mag, .. } => {
+                stamp_current(rhs, *p, *n, Complex::from_re(*ac_mag));
+            }
+            Element::Vccs { p, n, cp, cn, gm, .. } => {
+                stamp_transconductance(m, *p, *n, *cp, *cn, Complex::from_re(*gm));
+            }
+            Element::Vcvs {
+                p, n, cp, cn, gain, ..
+            } => {
+                let br = layout.branch_index(eid).expect("vcvs branch");
+                if let Some(ip) = layout.node_index(*p) {
+                    m.push(ip, br, Complex::ONE);
+                    m.push(br, ip, Complex::ONE);
+                }
+                if let Some(inn) = layout.node_index(*n) {
+                    m.push(inn, br, -Complex::ONE);
+                    m.push(br, inn, -Complex::ONE);
+                }
+                if let Some(icp) = layout.node_index(*cp) {
+                    m.push(br, icp, Complex::from_re(-*gain));
+                }
+                if let Some(icn) = layout.node_index(*cn) {
+                    m.push(br, icn, Complex::from_re(*gain));
+                }
+            }
+            Element::Mos { dev, .. } => {
+                let ev = mos_evals[idx].as_ref().expect("mos eval at op");
+                let grad = [
+                    (dev.d, ev.d_vd),
+                    (dev.g, ev.d_vg),
+                    (dev.s, ev.d_vs),
+                    (dev.b, ev.d_vb),
+                ];
+                for (row, sign) in [(dev.d, 1.0), (dev.s, -1.0)] {
+                    let Some(r) = layout.node_index(row) else {
+                        continue;
+                    };
+                    for (col, g) in grad {
+                        if let Some(cidx) = layout.node_index(col) {
+                            m.push(r, cidx, Complex::from_re(sign * g));
+                        }
+                    }
+                }
+                if let Some(caps) = &mos_caps[idx] {
+                    for (a, b, c) in mos_cap_branches(dev.d, dev.g, dev.s, dev.b, caps) {
+                        if c > 0.0 {
+                            stamp_conductance(m, a, b, jw * c);
+                        }
+                    }
+                }
+                // Small conductance for conditioning (matches DC gmin floor).
+                stamp_conductance(m, dev.d, dev.s, Complex::from_re(1e-12));
+            }
+        }
+    }
+}

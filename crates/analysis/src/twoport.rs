@@ -1,0 +1,247 @@
+//! Two-port small-signal parameter extraction (Y and S parameters).
+//!
+//! Ports are designated by *voltage sources* already present in the
+//! circuit (their branch currents give the port currents directly). The
+//! extractor drives one port at a time with a unit AC excitation while the
+//! other port's source acts as an AC short, exactly like a vector network
+//! analyzer with ideal terminations, then converts to S-parameters for a
+//! given reference impedance.
+
+use crate::ac::ac_sweep;
+use crate::error::AnalysisError;
+use crate::op::OperatingPoint;
+use remix_circuit::{Circuit, Element, ElementId};
+use remix_numerics::Complex;
+
+/// Y-parameters of a two-port at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YParams {
+    /// Frequency (Hz).
+    pub freq: f64,
+    /// `I1/V1` with port 2 shorted.
+    pub y11: Complex,
+    /// `I1/V2` with port 1 shorted.
+    pub y12: Complex,
+    /// `I2/V1` with port 2 shorted.
+    pub y21: Complex,
+    /// `I2/V2` with port 1 shorted.
+    pub y22: Complex,
+}
+
+/// S-parameters of a two-port at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SParams {
+    /// Frequency (Hz).
+    pub freq: f64,
+    /// Input reflection.
+    pub s11: Complex,
+    /// Reverse transmission.
+    pub s12: Complex,
+    /// Forward transmission.
+    pub s21: Complex,
+    /// Output reflection.
+    pub s22: Complex,
+}
+
+impl YParams {
+    /// Converts to S-parameters for reference impedance `z0` (standard
+    /// bilinear transform).
+    pub fn to_s(&self, z0: f64) -> SParams {
+        let one = Complex::ONE;
+        let y0 = Complex::from_re(1.0 / z0);
+        let d = (self.y11 + y0) * (self.y22 + y0) - self.y12 * self.y21;
+        SParams {
+            freq: self.freq,
+            s11: ((y0 - self.y11) * (y0 + self.y22) + self.y12 * self.y21) / d,
+            s12: (-(one + one) * self.y12 * y0) / d,
+            s21: (-(one + one) * self.y21 * y0) / d,
+            s22: ((y0 + self.y11) * (y0 - self.y22) + self.y12 * self.y21) / d,
+        }
+    }
+
+    /// Input admittance with the output shorted (`y11`).
+    pub fn input_admittance(&self) -> Complex {
+        self.y11
+    }
+}
+
+fn set_port_drive(circuit: &mut Circuit, port: ElementId, mag: f64) {
+    if let Element::VoltageSource { ac_mag, ac_phase, .. } = circuit.element_mut(port) {
+        *ac_mag = mag;
+        *ac_phase = 0.0;
+    } else {
+        panic!("port element is not a voltage source");
+    }
+}
+
+/// Extracts Y-parameters over a frequency sweep.
+///
+/// `port1` and `port2` must be voltage sources; their large-signal
+/// waveforms (DC values) are left untouched — only the AC magnitudes are
+/// toggled. The operating point is re-used for both drive conditions
+/// (linear small-signal analysis).
+///
+/// # Errors
+///
+/// Propagates AC-analysis errors.
+///
+/// # Panics
+///
+/// Panics if either port id does not refer to a voltage source.
+pub fn two_port_y(
+    circuit: &Circuit,
+    op: &OperatingPoint,
+    port1: ElementId,
+    port2: ElementId,
+    freqs: &[f64],
+) -> Result<Vec<YParams>, AnalysisError> {
+    let mut drive1 = circuit.clone();
+    set_port_drive(&mut drive1, port1, 1.0);
+    set_port_drive(&mut drive1, port2, 0.0);
+    let ac1 = ac_sweep(&drive1, op, freqs)?;
+
+    let mut drive2 = circuit.clone();
+    set_port_drive(&mut drive2, port1, 0.0);
+    set_port_drive(&mut drive2, port2, 1.0);
+    let ac2 = ac_sweep(&drive2, op, freqs)?;
+
+    let mut out = Vec::with_capacity(freqs.len());
+    for (i, &f) in freqs.iter().enumerate() {
+        // Port current into the network = −(branch current p→n through
+        // the source).
+        let i1_d1 = -ac1.branch_current(i, port1);
+        let i2_d1 = -ac1.branch_current(i, port2);
+        let i1_d2 = -ac2.branch_current(i, port1);
+        let i2_d2 = -ac2.branch_current(i, port2);
+        out.push(YParams {
+            freq: f,
+            y11: i1_d1,
+            y21: i2_d1,
+            y12: i1_d2,
+            y22: i2_d2,
+        });
+    }
+    Ok(out)
+}
+
+/// One-port input impedance seen by a designated voltage-source port.
+///
+/// # Errors
+///
+/// Propagates AC-analysis errors.
+pub fn input_impedance(
+    circuit: &Circuit,
+    op: &OperatingPoint,
+    port: ElementId,
+    freqs: &[f64],
+) -> Result<Vec<(f64, Complex)>, AnalysisError> {
+    let mut drive = circuit.clone();
+    set_port_drive(&mut drive, port, 1.0);
+    let ac = ac_sweep(&drive, op, freqs)?;
+    Ok(freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            let i_in = -ac.branch_current(i, port);
+            (f, Complex::ONE / i_in)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{dc_operating_point, OpOptions};
+    use remix_circuit::Waveform;
+
+    /// A resistive Π network with known Y-parameters.
+    fn pi_network() -> (Circuit, ElementId, ElementId) {
+        let mut c = Circuit::new();
+        let p1 = c.node("p1");
+        let p2 = c.node("p2");
+        let v1 = c.add_vsource("vp1", p1, Circuit::gnd(), Waveform::Dc(0.0));
+        let v2 = c.add_vsource("vp2", p2, Circuit::gnd(), Waveform::Dc(0.0));
+        // Shunt 100 Ω at each port, 200 Ω through.
+        c.add_resistor("ra", p1, Circuit::gnd(), 100.0);
+        c.add_resistor("rb", p2, Circuit::gnd(), 100.0);
+        c.add_resistor("rc", p1, p2, 200.0);
+        (c, v1, v2)
+    }
+
+    #[test]
+    fn pi_network_y_params() {
+        let (c, v1, v2) = pi_network();
+        let op = dc_operating_point(&c, &OpOptions::default()).unwrap();
+        let y = two_port_y(&c, &op, v1, v2, &[1e6]).unwrap();
+        let yp = &y[0];
+        // y11 = 1/100 + 1/200 = 15 mS; y12 = y21 = −1/200 = −5 mS.
+        assert!((yp.y11.re - 0.015).abs() < 1e-9, "{:?}", yp.y11);
+        assert!((yp.y12.re + 0.005).abs() < 1e-9);
+        assert!((yp.y21.re + 0.005).abs() < 1e-9);
+        assert!((yp.y22.re - 0.015).abs() < 1e-9);
+        assert!(yp.y11.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn matched_attenuator_s_params() {
+        // The same Π network is a well-known matched 50 Ω... not exactly;
+        // just verify the bilinear transform against a hand calculation
+        // for a plain series 50 Ω through-line: s11 = s22 = 1/3 at z0=50?
+        // Use a trivially known case instead: a shunt 50 Ω at port1 only,
+        // direct connection to port2.
+        let mut c = Circuit::new();
+        let p = c.node("p");
+        let v1 = c.add_vsource("vp1", p, Circuit::gnd(), Waveform::Dc(0.0));
+        let p2 = c.node("p2");
+        let v2 = c.add_vsource("vp2", p2, Circuit::gnd(), Waveform::Dc(0.0));
+        c.add_resistor("rthrough", p, p2, 50.0);
+        c.add_resistor("rshunt", p, Circuit::gnd(), 50.0);
+        let op = dc_operating_point(&c, &OpOptions::default()).unwrap();
+        let y = two_port_y(&c, &op, v1, v2, &[1e6]).unwrap();
+        let s = y[0].to_s(50.0);
+        // Sanity: |s21| ≤ 1, reciprocity s12 = s21 for a passive network.
+        assert!((s.s12 - s.s21).abs() < 1e-9);
+        assert!(s.s21.abs() <= 1.0 + 1e-9);
+        assert!(s.s11.abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn ideal_through_is_fully_transmitting() {
+        // Direct 0.001 Ω through: s21 ≈ 1, s11 ≈ 0... model with a tiny
+        // resistor (a dead short would merge the port sources).
+        let mut c = Circuit::new();
+        let p1 = c.node("p1");
+        let p2 = c.node("p2");
+        let v1 = c.add_vsource("vp1", p1, Circuit::gnd(), Waveform::Dc(0.0));
+        let v2 = c.add_vsource("vp2", p2, Circuit::gnd(), Waveform::Dc(0.0));
+        c.add_resistor("rt", p1, p2, 1e-3);
+        let op = dc_operating_point(&c, &OpOptions::default()).unwrap();
+        let y = two_port_y(&c, &op, v1, v2, &[1e6]).unwrap();
+        let s = y[0].to_s(50.0);
+        assert!((s.s21.abs() - 1.0).abs() < 1e-4, "s21 = {}", s.s21.abs());
+        assert!(s.s11.abs() < 1e-4, "s11 = {}", s.s11.abs());
+    }
+
+    #[test]
+    fn input_impedance_of_rc() {
+        let mut c = Circuit::new();
+        let p = c.node("p");
+        let v = c.add_vsource("vp", p, Circuit::gnd(), Waveform::Dc(0.0));
+        c.add_resistor("r", p, Circuit::gnd(), 75.0);
+        let op = dc_operating_point(&c, &OpOptions::default()).unwrap();
+        let z = input_impedance(&c, &op, v, &[1e6]).unwrap();
+        assert!((z[0].1.re - 75.0).abs() < 1e-9);
+        assert!(z[0].1.im.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a voltage source")]
+    fn non_source_port_rejected() {
+        let mut c = Circuit::new();
+        let p = c.node("p");
+        let v = c.add_vsource("vp", p, Circuit::gnd(), Waveform::Dc(0.0));
+        let r = c.add_resistor("r", p, Circuit::gnd(), 75.0);
+        let op = dc_operating_point(&c, &OpOptions::default()).unwrap();
+        let _ = two_port_y(&c, &op, r, v, &[1e6]);
+    }
+}

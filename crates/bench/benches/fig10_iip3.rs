@@ -1,0 +1,24 @@
+//! Criterion bench for the Fig. 10 workload: one full two-tone power
+//! sweep with coherent FFT readout and intercept extraction (the
+//! heaviest behavioral measurement in the repository).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remix_bench::shared_evaluator;
+use remix_core::MixerMode;
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let eval = shared_evaluator();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    let pins: Vec<f64> = (0..6).map(|k| -45.0 + 4.0 * k as f64).collect();
+    g.bench_function("two_tone_sweep_active", |b| {
+        b.iter(|| black_box(eval.iip3_two_tone(MixerMode::Active, black_box(&pins)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

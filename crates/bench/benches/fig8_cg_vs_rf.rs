@@ -1,0 +1,25 @@
+//! Criterion bench for the Fig. 8 workload: the full conversion-gain-vs-RF
+//! sweep (28 points, both modes) on the extracted behavioral model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remix_bench::shared_evaluator;
+use remix_core::MixerMode;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let eval = shared_evaluator();
+    let freqs: Vec<f64> = (1..=28).map(|k| 0.25e9 * k as f64).collect();
+    c.bench_function("fig8_gain_vs_rf_both_modes", |b| {
+        b.iter(|| {
+            let a = eval.gain_vs_rf(MixerMode::Active, black_box(&freqs), 5e6);
+            let p = eval.gain_vs_rf(MixerMode::Passive, black_box(&freqs), 5e6);
+            black_box((a, p))
+        })
+    });
+    c.bench_function("fig8_band_edges", |b| {
+        b.iter(|| black_box(eval.band_edges(black_box(MixerMode::Active))))
+    });
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

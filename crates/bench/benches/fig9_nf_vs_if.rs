@@ -1,0 +1,25 @@
+//! Criterion bench for the Fig. 9 workload: NF and CG vs IF sweeps
+//! (26 log-spaced points, both modes) including the flicker-corner search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remix_bench::shared_evaluator;
+use remix_core::MixerMode;
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let eval = shared_evaluator();
+    let ifs: Vec<f64> = (0..=25).map(|k| 1e3 * 10f64.powf(k as f64 / 5.0)).collect();
+    c.bench_function("fig9_nf_vs_if_both_modes", |b| {
+        b.iter(|| {
+            let a = eval.nf_vs_if(MixerMode::Active, black_box(&ifs));
+            let p = eval.nf_vs_if(MixerMode::Passive, black_box(&ifs));
+            black_box((a, p))
+        })
+    });
+    c.bench_function("fig9_flicker_corner_search", |b| {
+        b.iter(|| black_box(eval.model(MixerMode::Active).flicker_corner_hz()))
+    });
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

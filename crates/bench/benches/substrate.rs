@@ -1,0 +1,74 @@
+//! Criterion benches for the simulation substrate itself: the primitives
+//! every figure regeneration leans on — sparse LU on an MNA-sized system,
+//! a DC operating point of the full mixer netlist, one AC sweep point,
+//! 1k transient steps, and a 64k-point FFT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remix_analysis::{ac_sweep, dc_operating_point, transient, OpOptions, TranOptions};
+use remix_core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
+use remix_core::{MixerConfig, MixerMode};
+use remix_numerics::{SparseLu, TripletMatrix};
+use std::hint::black_box;
+
+fn bench_substrate(c: &mut Criterion) {
+    // Sparse LU on a 60-unknown MNA-shaped system.
+    let n = 60;
+    let mut t = TripletMatrix::new(n, n);
+    let mut state = 0xABCDEFu64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 32) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    for r in 0..n {
+        t.push(r, r, 5.0 + next().abs());
+        for _ in 0..3 {
+            let ci = ((next().abs() * n as f64) as usize).min(n - 1);
+            t.push(r, ci, next());
+        }
+    }
+    let csr = t.to_csr();
+    let b: Vec<f64> = (0..n).map(|_| next()).collect();
+    c.bench_function("sparse_lu_factor_solve_60", |bch| {
+        bch.iter(|| {
+            let lu = SparseLu::factor(black_box(&csr)).unwrap();
+            black_box(lu.solve(black_box(&b)).unwrap())
+        })
+    });
+
+    // Full mixer DC operating point.
+    let mixer = ReconfigurableMixer::new(MixerConfig::default());
+    let (ckt, _) = mixer.build(MixerMode::Active, &RfDrive::Bias, &LoDrive::held(2.4e9));
+    let mut g = c.benchmark_group("mixer_netlist");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.bench_function("dc_operating_point_full_mixer", |bch| {
+        bch.iter(|| black_box(dc_operating_point(black_box(&ckt), &OpOptions::default()).unwrap()))
+    });
+    let op = dc_operating_point(&ckt, &OpOptions::default()).unwrap();
+    g.bench_function("ac_sweep_10pt_full_mixer", |bch| {
+        let freqs: Vec<f64> = (1..=10).map(|k| k as f64 * 0.5e9).collect();
+        bch.iter(|| black_box(ac_sweep(black_box(&ckt), &op, &freqs).unwrap()))
+    });
+    g.finish();
+
+    // Transient: RC network for a clean step-rate number.
+    let mut rc = remix_circuit::Circuit::new();
+    let a = rc.node("a");
+    let o = rc.node("o");
+    rc.add_vsource("v", a, remix_circuit::Circuit::gnd(), remix_circuit::Waveform::sine(0.5, 1e6));
+    rc.add_resistor("r", a, o, 1e3);
+    rc.add_capacitor("c", o, remix_circuit::Circuit::gnd(), 1e-9);
+    c.bench_function("transient_1000_steps_rc", |bch| {
+        bch.iter(|| black_box(transient(black_box(&rc), &TranOptions::new(1e-6, 1e-9)).unwrap()))
+    });
+
+    // 64k FFT.
+    let sig: Vec<f64> = (0..65536).map(|i| (i as f64 * 0.01).sin()).collect();
+    c.bench_function("fft_real_64k", |bch| {
+        bch.iter(|| black_box(remix_dsp::fft_real(black_box(&sig))))
+    });
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

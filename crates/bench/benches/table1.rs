@@ -1,0 +1,30 @@
+//! Criterion bench for the Table I workload: producing both "This work"
+//! columns (gain/NF/IIP3/P1dB/power/band edges) from the extracted model,
+//! plus the full extraction itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remix_bench::shared_evaluator;
+use remix_core::{model::ExtractedParams, MixerConfig, MixerMode};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let eval = shared_evaluator();
+    c.bench_function("table1_both_rows", |b| {
+        b.iter(|| {
+            let a = eval.table1_row(MixerMode::Active);
+            let p = eval.table1_row(MixerMode::Passive);
+            black_box((a, p))
+        })
+    });
+    let mut g = c.benchmark_group("extraction");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.bench_function("full_device_extraction", |b| {
+        b.iter(|| black_box(ExtractedParams::extract(black_box(&MixerConfig::default())).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Dedicated-vs-reconfigurable comparison — the paper's Fig. 1 trade-off
+//! table and its intro's "two radios are power hungry" argument, made
+//! executable: a stand-alone Gilbert mixer and a stand-alone passive
+//! mixer (same device physics, de-reconfigured netlists) against the one
+//! reconfigurable circuit.
+//!
+//! ```text
+//! cargo run --release -p remix-bench --bin baselines
+//! ```
+
+use remix_bench::shared_evaluator;
+use remix_core::baseline::{BaselineKind, BaselineMixer};
+use remix_core::{MixerConfig, MixerMode};
+
+fn main() {
+    let eval = shared_evaluator();
+    let base = MixerConfig::default();
+    println!("building dedicated baselines (fresh extractions)…\n");
+    let ded_a = BaselineMixer::new(BaselineKind::DedicatedActive, &base).expect("dedicated active");
+    let ded_p =
+        BaselineMixer::new(BaselineKind::DedicatedPassive, &base).expect("dedicated passive");
+
+    println!(
+        "{:<26} {:>9} {:>8} {:>10} {:>8}",
+        "design", "CG (dB)", "NF (dB)", "IIP3(dBm)", "P (mW)"
+    );
+    println!("{}", "-".repeat(66));
+    let rows: Vec<(&str, f64, f64, f64, f64)> = vec![
+        (
+            "dedicated active",
+            ded_a.model.conv_gain_db(2.45e9, 5e6),
+            ded_a.model.nf_db(5e6),
+            ded_a.model.iip3_dbm(),
+            ded_a.model.power_mw(),
+        ),
+        (
+            "reconfig (active mode)",
+            eval.model(MixerMode::Active).conv_gain_db(2.45e9, 5e6),
+            eval.model(MixerMode::Active).nf_db(5e6),
+            eval.model(MixerMode::Active).iip3_dbm(),
+            eval.model(MixerMode::Active).power_mw(),
+        ),
+        (
+            "dedicated passive",
+            ded_p.model.conv_gain_db(2.45e9, 5e6),
+            ded_p.model.nf_db(5e6),
+            ded_p.model.iip3_dbm(),
+            ded_p.model.power_mw(),
+        ),
+        (
+            "reconfig (passive mode)",
+            eval.model(MixerMode::Passive).conv_gain_db(2.45e9, 5e6),
+            eval.model(MixerMode::Passive).nf_db(5e6),
+            eval.model(MixerMode::Passive).iip3_dbm(),
+            eval.model(MixerMode::Passive).power_mw(),
+        ),
+    ];
+    for (name, cg, nf, ip3, p) in rows {
+        println!("{name:<26} {cg:>9.1} {nf:>8.1} {ip3:>10.1} {p:>8.2}");
+    }
+
+    println!(
+        "\ntwo-radio solution power (dedicated pair, 10% idle standby): {:.2} mW",
+        ded_a.two_radio_power_mw(&ded_p, 0.1)
+    );
+    println!(
+        "reconfigurable single circuit: {:.2} / {:.2} mW per mode",
+        eval.model(MixerMode::Active).power_mw(),
+        eval.model(MixerMode::Passive).power_mw()
+    );
+    println!("\nthe reconfigurable circuit gives up ≲2 dB to each dedicated");
+    println!("design in its own specialty while replacing both — the paper's");
+    println!("cost/power/area argument in numbers.");
+}

@@ -1,0 +1,25 @@
+//! Link-budget tables of the reconfigurable mixer in both modes — the
+//! RF-systems view of where gain, noise and linearity are spent.
+//!
+//! ```text
+//! cargo run --release -p remix-bench --bin budget_report
+//! ```
+
+use remix_bench::shared_evaluator;
+use remix_core::MixerMode;
+use remix_rfkit::budget::budget_table;
+
+fn main() {
+    let eval = shared_evaluator();
+    for mode in [MixerMode::Active, MixerMode::Passive] {
+        let m = eval.model(mode);
+        println!("==== {} mode budget (RF 2.45 GHz → IF 5 MHz, rs 100 Ω diff) ====\n", mode.label());
+        let cascade = m.as_cascade();
+        print!("{}", budget_table(&cascade, 2.45e9, 5e6, 2.0 * m.config().rs));
+        println!(
+            "\ncascade total {:.1} dB vs model conv gain {:.1} dB\n",
+            cascade.conv_gain_db(2.45e9, 5e6),
+            m.conv_gain_db(2.45e9, 5e6)
+        );
+    }
+}

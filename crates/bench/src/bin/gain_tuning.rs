@@ -1,0 +1,34 @@
+//! Gain reconfigurability study — the paper's two tuning knobs:
+//!
+//! * active mode: "The Gm of MOS Mn1 and Mn2 can be changed by changing
+//!   the value of bias voltage, thus varying the gain of mixer";
+//! * passive mode: "The gain of the TIA can be tuned by changing the
+//!   value of RF".
+//!
+//! ```text
+//! cargo run --release -p remix-bench --bin gain_tuning
+//! ```
+
+use remix_bench::shared_evaluator;
+use remix_core::MixerMode;
+
+fn main() {
+    let eval = shared_evaluator();
+
+    println!("active-mode gain vs Gm gate bias (2.45 GHz → 5 MHz)\n");
+    println!("{:>10} {:>10}", "Vbias (V)", "CG (dB)");
+    let biases: Vec<f64> = (0..8).map(|k| 0.45 + 0.05 * k as f64).collect();
+    for (vb, g) in eval.active_gain_vs_bias(&biases).expect("bias sweep") {
+        println!("{:>10.2} {:>10.2}", vb, g);
+    }
+
+    println!("\npassive-mode gain vs TIA feedback RF (CF rescaled to keep the IF corner)\n");
+    println!("{:>10} {:>10}", "RF (Ω)", "CG (dB)");
+    let base_rf = eval.model(MixerMode::Passive).config().tia_rf;
+    let rfs: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|k| k * base_rf).collect();
+    for (rf, g) in eval.passive_gain_vs_rf_feedback(&rfs).expect("rf sweep") {
+        println!("{:>10.0} {:>10.2}", rf, g);
+    }
+    println!("\neach 2× in RF buys ≈6 dB — the paper's \"another degree of");
+    println!("freedom to configure the gain of the downconverter\".");
+}

@@ -1,0 +1,54 @@
+//! Monte-Carlo IIP2 study: the paper claims "IIP2 is > 65 for both
+//! cases"; even-order rejection is a *matching* property, so this binary
+//! samples Pelgrom-style device mismatch on the TCA halves and prints the
+//! resulting IIP2 distribution at two matching qualities.
+//!
+//! ```text
+//! cargo run --release -p remix-bench --bin mc_iip2
+//! ```
+
+use remix_core::montecarlo::{iip2_distribution, summarize, MismatchConfig};
+use remix_core::MixerConfig;
+
+fn run(label: &str, mm: &MismatchConfig) {
+    let dist = iip2_distribution(&MixerConfig::default(), mm).expect("mc run");
+    let s = summarize(&dist);
+    println!("\n{label}: σ(ΔVt) = {:.1} mV, σ(Δβ/β) = {:.2} %  ({} samples)",
+        mm.sigma_vt * 1e3, mm.sigma_kp_frac * 1e2, mm.n_runs);
+    println!("  IIP2 min {:.1} | median {:.1} | max {:.1} dBm", s.min, s.median, s.max);
+    let above = dist.iter().filter(|v| **v > 65.0).count();
+    println!("  {above}/{} samples clear the paper's 65 dBm line", dist.len());
+    // Poor-man's histogram.
+    for lo in (40..110).step_by(10) {
+        let hi = lo + 10;
+        let n = dist
+            .iter()
+            .filter(|v| **v >= lo as f64 && **v < hi as f64)
+            .count();
+        if n > 0 {
+            println!("  {lo:>3}–{hi:<3} dBm | {}", "#".repeat(n));
+        }
+    }
+}
+
+fn main() {
+    println!("Monte-Carlo IIP2 vs device matching (TCA halves perturbed)");
+    run(
+        "raw Pelgrom matching",
+        &MismatchConfig {
+            n_runs: 40,
+            ..MismatchConfig::default()
+        },
+    );
+    run(
+        "common-centroid-quality matching",
+        &MismatchConfig {
+            sigma_vt: 0.7e-3,
+            sigma_kp_frac: 0.002,
+            n_runs: 40,
+            seed: 0xD1E5,
+        },
+    );
+    println!("\nfinding: the paper's >65 dBm needs sub-mV effective ΔVt —");
+    println!("layout-level matching, not just topology, carries the claim.");
+}

@@ -1,0 +1,36 @@
+//! Annotated operating point of the full mixer netlist in both modes:
+//! per-device regions/currents/gm and node voltages — the table a
+//! designer pins next to the schematic.
+//!
+//! ```text
+//! cargo run --release -p remix-bench --bin op_report
+//! ```
+
+use remix_analysis::{bias_warnings, dc_operating_point, device_table, node_table, OpOptions};
+use remix_core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
+use remix_core::{MixerConfig, MixerMode};
+
+fn main() {
+    let mixer = ReconfigurableMixer::new(MixerConfig::default());
+    for mode in [MixerMode::Active, MixerMode::Passive] {
+        let (ckt, _) = mixer.build(mode, &RfDrive::Bias, &LoDrive::held(2.4e9));
+        match dc_operating_point(&ckt, &OpOptions::default()) {
+            Ok(op) => {
+                println!("==== {} mode (LO held at its extreme) ====\n", mode.label());
+                println!("{}", device_table(&ckt, &op));
+                println!("{}", node_table(&ckt, &op));
+                let warns = bias_warnings(&ckt, &op);
+                if warns.is_empty() {
+                    println!("bias check: clean\n");
+                } else {
+                    println!("bias warnings:");
+                    for w in warns {
+                        println!("  ! {w}");
+                    }
+                    println!();
+                }
+            }
+            Err(e) => println!("{} mode: operating point failed: {e}", mode.label()),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Transistor-level validation spot checks: run the full ~40-device
+//! netlist through the transient engine and compare conversion gain with
+//! the behavioral model at selected (LO, IF) points. Slow by design —
+//! this is the "ground truth" anchor for the fast sweeps.
+//!
+//! ```text
+//! cargo run --release -p remix-bench --bin spot_transient
+//! ```
+
+use remix_bench::shared_evaluator;
+use remix_core::MixerMode;
+
+fn main() {
+    let eval = shared_evaluator();
+    println!("transistor-level transient vs behavioral model\n");
+    println!(
+        "{:>9} {:>9} {:>9} {:>13} {:>13} {:>8}",
+        "mode", "LO (GHz)", "IF (MHz)", "circuit (dB)", "model (dB)", "Δ (dB)"
+    );
+    for (mode, f_lo) in [
+        (MixerMode::Passive, 0.48e9),
+        (MixerMode::Passive, 1.2e9),
+        (MixerMode::Active, 1.2e9),
+        (MixerMode::Active, 2.4e9),
+    ] {
+        let f_if = 5e6;
+        match eval.circuit_conv_gain_spot(mode, f_lo, f_if) {
+            Ok(circuit_db) => {
+                let model_db = eval.model(mode).conv_gain_db(f_lo + f_if, f_if);
+                println!(
+                    "{:>9} {:>9.2} {:>9.1} {:>13.2} {:>13.2} {:>8.2}",
+                    mode.label(),
+                    f_lo / 1e9,
+                    f_if / 1e6,
+                    circuit_db,
+                    model_db,
+                    circuit_db - model_db
+                );
+            }
+            Err(e) => println!("{:>9} {:>9.2} transient failed: {e}", mode.label(), f_lo / 1e9),
+        }
+    }
+    println!("\nagreement within a couple of dB anchors the behavioral sweeps");
+    println!("(Fig. 8/9/10 harnesses) to the actual netlist.");
+}

@@ -1,0 +1,69 @@
+//! Regenerates the **Fig. 5** sanity artifacts: switch implementations.
+//!
+//! * Fig. 5(a): the PMOS mode switch Mp1/Mp2 — on-resistance (= the
+//!   passive-mode degeneration R_deg) vs channel voltage, and hard-off
+//!   behaviour with Vlogic high;
+//! * Fig. 5(b): the transmission-gate resistive load — R vs pass voltage
+//!   and sizing curves ("W/L of PMOS and NMOS is chosen so that some
+//!   voltage drop occurs across it and act as a resistance").
+//!
+//! ```text
+//! cargo run --release -p remix-bench --bin switch_r
+//! ```
+
+use remix_circuit::{size_tg_for_resistance, tg_on_resistance};
+use remix_core::tg::{size_tg_load, tg_load_conductance};
+use remix_core::MixerConfig;
+
+fn main() {
+    let cfg = MixerConfig::default();
+
+    println!("Fig. 5(a) — PMOS switch 1-2 (W = {:.0} µm)\n", cfg.sw12_w * 1e6);
+    println!("{:>12} {:>14} {:>16}", "Vchan (V)", "Ron on (Ω)", "Ioff @Vg=VDD (A)");
+    let p = cfg.pmos.clone();
+    for k in 0..=10 {
+        let v = 0.2 + 0.08 * k as f64;
+        // On: gate at 0 (Vlogic low).
+        let dv = 1e-3;
+        let on = p.evaluate(v - dv, 0.0, v, cfg.vdd);
+        let g = on.id.abs() * (cfg.sw12_w / cfg.sw12_l) / dv;
+        // Off: gate at VDD (Vlogic high).
+        let off = p.evaluate(v - 0.2, cfg.vdd, v, cfg.vdd);
+        println!(
+            "{:>12.2} {:>14.1} {:>16.3e}",
+            v,
+            1.0 / g,
+            (off.id * cfg.sw12_w / cfg.sw12_l).abs()
+        );
+    }
+
+    println!("\nFig. 5(b) — transmission-gate resistive switch / load\n");
+    println!("TG sized for 500 Ω at mid-rail (pass-gate use, switches 3-4):");
+    let s = size_tg_for_resistance(500.0, cfg.vdd, 65e-9);
+    println!("  wn = {:.2} µm, wp = {:.2} µm", s.wn * 1e6, s.wp * 1e6);
+    println!("{:>12} {:>12}", "Vpass (V)", "Rtot (Ω)");
+    for k in 0..=12 {
+        let v = 0.05 + k as f64 * 0.09;
+        println!("{:>12.2} {:>12.1}", v, tg_on_resistance(&s, cfg.vdd, v));
+    }
+
+    println!("\nTG load to VDD sized for {} Ω at Vpass = 0.8 V (active-mode load):", cfg.tg_load_r);
+    let sl = size_tg_load(&cfg.nmos, &cfg.pmos, cfg.tg_load_r, cfg.vdd, 0.8, 65e-9);
+    println!("  wn = {:.2} µm, wp = {:.2} µm", sl.wn * 1e6, sl.wp * 1e6);
+    println!("{:>12} {:>12}", "Vpass (V)", "R (Ω)");
+    for k in 0..=8 {
+        let v = 0.5 + k as f64 * 0.08;
+        let g = tg_load_conductance(&cfg.nmos, &cfg.pmos, &sl, cfg.vdd, v);
+        println!("{:>12.2} {:>12.1}", v, 1.0 / g);
+    }
+    println!("\ngain tuning: the active conversion gain scales with this R (paper §II-B).");
+    for r in [120.0, 240.0, 480.0, 950.0] {
+        let sz = size_tg_load(&cfg.nmos, &cfg.pmos, r, cfg.vdd, 0.8, 65e-9);
+        println!(
+            "  target {:>5.0} Ω → wp {:>6.2} µm (realized {:>6.1} Ω)",
+            r,
+            sz.wp * 1e6,
+            1.0 / tg_load_conductance(&cfg.nmos, &cfg.pmos, &sz, cfg.vdd, 0.8)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! # remix-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation section (see DESIGN.md §3 for the experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig8_cg_vs_rf` | Fig. 8 — conversion gain vs RF frequency |
+//! | `fig9_nf_vs_if` | Fig. 9 — NF and CG vs IF frequency |
+//! | `fig10_iip3` | Fig. 10(a)/(b) — two-tone IIP3, both modes |
+//! | `table1` | Table I — full comparison incl. literature rows |
+//! | `switch_r` | Fig. 5 — transmission-gate / switch resistance curves |
+//! | `spot_transient` | transistor-level validation spot checks |
+//!
+//! Criterion benches (`cargo bench`) measure the substrate's performance
+//! on the workloads behind those artifacts.
+
+use remix_core::{eval::MixerEvaluator, MixerConfig};
+use std::sync::OnceLock;
+
+/// Shared evaluator for all binaries/benches (extraction is seconds).
+pub fn shared_evaluator() -> &'static MixerEvaluator {
+    static CACHE: OnceLock<MixerEvaluator> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        MixerEvaluator::new(&MixerConfig::default()).expect("mixer extraction failed")
+    })
+}
+
+/// Renders a crude ASCII plot of `(x, y)` series for terminal inspection.
+pub fn ascii_plot(series: &[(&str, &[(f64, f64)])], y_label: &str, x_div: f64, x_unit: &str) -> String {
+    let mut out = String::new();
+    let ymin = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().map(|p| p.1))
+        .fold(f64::MAX, f64::min);
+    let ymax = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().map(|p| p.1))
+        .fold(f64::MIN, f64::max);
+    let span = (ymax - ymin).max(1e-9);
+    out.push_str(&format!(
+        "{y_label}: {ymin:.1} .. {ymax:.1}  (each column = one sweep point)\n"
+    ));
+    for (name, s) in series {
+        out.push_str(&format!("{name:>10} |"));
+        for &(_, y) in s.iter() {
+            let lvl = ((y - ymin) / span * 9.0).round() as usize;
+            out.push(char::from_digit(lvl.min(9) as u32, 10).unwrap());
+        }
+        out.push('\n');
+    }
+    if let Some((_, s)) = series.first() {
+        out.push_str(&format!(
+            "{:>10}  {:.2}..{:.2} {x_unit}\n",
+            "x:",
+            s.first().map(|p| p.0 / x_div).unwrap_or(0.0),
+            s.last().map(|p| p.0 / x_div).unwrap_or(0.0),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_plot_renders() {
+        let s: Vec<(f64, f64)> = (0..10).map(|k| (k as f64, k as f64)).collect();
+        let plot = ascii_plot(&[("ramp", &s)], "y", 1.0, "u");
+        assert!(plot.contains("ramp"));
+        assert!(plot.contains("0123456789"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Graphviz (DOT) schematic export.
+//!
+//! Renders a netlist as a graph: circuit nodes become round graph nodes,
+//! two-terminal elements become labeled edges, and multi-terminal devices
+//! (MOSFETs, controlled sources) become box nodes with labeled terminal
+//! edges. `dot -Tsvg` then gives a browsable schematic of, e.g., the full
+//! reconfigurable mixer.
+
+use crate::element::Element;
+use crate::netlist::Circuit;
+use crate::node::Node;
+
+fn esc(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Renders the circuit as a DOT graph.
+pub fn to_dot(circuit: &Circuit, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("graph \"{}\" {{\n", esc(title)));
+    out.push_str("  graph [overlap=false, splines=true];\n");
+    out.push_str("  node [fontsize=10];\n");
+    let node_id = |n: Node| -> String {
+        if n.is_ground() {
+            "gnd".to_string()
+        } else {
+            format!("n_{}", esc(circuit.node_name(n)))
+        }
+    };
+    // Circuit nodes.
+    out.push_str("  gnd [shape=point, xlabel=\"gnd\"];\n");
+    for idx in 1..circuit.node_count() {
+        let node = circuit
+            .elements()
+            .iter()
+            .flat_map(|e| e.nodes())
+            .find(|n| n.id() == idx);
+        if let Some(n) = node {
+            out.push_str(&format!(
+                "  {} [shape=ellipse, label=\"{}\"];\n",
+                node_id(n),
+                esc(circuit.node_name(n))
+            ));
+        }
+    }
+    // Elements.
+    for e in circuit.elements() {
+        match e {
+            Element::Resistor { name, a, b, r } => out.push_str(&format!(
+                "  {} -- {} [label=\"{} {:.3e}Ω\"];\n",
+                node_id(*a),
+                node_id(*b),
+                esc(name),
+                r
+            )),
+            Element::Capacitor { name, a, b, c } => out.push_str(&format!(
+                "  {} -- {} [label=\"{} {:.3e}F\", style=dashed];\n",
+                node_id(*a),
+                node_id(*b),
+                esc(name),
+                c
+            )),
+            Element::Inductor { name, a, b, l } => out.push_str(&format!(
+                "  {} -- {} [label=\"{} {:.3e}H\", style=bold];\n",
+                node_id(*a),
+                node_id(*b),
+                esc(name),
+                l
+            )),
+            Element::VoltageSource { name, p, n, .. } => out.push_str(&format!(
+                "  {} -- {} [label=\"V:{}\", color=blue];\n",
+                node_id(*p),
+                node_id(*n),
+                esc(name)
+            )),
+            Element::CurrentSource { name, p, n, .. } => out.push_str(&format!(
+                "  {} -- {} [label=\"I:{}\", color=purple];\n",
+                node_id(*p),
+                node_id(*n),
+                esc(name)
+            )),
+            Element::Vccs { name, p, n, cp, cn, .. }
+            | Element::Vcvs { name, p, n, cp, cn, .. } => {
+                let id = format!("dev_{}", esc(name));
+                out.push_str(&format!("  {id} [shape=box, label=\"{}\"];\n", esc(name)));
+                for (t, lab) in [(p, "p"), (n, "n"), (cp, "cp"), (cn, "cn")] {
+                    out.push_str(&format!(
+                        "  {id} -- {} [label=\"{lab}\", fontsize=8];\n",
+                        node_id(*t)
+                    ));
+                }
+            }
+            Element::Mos { name, dev } => {
+                let id = format!("dev_{}", esc(name));
+                let pol = match dev.model.polarity {
+                    crate::mos::MosPolarity::Nmos => "N",
+                    crate::mos::MosPolarity::Pmos => "P",
+                };
+                out.push_str(&format!(
+                    "  {id} [shape=box, style=rounded, label=\"{} ({pol} {:.1}µ/{:.0}n)\"];\n",
+                    esc(name),
+                    dev.w * 1e6,
+                    dev.l * 1e9
+                ));
+                for (t, lab) in [(dev.d, "d"), (dev.g, "g"), (dev.s, "s"), (dev.b, "b")] {
+                    out.push_str(&format!(
+                        "  {id} -- {} [label=\"{lab}\", fontsize=8];\n",
+                        node_id(t)
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mos::MosModel;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn renders_all_element_kinds() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("vs", a, Circuit::gnd(), Waveform::Dc(1.0));
+        c.add_resistor("r1", a, b, 1e3);
+        c.add_capacitor("c1", b, Circuit::gnd(), 1e-12);
+        c.add_inductor("l1", a, b, 1e-9);
+        c.add_isource("i1", b, Circuit::gnd(), Waveform::Dc(1e-3));
+        c.add_vccs("g1", b, Circuit::gnd(), a, Circuit::gnd(), 1e-3);
+        c.add_mosfet("m1", MosModel::nmos_65nm(), 5e-6, 65e-9, b, a, Circuit::gnd(), Circuit::gnd());
+        let dot = to_dot(&c, "demo");
+        assert!(dot.starts_with("graph \"demo\" {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for needle in ["r1", "c1", "l1", "V:vs", "I:i1", "dev_g1", "dev_m1", "N 5.0µ/65n"] {
+            assert!(dot.contains(needle), "missing {needle}:\n{dot}");
+        }
+        // Balanced braces, every line properly terminated.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("odd", a, Circuit::gnd(), 1.0);
+        c.add_vsource("v", a, Circuit::gnd(), Waveform::Dc(0.0));
+        let dot = to_dot(&c, "ti\"tle");
+        assert!(dot.contains("ti\\\"tle"));
+    }
+
+    #[test]
+    fn node_labels_present() {
+        let mut c = Circuit::new();
+        let x = c.node("special_node");
+        c.add_resistor("r", x, Circuit::gnd(), 1.0);
+        c.add_vsource("v", x, Circuit::gnd(), Waveform::Dc(0.0));
+        let dot = to_dot(&c, "t");
+        assert!(dot.contains("special_node"));
+        assert!(dot.contains("gnd [shape=point"));
+    }
+}

@@ -1,0 +1,338 @@
+//! Circuit elements.
+//!
+//! Elements are plain data; the analysis crate owns the MNA stamping so
+//! that integration state and operating-point context stay out of the
+//! netlist representation.
+
+use crate::mos::{MosCaps, MosEval, MosModel};
+use crate::node::Node;
+use crate::waveform::Waveform;
+
+/// A MOSFET instance: model plus geometry and terminal connections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mosfet {
+    /// Process model (owned per instance; models are small).
+    pub model: MosModel,
+    /// Channel width (m).
+    pub w: f64,
+    /// Channel length (m).
+    pub l: f64,
+    /// Drain.
+    pub d: Node,
+    /// Gate.
+    pub g: Node,
+    /// Source.
+    pub s: Node,
+    /// Bulk.
+    pub b: Node,
+}
+
+impl Mosfet {
+    /// Aspect ratio W/L.
+    pub fn aspect(&self) -> f64 {
+        self.w / self.l
+    }
+
+    /// Large-signal evaluation at real terminal voltages, scaled by W/L.
+    ///
+    /// All current and conductance terms of the model are proportional to
+    /// β = kp·W/L, so the instance simply scales the unit-β evaluation.
+    pub fn evaluate(&self, vd: f64, vg: f64, vs: f64, vb: f64) -> MosEval {
+        let k = self.aspect();
+        let e = self.model.evaluate(vd, vg, vs, vb);
+        MosEval {
+            id: e.id * k,
+            d_vd: e.d_vd * k,
+            d_vg: e.d_vg * k,
+            d_vs: e.d_vs * k,
+            d_vb: e.d_vb * k,
+            gm: e.gm * k,
+            gds: e.gds * k,
+            gmbs: e.gmbs * k,
+            ..e
+        }
+    }
+
+    /// Small-signal capacitances at the given evaluation.
+    pub fn capacitances(&self, eval: &MosEval) -> MosCaps {
+        self.model.capacitances(eval, self.w, self.l)
+    }
+
+    /// Thermal drain-noise PSD (A²/Hz) at temperature `temp`.
+    pub fn thermal_noise_psd(&self, eval: &MosEval, temp: f64) -> f64 {
+        self.model.thermal_noise_psd(eval, temp)
+    }
+
+    /// Flicker drain-noise PSD (A²/Hz) at frequency `f`.
+    pub fn flicker_noise_psd(&self, eval: &MosEval, f: f64) -> f64 {
+        self.model.flicker_noise_psd(eval, self.w, self.l, f)
+    }
+}
+
+/// A circuit element.
+///
+/// Positive current conventions:
+/// * two-terminal passives: current flows `a → b` through the element;
+/// * sources: current flows from `p` through the source to `n`
+///   (a voltage source *delivering* power has negative branch current);
+/// * VCCS: output current `gm·(v(cp) − v(cn))` flows `p → n` through the
+///   controlled source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Linear resistor.
+    Resistor {
+        /// Instance name (unique per circuit).
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance (Ω), must be positive and finite.
+        r: f64,
+    },
+    /// Linear capacitor.
+    Capacitor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Capacitance (F), must be positive and finite.
+        c: f64,
+    },
+    /// Linear inductor (adds a branch-current unknown).
+    Inductor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Inductance (H), must be positive and finite.
+        l: f64,
+    },
+    /// Independent voltage source (adds a branch-current unknown).
+    VoltageSource {
+        /// Instance name.
+        name: String,
+        /// Positive terminal.
+        p: Node,
+        /// Negative terminal.
+        n: Node,
+        /// Large-signal waveform.
+        wave: Waveform,
+        /// AC magnitude (V) for small-signal analyses.
+        ac_mag: f64,
+        /// AC phase (radians).
+        ac_phase: f64,
+    },
+    /// Independent current source.
+    CurrentSource {
+        /// Instance name.
+        name: String,
+        /// Current exits this terminal of the source (flows p→n inside).
+        p: Node,
+        /// Current returns into this terminal.
+        n: Node,
+        /// Large-signal waveform (A).
+        wave: Waveform,
+        /// AC magnitude (A).
+        ac_mag: f64,
+    },
+    /// Voltage-controlled current source: `i(p→n) = gm·(v(cp) − v(cn))`.
+    Vccs {
+        /// Instance name.
+        name: String,
+        /// Output positive terminal.
+        p: Node,
+        /// Output negative terminal.
+        n: Node,
+        /// Positive control node.
+        cp: Node,
+        /// Negative control node.
+        cn: Node,
+        /// Transconductance (S).
+        gm: f64,
+    },
+    /// Voltage-controlled voltage source: `v(p) − v(n) = gain·(v(cp) − v(cn))`
+    /// (adds a branch-current unknown).
+    Vcvs {
+        /// Instance name.
+        name: String,
+        /// Output positive terminal.
+        p: Node,
+        /// Output negative terminal.
+        n: Node,
+        /// Positive control node.
+        cp: Node,
+        /// Negative control node.
+        cn: Node,
+        /// Voltage gain.
+        gain: f64,
+    },
+    /// MOSFET.
+    Mos {
+        /// Instance name.
+        name: String,
+        /// Device instance.
+        dev: Mosfet,
+    },
+}
+
+impl Element {
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::Capacitor { name, .. }
+            | Element::Inductor { name, .. }
+            | Element::VoltageSource { name, .. }
+            | Element::CurrentSource { name, .. }
+            | Element::Vccs { name, .. }
+            | Element::Vcvs { name, .. }
+            | Element::Mos { name, .. } => name,
+        }
+    }
+
+    /// All nodes this element touches.
+    pub fn nodes(&self) -> Vec<Node> {
+        match self {
+            Element::Resistor { a, b, .. }
+            | Element::Capacitor { a, b, .. }
+            | Element::Inductor { a, b, .. } => vec![*a, *b],
+            Element::VoltageSource { p, n, .. } | Element::CurrentSource { p, n, .. } => {
+                vec![*p, *n]
+            }
+            Element::Vccs { p, n, cp, cn, .. } | Element::Vcvs { p, n, cp, cn, .. } => {
+                vec![*p, *n, *cp, *cn]
+            }
+            Element::Mos { dev, .. } => vec![dev.d, dev.g, dev.s, dev.b],
+        }
+    }
+
+    /// `true` if this element adds a branch-current unknown to the MNA
+    /// system (voltage-defined elements).
+    pub fn needs_branch_current(&self) -> bool {
+        matches!(
+            self,
+            Element::VoltageSource { .. } | Element::Inductor { .. } | Element::Vcvs { .. }
+        )
+    }
+
+    /// `true` if the element conducts DC current between its terminals
+    /// (used by the floating-node structural check).
+    pub fn provides_dc_path(&self) -> bool {
+        !matches!(self, Element::Capacitor { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mos::MosPolarity;
+
+    fn test_fet() -> Mosfet {
+        Mosfet {
+            model: MosModel::nmos_65nm(),
+            w: 20e-6,
+            l: 65e-9,
+            d: Node(1),
+            g: Node(2),
+            s: Node(0),
+            b: Node(0),
+        }
+    }
+
+    #[test]
+    fn aspect_scaling() {
+        let fet = test_fet();
+        let k = fet.aspect();
+        assert!((k - 20e-6 / 65e-9).abs() < 1e-6);
+        let unit = fet.model.evaluate(1.2, 0.8, 0.0, 0.0);
+        let scaled = fet.evaluate(1.2, 0.8, 0.0, 0.0);
+        assert!((scaled.id - unit.id * k).abs() < 1e-12 * scaled.id.abs());
+        assert!((scaled.gm - unit.gm * k).abs() < 1e-12 * scaled.gm.abs());
+        assert_eq!(scaled.region, unit.region);
+    }
+
+    #[test]
+    fn realistic_bias_current() {
+        // A 20 µm / 65 nm NMOS at vgs = 0.55 V should carry on the order
+        // of a milliamp — the regime the paper's Gm stage operates in.
+        let fet = test_fet();
+        let e = fet.evaluate(0.6, 0.55, 0.0, 0.0);
+        assert!(
+            e.id > 0.2e-3 && e.id < 10e-3,
+            "id = {:.3} mA",
+            e.id * 1e3
+        );
+        assert!(e.gm > 1e-3, "gm = {} S", e.gm);
+    }
+
+    #[test]
+    fn element_accessors() {
+        let r = Element::Resistor {
+            name: "r1".into(),
+            a: Node(1),
+            b: Node(0),
+            r: 50.0,
+        };
+        assert_eq!(r.name(), "r1");
+        assert_eq!(r.nodes(), vec![Node(1), Node(0)]);
+        assert!(!r.needs_branch_current());
+        assert!(r.provides_dc_path());
+
+        let c = Element::Capacitor {
+            name: "c1".into(),
+            a: Node(1),
+            b: Node(2),
+            c: 1e-12,
+        };
+        assert!(!c.provides_dc_path());
+
+        let v = Element::VoltageSource {
+            name: "v1".into(),
+            p: Node(1),
+            n: Node(0),
+            wave: Waveform::Dc(1.2),
+            ac_mag: 0.0,
+            ac_phase: 0.0,
+        };
+        assert!(v.needs_branch_current());
+
+        let m = Element::Mos {
+            name: "m1".into(),
+            dev: test_fet(),
+        };
+        assert_eq!(m.nodes().len(), 4);
+        assert!(!m.needs_branch_current());
+    }
+
+    #[test]
+    fn pmos_instance() {
+        let fet = Mosfet {
+            model: MosModel::pmos_65nm(),
+            w: 40e-6,
+            l: 65e-9,
+            d: Node(1),
+            g: Node(2),
+            s: Node(3),
+            b: Node(3),
+        };
+        assert_eq!(fet.model.polarity, MosPolarity::Pmos);
+        let e = fet.evaluate(0.0, 0.3, 1.2, 1.2);
+        assert!(e.id < -1e-4, "PMOS should conduct strongly, id = {}", e.id);
+    }
+
+    #[test]
+    fn noise_helpers_scale() {
+        let fet = test_fet();
+        let e = fet.evaluate(1.2, 0.7, 0.0, 0.0);
+        let th = fet.thermal_noise_psd(&e, 300.0);
+        assert!(th > 0.0);
+        let fl1 = fet.flicker_noise_psd(&e, 1e3);
+        let fl2 = fet.flicker_noise_psd(&e, 1e5);
+        assert!(fl1 > fl2);
+    }
+}

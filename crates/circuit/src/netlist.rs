@@ -1,0 +1,555 @@
+//! The circuit netlist builder.
+
+use crate::element::{Element, Mosfet};
+use crate::mos::MosModel;
+use crate::node::{ElementId, Node};
+use crate::waveform::Waveform;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Structural problems detected by [`Circuit::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A node (other than ground) is referenced by fewer than two
+    /// elements — it cannot carry a defined voltage.
+    DanglingNode {
+        /// Name of the offending node.
+        node: String,
+    },
+    /// A node has no DC path to ground (only capacitors connect it), which
+    /// makes the DC matrix singular without gmin.
+    NoDcPath {
+        /// Name of the offending node.
+        node: String,
+    },
+    /// The circuit contains no elements.
+    Empty,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::DanglingNode { node } => {
+                write!(f, "node '{node}' is connected to fewer than two elements")
+            }
+            CircuitError::NoDcPath { node } => {
+                write!(f, "node '{node}' has no DC path to ground")
+            }
+            CircuitError::Empty => write!(f, "circuit contains no elements"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+/// A circuit under construction: named nodes plus an ordered element list.
+///
+/// # Examples
+///
+/// ```
+/// use remix_circuit::{Circuit, Waveform};
+///
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("in");
+/// let vout = ckt.node("out");
+/// ckt.add_vsource("vin", vin, Circuit::gnd(), Waveform::Dc(1.0));
+/// ckt.add_resistor("r1", vin, vout, 1e3);
+/// ckt.add_resistor("r2", vout, Circuit::gnd(), 1e3);
+/// assert_eq!(ckt.element_count(), 3);
+/// ckt.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    name_to_node: HashMap<String, Node>,
+    elements: Vec<Element>,
+    element_names: HashMap<String, ElementId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit (ground pre-registered as node 0).
+    pub fn new() -> Self {
+        let mut c = Circuit {
+            node_names: vec!["0".to_string()],
+            name_to_node: HashMap::new(),
+            elements: Vec::new(),
+            element_names: HashMap::new(),
+        };
+        c.name_to_node.insert("0".to_string(), Node::GROUND);
+        c
+    }
+
+    /// The ground node.
+    pub const fn gnd() -> Node {
+        Node::GROUND
+    }
+
+    /// Returns the node with the given name, creating it if needed.
+    /// The names `"0"` and `"gnd"` refer to ground.
+    pub fn node(&mut self, name: &str) -> Node {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Node::GROUND;
+        }
+        if let Some(&n) = self.name_to_node.get(name) {
+            return n;
+        }
+        let n = Node(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.name_to_node.insert(name.to_string(), n);
+        n
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<Node> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(Node::GROUND);
+        }
+        self.name_to_node.get(name).copied()
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, n: Node) -> &str {
+        &self.node_names[n.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of non-ground nodes (MNA voltage unknowns).
+    pub fn unknown_node_count(&self) -> usize {
+        self.node_names.len() - 1
+    }
+
+    /// The ordered element list.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Element by id.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.0]
+    }
+
+    /// Mutable element access (for reconfiguring values between analyses,
+    /// e.g. flipping a mode-control voltage).
+    pub fn element_mut(&mut self, id: ElementId) -> &mut Element {
+        &mut self.elements[id.0]
+    }
+
+    /// Finds an element id by instance name.
+    pub fn find_element(&self, name: &str) -> Option<ElementId> {
+        self.element_names.get(name).copied()
+    }
+
+    fn push(&mut self, e: Element) -> ElementId {
+        let name = e.name().to_string();
+        assert!(
+            !self.element_names.contains_key(&name),
+            "duplicate element name '{name}'"
+        );
+        let id = ElementId(self.elements.len());
+        self.elements.push(e);
+        self.element_names.insert(name, id);
+        id
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not positive and finite, or the name is a
+    /// duplicate.
+    pub fn add_resistor(&mut self, name: &str, a: Node, b: Node, r: f64) -> ElementId {
+        assert!(r.is_finite() && r > 0.0, "resistance must be positive, got {r}");
+        self.push(Element::Resistor {
+            name: name.to_string(),
+            a,
+            b,
+            r,
+        })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not positive and finite, or the name is a
+    /// duplicate.
+    pub fn add_capacitor(&mut self, name: &str, a: Node, b: Node, c: f64) -> ElementId {
+        assert!(c.is_finite() && c > 0.0, "capacitance must be positive, got {c}");
+        self.push(Element::Capacitor {
+            name: name.to_string(),
+            a,
+            b,
+            c,
+        })
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not positive and finite, or the name is a
+    /// duplicate.
+    pub fn add_inductor(&mut self, name: &str, a: Node, b: Node, l: f64) -> ElementId {
+        assert!(l.is_finite() && l > 0.0, "inductance must be positive, got {l}");
+        self.push(Element::Inductor {
+            name: name.to_string(),
+            a,
+            b,
+            l,
+        })
+    }
+
+    /// Adds a voltage source with no AC component.
+    pub fn add_vsource(&mut self, name: &str, p: Node, n: Node, wave: Waveform) -> ElementId {
+        self.push(Element::VoltageSource {
+            name: name.to_string(),
+            p,
+            n,
+            wave,
+            ac_mag: 0.0,
+            ac_phase: 0.0,
+        })
+    }
+
+    /// Adds a voltage source that also drives small-signal analyses with
+    /// the given AC magnitude/phase.
+    pub fn add_vsource_ac(
+        &mut self,
+        name: &str,
+        p: Node,
+        n: Node,
+        wave: Waveform,
+        ac_mag: f64,
+        ac_phase: f64,
+    ) -> ElementId {
+        self.push(Element::VoltageSource {
+            name: name.to_string(),
+            p,
+            n,
+            wave,
+            ac_mag,
+            ac_phase,
+        })
+    }
+
+    /// Adds a current source (current flows `p → n` through the source).
+    pub fn add_isource(&mut self, name: &str, p: Node, n: Node, wave: Waveform) -> ElementId {
+        self.push(Element::CurrentSource {
+            name: name.to_string(),
+            p,
+            n,
+            wave,
+            ac_mag: 0.0,
+        })
+    }
+
+    /// Adds a current source with an AC magnitude (used by noise transfer
+    /// solves).
+    pub fn add_isource_ac(
+        &mut self,
+        name: &str,
+        p: Node,
+        n: Node,
+        wave: Waveform,
+        ac_mag: f64,
+    ) -> ElementId {
+        self.push(Element::CurrentSource {
+            name: name.to_string(),
+            p,
+            n,
+            wave,
+            ac_mag,
+        })
+    }
+
+    /// Adds a voltage-controlled current source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gm` is not finite.
+    pub fn add_vccs(
+        &mut self,
+        name: &str,
+        p: Node,
+        n: Node,
+        cp: Node,
+        cn: Node,
+        gm: f64,
+    ) -> ElementId {
+        assert!(gm.is_finite(), "gm must be finite");
+        self.push(Element::Vccs {
+            name: name.to_string(),
+            p,
+            n,
+            cp,
+            cn,
+            gm,
+        })
+    }
+
+    /// Adds a voltage-controlled voltage source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is not finite.
+    pub fn add_vcvs(
+        &mut self,
+        name: &str,
+        p: Node,
+        n: Node,
+        cp: Node,
+        cn: Node,
+        gain: f64,
+    ) -> ElementId {
+        assert!(gain.is_finite(), "gain must be finite");
+        self.push(Element::Vcvs {
+            name: name.to_string(),
+            p,
+            n,
+            cp,
+            cn,
+            gain,
+        })
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `l` is not positive and finite.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        model: MosModel,
+        w: f64,
+        l: f64,
+        d: Node,
+        g: Node,
+        s: Node,
+        b: Node,
+    ) -> ElementId {
+        assert!(w.is_finite() && w > 0.0, "width must be positive");
+        assert!(l.is_finite() && l > 0.0, "length must be positive");
+        self.push(Element::Mos {
+            name: name.to_string(),
+            dev: Mosfet {
+                model,
+                w,
+                l,
+                d,
+                g,
+                s,
+                b,
+            },
+        })
+    }
+
+    /// Structural validation: dangling nodes and missing DC paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CircuitError`] found.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        if self.elements.is_empty() {
+            return Err(CircuitError::Empty);
+        }
+        let n = self.node_count();
+        let mut touch_count = vec![0usize; n];
+        for e in &self.elements {
+            for node in e.nodes() {
+                touch_count[node.0] += 1;
+            }
+        }
+        for (i, &cnt) in touch_count.iter().enumerate().skip(1) {
+            if cnt < 2 {
+                return Err(CircuitError::DanglingNode {
+                    node: self.node_names[i].clone(),
+                });
+            }
+        }
+        // DC-path check: union-find over elements that conduct DC.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for e in &self.elements {
+            if !e.provides_dc_path() {
+                continue;
+            }
+            let nodes = e.nodes();
+            for w in nodes.windows(2) {
+                let (ra, rb) = (find(&mut parent, w[0].0), find(&mut parent, w[1].0));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+        let ground_root = find(&mut parent, 0);
+        for i in 1..n {
+            if find(&mut parent, i) != ground_root {
+                return Err(CircuitError::NoDcPath {
+                    node: self.node_names[i].clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit: {} nodes, {} elements",
+            self.node_count(),
+            self.element_count()
+        )?;
+        for e in &self.elements {
+            let nodes: Vec<String> = e.nodes().iter().map(|n| self.node_name(*n).to_string()).collect();
+            writeln!(f, "  {} ({})", e.name(), nodes.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_creation_and_lookup() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let a2 = c.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(c.node("gnd"), Node::GROUND);
+        assert_eq!(c.node("0"), Node::GROUND);
+        assert_eq!(c.find_node("a"), Some(a));
+        assert_eq!(c.find_node("missing"), None);
+        assert_eq!(c.node_name(a), "a");
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.unknown_node_count(), 1);
+    }
+
+    #[test]
+    fn voltage_divider_builds() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("v1", vin, Circuit::gnd(), Waveform::Dc(1.0));
+        c.add_resistor("r1", vin, out, 1e3);
+        c.add_resistor("r2", out, Circuit::gnd(), 1e3);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.element_count(), 3);
+        assert!(c.find_element("r1").is_some());
+        assert!(c.find_element("zz").is_none());
+    }
+
+    #[test]
+    fn empty_circuit_invalid() {
+        assert_eq!(Circuit::new().validate(), Err(CircuitError::Empty));
+    }
+
+    #[test]
+    fn dangling_node_detected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("r1", a, b, 1.0);
+        c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.0));
+        // b touches only r1.
+        match c.validate() {
+            Err(CircuitError::DanglingNode { node }) => assert_eq!(node, "b"),
+            other => panic!("expected dangling node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_dc_path_detected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.0));
+        c.add_capacitor("c1", a, b, 1e-12);
+        c.add_resistor("r1", b, b, 1.0); // self-loop keeps b "touched" twice
+        match c.validate() {
+            Err(CircuitError::NoDcPath { node }) => assert_eq!(node, "b"),
+            other => panic!("expected no-dc-path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate element name")]
+    fn duplicate_names_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("r1", a, Circuit::gnd(), 1.0);
+        c.add_resistor("r1", a, Circuit::gnd(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn negative_resistance_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("r1", a, Circuit::gnd(), -1.0);
+    }
+
+    #[test]
+    fn element_mutation() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let id = c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(0.0));
+        if let Element::VoltageSource { wave, .. } = c.element_mut(id) {
+            *wave = Waveform::Dc(1.2);
+        }
+        if let Element::VoltageSource { wave, .. } = c.element(id) {
+            assert_eq!(wave.dc_value(), 1.2);
+        } else {
+            panic!("wrong element type");
+        }
+    }
+
+    #[test]
+    fn display_lists_elements() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("rload", a, Circuit::gnd(), 50.0);
+        let s = c.to_string();
+        assert!(s.contains("rload"));
+        assert!(s.contains("2 nodes"));
+    }
+
+    #[test]
+    fn mosfet_addition() {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let g = c.node("g");
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            d,
+            g,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        assert_eq!(c.element_count(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Node and element identifiers.
+
+use std::fmt;
+
+/// A circuit node.
+///
+/// `Node::GROUND` is the reference node; all other nodes are created
+/// through [`Circuit::node`](crate::netlist::Circuit::node) and carry an
+/// index into the MNA unknown vector (`index − 1`, since ground is not an
+/// unknown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub(crate) usize);
+
+impl Node {
+    /// The reference (ground) node.
+    pub const GROUND: Node = Node(0);
+
+    /// `true` for the ground node.
+    #[inline]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw id (0 = ground).
+    #[inline]
+    pub fn id(self) -> usize {
+        self.0
+    }
+
+    /// MNA unknown index, or `None` for ground.
+    #[inline]
+    pub fn unknown_index(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 - 1)
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ground() {
+            write!(f, "gnd")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// Identifier of an element within its circuit (insertion order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId(pub(crate) usize);
+
+impl ElementId {
+    /// Index into the circuit's element list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds an id from a raw element index (the inverse of
+    /// [`index`](Self::index)); callers must ensure it is in range for the
+    /// circuit it will be used with.
+    #[inline]
+    pub fn from_index(i: usize) -> ElementId {
+        ElementId(i)
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_properties() {
+        assert!(Node::GROUND.is_ground());
+        assert_eq!(Node::GROUND.unknown_index(), None);
+        assert_eq!(Node::GROUND.to_string(), "gnd");
+    }
+
+    #[test]
+    fn regular_node() {
+        let n = Node(3);
+        assert!(!n.is_ground());
+        assert_eq!(n.unknown_index(), Some(2));
+        assert_eq!(n.to_string(), "n3");
+        assert_eq!(n.id(), 3);
+    }
+
+    #[test]
+    fn element_id_display() {
+        assert_eq!(ElementId(7).to_string(), "e7");
+        assert_eq!(ElementId(7).index(), 7);
+    }
+}

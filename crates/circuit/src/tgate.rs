@@ -1,0 +1,236 @@
+//! CMOS transmission gate helper.
+//!
+//! The paper uses transmission gates in two roles (Fig. 5):
+//! * as the **resistive switches 3-4** between the mixer core and the TIA
+//!   input, fully off in passive mode;
+//! * as the **resistive load** of the active mixer, where the TG's
+//!   on-resistance `Rtot = R_PMOS ∥ R_NMOS` sets the conversion gain and is
+//!   tuned by sizing (Fig. 5(b), "Gain of active mixer can be tuned by
+//!   changing the resistance of transmission gate").
+//!
+//! This module adds the NMOS/PMOS pair to a [`Circuit`] and provides the
+//! analytic on-resistance estimate used for sizing.
+
+use crate::mos::MosModel;
+use crate::netlist::Circuit;
+use crate::node::{ElementId, Node};
+
+/// Handle to the two devices of an instantiated transmission gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransmissionGate {
+    /// The NMOS pass device.
+    pub nmos: ElementId,
+    /// The PMOS pass device.
+    pub pmos: ElementId,
+}
+
+/// Geometry for a transmission gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TgSizing {
+    /// NMOS width (m).
+    pub wn: f64,
+    /// PMOS width (m).
+    pub wp: f64,
+    /// Channel length for both devices (m).
+    pub l: f64,
+}
+
+impl Default for TgSizing {
+    fn default() -> Self {
+        TgSizing {
+            wn: 2e-6,
+            wp: 4e-6,
+            l: 65e-9,
+        }
+    }
+}
+
+impl TransmissionGate {
+    /// Adds a transmission gate between `a` and `b`.
+    ///
+    /// `ctl` drives the NMOS gate and `ctl_bar` the PMOS gate; `vdd_bulk`
+    /// is the PMOS bulk (usually the supply node), the NMOS bulk is tied
+    /// to ground. Element names are `{name}_n` and `{name}_p`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add(
+        circuit: &mut Circuit,
+        name: &str,
+        a: Node,
+        b: Node,
+        ctl: Node,
+        ctl_bar: Node,
+        vdd_bulk: Node,
+        sizing: TgSizing,
+    ) -> Self {
+        let nmos = circuit.add_mosfet(
+            &format!("{name}_n"),
+            MosModel::nmos_65nm(),
+            sizing.wn,
+            sizing.l,
+            a,
+            ctl,
+            b,
+            Circuit::gnd(),
+        );
+        let pmos = circuit.add_mosfet(
+            &format!("{name}_p"),
+            MosModel::pmos_65nm(),
+            sizing.wp,
+            sizing.l,
+            a,
+            ctl_bar,
+            b,
+            vdd_bulk,
+        );
+        TransmissionGate { nmos, pmos }
+    }
+
+    /// As [`add`](Self::add) but with explicit device models (corner/PVT
+    /// studies swap these).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_with_models(
+        circuit: &mut Circuit,
+        name: &str,
+        a: Node,
+        b: Node,
+        ctl: Node,
+        ctl_bar: Node,
+        vdd_bulk: Node,
+        sizing: TgSizing,
+        nmos_model: MosModel,
+        pmos_model: MosModel,
+    ) -> Self {
+        let nmos = circuit.add_mosfet(
+            &format!("{name}_n"),
+            nmos_model,
+            sizing.wn,
+            sizing.l,
+            a,
+            ctl,
+            b,
+            Circuit::gnd(),
+        );
+        let pmos = circuit.add_mosfet(
+            &format!("{name}_p"),
+            pmos_model,
+            sizing.wp,
+            sizing.l,
+            a,
+            ctl_bar,
+            b,
+            vdd_bulk,
+        );
+        TransmissionGate { nmos, pmos }
+    }
+}
+
+/// Analytic on-resistance estimate of a transmission gate passing a signal
+/// near voltage `v_pass`, with rails `0..vdd`.
+///
+/// Uses the triode-region channel conductances
+/// `g = kp·(W/L)·(vgs − vth)` of whichever devices are on, in parallel.
+/// Returns `f64::INFINITY` when both devices are off at this level.
+pub fn tg_on_resistance(sizing: &TgSizing, vdd: f64, v_pass: f64) -> f64 {
+    let n = MosModel::nmos_65nm();
+    let p = MosModel::pmos_65nm();
+    let vgs_n = vdd - v_pass;
+    let vsg_p = v_pass; // PMOS gate at 0
+    let mut g = 0.0;
+    let (vth_n, _) = n.threshold(0.0);
+    let (vth_p, _) = p.threshold(0.0);
+    if vgs_n > vth_n {
+        let ov = vgs_n - vth_n;
+        g += n.kp * (sizing.wn / sizing.l) * ov / (1.0 + n.theta * ov);
+    }
+    if vsg_p > vth_p {
+        let ov = vsg_p - vth_p;
+        g += p.kp * (sizing.wp / sizing.l) * ov / (1.0 + p.theta * ov);
+    }
+    if g <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / g
+    }
+}
+
+/// Sizes a transmission gate (balanced N/P conductance at mid-rail) to hit
+/// a target on-resistance at `v_pass = vdd/2`.
+pub fn size_tg_for_resistance(target_r: f64, vdd: f64, l: f64) -> TgSizing {
+    assert!(target_r > 0.0 && target_r.is_finite());
+    let n = MosModel::nmos_65nm();
+    let p = MosModel::pmos_65nm();
+    let v_pass = vdd / 2.0;
+    let (vth_n, _) = n.threshold(0.0);
+    let (vth_p, _) = p.threshold(0.0);
+    let ov_n = (vdd - v_pass - vth_n).max(0.05);
+    let ov_p = (v_pass - vth_p).max(0.05);
+    // Split conductance equally between the devices (θ degrades the
+    // triode conductance and must be compensated in the widths).
+    let g_half = 0.5 / target_r;
+    let wn = g_half * l * (1.0 + n.theta * ov_n) / (n.kp * ov_n);
+    let wp = g_half * l * (1.0 + p.theta * ov_p) / (p.kp * ov_p);
+    TgSizing { wn, wp, l }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adds_two_devices() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let ctl = c.node("ctl");
+        let ctlb = c.node("ctlb");
+        let vdd = c.node("vdd");
+        let tg = TransmissionGate::add(&mut c, "tg1", a, b, ctl, ctlb, vdd, TgSizing::default());
+        assert_eq!(c.element_count(), 2);
+        assert!(c.find_element("tg1_n") == Some(tg.nmos));
+        assert!(c.find_element("tg1_p") == Some(tg.pmos));
+    }
+
+    #[test]
+    fn on_resistance_finite_when_on() {
+        let s = TgSizing::default();
+        let r_mid = tg_on_resistance(&s, 1.2, 0.6);
+        assert!(r_mid.is_finite() && r_mid > 0.0, "r = {r_mid}");
+        // Larger devices → lower resistance.
+        let s_big = TgSizing {
+            wn: 2.0 * s.wn,
+            wp: 2.0 * s.wp,
+            l: s.l,
+        };
+        assert!(tg_on_resistance(&s_big, 1.2, 0.6) < r_mid);
+    }
+
+    #[test]
+    fn complementary_coverage_across_rail() {
+        // Near the rails one device dominates but the TG still conducts:
+        // that is the whole point of using both polarities.
+        let s = TgSizing::default();
+        for v in [0.05, 0.3, 0.6, 0.9, 1.15] {
+            let r = tg_on_resistance(&s, 1.2, v);
+            assert!(r.is_finite(), "TG off at v_pass = {v}");
+        }
+    }
+
+    #[test]
+    fn sizing_hits_target() {
+        let target = 500.0;
+        let s = size_tg_for_resistance(target, 1.2, 65e-9);
+        let r = tg_on_resistance(&s, 1.2, 0.6);
+        assert!(
+            (r - target).abs() < 0.05 * target,
+            "sized r = {r} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn tighter_target_means_wider_devices() {
+        let s1 = size_tg_for_resistance(1000.0, 1.2, 65e-9);
+        let s2 = size_tg_for_resistance(100.0, 1.2, 65e-9);
+        assert!(s2.wn > s1.wn);
+        assert!(s2.wp > s1.wp);
+    }
+}

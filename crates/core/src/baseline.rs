@@ -1,0 +1,185 @@
+//! Dedicated (non-reconfigurable) baseline mixers.
+//!
+//! The paper's Fig. 1 motivates reconfigurability by the classic
+//! active-vs-passive trade-off table, and its intro argues that two
+//! separate radios ("the easiest solution") are "power hungry, costly and
+//! take more area". These baselines make that comparison *executable*:
+//!
+//! * [`BaselineKind::DedicatedActive`] — a plain Gilbert mixer: no Mp1/Mp2
+//!   switches loading the TCA output, DC-coupled Gm gates (no
+//!   gate-coupling high-pass), no TIA on the die;
+//! * [`BaselineKind::DedicatedPassive`] — a plain current-commutating
+//!   passive mixer: wide, low-resistance routing instead of the Mp1/Mp2
+//!   mode switches, no Gm devices/tail.
+//!
+//! Each is realized by re-configuring the same extracted device physics —
+//! so the comparison isolates exactly the *cost of reconfigurability*
+//! (switch parasitics, coupling networks) and the *cost of duplication*
+//! (two dies' worth of area and either standby power or RF switching).
+
+use crate::config::{MixerConfig, MixerMode};
+use crate::model::{ExtractedParams, MixerModel};
+use remix_analysis::AnalysisError;
+
+/// Which dedicated design to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Stand-alone Gilbert-cell mixer.
+    DedicatedActive,
+    /// Stand-alone current-commutating passive mixer with TIA.
+    DedicatedPassive,
+}
+
+impl BaselineKind {
+    /// The mode this baseline corresponds to.
+    pub fn mode(self) -> MixerMode {
+        match self {
+            BaselineKind::DedicatedActive => MixerMode::Active,
+            BaselineKind::DedicatedPassive => MixerMode::Passive,
+        }
+    }
+}
+
+/// A dedicated mixer model plus its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct BaselineMixer {
+    /// Which dedicated design.
+    pub kind: BaselineKind,
+    /// Behavioral model (same physics, de-reconfigured netlist).
+    pub model: MixerModel,
+}
+
+/// Configuration of a dedicated active mixer: removes the passive-path
+/// hardware costs from the reconfigurable design.
+pub fn dedicated_active_config(base: &MixerConfig) -> MixerConfig {
+    MixerConfig {
+        // DC-coupled Gm gates: a large coupling cap removes the 1 GHz
+        // gate high-pass that reconfigurability forced.
+        gm_couple_c: 10e-12,
+        // No Mp1/Mp2 junctions hanging on the TCA output.
+        node_parasitic_c: base.node_parasitic_c * 0.6,
+        ..base.clone()
+    }
+}
+
+/// Configuration of a dedicated passive mixer: the TCA output routes
+/// straight into the quad (metal, not a PMOS switch).
+pub fn dedicated_passive_config(base: &MixerConfig) -> MixerConfig {
+    MixerConfig {
+        // "Switch" is now wide routing: negligible series resistance (and
+        // no Rdeg linearization — dedicated passive designs add real
+        // resistors when they want it).
+        sw12_w: 600e-6,
+        node_parasitic_c: base.node_parasitic_c * 0.6,
+        ..base.clone()
+    }
+}
+
+impl BaselineMixer {
+    /// Builds a baseline from the shared base configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction errors.
+    pub fn new(kind: BaselineKind, base: &MixerConfig) -> Result<Self, AnalysisError> {
+        let cfg = match kind {
+            BaselineKind::DedicatedActive => dedicated_active_config(base),
+            BaselineKind::DedicatedPassive => dedicated_passive_config(base),
+        };
+        let params = ExtractedParams::extract(&cfg)?;
+        Ok(BaselineMixer {
+            kind,
+            model: MixerModel::new(cfg, kind.mode(), params),
+        })
+    }
+
+    /// Power of a *two-radio* solution covering both use cases: this
+    /// dedicated design plus an idle counterpart burning `standby_frac`
+    /// of the other mode's power (the paper's "only one of the mode
+    /// function at a time" critique).
+    pub fn two_radio_power_mw(&self, other: &BaselineMixer, standby_frac: f64) -> f64 {
+        self.model.power_mw() + standby_frac * other.model.power_mw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn baselines() -> &'static (BaselineMixer, BaselineMixer) {
+        static CACHE: OnceLock<(BaselineMixer, BaselineMixer)> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            let base = MixerConfig::default();
+            (
+                BaselineMixer::new(BaselineKind::DedicatedActive, &base).unwrap(),
+                BaselineMixer::new(BaselineKind::DedicatedPassive, &base).unwrap(),
+            )
+        })
+    }
+
+    fn reconfig(mode: MixerMode) -> MixerModel {
+        static CACHE: OnceLock<ExtractedParams> = OnceLock::new();
+        let p = CACHE
+            .get_or_init(|| ExtractedParams::extract(&MixerConfig::default()).unwrap())
+            .clone();
+        MixerModel::new(MixerConfig::default(), mode, p)
+    }
+
+    #[test]
+    fn dedicated_active_has_wider_low_band() {
+        let (da, _) = baselines();
+        let rec = reconfig(MixerMode::Active);
+        // At 0.6 GHz the dedicated active (no gate HP) holds its gain
+        // while the reconfigurable active has rolled off.
+        let g_ded = da.model.conv_gain_db(0.6e9, 5e6);
+        let g_rec = rec.conv_gain_db(0.6e9, 5e6);
+        assert!(
+            g_ded > g_rec + 1.0,
+            "dedicated {g_ded:.1} dB vs reconfigurable {g_rec:.1} dB at 600 MHz"
+        );
+    }
+
+    #[test]
+    fn dedicated_passive_has_lower_loss() {
+        let (_, dp) = baselines();
+        let rec = reconfig(MixerMode::Passive);
+        // No Mp series resistance: more of the TCA current reaches the
+        // TIA, so the dedicated design has a little more gain.
+        let g_ded = dp.model.conv_gain_db(2.45e9, 5e6);
+        let g_rec = rec.conv_gain_db(2.45e9, 5e6);
+        assert!(
+            g_ded > g_rec,
+            "dedicated {g_ded:.1} dB vs reconfigurable {g_rec:.1} dB"
+        );
+        // …but it also loses the Rdeg linearization.
+        assert!(dp.model.params.rdeg < 10.0, "rdeg = {}", dp.model.params.rdeg);
+    }
+
+    #[test]
+    fn reconfigurable_close_to_dedicated_per_mode() {
+        // The paper's core claim: one circuit gives nearly both dedicated
+        // performances. Require within 2.5 dB of each dedicated gain.
+        let (da, dp) = baselines();
+        let ra = reconfig(MixerMode::Active);
+        let rp = reconfig(MixerMode::Passive);
+        let d_a = da.model.conv_gain_db(2.45e9, 5e6) - ra.conv_gain_db(2.45e9, 5e6);
+        let d_p = dp.model.conv_gain_db(2.45e9, 5e6) - rp.conv_gain_db(2.45e9, 5e6);
+        assert!(d_a.abs() < 2.5, "active penalty {d_a:.2} dB");
+        assert!(d_p.abs() < 2.5, "passive penalty {d_p:.2} dB");
+    }
+
+    #[test]
+    fn two_radio_power_exceeds_reconfigurable() {
+        let (da, dp) = baselines();
+        // Even with only 10 % standby leakage on the idle radio, two
+        // dedicated radios burn more than the reconfigurable circuit in
+        // either mode.
+        let two_radio = da.two_radio_power_mw(dp, 0.1);
+        let rec = reconfig(MixerMode::Active).power_mw();
+        assert!(
+            two_radio > rec,
+            "two radios {two_radio:.2} mW vs reconfigurable {rec:.2} mW"
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Mixer configuration: mode control and design parameters.
+//!
+//! All geometry/bias values default to the calibration that lands the
+//! paper's operating points (see DESIGN.md §4): ~9.3 mW from 1.2 V with
+//! the TIA's 3.3 mA only spent in passive mode.
+
+/// Operating mode of the reconfigurable mixer (the paper's Vlogic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixerMode {
+    /// Gilbert-cell mode: common-source Gm devices + tail source (switch
+    /// 7 on), transmission-gate loads to VDD, TIA powered down (p3 off).
+    Active,
+    /// Current-commutating mode: TCA current routed through PMOS switches
+    /// Mp1/Mp2 (switch 1-2 on, doubling as degeneration resistance) into
+    /// the quad; TIA powered (p3 on), TG loads off (switches 3-4 off).
+    Passive,
+}
+
+impl MixerMode {
+    /// The control-logic level: `Vlogic` low (0 V) selects passive —
+    /// PMOS Mp1/Mp2 conduct; high (VDD) selects active.
+    pub fn vlogic(self, vdd: f64) -> f64 {
+        match self {
+            MixerMode::Active => vdd,
+            MixerMode::Passive => 0.0,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MixerMode::Active => "active",
+            MixerMode::Passive => "passive",
+        }
+    }
+}
+
+/// Full design parameters of the reconfigurable down-converter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixerConfig {
+    /// NMOS process model used for every N device (swap for corner/PVT
+    /// studies — see [`crate::corners`]).
+    pub nmos: remix_circuit::MosModel,
+    /// PMOS process model used for every P device.
+    pub pmos: remix_circuit::MosModel,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Source resistance of the RF port per side (Ω) — the balun's 50 Ω.
+    pub rs: f64,
+    /// Input termination per side (Ω): the paper's "RF balun using 50 ohm
+    /// input impedance termination". Halves the port voltage and sets the
+    /// classic matched-input noise floor.
+    pub input_term_r: f64,
+    /// LO amplitude at the quad gates (V peak, sine before limiting).
+    pub lo_amplitude: f64,
+    /// LO common-mode at the quad gates (V).
+    pub lo_common: f64,
+
+    // --- TCA (Fig. 3) ---
+    /// TCA NMOS width (m).
+    pub tca_wn: f64,
+    /// TCA PMOS width (m).
+    pub tca_wp: f64,
+    /// TCA channel length (m).
+    pub tca_l: f64,
+    /// TCA output common-mode (VDD/2 per the paper).
+    pub tca_vcm: f64,
+    /// TCA output load to the common-mode reference (Ω): the CMFB
+    /// sensing/bias network that defines the output common mode. Sets the
+    /// TCA's realized voltage gain together with `rout`.
+    pub tca_rload: f64,
+
+    // --- Gm devices Mn1/Mn2 (active mode; switch 5-6) ---
+    /// Gm MOS width (m).
+    pub gm_w: f64,
+    /// Gm MOS length (m).
+    pub gm_l: f64,
+    /// Gate bias of the Gm devices in active mode (V) — the paper's gain
+    /// tuning knob ("The Gm of MOS Mn1 and Mn2 can be changed by changing
+    /// the value of bias voltage").
+    pub gm_bias: f64,
+    /// Tail current source (switch 7) value (A).
+    pub tail_current: f64,
+    /// Tail device (switch 7) width (m).
+    pub tail_w: f64,
+    /// Tail device (switch 7) length (m).
+    pub tail_l: f64,
+    /// Current-bleeding fraction in active mode: this share of each
+    /// side's tail current is injected into the IF nodes by PMOS bleed
+    /// sources so the TG load carries only the remainder at DC — the
+    /// standard trick that reconciles a large load resistance with 1.2 V
+    /// of headroom (without it the reported gain is unreachable; see
+    /// DESIGN.md substitutions).
+    pub bleed_frac: f64,
+
+    // --- Switching quad ---
+    /// Quad NMOS width (m).
+    pub quad_w: f64,
+    /// Quad NMOS length (m).
+    pub quad_l: f64,
+
+    // --- PMOS mode switches Mp1/Mp2 (switch 1-2) ---
+    /// Width (m); chosen for the desired passive-mode degeneration
+    /// resistance Rdeg.
+    pub sw12_w: f64,
+    /// Length (m).
+    pub sw12_l: f64,
+
+    // --- TG load (Fig. 5(b)) and Cc ---
+    /// Target TG load resistance (Ω) — sets active-mode gain.
+    pub tg_load_r: f64,
+    /// Compensation / LPF capacitor Cc (F).
+    pub cc: f64,
+
+    // --- TIA (Fig. 7) ---
+    /// Feedback resistance RF (Ω) — sets passive-mode gain (eq. 3).
+    pub tia_rf: f64,
+    /// Feedback capacitance CF (F) — sets the IF low-pass corner.
+    pub tia_cf: f64,
+    /// OTA first-stage bias current (A).
+    pub ota_i1: f64,
+    /// OTA second-stage bias current (A).
+    pub ota_i2: f64,
+
+    // --- Coupling / parasitics ---
+    /// Series input coupling capacitance per side (F); with the ~100 Ω
+    /// differential port it sets the receiver's low band edge.
+    pub input_couple_c: f64,
+    /// Coupling capacitance from the TCA output to the Gm-device gates
+    /// (F) — with `gm_bias_r` it forms the *active-mode* extra high-pass
+    /// (the reason the paper's active band starts at 1 GHz vs 0.5 GHz
+    /// passive).
+    pub gm_couple_c: f64,
+    /// Gm-gate bias resistance (Ω).
+    pub gm_bias_r: f64,
+    /// Lumped layout parasitic at internal high-impedance nodes (F);
+    /// dominates the upper band edge together with the TCA output
+    /// resistance (the paper's C_PAR discussion, §II).
+    pub node_parasitic_c: f64,
+}
+
+impl Default for MixerConfig {
+    fn default() -> Self {
+        MixerConfig {
+            nmos: remix_circuit::MosModel::nmos_65nm(),
+            pmos: remix_circuit::MosModel::pmos_65nm(),
+            vdd: 1.2,
+            rs: 50.0,
+            input_term_r: 50.0,
+            lo_amplitude: 0.6,
+            lo_common: 0.6,
+
+            // N/P ratio balances the inverter's pull-up and pull-down at
+            // the VDD/2 common mode (kp and vth differ between flavours).
+            tca_wn: 13e-6,
+            tca_wp: 37e-6,
+            tca_l: 65e-9,
+            tca_vcm: 0.6,
+            tca_rload: 1.35e3,
+
+            gm_w: 40e-6,
+            gm_l: 65e-9,
+            gm_bias: 0.62,
+            tail_current: 2.0e-3,
+            tail_w: 60e-6,
+            tail_l: 130e-9,
+            bleed_frac: 0.7,
+
+            quad_w: 12e-6,
+            quad_l: 65e-9,
+
+            sw12_w: 15e-6,
+            sw12_l: 65e-9,
+
+            tg_load_r: 620.0,
+            cc: 17.1e-12,
+
+            tia_rf: 3.4e3,
+            tia_cf: 3.1e-12,
+            ota_i1: 0.6e-3,
+            ota_i2: 1.05e-3,
+
+            input_couple_c: 3.2e-12,
+            gm_couple_c: 160e-15,
+            gm_bias_r: 1.0e3,
+            node_parasitic_c: 10e-15,
+        }
+    }
+}
+
+impl MixerConfig {
+    /// IF low-pass corner set by the TIA feedback: `1/(2π·RF·CF)`.
+    pub fn tia_corner_hz(&self) -> f64 {
+        1.0 / (2.0 * std::f64::consts::PI * self.tia_rf * self.tia_cf)
+    }
+
+    /// Validates physical plausibility of the parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive geometry/bias values — these are
+    /// programming errors, not recoverable conditions.
+    pub fn assert_valid(&self) {
+        assert!(self.vdd > 0.0 && self.vdd <= 3.3, "vdd out of range");
+        assert!(self.rs > 0.0);
+        assert!(self.input_term_r > 0.0);
+        assert!(self.lo_amplitude > 0.0 && self.lo_common >= 0.0);
+        for (name, v) in [
+            ("tca_wn", self.tca_wn),
+            ("tca_wp", self.tca_wp),
+            ("tca_l", self.tca_l),
+            ("tca_rload", self.tca_rload),
+            ("gm_w", self.gm_w),
+            ("gm_l", self.gm_l),
+            ("quad_w", self.quad_w),
+            ("quad_l", self.quad_l),
+            ("sw12_w", self.sw12_w),
+            ("sw12_l", self.sw12_l),
+            ("tg_load_r", self.tg_load_r),
+            ("cc", self.cc),
+            ("tia_rf", self.tia_rf),
+            ("tia_cf", self.tia_cf),
+            ("tail_current", self.tail_current),
+            ("tail_w", self.tail_w),
+            ("tail_l", self.tail_l),
+            ("ota_i1", self.ota_i1),
+            ("ota_i2", self.ota_i2),
+            ("input_couple_c", self.input_couple_c),
+            ("gm_couple_c", self.gm_couple_c),
+            ("gm_bias_r", self.gm_bias_r),
+            ("node_parasitic_c", self.node_parasitic_c),
+        ] {
+            assert!(v > 0.0 && v.is_finite(), "{name} must be positive, got {v}");
+        }
+        assert!(
+            self.gm_bias > 0.0 && self.gm_bias < self.vdd,
+            "gm_bias must sit inside the rails"
+        );
+        assert!(
+            (0.0..0.95).contains(&self.bleed_frac),
+            "bleed_frac must be in [0, 0.95)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        MixerConfig::default().assert_valid();
+    }
+
+    #[test]
+    fn vlogic_levels() {
+        assert_eq!(MixerMode::Active.vlogic(1.2), 1.2);
+        assert_eq!(MixerMode::Passive.vlogic(1.2), 0.0);
+        assert_eq!(MixerMode::Active.label(), "active");
+        assert_eq!(MixerMode::Passive.label(), "passive");
+    }
+
+    #[test]
+    fn tia_corner_default_near_10mhz() {
+        // RF = 6 kΩ, CF = 2.65 pF → ~10 MHz: passes a 5 MHz IF while
+        // anti-aliasing above (paper: "RF and CF value is set according
+        // to IF frequency").
+        let c = MixerConfig::default();
+        let f = c.tia_corner_hz();
+        assert!(f > 5e6 && f < 20e6, "corner = {f:.3e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gm_bias")]
+    fn bias_outside_rails_rejected() {
+        let cfg = MixerConfig {
+            gm_bias: 2.0,
+            ..MixerConfig::default()
+        };
+        cfg.assert_valid();
+    }
+}

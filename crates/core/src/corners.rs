@@ -1,0 +1,208 @@
+//! Process / voltage / temperature (PVT) corner analysis.
+//!
+//! The paper reports a single typical-corner simulation; a production
+//! design review would ask how the reconfigurable mixer behaves at the
+//! classic five process corners and over temperature. Corners scale the
+//! device models (`kp`, `vt0`, flicker) with standard first-order laws and
+//! re-run the *entire* extraction flow — nothing is special-cased.
+
+use crate::config::MixerConfig;
+use remix_circuit::MosModel;
+
+/// The five classic process corners (NMOS letter first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessCorner {
+    /// Typical/typical.
+    Tt,
+    /// Fast/fast.
+    Ff,
+    /// Slow/slow.
+    Ss,
+    /// Fast NMOS / slow PMOS.
+    Fs,
+    /// Slow NMOS / fast PMOS.
+    Sf,
+}
+
+impl ProcessCorner {
+    /// All five corners in conventional order.
+    pub fn all() -> [ProcessCorner; 5] {
+        [
+            ProcessCorner::Tt,
+            ProcessCorner::Ff,
+            ProcessCorner::Ss,
+            ProcessCorner::Fs,
+            ProcessCorner::Sf,
+        ]
+    }
+
+    /// Label as printed in corner tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcessCorner::Tt => "TT",
+            ProcessCorner::Ff => "FF",
+            ProcessCorner::Ss => "SS",
+            ProcessCorner::Fs => "FS",
+            ProcessCorner::Sf => "SF",
+        }
+    }
+
+    /// `(nmos_fast, pmos_fast)` as signed speed signs (+1 fast, −1 slow,
+    /// 0 typical).
+    fn signs(self) -> (f64, f64) {
+        match self {
+            ProcessCorner::Tt => (0.0, 0.0),
+            ProcessCorner::Ff => (1.0, 1.0),
+            ProcessCorner::Ss => (-1.0, -1.0),
+            ProcessCorner::Fs => (1.0, -1.0),
+            ProcessCorner::Sf => (-1.0, 1.0),
+        }
+    }
+}
+
+/// A full PVT point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Process corner.
+    pub process: ProcessCorner,
+    /// Junction temperature (°C).
+    pub temp_c: f64,
+    /// Supply voltage (V); `None` keeps the config's nominal.
+    pub vdd: Option<f64>,
+}
+
+impl Corner {
+    /// Typical corner at 27 °C, nominal supply.
+    pub fn typical() -> Self {
+        Corner {
+            process: ProcessCorner::Tt,
+            temp_c: 27.0,
+            vdd: None,
+        }
+    }
+
+    /// The conventional worst-speed point (SS, hot, low supply).
+    pub fn slow_hot(vdd_drop: f64) -> impl Fn(&MixerConfig) -> Corner {
+        move |cfg| Corner {
+            process: ProcessCorner::Ss,
+            temp_c: 85.0,
+            vdd: Some(cfg.vdd - vdd_drop),
+        }
+    }
+
+    fn scale_model(m: &MosModel, fast_sign: f64, temp_c: f64) -> MosModel {
+        let t = temp_c + 273.15;
+        let t0 = 300.0;
+        let mut out = m.clone();
+        // Process: ±10 % kp, ∓30 mV vt0 at the fast/slow extremes.
+        out.kp *= 1.0 + 0.10 * fast_sign;
+        out.vt0 -= 0.030 * fast_sign;
+        // Temperature: mobility ∝ T^−1.5, |vt| drops ~1 mV/K.
+        out.kp *= (t / t0).powf(-1.5);
+        out.vt0 -= 1.0e-3 * (t - t0);
+        // Hot devices flicker a little more (trap activation).
+        out.kf *= 1.0 + 0.005 * (t - t0);
+        out
+    }
+
+    /// Produces a configuration with corner-scaled device models (and
+    /// supply, if overridden).
+    pub fn apply(&self, base: &MixerConfig) -> MixerConfig {
+        let (sn, sp) = self.process.signs();
+        MixerConfig {
+            nmos: Self::scale_model(&base.nmos, sn, self.temp_c),
+            pmos: Self::scale_model(&base.pmos, sp, self.temp_c),
+            vdd: self.vdd.unwrap_or(base.vdd),
+            ..base.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ExtractedParams, MixerModel};
+    use crate::MixerMode;
+
+    #[test]
+    fn corner_scaling_laws() {
+        let base = MixerConfig::default();
+        let ff = Corner {
+            process: ProcessCorner::Ff,
+            temp_c: 27.0,
+            vdd: None,
+        }
+        .apply(&base);
+        assert!(ff.nmos.kp > base.nmos.kp);
+        assert!(ff.nmos.vt0 < base.nmos.vt0);
+        assert!(ff.pmos.kp > base.pmos.kp);
+
+        let hot = Corner {
+            process: ProcessCorner::Tt,
+            temp_c: 85.0,
+            vdd: None,
+        }
+        .apply(&base);
+        assert!(hot.nmos.kp < base.nmos.kp, "mobility falls when hot");
+        assert!(hot.nmos.vt0 < base.nmos.vt0, "threshold falls when hot");
+        assert!(hot.nmos.kf > base.nmos.kf);
+
+        let tt27 = Corner::typical().apply(&base);
+        assert!((tt27.nmos.kp - base.nmos.kp).abs() < 1e-3 * base.nmos.kp);
+    }
+
+    #[test]
+    fn cross_corner_asymmetry() {
+        let base = MixerConfig::default();
+        let fs = Corner {
+            process: ProcessCorner::Fs,
+            temp_c: 27.0,
+            vdd: None,
+        }
+        .apply(&base);
+        assert!(fs.nmos.kp > base.nmos.kp);
+        assert!(fs.pmos.kp < base.pmos.kp);
+    }
+
+    /// The expensive but decisive test: the design's key orderings hold
+    /// at the speed extremes, not just at TT.
+    #[test]
+    fn orderings_hold_at_speed_corners() {
+        let base = MixerConfig::default();
+        for process in [ProcessCorner::Ff, ProcessCorner::Ss] {
+            let cfg = Corner {
+                process,
+                temp_c: 27.0,
+                vdd: None,
+            }
+            .apply(&base);
+            let params = ExtractedParams::extract(&cfg).expect("corner extraction");
+            let a = MixerModel::new(cfg.clone(), MixerMode::Active, params.clone());
+            let p = MixerModel::new(cfg, MixerMode::Passive, params);
+            let label = process.label();
+            assert!(
+                a.conv_gain_db(2.45e9, 5e6) > p.conv_gain_db(2.45e9, 5e6),
+                "{label}: active gain must stay above passive"
+            );
+            assert!(
+                p.iip3_dbm() > a.iip3_dbm() + 10.0,
+                "{label}: passive linearity advantage must survive"
+            );
+            assert!(
+                a.nf_db(5e6) < p.nf_db(5e6) + 0.5,
+                "{label}: active NF must not fall behind passive"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_hot_supply_droop() {
+        let base = MixerConfig::default();
+        let worst = Corner::slow_hot(0.1)(&base).apply(&base);
+        assert!((worst.vdd - 1.1).abs() < 1e-12);
+        assert_eq!(
+            Corner::slow_hot(0.1)(&base).process,
+            ProcessCorner::Ss
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Monte-Carlo mismatch analysis.
+//!
+//! The paper's "IIP2 > 65 dBm for both cases" rests on differential
+//! symmetry: with perfect matching, even-order products are common-mode
+//! and cancel. Real dies mismatch; Pelgrom-style σ(ΔVt) and σ(Δβ/β)
+//! applied to the TCA halves leave a residual second-order term whose size
+//! sets the achievable IIP2. This module perturbs the *device models* of
+//! the two halves, re-extracts each half's large-signal polynomial from
+//! the transistor level, and reports the distribution of resulting IIP2.
+
+use crate::config::MixerConfig;
+use crate::tca::{build_tca_half, TcaHalf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use remix_analysis::{dc_sweep, AnalysisError, OpOptions};
+use remix_circuit::{Circuit, MosModel, Waveform};
+use remix_dsp::units::{vpeak_to_dbm, Z0};
+use remix_numerics::polyfit;
+use remix_rfkit::Poly3;
+
+/// Mismatch magnitudes (1-σ) applied independently to each device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MismatchConfig {
+    /// Threshold-voltage mismatch σ (V) — Pelgrom: `A_vt/√(WL)`, a few mV
+    /// for µm-scale RF devices.
+    pub sigma_vt: f64,
+    /// Relative β (kp) mismatch σ.
+    pub sigma_kp_frac: f64,
+    /// Number of Monte-Carlo samples.
+    pub n_runs: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for MismatchConfig {
+    fn default() -> Self {
+        MismatchConfig {
+            sigma_vt: 2.0e-3,
+            sigma_kp_frac: 0.005,
+            n_runs: 30,
+            seed: 0xD1E5,
+        }
+    }
+}
+
+fn perturb(model: &MosModel, rng: &mut StdRng, mm: &MismatchConfig) -> MosModel {
+    let mut out = model.clone();
+    let gauss = |rng: &mut StdRng| -> f64 {
+        // Box–Muller.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    out.vt0 += mm.sigma_vt * gauss(rng);
+    out.kp *= 1.0 + mm.sigma_kp_frac * gauss(rng);
+    out
+}
+
+/// Extracts the large-signal polynomial of one (possibly perturbed) TCA
+/// half via a DC sweep of the clamped fixture.
+fn half_poly(cfg: &MixerConfig) -> Result<Poly3, AnalysisError> {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(cfg.vdd));
+    ckt.add_vsource("vin", vin, Circuit::gnd(), Waveform::Dc(cfg.tca_vcm));
+    let probe = ckt.add_vsource("vprobe", out, Circuit::gnd(), Waveform::Dc(cfg.tca_vcm));
+    let _: TcaHalf = build_tca_half(&mut ckt, "tca", vin, out, vdd, cfg);
+    let dv = 0.05;
+    let n_pts = 15;
+    let values: Vec<f64> = (0..n_pts)
+        .map(|k| cfg.tca_vcm - dv + 2.0 * dv * k as f64 / (n_pts - 1) as f64)
+        .collect();
+    let sweep = dc_sweep(&ckt, "vin", &values, &OpOptions::default())?;
+    let x: Vec<f64> = values.iter().map(|v| v - cfg.tca_vcm).collect();
+    let i: Vec<f64> = sweep.points.iter().map(|p| p.branch_current(probe)).collect();
+    let c = polyfit(&x, &i, 3).map_err(AnalysisError::Singular)?;
+    Ok(Poly3 {
+        a1: c[1],
+        a2: c[2],
+        a3: c[3],
+    })
+}
+
+/// One Monte-Carlo IIP2 sample (dBm at the EMF).
+///
+/// The differential pair's residual even-order coefficient is the
+/// *difference* of the halves' `a2` (their common part cancels); the
+/// intercept follows as `|a1_avg/Δa2|`, referred through the termination
+/// divider.
+fn iip2_sample(
+    base: &MixerConfig,
+    rng: &mut StdRng,
+    mm: &MismatchConfig,
+) -> Result<f64, AnalysisError> {
+    let cfg_p = MixerConfig {
+        nmos: perturb(&base.nmos, rng, mm),
+        pmos: perturb(&base.pmos, rng, mm),
+        ..base.clone()
+    };
+    let cfg_n = MixerConfig {
+        nmos: perturb(&base.nmos, rng, mm),
+        pmos: perturb(&base.pmos, rng, mm),
+        ..base.clone()
+    };
+    let pp = half_poly(&cfg_p)?;
+    let pn = half_poly(&cfg_n)?;
+    let a1 = 0.5 * (pp.a1.abs() + pn.a1.abs());
+    let da2 = (pp.a2 - pn.a2).abs().max(1e-12);
+    let d = base.input_term_r / (base.rs + base.input_term_r);
+    let a_iip2_emf = (a1 / da2) / d;
+    Ok(vpeak_to_dbm(a_iip2_emf, Z0))
+}
+
+/// Runs the Monte-Carlo IIP2 study; returns one IIP2 (dBm) per sample,
+/// sorted ascending.
+///
+/// # Errors
+///
+/// Propagates analysis errors from any sample.
+pub fn iip2_distribution(
+    base: &MixerConfig,
+    mm: &MismatchConfig,
+) -> Result<Vec<f64>, AnalysisError> {
+    let mut rng = StdRng::seed_from_u64(mm.seed);
+    let mut out = Vec::with_capacity(mm.n_runs);
+    for _ in 0..mm.n_runs {
+        out.push(iip2_sample(base, &mut rng, mm)?);
+    }
+    out.sort_by(f64::total_cmp);
+    Ok(out)
+}
+
+/// Summary statistics of a sorted distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistSummary {
+    /// Smallest sample.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Summarizes a sorted sample vector.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn summarize(sorted: &[f64]) -> DistSummary {
+    assert!(!sorted.is_empty());
+    DistSummary {
+        min: sorted[0],
+        median: sorted[sorted.len() / 2],
+        max: sorted[sorted.len() - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iip2_distribution_quantifies_matching_requirement() {
+        // A finding the single-simulation paper cannot show: with raw
+        // Pelgrom-scale mismatch (σ_vt = 2 mV) the *median* die sits near
+        // 57 dBm — the paper's "> 65 dBm" needs common-centroid-quality
+        // matching (σ_vt ≲ 1 mV), where the median clears the line.
+        let raw = MismatchConfig {
+            n_runs: 6,
+            ..MismatchConfig::default()
+        };
+        let dist = iip2_distribution(&MixerConfig::default(), &raw).unwrap();
+        assert_eq!(dist.len(), 6);
+        let s = summarize(&dist);
+        assert!(s.min > 45.0, "worst sample {:.1} dBm", s.min);
+        assert!(s.median > 52.0, "median {:.1} dBm", s.median);
+        assert!(s.min <= s.median && s.median <= s.max);
+
+        let matched = MismatchConfig {
+            sigma_vt: 0.7e-3,
+            sigma_kp_frac: 0.002,
+            n_runs: 6,
+            seed: raw.seed,
+        };
+        let dist2 = iip2_distribution(&MixerConfig::default(), &matched).unwrap();
+        let s2 = summarize(&dist2);
+        assert!(
+            s2.median > 65.0,
+            "well-matched median {:.1} dBm should clear the paper's line",
+            s2.median
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mm = MismatchConfig {
+            n_runs: 3,
+            ..MismatchConfig::default()
+        };
+        let a = iip2_distribution(&MixerConfig::default(), &mm).unwrap();
+        let b = iip2_distribution(&MixerConfig::default(), &mm).unwrap();
+        assert_eq!(a, b);
+        let mm2 = MismatchConfig { seed: 1, ..mm };
+        let c = iip2_distribution(&MixerConfig::default(), &mm2).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn more_mismatch_less_iip2() {
+        let tight = MismatchConfig {
+            sigma_vt: 0.5e-3,
+            sigma_kp_frac: 0.001,
+            n_runs: 8,
+            seed: 7,
+        };
+        let loose = MismatchConfig {
+            sigma_vt: 8.0e-3,
+            sigma_kp_frac: 0.02,
+            n_runs: 8,
+            seed: 7,
+        };
+        let base = MixerConfig::default();
+        let dt = summarize(&iip2_distribution(&base, &tight).unwrap());
+        let dl = summarize(&iip2_distribution(&base, &loose).unwrap());
+        assert!(
+            dt.median > dl.median,
+            "tight {:.1} vs loose {:.1}",
+            dt.median,
+            dl.median
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Transconductance amplifier (paper Fig. 3).
+//!
+//! A fully differential CMOS (inverter-style) transconductor: each side is
+//! an NMOS/PMOS pair sharing gate (input) and drain (output), converting
+//! the RF voltage to a current with `gm = gm_n + gm_p` — reusing bias
+//! current for both polarities, which is why this topology is preferred at
+//! 1.2 V. The common mode is designed at VDD/2 for maximum swing (paper
+//! §II-A).
+//!
+//! [`characterize`] extracts the behavioral parameters used by the
+//! cascade model — gm, output resistance, parasitic output capacitance
+//! (the paper's C_PAR), input-referred noise, and a cubic polynomial for
+//! nonlinearity — from DC/AC/noise analyses of the transistor-level cell.
+
+use crate::config::MixerConfig;
+use remix_analysis::{
+    ac_sweep, dc_operating_point, dc_sweep, output_noise, AnalysisError, OpOptions,
+};
+use remix_circuit::{Circuit, ElementId, Node, Waveform};
+use remix_numerics::polyfit;
+use remix_rfkit::Poly3;
+
+/// Handles to one built TCA half.
+#[derive(Debug, Clone)]
+pub struct TcaHalf {
+    /// NMOS device id.
+    pub nmos: ElementId,
+    /// PMOS device id.
+    pub pmos: ElementId,
+}
+
+/// Adds one TCA half (inverter transconductor) to a circuit.
+///
+/// `input` is the gate node, `output` the shared drain node.
+pub fn build_tca_half(
+    ckt: &mut Circuit,
+    prefix: &str,
+    input: Node,
+    output: Node,
+    vdd: Node,
+    cfg: &MixerConfig,
+) -> TcaHalf {
+    let nmos = ckt.add_mosfet(
+        &format!("{prefix}_n"),
+        cfg.nmos.clone(),
+        cfg.tca_wn,
+        cfg.tca_l,
+        output,
+        input,
+        Circuit::gnd(),
+        Circuit::gnd(),
+    );
+    let pmos = ckt.add_mosfet(
+        &format!("{prefix}_p"),
+        cfg.pmos.clone(),
+        cfg.tca_wp,
+        cfg.tca_l,
+        output,
+        input,
+        vdd,
+        vdd,
+    );
+    TcaHalf { nmos, pmos }
+}
+
+/// Extracted behavioral parameters of the TCA (per half; differential
+/// quantities are identical for a balanced pair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcaParams {
+    /// Transconductance `gm_n + gm_p` (S).
+    pub gm: f64,
+    /// Output resistance `1/(gds_n + gds_p)` (Ω).
+    pub rout: f64,
+    /// Output parasitic capacitance C_PAR (F).
+    pub cout: f64,
+    /// Open-load voltage-gain pole `1/(2π·rout·cout)` (Hz).
+    pub pole_hz: f64,
+    /// Cubic large-signal transconductance polynomial: output current
+    /// (A) vs input voltage deviation from bias (V). `a1 ≈ −gm` (sign
+    /// from the inverting topology).
+    pub poly: Poly3,
+    /// Input-referred white-noise voltage PSD (V²/Hz), measured at 50 MHz
+    /// (above the flicker corners).
+    pub en2_white: f64,
+    /// Bias current of the half (A).
+    pub bias_current: f64,
+}
+
+impl TcaParams {
+    /// IIP3 of the transconductor alone, as input peak amplitude (V).
+    pub fn a_iip3(&self) -> Option<f64> {
+        self.poly.a_iip3()
+    }
+}
+
+/// Builds the standalone characterization fixture: one TCA half with its
+/// gate driven by a bias source and the output clamped to `vcm` by a
+/// zero-impedance probe (measuring the short-circuit output current).
+fn fixture(cfg: &MixerConfig) -> (Circuit, Node, ElementId) {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(cfg.vdd));
+    ckt.add_vsource_ac("vin", vin, Circuit::gnd(), Waveform::Dc(cfg.tca_vcm), 1.0, 0.0);
+    let probe = ckt.add_vsource("vprobe", out, Circuit::gnd(), Waveform::Dc(cfg.tca_vcm));
+    build_tca_half(&mut ckt, "tca", vin, out, vdd, cfg);
+    (ckt, out, probe)
+}
+
+/// Characterizes the TCA against its transistor-level netlist.
+///
+/// # Errors
+///
+/// Propagates analysis errors (non-convergence, singular systems).
+pub fn characterize(cfg: &MixerConfig) -> Result<TcaParams, AnalysisError> {
+    cfg.assert_valid();
+    let opts = OpOptions::default();
+
+    // --- Small-signal parameters from the OP of the clamped fixture ---
+    let (ckt, _out, probe) = fixture(cfg);
+    let op = dc_operating_point(&ckt, &opts)?;
+    let nmos_id = ckt.find_element("tca_n").expect("nmos");
+    let pmos_id = ckt.find_element("tca_p").expect("pmos");
+    let evn = *op.mos_eval(nmos_id).expect("nmos eval");
+    let evp = *op.mos_eval(pmos_id).expect("pmos eval");
+    let gm = evn.gm + evp.gm;
+    let rout = 1.0 / (evn.gds + evp.gds);
+    let bias_current = evn.id.abs();
+
+    // Output capacitance: cgd + cdb of both devices (gate is AC-driven,
+    // so cgd Miller-multiplies in voltage mode; as a current-output cell
+    // the plain sum is the C_PAR that loads the switching stage).
+    let capsn = op.mos_caps[nmos_id.index()].expect("caps");
+    let capsp = op.mos_caps[pmos_id.index()].expect("caps");
+    let cout = capsn.cgd + capsn.cdb + capsp.cgd + capsp.cdb;
+    let pole_hz = 1.0 / (2.0 * std::f64::consts::PI * rout * cout);
+
+    // --- Large-signal polynomial from a DC input sweep ---
+    // Sweep the gate ±60 mV around bias and record the probe's branch
+    // current (short-circuit output current).
+    let dv = 0.06;
+    let n_pts = 25;
+    let values: Vec<f64> = (0..n_pts)
+        .map(|k| cfg.tca_vcm - dv + 2.0 * dv * k as f64 / (n_pts - 1) as f64)
+        .collect();
+    let sweep = dc_sweep(&ckt, "vin", &values, &opts)?;
+    let x: Vec<f64> = values.iter().map(|v| v - cfg.tca_vcm).collect();
+    let i_out: Vec<f64> = sweep
+        .points
+        .iter()
+        .map(|p| p.branch_current(probe))
+        .collect();
+    let coeffs = polyfit(&x, &i_out, 3).map_err(AnalysisError::Singular)?;
+    let poly = Poly3 {
+        a1: coeffs[1],
+        a2: coeffs[2],
+        a3: coeffs[3],
+    };
+
+    // --- Noise: output current noise → input-referred voltage noise ---
+    // With the output clamped, the noise current flows into the probe;
+    // measure instead with a resistive load = rout to get voltage noise,
+    // then refer to input by the realized gain.
+    let mut ckt_n = Circuit::new();
+    let vddn = ckt_n.node("vdd");
+    let vinn = ckt_n.node("in");
+    let outn = ckt_n.node("out");
+    ckt_n.add_vsource("vdd", vddn, Circuit::gnd(), Waveform::Dc(cfg.vdd));
+    ckt_n.add_vsource_ac("vin", vinn, Circuit::gnd(), Waveform::Dc(cfg.tca_vcm), 1.0, 0.0);
+    // Noiseless ideal load: a VCCS emulating a conductance would be
+    // noiseless, but a plain resistor adds 4kT/R — subtract analytically
+    // instead (simpler: use a resistor far larger than rout so its noise
+    // and loading are negligible, and take the gain from AC).
+    ckt_n.add_resistor("rl", outn, Circuit::gnd(), 100.0 * rout);
+    build_tca_half(&mut ckt_n, "tca", vinn, outn, vddn, cfg);
+    let opn = dc_operating_point(&ckt_n, &opts)?;
+    // Measure above the device flicker corners: this extracts the white
+    // floor (TCA low-frequency noise is commutated away from the IF).
+    let f_meas = 50e6;
+    let acr = ac_sweep(&ckt_n, &opn, &[f_meas])?;
+    let av = acr.voltage(0, outn).abs();
+    let nr = output_noise(&ckt_n, &opn, outn, Circuit::gnd(), &[f_meas])?;
+    let en2_white = nr.total[0] / (av * av);
+
+    Ok(TcaParams {
+        gm,
+        rout,
+        cout,
+        pole_hz,
+        poly,
+        en2_white,
+        bias_current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TcaParams {
+        characterize(&MixerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn gm_in_design_range() {
+        let p = params();
+        // Inverter gm at ~1.5-2.5 mA per half in 65 nm: several mS.
+        assert!(p.gm > 5e-3 && p.gm < 80e-3, "gm = {}", p.gm);
+    }
+
+    #[test]
+    fn bias_current_near_target() {
+        // Power budget: TCA ≈ 4.4 mA total → ~2.2 mA per half.
+        let p = params();
+        assert!(
+            p.bias_current > 0.5e-3 && p.bias_current < 5e-3,
+            "i = {} mA",
+            p.bias_current * 1e3
+        );
+    }
+
+    #[test]
+    fn poly_linear_term_matches_gm() {
+        let p = params();
+        // |a1| should equal gm closely (both are ∂i/∂v at bias).
+        assert!(
+            (p.poly.a1.abs() - p.gm).abs() < 0.05 * p.gm,
+            "a1 {} vs gm {}",
+            p.poly.a1,
+            p.gm
+        );
+        // Inverting: NMOS pulls down when input rises.
+        assert!(p.poly.a1 < 0.0);
+    }
+
+    #[test]
+    fn nonlinearity_is_finite_and_compressive() {
+        let p = params();
+        let a = p.a_iip3().expect("cubic term present");
+        // IIP3 of a bare short-channel transconductor: hundreds of mV.
+        assert!(a > 0.05 && a < 10.0, "a_iip3 = {a}");
+    }
+
+    #[test]
+    fn rout_and_pole() {
+        let p = params();
+        assert!(p.rout > 100.0 && p.rout < 100e3, "rout = {}", p.rout);
+        // C_PAR minimized by design: pole well above the 5.5 GHz band
+        // top is not required (it is the band-limiting pole), but it must
+        // be in the GHz range.
+        assert!(p.pole_hz > 0.5e9, "pole = {:.3e}", p.pole_hz);
+        assert!(p.cout > 1e-15 && p.cout < 1e-12, "cout = {:.3e}", p.cout);
+    }
+
+    #[test]
+    fn input_noise_density_nv_range() {
+        let p = params();
+        let en = p.en2_white.sqrt();
+        // nV/√Hz scale for a multi-mS transconductor.
+        assert!(en > 0.1e-9 && en < 10e-9, "en = {en:.3e}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Transmission-gate load sizing (paper Fig. 5(b)).
+//!
+//! The active-mode load is a TG "connected between VDD and IF output ...
+//! W/L of PMOS and NMOS is chosen so that some voltage drop occurs across
+//! it and act as a resistance. Rtot = R_PMOS ∥ R_NMOS." Because the IF
+//! node sits near VDD, the NMOS (gate at VDD) has almost no `vgs` and the
+//! PMOS (gate at 0, source at VDD) dominates — sizing accounts for that.
+
+use remix_circuit::{MosModel, TgSizing};
+
+/// Sizes a TG *load to VDD* for the target resistance at a pass voltage
+/// `v_pass` (the IF common mode, typically `vdd − I·R`).
+///
+/// # Panics
+///
+/// Panics unless `0 < v_pass < vdd` and the target is positive.
+pub fn size_tg_load(
+    n: &MosModel,
+    p: &MosModel,
+    target_r: f64,
+    vdd: f64,
+    v_pass: f64,
+    l: f64,
+) -> TgSizing {
+    assert!(target_r > 0.0 && target_r.is_finite());
+    assert!(v_pass > 0.0 && v_pass < vdd);
+    let (vth_n, _) = n.threshold(0.0);
+    let (vth_p, _) = p.threshold(0.0);
+    // PMOS: source at vdd, gate at 0 → overdrive = vdd − vth_p.
+    let ov_p = vdd - vth_p;
+    // NMOS: gate at vdd, channel near v_pass → overdrive may be ≤ 0.
+    let ov_n = (vdd - v_pass - vth_n).max(0.0);
+    let g_target = 1.0 / target_r;
+    if ov_n <= 0.0 {
+        // PMOS carries everything (θ-corrected triode conductance).
+        let wp = g_target * l * (1.0 + p.theta * ov_p) / (p.kp * ov_p);
+        TgSizing {
+            wn: wp / 2.0, // keep the NMOS present per the topology
+            wp,
+            l,
+        }
+    } else {
+        // Split by available overdrives.
+        let g_half = g_target / 2.0;
+        TgSizing {
+            wn: g_half * l * (1.0 + n.theta * ov_n) / (n.kp * ov_n),
+            wp: g_half * l * (1.0 + p.theta * ov_p) / (p.kp * ov_p),
+            l,
+        }
+    }
+}
+
+/// Conductance of a TG load at the given pass voltage (triode estimate).
+pub fn tg_load_conductance(
+    n: &MosModel,
+    p: &MosModel,
+    sizing: &TgSizing,
+    vdd: f64,
+    v_pass: f64,
+) -> f64 {
+    let (vth_n, _) = n.threshold(0.0);
+    let (vth_p, _) = p.threshold(0.0);
+    let mut g = 0.0;
+    let ov_n = vdd - v_pass - vth_n;
+    if ov_n > 0.0 {
+        g += n.kp * (sizing.wn / sizing.l) * ov_n / (1.0 + n.theta * ov_n);
+    }
+    let ov_p = vdd - vth_p;
+    if ov_p > 0.0 {
+        g += p.kp * (sizing.wp / sizing.l) * ov_p / (1.0 + p.theta * ov_p);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nm() -> MosModel {
+        MosModel::nmos_65nm()
+    }
+    fn pm() -> MosModel {
+        MosModel::pmos_65nm()
+    }
+
+    #[test]
+    fn sized_load_hits_target_near_vdd() {
+        // IF common mode 0.8 V (0.4 V drop): NMOS nearly off.
+        let s = size_tg_load(&nm(), &pm(), 800.0, 1.2, 0.8, 65e-9);
+        let g = tg_load_conductance(&nm(), &pm(), &s, 1.2, 0.8);
+        let r = 1.0 / g;
+        assert!((r - 800.0).abs() < 0.15 * 800.0, "r = {r}");
+    }
+
+    #[test]
+    fn lower_target_means_wider() {
+        let s1 = size_tg_load(&nm(), &pm(), 1600.0, 1.2, 0.8, 65e-9);
+        let s2 = size_tg_load(&nm(), &pm(), 400.0, 1.2, 0.8, 65e-9);
+        assert!(s2.wp > s1.wp);
+    }
+
+    #[test]
+    fn midrail_pass_uses_both_devices() {
+        let s = size_tg_load(&nm(), &pm(), 500.0, 1.2, 0.5, 65e-9);
+        // At v_pass = 0.5 the NMOS has overdrive and is sized meaningfully.
+        assert!(s.wn > 0.0 && s.wp > 0.0);
+        let g = tg_load_conductance(&nm(), &pm(), &s, 1.2, 0.5);
+        assert!((1.0 / g - 500.0).abs() < 0.15 * 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "v_pass")]
+    fn bad_pass_voltage_rejected() {
+        let _ = size_tg_load(&nm(), &pm(), 500.0, 1.2, 1.5, 65e-9);
+    }
+}

@@ -1,0 +1,222 @@
+//! Power spectral density estimation.
+//!
+//! The Monte-Carlo transient-noise path measures output noise by estimating
+//! the PSD of simulated waveforms; noise figure then follows from the PSD
+//! at the IF. Welch's method (averaged, windowed, overlapped periodograms)
+//! is the standard estimator for that job.
+
+use crate::fft::{fft_real, is_power_of_two};
+use crate::window::Window;
+
+/// A one-sided PSD estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Psd {
+    /// Bin frequencies (Hz), length `nfft/2 + 1`.
+    pub freqs: Vec<f64>,
+    /// Power spectral density (V²/Hz for voltage input).
+    pub values: Vec<f64>,
+}
+
+impl Psd {
+    /// PSD value linearly interpolated at frequency `f` (clamped to range).
+    pub fn at(&self, f: f64) -> f64 {
+        remix_numerics::interp::lerp(&self.freqs, &self.values, f)
+    }
+
+    /// Total power (V²) by trapezoidal integration over `[f_lo, f_hi]`.
+    pub fn integrate(&self, f_lo: f64, f_hi: f64) -> f64 {
+        let mut total = 0.0;
+        for i in 1..self.freqs.len() {
+            let (f0, f1) = (self.freqs[i - 1], self.freqs[i]);
+            if f1 < f_lo || f0 > f_hi {
+                continue;
+            }
+            let a = f0.max(f_lo);
+            let b = f1.min(f_hi);
+            let va = self.at(a);
+            let vb = self.at(b);
+            total += 0.5 * (va + vb) * (b - a);
+        }
+        total
+    }
+}
+
+/// Single-segment periodogram with the given window.
+///
+/// Returns a one-sided PSD in V²/Hz, normalized so that integrating the
+/// PSD over frequency recovers the signal variance (for zero-mean input).
+///
+/// # Panics
+///
+/// Panics if `signal.len()` is not a power of two or `fs <= 0`.
+pub fn periodogram(signal: &[f64], fs: f64, window: Window) -> Psd {
+    let n = signal.len();
+    assert!(is_power_of_two(n), "periodogram length must be a power of two");
+    assert!(fs > 0.0, "sample rate must be positive");
+    let w = window.samples(n);
+    let windowed: Vec<f64> = signal.iter().zip(&w).map(|(x, wi)| x * wi).collect();
+    let spec = fft_real(&windowed);
+    // Window power normalization: U = Σw².
+    let u: f64 = w.iter().map(|v| v * v).sum();
+    let scale = 1.0 / (fs * u);
+    let half = n / 2;
+    let mut freqs = Vec::with_capacity(half + 1);
+    let mut values = Vec::with_capacity(half + 1);
+    for (k, z) in spec.iter().take(half + 1).enumerate() {
+        freqs.push(k as f64 * fs / n as f64);
+        let mut p = z.abs_sq() * scale;
+        if k != 0 && k != half {
+            p *= 2.0; // fold negative frequencies
+        }
+        values.push(p);
+    }
+    Psd { freqs, values }
+}
+
+/// Welch's method: averaged periodograms of `segment_len`-sample segments
+/// with 50 % overlap.
+///
+/// # Panics
+///
+/// Panics if `segment_len` is not a power of two, larger than the signal,
+/// or `fs <= 0`.
+pub fn welch(signal: &[f64], fs: f64, segment_len: usize, window: Window) -> Psd {
+    assert!(
+        is_power_of_two(segment_len),
+        "segment length must be a power of two"
+    );
+    assert!(
+        segment_len <= signal.len(),
+        "segment longer than signal ({} > {})",
+        segment_len,
+        signal.len()
+    );
+    let hop = segment_len / 2;
+    let mut acc: Option<Psd> = None;
+    let mut count = 0usize;
+    let mut start = 0usize;
+    while start + segment_len <= signal.len() {
+        let p = periodogram(&signal[start..start + segment_len], fs, window);
+        match &mut acc {
+            None => acc = Some(p),
+            Some(a) => {
+                for (av, pv) in a.values.iter_mut().zip(p.values.iter()) {
+                    *av += pv;
+                }
+            }
+        }
+        count += 1;
+        start += hop;
+    }
+    let mut psd = acc.expect("at least one segment");
+    for v in &mut psd.values {
+        *v /= count as f64;
+    }
+    psd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PI: f64 = std::f64::consts::PI;
+
+    /// Deterministic white-ish noise via an LCG (unit variance-ish).
+    fn pseudo_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // 32 high bits → uniform in [0, 2), recentred to [-1, 1).
+                (state >> 32) as f64 / (1u64 << 31) as f64 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tone_power_in_psd() {
+        // A = 1 sine: total power = A²/2 = 0.5 V².
+        let n = 4096;
+        let fs = 1.0e6;
+        let k0 = 128;
+        let f0 = k0 as f64 * fs / n as f64;
+        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * f0 * i as f64 / fs).sin()).collect();
+        let psd = periodogram(&x, fs, Window::Rectangular);
+        let total = psd.integrate(0.0, fs / 2.0);
+        assert!((total - 0.5).abs() < 1e-6, "total = {total}");
+    }
+
+    #[test]
+    fn white_noise_flat_and_integrates_to_variance() {
+        let n = 1 << 15;
+        let x = pseudo_noise(n, 42);
+        let var = remix_numerics::stats::variance(&x);
+        let fs = 2.0e6;
+        let psd = welch(&x, fs, 1024, Window::Hann);
+        let total = psd.integrate(0.0, fs / 2.0);
+        assert!(
+            (total - var).abs() < 0.1 * var,
+            "integrated {total} vs variance {var}"
+        );
+        // Flatness: middle-band average close to overall average.
+        let mid: f64 = psd.values[100..400].iter().sum::<f64>() / 300.0;
+        let avg: f64 = psd.values[1..512].iter().sum::<f64>() / 511.0;
+        assert!((mid / avg - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn psd_at_interpolates() {
+        let psd = Psd {
+            freqs: vec![0.0, 1.0, 2.0],
+            values: vec![0.0, 10.0, 20.0],
+        };
+        assert_eq!(psd.at(0.5), 5.0);
+        assert_eq!(psd.at(5.0), 20.0); // clamped
+    }
+
+    #[test]
+    fn integrate_partial_band() {
+        let psd = Psd {
+            freqs: vec![0.0, 1.0, 2.0],
+            values: vec![1.0, 1.0, 1.0],
+        };
+        assert!((psd.integrate(0.0, 2.0) - 2.0).abs() < 1e-12);
+        assert!((psd.integrate(0.5, 1.5) - 1.0).abs() < 1e-12);
+        assert_eq!(psd.integrate(5.0, 6.0), 0.0);
+    }
+
+    #[test]
+    fn welch_reduces_variance_of_estimate() {
+        let n = 1 << 14;
+        let x = pseudo_noise(n, 7);
+        let fs = 1.0;
+        let single = periodogram(&x[..4096], fs, Window::Hann);
+        let avged = welch(&x, fs, 256, Window::Hann);
+        // Estimator variance: spread of log-values around the mean level.
+        let spread = |p: &Psd| {
+            let vals = &p.values[2..p.values.len() - 2];
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v / mean - 1.0).powi(2)).sum::<f64>() / vals.len() as f64
+        };
+        assert!(
+            spread(&avged) < spread(&single),
+            "welch {} vs single {}",
+            spread(&avged),
+            spread(&single)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_length() {
+        let _ = periodogram(&[0.0; 100], 1.0, Window::Hann);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment longer than signal")]
+    fn welch_rejects_long_segment() {
+        let _ = welch(&[0.0; 64], 1.0, 128, Window::Hann);
+    }
+}

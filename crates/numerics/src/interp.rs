@@ -1,0 +1,188 @@
+//! 1-D interpolation over sorted grids.
+//!
+//! Sweep post-processing (finding the −3 dB band edge of a gain curve,
+//! reading a noise-figure curve at 5 MHz, …) interpolates simulated points.
+
+/// Linear interpolation of `y(xq)` on a strictly increasing grid `x`.
+///
+/// Values outside the grid are clamped to the endpoints (flat
+/// extrapolation), which is the conservative choice for measured sweeps.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length, are empty, or `x` is not
+/// strictly increasing.
+pub fn lerp(x: &[f64], y: &[f64], xq: f64) -> f64 {
+    validate(x, y);
+    if xq <= x[0] {
+        return y[0];
+    }
+    if xq >= x[x.len() - 1] {
+        return y[y.len() - 1];
+    }
+    let i = upper_index(x, xq);
+    let t = (xq - x[i - 1]) / (x[i] - x[i - 1]);
+    y[i - 1] + t * (y[i] - y[i - 1])
+}
+
+/// Interpolation that is linear in `log10(x)` — natural for frequency
+/// sweeps plotted on log axes.
+///
+/// # Panics
+///
+/// As [`lerp`], plus requires strictly positive `x` and `xq`.
+pub fn lerp_logx(x: &[f64], y: &[f64], xq: f64) -> f64 {
+    validate(x, y);
+    assert!(
+        xq > 0.0 && x[0] > 0.0,
+        "log-x interpolation requires positive abscissae"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.log10()).collect();
+    lerp(&lx, y, xq.log10())
+}
+
+/// First `x` where the linearly interpolated curve crosses `level`,
+/// scanning left to right. Returns `None` if it never crosses.
+///
+/// Used to find band edges (e.g. gain − 3 dB) and corner frequencies.
+pub fn first_crossing(x: &[f64], y: &[f64], level: f64) -> Option<f64> {
+    validate(x, y);
+    for i in 1..x.len() {
+        let (y0, y1) = (y[i - 1], y[i]);
+        if (y0 - level) == 0.0 {
+            return Some(x[i - 1]);
+        }
+        if (y0 - level) * (y1 - level) < 0.0 {
+            let t = (level - y0) / (y1 - y0);
+            return Some(x[i - 1] + t * (x[i] - x[i - 1]));
+        }
+    }
+    if (y[y.len() - 1] - level) == 0.0 {
+        return Some(x[x.len() - 1]);
+    }
+    None
+}
+
+/// Last `x` where the curve crosses `level` (scanning right to left).
+pub fn last_crossing(x: &[f64], y: &[f64], level: f64) -> Option<f64> {
+    validate(x, y);
+    for i in (1..x.len()).rev() {
+        let (y0, y1) = (y[i - 1], y[i]);
+        if (y1 - level) == 0.0 {
+            return Some(x[i]);
+        }
+        if (y0 - level) * (y1 - level) < 0.0 {
+            let t = (level - y0) / (y1 - y0);
+            return Some(x[i - 1] + t * (x[i] - x[i - 1]));
+        }
+    }
+    if (y[0] - level) == 0.0 {
+        return Some(x[0]);
+    }
+    None
+}
+
+/// Index of the maximum value (first occurrence) together with the value.
+pub fn argmax(y: &[f64]) -> (usize, f64) {
+    assert!(!y.is_empty(), "argmax of empty slice");
+    let mut bi = 0;
+    let mut bv = y[0];
+    for (i, &v) in y.iter().enumerate().skip(1) {
+        if v > bv {
+            bv = v;
+            bi = i;
+        }
+    }
+    (bi, bv)
+}
+
+fn validate(x: &[f64], y: &[f64]) {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    assert!(!x.is_empty(), "empty grid");
+    assert!(
+        x.windows(2).all(|w| w[0] < w[1]),
+        "grid must be strictly increasing"
+    );
+}
+
+/// Smallest index `i` with `x[i] >= xq` (binary search).
+fn upper_index(x: &[f64], xq: f64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = x.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if x[mid] < xq {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_hits_knots_and_midpoints() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 10.0, 40.0];
+        assert_eq!(lerp(&x, &y, 0.0), 0.0);
+        assert_eq!(lerp(&x, &y, 1.0), 10.0);
+        assert_eq!(lerp(&x, &y, 0.5), 5.0);
+        assert_eq!(lerp(&x, &y, 1.5), 25.0);
+    }
+
+    #[test]
+    fn lerp_clamps_outside() {
+        let x = [1.0, 2.0];
+        let y = [3.0, 4.0];
+        assert_eq!(lerp(&x, &y, 0.0), 3.0);
+        assert_eq!(lerp(&x, &y, 5.0), 4.0);
+    }
+
+    #[test]
+    fn log_interp_decade_symmetry() {
+        // y linear in log10(x): y = log10(x).
+        let x = [1.0, 10.0, 100.0];
+        let y = [0.0, 1.0, 2.0];
+        let v = lerp_logx(&x, &y, 31.622776601683793); // 10^1.5
+        assert!((v - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_detection() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [0.0, 2.0, 2.0, -2.0];
+        // First upward crossing of 1.0 between x=0 and x=1 at 0.5.
+        assert_eq!(first_crossing(&x, &y, 1.0), Some(0.5));
+        // Last crossing of 1.0 on the falling edge between 2 and 3: 2.25.
+        assert_eq!(last_crossing(&x, &y, 1.0), Some(2.25));
+        // Never crosses 5.
+        assert_eq!(first_crossing(&x, &y, 5.0), None);
+    }
+
+    #[test]
+    fn band_edge_use_case() {
+        // A gain curve flat at 29 dB from 1..5 GHz with roll-offs; −3 dB
+        // edges recovered by crossings.
+        let x = [0.5e9, 1.0e9, 3.0e9, 5.0e9, 6.0e9];
+        let y = [20.0, 29.0, 29.0, 29.0, 20.0];
+        let lo = first_crossing(&x, &y, 26.0).unwrap();
+        let hi = last_crossing(&x, &y, 26.0).unwrap();
+        assert!(lo > 0.5e9 && lo < 1.0e9);
+        assert!(hi > 5.0e9 && hi < 6.0e9);
+    }
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0, 5.0]), (1, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_grid() {
+        let _ = lerp(&[0.0, 0.0], &[1.0, 2.0], 0.5);
+    }
+}

@@ -1,0 +1,540 @@
+//! Sparse matrices for MNA systems.
+//!
+//! Circuit matrices are structurally sparse (a node touches only its
+//! neighbours), and the sparsity pattern is fixed across Newton iterations
+//! and time steps — only the values change. This module provides:
+//!
+//! * [`TripletMatrix`] — a coordinate-format accumulator that element stamps
+//!   write into;
+//! * [`CsrMatrix`] — compressed sparse row storage with fast mat-vec;
+//! * [`SparseLu`] — an LU factorization with threshold partial pivoting,
+//!   operating on row linked-lists with a scattered working row (the
+//!   classic right-looking "GP"-style elimination).
+//!
+//! The sparse solver is validated against the dense one in tests and by
+//! property tests at the crate boundary.
+
+use crate::dense::DenseMatrix;
+use crate::lu::FactorError;
+use crate::scalar::Scalar;
+
+/// Coordinate-format (COO) sparse matrix accumulator.
+///
+/// Duplicate entries are *summed* on conversion, which makes it a natural
+/// target for MNA stamping.
+///
+/// # Examples
+///
+/// ```
+/// use remix_numerics::{TripletMatrix, CsrMatrix};
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // accumulates
+/// t.push(1, 1, 5.0);
+/// let csr: CsrMatrix<f64> = t.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// assert_eq!(csr.nnz(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TripletMatrix<T> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> TripletMatrix<T> {
+    /// Creates an empty accumulator of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Appends a contribution to entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn push(&mut self, r: usize, c: usize, v: T) {
+        assert!(r < self.rows && c < self.cols, "triplet out of bounds");
+        self.entries.push((r, c, v));
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn raw_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops all entries, retaining capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Converts to CSR, summing duplicates and dropping explicit zeros is
+    /// *not* done (structural zeros are kept so patterns stay stable).
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by_key(|a| (a.0, a.1));
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<T> = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in sorted {
+            if last == Some((r, c)) {
+                let n = values.len();
+                values[n - 1] += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Converts to a dense matrix (test/debug helper).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.entries {
+            m.add_at(r, c, v);
+        }
+        m
+    }
+}
+
+/// Compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(r, c)`, zero if not stored.
+    pub fn get(&self, r: usize, c: usize) -> T {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        match self.col_idx[lo..hi].binary_search(&c) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => T::zero(),
+        }
+    }
+
+    /// Iterates over `(col, value)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mat_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mat_vec");
+        let mut y = vec![T::zero(); self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = T::zero();
+            for (c, v) in self.row(r) {
+                acc += v * x[c];
+            }
+            *yr = acc;
+        }
+        y
+    }
+
+    /// Converts to dense (test/debug helper).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+}
+
+/// Sparse LU factorization with threshold partial pivoting.
+///
+/// Rows are held as sorted `(col, value)` vectors; elimination scatters the
+/// current row into a dense working buffer, updates, and gathers back. For
+/// the matrix sizes the simulator produces (≲ a few hundred unknowns) this
+/// is both simple and fast, while preserving sparsity where it exists.
+#[derive(Debug, Clone)]
+pub struct SparseLu<T> {
+    n: usize,
+    /// Unit-lower-triangular factors: `lower[i]` holds the `(col, mult)`
+    /// multipliers of permuted row `i` (all with `col < i`). The lists are
+    /// swapped together with the rows during pivoting so they stay attached
+    /// to the correct (permuted) row.
+    lower: Vec<Vec<(usize, T)>>,
+    /// Upper-triangular rows (sorted by column, diagonal first).
+    upper: Vec<Vec<(usize, T)>>,
+    /// Row permutation applied to the RHS.
+    perm: Vec<usize>,
+}
+
+/// Pivot tolerance relative to the largest candidate in the column.
+const PIVOT_THRESHOLD: f64 = 1e-3;
+/// Magnitude below which an eliminated fill-in entry is dropped.
+const DROP_TOL: f64 = 0.0; // keep everything: exactness over speed
+
+impl<T: Scalar> SparseLu<T> {
+    /// Factors a CSR matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::NotSquare`] / [`FactorError::NotFinite`] /
+    /// [`FactorError::Singular`] as for the dense factorization.
+    pub fn factor(a: &CsrMatrix<T>) -> Result<Self, FactorError> {
+        if a.rows() != a.cols() {
+            return Err(FactorError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if !a.values.iter().all(|v| v.is_finite_scalar()) {
+            return Err(FactorError::NotFinite);
+        }
+        let n = a.rows();
+        let scale = a
+            .values
+            .iter()
+            .map(|v| v.magnitude())
+            .fold(0.0, f64::max)
+            .max(f64::MIN_POSITIVE);
+
+        // Mutable row storage.
+        let mut rows: Vec<Vec<(usize, T)>> = (0..n).map(|r| a.row(r).collect()).collect();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut lower: Vec<Vec<(usize, T)>> = vec![Vec::new(); n];
+        let mut upper: Vec<Vec<(usize, T)>> = vec![Vec::new(); n];
+
+        // Dense scatter buffer reused per eliminated row.
+        let mut work = vec![T::zero(); n];
+        let mut pattern: Vec<usize> = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // --- pivot selection among rows k..n having an entry in col k ---
+            // Threshold partial pivoting: among rows whose candidate pivot is
+            // within PIVOT_THRESHOLD of the column maximum, choose the
+            // sparsest (a cheap Markowitz-style fill heuristic). Two passes
+            // keep the logic obviously correct.
+            let candidates: Vec<(usize, f64, usize)> = rows
+                .iter()
+                .enumerate()
+                .skip(k)
+                .filter_map(|(ri, row)| {
+                    row.binary_search_by_key(&k, |e| e.0)
+                        .ok()
+                        .map(|pos| (ri, row[pos].1.magnitude(), row.len()))
+                        .filter(|&(_, m, _)| m > 0.0)
+                })
+                .collect();
+            let max_mag = candidates.iter().map(|c| c.1).fold(0.0, f64::max);
+            let best_row = candidates
+                .iter()
+                .filter(|c| c.1 >= PIVOT_THRESHOLD * max_mag)
+                .min_by_key(|c| c.2)
+                .map(|c| c.0)
+                .unwrap_or(usize::MAX);
+            let best_mag = max_mag;
+            if best_row == usize::MAX || best_mag <= 1e-13 * scale {
+                return Err(FactorError::Singular { step: k });
+            }
+            rows.swap(k, best_row);
+            perm.swap(k, best_row);
+            lower.swap(k, best_row);
+
+            // --- extract pivot row into U ---
+            let pivot_row = std::mem::take(&mut rows[k]);
+            let pivot_pos = pivot_row
+                .binary_search_by_key(&k, |e| e.0)
+                .expect("pivot entry must exist");
+            let pivot_val = pivot_row[pivot_pos].1;
+
+            // --- eliminate column k from all remaining rows ---
+            for ri in (k + 1)..n {
+                let Ok(pos) = rows[ri].binary_search_by_key(&k, |e| e.0) else {
+                    continue;
+                };
+                let mult = rows[ri][pos].1 / pivot_val;
+                lower[ri].push((k, mult));
+
+                // Scatter target row.
+                pattern.clear();
+                for &(c, v) in &rows[ri] {
+                    if c != k {
+                        work[c] = v;
+                        pattern.push(c);
+                    }
+                }
+                // Subtract mult * pivot_row (entries beyond column k).
+                for &(c, v) in &pivot_row[pivot_pos + 1..] {
+                    let delta = mult * v;
+                    if work[c] == T::zero() && !pattern.contains(&c) {
+                        pattern.push(c);
+                    }
+                    work[c] -= delta;
+                }
+                // Gather back, sorted.
+                pattern.sort_unstable();
+                let mut new_row = Vec::with_capacity(pattern.len());
+                for &c in &pattern {
+                    let v = work[c];
+                    work[c] = T::zero();
+                    if v.magnitude() > DROP_TOL {
+                        new_row.push((c, v));
+                    }
+                }
+                rows[ri] = new_row;
+            }
+
+            upper[k] = pivot_row[pivot_pos..].to_vec();
+        }
+
+        Ok(SparseLu {
+            n,
+            lower,
+            upper,
+            perm,
+        })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries in L plus U (fill measure).
+    pub fn fill_nnz(&self) -> usize {
+        self.lower.iter().map(Vec::len).sum::<usize>()
+            + self.upper.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::NotFinite`] if `b` contains non-finite values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, FactorError> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        if !b.iter().all(|v| v.is_finite_scalar()) {
+            return Err(FactorError::NotFinite);
+        }
+        let mut x: Vec<T> = (0..self.n).map(|i| b[self.perm[i]]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 0..self.n {
+            let mut acc = x[i];
+            for &(k, mult) in &self.lower[i] {
+                acc -= mult * x[k];
+            }
+            x[i] = acc;
+        }
+        // Backward with U.
+        for i in (0..self.n).rev() {
+            let row = &self.upper[i];
+            let mut acc = x[i];
+            for &(c, v) in &row[1..] {
+                acc -= v * x[c];
+            }
+            x[i] = acc / row[0].1;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::dense::vecops;
+    use crate::lu::solve_dense;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    }
+
+    #[test]
+    fn triplet_accumulates_duplicates() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(1, 1, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 1, -1.0);
+        let csr = t.to_csr();
+        assert_eq!(csr.get(1, 1), 5.0);
+        assert_eq!(csr.get(0, 1), -1.0);
+        assert_eq!(csr.get(0, 0), 0.0);
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplet_bounds_check() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(0, 1, 1.0);
+    }
+
+    #[test]
+    fn csr_mat_vec_matches_dense() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(0, 2, 1.0);
+        t.push(1, 1, -3.0);
+        t.push(2, 0, 4.0);
+        t.push(2, 2, 5.0);
+        let csr = t.to_csr();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(csr.mat_vec(&x), t.to_dense().mat_vec(&x));
+    }
+
+    #[test]
+    fn sparse_solve_matches_dense_random() {
+        let n = 20;
+        let mut state = 0xDEADBEEFu64;
+        // Sparse-ish random pattern with dominant diagonal.
+        let mut t = TripletMatrix::new(n, n);
+        for r in 0..n {
+            t.push(r, r, 5.0 + lcg(&mut state).abs());
+            for _ in 0..3 {
+                let c = ((lcg(&mut state).abs() * n as f64) as usize).min(n - 1);
+                t.push(r, c, lcg(&mut state));
+            }
+        }
+        let csr = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|_| lcg(&mut state)).collect();
+        let xs = SparseLu::factor(&csr).unwrap().solve(&b).unwrap();
+        let xd = solve_dense(&t.to_dense(), &b).unwrap();
+        for (a, b) in xs.iter().zip(xd.iter()) {
+            assert!((a - b).abs() < 1e-9, "sparse {a} vs dense {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_solve_requires_pivoting() {
+        // Zero diagonal head forces a permutation.
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 2, 1.0);
+        t.push(2, 2, 1.0);
+        let csr = t.to_csr();
+        let lu = SparseLu::factor(&csr).unwrap();
+        let b = [1.0, 5.0, 2.0];
+        let x = lu.solve(&b).unwrap();
+        let r = vecops::sub(&csr.mat_vec(&x), &b);
+        assert!(vecops::norm_inf(&r) < 1e-12, "residual {r:?}");
+    }
+
+    #[test]
+    fn sparse_singular_detected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 0.5);
+        t.push(1, 1, 1.0);
+        match SparseLu::factor(&t.to_csr()) {
+            Err(FactorError::Singular { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sparse_complex_solve() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, Complex::new(1.0, 1.0));
+        t.push(0, 1, Complex::ONE);
+        t.push(1, 1, Complex::new(0.0, 2.0));
+        let csr = t.to_csr();
+        let b = [Complex::new(2.0, 0.0), Complex::new(0.0, 4.0)];
+        let x = SparseLu::factor(&csr).unwrap().solve(&b).unwrap();
+        let ax = csr.mat_vec(&x);
+        for (l, r) in ax.iter().zip(b.iter()) {
+            assert!((*l - *r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fill_reported() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let lu = SparseLu::factor(&t.to_csr()).unwrap();
+        assert!(lu.fill_nnz() >= 3);
+        assert_eq!(lu.dim(), 2);
+    }
+
+    #[test]
+    fn csr_row_iteration_sorted() {
+        let mut t = TripletMatrix::new(1, 4);
+        t.push(0, 3, 3.0);
+        t.push(0, 1, 1.0);
+        let csr = t.to_csr();
+        let row: Vec<(usize, f64)> = csr.row(0).collect();
+        assert_eq!(row, vec![(1, 1.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn clear_resets_accumulator() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.clear();
+        assert_eq!(t.raw_len(), 0);
+        assert_eq!(t.to_csr().nnz(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Receiver budget reports.
+//!
+//! Renders a [`Cascade`] as the classic link-budget table — per-stage
+//! gain, cumulative gain, input-referred noise contribution, cumulative
+//! NF, and cumulative IIP3 — the format RF system reviews expect.
+
+use crate::blocks::Cascade;
+use crate::nonlin::cascade_a_iip3;
+use remix_circuit::consts::{BOLTZMANN, T0_NOISE};
+use remix_dsp::units::{vpeak_to_dbm, Z0};
+
+/// One row of a budget report (values *after* including this stage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetRow {
+    /// Stage name.
+    pub stage: String,
+    /// This stage's gain at the evaluation frequencies (dB).
+    pub gain_db: f64,
+    /// Cumulative gain through this stage (dB).
+    pub cum_gain_db: f64,
+    /// This stage's input-referred noise contribution (nV/√Hz).
+    pub noise_contrib_nv: f64,
+    /// Cumulative NF (dB) through this stage.
+    pub cum_nf_db: f64,
+    /// Cumulative IIP3 (dBm) through this stage (`None` while every
+    /// stage so far is linear).
+    pub cum_iip3_dbm: Option<f64>,
+}
+
+/// Computes the budget rows of a cascade at (`f_rf`, `f_if`) against a
+/// source resistance `rs`.
+pub fn budget_rows(cascade: &Cascade, f_rf: f64, f_if: f64, rs: f64) -> Vec<BudgetRow> {
+    let source = 4.0 * BOLTZMANN * T0_NOISE * rs;
+    let mut rows = Vec::new();
+    let mut cum_gain = 1.0;
+    let mut cum_noise = 0.0;
+    let mut nl_stages: Vec<(f64, Option<f64>)> = Vec::new();
+    for s in cascade.stages() {
+        let g = s.gain_at(s.own_frequency(f_rf, f_if));
+        let contrib = s.en2(f_if) / (cum_gain * cum_gain);
+        cum_noise += contrib;
+        nl_stages.push((s.gain, s.a_iip3));
+        cum_gain *= g;
+        let cum_iip3 = cascade_a_iip3(&nl_stages).map(|a| vpeak_to_dbm(a, Z0));
+        rows.push(BudgetRow {
+            stage: s.name.clone(),
+            gain_db: 20.0 * g.log10(),
+            cum_gain_db: 20.0 * cum_gain.log10(),
+            noise_contrib_nv: contrib.sqrt() * 1e9,
+            cum_nf_db: 10.0 * (1.0 + cum_noise / source).log10(),
+            cum_iip3_dbm: cum_iip3,
+        });
+    }
+    rows
+}
+
+/// Renders the budget as an aligned text table.
+pub fn budget_table(cascade: &Cascade, f_rf: f64, f_if: f64, rs: f64) -> String {
+    let rows = budget_rows(cascade, f_rf, f_if, rs);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>9} {:>10} {:>12} {:>9} {:>11}\n",
+        "stage", "gain(dB)", "cum(dB)", "noise(nV/√Hz)", "NF(dB)", "IIP3(dBm)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>9.2} {:>10.2} {:>12.3} {:>9.2} {:>11}\n",
+            r.stage,
+            r.gain_db,
+            r.cum_gain_db,
+            r.noise_contrib_nv,
+            r.cum_nf_db,
+            r.cum_iip3_dbm
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "—".into()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{SignalDomain, StageSpec};
+
+    fn demo_cascade() -> Cascade {
+        Cascade::new()
+            .stage(StageSpec {
+                name: "lna".into(),
+                gain: 10.0,
+                a_iip3: Some(0.3),
+                en2_white: 1e-18,
+                flicker_corner: 0.0,
+                pole: Some(6e9),
+                domain: SignalDomain::Rf,
+            })
+            .stage(StageSpec {
+                name: "mixer".into(),
+                gain: 2.0 / std::f64::consts::PI,
+                a_iip3: Some(1.0),
+                en2_white: 4e-18,
+                flicker_corner: 1e5,
+                pole: None,
+                domain: SignalDomain::If,
+            })
+            .stage(StageSpec {
+                name: "tia".into(),
+                gain: 5.0,
+                a_iip3: None,
+                en2_white: 9e-18,
+                flicker_corner: 1e4,
+                pole: Some(15e6),
+                domain: SignalDomain::If,
+            })
+    }
+
+    #[test]
+    fn cumulative_gain_is_product() {
+        let c = demo_cascade();
+        let rows = budget_rows(&c, 2.45e9, 5e6, 50.0);
+        assert_eq!(rows.len(), 3);
+        let total = rows.last().unwrap().cum_gain_db;
+        assert!((total - c.conv_gain_db(2.45e9, 5e6)).abs() < 1e-9);
+        // Monotone accumulation of per-stage dB.
+        let sum_db: f64 = rows.iter().map(|r| r.gain_db).sum();
+        assert!((sum_db - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn final_nf_matches_cascade() {
+        let c = demo_cascade();
+        let rows = budget_rows(&c, 2.45e9, 5e6, 50.0);
+        let nf_last = rows.last().unwrap().cum_nf_db;
+        assert!((nf_last - c.nf_db(2.45e9, 5e6, 50.0)).abs() < 1e-9);
+        // NF is non-decreasing through the chain.
+        for w in rows.windows(2) {
+            assert!(w[1].cum_nf_db >= w[0].cum_nf_db - 1e-12);
+        }
+    }
+
+    #[test]
+    fn final_iip3_matches_cascade() {
+        let c = demo_cascade();
+        let rows = budget_rows(&c, 2.45e9, 5e6, 50.0);
+        let ip_last = rows.last().unwrap().cum_iip3_dbm.unwrap();
+        assert!((ip_last - c.iip3_dbm().unwrap()).abs() < 1e-9);
+        // IIP3 only degrades (or holds) as stages accumulate.
+        let mut prev = f64::INFINITY;
+        for r in &rows {
+            if let Some(v) = r.cum_iip3_dbm {
+                assert!(v <= prev + 1e-9);
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let c = demo_cascade();
+        let t = budget_table(&c, 2.45e9, 5e6, 50.0);
+        assert!(t.contains("lna"));
+        assert!(t.contains("mixer"));
+        assert!(t.contains("tia"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn all_linear_chain_has_no_iip3() {
+        let c = Cascade::new().stage(StageSpec::ideal("wire", 1.0));
+        let rows = budget_rows(&c, 1e9, 1e6, 50.0);
+        assert!(rows[0].cum_iip3_dbm.is_none());
+        assert!(budget_table(&c, 1e9, 1e6, 50.0).contains('—'));
+    }
+}

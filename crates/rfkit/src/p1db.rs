@@ -1,0 +1,143 @@
+//! 1 dB compression point extraction.
+
+use remix_numerics::interp::lerp;
+use std::error::Error;
+use std::fmt;
+
+/// Extraction failure reasons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum P1dbError {
+    /// Fewer than three sweep points.
+    TooFewPoints {
+        /// Points provided.
+        got: usize,
+    },
+    /// The gain never drops 1 dB below its small-signal value within the
+    /// sweep range.
+    NoCompression {
+        /// Maximum observed gain drop (dB).
+        max_drop_db: f64,
+    },
+}
+
+impl fmt::Display for P1dbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            P1dbError::TooFewPoints { got } => {
+                write!(f, "p1db extraction needs at least 3 points, got {got}")
+            }
+            P1dbError::NoCompression { max_drop_db } => write!(
+                f,
+                "gain never compresses 1 dB within the sweep (max drop {max_drop_db:.2} dB)"
+            ),
+        }
+    }
+}
+
+impl Error for P1dbError {}
+
+/// Finds the input power (dBm) where gain has dropped exactly 1 dB below
+/// the small-signal gain, from swept `(pin_dbm, gain_db)` data.
+///
+/// The small-signal reference is the mean gain of the three
+/// lowest-power points.
+///
+/// # Errors
+///
+/// [`P1dbError::TooFewPoints`] or [`P1dbError::NoCompression`].
+pub fn extract_p1db(pin_dbm: &[f64], gain_db: &[f64]) -> Result<f64, P1dbError> {
+    assert_eq!(pin_dbm.len(), gain_db.len(), "length mismatch");
+    let n = pin_dbm.len();
+    if n < 3 {
+        return Err(P1dbError::TooFewPoints { got: n });
+    }
+    // Sort by input power.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| pin_dbm[a].total_cmp(&pin_dbm[b]));
+    let pins: Vec<f64> = order.iter().map(|&i| pin_dbm[i]).collect();
+    let gains: Vec<f64> = order.iter().map(|&i| gain_db[i]).collect();
+
+    let g0 = (gains[0] + gains[1] + gains[2]) / 3.0;
+    let target = g0 - 1.0;
+    // Gain drop curve (monotone for compressive DUTs past onset).
+    let drops: Vec<f64> = gains.iter().map(|g| g0 - g).collect();
+    let max_drop = drops.iter().cloned().fold(f64::MIN, f64::max);
+    if max_drop < 1.0 {
+        return Err(P1dbError::NoCompression {
+            max_drop_db: max_drop,
+        });
+    }
+    // First crossing of gain through target from above.
+    for i in 1..n {
+        if gains[i - 1] > target && gains[i] <= target {
+            // Linear interpolation in (gain, pin).
+            let t = (gains[i - 1] - target) / (gains[i - 1] - gains[i]);
+            return Ok(pins[i - 1] + t * (pins[i] - pins[i - 1]));
+        }
+    }
+    // Shouldn't reach here given max_drop ≥ 1, but fall back to lerp.
+    Ok(lerp(&drops, &pins, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonlin::Poly3;
+    use remix_dsp::units::{dbm_to_vpeak, Z0};
+
+    #[test]
+    fn matches_analytic_p1db() {
+        let p = Poly3::from_gain_and_iip3_dbm(10.0, 0.0);
+        let analytic = p.p1db_dbm().unwrap();
+        // Sweep gain via the describing function.
+        let pins: Vec<f64> = (0..60).map(|k| -40.0 + k as f64).collect();
+        let gains: Vec<f64> = pins
+            .iter()
+            .map(|&pin| {
+                let a = dbm_to_vpeak(pin, Z0);
+                20.0 * (p.tone_gain(a).abs()).log10()
+            })
+            .collect();
+        let measured = extract_p1db(&pins, &gains).unwrap();
+        assert!(
+            (measured - analytic).abs() < 0.3,
+            "measured {measured} vs analytic {analytic}"
+        );
+        // And the famous offset: IIP3 − P1dB ≈ 9.6 dB.
+        assert!((0.0 - measured - 9.64).abs() < 0.4);
+    }
+
+    #[test]
+    fn no_compression_detected() {
+        let pins = [-30.0, -20.0, -10.0, 0.0];
+        let gains = [10.0, 10.0, 9.9, 9.8];
+        assert!(matches!(
+            extract_p1db(&pins, &gains),
+            Err(P1dbError::NoCompression { .. })
+        ));
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert!(matches!(
+            extract_p1db(&[0.0, 1.0], &[1.0, 2.0]),
+            Err(P1dbError::TooFewPoints { got: 2 })
+        ));
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let pins = [0.0, -30.0, -10.0, -20.0, 5.0];
+        let gains = [7.0, 10.0, 9.5, 10.0, 5.0];
+        let p = extract_p1db(&pins, &gains).unwrap();
+        assert!(p > -20.0 && p < 5.0, "p1db = {p}");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(extract_p1db(&[0.0], &[0.0]).unwrap_err().to_string().contains("3 points"));
+        assert!(P1dbError::NoCompression { max_drop_db: 0.5 }
+            .to_string()
+            .contains("0.50"));
+    }
+}

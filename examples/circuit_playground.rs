@@ -1,0 +1,100 @@
+//! Circuit playground: use the simulation substrate directly — no mixer,
+//! just the SPICE-class engines — to characterize a common-source
+//! amplifier the way a designer would in any circuit simulator:
+//! operating point, transfer curve, AC response, output noise, transient
+//! step response.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example circuit_playground
+//! ```
+
+use remix::analysis::{
+    ac_sweep, dc_operating_point, dc_sweep, log_space, output_noise, transient, OpOptions,
+    TranOptions,
+};
+use remix::circuit::{Circuit, MosModel, Waveform};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 5 µm / 65 nm NMOS common-source stage with a 1 kΩ load.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let gate = ckt.node("gate");
+    let drain = ckt.node("drain");
+    ckt.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+    ckt.add_vsource_ac("vin", gate, Circuit::gnd(), Waveform::Dc(0.55), 1.0, 0.0);
+    ckt.add_resistor("rd", vdd, drain, 1e3);
+    ckt.add_capacitor("cl", drain, Circuit::gnd(), 50e-15);
+    let m1 = ckt.add_mosfet(
+        "m1",
+        MosModel::nmos_65nm(),
+        5e-6,
+        65e-9,
+        drain,
+        gate,
+        Circuit::gnd(),
+        Circuit::gnd(),
+    );
+
+    // --- operating point ---
+    let op = dc_operating_point(&ckt, &OpOptions::default())?;
+    let ev = op.mos_eval(m1).expect("m1 is a MOSFET");
+    println!("operating point:");
+    println!("  v(drain) = {:.3} V", op.voltage(drain));
+    println!(
+        "  id = {:.3} mA, gm = {:.2} mS, gds = {:.1} µS, region {:?}",
+        ev.id * 1e3,
+        ev.gm * 1e3,
+        ev.gds * 1e6,
+        ev.region
+    );
+
+    // --- DC transfer curve ---
+    let vals: Vec<f64> = (0..=12).map(|k| 0.1 * k as f64).collect();
+    let sweep = dc_sweep(&ckt, "vin", &vals, &OpOptions::default())?;
+    println!("\nDC transfer (vin → vout):");
+    for (vin, vout) in sweep.voltage_curve(drain) {
+        let bar = "#".repeat((vout * 30.0) as usize);
+        println!("  {vin:.1} V | {vout:6.3} V {bar}");
+    }
+
+    // --- AC response ---
+    let freqs = log_space(1e6, 100e9, 3);
+    let ac = ac_sweep(&ckt, &op, &freqs)?;
+    println!("\nAC magnitude at the drain (dB):");
+    for (i, &f) in freqs.iter().enumerate() {
+        let g = 20.0 * ac.voltage(i, drain).abs().log10();
+        println!("  {:>9.3e} Hz : {:6.1} dB", f, g);
+    }
+
+    // --- output noise ---
+    let nr = output_noise(&ckt, &op, drain, Circuit::gnd(), &[1e6])?;
+    println!(
+        "\noutput noise @1 MHz: {:.2} nV/√Hz (dominant: {})",
+        nr.total[0].sqrt() * 1e9,
+        nr.dominant_source(0).map(|(n, _)| n).unwrap_or("?")
+    );
+
+    // --- transient: gate step ---
+    let mut ckt2 = ckt.clone();
+    if let remix::circuit::Element::VoltageSource { wave, .. } =
+        ckt2.element_mut(ckt2.find_element("vin").unwrap())
+    {
+        *wave = Waveform::Pulse {
+            v1: 0.3,
+            v2: 0.8,
+            delay: 1e-9,
+            rise: 20e-12,
+            fall: 20e-12,
+            width: 3e-9,
+            period: f64::INFINITY,
+        };
+    }
+    let tr = transient(&ckt2, &TranOptions::new(6e-9, 5e-12))?;
+    let v = tr.voltage_waveform(drain);
+    let vmin = v.iter().cloned().fold(f64::MAX, f64::min);
+    let vmax = v.iter().cloned().fold(f64::MIN, f64::max);
+    println!("\ntransient gate step: drain swings {vmin:.3} V … {vmax:.3} V");
+    Ok(())
+}

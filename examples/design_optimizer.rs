@@ -1,0 +1,102 @@
+//! Design optimizer: re-target the reconfigurable mixer for a different
+//! specification using the extraction flow as the evaluation oracle.
+//!
+//! Scenario: a low-power IoT variant — trade conversion gain down to a
+//! 24 dB target while minimizing supply power, keeping NF ≤ 9.5 dB and
+//! the passive mode's gain within 1 dB of its paper value. Coordinate
+//! descent over three knobs (TCA width, tail current, TIA bias), each
+//! step re-running the transistor-level extraction.
+//!
+//! Run with (takes a minute — every candidate is a full extraction):
+//!
+//! ```text
+//! cargo run --release --example design_optimizer
+//! ```
+
+use remix::core::model::{ExtractedParams, MixerModel};
+use remix::core::{MixerConfig, MixerMode};
+
+#[derive(Debug, Clone, Copy)]
+struct Score {
+    cg_active: f64,
+    cg_passive: f64,
+    nf_active: f64,
+    power: f64,
+    /// Lower is better.
+    cost: f64,
+}
+
+fn evaluate(cfg: &MixerConfig) -> Option<Score> {
+    let params = ExtractedParams::extract(cfg).ok()?;
+    let a = MixerModel::new(cfg.clone(), MixerMode::Active, params.clone());
+    let p = MixerModel::new(cfg.clone(), MixerMode::Passive, params);
+    let cg_a = a.conv_gain_db(2.45e9, 5e6);
+    let cg_p = p.conv_gain_db(2.45e9, 5e6);
+    let nf_a = a.nf_db(5e6);
+    let power = 0.5 * (a.power_mw() + p.power_mw());
+    // Cost: power plus quadratic penalties on constraint misses.
+    let mut cost = power;
+    cost += (cg_a - 24.0).powi(2) * 0.5; // hit the 24 dB target
+    cost += (nf_a - 9.5).max(0.0).powi(2) * 4.0; // NF ceiling
+    cost += (cg_p - 25.5).abs().max(1.0).powi(2) - 1.0; // keep passive near nominal
+    Some(Score {
+        cg_active: cg_a,
+        cg_passive: cg_p,
+        nf_active: nf_a,
+        power,
+        cost,
+    })
+}
+
+fn main() {
+    let mut cfg = MixerConfig::default();
+    let mut best = evaluate(&cfg).expect("baseline evaluation");
+    println!("baseline: CGa {:.1} dB | CGp {:.1} dB | NFa {:.1} dB | P {:.2} mW | cost {:.2}\n",
+        best.cg_active, best.cg_passive, best.nf_active, best.power, best.cost);
+
+    // Knobs: (name, apply-factor).
+    let knobs: Vec<(&str, fn(&mut MixerConfig, f64))> = vec![
+        ("tca_width", |c, k| {
+            c.tca_wn *= k;
+            c.tca_wp *= k;
+        }),
+        ("tail_current", |c, k| c.tail_current *= k),
+        ("ota_bias", |c, k| {
+            c.ota_i1 *= k;
+            c.ota_i2 *= k;
+        }),
+        ("tg_load_r", |c, k| c.tg_load_r *= k),
+    ];
+
+    let mut step = 0.20;
+    for round in 0..3 {
+        println!("— round {} (step ±{:.0} %) —", round + 1, step * 100.0);
+        for (name, apply) in &knobs {
+            for &factor in &[1.0 + step, 1.0 - step] {
+                let mut candidate = cfg.clone();
+                apply(&mut candidate, factor);
+                if std::panic::catch_unwind(|| candidate.assert_valid()).is_err() {
+                    continue;
+                }
+                if let Some(score) = evaluate(&candidate) {
+                    if score.cost < best.cost {
+                        println!(
+                            "  {name} ×{factor:.2}: CGa {:.1} | NFa {:.1} | P {:.2} mW | cost {:.2}  ✓ accepted",
+                            score.cg_active, score.nf_active, score.power, score.cost
+                        );
+                        cfg = candidate;
+                        best = score;
+                    }
+                }
+            }
+        }
+        step *= 0.5;
+    }
+
+    println!("\noptimized: CGa {:.1} dB | CGp {:.1} dB | NFa {:.1} dB | P {:.2} mW",
+        best.cg_active, best.cg_passive, best.nf_active, best.power);
+    println!("knobs: tca_wn {:.1} µm | tail {:.2} mA | ota_i1 {:.2} mA | tg_load {:.0} Ω",
+        cfg.tca_wn * 1e6, cfg.tail_current * 1e3, cfg.ota_i1 * 1e3, cfg.tg_load_r);
+    println!("\nThe same extraction flow that reproduces the paper doubles as a");
+    println!("design-exploration oracle — the point of shipping it as a library.");
+}

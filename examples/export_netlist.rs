@@ -1,0 +1,49 @@
+//! Exports the full reconfigurable-mixer netlist as a SPICE deck and a
+//! Graphviz schematic — the artifacts an external reviewer would inspect.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example export_netlist
+//! ```
+//!
+//! Files land in `target/`: `mixer_active.cir`, `mixer_passive.cir`,
+//! `mixer_active.dot` (render with `dot -Tsvg`).
+
+use remix::circuit::{from_spice, to_dot, to_spice};
+use remix::core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
+use remix::core::{MixerConfig, MixerMode};
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mixer = ReconfigurableMixer::new(MixerConfig::default());
+    fs::create_dir_all("target")?;
+
+    for mode in [MixerMode::Active, MixerMode::Passive] {
+        let (ckt, _) = mixer.build(mode, &RfDrive::Bias, &LoDrive::sine(2.4e9));
+        let deck = to_spice(&ckt, &format!("remix reconfigurable mixer — {} mode", mode.label()));
+        let path = format!("target/mixer_{}.cir", mode.label());
+        fs::write(&path, &deck)?;
+        println!(
+            "{path}: {} elements, {} nodes, {} lines",
+            ckt.element_count(),
+            ckt.node_count(),
+            deck.lines().count()
+        );
+        // Prove the deck is self-consistent by re-importing it.
+        let back = from_spice(&deck)?;
+        assert_eq!(back.element_count(), ckt.element_count());
+    }
+
+    let (ckt, _) = mixer.build(MixerMode::Active, &RfDrive::Bias, &LoDrive::sine(2.4e9));
+    let dot = to_dot(&ckt, "remix reconfigurable mixer (active)");
+    fs::write("target/mixer_active.dot", &dot)?;
+    println!("target/mixer_active.dot: {} lines (render: dot -Tsvg)", dot.lines().count());
+
+    println!("\nfirst lines of the active-mode deck:");
+    let deck = to_spice(&ckt, "preview");
+    for line in deck.lines().take(12) {
+        println!("  {line}");
+    }
+    Ok(())
+}

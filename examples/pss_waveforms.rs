@@ -1,0 +1,67 @@
+//! Periodic-steady-state waveform viewer: computes the mixer's PSS under
+//! LO drive and renders one LO period of the interesting node voltages as
+//! ASCII oscillograms — the picture a designer stares at when debugging
+//! commutation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example pss_waveforms
+//! ```
+
+use remix::analysis::{periodic_steady_state, PssOptions};
+use remix::core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
+use remix::core::{MixerConfig, MixerMode};
+
+fn oscillogram(label: &str, w: &[f64]) -> String {
+    let lo = w.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = w.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let mut rows = vec![String::new(); 8];
+    for &v in w {
+        let lvl = (((v - lo) / span) * 7.0).round() as usize;
+        for (r, row) in rows.iter_mut().enumerate() {
+            row.push(if 7 - r == lvl { '#' } else { ' ' });
+        }
+    }
+    let mut out = format!("{label}: {lo:.3} V … {hi:.3} V\n");
+    for row in rows {
+        out.push_str("  |");
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mixer = ReconfigurableMixer::new(MixerConfig::default());
+    let f_lo = 0.48e9;
+    for mode in [MixerMode::Active, MixerMode::Passive] {
+        println!("==== {} mode PSS at LO = {:.2} GHz ====\n", mode.label(), f_lo / 1e9);
+        let (ckt, nodes) = mixer.build(mode, &RfDrive::Bias, &LoDrive::sine(f_lo));
+        let mut opts = PssOptions::new(1.0 / f_lo);
+        opts.steps_per_period = 72;
+        opts.max_periods = 400;
+        opts.v_tol = 2e-4;
+        let pss = periodic_steady_state(&ckt, &opts)?;
+        println!(
+            "converged after {} periods (residual {:.1e} V)\n",
+            pss.periods_used, pss.residual
+        );
+        for (label, node) in [
+            ("LO+ gate", nodes.lo_p),
+            ("quad in+", nodes.qin_p),
+            ("quad out+ (IF)", nodes.qout_p),
+            ("TIA out+", nodes.tia_p),
+        ] {
+            let w = pss.waveforms.voltage_waveform(node);
+            println!("{}", oscillogram(label, &w));
+        }
+        let vdd_src = ckt.find_element("vdd").expect("vdd");
+        println!(
+            "cycle-average supply current: {:.3} mA\n",
+            -pss.average_branch_current(vdd_src) * 1e3
+        );
+    }
+    Ok(())
+}

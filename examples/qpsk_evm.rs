@@ -1,0 +1,171 @@
+//! QPSK link through the mixer: modulate a pseudo-random symbol stream
+//! onto a 2.45 GHz carrier, downconvert through the behavioral receiver in
+//! each mode, and measure the error-vector magnitude (EVM) — first on a
+//! clean channel, then with a strong adjacent blocker.
+//!
+//! This is the paper's IoT story made concrete: the clean link is limited
+//! by gain/noise (active mode's home turf); the blocker-limited link is
+//! decided by IM3 spill (passive mode's). A zero-IF-style I/Q demodulation
+//! is performed with two quadrature LO chains.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example qpsk_evm
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use remix::core::{eval::MixerEvaluator, MixerConfig, MixerMode};
+use remix::rfkit::SampleProcessor;
+
+/// Symbols per measurement.
+const N_SYM: usize = 32;
+/// Samples per symbol at the RF sample rate (1 MHz symbols at ~19.6 GS/s).
+const SPS: usize = 19600;
+
+struct QpskSignal {
+    /// RF samples.
+    rf: Vec<f64>,
+    /// Transmitted symbols (±1, ±1).
+    symbols: Vec<(f64, f64)>,
+}
+
+/// Builds a root-raised-ish (rectangular, adequate here) QPSK burst at
+/// `f_c` with per-symbol amplitude `a`.
+fn qpsk_burst(f_c: f64, fs: f64, a: f64, seed: u64) -> QpskSignal {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let symbols: Vec<(f64, f64)> = (0..N_SYM)
+        .map(|_| {
+            (
+                if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+                if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+            )
+        })
+        .collect();
+    let w = 2.0 * std::f64::consts::PI * f_c;
+    let mut rf = Vec::with_capacity(N_SYM * SPS);
+    for k in 0..N_SYM * SPS {
+        let t = k as f64 / fs;
+        let (i, q) = symbols[k / SPS];
+        rf.push(a * (i * (w * t).cos() - q * (w * t).sin()));
+    }
+    QpskSignal { rf, symbols }
+}
+
+/// Downconverts with I/Q chains and slices symbol decisions; returns EVM
+/// in percent.
+fn demod_evm(
+    eval: &MixerEvaluator,
+    mode: MixerMode,
+    signal: &QpskSignal,
+    f_lo: f64,
+    fs: f64,
+) -> f64 {
+    // Two quadrature receive chains (the paper's front end is a
+    // quadrature demodulator; the behavioral chain models one arm, so we
+    // instantiate it twice with LO phases 90° apart).
+    let m = eval.model(mode);
+    let mut chain_i = m.chain(f_lo);
+    let mut chain_q = m.chain(f_lo);
+    // Phase-shift the Q LO by delaying its sample index: instead, mix the
+    // *input* against a quarter-period-delayed copy by shifting the
+    // signal; simplest correct approach: delay the Q input by T_lo/4,
+    // which rotates the carrier by 90° while leaving symbols (≫ slower)
+    // intact.
+    // Receiver noise: the behavioral chain is noiseless, so inject the
+    // model's equivalent input noise at the EMF — PSD = 4kT0·(2rs)·F —
+    // as white Gaussian samples over the simulation bandwidth.
+    let f = 10f64.powf(m.nf_db(1e6) / 10.0);
+    let rs_diff = 2.0 * m.config().rs;
+    let psd = 4.0 * 1.380649e-23 * 290.0 * rs_diff * f;
+    let sigma = (psd * fs / 2.0).sqrt();
+    let mut nrng = StdRng::seed_from_u64(0xA0 + mode as u64);
+    let noisy: Vec<f64> = signal
+        .rf
+        .iter()
+        .map(|v| {
+            let u1: f64 = nrng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = nrng.gen_range(0.0..1.0);
+            v + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        })
+        .collect();
+
+    let quarter = (fs / f_lo / 4.0).round() as usize;
+    let mut x_i = noisy.clone();
+    let mut x_q: Vec<f64> = noisy[quarter.min(noisy.len() - 1)..].to_vec();
+    x_q.extend(std::iter::repeat_n(0.0, noisy.len() - x_q.len()));
+    chain_i.process(&mut x_i, fs);
+    chain_q.process(&mut x_q, fs);
+    m.clamp_output(&mut x_i);
+    m.clamp_output(&mut x_q);
+
+    // Symbol decisions: average the baseband over the middle half of each
+    // symbol period.
+    let mut rx: Vec<(f64, f64)> = Vec::with_capacity(N_SYM);
+    for s in 0..N_SYM {
+        let lo = s * SPS + SPS / 4;
+        let hi = s * SPS + 3 * SPS / 4;
+        let i_avg = x_i[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        let q_avg = x_q[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        rx.push((i_avg, q_avg));
+    }
+    // Data-aided correction: solve the complex least-squares gain
+    // `g = Σ rx·conj(tx) / Σ|tx|²` for the received constellation and for
+    // its mirror image (the square-LO I/Q derivation can hand back a
+    // conjugated constellation, which no rotation can fix), and score the
+    // better orientation. EVM is the RMS residual over the RMS reference.
+    let evm_for = |points: &[(f64, f64)]| -> f64 {
+        let (mut gr, mut gi, mut ref2) = (0.0, 0.0, 0.0);
+        for (k, (i, q)) in points.iter().enumerate() {
+            let (ti, tq) = signal.symbols[k];
+            gr += i * ti + q * tq;
+            gi += q * ti - i * tq;
+            ref2 += ti * ti + tq * tq;
+        }
+        let (gr, gi) = (gr / ref2, gi / ref2);
+        let mut err2 = 0.0;
+        let mut sig2 = 0.0;
+        for (k, (i, q)) in points.iter().enumerate() {
+            let (ti, tq) = signal.symbols[k];
+            let (ei, eq) = (gr * ti - gi * tq, gr * tq + gi * ti);
+            err2 += (i - ei).powi(2) + (q - eq).powi(2);
+            sig2 += ei * ei + eq * eq;
+        }
+        100.0 * (err2 / sig2).sqrt()
+    };
+    let mirrored: Vec<(f64, f64)> = rx.iter().map(|(i, q)| (*i, -*q)).collect();
+    evm_for(&rx).min(evm_for(&mirrored))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let eval = MixerEvaluator::new(&MixerConfig::default())?;
+    let f_lo = 2.45e9;
+    let f_c = f_lo; // zero-IF: the I/Q baseband appears directly
+    let fs = SPS as f64 * 1e6; // 1 MHz symbol rate, ≈19.6 GS/s
+    println!("QPSK through the reconfigurable mixer ({N_SYM} symbols, zero-IF)\n");
+
+    // Scenario A: clean channel, weak signal.
+    let clean = qpsk_burst(f_c, fs, 1.8e-5, 11); // ≈ −82 dBm: sensitivity-limited
+    // Scenario B: strong two-tone blocker pair whose IM3 lands in-channel.
+    let mut blocked = qpsk_burst(f_c, fs, 2e-3, 12);
+    // IM3 of (f_lo+20M, f_lo+40M) lands at 2·20−40 = 0 → in-channel.
+    let wb1 = 2.0 * std::f64::consts::PI * (f_lo + 20e6);
+    let wb2 = 2.0 * std::f64::consts::PI * (f_lo + 40e6);
+    let a_b = 0.05; // ~−12 dBm blockers
+    for (k, v) in blocked.rf.iter_mut().enumerate() {
+        let t = k as f64 / fs;
+        *v += a_b * ((wb1 * t).cos() + (wb2 * t).cos());
+    }
+
+    println!("{:<34} {:>10} {:>10}", "scenario", "active", "passive");
+    for (name, sig) in [("clean weak burst", &clean), ("burst + −12 dBm blocker pair", &blocked)] {
+        let evm_a = demod_evm(&eval, MixerMode::Active, sig, f_lo, fs);
+        let evm_p = demod_evm(&eval, MixerMode::Passive, sig, f_lo, fs);
+        println!("{:<34} {:>8.1} % {:>8.1} %", name, evm_a, evm_p);
+    }
+    println!("\nthe clean link favours the active mode's gain; the blocked link");
+    println!("flips to passive — IM3 of the blocker pair lands on the channel");
+    println!("and only the passive mode's linearity keeps the constellation tight.");
+    Ok(())
+}

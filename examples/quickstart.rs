@@ -1,0 +1,62 @@
+//! Quickstart: build the reconfigurable mixer, evaluate both modes, and
+//! print the paper's headline metrics side by side.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use remix::core::{eval::MixerEvaluator, MixerConfig, MixerMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("remix quickstart — SOCC 2015 reconfigurable mixer");
+    println!("extracting device parameters from the transistor level…\n");
+
+    let eval = MixerEvaluator::new(&MixerConfig::default())?;
+
+    println!(
+        "{:<10} {:>9} {:>8} {:>10} {:>10} {:>8}",
+        "mode", "CG (dB)", "NF (dB)", "IIP3(dBm)", "P1dB(dBm)", "P (mW)"
+    );
+    println!("{}", "-".repeat(60));
+    for mode in [MixerMode::Active, MixerMode::Passive] {
+        let m = eval.model(mode);
+        println!(
+            "{:<10} {:>9.1} {:>8.1} {:>10.1} {:>10.1} {:>8.2}",
+            mode.label(),
+            m.conv_gain_db(2.45e9, 5e6),
+            m.nf_db(5e6),
+            m.iip3_dbm(),
+            m.p1db_dbm(),
+            m.power_mw(),
+        );
+    }
+
+    println!("\npaper (Table I):");
+    println!(
+        "{:<10} {:>9} {:>8} {:>10} {:>10} {:>8}",
+        "active", 29.2, 7.6, -11.9, -24.5, 9.36
+    );
+    println!(
+        "{:<10} {:>9} {:>8} {:>10} {:>10} {:>8}",
+        "passive", 25.5, 10.2, 6.57, -14.0, 9.24
+    );
+
+    println!("\nband edges (−3 dB):");
+    for mode in [MixerMode::Active, MixerMode::Passive] {
+        let (lo, hi) = eval.band_edges(mode);
+        println!(
+            "  {:<8} {:.2} – {:.2} GHz   (paper: {})",
+            mode.label(),
+            lo.unwrap_or(f64::NAN) / 1e9,
+            hi.unwrap_or(f64::NAN) / 1e9,
+            match mode {
+                MixerMode::Active => "1.0 – 5.5 GHz",
+                MixerMode::Passive => "0.5 – 5.1 GHz",
+            }
+        );
+    }
+
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # remix
+//!
+//! A from-scratch Rust reproduction of **"A 1.2V Wide-Band Reconfigurable
+//! Mixer for Wireless Application in 65nm CMOS Technology"** (Gupta,
+//! Aravinth Kumar, Dutta, Singh — IEEE SOCC 2015), together with the
+//! complete analog-simulation substrate it needs:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`numerics`] | complex arithmetic, dense/sparse LU, Newton, integrators |
+//! | [`dsp`] | FFT, windows, PSD, coherent tone plans, signal generators |
+//! | [`circuit`] | netlists, 65 nm MOSFET model, transmission gates, MNA |
+//! | [`analysis`] | DC op (homotopy), AC, transient, `.NOISE`, MC noise, power |
+//! | [`rfkit`] | IIP3/IIP2/P1dB algebra, two-tone harness, behavioral blocks, Table I data |
+//! | [`core`] | the reconfigurable mixer: TCA, quad, TIA/OTA, TG loads, models, evaluation |
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use remix::core::{eval::MixerEvaluator, MixerConfig, MixerMode};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let eval = MixerEvaluator::new(&MixerConfig::default())?;
+//! for mode in [MixerMode::Active, MixerMode::Passive] {
+//!     let m = eval.model(mode);
+//!     println!(
+//!         "{:8} CG {:5.1} dB | NF {:4.1} dB | IIP3 {:6.1} dBm | {:4.2} mW",
+//!         mode.label(),
+//!         m.conv_gain_db(2.45e9, 5e6),
+//!         m.nf_db(5e6),
+//!         m.iip3_dbm(),
+//!         m.power_mw(),
+//!     );
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use remix_analysis as analysis;
+pub use remix_circuit as circuit;
+pub use remix_core as core;
+pub use remix_dsp as dsp;
+pub use remix_numerics as numerics;
+pub use remix_rfkit as rfkit;

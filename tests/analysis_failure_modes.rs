@@ -1,0 +1,145 @@
+//! Failure-injection tests: the analysis engines must fail *loudly and
+//! legibly* on broken inputs, never hang or return garbage.
+
+use remix::analysis::{
+    ac_sweep, dc_operating_point, dc_sweep, output_noise, transient, AnalysisError, OpOptions,
+    TranOptions,
+};
+use remix::circuit::{Circuit, CircuitError, MosModel, Waveform};
+
+#[test]
+fn empty_circuit_is_rejected_everywhere() {
+    let c = Circuit::new();
+    match dc_operating_point(&c, &OpOptions::default()) {
+        Err(AnalysisError::BadCircuit(CircuitError::Empty)) => {}
+        other => panic!("expected Empty, got {other:?}"),
+    }
+    match transient(&c, &TranOptions::new(1e-6, 1e-9)) {
+        Err(AnalysisError::BadCircuit(CircuitError::Empty)) => {}
+        other => panic!("expected Empty, got {other:?}"),
+    }
+}
+
+#[test]
+fn dangling_node_reported_with_name() {
+    let mut c = Circuit::new();
+    let a = c.node("alpha");
+    let orphan = c.node("orphan_node");
+    c.add_vsource("v", a, Circuit::gnd(), Waveform::Dc(1.0));
+    c.add_resistor("r", a, orphan, 1e3);
+    let err = dc_operating_point(&c, &OpOptions::default()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("orphan_node"),
+        "error should name the node: {msg}"
+    );
+}
+
+#[test]
+fn capacitor_island_has_no_dc_path() {
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    let b = c.node("b");
+    let isle = c.node("island");
+    c.add_vsource("v", a, Circuit::gnd(), Waveform::Dc(1.0));
+    c.add_resistor("r", a, b, 1e3);
+    c.add_capacitor("c1", b, isle, 1e-12);
+    c.add_capacitor("c2", isle, Circuit::gnd(), 1e-12);
+    match dc_operating_point(&c, &OpOptions::default()) {
+        Err(AnalysisError::BadCircuit(CircuitError::NoDcPath { node })) => {
+            assert_eq!(node, "island");
+        }
+        other => panic!("expected NoDcPath, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_sweep_source_is_a_probe_error() {
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    c.add_vsource("v", a, Circuit::gnd(), Waveform::Dc(1.0));
+    c.add_resistor("r", a, Circuit::gnd(), 1e3);
+    let err = dc_sweep(&c, "does_not_exist", &[0.0], &OpOptions::default()).unwrap_err();
+    assert!(matches!(err, AnalysisError::UnknownProbe { .. }));
+    assert!(err.to_string().contains("does_not_exist"));
+}
+
+#[test]
+fn pathological_bias_still_converges_or_fails_cleanly() {
+    // A MOSFET wired as a relaxation-style positive feedback pair: the
+    // homotopy ladder must either converge or return NoConvergence — not
+    // NaN, not a panic.
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let x = c.node("x");
+    let y = c.node("y");
+    c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+    c.add_resistor("rx", vdd, x, 10e3);
+    c.add_resistor("ry", vdd, y, 10e3);
+    // Cross-coupled pair (bistable!).
+    c.add_mosfet("m1", MosModel::nmos_65nm(), 5e-6, 65e-9, x, y, Circuit::gnd(), Circuit::gnd());
+    c.add_mosfet("m2", MosModel::nmos_65nm(), 5e-6, 65e-9, y, x, Circuit::gnd(), Circuit::gnd());
+    match dc_operating_point(&c, &OpOptions::default()) {
+        Ok(op) => {
+            // Whichever solution was found must satisfy KCL sanity:
+            // voltages inside the rails.
+            for n in [x, y] {
+                let v = op.voltage(n);
+                assert!((-0.1..=1.3).contains(&v), "v = {v}");
+            }
+        }
+        Err(AnalysisError::NoConvergence { .. }) => {}
+        Err(other) => panic!("unexpected error class: {other}"),
+    }
+}
+
+#[test]
+fn transient_with_absurd_step_is_validated() {
+    let result = std::panic::catch_unwind(|| TranOptions::new(1e-9, 1e-6));
+    assert!(result.is_err(), "h > t_stop must be rejected");
+}
+
+#[test]
+fn ac_noise_on_probe_nodes() {
+    // Noise analysis referenced to ground nodes must not blow up.
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    c.add_vsource("v", a, Circuit::gnd(), Waveform::Dc(1.0));
+    c.add_resistor("r", a, Circuit::gnd(), 1e3);
+    let op = dc_operating_point(&c, &OpOptions::default()).unwrap();
+    let nr = output_noise(&c, &op, Circuit::gnd(), Circuit::gnd(), &[1e6]).unwrap();
+    assert_eq!(nr.total[0], 0.0, "gnd-to-gnd PSD must be exactly zero");
+    // Full AC on a driven node still fine.
+    let ac = ac_sweep(&c, &op, &[1e6]).unwrap();
+    assert_eq!(ac.voltage(0, Circuit::gnd()).abs(), 0.0);
+}
+
+#[test]
+fn source_value_edge_cases() {
+    // Zero-volt and zero-amp sources are legitimate.
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    let b = c.node("b");
+    c.add_vsource("v0", a, Circuit::gnd(), Waveform::Dc(0.0));
+    c.add_isource("i0", a, b, Waveform::Dc(0.0));
+    c.add_resistor("r", a, b, 1e3);
+    c.add_resistor("r2", b, Circuit::gnd(), 1e3);
+    let op = dc_operating_point(&c, &OpOptions::default()).unwrap();
+    assert_eq!(op.voltage(a), 0.0);
+    assert!(op.voltage(b).abs() < 1e-12);
+}
+
+#[test]
+fn enormous_and_tiny_component_values() {
+    // 1 TΩ against 1 mΩ in one divider: the solver must keep its
+    // conditioning (sparse LU with pivoting) and produce the right ratio.
+    let mut c = Circuit::new();
+    let top = c.node("top");
+    let mid = c.node("mid");
+    c.add_vsource("v", top, Circuit::gnd(), Waveform::Dc(1.0));
+    c.add_resistor("rbig", top, mid, 1e12);
+    c.add_resistor("rtiny", mid, Circuit::gnd(), 1e-3);
+    let op = dc_operating_point(&c, &OpOptions::default()).unwrap();
+    let v = op.voltage(mid);
+    assert!((v - 1e-15).abs() < 1e-16, "divider ratio lost: {v:e}");
+}

@@ -1,0 +1,192 @@
+//! Headline reproduction tests: every claim of the paper's evaluation
+//! section, asserted against the simulation flow.
+//!
+//! Tolerances: ±2 dB on gain/NF-style quantities and ±4 dB on intercepts
+//! count as reproduced (the substrate is a calibrated level-1+θ model,
+//! not the UMC PDK — see DESIGN.md); orderings and crossovers are
+//! asserted strictly.
+
+use remix::core::{eval::MixerEvaluator, MixerConfig, MixerMode};
+use remix::rfkit::specs::{ACTIVE_TARGETS, PASSIVE_TARGETS};
+use std::sync::OnceLock;
+
+fn eval() -> &'static MixerEvaluator {
+    static CACHE: OnceLock<MixerEvaluator> = OnceLock::new();
+    CACHE.get_or_init(|| MixerEvaluator::new(&MixerConfig::default()).expect("extraction"))
+}
+
+#[test]
+fn conversion_gain_matches_table1() {
+    let ga = eval().model(MixerMode::Active).conv_gain_db(2.45e9, 5e6);
+    let gp = eval().model(MixerMode::Passive).conv_gain_db(2.45e9, 5e6);
+    assert!(
+        (ga - ACTIVE_TARGETS.gain_db).abs() < 2.0,
+        "active CG {ga:.1} vs paper {}",
+        ACTIVE_TARGETS.gain_db
+    );
+    assert!(
+        (gp - PASSIVE_TARGETS.gain_db).abs() < 2.0,
+        "passive CG {gp:.1} vs paper {}",
+        PASSIVE_TARGETS.gain_db
+    );
+    assert!(ga > gp, "active must out-gain passive");
+}
+
+#[test]
+fn noise_figure_matches_table1() {
+    let na = eval().model(MixerMode::Active).nf_db(5e6);
+    let np = eval().model(MixerMode::Passive).nf_db(5e6);
+    assert!(
+        (na - ACTIVE_TARGETS.nf_db).abs() < 2.0,
+        "active NF {na:.1} vs paper {}",
+        ACTIVE_TARGETS.nf_db
+    );
+    assert!(
+        (np - PASSIVE_TARGETS.nf_db).abs() < 2.5,
+        "passive NF {np:.1} vs paper {}",
+        PASSIVE_TARGETS.nf_db
+    );
+    assert!(na < np, "active NF must beat passive");
+}
+
+#[test]
+fn iip3_matches_table1() {
+    let ia = eval().model(MixerMode::Active).iip3_dbm();
+    let ip = eval().model(MixerMode::Passive).iip3_dbm();
+    assert!(
+        (ia - ACTIVE_TARGETS.iip3_dbm).abs() < 4.0,
+        "active IIP3 {ia:.1} vs paper {}",
+        ACTIVE_TARGETS.iip3_dbm
+    );
+    // The level-1+θ TCA is more linear than UMC silicon; allow a wider
+    // one-sided band on the passive intercept (see EXPERIMENTS.md).
+    assert!(
+        ip > PASSIVE_TARGETS.iip3_dbm - 4.0 && ip < PASSIVE_TARGETS.iip3_dbm + 10.0,
+        "passive IIP3 {ip:.1} vs paper {}",
+        PASSIVE_TARGETS.iip3_dbm
+    );
+    // The reconfiguration claim: passive wins linearity by a wide margin.
+    assert!(
+        ip - ia > 15.0,
+        "passive should beat active IIP3 by ≫10 dB: {ip:.1} vs {ia:.1}"
+    );
+}
+
+#[test]
+fn p1db_matches_paper() {
+    let pa = eval().model(MixerMode::Active).p1db_dbm();
+    let pp = eval().model(MixerMode::Passive).p1db_dbm();
+    assert!(
+        (pa - ACTIVE_TARGETS.p1db_dbm).abs() < 3.0,
+        "active P1dB {pa:.1} vs paper {}",
+        ACTIVE_TARGETS.p1db_dbm
+    );
+    assert!(
+        (pp - PASSIVE_TARGETS.p1db_dbm).abs() < 2.0,
+        "passive P1dB {pp:.1} vs paper {}",
+        PASSIVE_TARGETS.p1db_dbm
+    );
+    assert!(pp > pa, "passive compresses later than active");
+}
+
+#[test]
+fn power_consumption_class_and_mechanism() {
+    let pa = eval().model(MixerMode::Active).power_mw();
+    let pp = eval().model(MixerMode::Passive).power_mw();
+    // Same class as the paper's 9.3 mW, and near-equal between modes
+    // (the TIA's current is only spent in passive mode; the Gilbert core
+    // only in active mode — the paper's power-balancing trick).
+    assert!(pa > 5.0 && pa < 12.0, "active {pa:.2} mW");
+    assert!(pp > 5.0 && pp < 12.0, "passive {pp:.2} mW");
+    assert!(
+        (pa - pp).abs() < 2.5,
+        "modes should burn similar power: {pa:.2} vs {pp:.2}"
+    );
+}
+
+#[test]
+fn band_edges_fig8() {
+    // Paper: active 1–5.5 GHz, passive 0.5–5.1 GHz. Reproduced shape:
+    // wideband coverage with sub-GHz low edges and a single-digit-GHz
+    // active top edge. Known deviations (documented in EXPERIMENTS.md):
+    // our active low edge sits below 1 GHz (the paper's mechanism for
+    // the higher active edge is not identifiable from the text) and the
+    // passive top edge extends beyond 5.1 GHz (the level-1 switch model
+    // lacks the high-RF losses of the authors' quad).
+    let (alo, ahi) = eval().band_edges(MixerMode::Active);
+    let (plo, _phi) = eval().band_edges(MixerMode::Passive);
+    let alo = alo.expect("active low edge") / 1e9;
+    let ahi = ahi.expect("active high edge") / 1e9;
+    let plo = plo.expect("passive low edge") / 1e9;
+    assert!(alo > 0.25 && alo < 1.5, "active lo {alo:.2} GHz");
+    assert!(ahi > 3.0 && ahi < 7.0, "active hi {ahi:.2} GHz");
+    assert!((plo - PASSIVE_TARGETS.band_lo_ghz).abs() < 0.3, "passive lo {plo:.2} GHz");
+    // Both modes cover the 2.4 GHz ISM band the IoT story needs, with
+    // gain within 1.5 dB of their peaks there.
+    for mode in [MixerMode::Active, MixerMode::Passive] {
+        let m = eval().model(mode);
+        let peak = (1..=60)
+            .map(|k| m.conv_gain_db(k as f64 * 0.1e9, 5e6))
+            .fold(f64::MIN, f64::max);
+        let ism = m.conv_gain_db(2.45e9, 5e6);
+        assert!(peak - ism < 1.5, "{}: peak {peak:.1} vs ISM {ism:.1}", mode.label());
+    }
+}
+
+#[test]
+fn iip2_above_65dbm() {
+    for mode in [MixerMode::Active, MixerMode::Passive] {
+        let iip2 = eval().model(mode).iip2_dbm(0.005);
+        assert!(iip2 > 65.0, "{}: IIP2 {iip2:.1} dBm", mode.label());
+    }
+}
+
+#[test]
+fn passive_flicker_corner_below_100khz() {
+    // Paper §III: "the corner frequency is less than 100KHz in passive
+    // mode operation".
+    let m = eval().model(MixerMode::Passive);
+    if let Some(c) = m.flicker_corner_hz() {
+        assert!(c < 100e3, "passive corner {c:.3e} Hz");
+    } // None = corner below the search floor: also < 100 kHz
+
+    // And the active mode's corner is higher (switches carry DC).
+    let nf_a_low = eval().model(MixerMode::Active).nf_db(2e3);
+    let nf_a_mid = eval().model(MixerMode::Active).nf_db(5e6);
+    let nf_p_low = m.nf_db(2e3);
+    let nf_p_mid = m.nf_db(5e6);
+    assert!(
+        nf_a_low - nf_a_mid > nf_p_low - nf_p_mid,
+        "active 1/f rise {:.2} dB should exceed passive {:.2} dB",
+        nf_a_low - nf_a_mid,
+        nf_p_low - nf_p_mid
+    );
+}
+
+#[test]
+fn measured_two_tone_confirms_intercepts() {
+    // Fig. 10 procedure end-to-end on the behavioral chain.
+    let pins_a: Vec<f64> = (0..8).map(|k| -48.0 + 3.0 * k as f64).collect();
+    let (_, ra) = eval()
+        .iip3_two_tone(MixerMode::Active, &pins_a)
+        .expect("active extraction");
+    assert!((ra.fund_slope - 1.0).abs() < 0.15, "slope {}", ra.fund_slope);
+    assert!((ra.im3_slope - 3.0).abs() < 0.4, "slope {}", ra.im3_slope);
+    assert!(
+        (ra.iip3_dbm - ACTIVE_TARGETS.iip3_dbm).abs() < 4.0,
+        "measured active IIP3 {:.1}",
+        ra.iip3_dbm
+    );
+}
+
+#[test]
+fn reconfiguration_tradeoff_fig1() {
+    // Fig. 1's qualitative table: active wins gain and NF, passive wins
+    // linearity — all from one circuit.
+    let a = eval().model(MixerMode::Active);
+    let p = eval().model(MixerMode::Passive);
+    assert!(a.conv_gain_db(2.45e9, 5e6) > p.conv_gain_db(2.45e9, 5e6));
+    assert!(a.nf_db(5e6) < p.nf_db(5e6));
+    assert!(p.iip3_dbm() > a.iip3_dbm());
+    assert!(p.p1db_dbm() > a.p1db_dbm());
+}

@@ -1,0 +1,87 @@
+//! Cross-crate integration: the `Spectrum` analyzer reading the mixer's
+//! actual output, and the budget view agreeing with the end-to-end
+//! models.
+
+use remix::core::{eval::MixerEvaluator, MixerConfig, MixerMode};
+use remix::dsp::{Spectrum, Window};
+use remix::rfkit::budget::budget_rows;
+use std::sync::OnceLock;
+
+fn eval() -> &'static MixerEvaluator {
+    static CACHE: OnceLock<MixerEvaluator> = OnceLock::new();
+    CACHE.get_or_init(|| MixerEvaluator::new(&MixerConfig::default()).expect("extraction"))
+}
+
+/// Run a two-tone through the behavioral chain and let the generic
+/// spectrum analyzer find the products — no coherent plan hints.
+#[test]
+fn spectrum_analyzer_finds_two_tone_products() {
+    let m = eval().model(MixerMode::Active);
+    let f_lo = 2.4e9;
+    let n = 1 << 15;
+    let f_res = 0.5e6;
+    let fs = f_res * n as f64;
+    let a = 3e-3;
+    let x: Vec<f64> = (0..2 * n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            let w = 2.0 * std::f64::consts::PI;
+            a * ((w * (f_lo + 5e6) * t).cos() + (w * (f_lo + 6e6) * t).cos())
+        })
+        .collect();
+    let y = m.process(&x, fs, f_lo);
+    let spec = Spectrum::analyze(&y[n..], fs, Window::Rectangular);
+
+    // The top two tones are the down-converted fundamentals at 5/6 MHz.
+    let top = spec.top_tones(4);
+    let top_freqs: Vec<f64> = top.iter().map(|(f, _)| *f).collect();
+    assert!(top_freqs.contains(&5e6), "top tones: {top:?}");
+    assert!(top_freqs.contains(&6e6), "top tones: {top:?}");
+    // IM3 products at 4/7 MHz are present but far below the fundamentals.
+    let fund_dbm = spec.dbm_at(5e6);
+    let im3_dbm = spec.dbm_at(4e6);
+    assert!(
+        fund_dbm - im3_dbm > 20.0,
+        "ΔP = {:.1} dB",
+        fund_dbm - im3_dbm
+    );
+    // And the spot-IIP3 from these readings is in the design's range.
+    let pin = remix::dsp::units::vpeak_to_dbm(a, remix::dsp::units::Z0);
+    let spot = remix::rfkit::spot_iip3_dbm(pin, fund_dbm, im3_dbm);
+    let analytic = m.iip3_dbm();
+    assert!(
+        (spot - analytic).abs() < 4.0,
+        "spot {spot:.1} vs analytic {analytic:.1} dBm"
+    );
+}
+
+/// The budget rows must be self-consistent and consistent with the
+/// mixer-model endpoints in both modes.
+#[test]
+fn budget_rows_consistent_with_models() {
+    for mode in [MixerMode::Active, MixerMode::Passive] {
+        let m = eval().model(mode);
+        let cascade = m.as_cascade();
+        let rows = budget_rows(&cascade, 2.45e9, 5e6, 2.0 * m.config().rs);
+        assert_eq!(rows.len(), 3, "{mode:?}");
+        // Total gain within 1 dB of the model.
+        let total = rows.last().unwrap().cum_gain_db;
+        assert!(
+            (total - m.conv_gain_db(2.45e9, 5e6)).abs() < 1.0,
+            "{mode:?}: {total:.2} vs {:.2}",
+            m.conv_gain_db(2.45e9, 5e6)
+        );
+        // Budget NF within 1.5 dB of the model's NF (the budget omits the
+        // second-order series/overlap terms).
+        let nf = rows.last().unwrap().cum_nf_db;
+        assert!(
+            (nf - m.nf_db(5e6)).abs() < 1.5,
+            "{mode:?}: budget NF {nf:.2} vs model {:.2}",
+            m.nf_db(5e6)
+        );
+        // NF monotone non-decreasing down the chain.
+        for w in rows.windows(2) {
+            assert!(w[1].cum_nf_db >= w[0].cum_nf_db - 1e-9);
+        }
+    }
+}
