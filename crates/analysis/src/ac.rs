@@ -101,7 +101,10 @@ pub fn ac_sweep(
 ///
 /// Panics unless `0 < f_start < f_stop` and `points_per_decade > 0`.
 pub fn log_space(f_start: f64, f_stop: f64, points_per_decade: usize) -> Vec<f64> {
-    assert!(f_start > 0.0 && f_stop > f_start, "need 0 < f_start < f_stop");
+    assert!(
+        f_start > 0.0 && f_stop > f_start,
+        "need 0 < f_start < f_stop"
+    );
     assert!(points_per_decade > 0);
     let decades = (f_stop / f_start).log10();
     let n = (decades * points_per_decade as f64).ceil() as usize + 1;
@@ -165,7 +168,10 @@ mod tests {
         c.add_resistor("r1", out, Circuit::gnd(), 1e3);
         let res = run_ac(&c, &[1e6, 159.1549e6, 100e9]);
         let mags = res.magnitude_series(out);
-        assert!(mags[0] > 0.99, "low f should pass through inductor: {mags:?}");
+        assert!(
+            mags[0] > 0.99,
+            "low f should pass through inductor: {mags:?}"
+        );
         assert!((mags[1] - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
         assert!(mags[2] < 0.01, "high f blocked by inductor: {mags:?}");
     }

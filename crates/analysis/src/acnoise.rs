@@ -204,7 +204,10 @@ pub fn output_noise(
 /// `F = v_out,total² / (v_out due to source alone)²` with the source
 /// contributing `4kT·rs·|H|²`.
 pub fn noise_figure_db(output_psd: f64, gain_from_source: f64, rs: f64) -> f64 {
-    let source_part = 4.0 * BOLTZMANN * remix_circuit::consts::T0_NOISE * rs
+    let source_part = 4.0
+        * BOLTZMANN
+        * remix_circuit::consts::T0_NOISE
+        * rs
         * gain_from_source
         * gain_from_source;
     10.0 * (output_psd / source_part).log10()

@@ -1,6 +1,6 @@
 //! Analysis error types.
 
-use remix_circuit::CircuitError;
+use remix_lint::LintReport;
 use remix_numerics::FactorError;
 use std::error::Error;
 use std::fmt;
@@ -8,14 +8,16 @@ use std::fmt;
 /// Errors produced by the analysis engines.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnalysisError {
-    /// The circuit failed structural validation.
-    BadCircuit(CircuitError),
+    /// The circuit failed electrical rule checks: the attached report
+    /// carries every deny- and warn-level finding, not just the first.
+    Lint(LintReport),
     /// The system matrix could not be factored (floating node, broken
     /// topology) even with gmin.
     Singular(FactorError),
     /// The nonlinear iteration did not converge.
     NoConvergence {
-        /// What was being solved when convergence failed.
+        /// What was being solved when convergence failed (includes any
+        /// lint warnings on the circuit, which often explain the stall).
         context: String,
         /// Iterations attempted.
         iterations: usize,
@@ -35,12 +37,17 @@ pub enum AnalysisError {
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AnalysisError::BadCircuit(e) => write!(f, "invalid circuit: {e}"),
+            AnalysisError::Lint(report) => {
+                write!(f, "circuit fails electrical rule checks:\n{report}")
+            }
             AnalysisError::Singular(e) => write!(f, "singular system: {e}"),
             AnalysisError::NoConvergence {
                 context,
                 iterations,
-            } => write!(f, "{context} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{context} did not converge after {iterations} iterations"
+            ),
             AnalysisError::StepSizeUnderflow { time } => {
                 write!(f, "transient step size underflow at t = {time:.6e} s")
             }
@@ -52,16 +59,15 @@ impl fmt::Display for AnalysisError {
 impl Error for AnalysisError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            AnalysisError::BadCircuit(e) => Some(e),
             AnalysisError::Singular(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<CircuitError> for AnalysisError {
-    fn from(e: CircuitError) -> Self {
-        AnalysisError::BadCircuit(e)
+impl From<LintReport> for AnalysisError {
+    fn from(report: LintReport) -> Self {
+        AnalysisError::Lint(report)
     }
 }
 
@@ -74,6 +80,7 @@ impl From<FactorError> for AnalysisError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use remix_lint::{Diagnostic, RuleId, Severity};
 
     #[test]
     fn display_variants() {
@@ -83,11 +90,14 @@ mod tests {
         };
         assert!(e.to_string().contains("dc operating point"));
         assert!(e.to_string().contains("50"));
-        assert!(AnalysisError::StepSizeUnderflow { time: 1e-9 }
-            .to_string()
-            .contains("1e-9") || AnalysisError::StepSizeUnderflow { time: 1e-9 }
-            .to_string()
-            .contains("1.000000e-9"));
+        assert!(
+            AnalysisError::StepSizeUnderflow { time: 1e-9 }
+                .to_string()
+                .contains("1e-9")
+                || AnalysisError::StepSizeUnderflow { time: 1e-9 }
+                    .to_string()
+                    .contains("1.000000e-9")
+        );
         assert!(AnalysisError::UnknownProbe {
             probe: "node x".into()
         }
@@ -96,10 +106,25 @@ mod tests {
     }
 
     #[test]
-    fn from_conversions() {
-        let ce = CircuitError::Empty;
-        let ae: AnalysisError = ce.clone().into();
-        assert_eq!(ae, AnalysisError::BadCircuit(ce));
+    fn lint_errors_carry_the_full_report() {
+        let report = LintReport {
+            diagnostics: vec![Diagnostic {
+                rule: RuleId::EmptyCircuit,
+                severity: Severity::Deny,
+                message: "circuit contains no elements".into(),
+                nodes: vec![],
+                elements: vec![],
+            }],
+        };
+        let ae: AnalysisError = report.clone().into();
+        assert_eq!(ae, AnalysisError::Lint(report));
+        let text = ae.to_string();
+        assert!(text.contains("ERC010_EMPTY_CIRCUIT"));
+        assert!(text.contains("electrical rule checks"));
+    }
+
+    #[test]
+    fn from_factor_error() {
         let fe = FactorError::Singular { step: 1 };
         let ae: AnalysisError = fe.clone().into();
         assert_eq!(ae, AnalysisError::Singular(fe));

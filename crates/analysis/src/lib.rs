@@ -61,5 +61,5 @@ pub use power::{supply_power, PowerReport};
 pub use pss::{periodic_steady_state, PeriodicSteadyState, PssOptions};
 pub use report::{bias_warnings, device_table, node_table};
 pub use tran::{transient, AdaptiveOptions, TranOptions, TranResult};
-pub use twoport::{input_impedance, two_port_y, SParams, YParams};
 pub use trannoise::{noise_transient, NoiseTranConfig};
+pub use twoport::{input_impedance, two_port_y, SParams, YParams};

@@ -133,15 +133,21 @@ fn converge_stage(
 ///
 /// # Errors
 ///
-/// * [`AnalysisError::BadCircuit`] if validation fails;
+/// * [`AnalysisError::Lint`] if the circuit has deny-level ERC findings
+///   (the report carries every finding, not just the first);
 /// * [`AnalysisError::Singular`] if the MNA matrix cannot be factored even
 ///   with maximum gmin;
-/// * [`AnalysisError::NoConvergence`] if all homotopy stages fail.
+/// * [`AnalysisError::NoConvergence`] if all homotopy stages fail; any
+///   warn-level lint findings are appended to the error context, since
+///   they often explain the stall.
 pub fn dc_operating_point(
     circuit: &Circuit,
     opts: &OpOptions,
 ) -> Result<OperatingPoint, AnalysisError> {
-    circuit.validate()?;
+    let lint_report = remix_lint::lint(circuit, &remix_lint::LintConfig::default());
+    if !lint_report.is_clean() {
+        return Err(AnalysisError::Lint(lint_report));
+    }
     let layout = MnaLayout::new(circuit);
     let dim = layout.dim();
     let n_elem = circuit.element_count();
@@ -239,10 +245,26 @@ pub fn dc_operating_point(
         }
     }
     if !converged {
-        return Err(last_err.unwrap_or(AnalysisError::NoConvergence {
+        let mut err = last_err.unwrap_or(AnalysisError::NoConvergence {
             context: "dc operating point".into(),
             iterations: total_iter,
-        }));
+        });
+        // Warn-level findings did not block the solve, but a circuit that
+        // then fails to converge is exactly where they become relevant.
+        if lint_report.warn_count() > 0 {
+            if let AnalysisError::NoConvergence { context, .. } = &mut err {
+                let warns: Vec<String> = lint_report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == remix_lint::Severity::Warn)
+                    .map(|d| d.render())
+                    .collect();
+                context.push_str(" [lint: ");
+                context.push_str(&warns.join("; "));
+                context.push(']');
+            }
+        }
+        return Err(err);
     }
 
     // Capture MOS caps at the final solution.
@@ -400,16 +422,7 @@ mod tests {
             let out = c.node("out");
             c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
             c.add_vsource("vin", inp, Circuit::gnd(), Waveform::Dc(vin));
-            c.add_mosfet(
-                "mp",
-                MosModel::pmos_65nm(),
-                4e-6,
-                65e-9,
-                out,
-                inp,
-                vdd,
-                vdd,
-            );
+            c.add_mosfet("mp", MosModel::pmos_65nm(), 4e-6, 65e-9, out, inp, vdd, vdd);
             c.add_mosfet(
                 "mn",
                 MosModel::nmos_65nm(),
@@ -441,11 +454,14 @@ mod tests {
     }
 
     #[test]
-    fn invalid_circuit_rejected() {
+    fn invalid_circuit_rejected_with_all_findings() {
         let c = Circuit::new();
         match dc_operating_point(&c, &OpOptions::default()) {
-            Err(AnalysisError::BadCircuit(_)) => {}
-            other => panic!("expected BadCircuit, got {other:?}"),
+            Err(AnalysisError::Lint(report)) => {
+                assert!(!report.is_clean());
+                assert_eq!(report.by_rule(remix_lint::RuleId::EmptyCircuit).len(), 1);
+            }
+            other => panic!("expected Lint, got {other:?}"),
         }
     }
 

@@ -180,8 +180,8 @@ mod tests {
         // The PSS ripple matches the closed form for a square-driven RC:
         // ΔV = (1 − e^{−T/2τ})/(1 + e^{−T/2τ}).
         let w = pss.waveforms.voltage_waveform(out);
-        let ripple = w.iter().cloned().fold(f64::MIN, f64::max)
-            - w.iter().cloned().fold(f64::MAX, f64::min);
+        let ripple =
+            w.iter().cloned().fold(f64::MIN, f64::max) - w.iter().cloned().fold(f64::MAX, f64::min);
         let x = (-period / 2.0 / 1e-6f64).exp();
         let expected = (1.0 - x) / (1.0 + x);
         assert!(
@@ -216,10 +216,7 @@ mod tests {
         let pss = periodic_steady_state(&c, &PssOptions::new(period)).unwrap();
         let i_avg = pss.average_branch_current(v);
         // Branch current p→n through the source is −load current.
-        assert!(
-            (i_avg + 0.5e-3).abs() < 0.02e-3,
-            "avg current {i_avg:.4e}"
-        );
+        assert!((i_avg + 0.5e-3).abs() < 0.02e-3, "avg current {i_avg:.4e}");
     }
 
     #[test]

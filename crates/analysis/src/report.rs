@@ -98,7 +98,16 @@ mod tests {
         c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
         c.add_vsource("vg", g, Circuit::gnd(), Waveform::Dc(0.55));
         c.add_resistor("rd", vdd, d, 1e3);
-        c.add_mosfet("m1", MosModel::nmos_65nm(), 5e-6, 65e-9, d, g, Circuit::gnd(), Circuit::gnd());
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            5e-6,
+            65e-9,
+            d,
+            g,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
         let op = dc_operating_point(&c, &OpOptions::default()).unwrap();
         (c, op)
     }
@@ -139,7 +148,16 @@ mod tests {
         c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
         c.add_vsource("vg", g, Circuit::gnd(), Waveform::Dc(0.0)); // off
         c.add_resistor("rd", vdd, d, 1e3);
-        c.add_mosfet("moff", MosModel::nmos_65nm(), 5e-6, 65e-9, d, g, Circuit::gnd(), Circuit::gnd());
+        c.add_mosfet(
+            "moff",
+            MosModel::nmos_65nm(),
+            5e-6,
+            65e-9,
+            d,
+            g,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
         let op = dc_operating_point(&c, &OpOptions::default()).unwrap();
         let warns = bias_warnings(&c, &op);
         // Depending on classification the off device may read Subthreshold

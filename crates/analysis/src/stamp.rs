@@ -10,10 +10,10 @@
 //!   operating point, reactances as `jωC` / `jωL`).
 
 use remix_circuit::{
-    stamp_conductance, stamp_current, stamp_transconductance, Circuit, Element, MnaLayout,
-    MosCaps, MosEval, Node,
+    stamp_conductance, stamp_current, stamp_transconductance, Circuit, Element, MnaLayout, MosCaps,
+    MosEval, Node,
 };
-use remix_numerics::{Complex, CompanionCoeffs, TripletMatrix};
+use remix_numerics::{CompanionCoeffs, Complex, TripletMatrix};
 
 /// Dynamic state of a capacitor-like branch between two nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -110,7 +110,12 @@ fn stamp_cap_companion(
 }
 
 /// Computes the branch current of a capacitor companion after a solve.
-pub fn cap_companion_current(c: f64, coeffs: &CompanionCoeffs, v_new: f64, state: &CapState) -> f64 {
+pub fn cap_companion_current(
+    c: f64,
+    coeffs: &CompanionCoeffs,
+    v_new: f64,
+    state: &CapState,
+) -> f64 {
     c * coeffs.geq_per_unit * v_new - c * coeffs.hist_v * state.v - coeffs.hist_i * state.i
 }
 
@@ -211,7 +216,9 @@ pub fn assemble_real(
                 };
                 stamp_current(rhs, *p, *n, i);
             }
-            Element::Vccs { p, n, cp, cn, gm, .. } => {
+            Element::Vccs {
+                p, n, cp, cn, gm, ..
+            } => {
                 stamp_transconductance(m, *p, *n, *cp, *cn, *gm);
             }
             Element::Vcvs {
@@ -269,8 +276,7 @@ pub fn assemble_real(
                     ..
                 } = mode
                 {
-                    if let (ElementState::MosCaps(sts), Some(caps)) =
-                        (&states[idx], &mos_caps[idx])
+                    if let (ElementState::MosCaps(sts), Some(caps)) = (&states[idx], &mos_caps[idx])
                     {
                         let branches = mos_cap_branches(dev.d, dev.g, dev.s, dev.b, caps);
                         for (k, (a, b, c)) in branches.iter().enumerate() {
@@ -350,7 +356,9 @@ pub fn assemble_ac(
             Element::CurrentSource { p, n, ac_mag, .. } => {
                 stamp_current(rhs, *p, *n, Complex::from_re(*ac_mag));
             }
-            Element::Vccs { p, n, cp, cn, gm, .. } => {
+            Element::Vccs {
+                p, n, cp, cn, gm, ..
+            } => {
                 stamp_transconductance(m, *p, *n, *cp, *cn, Complex::from_re(*gm));
             }
             Element::Vcvs {

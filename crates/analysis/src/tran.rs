@@ -212,7 +212,15 @@ impl<'a> Integrator<'a> {
                 states: &self.states,
                 mos_caps: &self.mos_caps,
             };
-            assemble_real(self.circuit, &self.layout, &x, &mode, &mut m, &mut rhs, None);
+            assemble_real(
+                self.circuit,
+                &self.layout,
+                &x,
+                &mode,
+                &mut m,
+                &mut rhs,
+                None,
+            );
             let lu = SparseLu::factor(&m.to_csr())?;
             let x_new = lu.solve(&rhs)?;
             let mut max_dv: f64 = 0.0;
@@ -250,8 +258,7 @@ impl<'a> Integrator<'a> {
                     let ElementState::Cap(st) = &mut self.states[idx] else {
                         unreachable!()
                     };
-                    let v_new =
-                        self.layout.voltage(&x, *a) - self.layout.voltage(&x, *b);
+                    let v_new = self.layout.voltage(&x, *a) - self.layout.voltage(&x, *b);
                     let i_new = cap_companion_current(*c, &coeffs, v_new, st);
                     st.v = v_new;
                     st.i = i_new;
@@ -270,8 +277,7 @@ impl<'a> Integrator<'a> {
                     if let Some(caps) = &self.mos_caps[idx] {
                         let branches = mos_cap_branches(dev.d, dev.g, dev.s, dev.b, caps);
                         for (k, (a, b, c)) in branches.iter().enumerate() {
-                            let v_new =
-                                self.layout.voltage(&x, *a) - self.layout.voltage(&x, *b);
+                            let v_new = self.layout.voltage(&x, *a) - self.layout.voltage(&x, *b);
                             if *c > 0.0 {
                                 sts[k].i = cap_companion_current(*c, &coeffs, v_new, &sts[k]);
                             }
@@ -342,8 +348,9 @@ impl<'a> Integrator<'a> {
                 continue;
             }
             t += h;
-            *h_state = remix_numerics::integrate::propose_step(h, worst, opts.lte_tol, method.order())
-                .min(h_total);
+            *h_state =
+                remix_numerics::integrate::propose_step(h, worst, opts.lte_tol, method.order())
+                    .min(h_total);
         }
         Ok(())
     }
@@ -405,7 +412,9 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, An
             opts.method
         };
         match &opts.adaptive {
-            Some(a) => integ.advance_adaptive(t0, opts.h, method, a, &mut estimators, &mut h_state)?,
+            Some(a) => {
+                integ.advance_adaptive(t0, opts.h, method, a, &mut estimators, &mut h_state)?
+            }
             None => integ.advance(t0, opts.h, method)?,
         }
         let t1 = (k + 1) as f64 * opts.h;

@@ -81,10 +81,12 @@ pub fn noise_transient(
                 (*a, *b, psd, 0.0)
             }
             Element::Mos { dev, .. } => {
-                let Some(ev) = &op.mos_evals[idx] else { continue };
+                let Some(ev) = &op.mos_evals[idx] else {
+                    continue;
+                };
                 let psd = dev.thermal_noise_psd(ev, ROOM_TEMP);
-                let k = dev.model.kf * ev.id.abs().powf(dev.model.af)
-                    / (dev.model.cox * dev.w * dev.l);
+                let k =
+                    dev.model.kf * ev.id.abs().powf(dev.model.af) / (dev.model.cox * dev.w * dev.l);
                 (dev.d, dev.s, psd, k)
             }
             _ => continue,
@@ -104,12 +106,7 @@ pub fn noise_transient(
                     (k as f64 * opts.h, v)
                 })
                 .collect();
-            noisy.add_isource(
-                &format!("noise_w{source_count}"),
-                a,
-                b,
-                Waveform::Pwl(pts),
-            );
+            noisy.add_isource(&format!("noise_w{source_count}"), a, b, Waveform::Pwl(pts));
             source_count += 1;
         }
         if config.include_flicker && flicker_k > 0.0 {
@@ -125,12 +122,7 @@ pub fn noise_transient(
                     (k as f64 * opts.h, v)
                 })
                 .collect();
-            noisy.add_isource(
-                &format!("noise_f{source_count}"),
-                a,
-                b,
-                Waveform::Pwl(pts),
-            );
+            noisy.add_isource(&format!("noise_f{source_count}"), a, b, Waveform::Pwl(pts));
             source_count += 1;
         }
     }

@@ -66,7 +66,10 @@ impl YParams {
 }
 
 fn set_port_drive(circuit: &mut Circuit, port: ElementId, mag: f64) {
-    if let Element::VoltageSource { ac_mag, ac_phase, .. } = circuit.element_mut(port) {
+    if let Element::VoltageSource {
+        ac_mag, ac_phase, ..
+    } = circuit.element_mut(port)
+    {
         *ac_mag = mag;
         *ac_phase = 0.0;
     } else {

@@ -15,7 +15,12 @@ fn bench_fig10(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_secs(1));
     let pins: Vec<f64> = (0..6).map(|k| -45.0 + 4.0 * k as f64).collect();
     g.bench_function("two_tone_sweep_active", |b| {
-        b.iter(|| black_box(eval.iip3_two_tone(MixerMode::Active, black_box(&pins)).unwrap()))
+        b.iter(|| {
+            black_box(
+                eval.iip3_two_tone(MixerMode::Active, black_box(&pins))
+                    .unwrap(),
+            )
+        })
     });
     g.finish();
 }

@@ -16,7 +16,9 @@ fn bench_substrate(c: &mut Criterion) {
     let mut t = TripletMatrix::new(n, n);
     let mut state = 0xABCDEFu64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 32) as f64 / (1u64 << 31) as f64) - 1.0
     };
     for r in 0..n {
@@ -56,7 +58,12 @@ fn bench_substrate(c: &mut Criterion) {
     let mut rc = remix_circuit::Circuit::new();
     let a = rc.node("a");
     let o = rc.node("o");
-    rc.add_vsource("v", a, remix_circuit::Circuit::gnd(), remix_circuit::Waveform::sine(0.5, 1e6));
+    rc.add_vsource(
+        "v",
+        a,
+        remix_circuit::Circuit::gnd(),
+        remix_circuit::Waveform::sine(0.5, 1e6),
+    );
     rc.add_resistor("r", a, o, 1e3);
     rc.add_capacitor("c", o, remix_circuit::Circuit::gnd(), 1e-9);
     c.bench_function("transient_1000_steps_rc", |bch| {

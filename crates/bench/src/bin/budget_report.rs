@@ -13,9 +13,15 @@ fn main() {
     let eval = shared_evaluator();
     for mode in [MixerMode::Active, MixerMode::Passive] {
         let m = eval.model(mode);
-        println!("==== {} mode budget (RF 2.45 GHz → IF 5 MHz, rs 100 Ω diff) ====\n", mode.label());
+        println!(
+            "==== {} mode budget (RF 2.45 GHz → IF 5 MHz, rs 100 Ω diff) ====\n",
+            mode.label()
+        );
         let cascade = m.as_cascade();
-        print!("{}", budget_table(&cascade, 2.45e9, 5e6, 2.0 * m.config().rs));
+        print!(
+            "{}",
+            budget_table(&cascade, 2.45e9, 5e6, 2.0 * m.config().rs)
+        );
         println!(
             "\ncascade total {:.1} dB vs model conv gain {:.1} dB\n",
             cascade.conv_gain_db(2.45e9, 5e6),

@@ -47,7 +47,11 @@ fn main() {
                         p.power_mw(),
                     );
                 }
-                Err(e) => println!("{:>6} {:>6.0}  extraction failed: {e}", process.label(), temp_c),
+                Err(e) => println!(
+                    "{:>6} {:>6.0}  extraction failed: {e}",
+                    process.label(),
+                    temp_c
+                ),
             }
         }
     }

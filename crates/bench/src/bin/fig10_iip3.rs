@@ -12,7 +12,10 @@ use remix_core::MixerMode;
 
 fn main() {
     let eval = shared_evaluator();
-    for (fig, mode) in [("Fig. 10(a)", MixerMode::Passive), ("Fig. 10(b)", MixerMode::Active)] {
+    for (fig, mode) in [
+        ("Fig. 10(a)", MixerMode::Passive),
+        ("Fig. 10(b)", MixerMode::Active),
+    ] {
         let m = eval.model(mode);
         let start = m.p1db_dbm() - 22.0;
         let pins: Vec<f64> = (0..10).map(|k| start + 2.0 * k as f64).collect();

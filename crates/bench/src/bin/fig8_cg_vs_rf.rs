@@ -19,7 +19,10 @@ fn main() {
     let passive = eval.gain_vs_rf(MixerMode::Passive, &freqs, f_if);
 
     println!("Fig. 8 — conversion gain vs RF frequency (IF = 5 MHz)\n");
-    println!("{:>9} {:>12} {:>12}", "RF (GHz)", "active (dB)", "passive (dB)");
+    println!(
+        "{:>9} {:>12} {:>12}",
+        "RF (GHz)", "active (dB)", "passive (dB)"
+    );
     for i in 0..freqs.len() {
         println!(
             "{:>9.2} {:>12.2} {:>12.2}",
@@ -49,8 +52,10 @@ fn main() {
             "\n{:<8} peak {:.1} dB, −3 dB band {} – {}",
             mode.label(),
             peak,
-            lo.map(|v| format!("{:.2} GHz", v / 1e9)).unwrap_or("<0.25 GHz".into()),
-            hi.map(|v| format!("{:.2} GHz", v / 1e9)).unwrap_or(">7 GHz".into()),
+            lo.map(|v| format!("{:.2} GHz", v / 1e9))
+                .unwrap_or("<0.25 GHz".into()),
+            hi.map(|v| format!("{:.2} GHz", v / 1e9))
+                .unwrap_or(">7 GHz".into()),
         );
     }
     println!("\npaper: active 29.2 dB over 1–5.5 GHz; passive 25.5 dB over 0.5–5.1 GHz");

@@ -49,8 +49,11 @@ fn main() {
             5e6,
         )
     };
-    println!("\n@5 MHz: NF active {:.1} dB (paper 7.6), passive {:.1} dB (paper 10.2)",
-        spot(&nf_a), spot(&nf_p));
+    println!(
+        "\n@5 MHz: NF active {:.1} dB (paper 7.6), passive {:.1} dB (paper 10.2)",
+        spot(&nf_a),
+        spot(&nf_p)
+    );
     println!(
         "flicker corners: active {:?}, passive {:?} (paper: passive < 100 kHz)",
         eval.model(MixerMode::Active)

@@ -25,7 +25,10 @@ fn main() {
     println!("\npassive-mode gain vs TIA feedback RF (CF rescaled to keep the IF corner)\n");
     println!("{:>10} {:>10}", "RF (Ω)", "CG (dB)");
     let base_rf = eval.model(MixerMode::Passive).config().tia_rf;
-    let rfs: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|k| k * base_rf).collect();
+    let rfs: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|k| k * base_rf)
+        .collect();
     for (rf, g) in eval.passive_gain_vs_rf_feedback(&rfs).expect("rf sweep") {
         println!("{:>10.0} {:>10.2}", rf, g);
     }

@@ -1,0 +1,86 @@
+//! ERC lint report for the paper's mixer netlists — the clippy of this
+//! repository. Runs the full `remix-lint` rule set over both mode
+//! netlists (and the live mode-switch netlist) and prints every finding.
+//!
+//! ```text
+//! cargo run --release -p remix-bench --bin lint           # text
+//! cargo run --release -p remix-bench --bin lint -- --json # machine-readable
+//! ```
+//!
+//! Exit status is non-zero if any netlist has deny-level findings, so
+//! this doubles as a CI gate.
+
+use remix_core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
+use remix_core::{MixerConfig, MixerMode};
+use remix_lint::{lint, LintConfig, LintReport, RuleId};
+use std::process::ExitCode;
+
+fn reports() -> Vec<(String, LintReport)> {
+    let mixer = ReconfigurableMixer::new(MixerConfig::default());
+    let mut out = Vec::new();
+    for mode in [MixerMode::Active, MixerMode::Passive] {
+        out.push((format!("{} mode", mode.label()), mixer.lint_report(mode)));
+    }
+    let (switch_ckt, _) = mixer.build_mode_switch(
+        MixerMode::Active,
+        MixerMode::Passive,
+        100e-9,
+        1e-9,
+        &RfDrive::Bias,
+        &LoDrive::held(2.4e9),
+    );
+    out.push((
+        "mode switch (active→passive)".to_string(),
+        lint(&switch_ckt, &LintConfig::default()),
+    ));
+    out
+}
+
+fn main() -> ExitCode {
+    let json = std::env::args().any(|a| a == "--json");
+    let reports = reports();
+    let mut denies = 0usize;
+
+    if json {
+        // `{:?}` on these names produces a JSON-compatible quoted key:
+        // escape_debug only escapes quotes/backslashes/controls and JSON
+        // accepts raw Unicode.
+        let items: Vec<String> = reports
+            .iter()
+            .map(|(name, r)| format!("{:?}:{}", name, r.render_json()))
+            .collect();
+        println!("{{{}}}", items.join(","));
+    } else {
+        println!("remix-lint rule catalog:");
+        for rule in RuleId::ALL {
+            println!(
+                "  {:<24} {:<5} {}",
+                rule.code(),
+                rule.default_severity().to_string(),
+                rule.summary()
+            );
+        }
+        println!();
+    }
+
+    for (name, report) in &reports {
+        denies += report.deny_count();
+        if !json {
+            println!("==== {name} ====");
+            print!("{}", report.render_text());
+            println!();
+        }
+    }
+
+    if denies == 0 {
+        if !json {
+            println!("all netlists are deny-clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            println!("{denies} deny-level finding(s)");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -13,11 +13,21 @@ use remix_core::MixerConfig;
 fn run(label: &str, mm: &MismatchConfig) {
     let dist = iip2_distribution(&MixerConfig::default(), mm).expect("mc run");
     let s = summarize(&dist);
-    println!("\n{label}: σ(ΔVt) = {:.1} mV, σ(Δβ/β) = {:.2} %  ({} samples)",
-        mm.sigma_vt * 1e3, mm.sigma_kp_frac * 1e2, mm.n_runs);
-    println!("  IIP2 min {:.1} | median {:.1} | max {:.1} dBm", s.min, s.median, s.max);
+    println!(
+        "\n{label}: σ(ΔVt) = {:.1} mV, σ(Δβ/β) = {:.2} %  ({} samples)",
+        mm.sigma_vt * 1e3,
+        mm.sigma_kp_frac * 1e2,
+        mm.n_runs
+    );
+    println!(
+        "  IIP2 min {:.1} | median {:.1} | max {:.1} dBm",
+        s.min, s.median, s.max
+    );
     let above = dist.iter().filter(|v| **v > 65.0).count();
-    println!("  {above}/{} samples clear the paper's 65 dBm line", dist.len());
+    println!(
+        "  {above}/{} samples clear the paper's 65 dBm line",
+        dist.len()
+    );
     // Poor-man's histogram.
     for lo in (40..110).step_by(10) {
         let hi = lo + 10;

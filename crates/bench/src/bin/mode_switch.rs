@@ -29,7 +29,11 @@ fn main() {
                     second.label()
                 );
             }
-            Err(e) => println!("{} → {}: transient failed: {e}", first.label(), second.label()),
+            Err(e) => println!(
+                "{} → {}: transient failed: {e}",
+                first.label(),
+                second.label()
+            ),
         }
     }
     println!("\nboth orders settle within one IF period of the control edge —");

@@ -39,8 +39,7 @@ fn main() {
                 let wave = res.differential_waveform(p, q);
                 let fs = 1.0 / h;
                 let psd = welch(&wave[1..], fs, 4096, Window::Hann);
-                let out_psd =
-                    psd.at(5e6) / (cfg.amplitude_boost * cfg.amplitude_boost);
+                let out_psd = psd.at(5e6) / (cfg.amplitude_boost * cfg.amplitude_boost);
                 // Refer through the model's conversion gain and compare
                 // with the analytic NF at the same sub-band LO.
                 let cg = m.conv_gain(f_lo + 5e6, 5e6);

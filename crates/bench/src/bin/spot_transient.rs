@@ -37,7 +37,11 @@ fn main() {
                     circuit_db - model_db
                 );
             }
-            Err(e) => println!("{:>9} {:>9.2} transient failed: {e}", mode.label(), f_lo / 1e9),
+            Err(e) => println!(
+                "{:>9} {:>9.2} transient failed: {e}",
+                mode.label(),
+                f_lo / 1e9
+            ),
         }
     }
     println!("\nagreement within a couple of dB anchors the behavioral sweeps");

@@ -18,8 +18,14 @@ use remix_core::MixerConfig;
 fn main() {
     let cfg = MixerConfig::default();
 
-    println!("Fig. 5(a) — PMOS switch 1-2 (W = {:.0} µm)\n", cfg.sw12_w * 1e6);
-    println!("{:>12} {:>14} {:>16}", "Vchan (V)", "Ron on (Ω)", "Ioff @Vg=VDD (A)");
+    println!(
+        "Fig. 5(a) — PMOS switch 1-2 (W = {:.0} µm)\n",
+        cfg.sw12_w * 1e6
+    );
+    println!(
+        "{:>12} {:>14} {:>16}",
+        "Vchan (V)", "Ron on (Ω)", "Ioff @Vg=VDD (A)"
+    );
     let p = cfg.pmos.clone();
     for k in 0..=10 {
         let v = 0.2 + 0.08 * k as f64;
@@ -47,7 +53,10 @@ fn main() {
         println!("{:>12.2} {:>12.1}", v, tg_on_resistance(&s, cfg.vdd, v));
     }
 
-    println!("\nTG load to VDD sized for {} Ω at Vpass = 0.8 V (active-mode load):", cfg.tg_load_r);
+    println!(
+        "\nTG load to VDD sized for {} Ω at Vpass = 0.8 V (active-mode load):",
+        cfg.tg_load_r
+    );
     let sl = size_tg_load(&cfg.nmos, &cfg.pmos, cfg.tg_load_r, cfg.vdd, 0.8, 65e-9);
     println!("  wn = {:.2} µm, wp = {:.2} µm", sl.wn * 1e6, sl.wp * 1e6);
     println!("{:>12} {:>12}", "Vpass (V)", "R (Ω)");

@@ -34,7 +34,15 @@ fn main() {
     println!("Table I — simulation results and comparison\n");
     println!(
         "{:<22} {:>10} {:>9} {:>11} {:>13} {:>10} {:>12} {:>10} {:>7}",
-        "design", "gain(dB)", "NF(dB)", "IIP3(dBm)", "1dB-CP(dBm)", "P(mW)", "BW(GHz)", "tech", "VDD"
+        "design",
+        "gain(dB)",
+        "NF(dB)",
+        "IIP3(dBm)",
+        "1dB-CP(dBm)",
+        "P(mW)",
+        "BW(GHz)",
+        "tech",
+        "VDD"
     );
     println!("{}", "-".repeat(110));
     print_row(&eval.table1_row(MixerMode::Active));

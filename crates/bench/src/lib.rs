@@ -27,7 +27,12 @@ pub fn shared_evaluator() -> &'static MixerEvaluator {
 }
 
 /// Renders a crude ASCII plot of `(x, y)` series for terminal inspection.
-pub fn ascii_plot(series: &[(&str, &[(f64, f64)])], y_label: &str, x_div: f64, x_unit: &str) -> String {
+pub fn ascii_plot(
+    series: &[(&str, &[(f64, f64)])],
+    y_label: &str,
+    x_div: f64,
+    x_unit: &str,
+) -> String {
     let mut out = String::new();
     let ymin = series
         .iter()

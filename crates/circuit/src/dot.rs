@@ -79,8 +79,12 @@ pub fn to_dot(circuit: &Circuit, title: &str) -> String {
                 node_id(*n),
                 esc(name)
             )),
-            Element::Vccs { name, p, n, cp, cn, .. }
-            | Element::Vcvs { name, p, n, cp, cn, .. } => {
+            Element::Vccs {
+                name, p, n, cp, cn, ..
+            }
+            | Element::Vcvs {
+                name, p, n, cp, cn, ..
+            } => {
                 let id = format!("dev_{}", esc(name));
                 out.push_str(&format!("  {id} [shape=box, label=\"{}\"];\n", esc(name)));
                 for (t, lab) in [(p, "p"), (n, "n"), (cp, "cp"), (cn, "cn")] {
@@ -132,11 +136,29 @@ mod tests {
         c.add_inductor("l1", a, b, 1e-9);
         c.add_isource("i1", b, Circuit::gnd(), Waveform::Dc(1e-3));
         c.add_vccs("g1", b, Circuit::gnd(), a, Circuit::gnd(), 1e-3);
-        c.add_mosfet("m1", MosModel::nmos_65nm(), 5e-6, 65e-9, b, a, Circuit::gnd(), Circuit::gnd());
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            5e-6,
+            65e-9,
+            b,
+            a,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
         let dot = to_dot(&c, "demo");
         assert!(dot.starts_with("graph \"demo\" {"));
         assert!(dot.trim_end().ends_with('}'));
-        for needle in ["r1", "c1", "l1", "V:vs", "I:i1", "dev_g1", "dev_m1", "N 5.0µ/65n"] {
+        for needle in [
+            "r1",
+            "c1",
+            "l1",
+            "V:vs",
+            "I:i1",
+            "dev_g1",
+            "dev_m1",
+            "N 5.0µ/65n",
+        ] {
             assert!(dot.contains(needle), "missing {needle}:\n{dot}");
         }
         // Balanced braces, every line properly terminated.

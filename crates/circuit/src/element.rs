@@ -262,11 +262,7 @@ mod tests {
         // of a milliamp — the regime the paper's Gm stage operates in.
         let fet = test_fet();
         let e = fet.evaluate(0.6, 0.55, 0.0, 0.0);
-        assert!(
-            e.id > 0.2e-3 && e.id < 10e-3,
-            "id = {:.3} mA",
-            e.id * 1e3
-        );
+        assert!(e.id > 0.2e-3 && e.id < 10e-3, "id = {:.3} mA", e.id * 1e3);
         assert!(e.gm > 1e-3, "gm = {} S", e.gm);
     }
 

@@ -22,9 +22,12 @@
 //! ckt.add_vsource("v1", vin, Circuit::gnd(), Waveform::Dc(1.2));
 //! ckt.add_resistor("r1", vin, out, 10e3);
 //! ckt.add_resistor("r2", out, Circuit::gnd(), 10e3);
-//! ckt.validate()?;
-//! # Ok::<(), remix_circuit::CircuitError>(())
+//! assert!(ckt.defects().is_empty());
 //! ```
+//!
+//! Structural electrical-rule checks (dangling nodes, missing DC paths,
+//! source loops, …) live in the `remix-lint` crate, which runs a
+//! collect-everything diagnostics pass over a finished [`Circuit`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

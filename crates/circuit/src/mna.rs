@@ -76,7 +76,9 @@ impl MnaLayout {
     ///
     /// Panics if the element has no branch unknown.
     pub fn branch_current(&self, solution: &[f64], id: ElementId) -> f64 {
-        let idx = self.branch_index(id).expect("element has no branch current");
+        let idx = self
+            .branch_index(id)
+            .expect("element has no branch current");
         solution[idx]
     }
 }
@@ -109,7 +111,9 @@ pub fn stamp_transconductance<T: Scalar>(
     gm: T,
 ) {
     for (row, sign_row) in [(p, T::one()), (n, -T::one())] {
-        let Some(r) = row.unknown_index() else { continue };
+        let Some(r) = row.unknown_index() else {
+            continue;
+        };
         if let Some(c) = cp.unknown_index() {
             m.push(r, c, sign_row * gm);
         }

@@ -489,8 +489,7 @@ mod tests {
         assert!(e.id < 0.0, "id = {}", e.id);
         assert_eq!(e.region, MosRegion::Saturation);
         let vov = 0.8 - p.vt0;
-        let expected =
-            -0.5 * p.kp * vov * vov * (1.0 + p.lambda * 1.2) / (1.0 + p.theta * vov);
+        let expected = -0.5 * p.kp * vov * vov * (1.0 + p.lambda * 1.2) / (1.0 + p.theta * vov);
         assert!((e.id - expected).abs() < 0.05 * expected.abs());
     }
 
@@ -508,8 +507,8 @@ mod tests {
         let (vd, vg, vs, vb) = (0.3, 0.2, 1.2, 1.2);
         let e = m.evaluate(vd, vg, vs, vb);
         let h = 1e-7;
-        let dvg = (m.evaluate(vd, vg + h, vs, vb).id - m.evaluate(vd, vg - h, vs, vb).id)
-            / (2.0 * h);
+        let dvg =
+            (m.evaluate(vd, vg + h, vs, vb).id - m.evaluate(vd, vg - h, vs, vb).id) / (2.0 * h);
         assert!(
             (dvg - e.d_vg).abs() < 1e-5 * e.d_vg.abs().max(1e-9),
             "{dvg} vs {}",

@@ -1,42 +1,63 @@
 //! The circuit netlist builder.
+//!
+//! Malformed construction (non-positive resistances, duplicate names, …)
+//! never aborts: the offending element is still inserted and a typed
+//! [`CircuitError`] is recorded in [`Circuit::defects`], so a broken deck
+//! stays inspectable and the `remix-lint` ERC engine can report *every*
+//! problem at once (rules `ERC008_INVALID_VALUE` /
+//! `ERC009_DUPLICATE_NAME`). Callers that want fail-fast behaviour use
+//! the `try_add_*` variants, which return the same typed errors and leave
+//! the circuit untouched on rejection.
 
 use crate::element::{Element, Mosfet};
 use crate::mos::MosModel;
 use crate::node::{ElementId, Node};
 use crate::waveform::Waveform;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-/// Structural problems detected by [`Circuit::validate`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A defect detected while building a [`Circuit`].
+///
+/// Structural problems (dangling nodes, missing DC paths, source loops …)
+/// are the `remix-lint` crate's department; this type covers only what
+/// the builder itself can see: element values and naming.
+#[derive(Debug, Clone, PartialEq)]
 pub enum CircuitError {
-    /// A node (other than ground) is referenced by fewer than two
-    /// elements — it cannot carry a defined voltage.
-    DanglingNode {
-        /// Name of the offending node.
-        node: String,
+    /// A device was given a value outside its legal domain (zero,
+    /// negative, or non-finite where positive-finite is required).
+    InvalidValue {
+        /// Instance name of the offending element.
+        element: String,
+        /// Which quantity was invalid (`"resistance"`, `"width"`, …).
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
     },
-    /// A node has no DC path to ground (only capacitors connect it), which
-    /// makes the DC matrix singular without gmin.
-    NoDcPath {
-        /// Name of the offending node.
-        node: String,
+    /// An element reused an instance name already present in the circuit.
+    DuplicateName {
+        /// The reused name.
+        name: String,
     },
-    /// The circuit contains no elements.
-    Empty,
 }
 
 impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CircuitError::DanglingNode { node } => {
-                write!(f, "node '{node}' is connected to fewer than two elements")
+            CircuitError::InvalidValue {
+                element,
+                quantity,
+                value,
+            } => {
+                write!(
+                    f,
+                    "element '{element}': {quantity} must be positive and finite, got {value}"
+                )
             }
-            CircuitError::NoDcPath { node } => {
-                write!(f, "node '{node}' has no DC path to ground")
+            CircuitError::DuplicateName { name } => {
+                write!(f, "duplicate element name '{name}'")
             }
-            CircuitError::Empty => write!(f, "circuit contains no elements"),
         }
     }
 }
@@ -57,7 +78,7 @@ impl Error for CircuitError {}
 /// ckt.add_resistor("r1", vin, vout, 1e3);
 /// ckt.add_resistor("r2", vout, Circuit::gnd(), 1e3);
 /// assert_eq!(ckt.element_count(), 3);
-/// ckt.validate().unwrap();
+/// assert!(ckt.defects().is_empty());
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Circuit {
@@ -65,6 +86,7 @@ pub struct Circuit {
     name_to_node: HashMap<String, Node>,
     elements: Vec<Element>,
     element_names: HashMap<String, ElementId>,
+    defects: Vec<CircuitError>,
 }
 
 impl Circuit {
@@ -75,6 +97,7 @@ impl Circuit {
             name_to_node: HashMap::new(),
             elements: Vec::new(),
             element_names: HashMap::new(),
+            defects: Vec::new(),
         };
         c.name_to_node.insert("0".to_string(), Node::GROUND);
         c
@@ -144,81 +167,188 @@ impl Circuit {
         &mut self.elements[id.0]
     }
 
-    /// Finds an element id by instance name.
+    /// Finds an element id by instance name. With duplicate names (a
+    /// recorded defect), the first insertion wins.
     pub fn find_element(&self, name: &str) -> Option<ElementId> {
         self.element_names.get(name).copied()
     }
 
-    fn push(&mut self, e: Element) -> ElementId {
+    /// Typed defects recorded while building (invalid values, duplicate
+    /// names). The offending elements are still present, so diagnostics
+    /// can point at them; a defect-free build returns an empty slice.
+    pub fn defects(&self) -> &[CircuitError] {
+        &self.defects
+    }
+
+    /// Checks a quantity that must be positive and finite.
+    fn check_positive(
+        element: &str,
+        quantity: &'static str,
+        value: f64,
+    ) -> Result<(), CircuitError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(())
+        } else {
+            Err(CircuitError::InvalidValue {
+                element: element.to_string(),
+                quantity,
+                value,
+            })
+        }
+    }
+
+    /// Checks a quantity that must be finite (any sign).
+    fn check_finite(element: &str, quantity: &'static str, value: f64) -> Result<(), CircuitError> {
+        if value.is_finite() {
+            Ok(())
+        } else {
+            Err(CircuitError::InvalidValue {
+                element: element.to_string(),
+                quantity,
+                value,
+            })
+        }
+    }
+
+    fn check_unique(&self, name: &str) -> Result<(), CircuitError> {
+        if self.element_names.contains_key(name) {
+            Err(CircuitError::DuplicateName {
+                name: name.to_string(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn record(&mut self, check: Result<(), CircuitError>) {
+        if let Err(defect) = check {
+            self.defects.push(defect);
+        }
+    }
+
+    /// Inserts an element, recording (not rejecting) a duplicate name.
+    fn insert(&mut self, e: Element) -> ElementId {
         let name = e.name().to_string();
-        assert!(
-            !self.element_names.contains_key(&name),
-            "duplicate element name '{name}'"
-        );
         let id = ElementId(self.elements.len());
+        match self.element_names.entry(name) {
+            Entry::Occupied(slot) => {
+                self.defects
+                    .push(CircuitError::DuplicateName { name: slot.key().clone() });
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(id);
+            }
+        }
         self.elements.push(e);
-        self.element_names.insert(name, id);
         id
     }
 
-    /// Adds a resistor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `r` is not positive and finite, or the name is a
-    /// duplicate.
-    pub fn add_resistor(&mut self, name: &str, a: Node, b: Node, r: f64) -> ElementId {
-        assert!(r.is_finite() && r > 0.0, "resistance must be positive, got {r}");
-        self.push(Element::Resistor {
+    fn resistor(name: &str, a: Node, b: Node, r: f64) -> Element {
+        Element::Resistor {
             name: name.to_string(),
             a,
             b,
             r,
-        })
+        }
     }
 
-    /// Adds a capacitor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `c` is not positive and finite, or the name is a
-    /// duplicate.
-    pub fn add_capacitor(&mut self, name: &str, a: Node, b: Node, c: f64) -> ElementId {
-        assert!(c.is_finite() && c > 0.0, "capacitance must be positive, got {c}");
-        self.push(Element::Capacitor {
+    fn capacitor(name: &str, a: Node, b: Node, c: f64) -> Element {
+        Element::Capacitor {
             name: name.to_string(),
             a,
             b,
             c,
-        })
+        }
     }
 
-    /// Adds an inductor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `l` is not positive and finite, or the name is a
-    /// duplicate.
-    pub fn add_inductor(&mut self, name: &str, a: Node, b: Node, l: f64) -> ElementId {
-        assert!(l.is_finite() && l > 0.0, "inductance must be positive, got {l}");
-        self.push(Element::Inductor {
+    fn inductor(name: &str, a: Node, b: Node, l: f64) -> Element {
+        Element::Inductor {
             name: name.to_string(),
             a,
             b,
             l,
-        })
+        }
+    }
+
+    /// Adds a resistor. A non-positive or non-finite `r` is recorded as a
+    /// defect (see [`Circuit::defects`]); use
+    /// [`try_add_resistor`](Circuit::try_add_resistor) to reject instead.
+    pub fn add_resistor(&mut self, name: &str, a: Node, b: Node, r: f64) -> ElementId {
+        self.record(Self::check_positive(name, "resistance", r));
+        self.insert(Self::resistor(name, a, b, r))
+    }
+
+    /// Fallible [`add_resistor`](Circuit::add_resistor): rejects bad
+    /// values and duplicate names without touching the circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidValue`] or [`CircuitError::DuplicateName`].
+    pub fn try_add_resistor(
+        &mut self,
+        name: &str,
+        a: Node,
+        b: Node,
+        r: f64,
+    ) -> Result<ElementId, CircuitError> {
+        Self::check_positive(name, "resistance", r)?;
+        self.check_unique(name)?;
+        Ok(self.insert(Self::resistor(name, a, b, r)))
+    }
+
+    /// Adds a capacitor. A non-positive or non-finite `c` is recorded as
+    /// a defect; use [`try_add_capacitor`](Circuit::try_add_capacitor) to
+    /// reject instead.
+    pub fn add_capacitor(&mut self, name: &str, a: Node, b: Node, c: f64) -> ElementId {
+        self.record(Self::check_positive(name, "capacitance", c));
+        self.insert(Self::capacitor(name, a, b, c))
+    }
+
+    /// Fallible [`add_capacitor`](Circuit::add_capacitor).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidValue`] or [`CircuitError::DuplicateName`].
+    pub fn try_add_capacitor(
+        &mut self,
+        name: &str,
+        a: Node,
+        b: Node,
+        c: f64,
+    ) -> Result<ElementId, CircuitError> {
+        Self::check_positive(name, "capacitance", c)?;
+        self.check_unique(name)?;
+        Ok(self.insert(Self::capacitor(name, a, b, c)))
+    }
+
+    /// Adds an inductor. A non-positive or non-finite `l` is recorded as
+    /// a defect; use [`try_add_inductor`](Circuit::try_add_inductor) to
+    /// reject instead.
+    pub fn add_inductor(&mut self, name: &str, a: Node, b: Node, l: f64) -> ElementId {
+        self.record(Self::check_positive(name, "inductance", l));
+        self.insert(Self::inductor(name, a, b, l))
+    }
+
+    /// Fallible [`add_inductor`](Circuit::add_inductor).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidValue`] or [`CircuitError::DuplicateName`].
+    pub fn try_add_inductor(
+        &mut self,
+        name: &str,
+        a: Node,
+        b: Node,
+        l: f64,
+    ) -> Result<ElementId, CircuitError> {
+        Self::check_positive(name, "inductance", l)?;
+        self.check_unique(name)?;
+        Ok(self.insert(Self::inductor(name, a, b, l)))
     }
 
     /// Adds a voltage source with no AC component.
     pub fn add_vsource(&mut self, name: &str, p: Node, n: Node, wave: Waveform) -> ElementId {
-        self.push(Element::VoltageSource {
-            name: name.to_string(),
-            p,
-            n,
-            wave,
-            ac_mag: 0.0,
-            ac_phase: 0.0,
-        })
+        self.add_vsource_ac(name, p, n, wave, 0.0, 0.0)
     }
 
     /// Adds a voltage source that also drives small-signal analyses with
@@ -232,7 +362,7 @@ impl Circuit {
         ac_mag: f64,
         ac_phase: f64,
     ) -> ElementId {
-        self.push(Element::VoltageSource {
+        self.insert(Element::VoltageSource {
             name: name.to_string(),
             p,
             n,
@@ -244,13 +374,7 @@ impl Circuit {
 
     /// Adds a current source (current flows `p → n` through the source).
     pub fn add_isource(&mut self, name: &str, p: Node, n: Node, wave: Waveform) -> ElementId {
-        self.push(Element::CurrentSource {
-            name: name.to_string(),
-            p,
-            n,
-            wave,
-            ac_mag: 0.0,
-        })
+        self.add_isource_ac(name, p, n, wave, 0.0)
     }
 
     /// Adds a current source with an AC magnitude (used by noise transfer
@@ -263,7 +387,7 @@ impl Circuit {
         wave: Waveform,
         ac_mag: f64,
     ) -> ElementId {
-        self.push(Element::CurrentSource {
+        self.insert(Element::CurrentSource {
             name: name.to_string(),
             p,
             n,
@@ -272,11 +396,8 @@ impl Circuit {
         })
     }
 
-    /// Adds a voltage-controlled current source.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `gm` is not finite.
+    /// Adds a voltage-controlled current source. A non-finite `gm` is
+    /// recorded as a defect.
     pub fn add_vccs(
         &mut self,
         name: &str,
@@ -286,8 +407,8 @@ impl Circuit {
         cn: Node,
         gm: f64,
     ) -> ElementId {
-        assert!(gm.is_finite(), "gm must be finite");
-        self.push(Element::Vccs {
+        self.record(Self::check_finite(name, "transconductance", gm));
+        self.insert(Element::Vccs {
             name: name.to_string(),
             p,
             n,
@@ -297,11 +418,8 @@ impl Circuit {
         })
     }
 
-    /// Adds a voltage-controlled voltage source.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `gain` is not finite.
+    /// Adds a voltage-controlled voltage source. A non-finite `gain` is
+    /// recorded as a defect.
     pub fn add_vcvs(
         &mut self,
         name: &str,
@@ -311,8 +429,8 @@ impl Circuit {
         cn: Node,
         gain: f64,
     ) -> ElementId {
-        assert!(gain.is_finite(), "gain must be finite");
-        self.push(Element::Vcvs {
+        self.record(Self::check_finite(name, "gain", gain));
+        self.insert(Element::Vcvs {
             name: name.to_string(),
             p,
             n,
@@ -322,11 +440,9 @@ impl Circuit {
         })
     }
 
-    /// Adds a MOSFET.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `w` or `l` is not positive and finite.
+    /// Adds a MOSFET. Non-positive or non-finite `w`/`l` are recorded as
+    /// defects; use [`try_add_mosfet`](Circuit::try_add_mosfet) to reject
+    /// instead.
     #[allow(clippy::too_many_arguments)]
     pub fn add_mosfet(
         &mut self,
@@ -339,9 +455,9 @@ impl Circuit {
         s: Node,
         b: Node,
     ) -> ElementId {
-        assert!(w.is_finite() && w > 0.0, "width must be positive");
-        assert!(l.is_finite() && l > 0.0, "length must be positive");
-        self.push(Element::Mos {
+        self.record(Self::check_positive(name, "width", w));
+        self.record(Self::check_positive(name, "length", l));
+        self.insert(Element::Mos {
             name: name.to_string(),
             dev: Mosfet {
                 model,
@@ -355,59 +471,38 @@ impl Circuit {
         })
     }
 
-    /// Structural validation: dangling nodes and missing DC paths.
+    /// Fallible [`add_mosfet`](Circuit::add_mosfet).
     ///
     /// # Errors
     ///
-    /// Returns the first [`CircuitError`] found.
-    pub fn validate(&self) -> Result<(), CircuitError> {
-        if self.elements.is_empty() {
-            return Err(CircuitError::Empty);
-        }
-        let n = self.node_count();
-        let mut touch_count = vec![0usize; n];
-        for e in &self.elements {
-            for node in e.nodes() {
-                touch_count[node.0] += 1;
-            }
-        }
-        for (i, &cnt) in touch_count.iter().enumerate().skip(1) {
-            if cnt < 2 {
-                return Err(CircuitError::DanglingNode {
-                    node: self.node_names[i].clone(),
-                });
-            }
-        }
-        // DC-path check: union-find over elements that conduct DC.
-        let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut [usize], mut x: usize) -> usize {
-            while parent[x] != x {
-                parent[x] = parent[parent[x]];
-                x = parent[x];
-            }
-            x
-        }
-        for e in &self.elements {
-            if !e.provides_dc_path() {
-                continue;
-            }
-            let nodes = e.nodes();
-            for w in nodes.windows(2) {
-                let (ra, rb) = (find(&mut parent, w[0].0), find(&mut parent, w[1].0));
-                if ra != rb {
-                    parent[ra] = rb;
-                }
-            }
-        }
-        let ground_root = find(&mut parent, 0);
-        for i in 1..n {
-            if find(&mut parent, i) != ground_root {
-                return Err(CircuitError::NoDcPath {
-                    node: self.node_names[i].clone(),
-                });
-            }
-        }
-        Ok(())
+    /// [`CircuitError::InvalidValue`] or [`CircuitError::DuplicateName`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_add_mosfet(
+        &mut self,
+        name: &str,
+        model: MosModel,
+        w: f64,
+        l: f64,
+        d: Node,
+        g: Node,
+        s: Node,
+        b: Node,
+    ) -> Result<ElementId, CircuitError> {
+        Self::check_positive(name, "width", w)?;
+        Self::check_positive(name, "length", l)?;
+        self.check_unique(name)?;
+        Ok(self.insert(Element::Mos {
+            name: name.to_string(),
+            dev: Mosfet {
+                model,
+                w,
+                l,
+                d,
+                g,
+                s,
+                b,
+            },
+        }))
     }
 }
 
@@ -420,7 +515,11 @@ impl fmt::Display for Circuit {
             self.element_count()
         )?;
         for e in &self.elements {
-            let nodes: Vec<String> = e.nodes().iter().map(|n| self.node_name(*n).to_string()).collect();
+            let nodes: Vec<String> = e
+                .nodes()
+                .iter()
+                .map(|n| self.node_name(*n).to_string())
+                .collect();
             writeln!(f, "  {} ({})", e.name(), nodes.join(", "))?;
         }
         Ok(())
@@ -454,60 +553,94 @@ mod tests {
         c.add_vsource("v1", vin, Circuit::gnd(), Waveform::Dc(1.0));
         c.add_resistor("r1", vin, out, 1e3);
         c.add_resistor("r2", out, Circuit::gnd(), 1e3);
-        assert!(c.validate().is_ok());
+        assert!(c.defects().is_empty());
         assert_eq!(c.element_count(), 3);
         assert!(c.find_element("r1").is_some());
         assert!(c.find_element("zz").is_none());
     }
 
     #[test]
-    fn empty_circuit_invalid() {
-        assert_eq!(Circuit::new().validate(), Err(CircuitError::Empty));
-    }
-
-    #[test]
-    fn dangling_node_detected() {
-        let mut c = Circuit::new();
-        let a = c.node("a");
-        let b = c.node("b");
-        c.add_resistor("r1", a, b, 1.0);
-        c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.0));
-        // b touches only r1.
-        match c.validate() {
-            Err(CircuitError::DanglingNode { node }) => assert_eq!(node, "b"),
-            other => panic!("expected dangling node, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn no_dc_path_detected() {
-        let mut c = Circuit::new();
-        let a = c.node("a");
-        let b = c.node("b");
-        c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.0));
-        c.add_capacitor("c1", a, b, 1e-12);
-        c.add_resistor("r1", b, b, 1.0); // self-loop keeps b "touched" twice
-        match c.validate() {
-            Err(CircuitError::NoDcPath { node }) => assert_eq!(node, "b"),
-            other => panic!("expected no-dc-path, got {other:?}"),
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "duplicate element name")]
-    fn duplicate_names_rejected() {
+    fn duplicate_names_recorded_not_fatal() {
         let mut c = Circuit::new();
         let a = c.node("a");
         c.add_resistor("r1", a, Circuit::gnd(), 1.0);
-        c.add_resistor("r1", a, Circuit::gnd(), 2.0);
+        let second = c.add_resistor("r1", a, Circuit::gnd(), 2.0);
+        // Both elements exist; the defect names the collision; lookup
+        // returns the first.
+        assert_eq!(c.element_count(), 2);
+        assert_eq!(
+            c.defects(),
+            &[CircuitError::DuplicateName { name: "r1".into() }]
+        );
+        assert_ne!(c.find_element("r1"), Some(second));
     }
 
     #[test]
-    #[should_panic(expected = "resistance must be positive")]
-    fn negative_resistance_rejected() {
+    fn negative_resistance_recorded_not_fatal() {
         let mut c = Circuit::new();
         let a = c.node("a");
         c.add_resistor("r1", a, Circuit::gnd(), -1.0);
+        assert_eq!(c.element_count(), 1);
+        match &c.defects()[0] {
+            CircuitError::InvalidValue {
+                element, quantity, ..
+            } => {
+                assert_eq!(element, "r1");
+                assert_eq!(*quantity, "resistance");
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_add_rejects_without_inserting() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        assert!(matches!(
+            c.try_add_resistor("r1", a, Circuit::gnd(), f64::NAN),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        assert_eq!(c.element_count(), 0);
+        c.try_add_resistor("r1", a, Circuit::gnd(), 1e3).unwrap();
+        assert!(matches!(
+            c.try_add_resistor("r1", a, Circuit::gnd(), 2e3),
+            Err(CircuitError::DuplicateName { .. })
+        ));
+        assert_eq!(c.element_count(), 1);
+        assert!(c.defects().is_empty());
+
+        assert!(c
+            .try_add_capacitor("c_bad", a, Circuit::gnd(), 0.0)
+            .is_err());
+        assert!(c
+            .try_add_inductor("l_bad", a, Circuit::gnd(), -2.0)
+            .is_err());
+        assert!(c
+            .try_add_mosfet(
+                "m_bad",
+                MosModel::nmos_65nm(),
+                -1e-6,
+                65e-9,
+                a,
+                a,
+                Circuit::gnd(),
+                Circuit::gnd(),
+            )
+            .is_err());
+        assert_eq!(c.element_count(), 1);
+    }
+
+    #[test]
+    fn invalid_values_render_legibly() {
+        let e = CircuitError::InvalidValue {
+            element: "rload".into(),
+            quantity: "resistance",
+            value: -5.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rload") && s.contains("resistance") && s.contains("-5"));
+        let d = CircuitError::DuplicateName { name: "m1".into() };
+        assert!(d.to_string().contains("m1"));
     }
 
     #[test]
@@ -551,5 +684,6 @@ mod tests {
             Circuit::gnd(),
         );
         assert_eq!(c.element_count(), 1);
+        assert!(c.defects().is_empty());
     }
 }

@@ -27,6 +27,14 @@ impl Node {
         self.0
     }
 
+    /// Builds a node handle from a raw id (the inverse of
+    /// [`id`](Self::id)); callers must ensure it is in range for the
+    /// circuit it will be used with. `from_id(0)` is ground.
+    #[inline]
+    pub fn from_id(i: usize) -> Node {
+        Node(i)
+    }
+
     /// MNA unknown index, or `None` for ground.
     #[inline]
     pub fn unknown_index(self) -> Option<usize> {

@@ -321,7 +321,11 @@ fn parse_waveform(tokens: &[&str]) -> Option<(Waveform, f64, f64)> {
         }
     } else if upper.contains("PWL(") {
         let a = fn_args(tokens, "PWL")?;
-        let pts = a.chunks(2).filter(|c| c.len() == 2).map(|c| (c[0], c[1])).collect();
+        let pts = a
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| (c[0], c[1]))
+            .collect();
         Waveform::Pwl(pts)
     } else if upper.contains("TWOTONE(") {
         let a = fn_args(tokens, "TWOTONE")?;
@@ -383,7 +387,9 @@ pub fn from_spice(text: &str) -> Result<Circuit, SpiceParseError> {
             MosPolarity::Pmos => MosModel::pmos_65nm(),
         };
         for kv in &toks[3..] {
-            let Some((k, v)) = kv.split_once('=') else { continue };
+            let Some((k, v)) = kv.split_once('=') else {
+                continue;
+            };
             let Some(v) = parse_value(v) else {
                 return Err(SpiceParseError::BadLine {
                     line: idx + 1,
@@ -413,10 +419,7 @@ pub fn from_spice(text: &str) -> Result<Circuit, SpiceParseError> {
     // Second pass: elements.
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
-        if line.is_empty()
-            || line.starts_with('*')
-            || line.starts_with('.')
-        {
+        if line.is_empty() || line.starts_with('*') || line.starts_with('.') {
             continue;
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
@@ -519,14 +522,30 @@ mod tests {
         let vin = c.node("in");
         let out = c.node("out");
         let g = c.node("g");
-        c.add_vsource_ac("src", vin, Circuit::gnd(), Waveform::sine(0.1, 1e9), 1.0, 0.5);
+        c.add_vsource_ac(
+            "src",
+            vin,
+            Circuit::gnd(),
+            Waveform::sine(0.1, 1e9),
+            1.0,
+            0.5,
+        );
         c.add_resistor("load", vin, out, 1.5e3);
         c.add_capacitor("cl", out, Circuit::gnd(), 2e-12);
         c.add_inductor("ldeg", out, g, 1e-9);
         c.add_isource("bias", Circuit::gnd(), g, Waveform::Dc(1e-3));
         c.add_vccs("gm1", out, Circuit::gnd(), vin, Circuit::gnd(), 5e-3);
         c.add_vcvs("buf", g, Circuit::gnd(), out, Circuit::gnd(), 2.0);
-        c.add_mosfet("m1", MosModel::nmos_65nm(), 5e-6, 65e-9, out, g, Circuit::gnd(), Circuit::gnd());
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            5e-6,
+            65e-9,
+            out,
+            g,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
         c.add_mosfet("m2", MosModel::pmos_65nm(), 10e-6, 65e-9, out, g, vin, vin);
         c
     }
@@ -535,7 +554,10 @@ mod tests {
     fn export_contains_all_cards() {
         let deck = to_spice(&demo_circuit(), "demo");
         assert!(deck.starts_with("* demo\n"));
-        for needle in ["Rload", "Ccl", "Lldeg", "Vsrc", "Ibias", "Ggm1", "Ebuf", "Mm1", "Mm2", ".model", ".end"] {
+        for needle in [
+            "Rload", "Ccl", "Lldeg", "Vsrc", "Ibias", "Ggm1", "Ebuf", "Mm1", "Mm2", ".model",
+            ".end",
+        ] {
             assert!(deck.contains(needle), "missing {needle} in:\n{deck}");
         }
         // Two distinct models.
@@ -562,8 +584,18 @@ mod tests {
                     assert_eq!(d1.model, d2.model);
                     assert!((d1.w - d2.w).abs() < 1e-15);
                 }
-                (Element::VoltageSource { wave: w1, ac_mag: m1, .. },
-                 Element::VoltageSource { wave: w2, ac_mag: m2, .. }) => {
+                (
+                    Element::VoltageSource {
+                        wave: w1,
+                        ac_mag: m1,
+                        ..
+                    },
+                    Element::VoltageSource {
+                        wave: w2,
+                        ac_mag: m2,
+                        ..
+                    },
+                ) => {
                     assert_eq!(w1, w2);
                     assert_eq!(m1, m2);
                 }
@@ -581,7 +613,16 @@ mod tests {
         let out = c.node("out");
         c.add_vsource("v1", vin, Circuit::gnd(), Waveform::Dc(1.2));
         c.add_resistor("r1", vin, out, 1e3);
-        c.add_mosfet("m1", MosModel::nmos_65nm(), 10e-6, 65e-9, out, out, Circuit::gnd(), Circuit::gnd());
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            out,
+            out,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
         let deck = to_spice(&c, "sim");
         let back = from_spice(&deck).unwrap();
         // Solve both via a tiny fixed-point on the diode-connected device:
@@ -626,8 +667,7 @@ mod tests {
             panic!()
         };
         assert!(matches!(wave, Waveform::Sin { freq, .. } if *freq == 2.4e9));
-        let Element::VoltageSource { wave, ac_mag, .. } =
-            c.element(c.find_element("ck").unwrap())
+        let Element::VoltageSource { wave, ac_mag, .. } = c.element(c.find_element("ck").unwrap())
         else {
             panic!()
         };

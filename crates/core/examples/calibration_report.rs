@@ -12,22 +12,63 @@ use remix_core::{MixerConfig, MixerMode};
 fn main() {
     let cfg = MixerConfig::default();
     let params = ExtractedParams::extract(&cfg).unwrap();
-    println!("tca: gm={:.1}mS rout={:.0} cout={:.1}fF a_iip3={:.3}V en={:.2}nV ibias={:.2}mA",
-        params.tca.gm*1e3, params.tca.rout, params.tca.cout*1e15,
-        params.tca.a_iip3().unwrap_or(f64::NAN), params.tca.en2_white.sqrt()*1e9, params.tca.bias_current*1e3);
-    println!("tia: zf0={:.0} corner={:.2}MHz rin={:.1} isupply={:.2}mA", params.tia.zf0, params.tia.corner_hz/1e6, params.tia.rin_at_5mhz, params.tia.supply_current*1e3);
-    println!("ron_quad={:.0} rdeg={:.0} gm_pair={:.1}mS a_iip3_pair={:.3}V", params.ron_quad, params.rdeg, params.poly_gm_pair.a1.abs()*1e3, params.poly_gm_pair.a_iip3().unwrap_or(f64::NAN));
-    println!("power: active={:.2}mW passive={:.2}mW  (paper 9.36 / 9.24)", params.power_active_mw, params.power_passive_mw);
+    println!(
+        "tca: gm={:.1}mS rout={:.0} cout={:.1}fF a_iip3={:.3}V en={:.2}nV ibias={:.2}mA",
+        params.tca.gm * 1e3,
+        params.tca.rout,
+        params.tca.cout * 1e15,
+        params.tca.a_iip3().unwrap_or(f64::NAN),
+        params.tca.en2_white.sqrt() * 1e9,
+        params.tca.bias_current * 1e3
+    );
+    println!(
+        "tia: zf0={:.0} corner={:.2}MHz rin={:.1} isupply={:.2}mA",
+        params.tia.zf0,
+        params.tia.corner_hz / 1e6,
+        params.tia.rin_at_5mhz,
+        params.tia.supply_current * 1e3
+    );
+    println!(
+        "ron_quad={:.0} rdeg={:.0} gm_pair={:.1}mS a_iip3_pair={:.3}V",
+        params.ron_quad,
+        params.rdeg,
+        params.poly_gm_pair.a1.abs() * 1e3,
+        params.poly_gm_pair.a_iip3().unwrap_or(f64::NAN)
+    );
+    println!(
+        "power: active={:.2}mW passive={:.2}mW  (paper 9.36 / 9.24)",
+        params.power_active_mw, params.power_passive_mw
+    );
     for mode in [MixerMode::Active, MixerMode::Passive] {
         let m = MixerModel::new(cfg.clone(), mode, params.clone());
         println!("--- {mode:?} ---");
-        println!("  CG(2.45G,5M) = {:.1} dB   (paper: active 29.2 / passive 25.5)", m.conv_gain_db(2.45e9, 5e6));
-        println!("  NF(5M)       = {:.1} dB   (paper: 7.6 / 10.2)", m.nf_db(5e6));
-        println!("  IIP3         = {:.1} dBm  (paper: -11.9 / +6.57)", m.iip3_dbm());
-        println!("  P1dB         = {:.1} dBm  (paper: -24.5 / -14)", m.p1db_dbm());
-        println!("  IIP2(0.5%)   = {:.1} dBm  (paper: >65)", m.iip2_dbm(0.005));
-        println!("  corners: in_hp={:.2}G gate_hp={:.2}G rf_pole={:.2}G if_pole={:.1}M flicker={:?}",
-            m.input_hp_hz()/1e9, m.gate_hp_hz()/1e9, m.rf_pole_hz()/1e9, m.if_pole_hz()/1e6,
-            m.flicker_corner_hz().map(|f| f/1e3));
+        println!(
+            "  CG(2.45G,5M) = {:.1} dB   (paper: active 29.2 / passive 25.5)",
+            m.conv_gain_db(2.45e9, 5e6)
+        );
+        println!(
+            "  NF(5M)       = {:.1} dB   (paper: 7.6 / 10.2)",
+            m.nf_db(5e6)
+        );
+        println!(
+            "  IIP3         = {:.1} dBm  (paper: -11.9 / +6.57)",
+            m.iip3_dbm()
+        );
+        println!(
+            "  P1dB         = {:.1} dBm  (paper: -24.5 / -14)",
+            m.p1db_dbm()
+        );
+        println!(
+            "  IIP2(0.5%)   = {:.1} dBm  (paper: >65)",
+            m.iip2_dbm(0.005)
+        );
+        println!(
+            "  corners: in_hp={:.2}G gate_hp={:.2}G rf_pole={:.2}G if_pole={:.1}M flicker={:?}",
+            m.input_hp_hz() / 1e9,
+            m.gate_hp_hz() / 1e9,
+            m.rf_pole_hz() / 1e9,
+            m.if_pole_hz() / 1e6,
+            m.flicker_corner_hz().map(|f| f / 1e3)
+        );
     }
 }

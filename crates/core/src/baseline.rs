@@ -153,7 +153,11 @@ mod tests {
             "dedicated {g_ded:.1} dB vs reconfigurable {g_rec:.1} dB"
         );
         // …but it also loses the Rdeg linearization.
-        assert!(dp.model.params.rdeg < 10.0, "rdeg = {}", dp.model.params.rdeg);
+        assert!(
+            dp.model.params.rdeg < 10.0,
+            "rdeg = {}",
+            dp.model.params.rdeg
+        );
     }
 
     #[test]

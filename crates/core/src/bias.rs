@@ -15,7 +15,14 @@ use remix_numerics::brent;
 ///
 /// Panics if the target is not achievable below `vgs = vdd` (i.e. the
 /// device is too small), or on non-positive inputs.
-pub fn nmos_vgs_for_current(model: &MosModel, w: f64, l: f64, vds: f64, target: f64, vdd: f64) -> f64 {
+pub fn nmos_vgs_for_current(
+    model: &MosModel,
+    w: f64,
+    l: f64,
+    vds: f64,
+    target: f64,
+    vdd: f64,
+) -> f64 {
     assert_eq!(model.polarity, MosPolarity::Nmos, "expects an NMOS model");
     assert!(target > 0.0 && w > 0.0 && l > 0.0 && vds > 0.0);
     let id_at = |vgs: f64| model.evaluate(vds, vgs, 0.0, 0.0).id * (w / l) - target;

@@ -200,9 +200,6 @@ mod tests {
         let base = MixerConfig::default();
         let worst = Corner::slow_hot(0.1)(&base).apply(&base);
         assert!((worst.vdd - 1.1).abs() < 1e-12);
-        assert_eq!(
-            Corner::slow_hot(0.1)(&base).process,
-            ProcessCorner::Ss
-        );
+        assert_eq!(Corner::slow_hot(0.1)(&base).process, ProcessCorner::Ss);
     }
 }

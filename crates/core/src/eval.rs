@@ -238,10 +238,7 @@ impl MixerEvaluator {
     /// # Errors
     ///
     /// Propagates extraction errors at any bias point.
-    pub fn active_gain_vs_bias(
-        &self,
-        biases: &[f64],
-    ) -> Result<Vec<(f64, f64)>, AnalysisError> {
+    pub fn active_gain_vs_bias(&self, biases: &[f64]) -> Result<Vec<(f64, f64)>, AnalysisError> {
         let base = self.model(MixerMode::Active);
         let mut out = Vec::with_capacity(biases.len());
         for &vb in biases {
@@ -451,7 +448,13 @@ mod tests {
         let p = eval().gain_vs_rf(MixerMode::Passive, &freqs, 5e6);
         // Active above passive through the midband.
         for i in 3..10 {
-            assert!(a[i].1 > p[i].1, "at {} GHz: {} vs {}", freqs[i] / 1e9, a[i].1, p[i].1);
+            assert!(
+                a[i].1 > p[i].1,
+                "at {} GHz: {} vs {}",
+                freqs[i] / 1e9,
+                a[i].1,
+                p[i].1
+            );
         }
         // Midband gains near paper values.
         let ga = a.iter().map(|p| p.1).fold(f64::MIN, f64::max);
@@ -548,9 +551,24 @@ mod tests {
             // The coupling cap's reactance degrades the match toward the
             // low band edge (no on-chip matching inductor is modeled);
             // mid/upper band must be solidly matched.
-            assert!(s11[0].1 < -5.0, "{}: S11 {:.1} dB at 1 GHz", mode.label(), s11[0].1);
-            assert!(s11[1].1 < -8.0, "{}: S11 {:.1} dB at 2.45 GHz", mode.label(), s11[1].1);
-            assert!(s11[2].1 < -8.0, "{}: S11 {:.1} dB at 4 GHz", mode.label(), s11[2].1);
+            assert!(
+                s11[0].1 < -5.0,
+                "{}: S11 {:.1} dB at 1 GHz",
+                mode.label(),
+                s11[0].1
+            );
+            assert!(
+                s11[1].1 < -8.0,
+                "{}: S11 {:.1} dB at 2.45 GHz",
+                mode.label(),
+                s11[1].1
+            );
+            assert!(
+                s11[2].1 < -8.0,
+                "{}: S11 {:.1} dB at 4 GHz",
+                mode.label(),
+                s11[2].1
+            );
         }
     }
 

@@ -45,8 +45,8 @@ pub mod config;
 pub mod corners;
 pub mod eval;
 pub mod mixer;
-pub mod montecarlo;
 pub mod model;
+pub mod montecarlo;
 pub mod quad;
 pub mod sensitivity;
 pub mod tca;

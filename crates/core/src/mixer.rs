@@ -318,7 +318,16 @@ impl ReconfigurableMixer {
         };
         let vb7 = ckt.node("vb7");
         ckt.add_vsource("vb7", vb7, Circuit::gnd(), Waveform::Dc(vb7_val));
-        ckt.add_mosfet("m7", cfg.nmos.clone(), w7, l7, tail, vb7, Circuit::gnd(), Circuit::gnd());
+        ckt.add_mosfet(
+            "m7",
+            cfg.nmos.clone(),
+            w7,
+            l7,
+            tail,
+            vb7,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
 
         // --- LO drive and switching quad ---
         let lo_p = ckt.node("lo_p");
@@ -350,7 +359,9 @@ impl ReconfigurableMixer {
         ckt.add_vsource("vlo_n", lo_n, Circuit::gnd(), wave_lo_n);
         let qout_p = ckt.node("qout_p");
         let qout_n = ckt.node("qout_n");
-        build_quad(&mut ckt, "quad", qin_p, qin_n, lo_p, lo_n, qout_p, qout_n, cfg);
+        build_quad(
+            &mut ckt, "quad", qin_p, qin_n, lo_p, lo_n, qout_p, qout_n, cfg,
+        );
 
         // --- TG loads (switch 3-4) and Cc ---
         // Expected IF common mode: the TG only carries the unbled share
@@ -366,9 +377,36 @@ impl ReconfigurableMixer {
             MixerMode::Passive => (0.0, cfg.vdd),
         };
         ckt.add_vsource("vtg_ctl", tg_ctl, Circuit::gnd(), Waveform::Dc(ctl_v));
-        ckt.add_vsource("vtg_ctlb", tg_ctl_bar, Circuit::gnd(), Waveform::Dc(ctl_bar_v));
-        TransmissionGate::add_with_models(&mut ckt, "tg3", vdd, qout_p, tg_ctl, tg_ctl_bar, vdd, tg_sizing, cfg.nmos.clone(), cfg.pmos.clone());
-        TransmissionGate::add_with_models(&mut ckt, "tg4", vdd, qout_n, tg_ctl, tg_ctl_bar, vdd, tg_sizing, cfg.nmos.clone(), cfg.pmos.clone());
+        ckt.add_vsource(
+            "vtg_ctlb",
+            tg_ctl_bar,
+            Circuit::gnd(),
+            Waveform::Dc(ctl_bar_v),
+        );
+        TransmissionGate::add_with_models(
+            &mut ckt,
+            "tg3",
+            vdd,
+            qout_p,
+            tg_ctl,
+            tg_ctl_bar,
+            vdd,
+            tg_sizing,
+            cfg.nmos.clone(),
+            cfg.pmos.clone(),
+        );
+        TransmissionGate::add_with_models(
+            &mut ckt,
+            "tg4",
+            vdd,
+            qout_n,
+            tg_ctl,
+            tg_ctl_bar,
+            vdd,
+            tg_sizing,
+            cfg.nmos.clone(),
+            cfg.pmos.clone(),
+        );
         // Current bleeding (active mode only): PMOS-equivalent sources
         // carry most of the load DC so the TG stays a high-value signal
         // load inside the 1.2 V headroom.
@@ -406,7 +444,29 @@ impl ReconfigurableMixer {
             lo_p,
             lo_n,
         };
+
+        // Build-time ERC: the wiring above is done by hand, so a deny
+        // finding here is a bug in this module, not in the caller's use.
+        #[cfg(debug_assertions)]
+        {
+            let report = remix_lint::lint(&ckt, &remix_lint::LintConfig::default());
+            assert!(
+                report.is_clean(),
+                "mixer ({mode:?}) netlist fails ERC:\n{}",
+                report.render_text()
+            );
+        }
+
         (ckt, nodes)
+    }
+
+    /// Runs the full ERC pass over the `mode` netlist (bias drives, LO
+    /// held) and returns the report. The paper's netlists must be
+    /// deny-clean in both modes; warn-level findings are surfaced for
+    /// inspection (see the `lint` binary in `remix-bench`).
+    pub fn lint_report(&self, mode: MixerMode) -> remix_lint::LintReport {
+        let (ckt, _) = self.build(mode, &RfDrive::Bias, &LoDrive::held(2.4e9));
+        remix_lint::lint(&ckt, &remix_lint::LintConfig::default())
     }
 }
 
@@ -520,11 +580,11 @@ mod tests {
     }
 
     #[test]
-    fn netlist_is_structurally_valid() {
+    fn netlist_lints_clean_in_both_modes() {
         let m = mixer();
         for mode in [MixerMode::Active, MixerMode::Passive] {
-            let (ckt, _) = m.build(mode, &RfDrive::Bias, &LoDrive::sine(2.4e9));
-            ckt.validate().unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            let report = m.lint_report(mode);
+            assert!(report.is_clean(), "{mode:?}:\n{}", report.render_text());
         }
     }
 
@@ -581,7 +641,10 @@ mod tests {
     fn mode_output_selection() {
         let m = mixer();
         let (_, nodes) = m.build(MixerMode::Active, &RfDrive::Bias, &LoDrive::sine(2.4e9));
-        assert_eq!(nodes.if_out(MixerMode::Active), (nodes.qout_p, nodes.qout_n));
+        assert_eq!(
+            nodes.if_out(MixerMode::Active),
+            (nodes.qout_p, nodes.qout_n)
+        );
         assert_eq!(nodes.if_out(MixerMode::Passive), (nodes.tia_p, nodes.tia_n));
     }
 }

@@ -31,15 +31,14 @@ use remix_analysis::{
 };
 use remix_circuit::consts::{BOLTZMANN, T0_NOISE};
 use remix_circuit::{Circuit, Waveform};
+use remix_dsp::units::{vpeak_to_dbm, Z0};
 use remix_numerics::polyfit;
 use remix_rfkit::blocks::{ChainProcessor, LoMixerProcessor, PolyProcessor};
 use remix_rfkit::{Poly3, SampleProcessor};
-use remix_dsp::units::{vpeak_to_dbm, Z0};
 
 /// Conversion efficiency of an ideal square-wave commutator (per
 /// sideband): 2/π.
 pub const COMMUTATION_GAIN: f64 = 2.0 / std::f64::consts::PI;
-
 
 /// Everything extracted from the transistor level, mode-independent.
 #[derive(Debug, Clone)]
@@ -108,8 +107,26 @@ pub fn extract_gm_pair_poly(cfg: &MixerConfig) -> Result<Poly3, AnalysisError> {
     ckt.add_vsource("vgp", gp, Circuit::gnd(), Waveform::Dc(cfg.gm_bias));
     ckt.add_vsource("vgn", gn, Circuit::gnd(), Waveform::Dc(cfg.gm_bias));
     let nm = cfg.nmos.clone();
-    ckt.add_mosfet("mn1", nm.clone(), cfg.gm_w, cfg.gm_l, dp, gp, tail, Circuit::gnd());
-    ckt.add_mosfet("mn2", nm.clone(), cfg.gm_w, cfg.gm_l, dn, gn, tail, Circuit::gnd());
+    ckt.add_mosfet(
+        "mn1",
+        nm.clone(),
+        cfg.gm_w,
+        cfg.gm_l,
+        dp,
+        gp,
+        tail,
+        Circuit::gnd(),
+    );
+    ckt.add_mosfet(
+        "mn2",
+        nm.clone(),
+        cfg.gm_w,
+        cfg.gm_l,
+        dn,
+        gn,
+        tail,
+        Circuit::gnd(),
+    );
     let (w7, l7) = (cfg.tail_w, cfg.tail_l);
     let vb7 = crate::bias::nmos_vgs_for_current(&nm, w7, l7, 0.12, cfg.tail_current, cfg.vdd);
     let vb = ckt.node("vb7");
@@ -497,8 +514,8 @@ impl MixerModel {
         // Termination noise sees the complementary divider rs/(rs+rterm).
         let dt = self.cfg.rs / (self.cfg.rs + self.cfg.input_term_r);
         let term_at_node = 4.0 * BOLTZMANN * 300.0 * rterm_diff * dt * dt;
-        let f = 1.0 + term_at_node / source_at_node
-            + self.internal_noise_psd(f_if) / source_at_node;
+        let f =
+            1.0 + term_at_node / source_at_node + self.internal_noise_psd(f_if) / source_at_node;
         10.0 * f.log10()
     }
 
@@ -540,8 +557,7 @@ impl MixerModel {
                 let h_in = self.params.h_in_at(f_rf);
                 let h_gate = self.params.h_gate_at(f_rf);
                 let a_pair = self.params.poly_gm_pair.a_iip3().unwrap_or(f64::INFINITY);
-                let inv = (h_in * h_in) / (a_tca * a_tca)
-                    + (h_gate * h_gate) / (a_pair * a_pair);
+                let inv = (h_in * h_in) / (a_tca * a_tca) + (h_gate * h_gate) / (a_pair * a_pair);
                 (1.0 / inv).sqrt()
             }
             MixerMode::Passive => a_tca / self.termination_divider(),
@@ -663,7 +679,9 @@ impl MixerModel {
                     .then(Box::new(front))
                     .then(Box::new(PolyProcessor::new(vto_i)))
                     .then(Box::new(mixer))
-                    .then(Box::new(PolyProcessor::new(zf).with_pole(self.if_pole_hz())))
+                    .then(Box::new(
+                        PolyProcessor::new(zf).with_pole(self.if_pole_hz()),
+                    ))
             }
         }
     }
@@ -710,7 +728,10 @@ impl MixerModel {
                     pole: Some(self.if_pole_hz()),
                     domain: SignalDomain::If,
                 };
-                remix_rfkit::Cascade::new().stage(term).stage(tca).stage(pair_quad)
+                remix_rfkit::Cascade::new()
+                    .stage(term)
+                    .stage(tca)
+                    .stage(pair_quad)
             }
             MixerMode::Passive => {
                 let gme = self.gm_eff_passive();
@@ -740,7 +761,10 @@ impl MixerModel {
                     pole: Some(self.if_pole_hz()),
                     domain: SignalDomain::If,
                 };
-                remix_rfkit::Cascade::new().stage(term).stage(tca).stage(tia)
+                remix_rfkit::Cascade::new()
+                    .stage(term)
+                    .stage(tca)
+                    .stage(tia)
             }
         }
     }
@@ -785,7 +809,11 @@ mod tests {
         assert!(p.rdeg > 5.0 && p.rdeg < 500.0, "rdeg {}", p.rdeg);
         assert!(p.power_active_mw > 2.0 && p.power_active_mw < 20.0);
         assert!(p.power_passive_mw > 2.0 && p.power_passive_mw < 20.0);
-        assert!(p.poly_gm_pair.a1.abs() > 1e-3, "gm pair {:?}", p.poly_gm_pair);
+        assert!(
+            p.poly_gm_pair.a1.abs() > 1e-3,
+            "gm pair {:?}",
+            p.poly_gm_pair
+        );
         assert!(!p.tia_in2_curve.is_empty());
     }
 

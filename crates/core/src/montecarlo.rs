@@ -74,7 +74,11 @@ fn half_poly(cfg: &MixerConfig) -> Result<Poly3, AnalysisError> {
         .collect();
     let sweep = dc_sweep(&ckt, "vin", &values, &OpOptions::default())?;
     let x: Vec<f64> = values.iter().map(|v| v - cfg.tca_vcm).collect();
-    let i: Vec<f64> = sweep.points.iter().map(|p| p.branch_current(probe)).collect();
+    let i: Vec<f64> = sweep
+        .points
+        .iter()
+        .map(|p| p.branch_current(probe))
+        .collect();
     let c = polyfit(&x, &i, 3).map_err(AnalysisError::Singular)?;
     Ok(Poly3 {
         a1: c[1],
@@ -178,10 +182,13 @@ mod tests {
         assert!(s.median > 52.0, "median {:.1} dBm", s.median);
         assert!(s.min <= s.median && s.median <= s.max);
 
+        // 12 samples: the 6-sample median estimator sits within ±1 dB of
+        // the 65 dBm line and flips with the RNG stream; doubling the
+        // draw stabilizes it on the physics, not the generator.
         let matched = MismatchConfig {
             sigma_vt: 0.7e-3,
             sigma_kp_frac: 0.002,
-            n_runs: 6,
+            n_runs: 12,
             seed: raw.seed,
         };
         let dist2 = iip2_distribution(&MixerConfig::default(), &matched).unwrap();

@@ -48,7 +48,16 @@ pub fn build_quad(
 ) -> SwitchQuad {
     let model = cfg.nmos.clone();
     let mk = |ckt: &mut Circuit, name: String, d: Node, g: Node, s: Node| {
-        ckt.add_mosfet(&name, model.clone(), cfg.quad_w, cfg.quad_l, d, g, s, Circuit::gnd())
+        ckt.add_mosfet(
+            &name,
+            model.clone(),
+            cfg.quad_w,
+            cfg.quad_l,
+            d,
+            g,
+            s,
+            Circuit::gnd(),
+        )
     };
     SwitchQuad {
         m1: mk(ckt, format!("{prefix}_m1"), out_p, lo_p, in_p),

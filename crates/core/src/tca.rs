@@ -102,7 +102,14 @@ fn fixture(cfg: &MixerConfig) -> (Circuit, Node, ElementId) {
     let vin = ckt.node("in");
     let out = ckt.node("out");
     ckt.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(cfg.vdd));
-    ckt.add_vsource_ac("vin", vin, Circuit::gnd(), Waveform::Dc(cfg.tca_vcm), 1.0, 0.0);
+    ckt.add_vsource_ac(
+        "vin",
+        vin,
+        Circuit::gnd(),
+        Waveform::Dc(cfg.tca_vcm),
+        1.0,
+        0.0,
+    );
     let probe = ckt.add_vsource("vprobe", out, Circuit::gnd(), Waveform::Dc(cfg.tca_vcm));
     build_tca_half(&mut ckt, "tca", vin, out, vdd, cfg);
     (ckt, out, probe)
@@ -167,7 +174,14 @@ pub fn characterize(cfg: &MixerConfig) -> Result<TcaParams, AnalysisError> {
     let vinn = ckt_n.node("in");
     let outn = ckt_n.node("out");
     ckt_n.add_vsource("vdd", vddn, Circuit::gnd(), Waveform::Dc(cfg.vdd));
-    ckt_n.add_vsource_ac("vin", vinn, Circuit::gnd(), Waveform::Dc(cfg.tca_vcm), 1.0, 0.0);
+    ckt_n.add_vsource_ac(
+        "vin",
+        vinn,
+        Circuit::gnd(),
+        Waveform::Dc(cfg.tca_vcm),
+        1.0,
+        0.0,
+    );
     // Noiseless ideal load: a VCCS emulating a conductance would be
     // noiseless, but a plain resistor adds 4kT/R — subtract analytically
     // instead (simpler: use a resistor far larger than rout so its noise

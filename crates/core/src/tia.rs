@@ -234,7 +234,14 @@ pub fn characterize_ota(cfg: &MixerConfig) -> Result<OtaParams, AnalysisError> {
     let vin = ckt.node("in");
     let out = ckt.node("out");
     let vddsrc = ckt.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(cfg.vdd));
-    ckt.add_vsource_ac("vin", vin, Circuit::gnd(), Waveform::Dc(cfg.tca_vcm), 1.0, 0.0);
+    ckt.add_vsource_ac(
+        "vin",
+        vin,
+        Circuit::gnd(),
+        Waveform::Dc(cfg.tca_vcm),
+        1.0,
+        0.0,
+    );
     build_ota(
         &mut ckt,
         "ota",

@@ -23,7 +23,10 @@ pub fn next_power_of_two(n: usize) -> usize {
 /// Panics if `data.len()` is not a power of two.
 pub fn fft_in_place(data: &mut [Complex]) {
     let n = data.len();
-    assert!(is_power_of_two(n), "FFT length must be a power of two, got {n}");
+    assert!(
+        is_power_of_two(n),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }

@@ -51,7 +51,10 @@ impl Psd {
 /// Panics if `signal.len()` is not a power of two or `fs <= 0`.
 pub fn periodogram(signal: &[f64], fs: f64, window: Window) -> Psd {
     let n = signal.len();
-    assert!(is_power_of_two(n), "periodogram length must be a power of two");
+    assert!(
+        is_power_of_two(n),
+        "periodogram length must be a power of two"
+    );
     assert!(fs > 0.0, "sample rate must be positive");
     let w = window.samples(n);
     let windowed: Vec<f64> = signal.iter().zip(&w).map(|(x, wi)| x * wi).collect();
@@ -142,7 +145,9 @@ mod tests {
         let fs = 1.0e6;
         let k0 = 128;
         let f0 = k0 as f64 * fs / n as f64;
-        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * f0 * i as f64 / fs).sin()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * f0 * i as f64 / fs).sin())
+            .collect();
         let psd = periodogram(&x, fs, Window::Rectangular);
         let total = psd.integrate(0.0, fs / 2.0);
         assert!((total - 0.5).abs() < 1e-6, "total = {total}");

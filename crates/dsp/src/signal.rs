@@ -160,20 +160,14 @@ impl<R: Rng> FlickerNoise<R> {
         // at geometric mid-band matches k_f/f.
         let alphas: Vec<f64> = poles
             .iter()
-            .map(|&fp| {
-                
-                (-2.0 * std::f64::consts::PI * fp / fs).exp()
-            })
+            .map(|&fp| (-2.0 * std::f64::consts::PI * fp / fs).exp())
             .collect();
         // Per-section gain: section k has |H|² ≈ 1/(1-a)² DC gain; we weight
         // by sqrt(f_pole) to synthesize the 1/f slope.
         let gains: Vec<f64> = poles
             .iter()
             .zip(&alphas)
-            .map(|(&fp, &a)| {
-                
-                (1.0 - a) * (k_f / fp).sqrt()
-            })
+            .map(|(&fp, &a)| (1.0 - a) * (k_f / fp).sqrt())
             .collect();
         FlickerNoise {
             white: WhiteNoise::from_sigma((fs / 2.0f64).sqrt(), rng),
@@ -303,7 +297,10 @@ mod tests {
         // Lag-1 autocorrelation near zero.
         let mean = remix_numerics::stats::mean(&x);
         let var = remix_numerics::stats::variance(&x);
-        let ac1: f64 = x.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>()
+        let ac1: f64 = x
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
             / ((x.len() - 1) as f64 * var);
         assert!(ac1.abs() < 0.02, "lag-1 autocorr = {ac1}");
     }

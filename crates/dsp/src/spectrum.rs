@@ -107,7 +107,12 @@ impl Spectrum {
         idx.sort_by(|&a, &b| self.amplitudes[b].total_cmp(&self.amplitudes[a]));
         idx.into_iter()
             .take(count)
-            .map(|k| (self.freqs[k], vpeak_to_dbm(self.amplitudes[k].max(1e-30), Z0)))
+            .map(|k| {
+                (
+                    self.freqs[k],
+                    vpeak_to_dbm(self.amplitudes[k].max(1e-30), Z0),
+                )
+            })
             .collect()
     }
 }

@@ -162,7 +162,9 @@ mod tests {
         let n = 64;
         let x = vec![1.0; n];
         assert!((goertzel_amplitude(&x, 0, n) - 1.0).abs() < 1e-12);
-        let alt: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!((goertzel_amplitude(&alt, n / 2, n) - 1.0).abs() < 1e-12);
     }
 
@@ -170,7 +172,9 @@ mod tests {
     fn tone_amplitude_rounds_to_bin() {
         let n = 256;
         let fs = 256.0;
-        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * 32.0 * i as f64 / fs).cos()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 32.0 * i as f64 / fs).cos())
+            .collect();
         // 32.2 Hz rounds to bin 32.
         assert!((tone_amplitude(&x, 32.2, fs) - 1.0).abs() < 1e-10);
     }

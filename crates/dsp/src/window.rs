@@ -30,8 +30,7 @@ impl Window {
             Window::Rectangular => 1.0,
             Window::Hann => 0.5 * (1.0 - x.cos()),
             Window::BlackmanHarris => {
-                0.35875 - 0.48829 * x.cos() + 0.14128 * (2.0 * x).cos()
-                    - 0.01168 * (3.0 * x).cos()
+                0.35875 - 0.48829 * x.cos() + 0.14128 * (2.0 * x).cos() - 0.01168 * (3.0 * x).cos()
             }
             Window::FlatTop => {
                 // SRS flat-top coefficients.

@@ -1,0 +1,107 @@
+//! Per-circuit lint configuration: severity overrides and targeted
+//! suppressions.
+
+use crate::diag::{RuleId, Severity};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for one lint pass.
+///
+/// The default configuration runs every rule at its
+/// [built-in severity](RuleId::default_severity). Overrides follow the
+/// clippy model: `allow` disables a rule, `warn` reports without
+/// blocking, `deny` blocks.
+///
+/// # Examples
+///
+/// ```
+/// use remix_lint::{LintConfig, RuleId, Severity};
+///
+/// let cfg = LintConfig::default()
+///     .allow(RuleId::BulkNotRail)
+///     .deny(RuleId::DeadUnderMode)
+///     .allow_dead("ibleed_off");
+/// assert_eq!(cfg.severity_of(RuleId::BulkNotRail), Severity::Allow);
+/// assert_eq!(cfg.severity_of(RuleId::DeadUnderMode), Severity::Deny);
+/// assert!(cfg.is_dead_allowed("ibleed_off"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintConfig {
+    overrides: HashMap<RuleId, Severity>,
+    allowed_dead: HashSet<String>,
+}
+
+impl LintConfig {
+    /// Builder form of [`Default::default`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a rule to an explicit severity.
+    pub fn set(mut self, rule: RuleId, severity: Severity) -> Self {
+        self.overrides.insert(rule, severity);
+        self
+    }
+
+    /// Disables a rule.
+    pub fn allow(self, rule: RuleId) -> Self {
+        self.set(rule, Severity::Allow)
+    }
+
+    /// Demotes (or promotes) a rule to warn.
+    pub fn warn(self, rule: RuleId) -> Self {
+        self.set(rule, Severity::Warn)
+    }
+
+    /// Promotes a rule to deny.
+    pub fn deny(self, rule: RuleId) -> Self {
+        self.set(rule, Severity::Deny)
+    }
+
+    /// Exempts one element, by instance name, from
+    /// [`RuleId::DeadUnderMode`] — the targeted form of suppression for
+    /// mode-switched netlists where a disabled branch is intentional.
+    pub fn allow_dead(mut self, element_name: &str) -> Self {
+        self.allowed_dead.insert(element_name.to_string());
+        self
+    }
+
+    /// Effective severity of a rule under this configuration.
+    pub fn severity_of(&self, rule: RuleId) -> Severity {
+        self.overrides
+            .get(&rule)
+            .copied()
+            .unwrap_or_else(|| rule.default_severity())
+    }
+
+    /// `true` if the element is exempt from [`RuleId::DeadUnderMode`].
+    pub fn is_dead_allowed(&self, element_name: &str) -> bool {
+        self.allowed_dead.contains(element_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_rule_catalog() {
+        let cfg = LintConfig::default();
+        assert_eq!(cfg.severity_of(RuleId::DanglingNode), Severity::Deny);
+        assert_eq!(cfg.severity_of(RuleId::BulkNotRail), Severity::Warn);
+        assert_eq!(cfg.severity_of(RuleId::DeadUnderMode), Severity::Warn);
+        assert!(!cfg.is_dead_allowed("anything"));
+    }
+
+    #[test]
+    fn overrides_win() {
+        let cfg = LintConfig::new()
+            .allow(RuleId::NoDcPath)
+            .warn(RuleId::CapOnlyNode)
+            .deny(RuleId::BulkNotRail);
+        assert_eq!(cfg.severity_of(RuleId::NoDcPath), Severity::Allow);
+        assert_eq!(cfg.severity_of(RuleId::CapOnlyNode), Severity::Warn);
+        assert_eq!(cfg.severity_of(RuleId::BulkNotRail), Severity::Deny);
+        // Untouched rules keep their defaults.
+        assert_eq!(cfg.severity_of(RuleId::VsourceLoop), Severity::Deny);
+    }
+}

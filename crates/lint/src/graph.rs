@@ -1,0 +1,79 @@
+//! Union-find over node ids, the workhorse of the connectivity rules.
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets, labelled `0..n`.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `false` if they
+    /// were already the same set (i.e. the new edge closes a cycle).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// `true` when `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_merging() {
+        let mut uf = UnionFind::new(5);
+        assert!(!uf.same(0, 1));
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        // Closing a cycle reports false.
+        assert!(!uf.union(2, 0));
+    }
+
+    #[test]
+    fn chain_of_unions_compresses() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        for i in 0..n {
+            assert!(uf.same(0, i));
+        }
+    }
+}

@@ -1,0 +1,781 @@
+//! The rule registry and rule implementations.
+//!
+//! Every rule is a pure function over the finished [`Circuit`]: the pass
+//! never mutates the netlist and never stops at the first finding. The
+//! connectivity rules share a family of union-find passes that differ
+//! only in which element kinds contribute edges:
+//!
+//! * **legacy DC graph** (`ERC002`): every element except capacitors
+//!   unions *all* its nodes — the historical `validate()` semantics,
+//!   which treats a MOS as one blob and therefore cannot see floating
+//!   gates;
+//! * **carrier graph** (`ERC004`, `ERC006`): only branches that can
+//!   carry a defined DC current — R, L, V, E, and the MOS
+//!   drain/source/bulk terminals. Gates and capacitors conduct nothing;
+//!   current sources *force* rather than carry;
+//! * **rail graph** (`ERC007`): only ideal voltage sources, i.e. nodes
+//!   whose DC potential is pinned by a chain of sources from ground.
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, LintReport, RuleId, Severity};
+use crate::graph::UnionFind;
+use remix_circuit::{Circuit, Element, Node, Waveform};
+use std::collections::HashMap;
+
+/// Runs every rule (honouring `config` severities) and collects all
+/// findings, ordered by rule code.
+pub(crate) fn run(circuit: &Circuit, config: &LintConfig) -> LintReport {
+    let mut pass = Pass::new(circuit, config);
+    pass.dangling_node();
+    pass.no_dc_path();
+    pass.vsource_loop();
+    pass.isource_cutset();
+    pass.cap_only_node();
+    pass.floating_gate();
+    pass.bulk_not_rail();
+    pass.invalid_value();
+    pass.duplicate_name();
+    pass.empty_circuit();
+    pass.dead_under_mode();
+    LintReport {
+        diagnostics: pass.out,
+    }
+}
+
+struct Pass<'a> {
+    ckt: &'a Circuit,
+    cfg: &'a LintConfig,
+    /// Node id → indices of elements touching it (with multiplicity:
+    /// an element incident twice contributes two entries).
+    incidence: Vec<Vec<usize>>,
+    out: Vec<Diagnostic>,
+}
+
+impl<'a> Pass<'a> {
+    fn new(ckt: &'a Circuit, cfg: &'a LintConfig) -> Self {
+        let mut incidence = vec![Vec::new(); ckt.node_count()];
+        for (i, e) in ckt.elements().iter().enumerate() {
+            for nd in e.nodes() {
+                incidence[nd.id()].push(i);
+            }
+        }
+        Pass {
+            ckt,
+            cfg,
+            incidence,
+            out: Vec::new(),
+        }
+    }
+
+    fn sev(&self, rule: RuleId) -> Option<Severity> {
+        match self.cfg.severity_of(rule) {
+            Severity::Allow => None,
+            s => Some(s),
+        }
+    }
+
+    fn emit(
+        &mut self,
+        rule: RuleId,
+        severity: Severity,
+        message: String,
+        nodes: Vec<Node>,
+        elements: Vec<String>,
+    ) {
+        self.out.push(Diagnostic {
+            rule,
+            severity,
+            message,
+            nodes: nodes
+                .into_iter()
+                .map(|n| self.ckt.node_name(n).to_string())
+                .collect(),
+            elements,
+        });
+    }
+
+    fn incident_element_names(&self, node_id: usize) -> Vec<String> {
+        let mut names: Vec<String> = self.incidence[node_id]
+            .iter()
+            .map(|&i| self.ckt.elements()[i].name().to_string())
+            .collect();
+        names.dedup();
+        names
+    }
+
+    fn is_cap(&self, idx: usize) -> bool {
+        matches!(self.ckt.elements()[idx], Element::Capacitor { .. })
+    }
+
+    /// `true` for a node with at least two connections, all capacitors —
+    /// the `ERC005` shape, excluded from `ERC002` so each defect is
+    /// reported exactly once, by its most specific rule.
+    fn cap_only(&self, node_id: usize) -> bool {
+        let inc = &self.incidence[node_id];
+        inc.len() >= 2 && inc.iter().all(|&i| self.is_cap(i))
+    }
+
+    // --- connectivity graphs -------------------------------------------
+
+    /// Legacy DC graph: each non-capacitor element unions all its nodes.
+    fn legacy_dc_graph(&self) -> UnionFind {
+        let mut uf = UnionFind::new(self.ckt.node_count());
+        for e in self.ckt.elements() {
+            if !e.provides_dc_path() {
+                continue;
+            }
+            for w in e.nodes().windows(2) {
+                uf.union(w[0].id(), w[1].id());
+            }
+        }
+        uf
+    }
+
+    /// Carrier graph: branches able to carry a defined DC current.
+    fn carrier_graph(&self) -> UnionFind {
+        let mut uf = UnionFind::new(self.ckt.node_count());
+        for e in self.ckt.elements() {
+            match e {
+                Element::Resistor { a, b, .. } | Element::Inductor { a, b, .. } => {
+                    uf.union(a.id(), b.id());
+                }
+                Element::VoltageSource { p, n, .. } | Element::Vcvs { p, n, .. } => {
+                    uf.union(p.id(), n.id());
+                }
+                Element::Mos { dev, .. } => {
+                    uf.union(dev.d.id(), dev.s.id());
+                    uf.union(dev.s.id(), dev.b.id());
+                }
+                Element::Capacitor { .. }
+                | Element::CurrentSource { .. }
+                | Element::Vccs { .. } => {}
+            }
+        }
+        uf
+    }
+
+    /// Rail graph: nodes pinned to ground through ideal voltage sources.
+    fn rail_graph(&self) -> UnionFind {
+        let mut uf = UnionFind::new(self.ckt.node_count());
+        for e in self.ckt.elements() {
+            if let Element::VoltageSource { p, n, .. } = e {
+                uf.union(p.id(), n.id());
+            }
+        }
+        uf
+    }
+
+    // --- rules ---------------------------------------------------------
+
+    /// `ERC001`: non-ground node touched by fewer than two terminals.
+    fn dangling_node(&mut self) {
+        let Some(sev) = self.sev(RuleId::DanglingNode) else {
+            return;
+        };
+        for id in 1..self.ckt.node_count() {
+            if self.incidence[id].len() >= 2 {
+                continue;
+            }
+            let node = Node::from_id(id);
+            let names = self.incident_element_names(id);
+            let msg = if names.is_empty() {
+                format!(
+                    "node '{}' is declared but never connected",
+                    self.ckt.node_name(node)
+                )
+            } else {
+                format!(
+                    "node '{}' is touched by only one element terminal",
+                    self.ckt.node_name(node)
+                )
+            };
+            self.emit(RuleId::DanglingNode, sev, msg, vec![node], names);
+        }
+    }
+
+    /// `ERC002`: node with no DC path to ground (legacy semantics).
+    fn no_dc_path(&mut self) {
+        let Some(sev) = self.sev(RuleId::NoDcPath) else {
+            return;
+        };
+        let mut uf = self.legacy_dc_graph();
+        for id in 1..self.ckt.node_count() {
+            // Under-connected nodes are ERC001's report; all-capacitor
+            // nodes are ERC005's.
+            if self.incidence[id].len() < 2 || self.cap_only(id) {
+                continue;
+            }
+            if !uf.same(id, 0) {
+                let node = Node::from_id(id);
+                let names = self.incident_element_names(id);
+                let msg = format!(
+                    "node '{}' has no DC-conducting path to ground",
+                    self.ckt.node_name(node)
+                );
+                self.emit(RuleId::NoDcPath, sev, msg, vec![node], names);
+            }
+        }
+    }
+
+    /// `ERC003`: loop of ideal voltage-defined branches.
+    fn vsource_loop(&mut self) {
+        let Some(sev) = self.sev(RuleId::VsourceLoop) else {
+            return;
+        };
+        let mut uf = UnionFind::new(self.ckt.node_count());
+        let mut findings = Vec::new();
+        for e in self.ckt.elements() {
+            let (a, b) = match e {
+                Element::VoltageSource { p, n, .. } | Element::Vcvs { p, n, .. } => (*p, *n),
+                Element::Inductor { a, b, .. } => (*a, *b),
+                _ => continue,
+            };
+            if !uf.union(a.id(), b.id()) {
+                findings.push((e.name().to_string(), a, b));
+            }
+        }
+        for (name, a, b) in findings {
+            let msg = format!(
+                "'{name}' closes a loop of ideal voltage-defined branches (V/E/L): \
+                 the MNA branch equations are linearly dependent"
+            );
+            self.emit(RuleId::VsourceLoop, sev, msg, vec![a, b], vec![name]);
+        }
+    }
+
+    /// `ERC004`: current source whose terminals no DC-carrying branch
+    /// connects.
+    fn isource_cutset(&mut self) {
+        let Some(sev) = self.sev(RuleId::IsourceCutset) else {
+            return;
+        };
+        let mut carriers = self.carrier_graph();
+        let mut findings = Vec::new();
+        for e in self.ckt.elements() {
+            let (p, n) = match e {
+                Element::CurrentSource { p, n, .. } | Element::Vccs { p, n, .. } => (*p, *n),
+                _ => continue,
+            };
+            if !carriers.same(p.id(), n.id()) {
+                findings.push((e.name().to_string(), p, n));
+            }
+        }
+        for (name, p, n) in findings {
+            let msg = format!(
+                "current source '{name}' forces current between parts of the circuit \
+                 with no DC return path: KCL cannot absorb it"
+            );
+            self.emit(RuleId::IsourceCutset, sev, msg, vec![p, n], vec![name]);
+        }
+    }
+
+    /// `ERC005`: node connected only through capacitors.
+    fn cap_only_node(&mut self) {
+        let Some(sev) = self.sev(RuleId::CapOnlyNode) else {
+            return;
+        };
+        for id in 1..self.ckt.node_count() {
+            if !self.cap_only(id) {
+                continue;
+            }
+            let node = Node::from_id(id);
+            let names = self.incident_element_names(id);
+            let msg = format!(
+                "node '{}' connects only to capacitors: no DC conductance, \
+                 the operating point is structurally singular",
+                self.ckt.node_name(node)
+            );
+            self.emit(RuleId::CapOnlyNode, sev, msg, vec![node], names);
+        }
+    }
+
+    /// `ERC006`: MOS gate with no DC drive path.
+    fn floating_gate(&mut self) {
+        let Some(sev) = self.sev(RuleId::FloatingGate) else {
+            return;
+        };
+        let mut carriers = self.carrier_graph();
+        let mut findings = Vec::new();
+        for e in self.ckt.elements() {
+            if let Element::Mos { name, dev } = e {
+                if !carriers.same(dev.g.id(), 0) {
+                    findings.push((name.clone(), dev.g));
+                }
+            }
+        }
+        for (name, g) in findings {
+            let msg = format!(
+                "gate of '{}' (node '{}') has no DC drive path to ground; \
+                 gates conduct nothing, so its potential is undefined",
+                name,
+                self.ckt.node_name(g)
+            );
+            self.emit(RuleId::FloatingGate, sev, msg, vec![g], vec![name]);
+        }
+    }
+
+    /// `ERC007`: MOS bulk not tied to a rail.
+    fn bulk_not_rail(&mut self) {
+        let Some(sev) = self.sev(RuleId::BulkNotRail) else {
+            return;
+        };
+        let mut rails = self.rail_graph();
+        let mut findings = Vec::new();
+        for e in self.ckt.elements() {
+            if let Element::Mos { name, dev } = e {
+                if !rails.same(dev.b.id(), 0) {
+                    findings.push((name.clone(), dev.b));
+                }
+            }
+        }
+        for (name, b) in findings {
+            let msg = format!(
+                "bulk of '{}' (node '{}') is not tied to a supply rail: \
+                 body effect and junction bias become layout-dependent",
+                name,
+                self.ckt.node_name(b)
+            );
+            self.emit(RuleId::BulkNotRail, sev, msg, vec![b], vec![name]);
+        }
+    }
+
+    /// `ERC008`: device values outside their legal domain. This scans the
+    /// element list directly (not just the builder's recorded defects) so
+    /// it also catches values corrupted through `element_mut`.
+    fn invalid_value(&mut self) {
+        let Some(sev) = self.sev(RuleId::InvalidValue) else {
+            return;
+        };
+        fn positive(out: &mut Vec<(String, String)>, name: &str, what: &str, v: f64) {
+            if !(v.is_finite() && v > 0.0) {
+                out.push((
+                    name.to_string(),
+                    format!("'{name}': {what} must be positive and finite, got {v}"),
+                ));
+            }
+        }
+        fn finite(out: &mut Vec<(String, String)>, name: &str, what: &str, v: f64) {
+            if !v.is_finite() {
+                out.push((
+                    name.to_string(),
+                    format!("'{name}': {what} must be finite, got {v}"),
+                ));
+            }
+        }
+        let mut findings: Vec<(String, String)> = Vec::new();
+        for e in self.ckt.elements() {
+            match e {
+                Element::Resistor { name, r, .. } => {
+                    positive(&mut findings, name, "resistance", *r)
+                }
+                Element::Capacitor { name, c, .. } => {
+                    positive(&mut findings, name, "capacitance", *c)
+                }
+                Element::Inductor { name, l, .. } => {
+                    positive(&mut findings, name, "inductance", *l)
+                }
+                Element::Mos { name, dev } => {
+                    positive(&mut findings, name, "width", dev.w);
+                    positive(&mut findings, name, "length", dev.l);
+                }
+                Element::Vccs { name, gm, .. } => {
+                    finite(&mut findings, name, "transconductance", *gm)
+                }
+                Element::Vcvs { name, gain, .. } => finite(&mut findings, name, "gain", *gain),
+                Element::VoltageSource {
+                    name, wave, ac_mag, ..
+                }
+                | Element::CurrentSource {
+                    name, wave, ac_mag, ..
+                } => {
+                    finite(&mut findings, name, "DC value", wave.dc_value());
+                    finite(&mut findings, name, "AC magnitude", *ac_mag);
+                }
+            }
+        }
+        for (name, msg) in findings {
+            self.emit(RuleId::InvalidValue, sev, msg, vec![], vec![name]);
+        }
+    }
+
+    /// `ERC009`: instance names used more than once.
+    fn duplicate_name(&mut self) {
+        let Some(sev) = self.sev(RuleId::DuplicateName) else {
+            return;
+        };
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for e in self.ckt.elements() {
+            *counts.entry(e.name()).or_insert(0) += 1;
+        }
+        let mut dups: Vec<(String, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c > 1)
+            .map(|(n, c)| (n.to_string(), c))
+            .collect();
+        dups.sort();
+        for (name, count) in dups {
+            let msg = format!(
+                "instance name '{name}' is used by {count} elements; \
+                 name-based lookups resolve to the first"
+            );
+            self.emit(RuleId::DuplicateName, sev, msg, vec![], vec![name]);
+        }
+    }
+
+    /// `ERC010`: empty circuit.
+    fn empty_circuit(&mut self) {
+        let Some(sev) = self.sev(RuleId::EmptyCircuit) else {
+            return;
+        };
+        if self.ckt.elements().is_empty() {
+            self.emit(
+                RuleId::EmptyCircuit,
+                sev,
+                "circuit contains no elements".to_string(),
+                vec![],
+                vec![],
+            );
+        }
+    }
+
+    /// `ERC011`: elements with no effect as configured. Suppressible per
+    /// element via [`LintConfig::allow_dead`] for intentional mode-off
+    /// branches.
+    fn dead_under_mode(&mut self) {
+        let Some(sev) = self.sev(RuleId::DeadUnderMode) else {
+            return;
+        };
+        let mut findings: Vec<(String, String)> = Vec::new();
+        for e in self.ckt.elements() {
+            if self.cfg.is_dead_allowed(e.name()) {
+                continue;
+            }
+            if let Element::CurrentSource {
+                name, wave, ac_mag, ..
+            } = e
+            {
+                if matches!(wave, Waveform::Dc(v) if *v == 0.0) && *ac_mag == 0.0 {
+                    findings.push((
+                        name.clone(),
+                        format!(
+                            "current source '{name}' is zero-valued with no AC stimulus: \
+                             it cannot affect any analysis in this mode"
+                        ),
+                    ));
+                    continue;
+                }
+            }
+            let nodes = e.nodes();
+            if nodes.len() >= 2 && nodes.iter().all(|n| *n == nodes[0]) {
+                findings.push((
+                    e.name().to_string(),
+                    format!(
+                        "'{}' has every terminal on node '{}': it is a self-loop \
+                         with no effect",
+                        e.name(),
+                        self.ckt.node_name(nodes[0])
+                    ),
+                ));
+            }
+        }
+        for (name, msg) in findings {
+            self.emit(RuleId::DeadUnderMode, sev, msg, vec![], vec![name]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{lint, LintConfig, RuleId, Severity};
+    use remix_circuit::{Circuit, MosModel, Waveform};
+
+    /// A known-clean core: source, divider, load — reused so each rule
+    /// test isolates its one defect.
+    fn clean_base() -> Circuit {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.add_vsource("v1", vin, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("r1", vin, out, 1e3);
+        c.add_resistor("r2", out, Circuit::gnd(), 1e3);
+        c
+    }
+
+    fn fired(ckt: &Circuit, rule: RuleId) -> usize {
+        lint(ckt, &LintConfig::default()).by_rule(rule).len()
+    }
+
+    fn suppressed(ckt: &Circuit, rule: RuleId) -> usize {
+        lint(ckt, &LintConfig::default().allow(rule))
+            .by_rule(rule)
+            .len()
+    }
+
+    #[test]
+    fn clean_circuit_has_no_findings() {
+        let c = clean_base();
+        let report = lint(&c, &LintConfig::default());
+        assert!(report.is_empty(), "unexpected findings:\n{report}");
+    }
+
+    #[test]
+    fn erc001_dangling_node() {
+        let mut c = clean_base();
+        let stub = c.node("stub");
+        let out = c.find_node("out").unwrap();
+        c.add_resistor("r_stub", out, stub, 1e3);
+        c.node("never_used");
+        assert_eq!(fired(&c, RuleId::DanglingNode), 2);
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::DanglingNode);
+        assert!(diags.iter().any(|d| d.nodes == ["stub"]
+            && d.elements == ["r_stub"]
+            && d.severity == Severity::Deny));
+        assert!(diags
+            .iter()
+            .any(|d| d.nodes == ["never_used"] && d.message.contains("never connected")));
+        assert_eq!(suppressed(&c, RuleId::DanglingNode), 0);
+    }
+
+    #[test]
+    fn erc002_no_dc_path() {
+        let mut c = clean_base();
+        let vin = c.find_node("vin").unwrap();
+        let isl = c.node("island");
+        let isl2 = c.node("island2");
+        // An RC island reachable only through a capacitor.
+        c.add_capacitor("c_couple", vin, isl, 1e-12);
+        c.add_resistor("r_isl_a", isl, isl2, 1e3);
+        c.add_resistor("r_isl_b", isl, isl2, 1e3);
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::NoDcPath);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().any(|d| d.nodes == ["island"]));
+        // ERC001 stays quiet: every island node has two connections.
+        assert!(report.by_rule(RuleId::DanglingNode).is_empty());
+        assert_eq!(suppressed(&c, RuleId::NoDcPath), 0);
+    }
+
+    #[test]
+    fn erc003_vsource_loop() {
+        let mut c = clean_base();
+        let vin = c.find_node("vin").unwrap();
+        // A second ideal source in parallel with v1.
+        c.add_vsource("v_dup", vin, Circuit::gnd(), Waveform::Dc(1.2));
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::VsourceLoop);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].elements, ["v_dup"]);
+        assert_eq!(suppressed(&c, RuleId::VsourceLoop), 0);
+
+        // Inductors are ideal at DC too: L in parallel with V is a loop.
+        let mut c2 = clean_base();
+        let vin2 = c2.find_node("vin").unwrap();
+        c2.add_inductor("l_choke", vin2, Circuit::gnd(), 1e-9);
+        assert_eq!(fired(&c2, RuleId::VsourceLoop), 1);
+    }
+
+    #[test]
+    fn erc004_isource_cutset() {
+        let mut c = clean_base();
+        let hang = c.node("hang");
+        // Current forced into a node whose only other branch is a cap:
+        // no DC return path.
+        c.add_isource("i_bad", hang, Circuit::gnd(), Waveform::Dc(1e-3));
+        c.add_capacitor("c_hang", hang, Circuit::gnd(), 1e-12);
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::IsourceCutset);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].elements, ["i_bad"]);
+        assert_eq!(suppressed(&c, RuleId::IsourceCutset), 0);
+
+        // With a bleed resistor the same source is fine.
+        let mut ok = clean_base();
+        let h2 = ok.node("hang");
+        ok.add_isource("i_ok", h2, Circuit::gnd(), Waveform::Dc(1e-3));
+        ok.add_resistor("r_bleed", h2, Circuit::gnd(), 1e6);
+        assert_eq!(fired(&ok, RuleId::IsourceCutset), 0);
+    }
+
+    #[test]
+    fn erc005_cap_only_node() {
+        let mut c = clean_base();
+        let mid = c.node("mid");
+        let out = c.find_node("out").unwrap();
+        // Series caps: the midpoint has no DC conductance at all.
+        c.add_capacitor("c_a", out, mid, 1e-12);
+        c.add_capacitor("c_b", mid, Circuit::gnd(), 1e-12);
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::CapOnlyNode);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].nodes, ["mid"]);
+        // The more general no-DC-path rule defers to this one.
+        assert!(report.by_rule(RuleId::NoDcPath).is_empty());
+        assert_eq!(suppressed(&c, RuleId::CapOnlyNode), 0);
+    }
+
+    #[test]
+    fn erc006_floating_gate() {
+        let mut c = clean_base();
+        let vin = c.find_node("vin").unwrap();
+        let g = c.node("gate");
+        let d = c.node("drain");
+        c.add_resistor("r_d", vin, d, 1e3);
+        // Gate reachable only through a capacitor: AC-coupled, DC-floating.
+        c.add_capacitor("c_ac", vin, g, 1e-12);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            d,
+            g,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::FloatingGate);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].elements, ["m1"]);
+        assert_eq!(diags[0].nodes, ["gate"]);
+        assert_eq!(suppressed(&c, RuleId::FloatingGate), 0);
+
+        // A gate bias resistor fixes it.
+        c.add_resistor("r_bias", g, Circuit::gnd(), 1e6);
+        assert_eq!(fired(&c, RuleId::FloatingGate), 0);
+    }
+
+    #[test]
+    fn erc007_bulk_not_rail() {
+        let mut c = clean_base();
+        let vin = c.find_node("vin").unwrap();
+        let d = c.node("drain");
+        let body = c.node("body");
+        c.add_resistor("r_d", vin, d, 1e3);
+        // Bulk tied through a resistor, not to a rail.
+        c.add_resistor("r_body", body, Circuit::gnd(), 100.0);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            d,
+            vin,
+            Circuit::gnd(),
+            body,
+        );
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::BulkNotRail);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert_eq!(diags[0].elements, ["m1"]);
+        // Warn-level: the report is still clean for analysis purposes.
+        assert!(report.is_clean());
+        assert_eq!(suppressed(&c, RuleId::BulkNotRail), 0);
+    }
+
+    #[test]
+    fn erc008_invalid_value() {
+        let mut c = clean_base();
+        let out = c.find_node("out").unwrap();
+        c.add_resistor("r_neg", out, Circuit::gnd(), -50.0);
+        c.add_capacitor("c_nan", out, Circuit::gnd(), f64::NAN);
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::InvalidValue);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().any(|d| d.elements == ["r_neg"]));
+        // The builder recorded the same defects for fail-fast callers.
+        assert_eq!(c.defects().len(), 2);
+        assert_eq!(suppressed(&c, RuleId::InvalidValue), 0);
+    }
+
+    #[test]
+    fn erc008_catches_post_build_mutation() {
+        let mut c = clean_base();
+        let id = c.find_element("r1").unwrap();
+        if let remix_circuit::Element::Resistor { r, .. } = c.element_mut(id) {
+            *r = 0.0;
+        }
+        // Nothing recorded at build time, but the scan still sees it.
+        assert!(c.defects().is_empty());
+        assert_eq!(fired(&c, RuleId::InvalidValue), 1);
+    }
+
+    #[test]
+    fn erc009_duplicate_name() {
+        let mut c = clean_base();
+        let out = c.find_node("out").unwrap();
+        c.add_resistor("r1", out, Circuit::gnd(), 2e3);
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::DuplicateName);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].elements, ["r1"]);
+        assert!(diags[0].message.contains("2 elements"));
+        assert_eq!(suppressed(&c, RuleId::DuplicateName), 0);
+    }
+
+    #[test]
+    fn erc010_empty_circuit() {
+        let c = Circuit::new();
+        assert_eq!(fired(&c, RuleId::EmptyCircuit), 1);
+        assert_eq!(suppressed(&c, RuleId::EmptyCircuit), 0);
+    }
+
+    #[test]
+    fn erc011_dead_under_mode() {
+        let mut c = clean_base();
+        let out = c.find_node("out").unwrap();
+        c.add_isource("i_off", out, Circuit::gnd(), Waveform::Dc(0.0));
+        c.add_resistor("r_self", out, out, 1e3);
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::DeadUnderMode);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.severity == Severity::Warn));
+
+        // Targeted suppression by element name…
+        let cfg = LintConfig::default().allow_dead("i_off");
+        assert_eq!(lint(&c, &cfg).by_rule(RuleId::DeadUnderMode).len(), 1);
+        // …and blanket suppression of the rule.
+        assert_eq!(suppressed(&c, RuleId::DeadUnderMode), 0);
+    }
+
+    #[test]
+    fn severity_overrides_flow_into_diagnostics() {
+        let mut c = clean_base();
+        c.node("orphan");
+        let cfg = LintConfig::default().warn(RuleId::DanglingNode);
+        let report = lint(&c, &cfg);
+        assert_eq!(
+            report.by_rule(RuleId::DanglingNode)[0].severity,
+            Severity::Warn
+        );
+        assert!(report.is_clean());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            // Any resistor ladder from a source to ground is lint-clean:
+            // the engine must not false-positive on ordinary topologies.
+            fn resistor_ladders_are_clean(n in 1usize..8, r in 1.0f64..1e6) {
+                let mut c = Circuit::new();
+                let mut prev = c.node("n0");
+                c.add_vsource("vs", prev, Circuit::gnd(), Waveform::Dc(1.0));
+                for k in 1..=n {
+                    let next = if k == n {
+                        Circuit::gnd()
+                    } else {
+                        c.node(&format!("n{k}"))
+                    };
+                    c.add_resistor(&format!("r{k}"), prev, next, r * k as f64);
+                    prev = next;
+                }
+                let report = lint(&c, &LintConfig::default());
+                prop_assert!(report.is_empty());
+            }
+        }
+    }
+}

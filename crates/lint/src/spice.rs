@@ -1,0 +1,110 @@
+//! Linted SPICE import: parse a deck, then run the full ERC pass before
+//! handing the circuit to callers.
+
+use crate::config::LintConfig;
+use crate::diag::LintReport;
+use remix_circuit::{from_spice, Circuit, SpiceParseError};
+use std::fmt;
+
+/// Why a linted import failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportError {
+    /// The deck did not parse.
+    Parse(SpiceParseError),
+    /// The deck parsed but has deny-level ERC findings; the full report
+    /// (including warns) is attached.
+    Lint(LintReport),
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Parse(e) => write!(f, "SPICE parse error: {e}"),
+            ImportError::Lint(report) => {
+                write!(f, "imported deck fails electrical rule checks:\n{report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<SpiceParseError> for ImportError {
+    fn from(e: SpiceParseError) -> Self {
+        ImportError::Parse(e)
+    }
+}
+
+/// Parses a SPICE deck and lints the result.
+///
+/// On success the report still carries any warn-level findings so
+/// callers can surface them; a deck with deny-level findings is
+/// rejected with the complete report.
+///
+/// # Errors
+///
+/// [`ImportError::Parse`] if the deck does not parse,
+/// [`ImportError::Lint`] if it parses but is electrically broken.
+///
+/// # Examples
+///
+/// ```
+/// use remix_lint::{import_spice, LintConfig};
+///
+/// let deck = "* divider\nv1 in 0 dc 1.2\nr2 in out 1k\nr3 out 0 1k\n.end\n";
+/// let (ckt, report) = import_spice(deck, &LintConfig::default()).unwrap();
+/// assert_eq!(ckt.element_count(), 3);
+/// assert!(report.is_empty());
+/// ```
+pub fn import_spice(deck: &str, config: &LintConfig) -> Result<(Circuit, LintReport), ImportError> {
+    let circuit = from_spice(deck)?;
+    let report = crate::lint(&circuit, config);
+    if report.is_clean() {
+        Ok((circuit, report))
+    } else {
+        Err(ImportError::Lint(report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuleId;
+
+    #[test]
+    fn clean_deck_imports() {
+        let deck = "* rc\nv1 in 0 dc 1.0\nr2 in out 1k\nc3 out 0 1p\nr4 out 0 10k\n.end\n";
+        let (ckt, report) = import_spice(deck, &LintConfig::default()).unwrap();
+        assert_eq!(ckt.element_count(), 4);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn broken_deck_is_rejected_with_full_report() {
+        // 'mid' sits between two capacitors: ERC005.
+        let deck = "* broken\nv1 in 0 dc 1.0\nr2 in 0 1k\nc3 in mid 1p\nc4 mid 0 1p\n.end\n";
+        match import_spice(deck, &LintConfig::default()) {
+            Err(ImportError::Lint(report)) => {
+                assert_eq!(report.by_rule(RuleId::CapOnlyNode).len(), 1);
+                assert!(report.render_text().contains("mid"));
+            }
+            other => panic!("expected lint rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_can_admit_a_flagged_deck() {
+        let deck = "* broken\nv1 in 0 dc 1.0\nr2 in 0 1k\nc3 in mid 1p\nc4 mid 0 1p\n.end\n";
+        let cfg = LintConfig::default().warn(RuleId::CapOnlyNode);
+        let (_, report) = import_spice(deck, &cfg).unwrap();
+        assert_eq!(report.warn_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors_pass_through() {
+        assert!(matches!(
+            import_spice("r1 a\n", &LintConfig::default()),
+            Err(ImportError::Parse(_))
+        ));
+    }
+}

@@ -155,10 +155,7 @@ impl<T: Scalar> DenseMatrix<T> {
 
     /// Maximum magnitude over all entries (∞-style element norm).
     pub fn max_abs(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|v| v.magnitude())
-            .fold(0.0, f64::max)
+        self.data.iter().map(|v| v.magnitude()).fold(0.0, f64::max)
     }
 
     /// Row-sum norm ‖A‖∞.

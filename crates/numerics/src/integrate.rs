@@ -178,9 +178,17 @@ where
     out.push((t, x.clone()));
     for _ in 0..steps {
         let k1 = f(t, &x);
-        let x2: Vec<f64> = x.iter().zip(&k1).map(|(xi, ki)| xi + 0.5 * h * ki).collect();
+        let x2: Vec<f64> = x
+            .iter()
+            .zip(&k1)
+            .map(|(xi, ki)| xi + 0.5 * h * ki)
+            .collect();
         let k2 = f(t + 0.5 * h, &x2);
-        let x3: Vec<f64> = x.iter().zip(&k2).map(|(xi, ki)| xi + 0.5 * h * ki).collect();
+        let x3: Vec<f64> = x
+            .iter()
+            .zip(&k2)
+            .map(|(xi, ki)| xi + 0.5 * h * ki)
+            .collect();
         let k3 = f(t + 0.5 * h, &x3);
         let x4: Vec<f64> = x.iter().zip(&k3).map(|(xi, ki)| xi + h * ki).collect();
         let k4 = f(t + h, &x4);

@@ -210,7 +210,9 @@ impl<T: Scalar> LuFactor<T> {
     /// `min |Uᵢᵢ| / max |Uᵢᵢ|`. Cheap and sufficient for detecting
     /// near-singular circuit matrices (floating nodes, broken loops).
     pub fn rcond_estimate(&self) -> f64 {
-        let mags: Vec<f64> = (0..self.dim()).map(|i| self.lu[(i, i)].magnitude()).collect();
+        let mags: Vec<f64> = (0..self.dim())
+            .map(|i| self.lu[(i, i)].magnitude())
+            .collect();
         let max = mags.iter().cloned().fold(0.0, f64::max);
         let min = mags.iter().cloned().fold(f64::INFINITY, f64::min);
         if max == 0.0 {
@@ -238,11 +240,7 @@ mod tests {
 
     #[test]
     fn solves_known_3x3() {
-        let a = DenseMatrix::from_rows(
-            3,
-            3,
-            vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0],
-        );
+        let a = DenseMatrix::from_rows(3, 3, vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0]);
         let b = [8.0, -11.0, -3.0];
         let x = solve_dense(&a, &b).unwrap();
         let expected = [2.0, 3.0, -1.0];
@@ -265,7 +263,9 @@ mod tests {
         let n = 12;
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut a = DenseMatrix::<f64>::zeros(n, n);
@@ -358,7 +358,10 @@ mod tests {
         let b = [1.0, 2.0];
         let x = solve_dense(&a, &b).unwrap();
         let mut y = b;
-        LuFactor::factor(&a).unwrap().solve_in_place(&mut y).unwrap();
+        LuFactor::factor(&a)
+            .unwrap()
+            .solve_in_place(&mut y)
+            .unwrap();
         assert_eq!(x.as_slice(), &y);
     }
 

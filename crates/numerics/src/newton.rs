@@ -174,12 +174,17 @@ pub fn newton_solve<S: NonlinearSystem>(
         let mut alpha = 1.0;
         let mut accepted = false;
         for _ in 0..=opts.max_damping {
-            let trial: Vec<f64> = x.iter().zip(dx.iter()).map(|(xi, di)| xi + alpha * di).collect();
+            let trial: Vec<f64> = x
+                .iter()
+                .zip(dx.iter())
+                .map(|(xi, di)| xi + alpha * di)
+                .collect();
             system.residual(&trial, &mut f);
             let trial_norm = vecops::norm_inf(&f);
             // Accept when the residual does not get (much) worse; near a
             // root Newton can transiently increase ‖F‖ slightly.
-            if trial_norm.is_finite() && (trial_norm <= fnorm * (1.0 + 1e-9) || opts.max_damping == 0)
+            if trial_norm.is_finite()
+                && (trial_norm <= fnorm * (1.0 + 1e-9) || opts.max_damping == 0)
             {
                 x = trial;
                 fnorm = trial_norm;
@@ -192,7 +197,11 @@ pub fn newton_solve<S: NonlinearSystem>(
         if !accepted {
             // Take the most-damped step anyway; some residuals are
             // non-monotone along the Newton direction.
-            let trial: Vec<f64> = x.iter().zip(dx.iter()).map(|(xi, di)| xi + alpha * di).collect();
+            let trial: Vec<f64> = x
+                .iter()
+                .zip(dx.iter())
+                .map(|(xi, di)| xi + alpha * di)
+                .collect();
             system.residual(&trial, &mut f);
             fnorm = vecops::norm_inf(&f);
             x = trial;

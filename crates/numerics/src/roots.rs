@@ -31,7 +31,10 @@ impl fmt::Display for RootError {
                 write!(f, "root not bracketed: f(a) = {fa:.3e}, f(b) = {fb:.3e}")
             }
             RootError::NoConvergence { best } => {
-                write!(f, "root finding did not converge (best estimate {best:.6e})")
+                write!(
+                    f,
+                    "root finding did not converge (best estimate {best:.6e})"
+                )
             }
         }
     }
@@ -78,12 +81,7 @@ pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, xtol: f64) -> Resu
 ///
 /// [`RootError::NotBracketed`] if `f(a)·f(b) > 0`;
 /// [`RootError::NoConvergence`] after 100 iterations.
-pub fn brent<F: FnMut(f64) -> f64>(
-    mut f: F,
-    a: f64,
-    b: f64,
-    xtol: f64,
-) -> Result<f64, RootError> {
+pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, xtol: f64) -> Result<f64, RootError> {
     let (mut a, mut b) = (a, b);
     let (mut fa, mut fb) = (f(a), f(b));
     if fa == 0.0 {

@@ -531,7 +531,11 @@ mod tests {
         // DC rejected.
         let mut dc = vec![1.0; 8000];
         hpf.process(&mut dc, 1e7);
-        assert!(dc[dc.len() - 1].abs() < 1e-2, "dc residual = {}", dc[dc.len() - 1]);
+        assert!(
+            dc[dc.len() - 1].abs() < 1e-2,
+            "dc residual = {}",
+            dc[dc.len() - 1]
+        );
         hpf.reset();
         // Tone at the corner: −3 dB.
         let plan = CoherentPlan::new(&[1e5], 1 << 14, 1e3).unwrap();

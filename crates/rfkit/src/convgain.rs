@@ -61,20 +61,12 @@ pub fn band_edges_3db(freqs: &[f64], gain_db: &[f64]) -> (Option<f64>, Option<f6
     let (peak_idx, peak) = remix_numerics::interp::argmax(gain_db);
     let target = peak - 3.0;
     let low = if peak_idx > 0 {
-        remix_numerics::interp::last_crossing(
-            &freqs[..=peak_idx],
-            &gain_db[..=peak_idx],
-            target,
-        )
+        remix_numerics::interp::last_crossing(&freqs[..=peak_idx], &gain_db[..=peak_idx], target)
     } else {
         None
     };
     let high = if peak_idx + 1 < freqs.len() {
-        remix_numerics::interp::first_crossing(
-            &freqs[peak_idx..],
-            &gain_db[peak_idx..],
-            target,
-        )
+        remix_numerics::interp::first_crossing(&freqs[peak_idx..], &gain_db[peak_idx..], target)
     } else {
         None
     };

@@ -42,8 +42,8 @@ pub mod specs;
 pub mod twotone;
 pub mod zsmodel;
 
-pub use budget::{budget_rows, budget_table, BudgetRow};
 pub use blocks::{Cascade, ChainProcessor, SampleProcessor, SignalDomain, StageSpec};
+pub use budget::{budget_rows, budget_table, BudgetRow};
 pub use convgain::{band_edges_3db, conversion_gain_db};
 pub use ip3::{extract_ip3, spot_iip3_dbm, Ip3Result, Ip3Sweep};
 pub use nonlin::{cascade_a_iip3, Poly3};

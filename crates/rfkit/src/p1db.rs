@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(extract_p1db(&[0.0], &[0.0]).unwrap_err().to_string().contains("3 points"));
+        assert!(extract_p1db(&[0.0], &[0.0])
+            .unwrap_err()
+            .to_string()
+            .contains("3 points"));
         assert!(P1dbError::NoCompression { max_drop_db: 0.5 }
             .to_string()
             .contains("0.50"));

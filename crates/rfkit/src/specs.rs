@@ -220,7 +220,10 @@ mod tests {
         let rows = table1_literature();
         assert_eq!(rows.len(), 8);
         let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
-        assert_eq!(labels, vec!["[2]", "[3]", "[5]", "[6]", "[4]", "[10]", "[11]", "[12]"]);
+        assert_eq!(
+            labels,
+            vec!["[2]", "[3]", "[5]", "[6]", "[4]", "[10]", "[11]", "[12]"]
+        );
     }
 
     #[test]

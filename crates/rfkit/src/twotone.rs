@@ -156,7 +156,10 @@ mod tests {
         // IM3 = (3/4)|a3|A³; IM2 = |a2|A².
         let im3_expected = 0.75 * 0.4 * a * a * a;
         let im2_expected = 0.1 * a * a;
-        assert!((r.im3() - im3_expected).abs() < 0.05 * im3_expected, "{r:?}");
+        assert!(
+            (r.im3() - im3_expected).abs() < 0.05 * im3_expected,
+            "{r:?}"
+        );
         assert!((r.im2 - im2_expected).abs() < 0.05 * im2_expected, "{r:?}");
         // Fundamentals roughly a1·A (slightly compressed).
         assert!((r.fund() - 2.0 * a).abs() < 0.05 * 2.0 * a);

@@ -64,8 +64,7 @@ pub struct TiaInput {
 impl ImpedanceModel for TiaInput {
     fn z(&self, omega: f64) -> Complex {
         let f = omega / (2.0 * std::f64::consts::PI);
-        let a = Complex::from_re(self.a0)
-            / Complex::new(1.0, f / self.f1);
+        let a = Complex::from_re(self.a0) / Complex::new(1.0, f / self.f1);
         Complex::from_re(self.rf) / (Complex::ONE + a)
     }
 }
@@ -119,7 +118,10 @@ mod tests {
     fn series_rc_blocks_difference_frequency() {
         // The coupling cap presents a high impedance at the IM2 beat
         // (1 MHz) and a low one in-band (2.4 GHz) — the eq. (1) mechanism.
-        let zs = SeriesRc { r: 100.0, c: 3.2e-12 };
+        let zs = SeriesRc {
+            r: 100.0,
+            c: 3.2e-12,
+        };
         let w = |f: f64| 2.0 * std::f64::consts::PI * f;
         assert!(zs.z(w(1e6)).abs() > 10.0 * zs.z(w(2.4e9)).abs());
     }
@@ -143,7 +145,10 @@ mod tests {
         // the beat) yields a larger eq. (1) factor than a big cap.
         let l = tia();
         let small_cap = SeriesRc { r: 100.0, c: 1e-12 };
-        let big_cap = SeriesRc { r: 100.0, c: 100e-12 };
+        let big_cap = SeriesRc {
+            r: 100.0,
+            c: 100e-12,
+        };
         let f_small = iip2_factor(&small_cap, &l, 2.405e9, 2.406e9, 2.4e9);
         let f_big = iip2_factor(&big_cap, &l, 2.405e9, 2.406e9, 2.4e9);
         assert!(
@@ -160,7 +165,10 @@ mod tests {
         // odd-order intercept is much less source-network-sensitive than
         // IIP2, which is the paper's (and [5]'s) point.
         let a = SeriesRc { r: 100.0, c: 1e-12 };
-        let b = SeriesRc { r: 100.0, c: 100e-12 };
+        let b = SeriesRc {
+            r: 100.0,
+            c: 100e-12,
+        };
         let fa = iip3_factor(&a, &l, 2.405e9, 2.406e9, 2.4e9);
         let fb = iip3_factor(&b, &l, 2.405e9, 2.406e9, 2.4e9);
         let ratio = fa / fb;
@@ -171,6 +179,10 @@ mod tests {
         // And far smaller than the IIP2 sensitivity for the same pair.
         let ia = iip2_factor(&a, &l, 2.405e9, 2.406e9, 2.4e9);
         let ib = iip2_factor(&b, &l, 2.405e9, 2.406e9, 2.4e9);
-        assert!(ia / ib > ratio, "IIP2 sens {:.1} vs IIP3 sens {ratio:.1}", ia / ib);
+        assert!(
+            ia / ib > ratio,
+            "IIP2 sens {:.1} vs IIP3 sens {ratio:.1}",
+            ia / ib
+        );
     }
 }

@@ -51,11 +51,14 @@ fn evaluate(cfg: &MixerConfig) -> Option<Score> {
 fn main() {
     let mut cfg = MixerConfig::default();
     let mut best = evaluate(&cfg).expect("baseline evaluation");
-    println!("baseline: CGa {:.1} dB | CGp {:.1} dB | NFa {:.1} dB | P {:.2} mW | cost {:.2}\n",
-        best.cg_active, best.cg_passive, best.nf_active, best.power, best.cost);
+    println!(
+        "baseline: CGa {:.1} dB | CGp {:.1} dB | NFa {:.1} dB | P {:.2} mW | cost {:.2}\n",
+        best.cg_active, best.cg_passive, best.nf_active, best.power, best.cost
+    );
 
     // Knobs: (name, apply-factor).
-    let knobs: Vec<(&str, fn(&mut MixerConfig, f64))> = vec![
+    type Knob = (&'static str, fn(&mut MixerConfig, f64));
+    let knobs: Vec<Knob> = vec![
         ("tca_width", |c, k| {
             c.tca_wn *= k;
             c.tca_wp *= k;
@@ -93,10 +96,17 @@ fn main() {
         step *= 0.5;
     }
 
-    println!("\noptimized: CGa {:.1} dB | CGp {:.1} dB | NFa {:.1} dB | P {:.2} mW",
-        best.cg_active, best.cg_passive, best.nf_active, best.power);
-    println!("knobs: tca_wn {:.1} µm | tail {:.2} mA | ota_i1 {:.2} mA | tg_load {:.0} Ω",
-        cfg.tca_wn * 1e6, cfg.tail_current * 1e3, cfg.ota_i1 * 1e3, cfg.tg_load_r);
+    println!(
+        "\noptimized: CGa {:.1} dB | CGp {:.1} dB | NFa {:.1} dB | P {:.2} mW",
+        best.cg_active, best.cg_passive, best.nf_active, best.power
+    );
+    println!(
+        "knobs: tca_wn {:.1} µm | tail {:.2} mA | ota_i1 {:.2} mA | tg_load {:.0} Ω",
+        cfg.tca_wn * 1e6,
+        cfg.tail_current * 1e3,
+        cfg.ota_i1 * 1e3,
+        cfg.tg_load_r
+    );
     println!("\nThe same extraction flow that reproduces the paper doubles as a");
     println!("design-exploration oracle — the point of shipping it as a library.");
 }

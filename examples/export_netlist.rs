@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for mode in [MixerMode::Active, MixerMode::Passive] {
         let (ckt, _) = mixer.build(mode, &RfDrive::Bias, &LoDrive::sine(2.4e9));
-        let deck = to_spice(&ckt, &format!("remix reconfigurable mixer — {} mode", mode.label()));
+        let deck = to_spice(
+            &ckt,
+            &format!("remix reconfigurable mixer — {} mode", mode.label()),
+        );
         let path = format!("target/mixer_{}.cir", mode.label());
         fs::write(&path, &deck)?;
         println!(
@@ -38,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (ckt, _) = mixer.build(MixerMode::Active, &RfDrive::Bias, &LoDrive::sine(2.4e9));
     let dot = to_dot(&ckt, "remix reconfigurable mixer (active)");
     fs::write("target/mixer_active.dot", &dot)?;
-    println!("target/mixer_active.dot: {} lines (render: dot -Tsvg)", dot.lines().count());
+    println!(
+        "target/mixer_active.dot: {} lines (render: dot -Tsvg)",
+        dot.lines().count()
+    );
 
     println!("\nfirst lines of the active-mode deck:");
     let deck = to_spice(&ckt, "preview");

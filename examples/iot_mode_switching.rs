@@ -115,7 +115,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
         };
-        let snr = if pick == MixerMode::Active { snr_a } else { snr_p };
+        let snr = if pick == MixerMode::Active {
+            snr_a
+        } else {
+            snr_p
+        };
         let ok = snr >= sc.required_snr_db;
         println!("{:<40} → {:<8}", sc.name, pick.label());
         println!(

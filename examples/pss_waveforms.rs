@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mixer = ReconfigurableMixer::new(MixerConfig::default());
     let f_lo = 0.48e9;
     for mode in [MixerMode::Active, MixerMode::Passive] {
-        println!("==== {} mode PSS at LO = {:.2} GHz ====\n", mode.label(), f_lo / 1e9);
+        println!(
+            "==== {} mode PSS at LO = {:.2} GHz ====\n",
+            mode.label(),
+            f_lo / 1e9
+        );
         let (ckt, nodes) = mixer.build(mode, &RfDrive::Bias, &LoDrive::sine(f_lo));
         let mut opts = PssOptions::new(1.0 / f_lo);
         opts.steps_per_period = 72;

@@ -147,7 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Scenario A: clean channel, weak signal.
     let clean = qpsk_burst(f_c, fs, 1.8e-5, 11); // ≈ −82 dBm: sensitivity-limited
-    // Scenario B: strong two-tone blocker pair whose IM3 lands in-channel.
+                                                 // Scenario B: strong two-tone blocker pair whose IM3 lands in-channel.
     let mut blocked = qpsk_burst(f_c, fs, 2e-3, 12);
     // IM3 of (f_lo+20M, f_lo+40M) lands at 2·20−40 = 0 → in-channel.
     let wb1 = 2.0 * std::f64::consts::PI * (f_lo + 20e6);
@@ -159,7 +159,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("{:<34} {:>10} {:>10}", "scenario", "active", "passive");
-    for (name, sig) in [("clean weak burst", &clean), ("burst + −12 dBm blocker pair", &blocked)] {
+    for (name, sig) in [
+        ("clean weak burst", &clean),
+        ("burst + −12 dBm blocker pair", &blocked),
+    ] {
         let evm_a = demod_evm(&eval, MixerMode::Active, sig, f_lo, fs);
         let evm_p = demod_evm(&eval, MixerMode::Passive, sig, f_lo, fs);
         println!("{:<34} {:>8.1} % {:>8.1} %", name, evm_a, evm_p);

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pins: Vec<f64> = (0..10).map(|k| start + 2.0 * k as f64).collect();
         let (sweep, result) = eval.iip3_two_tone(mode, &pins)?;
 
-        println!("=== {} mode — two-tone test (LO 2.4 GHz, tones +5/+6 MHz) ===", mode.label());
+        println!(
+            "=== {} mode — two-tone test (LO 2.4 GHz, tones +5/+6 MHz) ===",
+            mode.label()
+        );
         println!(
             "{:>10} {:>12} {:>12} {:>10}",
             "Pin(dBm)", "fund(dBm)", "IM3(dBm)", "ΔP(dB)"

@@ -1,0 +1,225 @@
+//! Offline drop-in subset of the `criterion` crate API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` it uses: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with `sample_size` / `measurement_time` /
+//! `warm_up_time`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: each bench warms up, then runs
+//! timed batches until the measurement budget is spent, and reports the
+//! per-iteration mean and min. No outlier analysis, no HTML reports.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Runs closures under timing measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Filled by [`Bencher::iter`]: (iterations, total elapsed).
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring for the configured
+    /// budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also calibrates a batch size aiming at ~50 batches
+        // per measurement window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((self.measurement.as_secs_f64() / 50.0 / per_iter.max(1e-9)) as u64).max(1);
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.measurement {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            iters += batch;
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Top-level bench context.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((iters, elapsed)) => {
+                let per = elapsed.as_secs_f64() / iters.max(1) as f64;
+                println!(
+                    "bench: {name:<44} {:>12}/iter ({iters} iters)",
+                    human_time(per)
+                );
+            }
+            None => println!("bench: {name:<44} (no measurement)"),
+        }
+        self
+    }
+
+    /// Opens a named group with its own timing configuration.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            warm_up: None,
+            measurement: None,
+        }
+    }
+}
+
+/// A group of benches sharing configuration overrides.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    warm_up: Option<Duration>,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the runner sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = Some(d);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up.unwrap_or(self.parent.warm_up),
+            measurement: self.measurement.unwrap_or(self.parent.measurement),
+            result: None,
+        };
+        f(&mut b);
+        let full = format!("{}/{name}", self.name);
+        match b.result {
+            Some((iters, elapsed)) => {
+                let per = elapsed.as_secs_f64() / iters.max(1) as f64;
+                println!(
+                    "bench: {full:<44} {:>12}/iter ({iters} iters)",
+                    human_time(per)
+                );
+            }
+            None => println!("bench: {full:<44} (no measurement)"),
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export of the standard black box, for parity with upstream.
+pub use std::hint::black_box;
+
+/// Bundles bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+        };
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        assert!(hits > 0);
+
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(2.0).ends_with(" s"));
+        assert!(human_time(2e-3).ends_with(" ms"));
+        assert!(human_time(2e-6).ends_with(" µs"));
+        assert!(human_time(2e-9).ends_with(" ns"));
+    }
+}

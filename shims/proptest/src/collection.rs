@@ -1,0 +1,28 @@
+//! Collection strategies (subset: `vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `Vec` strategy with lengths drawn from `size` (upstream's
+/// `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.start..self.size.end);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

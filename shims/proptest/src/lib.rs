@@ -1,0 +1,209 @@
+//! Offline drop-in subset of the `proptest` crate API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `proptest` it uses: the [`proptest!`] macro with
+//! an optional `#![proptest_config(..)]` header, range and `any::<T>()`
+//! strategies, `proptest::collection::vec`, and the `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the drawn inputs via the
+//!   panic message (every generated value is `Debug`-printed), but no
+//!   minimization pass runs.
+//! * **Deterministic seeding.** Case `k` of test `name` derives its seed
+//!   from FNV-1a(`name`) mixed with `k`, so failures reproduce exactly
+//!   without a persistence file.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Any, Strategy};
+
+/// Failure raised by `prop_assert!` inside a generated test body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+/// Runner configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG: FNV-1a of the test name mixed with the
+/// case index.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// The common imports, mirroring upstream's `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
+}
+
+/// Generates `#[test]` functions that run their body over random draws
+/// from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "proptest case {case} failed: {}\n  inputs: {}",
+                        e.message,
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", "),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the drawn
+/// inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            n in 2usize..20,
+            x in -1.5f64..1.5,
+            seed in any::<u64>(),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((2..20).contains(&n));
+            prop_assert!((-1.5..1.5).contains(&x), "x = {x}");
+            let _ = (seed, flag);
+        }
+
+        #[test]
+        fn collection_vec_sizes(v in crate::collection::vec(0.0f64..1.0, 2..8)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        assert_eq!(
+            (0usize..10)
+                .map(|_| (2usize..100).sample(&mut a))
+                .collect::<Vec<_>>(),
+            (0usize..10)
+                .map(|_| (2usize..100).sample(&mut b))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(k in 0usize..10) {
+                prop_assert!(k > 100, "k = {k} not > 100");
+            }
+        }
+        always_fails();
+    }
+}

@@ -10,6 +10,7 @@
 //! | [`numerics`] | complex arithmetic, dense/sparse LU, Newton, integrators |
 //! | [`dsp`] | FFT, windows, PSD, coherent tone plans, signal generators |
 //! | [`circuit`] | netlists, 65 nm MOSFET model, transmission gates, MNA |
+//! | [`lint`] | clippy-style ERC engine: stable rule ids, severities, text/JSON reports |
 //! | [`analysis`] | DC op (homotopy), AC, transient, `.NOISE`, MC noise, power |
 //! | [`rfkit`] | IIP3/IIP2/P1dB algebra, two-tone harness, behavioral blocks, Table I data |
 //! | [`core`] | the reconfigurable mixer: TCA, quad, TIA/OTA, TG loads, models, evaluation |
@@ -46,5 +47,6 @@ pub use remix_analysis as analysis;
 pub use remix_circuit as circuit;
 pub use remix_core as core;
 pub use remix_dsp as dsp;
+pub use remix_lint as lint;
 pub use remix_numerics as numerics;
 pub use remix_rfkit as rfkit;

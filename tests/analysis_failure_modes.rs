@@ -5,19 +5,20 @@ use remix::analysis::{
     ac_sweep, dc_operating_point, dc_sweep, output_noise, transient, AnalysisError, OpOptions,
     TranOptions,
 };
-use remix::circuit::{Circuit, CircuitError, MosModel, Waveform};
+use remix::circuit::{Circuit, MosModel, Waveform};
+use remix::lint::RuleId;
+
+fn lint_fired(err: &AnalysisError, rule: RuleId) -> bool {
+    matches!(err, AnalysisError::Lint(report) if !report.by_rule(rule).is_empty())
+}
 
 #[test]
 fn empty_circuit_is_rejected_everywhere() {
     let c = Circuit::new();
-    match dc_operating_point(&c, &OpOptions::default()) {
-        Err(AnalysisError::BadCircuit(CircuitError::Empty)) => {}
-        other => panic!("expected Empty, got {other:?}"),
-    }
-    match transient(&c, &TranOptions::new(1e-6, 1e-9)) {
-        Err(AnalysisError::BadCircuit(CircuitError::Empty)) => {}
-        other => panic!("expected Empty, got {other:?}"),
-    }
+    let err = dc_operating_point(&c, &OpOptions::default()).unwrap_err();
+    assert!(lint_fired(&err, RuleId::EmptyCircuit), "got {err:?}");
+    let err = transient(&c, &TranOptions::new(1e-6, 1e-9)).unwrap_err();
+    assert!(lint_fired(&err, RuleId::EmptyCircuit), "got {err:?}");
 }
 
 #[test]
@@ -45,12 +46,13 @@ fn capacitor_island_has_no_dc_path() {
     c.add_resistor("r", a, b, 1e3);
     c.add_capacitor("c1", b, isle, 1e-12);
     c.add_capacitor("c2", isle, Circuit::gnd(), 1e-12);
-    match dc_operating_point(&c, &OpOptions::default()) {
-        Err(AnalysisError::BadCircuit(CircuitError::NoDcPath { node })) => {
-            assert_eq!(node, "island");
-        }
-        other => panic!("expected NoDcPath, got {other:?}"),
-    }
+    let err = dc_operating_point(&c, &OpOptions::default()).unwrap_err();
+    // The cap-only rule is the most specific diagnosis for this island.
+    assert!(lint_fired(&err, RuleId::CapOnlyNode), "got {err:?}");
+    assert!(
+        err.to_string().contains("island"),
+        "error should name the node: {err}"
+    );
 }
 
 #[test]
@@ -77,8 +79,26 @@ fn pathological_bias_still_converges_or_fails_cleanly() {
     c.add_resistor("rx", vdd, x, 10e3);
     c.add_resistor("ry", vdd, y, 10e3);
     // Cross-coupled pair (bistable!).
-    c.add_mosfet("m1", MosModel::nmos_65nm(), 5e-6, 65e-9, x, y, Circuit::gnd(), Circuit::gnd());
-    c.add_mosfet("m2", MosModel::nmos_65nm(), 5e-6, 65e-9, y, x, Circuit::gnd(), Circuit::gnd());
+    c.add_mosfet(
+        "m1",
+        MosModel::nmos_65nm(),
+        5e-6,
+        65e-9,
+        x,
+        y,
+        Circuit::gnd(),
+        Circuit::gnd(),
+    );
+    c.add_mosfet(
+        "m2",
+        MosModel::nmos_65nm(),
+        5e-6,
+        65e-9,
+        y,
+        x,
+        Circuit::gnd(),
+        Circuit::gnd(),
+    );
     match dc_operating_point(&c, &OpOptions::default()) {
         Ok(op) => {
             // Whichever solution was found must satisfy KCL sanity:

@@ -120,7 +120,10 @@ fn band_edges_fig8() {
     let plo = plo.expect("passive low edge") / 1e9;
     assert!(alo > 0.25 && alo < 1.5, "active lo {alo:.2} GHz");
     assert!(ahi > 3.0 && ahi < 7.0, "active hi {ahi:.2} GHz");
-    assert!((plo - PASSIVE_TARGETS.band_lo_ghz).abs() < 0.3, "passive lo {plo:.2} GHz");
+    assert!(
+        (plo - PASSIVE_TARGETS.band_lo_ghz).abs() < 0.3,
+        "passive lo {plo:.2} GHz"
+    );
     // Both modes cover the 2.4 GHz ISM band the IoT story needs, with
     // gain within 1.5 dB of their peaks there.
     for mode in [MixerMode::Active, MixerMode::Passive] {
@@ -129,7 +132,11 @@ fn band_edges_fig8() {
             .map(|k| m.conv_gain_db(k as f64 * 0.1e9, 5e6))
             .fold(f64::MIN, f64::max);
         let ism = m.conv_gain_db(2.45e9, 5e6);
-        assert!(peak - ism < 1.5, "{}: peak {peak:.1} vs ISM {ism:.1}", mode.label());
+        assert!(
+            peak - ism < 1.5,
+            "{}: peak {peak:.1} vs ISM {ism:.1}",
+            mode.label()
+        );
     }
 }
 
@@ -170,7 +177,11 @@ fn measured_two_tone_confirms_intercepts() {
     let (_, ra) = eval()
         .iip3_two_tone(MixerMode::Active, &pins_a)
         .expect("active extraction");
-    assert!((ra.fund_slope - 1.0).abs() < 0.15, "slope {}", ra.fund_slope);
+    assert!(
+        (ra.fund_slope - 1.0).abs() < 0.15,
+        "slope {}",
+        ra.fund_slope
+    );
     assert!((ra.im3_slope - 3.0).abs() < 0.4, "slope {}", ra.im3_slope);
     assert!(
         (ra.iip3_dbm - ACTIVE_TARGETS.iip3_dbm).abs() < 4.0,
