@@ -62,13 +62,15 @@ impl AcResult {
 ///
 /// # Errors
 ///
-/// [`AnalysisError::Singular`] if the complex system cannot be factored at
-/// some frequency.
+/// [`AnalysisError::Lint`] when the implied sweep plan fails the `SIM`
+/// rules; [`AnalysisError::Singular`] if the complex system cannot be
+/// factored at some frequency.
 pub fn ac_sweep(
     circuit: &Circuit,
     op: &OperatingPoint,
     freqs: &[f64],
 ) -> Result<AcResult, AnalysisError> {
+    crate::plan::gate(&crate::plan::sweep_plan("ac sweep", freqs))?;
     let layout = op.layout.clone();
     let dim = layout.dim();
     let mut m = TripletMatrix::<Complex>::new(dim, dim);

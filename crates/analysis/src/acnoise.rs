@@ -141,7 +141,9 @@ impl NoiseResult {
 ///
 /// # Errors
 ///
-/// [`AnalysisError::Singular`] if the AC system cannot be factored.
+/// [`AnalysisError::Lint`] when the implied noise plan fails the `SIM`
+/// rules; [`AnalysisError::Singular`] if the AC system cannot be
+/// factored.
 pub fn output_noise(
     circuit: &Circuit,
     op: &OperatingPoint,
@@ -149,6 +151,7 @@ pub fn output_noise(
     out_n: Node,
     freqs: &[f64],
 ) -> Result<NoiseResult, AnalysisError> {
+    crate::plan::gate(&crate::plan::noise_plan("output noise", freqs))?;
     let sources = noise_sources(circuit, op, ROOM_TEMP);
     let layout = &op.layout;
     let dim = layout.dim();

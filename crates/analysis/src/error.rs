@@ -114,6 +114,7 @@ mod tests {
                 message: "circuit contains no elements".into(),
                 nodes: vec![],
                 elements: vec![],
+                fix: None,
             }],
         };
         let ae: AnalysisError = report.clone().into();

@@ -44,6 +44,7 @@ pub mod acnoise;
 pub mod dcsweep;
 pub mod error;
 pub mod op;
+pub mod plan;
 pub mod power;
 pub mod pss;
 pub mod report;
@@ -57,6 +58,7 @@ pub use acnoise::{noise_figure_db, noise_sources, output_noise, NoiseKind, Noise
 pub use dcsweep::{dc_sweep, DcSweepResult};
 pub use error::AnalysisError;
 pub use op::{dc_operating_point, OpOptions, OperatingPoint};
+pub use plan::{fastest_stimulus, noise_plan, pss_plan, sweep_plan, tran_plan};
 pub use power::{supply_power, PowerReport};
 pub use pss::{periodic_steady_state, PeriodicSteadyState, PssOptions};
 pub use report::{bias_warnings, device_table, node_table};

@@ -1,0 +1,198 @@
+//! Deriving and gating simulation plans.
+//!
+//! Every analysis entry point describes the run it is about to perform
+//! as a [`SimPlan`] — the neutral description type `remix-lint` judges
+//! with its `SIM001`–`SIM006` rules — and refuses to run when the plan
+//! has deny-level findings, exactly as [`dc_operating_point`] refuses a
+//! circuit with deny-level ERC findings. The engines declare only what
+//! they actually know (timestep, duration, the fastest stimulus in the
+//! netlist, the sweep grid); measurement intent such as the IF frequency
+//! or the paper's RF band is attached by the bench layer via
+//! [`remix_lint::PlanTargets`].
+//!
+//! [`dc_operating_point`]: crate::op::dc_operating_point
+
+use crate::error::AnalysisError;
+use crate::pss::PssOptions;
+use crate::tran::TranOptions;
+use remix_circuit::{Circuit, Element, Waveform};
+use remix_lint::{lint_plan, LintConfig, SimPlan};
+
+/// Fastest periodic stimulus frequency (Hz) among the circuit's
+/// independent sources — the "LO" a transient grid must resolve.
+/// `None` when every source is DC or piecewise-linear.
+pub fn fastest_stimulus(circuit: &Circuit) -> Option<f64> {
+    let mut fastest: Option<f64> = None;
+    let mut consider = |f: f64| {
+        if f.is_finite() && f > 0.0 {
+            fastest = Some(fastest.map_or(f, |b: f64| b.max(f)));
+        }
+    };
+    for e in circuit.elements() {
+        let wave = match e {
+            Element::VoltageSource { wave, .. } | Element::CurrentSource { wave, .. } => wave,
+            _ => continue,
+        };
+        match wave {
+            Waveform::Sin { freq, .. } => consider(*freq),
+            Waveform::Pulse { period, .. } => {
+                if *period > 0.0 {
+                    consider(1.0 / period);
+                }
+            }
+            Waveform::TwoTone { f1, f2, .. } => {
+                consider(*f1);
+                consider(*f2);
+            }
+            Waveform::Dc(_) | Waveform::Pwl(_) => {}
+        }
+    }
+    fastest
+}
+
+/// The plan a transient run over `circuit` with `opts` implies.
+pub fn tran_plan(circuit: &Circuit, opts: &TranOptions) -> SimPlan {
+    let mut plan = SimPlan::new("transient")
+        .with_timestep(opts.h)
+        .with_duration(opts.t_stop);
+    if let Some(f) = fastest_stimulus(circuit) {
+        plan = plan.with_lo(f);
+    }
+    plan
+}
+
+/// The plan a periodic-steady-state run implies: the shooting grid must
+/// resolve the fundamental it is locking to.
+pub fn pss_plan(circuit: &Circuit, opts: &PssOptions) -> SimPlan {
+    let h = opts.period / opts.steps_per_period as f64;
+    let mut plan = SimPlan::new("periodic steady state")
+        .with_timestep(h)
+        .with_duration(opts.period * opts.max_periods as f64)
+        .with_lo(1.0 / opts.period);
+    if let Some(f) = fastest_stimulus(circuit) {
+        if f > 1.0 / opts.period {
+            plan = plan.with_lo(f);
+        }
+    }
+    plan
+}
+
+/// The plan a frequency sweep implies (AC gain, S-parameters).
+pub fn sweep_plan(name: &str, freqs: &[f64]) -> SimPlan {
+    let mut plan = SimPlan::new(name);
+    if let (Some(lo), Some(hi)) = (min_of(freqs), max_of(freqs)) {
+        plan = plan.with_sweep(lo, hi);
+    }
+    plan
+}
+
+/// The plan a noise analysis implies: the swept band is the noise band.
+pub fn noise_plan(name: &str, freqs: &[f64]) -> SimPlan {
+    let mut plan = SimPlan::new(name);
+    if let (Some(lo), Some(hi)) = (min_of(freqs), max_of(freqs)) {
+        plan = plan.with_noise_band(lo, hi);
+    }
+    plan
+}
+
+fn min_of(v: &[f64]) -> Option<f64> {
+    v.iter().copied().reduce(f64::min)
+}
+
+fn max_of(v: &[f64]) -> Option<f64> {
+    v.iter().copied().reduce(f64::max)
+}
+
+/// Lints `plan` under the default configuration and refuses deny-level
+/// findings.
+///
+/// # Errors
+///
+/// [`AnalysisError::Lint`] carrying the full plan report when any
+/// deny-level `SIM` rule fires.
+pub fn gate(plan: &SimPlan) -> Result<(), AnalysisError> {
+    let report = lint_plan(plan, &LintConfig::default());
+    if !report.is_clean() {
+        return Err(AnalysisError::Lint(report));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_lint::RuleId;
+
+    fn lo_circuit(freq: f64) -> Circuit {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        c.add_vsource(
+            "vlo",
+            vin,
+            Circuit::gnd(),
+            Waveform::Sin {
+                offset: 0.0,
+                amplitude: 0.6,
+                freq,
+                phase: 0.0,
+                delay: 0.0,
+            },
+        );
+        c.add_resistor("rl", vin, Circuit::gnd(), 50.0);
+        c
+    }
+
+    #[test]
+    fn fastest_stimulus_scans_all_waveforms() {
+        let mut c = lo_circuit(2.4e9);
+        let n = c.node("n2");
+        c.add_isource(
+            "i_rf",
+            n,
+            Circuit::gnd(),
+            Waveform::TwoTone {
+                offset: 0.0,
+                amplitude: 1e-3,
+                f1: 2.405e9,
+                f2: 2.406e9,
+            },
+        );
+        c.add_resistor("r2", n, Circuit::gnd(), 50.0);
+        assert_eq!(fastest_stimulus(&c), Some(2.406e9));
+        assert_eq!(fastest_stimulus(&Circuit::new()), None);
+    }
+
+    #[test]
+    fn aliasing_transient_is_refused() {
+        let c = lo_circuit(2.4e9);
+        // 1 ns step against a 2.4 GHz LO: 0.42 samples per period.
+        let opts = TranOptions::new(100e-9, 1e-9);
+        let plan = tran_plan(&c, &opts);
+        let err = gate(&plan).unwrap_err();
+        let AnalysisError::Lint(report) = err else {
+            panic!("expected a lint error");
+        };
+        assert_eq!(report.by_rule(RuleId::TimestepVsLo).len(), 1);
+
+        // A resolving step passes.
+        let opts = TranOptions::new(100e-9, 10e-12);
+        assert!(gate(&tran_plan(&c, &opts)).is_ok());
+    }
+
+    #[test]
+    fn pss_grid_resolves_its_fundamental_by_construction() {
+        let c = lo_circuit(2.4e9);
+        let opts = PssOptions::new(1.0 / 2.4e9);
+        assert!(gate(&pss_plan(&c, &opts)).is_ok());
+    }
+
+    #[test]
+    fn sweep_and_noise_plans_capture_their_grids() {
+        let p = sweep_plan("ac", &[1e6, 1e9, 5e9]);
+        assert_eq!(p.sweep_band, Some((1e6, 5e9)));
+        let p = noise_plan("noise", &[1e3, 1e8]);
+        assert_eq!(p.noise_band, Some((1e3, 1e8)));
+        // Engine-derived plans carry no targets, so nothing fires.
+        assert!(gate(&p).is_ok());
+    }
+}

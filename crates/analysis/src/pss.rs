@@ -82,12 +82,16 @@ impl PeriodicSteadyState {
 ///
 /// # Errors
 ///
-/// Propagates transient errors; returns
-/// [`AnalysisError::NoConvergence`] when `max_periods` is exhausted.
+/// [`AnalysisError::Lint`] when the implied simulation plan fails the
+/// `SIM` rules (e.g. a shooting grid too coarse for a faster stimulus
+/// elsewhere in the netlist). Otherwise propagates transient errors;
+/// returns [`AnalysisError::NoConvergence`] when `max_periods` is
+/// exhausted.
 pub fn periodic_steady_state(
     circuit: &Circuit,
     opts: &PssOptions,
 ) -> Result<PeriodicSteadyState, AnalysisError> {
+    crate::plan::gate(&crate::plan::pss_plan(circuit, opts))?;
     let h = opts.period / opts.steps_per_period as f64;
     // Integrate in growing chunks, checking the boundary samples: run
     // `chunk` periods at a time (one long transient keeps the companion

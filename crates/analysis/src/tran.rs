@@ -388,10 +388,13 @@ impl<'a> Integrator<'a> {
 ///
 /// # Errors
 ///
-/// Propagates operating-point errors, singular-matrix errors, Newton
-/// non-convergence (after sub-division down to femtosecond steps), and
-/// step-size underflow.
+/// [`AnalysisError::Lint`] when the implied simulation plan fails the
+/// `SIM` rules (e.g. `SIM001`: the timestep cannot resolve the fastest
+/// stimulus in the netlist). Otherwise propagates operating-point
+/// errors, singular-matrix errors, Newton non-convergence (after
+/// sub-division down to femtosecond steps), and step-size underflow.
 pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, AnalysisError> {
+    crate::plan::gate(&crate::plan::tran_plan(circuit, opts))?;
     let mut integ = Integrator::init(circuit, opts)?;
     let n_steps = (opts.t_stop / opts.h).round() as usize;
     let mut times = Vec::new();

@@ -60,12 +60,16 @@ impl Default for NoiseTranConfig {
 ///
 /// # Errors
 ///
-/// Propagates operating-point and transient errors.
+/// [`AnalysisError::Lint`] when the implied simulation plan fails the
+/// `SIM` rules (checked here against the *original* netlist, before the
+/// noise sources are injected); otherwise propagates operating-point and
+/// transient errors.
 pub fn noise_transient(
     circuit: &Circuit,
     opts: &TranOptions,
     config: &NoiseTranConfig,
 ) -> Result<TranResult, AnalysisError> {
+    crate::plan::gate(&crate::plan::tran_plan(circuit, opts))?;
     let op = dc_operating_point(circuit, &OpOptions::default())?;
     let fs = 1.0 / opts.h;
     let n_samples = (opts.t_stop / opts.h).ceil() as usize + 2;

@@ -7,10 +7,19 @@
 //! cargo run --release -p remix-bench --bin fig10_iip3
 //! ```
 
-use remix_bench::shared_evaluator;
+use remix_bench::{checked_plan, shared_evaluator};
 use remix_core::MixerMode;
 
 fn main() {
+    // Lint the two-tone FFT record (coherence, Nyquist, IM3 headroom)
+    // before paying for extraction.
+    let plan = checked_plan("fig10");
+    println!(
+        "two-tone record: n = {}, fs = {:.3} GHz (lint-clean)\n",
+        plan.fft_len.expect("fig10 plan declares an FFT"),
+        plan.sample_rate.expect("fig10 plan declares a rate") / 1e9,
+    );
+
     let eval = shared_evaluator();
     for (fig, mode) in [
         ("Fig. 10(a)", MixerMode::Passive),

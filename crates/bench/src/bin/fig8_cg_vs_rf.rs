@@ -5,15 +5,23 @@
 //! cargo run --release -p remix-bench --bin fig8_cg_vs_rf
 //! ```
 
-use remix_bench::{ascii_plot, shared_evaluator};
+use remix_bench::{ascii_plot, checked_plan, shared_evaluator};
 use remix_core::MixerMode;
 use remix_rfkit::convgain::band_edges_3db;
 
 fn main() {
+    // Lint the sweep before paying for extraction; the grid is derived
+    // from the linted plan so the two cannot drift apart.
+    let plan = checked_plan("fig8");
+    let (f_min, f_max) = plan.sweep_band.expect("fig8 plan declares a sweep");
+
     let eval = shared_evaluator();
     let f_if = 5e6;
     // The paper sweeps 0.5–7 GHz.
-    let freqs: Vec<f64> = (1..=28).map(|k| 0.25e9 * k as f64).collect();
+    let step = 0.25e9;
+    let freqs: Vec<f64> = ((f_min / step).round() as usize..=(f_max / step).round() as usize)
+        .map(|k| step * k as f64)
+        .collect();
 
     let active = eval.gain_vs_rf(MixerMode::Active, &freqs, f_if);
     let passive = eval.gain_vs_rf(MixerMode::Passive, &freqs, f_if);

@@ -5,14 +5,22 @@
 //! cargo run --release -p remix-bench --bin fig9_nf_vs_if
 //! ```
 
-use remix_bench::{ascii_plot, shared_evaluator};
+use remix_bench::{ascii_plot, checked_plan, shared_evaluator};
 use remix_core::MixerMode;
 
 fn main() {
+    // Lint the noise sweep (band must bracket the flicker corner and the
+    // 5 MHz IF) before extraction; the grid derives from the linted plan.
+    let plan = checked_plan("fig9");
+    let (if_min, if_max) = plan.noise_band.expect("fig9 plan declares a noise band");
+
     let eval = shared_evaluator();
     let f_rf = 2.45e9;
-    // Log sweep 1 kHz .. 100 MHz like the paper's x axis.
-    let ifs: Vec<f64> = (0..=25).map(|k| 1e3 * 10f64.powf(k as f64 / 5.0)).collect();
+    // Log sweep 1 kHz .. 100 MHz like the paper's x axis, 5 pts/decade.
+    let points = (5.0 * (if_max / if_min).log10()).round() as usize;
+    let ifs: Vec<f64> = (0..=points)
+        .map(|k| if_min * 10f64.powf(k as f64 / 5.0))
+        .collect();
 
     let nf_a = eval.nf_vs_if(MixerMode::Active, &ifs);
     let nf_p = eval.nf_vs_if(MixerMode::Passive, &ifs);

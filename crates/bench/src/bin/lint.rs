@@ -1,25 +1,53 @@
-//! ERC lint report for the paper's mixer netlists — the clippy of this
-//! repository. Runs the full `remix-lint` rule set over both mode
-//! netlists (and the live mode-switch netlist) and prints every finding.
+//! ERC + simulation-plan lint report — the clippy of this repository.
+//!
+//! With no arguments, runs the full `remix-lint` rule set over both mode
+//! netlists of the paper's mixer (plus the live mode-switch netlist) and
+//! the shipped measurement plans of every figure/table binary.
+//! Positional arguments are SPICE decks (`.cir`) to lint instead; with
+//! `--fix`, machine-applicable fixes are applied to fixpoint and the
+//! repaired deck is written back in place.
 //!
 //! ```text
-//! cargo run --release -p remix-bench --bin lint           # text
-//! cargo run --release -p remix-bench --bin lint -- --json # machine-readable
+//! cargo run --release -p remix-bench --bin lint            # text
+//! cargo run --release -p remix-bench --bin lint -- --json  # machine-readable
+//! cargo run --release -p remix-bench --bin lint -- --fix broken.cir
 //! ```
 //!
-//! Exit status is non-zero if any netlist has deny-level findings, so
-//! this doubles as a CI gate.
+//! Exit status is non-zero if any netlist or plan has deny-level
+//! findings left (after fixing, when `--fix` is given), so this doubles
+//! as a CI gate. Unfixable findings are listed explicitly.
 
 use remix_core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
+use remix_core::plans::shipped_plans;
 use remix_core::{MixerConfig, MixerMode};
-use remix_lint::{lint, LintConfig, LintReport, RuleId};
+use remix_lint::{fix_circuit, lint, lint_plan, Fix, LintConfig, LintReport, RuleId};
 use std::process::ExitCode;
 
-fn reports() -> Vec<(String, LintReport)> {
+/// One linted subject: a built-in netlist, a shipped plan, or a deck.
+struct Subject {
+    name: String,
+    report: LintReport,
+    applied: Vec<Fix>,
+}
+
+impl Subject {
+    fn plain(name: impl Into<String>, report: LintReport) -> Self {
+        Subject {
+            name: name.into(),
+            report,
+            applied: Vec::new(),
+        }
+    }
+}
+
+fn builtin_subjects() -> Vec<Subject> {
     let mixer = ReconfigurableMixer::new(MixerConfig::default());
     let mut out = Vec::new();
     for mode in [MixerMode::Active, MixerMode::Passive] {
-        out.push((format!("{} mode", mode.label()), mixer.lint_report(mode)));
+        out.push(Subject::plain(
+            format!("{} mode", mode.label()),
+            mixer.lint_report(mode),
+        ));
     }
     let (switch_ckt, _) = mixer.build_mode_switch(
         MixerMode::Active,
@@ -29,25 +57,82 @@ fn reports() -> Vec<(String, LintReport)> {
         &RfDrive::Bias,
         &LoDrive::held(2.4e9),
     );
-    out.push((
-        "mode switch (active→passive)".to_string(),
+    out.push(Subject::plain(
+        "mode switch (active→passive)",
         lint(&switch_ckt, &LintConfig::default()),
     ));
+    for (label, plan) in shipped_plans() {
+        out.push(Subject::plain(
+            format!("{label} plan"),
+            lint_plan(&plan, &LintConfig::default()),
+        ));
+    }
     out
 }
 
+/// Lints one SPICE deck from disk; with `fix`, applies every
+/// machine-applicable fix to fixpoint and rewrites the deck in place.
+fn deck_subject(path: &str, fix: bool, config: &LintConfig) -> Result<Subject, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read deck: {e}"))?;
+    let mut circuit =
+        remix_circuit::from_spice(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    if fix {
+        let outcome = fix_circuit(&mut circuit, config);
+        if !outcome.applied.is_empty() {
+            let fixed = remix_circuit::to_spice(&circuit, &format!("{path} (remix-lint --fix)"));
+            std::fs::write(path, fixed).map_err(|e| format!("{path}: cannot write deck: {e}"))?;
+        }
+        Ok(Subject {
+            name: path.to_string(),
+            report: outcome.report,
+            applied: outcome.applied,
+        })
+    } else {
+        Ok(Subject::plain(path, lint(&circuit, config)))
+    }
+}
+
 fn main() -> ExitCode {
-    let json = std::env::args().any(|a| a == "--json");
-    let reports = reports();
-    let mut denies = 0usize;
+    let mut json = false;
+    let mut fix = false;
+    let mut decks: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fix" => fix = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other} (expected --json, --fix, or deck paths)");
+                return ExitCode::FAILURE;
+            }
+            deck => decks.push(deck.to_string()),
+        }
+    }
+
+    let config = LintConfig::default();
+    let subjects = if decks.is_empty() {
+        builtin_subjects()
+    } else {
+        let mut out = Vec::new();
+        for path in &decks {
+            match deck_subject(path, fix, &config) {
+                Ok(s) => out.push(s),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        out
+    };
 
     if json {
         // `{:?}` on these names produces a JSON-compatible quoted key:
         // escape_debug only escapes quotes/backslashes/controls and JSON
         // accepts raw Unicode.
-        let items: Vec<String> = reports
+        let items: Vec<String> = subjects
             .iter()
-            .map(|(name, r)| format!("{:?}:{}", name, r.render_json()))
+            .map(|s| format!("{:?}:{}", s.name, s.report.render_json()))
             .collect();
         println!("{{{}}}", items.join(","));
     } else {
@@ -63,23 +148,58 @@ fn main() -> ExitCode {
         println!();
     }
 
-    for (name, report) in &reports {
-        denies += report.deny_count();
-        if !json {
-            println!("==== {name} ====");
-            print!("{}", report.render_text());
-            println!();
+    let mut denies = 0usize;
+    let mut unfixable = 0usize;
+    for subject in &subjects {
+        denies += subject.report.deny_count();
+        let stuck = subject
+            .report
+            .diagnostics
+            .iter()
+            .filter(|d| d.fix.is_none())
+            .count();
+        if fix {
+            unfixable += stuck;
         }
+        if json {
+            continue;
+        }
+        println!("==== {} ====", subject.name);
+        if !subject.applied.is_empty() {
+            println!("applied {} fix(es):", subject.applied.len());
+            for f in &subject.applied {
+                println!("  {}", f.describe());
+            }
+        }
+        print!("{}", subject.report.render_text());
+        if fix {
+            for d in subject
+                .report
+                .diagnostics
+                .iter()
+                .filter(|d| d.fix.is_none())
+            {
+                println!("unfixable: [{}] {}", d.rule.code(), d.message);
+            }
+        }
+        println!();
     }
 
     if denies == 0 {
         if !json {
-            println!("all netlists are deny-clean");
+            println!("all netlists and plans are deny-clean");
         }
         ExitCode::SUCCESS
     } else {
         if !json {
-            println!("{denies} deny-level finding(s)");
+            println!(
+                "{denies} deny-level finding(s){}",
+                if fix {
+                    format!(", {unfixable} unfixable")
+                } else {
+                    String::new()
+                }
+            );
         }
         ExitCode::FAILURE
     }

@@ -16,6 +16,7 @@
 //! on the workloads behind those artifacts.
 
 use remix_core::{eval::MixerEvaluator, MixerConfig};
+use remix_lint::{lint_plan, LintConfig, SimPlan};
 use std::sync::OnceLock;
 
 /// Shared evaluator for all binaries/benches (extraction is seconds).
@@ -24,6 +25,30 @@ pub fn shared_evaluator() -> &'static MixerEvaluator {
     CACHE.get_or_init(|| {
         MixerEvaluator::new(&MixerConfig::default()).expect("mixer extraction failed")
     })
+}
+
+/// Looks up the shipped measurement plan `label` (see
+/// [`remix_core::plans`]), lints it, and aborts with the full report if
+/// it has deny-level findings. Figure/table binaries call this before
+/// spending seconds on extraction, so a mis-parameterized sweep dies in
+/// milliseconds instead of producing a silently aliased artifact.
+///
+/// # Panics
+///
+/// If no shipped plan carries `label`, or its lint report has denies.
+pub fn checked_plan(label: &str) -> SimPlan {
+    let (_, plan) = remix_core::plans::shipped_plans()
+        .into_iter()
+        .find(|(l, _)| *l == label)
+        .unwrap_or_else(|| panic!("no shipped plan named {label:?}"));
+    let report = lint_plan(&plan, &LintConfig::default());
+    if !report.is_clean() {
+        panic!("{label} plan fails simulation-plan lint:\n{report}");
+    }
+    if report.warn_count() > 0 {
+        eprint!("{label} plan lint warnings:\n{report}");
+    }
+    plan
 }
 
 /// Renders a crude ASCII plot of `(x, y)` series for terminal inspection.
@@ -68,6 +93,20 @@ pub fn ascii_plot(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_shipped_plan_passes_the_gate() {
+        for label in ["fig8", "fig9", "fig10", "table1"] {
+            let plan = checked_plan(label);
+            assert!(!plan.name.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no shipped plan named")]
+    fn unknown_plan_label_panics() {
+        checked_plan("fig99");
+    }
 
     #[test]
     fn ascii_plot_renders() {

@@ -195,6 +195,22 @@ impl Element {
         }
     }
 
+    /// Replaces the instance name. Crate-internal: callers go through
+    /// [`Circuit::rename_element`](crate::netlist::Circuit::rename_element)
+    /// so the name index stays consistent.
+    pub(crate) fn set_name(&mut self, new_name: &str) {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::Capacitor { name, .. }
+            | Element::Inductor { name, .. }
+            | Element::VoltageSource { name, .. }
+            | Element::CurrentSource { name, .. }
+            | Element::Vccs { name, .. }
+            | Element::Vcvs { name, .. }
+            | Element::Mos { name, .. } => *name = new_name.to_string(),
+        }
+    }
+
     /// All nodes this element touches.
     pub fn nodes(&self) -> Vec<Node> {
         match self {

@@ -180,6 +180,36 @@ impl Circuit {
         &self.defects
     }
 
+    /// Renames an element, keeping the name index consistent. Returns
+    /// `false` (and changes nothing) if `new_name` is already taken.
+    ///
+    /// This is the repair path for duplicate instance names: renaming a
+    /// later duplicate retires one matching
+    /// [`CircuitError::DuplicateName`] defect and, if the old name still
+    /// has other bearers, re-points name lookup at the earliest one.
+    pub fn rename_element(&mut self, id: ElementId, new_name: &str) -> bool {
+        if self.element_names.contains_key(new_name) {
+            return false;
+        }
+        let old = self.elements[id.0].name().to_string();
+        self.elements[id.0].set_name(new_name);
+        if self.element_names.get(&old) == Some(&id) {
+            self.element_names.remove(&old);
+            if let Some(j) = self.elements.iter().position(|e| e.name() == old) {
+                self.element_names.insert(old.clone(), ElementId(j));
+            }
+        }
+        self.element_names.insert(new_name.to_string(), id);
+        if let Some(k) = self
+            .defects
+            .iter()
+            .position(|d| matches!(d, CircuitError::DuplicateName { name } if *name == old))
+        {
+            self.defects.remove(k);
+        }
+        true
+    }
+
     /// Checks a quantity that must be positive and finite.
     fn check_positive(
         element: &str,
@@ -232,8 +262,9 @@ impl Circuit {
         let id = ElementId(self.elements.len());
         match self.element_names.entry(name) {
             Entry::Occupied(slot) => {
-                self.defects
-                    .push(CircuitError::DuplicateName { name: slot.key().clone() });
+                self.defects.push(CircuitError::DuplicateName {
+                    name: slot.key().clone(),
+                });
             }
             Entry::Vacant(slot) => {
                 slot.insert(id);

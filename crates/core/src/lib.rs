@@ -47,6 +47,7 @@ pub mod eval;
 pub mod mixer;
 pub mod model;
 pub mod montecarlo;
+pub mod plans;
 pub mod quad;
 pub mod sensitivity;
 pub mod tca;

@@ -686,8 +686,9 @@ impl MixerModel {
         }
     }
 
-    /// Renders this mode as an analytic [`Cascade`] of
-    /// [`StageSpec`]s — the bridge to `remix_rfkit::budget`'s link-budget
+    /// Renders this mode as an analytic [`Cascade`](remix_rfkit::Cascade) of
+    /// [`StageSpec`](remix_rfkit::blocks::StageSpec)s — the bridge to
+    /// `remix_rfkit::budget`'s link-budget
     /// tables. Gains are the same factors `conv_gain` multiplies; the
     /// noise entries are the per-stage input-referred PSDs of
     /// [`internal_noise_psd`](Self::internal_noise_psd)'s budget.

@@ -1,0 +1,120 @@
+//! The shipped measurement plans of the paper's figures, as lintable
+//! [`SimPlan`] descriptions.
+//!
+//! Each function mirrors — cheaply, with no evaluator construction — the
+//! exact numerical parameters its figure's bench binary uses: the fig 8
+//! RF sweep grid, the fig 9 IF/noise sweep, the fig 10 two-tone FFT
+//! record, the Table I single-tone compression record. The bench
+//! binaries lint these before spending seconds on extraction, and the
+//! test suite pins that the shipped plans stay `SIM`-clean while a
+//! deliberately broken variant does not.
+//!
+//! All plans carry [`PlanTargets::paper`]: 5 MHz IF, 100 kHz flicker
+//! corner, 0.5–5.5 GHz RF band.
+
+use remix_dsp::tone::CoherentPlan;
+use remix_lint::{PlanTargets, SimPlan};
+use remix_rfkit::twotone::TwoTonePlan;
+
+/// LO frequency of the linearity and compression measurements (Hz).
+pub const F_LO: f64 = 2.4e9;
+
+/// IF output frequency of the paper's spot measurements (Hz).
+pub const F_IF: f64 = 5e6;
+
+/// Fig. 8 conversion-gain sweep: 0.25–7 GHz in 0.25 GHz steps, judged
+/// against the paper's 0.5–5.5 GHz band.
+pub fn fig8_plan() -> SimPlan {
+    let freqs: Vec<f64> = (1..=28).map(|k| 0.25e9 * k as f64).collect();
+    SimPlan::new("fig8 conversion gain vs RF")
+        .with_sweep(freqs[0], *freqs.last().unwrap())
+        .with_targets(PlanTargets::paper())
+}
+
+/// Fig. 9 NF/gain vs IF sweep: log grid 1 kHz – 100 MHz, which doubles
+/// as the noise band and must bracket both the 100 kHz flicker corner
+/// and the 5 MHz IF.
+pub fn fig9_plan() -> SimPlan {
+    let ifs: Vec<f64> = (0..=25).map(|k| 1e3 * 10f64.powf(k as f64 / 5.0)).collect();
+    SimPlan::new("fig9 NF vs IF")
+        .with_noise_band(ifs[0], *ifs.last().unwrap())
+        .with_targets(PlanTargets::paper())
+}
+
+/// Fig. 10 two-tone IIP3 record: IF tones at 5/6 MHz, all five product
+/// bins coherent in a 32k record at 0.5 MHz resolution, behavioral
+/// record sampled fast enough for the 2.4 GHz LO.
+pub fn fig10_plan() -> SimPlan {
+    let tt = TwoTonePlan::new(F_IF, 6e6, 1 << 15, 0.5e6).expect("paper two-tone plan");
+    SimPlan::new("fig10 two-tone IIP3")
+        .with_fft(tt.fs(), tt.n())
+        .with_tones(&tt.plan.tones())
+        .with_timestep(1.0 / tt.fs())
+        .with_lo(F_LO + tt.f2)
+        .with_targets(PlanTargets::paper())
+}
+
+/// Table I compression record: single IF tone in the same 32k coherent
+/// record the 1 dB compression sweep uses.
+pub fn table1_plan() -> SimPlan {
+    let plan = CoherentPlan::new(&[F_IF], 1 << 15, 0.5e6).expect("paper compression plan");
+    SimPlan::new("table1 compression")
+        .with_fft(plan.fs, plan.n)
+        .with_tones(&plan.tones())
+        .with_timestep(1.0 / plan.fs)
+        .with_lo(F_LO + F_IF)
+        .with_targets(PlanTargets::paper())
+}
+
+/// Every shipped figure/table plan, with its short label.
+pub fn shipped_plans() -> Vec<(&'static str, SimPlan)> {
+    vec![
+        ("fig8", fig8_plan()),
+        ("fig9", fig9_plan()),
+        ("fig10", fig10_plan()),
+        ("table1", table1_plan()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_lint::{lint_plan, LintConfig, RuleId};
+
+    #[test]
+    fn shipped_plans_are_sim_clean() {
+        for (label, plan) in shipped_plans() {
+            let report = lint_plan(&plan, &LintConfig::default());
+            assert!(report.is_empty(), "{label} plan:\n{report}");
+        }
+    }
+
+    #[test]
+    fn an_aliased_two_tone_variant_fires_sim002() {
+        // Same tones, but an 8 MHz record: the 6 MHz tone (and both IM3
+        // products) land beyond Nyquist.
+        let mut plan = fig10_plan();
+        plan.sample_rate = Some(8e6);
+        plan.fft_len = Some(1 << 10);
+        plan.timestep = None; // isolate the FFT defect
+        let report = lint_plan(&plan, &LintConfig::default());
+        assert_eq!(report.by_rule(RuleId::NoncoherentFft).len(), 1, "{report}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn a_narrowed_fig8_sweep_fires_sim005() {
+        let mut plan = fig8_plan();
+        plan.sweep_band = Some((1e9, 3e9));
+        let report = lint_plan(&plan, &LintConfig::default());
+        assert_eq!(report.by_rule(RuleId::SweepRange).len(), 1);
+    }
+
+    #[test]
+    fn record_resolves_the_lo_by_a_wide_margin() {
+        let plan = fig10_plan();
+        let fs = plan.sample_rate.unwrap();
+        let lo = plan.lo_freq.unwrap();
+        assert!(fs / lo > 2.0, "fs = {fs:.3e}, lo = {lo:.3e}");
+    }
+}

@@ -1,6 +1,14 @@
 //! Diagnostic types: rule identifiers, severities, findings, reports.
 
+use crate::fix::Fix;
 use std::fmt;
+
+/// Version of the JSON report layout produced by
+/// [`LintReport::render_json`]. Bumped whenever the shape of the emitted
+/// object changes so downstream consumers of `remix-bench lint --json`
+/// can detect drift. History: 1 = PR 1 (`deny`/`warn`/`diagnostics`),
+/// 2 = this field plus per-diagnostic `fix` objects.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// How seriously a finding is treated.
 ///
@@ -70,11 +78,37 @@ pub enum RuleId {
     /// configured (zero-valued stimulus, or all terminals shorted to one
     /// node); usually a leftover from mode switching.
     DeadUnderMode,
+    /// `ERC012` — the MNA system is *provably* structurally singular in
+    /// some regime: maximum matching on the incidence bipartite graph
+    /// leaves equations unmatched (Dulmage–Mendelsohn under-determined
+    /// block). Exact where `ERC001`–`ERC006` are heuristic.
+    StructuralSingular,
+    /// `ERC013` — element values span enough decades that LU pivots of
+    /// the assembled MNA matrix risk catastrophic cancellation.
+    IllScaled,
+    /// `SIM001` — transient timestep at or beyond the Nyquist limit of
+    /// the fastest declared stimulus (LO aliases into the record).
+    TimestepVsLo,
+    /// `SIM002` — FFT readout tones off the coherent bin grid or beyond
+    /// Nyquist: two-tone products leak or fold onto wrong bins.
+    NoncoherentFft,
+    /// `SIM003` — PSS harmonic truncation below the intermod order being
+    /// measured: the product simply does not exist in the basis.
+    PssHarmonics,
+    /// `SIM004` — noise analysis band fails to cover the declared IF /
+    /// flicker-corner targets.
+    NoiseBand,
+    /// `SIM005` — an RF sweep that does not cover the declared RF band
+    /// (band-edge numbers cannot be reproduced from the run).
+    SweepRange,
+    /// `SIM006` — transient duration shorter than the slowest circuit
+    /// time constant: the record is dominated by settling.
+    TranDuration,
 }
 
 impl RuleId {
-    /// Every rule, in code order.
-    pub const ALL: [RuleId; 11] = [
+    /// Every rule, in code order (`ERC` first, then `SIM`).
+    pub const ALL: [RuleId; 19] = [
         RuleId::DanglingNode,
         RuleId::NoDcPath,
         RuleId::VsourceLoop,
@@ -86,6 +120,14 @@ impl RuleId {
         RuleId::DuplicateName,
         RuleId::EmptyCircuit,
         RuleId::DeadUnderMode,
+        RuleId::StructuralSingular,
+        RuleId::IllScaled,
+        RuleId::TimestepVsLo,
+        RuleId::NoncoherentFft,
+        RuleId::PssHarmonics,
+        RuleId::NoiseBand,
+        RuleId::SweepRange,
+        RuleId::TranDuration,
     ];
 
     /// The stable textual code (`ERC001_DANGLING_NODE`, …).
@@ -102,6 +144,14 @@ impl RuleId {
             RuleId::DuplicateName => "ERC009_DUPLICATE_NAME",
             RuleId::EmptyCircuit => "ERC010_EMPTY_CIRCUIT",
             RuleId::DeadUnderMode => "ERC011_DEAD_UNDER_MODE",
+            RuleId::StructuralSingular => "ERC012_STRUCTURAL_SINGULAR",
+            RuleId::IllScaled => "ERC013_ILL_SCALED",
+            RuleId::TimestepVsLo => "SIM001_TIMESTEP_VS_LO",
+            RuleId::NoncoherentFft => "SIM002_NONCOHERENT_FFT",
+            RuleId::PssHarmonics => "SIM003_PSS_HARMONICS",
+            RuleId::NoiseBand => "SIM004_NOISE_BAND",
+            RuleId::SweepRange => "SIM005_SWEEP_RANGE",
+            RuleId::TranDuration => "SIM006_TRAN_DURATION",
         }
     }
 
@@ -118,7 +168,12 @@ impl RuleId {
     /// [`LintConfig`]: crate::LintConfig
     pub fn default_severity(self) -> Severity {
         match self {
-            RuleId::BulkNotRail | RuleId::DeadUnderMode => Severity::Warn,
+            RuleId::BulkNotRail
+            | RuleId::DeadUnderMode
+            | RuleId::IllScaled
+            | RuleId::NoiseBand
+            | RuleId::SweepRange
+            | RuleId::TranDuration => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -137,6 +192,14 @@ impl RuleId {
             RuleId::DuplicateName => "instance name used more than once",
             RuleId::EmptyCircuit => "circuit contains no elements",
             RuleId::DeadUnderMode => "element with no effect as configured",
+            RuleId::StructuralSingular => "MNA equations provably lack a structural full rank",
+            RuleId::IllScaled => "element values span enough decades to threaten LU pivots",
+            RuleId::TimestepVsLo => "transient timestep at/beyond the stimulus Nyquist limit",
+            RuleId::NoncoherentFft => "FFT tones off the coherent bin grid or beyond Nyquist",
+            RuleId::PssHarmonics => "PSS harmonics truncated below the intermod order",
+            RuleId::NoiseBand => "noise band misses the IF / flicker-corner targets",
+            RuleId::SweepRange => "sweep does not cover the declared RF band",
+            RuleId::TranDuration => "transient shorter than the slowest time constant",
         }
     }
 }
@@ -160,11 +223,16 @@ pub struct Diagnostic {
     pub nodes: Vec<String>,
     /// Names of the elements involved (may be empty).
     pub elements: Vec<String>,
+    /// Machine-applicable repair, when one exists (clippy's
+    /// `MachineApplicable` suggestions). Applied by the `--fix` engine in
+    /// [`crate::fix`].
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
     /// Renders the single-line clippy-style form:
-    /// `deny[ERC001_DANGLING_NODE]: message (nodes: x; elements: r1)`.
+    /// `deny[ERC001_DANGLING_NODE]: message (nodes: x; elements: r1)`,
+    /// with a trailing `help:` when a machine-applicable fix exists.
     pub fn render(&self) -> String {
         let mut s = format!("{}[{}]: {}", self.severity, self.rule, self.message);
         let mut prov = Vec::new();
@@ -177,12 +245,19 @@ impl Diagnostic {
         if !prov.is_empty() {
             s.push_str(&format!(" ({})", prov.join("; ")));
         }
+        if let Some(fix) = &self.fix {
+            s.push_str(&format!(" help: {}", fix.describe()));
+        }
         s
     }
 
     fn to_json(&self) -> String {
+        let fix = match &self.fix {
+            Some(f) => format!(",\"fix\":{}", f.to_json()),
+            None => String::new(),
+        };
         format!(
-            "{{\"rule\":{},\"severity\":{},\"message\":{},\"nodes\":[{}],\"elements\":[{}]}}",
+            "{{\"rule\":{},\"severity\":{},\"message\":{},\"nodes\":[{}],\"elements\":[{}]{}}}",
             json_str(self.rule.code()),
             json_str(&self.severity.to_string()),
             json_str(&self.message),
@@ -196,6 +271,7 @@ impl Diagnostic {
                 .map(|e| json_str(e))
                 .collect::<Vec<_>>()
                 .join(","),
+            fix,
         )
     }
 }
@@ -209,7 +285,7 @@ impl fmt::Display for Diagnostic {
 /// JSON string literal with the escapes JSON requires (quote, backslash,
 /// control characters). Hand-rolled because the build environment has no
 /// serde.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -282,10 +358,11 @@ impl LintReport {
     }
 
     /// JSON rendering (no external dependencies):
-    /// `{"deny":1,"warn":0,"diagnostics":[…]}`.
+    /// `{"schema_version":2,"deny":1,"warn":0,"diagnostics":[…]}`.
     pub fn render_json(&self) -> String {
         format!(
-            "{{\"deny\":{},\"warn\":{},\"diagnostics\":[{}]}}",
+            "{{\"schema_version\":{},\"deny\":{},\"warn\":{},\"diagnostics\":[{}]}}",
+            SCHEMA_VERSION,
             self.deny_count(),
             self.warn_count(),
             self.diagnostics
@@ -311,11 +388,16 @@ mod tests {
     fn codes_are_stable_and_reversible() {
         for r in RuleId::ALL {
             assert_eq!(RuleId::from_code(r.code()), Some(r));
-            assert!(r.code().starts_with("ERC"));
+            assert!(r.code().starts_with("ERC") || r.code().starts_with("SIM"));
             assert!(!r.summary().is_empty());
         }
         assert_eq!(RuleId::from_code("ERC999_NOPE"), None);
         assert_eq!(RuleId::DanglingNode.code(), "ERC001_DANGLING_NODE");
+        assert_eq!(
+            RuleId::StructuralSingular.code(),
+            "ERC012_STRUCTURAL_SINGULAR"
+        );
+        assert_eq!(RuleId::NoncoherentFft.code(), "SIM002_NONCOHERENT_FFT");
     }
 
     #[test]
@@ -334,6 +416,7 @@ mod tests {
                     message: "node 'x' is dangling".into(),
                     nodes: vec!["x".into()],
                     elements: vec!["r1".into()],
+                    fix: None,
                 },
                 Diagnostic {
                     rule: RuleId::BulkNotRail,
@@ -341,6 +424,7 @@ mod tests {
                     message: "bulk of 'm1' floats".into(),
                     nodes: vec![],
                     elements: vec!["m1".into()],
+                    fix: None,
                 },
             ],
         }
@@ -374,12 +458,43 @@ mod tests {
                 message: "bad \"quote\"\nline".into(),
                 nodes: vec![],
                 elements: vec!["r\\1".into()],
+                fix: None,
             }],
         };
         let json = r.render_json();
         assert!(json.contains("\\\"quote\\\"\\nline"));
         assert!(json.contains("r\\\\1"));
-        assert!(json.starts_with("{\"deny\":1,\"warn\":0,"));
+        assert!(json.starts_with(&format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"deny\":1,\"warn\":0,"
+        )));
         assert!(json.contains("\"rule\":\"ERC008_INVALID_VALUE\""));
+        // No fix → no "fix" key for this diagnostic.
+        assert!(!json.contains("\"fix\""));
+    }
+
+    #[test]
+    fn fixes_render_in_text_and_json() {
+        let d = Diagnostic {
+            rule: RuleId::CapOnlyNode,
+            severity: Severity::Deny,
+            message: "node 'mid' connects only to capacitors".into(),
+            nodes: vec!["mid".into()],
+            elements: vec![],
+            fix: Some(Fix::GroundTie {
+                node: "mid".into(),
+                ohms: 1e9,
+            }),
+        };
+        let text = d.render();
+        assert!(text.contains("help:"), "{text}");
+        assert!(text.contains("mid"), "{text}");
+        let json = LintReport {
+            diagnostics: vec![d],
+        }
+        .render_json();
+        assert!(
+            json.contains("\"fix\":{\"action\":\"ground_tie\""),
+            "{json}"
+        );
     }
 }

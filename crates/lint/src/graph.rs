@@ -1,4 +1,95 @@
-//! Union-find over node ids, the workhorse of the connectivity rules.
+//! Union-find over node ids plus the single parameterized edge
+//! classifier behind every connectivity pass.
+//!
+//! The connectivity rules differ only in which element couplings count
+//! as graph edges; [`edges`] is the one place that knowledge lives, and
+//! both the union-find builders ([`connectivity`]) and the structural
+//! incidence builder in `rank` consume it rather than re-deriving
+//! per-element cases.
+
+use remix_circuit::{Circuit, Element, Node};
+
+/// Which element couplings count as edges for a connectivity pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Regime {
+    /// Historical `validate()` semantics (`ERC002`): every element that
+    /// provides a DC path unions *all* its nodes, treating a MOS as one
+    /// blob (so it cannot see floating gates — that is `Carrier`'s job).
+    LegacyDc,
+    /// Branches that can carry a *defined* DC current (`ERC004`,
+    /// `ERC006`): R, L, V, E outputs, and the MOS drain/source/bulk
+    /// spine. Gates and capacitors conduct nothing; current sources
+    /// force rather than carry.
+    Carrier,
+    /// Ideal voltage sources only (`ERC007`): nodes whose DC potential
+    /// is pinned to ground through a chain of sources.
+    Rail,
+    /// Voltage-defined branches V/E/L (`ERC003`): a cycle here makes the
+    /// MNA branch equations linearly dependent.
+    VoltageDefined,
+    /// Symmetric DC conductance blocks (`rank`): couplings that stamp a
+    /// conductance into the KCL rows of both end nodes — resistors and
+    /// the MOS channel. The structural incidence builder reuses this and
+    /// layers branch/controlled-source entries on top.
+    Conductance,
+}
+
+/// Appends the node pairs `e` couples under `regime` to `out`.
+pub(crate) fn edges(e: &Element, regime: Regime, out: &mut Vec<(Node, Node)>) {
+    match regime {
+        Regime::LegacyDc => {
+            if e.provides_dc_path() {
+                for w in e.nodes().windows(2) {
+                    out.push((w[0], w[1]));
+                }
+            }
+        }
+        Regime::Carrier => match e {
+            Element::Resistor { a, b, .. } | Element::Inductor { a, b, .. } => {
+                out.push((*a, *b));
+            }
+            Element::VoltageSource { p, n, .. } | Element::Vcvs { p, n, .. } => {
+                out.push((*p, *n));
+            }
+            Element::Mos { dev, .. } => {
+                out.push((dev.d, dev.s));
+                out.push((dev.s, dev.b));
+            }
+            Element::Capacitor { .. } | Element::CurrentSource { .. } | Element::Vccs { .. } => {}
+        },
+        Regime::Rail => {
+            if let Element::VoltageSource { p, n, .. } = e {
+                out.push((*p, *n));
+            }
+        }
+        Regime::VoltageDefined => match e {
+            Element::VoltageSource { p, n, .. } | Element::Vcvs { p, n, .. } => {
+                out.push((*p, *n));
+            }
+            Element::Inductor { a, b, .. } => out.push((*a, *b)),
+            _ => {}
+        },
+        Regime::Conductance => match e {
+            Element::Resistor { a, b, .. } => out.push((*a, *b)),
+            Element::Mos { dev, .. } => out.push((dev.d, dev.s)),
+            _ => {}
+        },
+    }
+}
+
+/// Builds the union-find of `circuit`'s nodes under one regime.
+pub(crate) fn connectivity(circuit: &Circuit, regime: Regime) -> UnionFind {
+    let mut uf = UnionFind::new(circuit.node_count());
+    let mut buf = Vec::new();
+    for e in circuit.elements() {
+        buf.clear();
+        edges(e, regime, &mut buf);
+        for &(a, b) in &buf {
+            uf.union(a.id(), b.id());
+        }
+    }
+    uf
+}
 
 /// Disjoint-set forest with union by rank and path halving.
 #[derive(Debug, Clone)]
@@ -63,6 +154,46 @@ mod tests {
         assert!(!uf.same(0, 3));
         // Closing a cycle reports false.
         assert!(!uf.union(2, 0));
+    }
+
+    #[test]
+    fn regimes_classify_couplings_differently() {
+        use remix_circuit::{Circuit, MosModel, Waveform};
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vsource("v1", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("rg", vdd, g, 1e5);
+        c.add_capacitor("cc", vdd, d, 1e-12);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            d,
+            g,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+
+        // Carrier: the gate hangs off the channel spine only through rg.
+        let mut carrier = connectivity(&c, Regime::Carrier);
+        assert!(carrier.same(g.id(), 0));
+        assert!(carrier.same(d.id(), 0)); // d—s channel
+                                          // Rail: only v1 pins anything; the gate is not a rail node.
+        let mut rail = connectivity(&c, Regime::Rail);
+        assert!(rail.same(vdd.id(), 0));
+        assert!(!rail.same(g.id(), 0));
+        // Conductance: rg couples vdd—g, channel couples d—gnd; the cap
+        // contributes nothing.
+        let mut cond = connectivity(&c, Regime::Conductance);
+        assert!(cond.same(vdd.id(), g.id()));
+        assert!(cond.same(d.id(), 0));
+        assert!(!cond.same(vdd.id(), 0));
+        // LegacyDc blobs the MOS, so everything except nothing is merged.
+        let mut legacy = connectivity(&c, Regime::LegacyDc);
+        assert!(legacy.same(vdd.id(), d.id()));
     }
 
     #[test]

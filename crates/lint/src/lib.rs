@@ -36,6 +36,14 @@
 //! println!("{}", report.render_text());
 //! ```
 //!
+//! Beyond the shape-based heuristics, the [`rank`](crate::diag::RuleId::StructuralSingular)
+//! pass proves structural MNA singularity exactly (`ERC012`) via maximum
+//! matching on the incidence bipartite graph, the [`plan`] module lints
+//! *simulation plans* (`SIM001`–`SIM006`: aliasing timesteps,
+//! non-coherent FFT readouts, truncated PSS harmonics, mis-scoped noise
+//! bands and sweeps), and the [`fix`] module applies machine-applicable
+//! repairs to a fixpoint — the engine behind `remix-bench lint --fix`.
+//!
 //! The rule catalog lives in [`RuleId`]; `DESIGN.md` at the repository
 //! root carries the same table with rationale.
 
@@ -44,12 +52,17 @@
 
 pub mod config;
 pub mod diag;
+pub mod fix;
 mod graph;
+pub mod plan;
+mod rank;
 mod rules;
 pub mod spice;
 
 pub use config::LintConfig;
-pub use diag::{Diagnostic, LintReport, RuleId, Severity};
+pub use diag::{Diagnostic, LintReport, RuleId, Severity, SCHEMA_VERSION};
+pub use fix::{fix_circuit, fix_plan, Fix, FixOutcome};
+pub use plan::{lint_plan, PlanTargets, SimPlan};
 pub use spice::{import_spice, ImportError};
 
 use remix_circuit::Circuit;

@@ -1,0 +1,596 @@
+//! Structural-rank analysis of the MNA system (`ERC012`, `ERC013`).
+//!
+//! The heuristic rules `ERC001`–`ERC006` each recognise one *shape* of
+//! singular netlist. This pass is the exact complement: it builds the
+//! structural incidence of the actual MNA matrix the solver will
+//! assemble — one KCL row per non-ground node, one branch row per
+//! voltage-defined element, matching columns — and runs a maximum
+//! bipartite matching. A perfect matching is necessary for the matrix to
+//! be numerically nonsingular for *generic* element values; if rows are
+//! left unmatched the system is **provably** singular no matter what
+//! values the elements take, and the alternating-path component reached
+//! from an unmatched row is exactly the Dulmage–Mendelsohn
+//! under/over-determined block — the smallest set of equations and
+//! unknowns the defect lives in, which is what the diagnostic names.
+//!
+//! Findings whose block intersects a node or element already named by an
+//! earlier deny-level finding are suppressed: `ERC005` saying "series-cap
+//! node" *and* `ERC012` saying "empty KCL row at the same node" would be
+//! one defect reported twice. What remains is the class the heuristics
+//! cannot see — e.g. a node touched only by controlled-source *control*
+//! pins, which carries two element terminals and a legacy-DC path yet
+//! has an empty KCL row.
+//!
+//! `ERC013` rides along on the same per-element sweep: a warn when the
+//! DC conductances the elements stamp span more decades than double
+//! precision can keep apart in an LU pivot.
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, RuleId, Severity};
+use crate::fix::Fix;
+use crate::graph;
+use remix_circuit::{Circuit, Element};
+use std::collections::HashSet;
+
+/// Resistance of the gmin shunt suggested for an empty/deficient KCL
+/// row: large enough to be invisible at RF impedances, small enough to
+/// pin the DC operating point.
+const GMIN_SHUNT_OHMS: f64 = 1e12;
+
+/// Decades of DC-conductance span beyond which `ERC013` warns. Double
+/// precision carries ~15.9 decades; 12 leaves headroom for fill-in
+/// growth during factorization.
+const ILL_SCALED_DECADES: f64 = 12.0;
+
+/// Which analysis's matrix the incidence describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RankRegime {
+    /// DC operating point: capacitors stamp nothing, inductor branch
+    /// rows pin `v_a − v_b` only.
+    Dc,
+    /// Small-signal AC at nonzero frequency: capacitor and MOS-cap
+    /// susceptances appear, inductor branch rows gain the `jωL` term.
+    /// Every DC entry is also an AC entry, so AC findings are a subset —
+    /// checked anyway as a belt-and-braces invariant.
+    Ac,
+}
+
+/// One equation of the structural system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Row {
+    /// KCL at a non-ground node (node id).
+    Kcl(usize),
+    /// Branch equation of a voltage-defined element (element index).
+    Branch(usize),
+}
+
+/// Structural incidence of the MNA matrix under one regime.
+struct Incidence {
+    /// `rows[r]` = column indices with a structural entry in row `r`.
+    rows: Vec<Vec<usize>>,
+    /// What each row index means.
+    row_of: Vec<Row>,
+    /// What each column index means (same `Row` encoding: `Kcl(id)` is
+    /// the node-voltage column, `Branch(i)` the branch-current column).
+    col_of: Vec<Row>,
+}
+
+impl Incidence {
+    fn build(ckt: &Circuit, regime: RankRegime) -> Incidence {
+        let n = ckt.node_count();
+        // Node id → row/col index (ground has neither).
+        let node_idx = |id: usize| id.checked_sub(1);
+        let mut row_of: Vec<Row> = (1..n).map(Row::Kcl).collect();
+        let mut col_of = row_of.clone();
+        let mut branch_idx = Vec::with_capacity(ckt.element_count());
+        for (i, e) in ckt.elements().iter().enumerate() {
+            if e.needs_branch_current() {
+                branch_idx.push(Some(row_of.len()));
+                row_of.push(Row::Branch(i));
+                col_of.push(Row::Branch(i));
+            } else {
+                branch_idx.push(None);
+            }
+        }
+        let mut rows = vec![Vec::new(); row_of.len()];
+        let add = |r: Option<usize>, c: Option<usize>, rows: &mut Vec<Vec<usize>>| {
+            if let (Some(r), Some(c)) = (r, c) {
+                if !rows[r].contains(&c) {
+                    rows[r].push(c);
+                }
+            }
+        };
+        // Symmetric two-terminal conductance block (R and MOS channel
+        // via the shared classifier; C at AC).
+        let conduct = |a: usize, b: usize, rows: &mut Vec<Vec<usize>>| {
+            for &r in &[a, b] {
+                for &c in &[a, b] {
+                    add(node_idx(r), node_idx(c), rows);
+                }
+            }
+        };
+        let mut buf = Vec::new();
+        for (i, e) in ckt.elements().iter().enumerate() {
+            // The symmetric conductance couplings come from the same
+            // edge classifier the union-find rules use; the remaining
+            // entries (branch equations, controlled sources, the MOS
+            // gate/bulk columns) are layered on below.
+            buf.clear();
+            graph::edges(e, graph::Regime::Conductance, &mut buf);
+            for &(a, b) in &buf {
+                conduct(a.id(), b.id(), &mut rows);
+            }
+            match e {
+                Element::Resistor { .. } => {} // classifier covers it
+                Element::Capacitor { a, b, .. } => {
+                    if regime == RankRegime::Ac {
+                        conduct(a.id(), b.id(), &mut rows);
+                    }
+                }
+                Element::Inductor { a, b, .. } => {
+                    let bc = branch_idx[i];
+                    // KCL at both terminals sees the branch current.
+                    add(node_idx(a.id()), bc, &mut rows);
+                    add(node_idx(b.id()), bc, &mut rows);
+                    // Branch equation: v_a − v_b (− jωL·i at AC) = 0.
+                    add(bc, node_idx(a.id()), &mut rows);
+                    add(bc, node_idx(b.id()), &mut rows);
+                    if regime == RankRegime::Ac {
+                        add(bc, bc, &mut rows);
+                    }
+                }
+                Element::VoltageSource { p, n, .. } => {
+                    let bc = branch_idx[i];
+                    add(node_idx(p.id()), bc, &mut rows);
+                    add(node_idx(n.id()), bc, &mut rows);
+                    add(bc, node_idx(p.id()), &mut rows);
+                    add(bc, node_idx(n.id()), &mut rows);
+                }
+                // Current sources are pure RHS: no matrix entries.
+                Element::CurrentSource { .. } => {}
+                Element::Vccs { p, n, cp, cn, .. } => {
+                    for &r in &[p.id(), n.id()] {
+                        for &c in &[cp.id(), cn.id()] {
+                            add(node_idx(r), node_idx(c), &mut rows);
+                        }
+                    }
+                }
+                Element::Vcvs { p, n, cp, cn, .. } => {
+                    let bc = branch_idx[i];
+                    add(node_idx(p.id()), bc, &mut rows);
+                    add(node_idx(n.id()), bc, &mut rows);
+                    for c in [p.id(), n.id(), cp.id(), cn.id()] {
+                        add(bc, node_idx(c), &mut rows);
+                    }
+                }
+                Element::Mos { dev, .. } => {
+                    // The classifier contributed the symmetric d–s
+                    // channel block; the channel current id(vd, vg, vs,
+                    // vb) additionally stamps the drain and source KCL
+                    // rows against the gate and bulk voltages. Gate and
+                    // bulk rows get nothing at DC: that is precisely why
+                    // a control-only gate node can be structurally
+                    // singular.
+                    for &r in &[dev.d.id(), dev.s.id()] {
+                        for c in [dev.g.id(), dev.b.id()] {
+                            add(node_idx(r), node_idx(c), &mut rows);
+                        }
+                    }
+                    if regime == RankRegime::Ac {
+                        // Gate capacitances couple the gate (and bulk)
+                        // rows symmetrically.
+                        for pair in [
+                            (dev.g.id(), dev.s.id()),
+                            (dev.g.id(), dev.d.id()),
+                            (dev.g.id(), dev.b.id()),
+                            (dev.s.id(), dev.b.id()),
+                            (dev.d.id(), dev.b.id()),
+                        ] {
+                            conduct(pair.0, pair.1, &mut rows);
+                        }
+                    }
+                }
+            }
+        }
+        Incidence {
+            rows,
+            row_of,
+            col_of,
+        }
+    }
+
+    /// Kuhn maximum matching. Returns `match_of_row[r] = Some(col)`.
+    fn max_matching(&self) -> Vec<Option<usize>> {
+        let n = self.rows.len();
+        let mut row_match: Vec<Option<usize>> = vec![None; n];
+        let mut col_match: Vec<Option<usize>> = vec![None; n];
+        fn augment(
+            r: usize,
+            rows: &[Vec<usize>],
+            row_match: &mut [Option<usize>],
+            col_match: &mut [Option<usize>],
+            seen: &mut [bool],
+        ) -> bool {
+            for &c in &rows[r] {
+                if seen[c] {
+                    continue;
+                }
+                seen[c] = true;
+                let free = match col_match[c] {
+                    None => true,
+                    Some(r2) => augment(r2, rows, row_match, col_match, seen),
+                };
+                if free {
+                    row_match[r] = Some(c);
+                    col_match[c] = Some(r);
+                    return true;
+                }
+            }
+            false
+        }
+        for r in 0..n {
+            let mut seen = vec![false; n];
+            augment(r, &self.rows, &mut row_match, &mut col_match, &mut seen);
+        }
+        row_match
+    }
+
+    /// Alternating-path component reached from `start` (an unmatched
+    /// row): row → any incident column, column → its matched row. The
+    /// rows and columns visited form the deficient DM block.
+    fn deficient_component(
+        &self,
+        start: usize,
+        row_match: &[Option<usize>],
+    ) -> (Vec<usize>, Vec<usize>) {
+        let n = self.rows.len();
+        let mut col_match: Vec<Option<usize>> = vec![None; n];
+        for (r, m) in row_match.iter().enumerate() {
+            if let Some(c) = m {
+                col_match[*c] = Some(r);
+            }
+        }
+        let mut rows_seen = vec![false; n];
+        let mut cols_seen = vec![false; n];
+        let mut queue = vec![start];
+        rows_seen[start] = true;
+        while let Some(r) = queue.pop() {
+            for &c in &self.rows[r] {
+                if cols_seen[c] {
+                    continue;
+                }
+                cols_seen[c] = true;
+                if let Some(r2) = col_match[c] {
+                    if !rows_seen[r2] {
+                        rows_seen[r2] = true;
+                        queue.push(r2);
+                    }
+                }
+            }
+        }
+        (
+            (0..n).filter(|&r| rows_seen[r]).collect(),
+            (0..n).filter(|&c| cols_seen[c]).collect(),
+        )
+    }
+}
+
+/// Runs the structural-rank pass (`ERC012`) and the scaling pass
+/// (`ERC013`). `prior` is every diagnostic emitted so far; deficient
+/// blocks overlapping a prior deny finding are suppressed as already
+/// reported.
+pub(crate) fn run(ckt: &Circuit, cfg: &LintConfig, prior: &[Diagnostic]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    structural_singular(ckt, cfg, prior, &mut out);
+    ill_scaled(ckt, cfg, &mut out);
+    out
+}
+
+fn structural_singular(
+    ckt: &Circuit,
+    cfg: &LintConfig,
+    prior: &[Diagnostic],
+    out: &mut Vec<Diagnostic>,
+) {
+    let sev = match cfg.severity_of(RuleId::StructuralSingular) {
+        Severity::Allow => return,
+        s => s,
+    };
+    // Names already implicated by a heuristic finding (at any severity):
+    // those rules own their defects, and a user who downgraded one to
+    // warn has made a decision this pass must not re-deny.
+    let mut prior_nodes: HashSet<&str> = HashSet::new();
+    let mut prior_elems: HashSet<&str> = HashSet::new();
+    for d in prior {
+        prior_nodes.extend(d.nodes.iter().map(String::as_str));
+        prior_elems.extend(d.elements.iter().map(String::as_str));
+    }
+    for regime in [RankRegime::Dc, RankRegime::Ac] {
+        let inc = Incidence::build(ckt, regime);
+        let row_match = inc.max_matching();
+        let mut claimed = vec![false; inc.rows.len()];
+        for r in 0..inc.rows.len() {
+            if row_match[r].is_some() || claimed[r] {
+                continue;
+            }
+            let (rows, cols) = inc.deficient_component(r, &row_match);
+            for &r2 in &rows {
+                claimed[r2] = true;
+            }
+            // Collect the block's nodes and elements.
+            let mut nodes: Vec<String> = Vec::new();
+            let mut elems: Vec<String> = Vec::new();
+            let push_item = |item: Row, nodes: &mut Vec<String>, elems: &mut Vec<String>| match item
+            {
+                Row::Kcl(id) => {
+                    let name = ckt.node_name(remix_circuit::Node::from_id(id)).to_string();
+                    if !nodes.contains(&name) {
+                        nodes.push(name);
+                    }
+                }
+                Row::Branch(i) => {
+                    let name = ckt.elements()[i].name().to_string();
+                    if !elems.contains(&name) {
+                        elems.push(name);
+                    }
+                }
+            };
+            for &r2 in &rows {
+                push_item(inc.row_of[r2], &mut nodes, &mut elems);
+            }
+            for &c2 in &cols {
+                push_item(inc.col_of[c2], &mut nodes, &mut elems);
+            }
+            // Suppress blocks the heuristic rules already denied.
+            if nodes.iter().any(|n| prior_nodes.contains(n.as_str()))
+                || elems.iter().any(|e| prior_elems.contains(e.as_str()))
+            {
+                continue;
+            }
+            // Dedup across regimes (AC entries ⊇ DC entries, so an AC
+            // block repeats a DC one).
+            if out.iter().any(|d: &Diagnostic| {
+                d.rule == RuleId::StructuralSingular && d.nodes == nodes && d.elements == elems
+            }) {
+                continue;
+            }
+            let deficit = rows.len() - cols.len();
+            let regime_name = match regime {
+                RankRegime::Dc => "DC",
+                RankRegime::Ac => "AC",
+            };
+            let fix = nodes.first().map(|n| Fix::GminShunt {
+                node: n.clone(),
+                ohms: GMIN_SHUNT_OHMS,
+            });
+            out.push(Diagnostic {
+                rule: RuleId::StructuralSingular,
+                severity: sev,
+                message: format!(
+                    "the {regime_name} MNA system is structurally singular: a block of \
+                     {} equations covers only {} unknowns (structural deficit {deficit}); \
+                     no element values can make this solvable",
+                    rows.len(),
+                    cols.len(),
+                ),
+                nodes,
+                elements: elems,
+                fix,
+            });
+        }
+    }
+}
+
+fn ill_scaled(ckt: &Circuit, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let sev = match cfg.severity_of(RuleId::IllScaled) {
+        Severity::Allow => return,
+        s => s,
+    };
+    // Representative DC conductance each element stamps.
+    let mut extremes: Vec<(f64, &str)> = Vec::new();
+    for e in ckt.elements() {
+        let g = match e {
+            Element::Resistor { r, .. } if r.is_finite() && *r > 0.0 => 1.0 / r,
+            Element::Vccs { gm, .. } if gm.is_finite() && gm.abs() > 0.0 => gm.abs(),
+            Element::Mos { dev, .. } => {
+                let beta = dev.model.kp * dev.aspect();
+                if beta.is_finite() && beta > 0.0 {
+                    beta
+                } else {
+                    continue;
+                }
+            }
+            _ => continue,
+        };
+        extremes.push((g, e.name()));
+    }
+    let Some(&(g_min, min_name)) = extremes
+        .iter()
+        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+    else {
+        return;
+    };
+    let &(g_max, max_name) = extremes
+        .iter()
+        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+        .unwrap();
+    let decades = (g_max / g_min).log10();
+    if decades > ILL_SCALED_DECADES {
+        out.push(Diagnostic {
+            rule: RuleId::IllScaled,
+            severity: sev,
+            message: format!(
+                "DC conductances span {decades:.1} decades ('{max_name}' at {g_max:.2e} S \
+                 vs '{min_name}' at {g_min:.2e} S): LU pivots risk catastrophic \
+                 cancellation in double precision"
+            ),
+            nodes: vec![],
+            elements: vec![max_name.to_string(), min_name.to_string()],
+            fix: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fix::fix_circuit;
+    use crate::{lint, LintConfig, RuleId};
+    use remix_circuit::{Circuit, MosModel, Waveform};
+
+    fn divider() -> Circuit {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.add_vsource("v1", vin, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("r1", vin, out, 1e3);
+        c.add_resistor("r2", out, Circuit::gnd(), 1e3);
+        c
+    }
+
+    /// The defect class only the rank pass can see: a node whose every
+    /// terminal is a controlled-source *control* pin. Two element
+    /// terminals (ERC001 quiet), a legacy-DC path through the VCVS blob
+    /// (ERC002 quiet) — yet its KCL row is structurally empty.
+    fn control_only_node() -> Circuit {
+        let mut c = divider();
+        let out = c.find_node("out").unwrap();
+        let out2 = c.node("out2");
+        let ctrl = c.node("ctrl");
+        c.add_vcvs("e1", out2, Circuit::gnd(), ctrl, Circuit::gnd(), 2.0);
+        c.add_resistor("r_load", out2, Circuit::gnd(), 1e3);
+        c.add_vccs("g1", out, Circuit::gnd(), ctrl, Circuit::gnd(), 1e-3);
+        c
+    }
+
+    #[test]
+    fn clean_divider_has_full_structural_rank() {
+        let report = lint(&divider(), &LintConfig::default());
+        assert!(report.by_rule(RuleId::StructuralSingular).is_empty());
+        assert!(report.by_rule(RuleId::IllScaled).is_empty());
+    }
+
+    #[test]
+    fn erc012_control_only_node_fires_only_here() {
+        let c = control_only_node();
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::StructuralSingular);
+        assert_eq!(diags.len(), 1, "{report}");
+        assert!(diags[0].nodes.contains(&"ctrl".to_string()));
+        assert!(matches!(
+            &diags[0].fix,
+            Some(Fix::GminShunt { node, .. }) if node == "ctrl"
+        ));
+        // Every heuristic singularity rule stays quiet: this shape is
+        // invisible to them.
+        for rule in [
+            RuleId::DanglingNode,
+            RuleId::NoDcPath,
+            RuleId::CapOnlyNode,
+            RuleId::IsourceCutset,
+        ] {
+            assert!(report.by_rule(rule).is_empty(), "{rule} fired:\n{report}");
+        }
+    }
+
+    #[test]
+    fn erc012_fix_converges_via_gmin_shunt() {
+        let mut c = control_only_node();
+        let outcome = fix_circuit(&mut c, &LintConfig::default());
+        assert!(outcome.is_clean(), "{}", outcome.report);
+        assert!(outcome
+            .applied
+            .iter()
+            .any(|f| matches!(f, Fix::GminShunt { node, .. } if node == "ctrl")));
+    }
+
+    #[test]
+    fn erc012_defers_to_heuristic_rules_on_shared_defects() {
+        // A vsource loop is singular, but ERC003 owns the report.
+        let mut c = divider();
+        let vin = c.find_node("vin").unwrap();
+        c.add_vsource("v_dup", vin, Circuit::gnd(), Waveform::Dc(1.2));
+        let report = lint(&c, &LintConfig::default());
+        assert_eq!(report.by_rule(RuleId::VsourceLoop).len(), 1);
+        assert!(report.by_rule(RuleId::StructuralSingular).is_empty());
+
+        // Series caps: ERC005 owns the empty KCL row at 'mid'.
+        let mut c2 = divider();
+        let mid = c2.node("mid");
+        let out = c2.find_node("out").unwrap();
+        c2.add_capacitor("ca", out, mid, 1e-12);
+        c2.add_capacitor("cb", mid, Circuit::gnd(), 1e-12);
+        let report = lint(&c2, &LintConfig::default());
+        assert_eq!(report.by_rule(RuleId::CapOnlyNode).len(), 1);
+        assert!(report.by_rule(RuleId::StructuralSingular).is_empty());
+    }
+
+    #[test]
+    fn erc012_surfaces_when_heuristics_are_allowed_off() {
+        // With ERC005 disabled, the rank pass still proves the series-cap
+        // node singular — the exact check backstops the heuristics.
+        let mut c = divider();
+        let mid = c.node("mid");
+        let out = c.find_node("out").unwrap();
+        c.add_capacitor("ca", out, mid, 1e-12);
+        c.add_capacitor("cb", mid, Circuit::gnd(), 1e-12);
+        let cfg = LintConfig::default().allow(RuleId::CapOnlyNode);
+        let report = lint(&c, &cfg);
+        let diags = report.by_rule(RuleId::StructuralSingular);
+        assert_eq!(diags.len(), 1, "{report}");
+        assert!(diags[0].nodes.contains(&"mid".to_string()));
+        // At AC the cap conducts: the block is DC-only, reported once.
+        assert!(diags[0].message.contains("DC"));
+    }
+
+    #[test]
+    fn mos_circuits_have_full_rank_with_biased_gates() {
+        let mut c = divider();
+        let vin = c.find_node("vin").unwrap();
+        let out = c.find_node("out").unwrap();
+        let d = c.node("drain");
+        c.add_resistor("r_d", vin, d, 1e3);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            d,
+            out,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        let report = lint(&c, &LintConfig::default());
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn erc013_wide_conductance_span_warns() {
+        let mut c = divider();
+        let out = c.find_node("out").unwrap();
+        c.add_resistor("r_tiny", out, Circuit::gnd(), 1e-3);
+        c.add_resistor("r_huge", out, Circuit::gnd(), 1e12);
+        let report = lint(&c, &LintConfig::default());
+        let diags = report.by_rule(RuleId::IllScaled);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert!(diags[0].elements.contains(&"r_tiny".to_string()));
+        assert!(diags[0].elements.contains(&"r_huge".to_string()));
+        assert!(report.is_clean(), "warn level must not block analyses");
+    }
+
+    #[test]
+    fn incidence_is_square_and_matches_unknown_count() {
+        let c = control_only_node();
+        let inc = Incidence::build(&c, RankRegime::Dc);
+        assert_eq!(inc.rows.len(), inc.col_of.len());
+        assert_eq!(inc.row_of.len(), inc.col_of.len());
+        // Unknowns: non-ground nodes + one branch current per V/E/L.
+        let branches = c
+            .elements()
+            .iter()
+            .filter(|e| e.needs_branch_current())
+            .count();
+        assert_eq!(inc.rows.len(), c.node_count() - 1 + branches);
+    }
+}

@@ -2,25 +2,30 @@
 //!
 //! Every rule is a pure function over the finished [`Circuit`]: the pass
 //! never mutates the netlist and never stops at the first finding. The
-//! connectivity rules share a family of union-find passes that differ
-//! only in which element kinds contribute edges:
-//!
-//! * **legacy DC graph** (`ERC002`): every element except capacitors
-//!   unions *all* its nodes — the historical `validate()` semantics,
-//!   which treats a MOS as one blob and therefore cannot see floating
-//!   gates;
-//! * **carrier graph** (`ERC004`, `ERC006`): only branches that can
-//!   carry a defined DC current — R, L, V, E, and the MOS
-//!   drain/source/bulk terminals. Gates and capacitors conduct nothing;
-//!   current sources *force* rather than carry;
-//! * **rail graph** (`ERC007`): only ideal voltage sources, i.e. nodes
-//!   whose DC potential is pinned by a chain of sources from ground.
+//! connectivity rules are all instances of one union-find pass
+//! parameterized by a [`graph::Regime`] — the single place that knows
+//! which element couplings count as edges for which question (legacy DC
+//! paths for `ERC002`, current-carrying branches for `ERC004`/`ERC006`,
+//! ideal-source rails for `ERC007`, voltage-defined branches for
+//! `ERC003`). The structural-rank pass in [`crate::rank`] reuses the
+//! same classifier for its incidence builder, then runs *after* the
+//! heuristic rules so it can defer to their more specific reports.
 
 use crate::config::LintConfig;
 use crate::diag::{Diagnostic, LintReport, RuleId, Severity};
-use crate::graph::UnionFind;
+use crate::fix::Fix;
+use crate::graph::{self, Regime, UnionFind};
+use crate::rank;
 use remix_circuit::{Circuit, Element, Node, Waveform};
 use std::collections::HashMap;
+
+/// Tie resistance for repairing a floating subnet (`ERC002`, `ERC005`):
+/// high enough not to load any realistic RF node.
+const FLOAT_TIE_OHMS: f64 = 1e9;
+
+/// Tie resistance for repairing a DC *bias* defect (`ERC004` return
+/// path, `ERC006` gate bias): low enough to actually define the bias.
+const BIAS_TIE_OHMS: f64 = 1e6;
 
 /// Runs every rule (honouring `config` severities) and collects all
 /// findings, ordered by rule code.
@@ -37,6 +42,10 @@ pub(crate) fn run(circuit: &Circuit, config: &LintConfig) -> LintReport {
     pass.duplicate_name();
     pass.empty_circuit();
     pass.dead_under_mode();
+    // Exact structural passes last: they see the heuristic findings and
+    // suppress blocks those already denied.
+    let exact = rank::run(circuit, config, &pass.out);
+    pass.out.extend(exact);
     LintReport {
         diagnostics: pass.out,
     }
@@ -81,6 +90,7 @@ impl<'a> Pass<'a> {
         message: String,
         nodes: Vec<Node>,
         elements: Vec<String>,
+        fix: Option<Fix>,
     ) {
         self.out.push(Diagnostic {
             rule,
@@ -91,6 +101,7 @@ impl<'a> Pass<'a> {
                 .map(|n| self.ckt.node_name(n).to_string())
                 .collect(),
             elements,
+            fix,
         });
     }
 
@@ -113,56 +124,6 @@ impl<'a> Pass<'a> {
     fn cap_only(&self, node_id: usize) -> bool {
         let inc = &self.incidence[node_id];
         inc.len() >= 2 && inc.iter().all(|&i| self.is_cap(i))
-    }
-
-    // --- connectivity graphs -------------------------------------------
-
-    /// Legacy DC graph: each non-capacitor element unions all its nodes.
-    fn legacy_dc_graph(&self) -> UnionFind {
-        let mut uf = UnionFind::new(self.ckt.node_count());
-        for e in self.ckt.elements() {
-            if !e.provides_dc_path() {
-                continue;
-            }
-            for w in e.nodes().windows(2) {
-                uf.union(w[0].id(), w[1].id());
-            }
-        }
-        uf
-    }
-
-    /// Carrier graph: branches able to carry a defined DC current.
-    fn carrier_graph(&self) -> UnionFind {
-        let mut uf = UnionFind::new(self.ckt.node_count());
-        for e in self.ckt.elements() {
-            match e {
-                Element::Resistor { a, b, .. } | Element::Inductor { a, b, .. } => {
-                    uf.union(a.id(), b.id());
-                }
-                Element::VoltageSource { p, n, .. } | Element::Vcvs { p, n, .. } => {
-                    uf.union(p.id(), n.id());
-                }
-                Element::Mos { dev, .. } => {
-                    uf.union(dev.d.id(), dev.s.id());
-                    uf.union(dev.s.id(), dev.b.id());
-                }
-                Element::Capacitor { .. }
-                | Element::CurrentSource { .. }
-                | Element::Vccs { .. } => {}
-            }
-        }
-        uf
-    }
-
-    /// Rail graph: nodes pinned to ground through ideal voltage sources.
-    fn rail_graph(&self) -> UnionFind {
-        let mut uf = UnionFind::new(self.ckt.node_count());
-        for e in self.ckt.elements() {
-            if let Element::VoltageSource { p, n, .. } = e {
-                uf.union(p.id(), n.id());
-            }
-        }
-        uf
     }
 
     // --- rules ---------------------------------------------------------
@@ -189,7 +150,7 @@ impl<'a> Pass<'a> {
                     self.ckt.node_name(node)
                 )
             };
-            self.emit(RuleId::DanglingNode, sev, msg, vec![node], names);
+            self.emit(RuleId::DanglingNode, sev, msg, vec![node], names, None);
         }
     }
 
@@ -198,7 +159,7 @@ impl<'a> Pass<'a> {
         let Some(sev) = self.sev(RuleId::NoDcPath) else {
             return;
         };
-        let mut uf = self.legacy_dc_graph();
+        let mut uf = graph::connectivity(self.ckt, Regime::LegacyDc);
         for id in 1..self.ckt.node_count() {
             // Under-connected nodes are ERC001's report; all-capacitor
             // nodes are ERC005's.
@@ -208,11 +169,13 @@ impl<'a> Pass<'a> {
             if !uf.same(id, 0) {
                 let node = Node::from_id(id);
                 let names = self.incident_element_names(id);
-                let msg = format!(
-                    "node '{}' has no DC-conducting path to ground",
-                    self.ckt.node_name(node)
-                );
-                self.emit(RuleId::NoDcPath, sev, msg, vec![node], names);
+                let node_name = self.ckt.node_name(node).to_string();
+                let msg = format!("node '{node_name}' has no DC-conducting path to ground");
+                let fix = Some(Fix::GroundTie {
+                    node: node_name,
+                    ohms: FLOAT_TIE_OHMS,
+                });
+                self.emit(RuleId::NoDcPath, sev, msg, vec![node], names, fix);
             }
         }
     }
@@ -223,15 +186,15 @@ impl<'a> Pass<'a> {
             return;
         };
         let mut uf = UnionFind::new(self.ckt.node_count());
+        let mut buf = Vec::new();
         let mut findings = Vec::new();
         for e in self.ckt.elements() {
-            let (a, b) = match e {
-                Element::VoltageSource { p, n, .. } | Element::Vcvs { p, n, .. } => (*p, *n),
-                Element::Inductor { a, b, .. } => (*a, *b),
-                _ => continue,
-            };
-            if !uf.union(a.id(), b.id()) {
-                findings.push((e.name().to_string(), a, b));
+            buf.clear();
+            graph::edges(e, Regime::VoltageDefined, &mut buf);
+            for &(a, b) in &buf {
+                if !uf.union(a.id(), b.id()) {
+                    findings.push((e.name().to_string(), a, b));
+                }
             }
         }
         for (name, a, b) in findings {
@@ -239,7 +202,7 @@ impl<'a> Pass<'a> {
                 "'{name}' closes a loop of ideal voltage-defined branches (V/E/L): \
                  the MNA branch equations are linearly dependent"
             );
-            self.emit(RuleId::VsourceLoop, sev, msg, vec![a, b], vec![name]);
+            self.emit(RuleId::VsourceLoop, sev, msg, vec![a, b], vec![name], None);
         }
     }
 
@@ -249,7 +212,7 @@ impl<'a> Pass<'a> {
         let Some(sev) = self.sev(RuleId::IsourceCutset) else {
             return;
         };
-        let mut carriers = self.carrier_graph();
+        let mut carriers = graph::connectivity(self.ckt, Regime::Carrier);
         let mut findings = Vec::new();
         for e in self.ckt.elements() {
             let (p, n) = match e {
@@ -257,15 +220,23 @@ impl<'a> Pass<'a> {
                 _ => continue,
             };
             if !carriers.same(p.id(), n.id()) {
-                findings.push((e.name().to_string(), p, n));
+                // The repair must land on a terminal the carrier graph
+                // has NOT already tied to ground — tying the grounded
+                // side again would leave the cutset in place.
+                let tie_at = if !carriers.same(p.id(), 0) { p } else { n };
+                findings.push((e.name().to_string(), p, n, tie_at));
             }
         }
-        for (name, p, n) in findings {
+        for (name, p, n, tie_at) in findings {
             let msg = format!(
                 "current source '{name}' forces current between parts of the circuit \
                  with no DC return path: KCL cannot absorb it"
             );
-            self.emit(RuleId::IsourceCutset, sev, msg, vec![p, n], vec![name]);
+            let fix = Some(Fix::GroundTie {
+                node: self.ckt.node_name(tie_at).to_string(),
+                ohms: BIAS_TIE_OHMS,
+            });
+            self.emit(RuleId::IsourceCutset, sev, msg, vec![p, n], vec![name], fix);
         }
     }
 
@@ -280,12 +251,16 @@ impl<'a> Pass<'a> {
             }
             let node = Node::from_id(id);
             let names = self.incident_element_names(id);
+            let node_name = self.ckt.node_name(node).to_string();
             let msg = format!(
-                "node '{}' connects only to capacitors: no DC conductance, \
-                 the operating point is structurally singular",
-                self.ckt.node_name(node)
+                "node '{node_name}' connects only to capacitors: no DC conductance, \
+                 the operating point is structurally singular"
             );
-            self.emit(RuleId::CapOnlyNode, sev, msg, vec![node], names);
+            let fix = Some(Fix::GroundTie {
+                node: node_name,
+                ohms: FLOAT_TIE_OHMS,
+            });
+            self.emit(RuleId::CapOnlyNode, sev, msg, vec![node], names, fix);
         }
     }
 
@@ -294,7 +269,7 @@ impl<'a> Pass<'a> {
         let Some(sev) = self.sev(RuleId::FloatingGate) else {
             return;
         };
-        let mut carriers = self.carrier_graph();
+        let mut carriers = graph::connectivity(self.ckt, Regime::Carrier);
         let mut findings = Vec::new();
         for e in self.ckt.elements() {
             if let Element::Mos { name, dev } = e {
@@ -310,7 +285,11 @@ impl<'a> Pass<'a> {
                 name,
                 self.ckt.node_name(g)
             );
-            self.emit(RuleId::FloatingGate, sev, msg, vec![g], vec![name]);
+            let fix = Some(Fix::GroundTie {
+                node: self.ckt.node_name(g).to_string(),
+                ohms: BIAS_TIE_OHMS,
+            });
+            self.emit(RuleId::FloatingGate, sev, msg, vec![g], vec![name], fix);
         }
     }
 
@@ -319,7 +298,7 @@ impl<'a> Pass<'a> {
         let Some(sev) = self.sev(RuleId::BulkNotRail) else {
             return;
         };
-        let mut rails = self.rail_graph();
+        let mut rails = graph::connectivity(self.ckt, Regime::Rail);
         let mut findings = Vec::new();
         for e in self.ckt.elements() {
             if let Element::Mos { name, dev } = e {
@@ -335,7 +314,7 @@ impl<'a> Pass<'a> {
                 name,
                 self.ckt.node_name(b)
             );
-            self.emit(RuleId::BulkNotRail, sev, msg, vec![b], vec![name]);
+            self.emit(RuleId::BulkNotRail, sev, msg, vec![b], vec![name], None);
         }
     }
 
@@ -394,7 +373,7 @@ impl<'a> Pass<'a> {
             }
         }
         for (name, msg) in findings {
-            self.emit(RuleId::InvalidValue, sev, msg, vec![], vec![name]);
+            self.emit(RuleId::InvalidValue, sev, msg, vec![], vec![name], None);
         }
     }
 
@@ -418,7 +397,8 @@ impl<'a> Pass<'a> {
                 "instance name '{name}' is used by {count} elements; \
                  name-based lookups resolve to the first"
             );
-            self.emit(RuleId::DuplicateName, sev, msg, vec![], vec![name]);
+            let fix = Some(Fix::RenameDuplicates { name: name.clone() });
+            self.emit(RuleId::DuplicateName, sev, msg, vec![], vec![name], fix);
         }
     }
 
@@ -434,6 +414,7 @@ impl<'a> Pass<'a> {
                 "circuit contains no elements".to_string(),
                 vec![],
                 vec![],
+                None,
             );
         }
     }
@@ -479,7 +460,7 @@ impl<'a> Pass<'a> {
             }
         }
         for (name, msg) in findings {
-            self.emit(RuleId::DeadUnderMode, sev, msg, vec![], vec![name]);
+            self.emit(RuleId::DeadUnderMode, sev, msg, vec![], vec![name], None);
         }
     }
 }

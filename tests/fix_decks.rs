@@ -1,0 +1,160 @@
+//! Deck fixtures for the autofix engine: every SPICE-reachable rule has
+//! a `.cir` fixture under `tests/decks/` that fires it. Fixable decks
+//! must converge to deny-clean under `fix_circuit` and the repaired
+//! netlist must round-trip through the linted importer; unfixable decks
+//! must survive the fixpoint with their diagnostic intact (and no fix
+//! attached), which is what makes `remix-bench lint --fix` exit
+//! non-zero listing them.
+
+use remix::circuit::{from_spice, to_spice};
+use remix::lint::{fix_circuit, import_spice, lint, LintConfig, RuleId, Severity};
+
+/// How a fixture is expected to behave under `--fix`.
+enum Expect {
+    /// Deny-level finding with a machine-applicable fix: the fixpoint
+    /// must end deny-clean.
+    Fixable,
+    /// Deny-level finding with no fix: it must survive the fixpoint.
+    Unfixable,
+    /// Warn-level finding: the deck is already importable; the rule
+    /// must still be reported.
+    Advisory,
+}
+
+fn cases() -> Vec<(&'static str, &'static str, RuleId, Expect)> {
+    vec![
+        (
+            "erc001_dangling.cir",
+            include_str!("decks/erc001_dangling.cir"),
+            RuleId::DanglingNode,
+            Expect::Unfixable,
+        ),
+        (
+            "erc002_no_dc_path.cir",
+            include_str!("decks/erc002_no_dc_path.cir"),
+            RuleId::NoDcPath,
+            Expect::Fixable,
+        ),
+        (
+            "erc003_vsource_loop.cir",
+            include_str!("decks/erc003_vsource_loop.cir"),
+            RuleId::VsourceLoop,
+            Expect::Unfixable,
+        ),
+        (
+            "erc004_isource_cutset.cir",
+            include_str!("decks/erc004_isource_cutset.cir"),
+            RuleId::IsourceCutset,
+            Expect::Fixable,
+        ),
+        (
+            "erc005_cap_only.cir",
+            include_str!("decks/erc005_cap_only.cir"),
+            RuleId::CapOnlyNode,
+            Expect::Fixable,
+        ),
+        (
+            "erc006_floating_gate.cir",
+            include_str!("decks/erc006_floating_gate.cir"),
+            RuleId::FloatingGate,
+            Expect::Fixable,
+        ),
+        (
+            "erc008_invalid_value.cir",
+            include_str!("decks/erc008_invalid_value.cir"),
+            RuleId::InvalidValue,
+            Expect::Unfixable,
+        ),
+        (
+            "erc009_duplicate_name.cir",
+            include_str!("decks/erc009_duplicate_name.cir"),
+            RuleId::DuplicateName,
+            Expect::Fixable,
+        ),
+        (
+            "erc012_control_only.cir",
+            include_str!("decks/erc012_control_only.cir"),
+            RuleId::StructuralSingular,
+            Expect::Fixable,
+        ),
+        (
+            "erc013_ill_scaled.cir",
+            include_str!("decks/erc013_ill_scaled.cir"),
+            RuleId::IllScaled,
+            Expect::Advisory,
+        ),
+    ]
+}
+
+#[test]
+fn every_fixture_fires_its_rule() {
+    for (file, deck, rule, _) in cases() {
+        let ckt = from_spice(deck).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let report = lint(&ckt, &LintConfig::default());
+        assert!(
+            !report.by_rule(rule).is_empty(),
+            "{file} did not fire {}:\n{report}",
+            rule.code()
+        );
+    }
+}
+
+#[test]
+fn fixable_decks_converge_and_round_trip_through_the_importer() {
+    for (file, deck, rule, expect) in cases() {
+        if !matches!(expect, Expect::Fixable) {
+            continue;
+        }
+        let mut ckt = from_spice(deck).unwrap();
+        let outcome = fix_circuit(&mut ckt, &LintConfig::default());
+        assert!(
+            outcome.is_clean(),
+            "{file} did not converge to deny-clean:\n{}",
+            outcome.report
+        );
+        assert!(outcome.applied.iter().len() > 0, "{file}: no fixes applied");
+        // The repaired deck must be accepted by the strict importer —
+        // i.e. `lint --fix` output is a valid input to everything else.
+        let fixed_deck = to_spice(&ckt, file);
+        let (_, report) = import_spice(&fixed_deck, &LintConfig::default())
+            .unwrap_or_else(|e| panic!("{file}: fixed deck rejected on re-import: {e}"));
+        assert!(
+            report.by_rule(rule).is_empty(),
+            "{file}: {} resurfaced after fixing:\n{report}",
+            rule.code()
+        );
+    }
+}
+
+#[test]
+fn unfixable_decks_survive_the_fixpoint_with_no_fix_attached() {
+    for (file, deck, rule, expect) in cases() {
+        if !matches!(expect, Expect::Unfixable) {
+            continue;
+        }
+        let mut ckt = from_spice(deck).unwrap();
+        let outcome = fix_circuit(&mut ckt, &LintConfig::default());
+        assert!(!outcome.is_clean(), "{file} unexpectedly became clean");
+        let stuck = outcome.unfixable();
+        assert!(
+            stuck.iter().any(|d| d.rule == rule),
+            "{file}: {} not among the unfixable findings:\n{}",
+            rule.code(),
+            outcome.report
+        );
+    }
+}
+
+#[test]
+fn advisory_decks_import_with_warnings() {
+    for (file, deck, rule, expect) in cases() {
+        if !matches!(expect, Expect::Advisory) {
+            continue;
+        }
+        let (_, report) = import_spice(deck, &LintConfig::default())
+            .unwrap_or_else(|e| panic!("{file}: advisory deck rejected: {e}"));
+        let hits = report.by_rule(rule);
+        assert!(!hits.is_empty(), "{file}: {} silent", rule.code());
+        assert!(hits.iter().all(|d| d.severity == Severity::Warn));
+    }
+}

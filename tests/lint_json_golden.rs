@@ -1,0 +1,43 @@
+//! Golden-file test for the machine-readable lint report: downstream
+//! tooling (the CI artifact upload, editor integrations) parses this
+//! JSON, so its shape — the `schema_version` field, key names, fix
+//! objects, float formatting — is a compatibility contract. Any change
+//! must bump `SCHEMA_VERSION` and regenerate `tests/golden/lint_report.json`.
+
+use remix::circuit::from_spice;
+use remix::lint::{lint, LintConfig, SCHEMA_VERSION};
+
+const GOLDEN: &str = include_str!("golden/lint_report.json");
+
+/// A deck chosen to exercise every part of the JSON shape: a deny with
+/// a fix (ERC005 ground tie), a deny without (ERC001), and the
+/// top-level counters.
+const DECK: &str = "* golden\n\
+                    v1 in 0 dc 1.0\n\
+                    r2 in 0 1k\n\
+                    c3 in mid 1p\n\
+                    c4 mid 0 1p\n\
+                    r5 in stub 1k\n\
+                    .end\n";
+
+#[test]
+fn json_report_matches_the_golden_file() {
+    let ckt = from_spice(DECK).unwrap();
+    let report = lint(&ckt, &LintConfig::default());
+    let actual = report.render_json();
+    assert_eq!(
+        actual.trim(),
+        GOLDEN.trim(),
+        "lint JSON drifted from tests/golden/lint_report.json — if the \
+         change is intentional, bump SCHEMA_VERSION and regenerate the \
+         golden file.\nactual:\n{actual}"
+    );
+}
+
+#[test]
+fn golden_file_pins_the_current_schema_version() {
+    assert!(
+        GOLDEN.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")),
+        "golden file was generated for a different schema version"
+    );
+}
