@@ -8,7 +8,7 @@ use crate::error::AnalysisError;
 use crate::op::OperatingPoint;
 use crate::stamp::assemble_ac;
 use remix_circuit::{Circuit, ElementId, MnaLayout, Node};
-use remix_numerics::{Complex, SparseLu, TripletMatrix};
+use remix_numerics::{Complex, TripletMatrix};
 
 /// Result of an AC sweep.
 #[derive(Debug, Clone)]
@@ -87,8 +87,12 @@ pub fn ac_sweep(
             &mut m,
             &mut rhs,
         );
-        let lu = SparseLu::factor(&m.to_csr())?;
-        solutions.push(lu.solve(&rhs)?);
+        let lu = crate::fault::factor(&m.to_csr())
+            .map_err(|e| AnalysisError::singular_at_point(circuit, "ac sweep", f, e))?;
+        solutions.push(
+            lu.solve(&rhs)
+                .map_err(|e| AnalysisError::singular_at_point(circuit, "ac sweep", f, e))?,
+        );
     }
     Ok(AcResult {
         layout,

@@ -17,7 +17,7 @@ use crate::op::OperatingPoint;
 use crate::stamp::assemble_ac;
 use remix_circuit::consts::{BOLTZMANN, ROOM_TEMP};
 use remix_circuit::{stamp_current, Circuit, Element, Node};
-use remix_numerics::{Complex, SparseLu, TripletMatrix};
+use remix_numerics::{Complex, TripletMatrix};
 
 /// One noise generator discovered in the circuit.
 #[derive(Debug, Clone)]
@@ -175,12 +175,15 @@ pub fn output_noise(
             &mut m,
             &mut rhs,
         );
-        let lu = SparseLu::factor(&m.to_csr())?;
+        let lu = crate::fault::factor(&m.to_csr())
+            .map_err(|e| AnalysisError::singular_at_point(circuit, "ac noise", f, e))?;
         for (si, s) in sources.iter().enumerate() {
             // Unit current injection a → b.
             let mut inj = vec![Complex::ZERO; dim];
             stamp_current(&mut inj, s.a, s.b, Complex::ONE);
-            let sol = lu.solve(&inj)?;
+            let sol = lu
+                .solve(&inj)
+                .map_err(|e| AnalysisError::singular_at_point(circuit, "ac noise", f, e))?;
             let vout = match (out_p.unknown_index(), out_n.unknown_index()) {
                 (Some(p), Some(n)) => sol[p] - sol[n],
                 (Some(p), None) => sol[p],

@@ -1,7 +1,16 @@
 //! Analysis error types.
+//!
+//! Every numerical failure variant carries a typed
+//! [`ConvergenceTrace`] recording the stage attempts that preceded it —
+//! drivers (Monte-Carlo sweeps, benches, tests) interrogate the trace
+//! instead of parsing prose. [`AnalysisError::Singular`] additionally
+//! carries a structural *diagnosis*: rendered ERC012/ERC013 lint
+//! findings naming the unpivotable or ill-scaled equations, when the
+//! rank pass can identify them.
 
+use crate::convergence::ConvergenceTrace;
 use remix_lint::LintReport;
-use remix_numerics::FactorError;
+use remix_numerics::{FactorError, IntegrationMethod};
 use std::error::Error;
 use std::fmt;
 
@@ -13,7 +22,17 @@ pub enum AnalysisError {
     Lint(LintReport),
     /// The system matrix could not be factored (floating node, broken
     /// topology) even with gmin.
-    Singular(FactorError),
+    Singular {
+        /// The underlying factorization failure.
+        error: FactorError,
+        /// Rendered structural-rank findings (ERC012/ERC013) naming the
+        /// equations the pivoting could not rescue, when the lint rank
+        /// pass can identify them. Empty when the singularity is purely
+        /// numerical.
+        diagnosis: Vec<String>,
+        /// Stage attempts made before the factorization gave up.
+        trace: ConvergenceTrace,
+    },
     /// The nonlinear iteration did not converge.
     NoConvergence {
         /// What was being solved when convergence failed (includes any
@@ -21,11 +40,18 @@ pub enum AnalysisError {
         context: String,
         /// Iterations attempted.
         iterations: usize,
+        /// Every homotopy stage attempt, with gmin / source scale /
+        /// diagonal load / damping / residual / condition estimate.
+        trace: ConvergenceTrace,
     },
     /// The transient step size underflowed `h_min` without acceptance.
     StepSizeUnderflow {
         /// Simulation time at which the step collapsed.
         time: f64,
+        /// Integration method active when the step collapsed.
+        method: IntegrationMethod,
+        /// The last Newton attempts before the underflow.
+        trace: ConvergenceTrace,
     },
     /// An analysis was asked for a node/element the circuit lacks.
     UnknownProbe {
@@ -34,22 +60,121 @@ pub enum AnalysisError {
     },
 }
 
+impl AnalysisError {
+    /// Wraps a factorization failure with no diagnosis and an empty
+    /// trace (the caller attaches both when it has them).
+    pub fn singular(error: FactorError) -> Self {
+        AnalysisError::Singular {
+            error,
+            diagnosis: Vec::new(),
+            trace: ConvergenceTrace::default(),
+        }
+    }
+
+    /// Wraps a factorization failure at one frequency point of an AC-type
+    /// sweep: records a single-attempt trace and cross-references the
+    /// structural-rank lint pass for a diagnosis.
+    pub(crate) fn singular_at_point(
+        circuit: &remix_circuit::Circuit,
+        analysis: &str,
+        f: f64,
+        error: FactorError,
+    ) -> Self {
+        use crate::convergence::{AttemptOutcome, StageAttempt, TraceStage};
+        let mut attempt = StageAttempt::new(TraceStage::AcPoint { f });
+        attempt.iterations = 1;
+        attempt.outcome = match error {
+            FactorError::Singular { step } => AttemptOutcome::Singular { step },
+            _ => AttemptOutcome::NotFinite,
+        };
+        let mut trace = ConvergenceTrace::new(analysis);
+        trace.push(attempt);
+        AnalysisError::Singular {
+            error,
+            diagnosis: crate::op::structural_diagnosis(circuit),
+            trace,
+        }
+    }
+
+    /// The convergence trace attached to this error, when the variant
+    /// carries one.
+    pub fn trace(&self) -> Option<&ConvergenceTrace> {
+        match self {
+            AnalysisError::Singular { trace, .. }
+            | AnalysisError::NoConvergence { trace, .. }
+            | AnalysisError::StepSizeUnderflow { trace, .. } => Some(trace),
+            AnalysisError::Lint(_) | AnalysisError::UnknownProbe { .. } => None,
+        }
+    }
+
+    /// Replaces the attached trace (no-op on variants without one).
+    pub fn with_trace(mut self, new: ConvergenceTrace) -> Self {
+        match &mut self {
+            AnalysisError::Singular { trace, .. }
+            | AnalysisError::NoConvergence { trace, .. }
+            | AnalysisError::StepSizeUnderflow { trace, .. } => *trace = new,
+            AnalysisError::Lint(_) | AnalysisError::UnknownProbe { .. } => {}
+        }
+        self
+    }
+
+    /// Attaches a structural diagnosis (no-op on non-`Singular`
+    /// variants).
+    pub fn with_diagnosis(mut self, lines: Vec<String>) -> Self {
+        if let AnalysisError::Singular { diagnosis, .. } = &mut self {
+            *diagnosis = lines;
+        }
+        self
+    }
+}
+
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::Lint(report) => {
                 write!(f, "circuit fails electrical rule checks:\n{report}")
             }
-            AnalysisError::Singular(e) => write!(f, "singular system: {e}"),
+            AnalysisError::Singular {
+                error,
+                diagnosis,
+                trace,
+            } => {
+                write!(f, "singular system: {error}")?;
+                for line in diagnosis {
+                    write!(f, "\n{line}")?;
+                }
+                if !trace.is_empty() {
+                    write!(f, "\n{}", trace.render())?;
+                }
+                Ok(())
+            }
             AnalysisError::NoConvergence {
                 context,
                 iterations,
-            } => write!(
-                f,
-                "{context} did not converge after {iterations} iterations"
-            ),
-            AnalysisError::StepSizeUnderflow { time } => {
-                write!(f, "transient step size underflow at t = {time:.6e} s")
+                trace,
+            } => {
+                write!(
+                    f,
+                    "{context} did not converge after {iterations} iterations"
+                )?;
+                if !trace.is_empty() {
+                    write!(f, "\n{}", trace.render())?;
+                }
+                Ok(())
+            }
+            AnalysisError::StepSizeUnderflow {
+                time,
+                method,
+                trace,
+            } => {
+                write!(
+                    f,
+                    "transient step size underflow at t = {time:.6e} s ({method:?} integration)"
+                )?;
+                if !trace.is_empty() {
+                    write!(f, "\n{}", trace.render())?;
+                }
+                Ok(())
             }
             AnalysisError::UnknownProbe { probe } => write!(f, "unknown probe: {probe}"),
         }
@@ -59,7 +184,7 @@ impl fmt::Display for AnalysisError {
 impl Error for AnalysisError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            AnalysisError::Singular(e) => Some(e),
+            AnalysisError::Singular { error, .. } => Some(error),
             _ => None,
         }
     }
@@ -73,13 +198,14 @@ impl From<LintReport> for AnalysisError {
 
 impl From<FactorError> for AnalysisError {
     fn from(e: FactorError) -> Self {
-        AnalysisError::Singular(e)
+        AnalysisError::singular(e)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::convergence::{AttemptOutcome, StageAttempt, StageKind, TraceStage};
     use remix_lint::{Diagnostic, RuleId, Severity};
 
     #[test]
@@ -87,17 +213,18 @@ mod tests {
         let e = AnalysisError::NoConvergence {
             context: "dc operating point".into(),
             iterations: 50,
+            trace: ConvergenceTrace::default(),
         };
         assert!(e.to_string().contains("dc operating point"));
         assert!(e.to_string().contains("50"));
-        assert!(
-            AnalysisError::StepSizeUnderflow { time: 1e-9 }
-                .to_string()
-                .contains("1e-9")
-                || AnalysisError::StepSizeUnderflow { time: 1e-9 }
-                    .to_string()
-                    .contains("1.000000e-9")
-        );
+        let underflow = AnalysisError::StepSizeUnderflow {
+            time: 1e-9,
+            method: IntegrationMethod::Trapezoidal,
+            trace: ConvergenceTrace::default(),
+        };
+        let text = underflow.to_string();
+        assert!(text.contains("1e-9") || text.contains("1.000000e-9"));
+        assert!(text.contains("Trapezoidal"));
         assert!(AnalysisError::UnknownProbe {
             probe: "node x".into()
         }
@@ -128,6 +255,37 @@ mod tests {
     fn from_factor_error() {
         let fe = FactorError::Singular { step: 1 };
         let ae: AnalysisError = fe.clone().into();
-        assert_eq!(ae, AnalysisError::Singular(fe));
+        assert_eq!(ae, AnalysisError::singular(fe));
+        assert!(ae.trace().is_some_and(ConvergenceTrace::is_empty));
+    }
+
+    #[test]
+    fn singular_display_includes_diagnosis_and_trace() {
+        let mut trace = ConvergenceTrace::new("dc operating point");
+        let mut a = StageAttempt::new(TraceStage::Dc(StageKind::Direct));
+        a.outcome = AttemptOutcome::Singular { step: 2 };
+        trace.push(a);
+        let e = AnalysisError::singular(FactorError::Singular { step: 2 })
+            .with_diagnosis(vec!["ERC012: node n1 row is structurally empty".into()])
+            .with_trace(trace.clone());
+        let text = e.to_string();
+        assert!(text.contains("ERC012"), "{text}");
+        assert!(text.contains("convergence trace"), "{text}");
+        // final_max_dv is NaN on a never-completed attempt, so compare
+        // structure rather than PartialEq (NaN != NaN).
+        let attached = e.trace().unwrap();
+        assert_eq!(attached.attempts.len(), 1);
+        assert_eq!(
+            attached.attempts[0].outcome,
+            AttemptOutcome::Singular { step: 2 }
+        );
+    }
+
+    #[test]
+    fn with_trace_is_noop_on_untraced_variants() {
+        let e = AnalysisError::UnknownProbe { probe: "x".into() };
+        let t = ConvergenceTrace::new("anything");
+        assert_eq!(e.clone().with_trace(t), e);
+        assert!(e.trace().is_none());
     }
 }

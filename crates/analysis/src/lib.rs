@@ -41,8 +41,10 @@
 
 pub mod ac;
 pub mod acnoise;
+pub mod convergence;
 pub mod dcsweep;
 pub mod error;
+pub mod fault;
 pub mod op;
 pub mod plan;
 pub mod power;
@@ -55,8 +57,14 @@ pub mod twoport;
 
 pub use ac::{ac_sweep, lin_space, log_space, AcResult};
 pub use acnoise::{noise_figure_db, noise_sources, output_noise, NoiseKind, NoiseResult};
+pub use convergence::{
+    AttemptOutcome, ConvergencePolicy, ConvergenceTrace, StageAttempt, StageKind, TraceStage,
+    ILL_CONDITION_RCOND,
+};
 pub use dcsweep::{dc_sweep, DcSweepResult};
 pub use error::AnalysisError;
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultGuard, FaultKind, FaultPlan};
 pub use op::{dc_operating_point, OpOptions, OperatingPoint};
 pub use plan::{fastest_stimulus, noise_plan, pss_plan, sweep_plan, tran_plan};
 pub use power::{supply_power, PowerReport};

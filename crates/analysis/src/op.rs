@@ -2,19 +2,25 @@
 //!
 //! Solves the nonlinear DC system by iterated linearization (the classic
 //! SPICE formulation: each solve of the companion-linearized system yields
-//! the next iterate), with:
+//! the next iterate), with per-iteration **damping** that limits the
+//! maximum node-voltage change (keeps exponential device curves from
+//! flinging the iterate).
 //!
-//! * per-iteration **damping** that limits the maximum node-voltage change
-//!   (keeps exponential device curves from flinging the iterate);
-//! * **gmin stepping** — if the direct solve fails, a large conductance is
-//!   placed across every MOS channel and relaxed decade by decade;
-//! * **source stepping** — as a final fallback, supplies are ramped from
-//!   0 to 100 %.
+//! The homotopy ladder is declarative: a [`ConvergencePolicy`] lists the
+//! stages (by default direct → gmin stepping → source stepping →
+//! pseudo-transient continuation) and the solver walks them until one
+//! converges, recording every attempt in a [`ConvergenceTrace`] that
+//! rides inside the returned [`OperatingPoint`] on success or the
+//! [`AnalysisError`] on failure.
 
+use crate::convergence::{
+    AttemptOutcome, ConvergencePolicy, ConvergenceTrace, StageAttempt, StageKind, TraceStage,
+    ILL_CONDITION_RCOND,
+};
 use crate::error::AnalysisError;
 use crate::stamp::{assemble_real, RealMode};
 use remix_circuit::{Circuit, Element, ElementId, MnaLayout, MosCaps, MosEval, Node};
-use remix_numerics::{SparseLu, TripletMatrix};
+use remix_numerics::{FactorError, TripletMatrix};
 
 /// Options controlling the operating-point solve.
 #[derive(Debug, Clone)]
@@ -28,6 +34,8 @@ pub struct OpOptions {
     pub dv_max: f64,
     /// Final (smallest) gmin left in the circuit (S).
     pub gmin: f64,
+    /// The homotopy ladder to walk when the direct solve stalls.
+    pub policy: ConvergencePolicy,
 }
 
 impl Default for OpOptions {
@@ -37,6 +45,7 @@ impl Default for OpOptions {
             v_tol: 1e-9,
             dv_max: 0.3,
             gmin: 1e-12,
+            policy: ConvergencePolicy::default(),
         }
     }
 }
@@ -54,6 +63,9 @@ pub struct OperatingPoint {
     pub mos_caps: Vec<Option<MosCaps>>,
     /// Total iterations across all homotopy stages.
     pub iterations: usize,
+    /// Every homotopy stage attempt made on the way here, including the
+    /// converged one (last) with its condition estimate.
+    pub trace: ConvergenceTrace,
 }
 
 impl OperatingPoint {
@@ -72,28 +84,116 @@ impl OperatingPoint {
     pub fn mos_eval(&self, id: ElementId) -> Option<&MosEval> {
         self.mos_evals[id.index()].as_ref()
     }
+
+    /// Reciprocal condition estimate of the system that produced the
+    /// solution (the converged attempt's factorization).
+    pub fn rcond(&self) -> Option<f64> {
+        self.trace.attempts.last().and_then(|a| a.rcond)
+    }
+
+    /// Warning text when the solve *succeeded* but the factored system
+    /// was ill-conditioned — the voltages exist but deserve distrust.
+    pub fn condition_warning(&self) -> Option<String> {
+        let r = self.rcond()?;
+        (r < ILL_CONDITION_RCOND).then(|| {
+            format!(
+                "operating point is ill-conditioned (rcond ≈ {r:.1e} < {ILL_CONDITION_RCOND:.0e}): \
+                 node voltages may carry large numerical error"
+            )
+        })
+    }
 }
 
-/// Runs one damped fixed-point stage at the given gmin / source scale.
-/// Returns `Ok(iterations)` on convergence.
+/// Rendered structural-rank lint findings (ERC012 structural singular,
+/// ERC013 ill-scaled) for a circuit — the diagnosis attached to
+/// [`AnalysisError::Singular`] so the message names the unpivotable or
+/// ill-scaled equations instead of just an elimination step index.
+pub fn structural_diagnosis(circuit: &Circuit) -> Vec<String> {
+    let report = remix_lint::lint(circuit, &remix_lint::LintConfig::default());
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| {
+            matches!(
+                d.rule,
+                remix_lint::RuleId::StructuralSingular | remix_lint::RuleId::IllScaled
+            )
+        })
+        .map(|d| d.render())
+        .collect()
+}
+
+/// Result of one damped fixed-point stage run.
+struct StageRun {
+    /// The typed record of the run (always produced, success or not).
+    attempt: StageAttempt,
+    /// Whether the stage met tolerance.
+    converged: bool,
+    /// The factorization failure that ended the run, if one did.
+    factor_error: Option<FactorError>,
+}
+
+/// Runs one damped fixed-point stage at the given gmin / source scale /
+/// pseudo-transient diagonal load, recording a [`StageAttempt`].
+#[allow(clippy::too_many_arguments)]
 fn converge_stage(
     circuit: &Circuit,
     layout: &MnaLayout,
     x: &mut [f64],
     gmin: f64,
     source_scale: f64,
+    diag_load: f64,
+    stage: TraceStage,
     opts: &OpOptions,
     mos_evals: &mut Vec<Option<MosEval>>,
-) -> Result<usize, AnalysisError> {
+) -> StageRun {
     let dim = layout.dim();
     let mut m = TripletMatrix::<f64>::new(dim, dim);
     let mut rhs = vec![0.0; dim];
     let mode = RealMode::Dc { gmin, source_scale };
 
-    for iter in 0..opts.max_iter {
+    let mut attempt = StageAttempt::new(stage);
+    attempt.gmin = gmin;
+    attempt.source_scale = source_scale;
+    attempt.diag_load = diag_load;
+    attempt.dv_max = opts.dv_max;
+
+    let max_iter = crate::fault::newton_cap(opts.max_iter);
+    for iter in 0..max_iter {
+        attempt.iterations = iter + 1;
         assemble_real(circuit, layout, x, &mode, &mut m, &mut rhs, Some(mos_evals));
-        let lu = SparseLu::factor(&m.to_csr())?;
-        let x_new = lu.solve(&rhs)?;
+        if diag_load > 0.0 {
+            // Pseudo-transient continuation: a diagonal load λ with a
+            // matching λ·v_prev on the RHS is one implicit-Euler step of
+            // C dv/dt = −f(v) through artificial time (C/h = λ).
+            for i in 0..layout.node_unknowns() {
+                m.push(i, i, diag_load);
+                rhs[i] += diag_load * x[i];
+            }
+        }
+        let lu = match crate::fault::factor(&m.to_csr()) {
+            Ok(lu) => lu,
+            Err(e) => {
+                attempt.outcome = factor_outcome(&e);
+                return StageRun {
+                    attempt,
+                    converged: false,
+                    factor_error: Some(e),
+                };
+            }
+        };
+        attempt.rcond = Some(lu.rcond_estimate());
+        let x_new = match lu.solve(&rhs) {
+            Ok(v) => v,
+            Err(e) => {
+                attempt.outcome = factor_outcome(&e);
+                return StageRun {
+                    attempt,
+                    converged: false,
+                    factor_error: Some(e),
+                };
+            }
+        };
 
         // Damping limited to node voltages; branch currents follow freely.
         let mut max_dv: f64 = 0.0;
@@ -113,20 +213,158 @@ fn converge_stage(
             }
             x[i] = nv;
         }
+        attempt.final_max_dv = max_change;
         if !x.iter().all(|v| v.is_finite()) {
-            return Err(AnalysisError::NoConvergence {
-                context: "dc operating point (diverged)".into(),
-                iterations: iter + 1,
-            });
+            attempt.outcome = AttemptOutcome::Diverged;
+            return StageRun {
+                attempt,
+                converged: false,
+                factor_error: None,
+            };
         }
         if max_change < opts.v_tol && alpha == 1.0 {
-            return Ok(iter + 1);
+            attempt.outcome = AttemptOutcome::Converged;
+            return StageRun {
+                attempt,
+                converged: true,
+                factor_error: None,
+            };
         }
     }
-    Err(AnalysisError::NoConvergence {
-        context: "dc operating point".into(),
-        iterations: opts.max_iter,
-    })
+    attempt.outcome = AttemptOutcome::MaxIterations;
+    StageRun {
+        attempt,
+        converged: false,
+        factor_error: None,
+    }
+}
+
+/// Maps a factorization failure to its traced outcome.
+fn factor_outcome(e: &FactorError) -> AttemptOutcome {
+    match e {
+        FactorError::Singular { step } => AttemptOutcome::Singular { step: *step },
+        _ => AttemptOutcome::NotFinite,
+    }
+}
+
+/// Walks one ladder stage of a [`ConvergencePolicy`], pushing every
+/// attempt into `trace`. Returns whether the stage converged and the
+/// last factorization failure seen inside it, if any.
+#[allow(clippy::too_many_arguments)]
+fn run_stage(
+    kind: StageKind,
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    x: &mut [f64],
+    stage_opts: &OpOptions,
+    target_gmin: f64,
+    mos_evals: &mut Vec<Option<MosEval>>,
+    trace: &mut ConvergenceTrace,
+) -> (bool, Option<FactorError>) {
+    x.iter_mut().for_each(|v| *v = 0.0);
+    let stage = TraceStage::Dc(kind);
+    let mut last_ferr: Option<FactorError> = None;
+    let record = |run: StageRun, ferr: &mut Option<FactorError>, t: &mut ConvergenceTrace| {
+        if run.factor_error.is_some() {
+            *ferr = run.factor_error;
+        }
+        let ok = run.converged;
+        t.push(run.attempt);
+        ok
+    };
+    let converged = match kind {
+        StageKind::Direct => {
+            let run = converge_stage(
+                circuit,
+                layout,
+                x,
+                target_gmin,
+                1.0,
+                0.0,
+                stage,
+                stage_opts,
+                mos_evals,
+            );
+            record(run, &mut last_ferr, trace)
+        }
+        StageKind::GminLadder { start } => {
+            let mut ok = true;
+            for g in ConvergencePolicy::gmin_rungs(start, target_gmin) {
+                let run = converge_stage(
+                    circuit, layout, x, g, 1.0, 0.0, stage, stage_opts, mos_evals,
+                );
+                if !record(run, &mut last_ferr, trace) {
+                    ok = false;
+                    break;
+                }
+            }
+            ok
+        }
+        StageKind::SourceRamp { steps } => {
+            let steps = steps.max(1);
+            let mut ok = true;
+            for step in 1..=steps {
+                let scale = step as f64 / steps as f64;
+                let run = converge_stage(
+                    circuit,
+                    layout,
+                    x,
+                    target_gmin,
+                    scale,
+                    0.0,
+                    stage,
+                    stage_opts,
+                    mos_evals,
+                );
+                if !record(run, &mut last_ferr, trace) {
+                    ok = false;
+                    break;
+                }
+            }
+            ok
+        }
+        StageKind::PseudoTransient {
+            lambda0,
+            decay,
+            rounds,
+        } => {
+            // Loaded rounds relax the iterate toward the solution; a
+            // round that misses tolerance is fine (the load keeps it
+            // bounded), so only the final exact solve decides.
+            let mut lambda = lambda0;
+            for _ in 0..rounds {
+                let run = converge_stage(
+                    circuit,
+                    layout,
+                    x,
+                    target_gmin,
+                    1.0,
+                    lambda,
+                    stage,
+                    stage_opts,
+                    mos_evals,
+                );
+                record(run, &mut last_ferr, trace);
+                if !x.iter().all(|v| v.is_finite()) {
+                    x.iter_mut().for_each(|v| *v = 0.0);
+                }
+                lambda *= decay;
+            }
+            let run = converge_stage(
+                circuit,
+                layout,
+                x,
+                target_gmin,
+                1.0,
+                0.0,
+                stage,
+                stage_opts,
+                mos_evals,
+            );
+            record(run, &mut last_ferr, trace)
+        }
+    };
+    (converged, last_ferr)
 }
 
 /// Computes the DC operating point of a circuit.
@@ -137,7 +375,8 @@ fn converge_stage(
 ///   (the report carries every finding, not just the first);
 /// * [`AnalysisError::Singular`] if the MNA matrix cannot be factored even
 ///   with maximum gmin;
-/// * [`AnalysisError::NoConvergence`] if all homotopy stages fail; any
+/// * [`AnalysisError::NoConvergence`] if every policy stage fails; the
+///   attached [`ConvergenceTrace`] records each attempt, and any
 ///   warn-level lint findings are appended to the error context, since
 ///   they often explain the stall.
 pub fn dc_operating_point(
@@ -153,118 +392,73 @@ pub fn dc_operating_point(
     let n_elem = circuit.element_count();
     let mut x = vec![0.0; dim];
     let mut mos_evals: Vec<Option<MosEval>> = vec![None; n_elem];
-    let mut total_iter = 0usize;
+    let mut trace = ConvergenceTrace::new("dc operating point");
 
-    // Homotopy ladder (direct → gmin stepping → source stepping), retried
-    // with progressively tighter damping: strong feedback loops (the TIA
-    // around its two-stage OTA) can limit-cycle at loose damping.
+    // Walk the policy ladder, retried with progressively tighter damping:
+    // strong feedback loops (the TIA around its two-stage OTA) can
+    // limit-cycle at loose damping.
     let mut converged = false;
-    let mut last_err: Option<AnalysisError> = None;
-    'damping: for tighten in 0..3 {
+    let mut last_factor_error: Option<FactorError> = None;
+    'damping: for tighten in 0..opts.policy.damping_retries.max(1) {
         let stage_opts = OpOptions {
-            dv_max: opts.dv_max / 3f64.powi(tighten),
-            max_iter: opts.max_iter * (1 + 2 * tighten as usize),
+            dv_max: opts.dv_max / 3f64.powi(tighten as i32),
+            max_iter: opts.max_iter * (1 + 2 * tighten),
             ..opts.clone()
         };
-
-        // Stage 1: direct solve at target gmin.
-        x.iter_mut().for_each(|v| *v = 0.0);
-        if let Ok(iters) = converge_stage(
-            circuit,
-            &layout,
-            &mut x,
-            opts.gmin,
-            1.0,
-            &stage_opts,
-            &mut mos_evals,
-        ) {
-            total_iter += iters;
-            converged = true;
-            break 'damping;
-        }
-
-        // Stage 2: gmin stepping from 1e-3 down to target.
-        x.iter_mut().for_each(|v| *v = 0.0);
-        let mut gmin = 1e-3;
-        let mut ok = true;
-        while gmin >= opts.gmin {
-            match converge_stage(
+        for kind in &opts.policy.stages {
+            let (ok, ferr) = run_stage(
+                *kind,
                 circuit,
                 &layout,
                 &mut x,
-                gmin,
-                1.0,
                 &stage_opts,
-                &mut mos_evals,
-            ) {
-                Ok(iters) => total_iter += iters,
-                Err(e) => {
-                    last_err = Some(e);
-                    ok = false;
-                    break;
-                }
-            }
-            gmin /= 10.0;
-        }
-        if ok {
-            converged = true;
-            break 'damping;
-        }
-
-        // Stage 3: source stepping at target gmin.
-        x.iter_mut().for_each(|v| *v = 0.0);
-        let mut ok = true;
-        for step in 1..=10 {
-            let scale = step as f64 / 10.0;
-            match converge_stage(
-                circuit,
-                &layout,
-                &mut x,
                 opts.gmin,
-                scale,
-                &stage_opts,
                 &mut mos_evals,
-            ) {
-                Ok(iters) => total_iter += iters,
-                Err(_) => {
-                    last_err = Some(AnalysisError::NoConvergence {
-                        context: format!(
-                            "dc operating point (source stepping at {scale:.0e}, dv_max {:.0e})",
-                            stage_opts.dv_max
-                        ),
-                        iterations: total_iter,
-                    });
-                    ok = false;
-                    break;
-                }
+                &mut trace,
+            );
+            if ferr.is_some() {
+                last_factor_error = ferr;
             }
-        }
-        if ok {
-            converged = true;
-            break 'damping;
+            if ok {
+                converged = true;
+                break 'damping;
+            }
         }
     }
     if !converged {
-        let mut err = last_err.unwrap_or(AnalysisError::NoConvergence {
-            context: "dc operating point".into(),
-            iterations: total_iter,
-        });
+        // A ladder that ended on a factorization failure is a *singular*
+        // problem (cross-referenced against the structural-rank lint
+        // pass), not a stalled iteration.
+        let ended_singular = matches!(
+            trace.attempts.last().map(|a| a.outcome),
+            Some(AttemptOutcome::Singular { .. }) | Some(AttemptOutcome::NotFinite)
+        );
+        if let (true, Some(fe)) = (ended_singular, last_factor_error) {
+            return Err(AnalysisError::Singular {
+                error: fe,
+                diagnosis: structural_diagnosis(circuit),
+                trace,
+            });
+        }
         // Warn-level findings did not block the solve, but a circuit that
         // then fails to converge is exactly where they become relevant.
+        let mut context = "dc operating point".to_string();
         if lint_report.warn_count() > 0 {
-            if let AnalysisError::NoConvergence { context, .. } = &mut err {
-                let warns: Vec<String> = lint_report
-                    .diagnostics
-                    .iter()
-                    .filter(|d| d.severity == remix_lint::Severity::Warn)
-                    .map(|d| d.render())
-                    .collect();
-                context.push_str(" [lint: ");
-                context.push_str(&warns.join("; "));
-                context.push(']');
-            }
+            let warns: Vec<String> = lint_report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == remix_lint::Severity::Warn)
+                .map(|d| d.render())
+                .collect();
+            context.push_str(" [lint: ");
+            context.push_str(&warns.join("; "));
+            context.push(']');
         }
-        return Err(err);
+        return Err(AnalysisError::NoConvergence {
+            context,
+            iterations: trace.total_iterations(),
+            trace,
+        });
     }
 
     // Capture MOS caps at the final solution.
@@ -277,12 +471,14 @@ pub fn dc_operating_point(
         }
     }
 
+    let iterations = trace.total_iterations();
     Ok(OperatingPoint {
         layout,
         solution: x,
         mos_evals,
         mos_caps,
-        iterations: total_iter,
+        iterations,
+        trace,
     })
 }
 
@@ -463,6 +659,172 @@ mod tests {
             }
             other => panic!("expected Lint, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn success_trace_records_converged_attempt_with_rcond() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.0));
+        c.add_resistor("r1", a, Circuit::gnd(), 1e3);
+        let op = op(&c);
+        assert!(!op.trace.is_empty());
+        let last = op.trace.attempts.last().unwrap();
+        assert_eq!(last.outcome, crate::convergence::AttemptOutcome::Converged);
+        let r = op.rcond().expect("converged attempt records rcond");
+        assert!(r > 0.0 && r <= 1.0, "rcond = {r}");
+        // A healthy divider is far from ill-conditioned.
+        assert!(op.condition_warning().is_none());
+    }
+
+    #[test]
+    fn gmin_ladder_descent_trace_is_pinned() {
+        // Force the ladder (no direct stage) with a non-decade target so
+        // the final rung must clamp to exactly the target.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("r1", vdd, d, 10e3);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            d,
+            d,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        let opts = OpOptions {
+            gmin: 2.5e-12,
+            policy: crate::convergence::ConvergencePolicy::single(
+                crate::convergence::StageKind::GminLadder { start: 1e-3 },
+            ),
+            ..OpOptions::default()
+        };
+        let op = dc_operating_point(&c, &opts).unwrap();
+        let expected = crate::convergence::ConvergencePolicy::gmin_rungs(1e-3, 2.5e-12);
+        let got: Vec<f64> = op.trace.attempts.iter().map(|a| a.gmin).collect();
+        assert_eq!(got, expected, "one attempt per rung, in descent order");
+        assert_eq!(*got.last().unwrap(), 2.5e-12, "last rung clamps to target");
+        for a in &op.trace.attempts {
+            assert_eq!(a.outcome, crate::convergence::AttemptOutcome::Converged);
+            assert_eq!(a.source_scale, 1.0);
+            assert_eq!(a.diag_load, 0.0);
+            assert!(a.iterations >= 1);
+            assert!(a.rcond.is_some());
+            assert!(matches!(a.stage, crate::convergence::TraceStage::Dc(
+                    crate::convergence::StageKind::GminLadder { start }
+                ) if start == 1e-3));
+        }
+    }
+
+    #[test]
+    fn pseudo_transient_stage_alone_solves_nonlinear_bias() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("r1", vdd, d, 10e3);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            d,
+            d,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        let opts = OpOptions {
+            policy: crate::convergence::ConvergencePolicy::single(
+                crate::convergence::StageKind::PseudoTransient {
+                    lambda0: 1e-2,
+                    decay: 0.1,
+                    rounds: 5,
+                },
+            ),
+            ..OpOptions::default()
+        };
+        let op = dc_operating_point(&c, &opts).unwrap();
+        let vd = op.voltage(d);
+        assert!(vd > 0.35 && vd < 0.8, "vd = {vd}");
+        // 5 loaded rounds + 1 exact solve, loads strictly decaying to 0.
+        assert_eq!(op.trace.attempts.len(), 6);
+        let loads: Vec<f64> = op.trace.attempts.iter().map(|a| a.diag_load).collect();
+        assert_eq!(loads[0], 1e-2);
+        assert_eq!(*loads.last().unwrap(), 0.0);
+        for w in loads.windows(2) {
+            assert!(w[0] > w[1] || w[1] == 0.0, "{loads:?}");
+        }
+    }
+
+    #[test]
+    fn no_convergence_carries_full_trace() {
+        // One Newton iteration cannot solve a MOS bias point; with a
+        // single direct stage and one damping pass the solve must fail
+        // and the error must carry the attempt record.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("r1", vdd, d, 10e3);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            d,
+            d,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        let opts = OpOptions {
+            max_iter: 1,
+            policy: crate::convergence::ConvergencePolicy {
+                stages: vec![crate::convergence::StageKind::Direct],
+                damping_retries: 1,
+            },
+            ..OpOptions::default()
+        };
+        match dc_operating_point(&c, &opts) {
+            Err(AnalysisError::NoConvergence {
+                iterations, trace, ..
+            }) => {
+                assert!(!trace.is_empty());
+                assert_eq!(trace.total_iterations(), iterations);
+                assert_eq!(
+                    trace.attempts[0].outcome,
+                    crate::convergence::AttemptOutcome::MaxIterations
+                );
+            }
+            other => panic!("expected NoConvergence with trace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structural_diagnosis_names_rank_findings() {
+        // A node whose every terminal is a controlled-source *control*
+        // pin: invisible to the heuristic rules, but its KCL row is
+        // structurally empty — only the rank pass (ERC012) names it.
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.add_vsource("v1", vin, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("r1", vin, out, 1e3);
+        c.add_resistor("r2", out, Circuit::gnd(), 1e3);
+        let out2 = c.node("out2");
+        let ctrl = c.node("ctrl");
+        c.add_vcvs("e1", out2, Circuit::gnd(), ctrl, Circuit::gnd(), 2.0);
+        c.add_resistor("r_load", out2, Circuit::gnd(), 1e3);
+        c.add_vccs("g1", out, Circuit::gnd(), ctrl, Circuit::gnd(), 1e-3);
+        let diag = structural_diagnosis(&c);
+        assert!(
+            diag.iter()
+                .any(|d| d.contains("ERC012") && d.contains("ctrl")),
+            "expected an ERC012 finding naming 'ctrl', got {diag:?}"
+        );
     }
 
     #[test]

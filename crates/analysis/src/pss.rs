@@ -99,6 +99,7 @@ pub fn periodic_steady_state(
     // step either way).
     let mut chunk = 4usize;
     let mut total = 0usize;
+    let mut trace = crate::convergence::ConvergenceTrace::new("periodic steady state");
     loop {
         total += chunk;
         if total > opts.max_periods {
@@ -108,6 +109,7 @@ pub fn periodic_steady_state(
                     total - chunk
                 ),
                 iterations: total - chunk,
+                trace,
             });
         }
         let t_stop = total as f64 * opts.period;
@@ -121,6 +123,7 @@ pub fn periodic_steady_state(
             return Err(AnalysisError::NoConvergence {
                 context: "periodic steady state (record too short)".into(),
                 iterations: total,
+                trace,
             });
         }
         // Max node-voltage difference one period apart, sampled at the
@@ -133,6 +136,18 @@ pub fn periodic_steady_state(
                 residual = residual.max((x - y).abs());
             }
         }
+        let mut attempt =
+            crate::convergence::StageAttempt::new(crate::convergence::TraceStage::PssBoundary {
+                periods: total,
+            });
+        attempt.iterations = chunk;
+        attempt.final_max_dv = residual;
+        attempt.outcome = if residual < opts.v_tol {
+            crate::convergence::AttemptOutcome::Converged
+        } else {
+            crate::convergence::AttemptOutcome::ResidualAbove { residual }
+        };
+        trace.push(attempt);
         if residual < opts.v_tol {
             // Slice out the final period as the PSS waveforms.
             let times: Vec<f64> = res.times[len - n_per..].to_vec();

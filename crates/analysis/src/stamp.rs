@@ -242,7 +242,10 @@ pub fn assemble_real(
             }
             Element::Mos { dev, .. } => {
                 let (vd, vg, vs, vb) = (vof(dev.d), vof(dev.g), vof(dev.s), vof(dev.b));
-                let ev = dev.evaluate(vd, vg, vs, vb);
+                let mut ev = dev.evaluate(vd, vg, vs, vb);
+                if crate::fault::poison_eval() {
+                    ev.id = f64::NAN;
+                }
                 // Linearized drain current: rows d (+) and s (−).
                 let grad = [
                     (dev.d, ev.d_vd),

@@ -10,13 +10,14 @@
 //! `remix_dsp::tone::CoherentPlan`); a fixed step that divides the sample
 //! interval exactly keeps tones on their bins.
 
+use crate::convergence::{AttemptOutcome, ConvergenceTrace, StageAttempt, TraceStage};
 use crate::error::AnalysisError;
-use crate::op::{dc_operating_point, OpOptions, OperatingPoint};
+use crate::op::{dc_operating_point, structural_diagnosis, OpOptions, OperatingPoint};
 use crate::stamp::{
     assemble_real, cap_companion_current, mos_cap_branches, CapState, ElementState, RealMode,
 };
 use remix_circuit::{Circuit, Element, MnaLayout, Node};
-use remix_numerics::{IntegrationMethod, SparseLu, TripletMatrix};
+use remix_numerics::{FactorError, IntegrationMethod, TripletMatrix};
 
 /// Options controlling a transient run.
 #[derive(Debug, Clone)]
@@ -203,8 +204,31 @@ impl<'a> Integrator<'a> {
         let mut rhs = vec![0.0; dim];
         let mut x = self.x.clone();
 
+        let mut attempt = StageAttempt::new(TraceStage::TranStep { t, h });
+        attempt.gmin = self.opts.gmin;
+        attempt.dv_max = 0.5;
+        let fail =
+            |mut attempt: StageAttempt, outcome: AttemptOutcome, ferr: Option<FactorError>| {
+                attempt.outcome = outcome;
+                let mut trace = ConvergenceTrace::new("transient step");
+                trace.push(attempt);
+                match ferr {
+                    Some(error) => AnalysisError::Singular {
+                        error,
+                        diagnosis: structural_diagnosis(self.circuit),
+                        trace,
+                    },
+                    None => AnalysisError::NoConvergence {
+                        context: format!("transient step at t = {t:.3e}"),
+                        iterations: attempt.iterations,
+                        trace,
+                    },
+                }
+            };
         let mut converged = false;
-        for _ in 0..self.opts.max_newton {
+        let max_newton = crate::fault::newton_cap(self.opts.max_newton);
+        for iter in 0..max_newton {
+            attempt.iterations = iter + 1;
             let mode = RealMode::Tran {
                 t,
                 gmin: self.opts.gmin,
@@ -221,8 +245,21 @@ impl<'a> Integrator<'a> {
                 &mut rhs,
                 None,
             );
-            let lu = SparseLu::factor(&m.to_csr())?;
-            let x_new = lu.solve(&rhs)?;
+            let lu = match crate::fault::factor(&m.to_csr()) {
+                Ok(lu) => lu,
+                Err(e) => {
+                    let outcome = match e {
+                        FactorError::Singular { step } => AttemptOutcome::Singular { step },
+                        _ => AttemptOutcome::NotFinite,
+                    };
+                    return Err(fail(attempt, outcome, Some(e)));
+                }
+            };
+            attempt.rcond = Some(lu.rcond_estimate());
+            let x_new = match lu.solve(&rhs) {
+                Ok(v) => v,
+                Err(e) => return Err(fail(attempt, AttemptOutcome::NotFinite, Some(e))),
+            };
             let mut max_dv: f64 = 0.0;
             for i in 0..self.layout.node_unknowns() {
                 max_dv = max_dv.max((x_new[i] - x[i]).abs());
@@ -232,11 +269,9 @@ impl<'a> Integrator<'a> {
             for i in 0..dim {
                 x[i] += alpha * (x_new[i] - x[i]);
             }
+            attempt.final_max_dv = max_dv * alpha;
             if !x.iter().all(|v| v.is_finite()) {
-                return Err(AnalysisError::NoConvergence {
-                    context: format!("transient step at t = {t:.3e} (diverged)"),
-                    iterations: self.opts.max_newton,
-                });
+                return Err(fail(attempt, AttemptOutcome::Diverged, None));
             }
             if max_dv * alpha < self.opts.v_tol {
                 converged = true;
@@ -244,10 +279,7 @@ impl<'a> Integrator<'a> {
             }
         }
         if !converged {
-            return Err(AnalysisError::NoConvergence {
-                context: format!("transient step at t = {t:.3e}"),
-                iterations: self.opts.max_newton,
-            });
+            return Err(fail(attempt, AttemptOutcome::MaxIterations, None));
         }
 
         // Commit dynamic states.
@@ -364,14 +396,25 @@ impl<'a> Integrator<'a> {
     ) -> Result<(), AnalysisError> {
         let mut pending = vec![(t_start, h_total, method)];
         let mut depth_guard = 0usize;
+        // The last failed Newton attempt: attached to a step-size
+        // underflow so the error explains *why* the halving cascade
+        // never found an acceptable step.
+        let mut last_trace = ConvergenceTrace::new("transient step");
         while let Some((t0, h, meth)) = pending.pop() {
             depth_guard += 1;
             if depth_guard > 4096 {
-                return Err(AnalysisError::StepSizeUnderflow { time: t0 });
+                return Err(AnalysisError::StepSizeUnderflow {
+                    time: t0,
+                    method: meth,
+                    trace: last_trace,
+                });
             }
             match self.step(t0 + h, h, meth) {
                 Ok(()) => {}
-                Err(AnalysisError::NoConvergence { .. }) if h > 1e-18 => {
+                Err(e @ AnalysisError::NoConvergence { .. }) if h > 1e-18 => {
+                    if let Some(t) = e.trace() {
+                        last_trace = t.clone();
+                    }
                     // Split: solve first half (BE for robustness), then
                     // second half.
                     pending.push((t0 + h / 2.0, h / 2.0, meth));

@@ -8,17 +8,25 @@
 //! cargo run --release -p remix-bench --bin baselines
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use remix_bench::shared_evaluator;
 use remix_core::baseline::{BaselineKind, BaselineMixer};
 use remix_core::{MixerConfig, MixerMode};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("baselines failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let eval = shared_evaluator();
     let base = MixerConfig::default();
     println!("building dedicated baselines (fresh extractions)…\n");
-    let ded_a = BaselineMixer::new(BaselineKind::DedicatedActive, &base).expect("dedicated active");
-    let ded_p =
-        BaselineMixer::new(BaselineKind::DedicatedPassive, &base).expect("dedicated passive");
+    let ded_a = BaselineMixer::new(BaselineKind::DedicatedActive, &base)?;
+    let ded_p = BaselineMixer::new(BaselineKind::DedicatedPassive, &base)?;
 
     println!(
         "{:<26} {:>9} {:>8} {:>10} {:>8}",
@@ -71,4 +79,5 @@ fn main() {
     println!("\nthe reconfigurable circuit gives up ≲2 dB to each dedicated");
     println!("design in its own specialty while replacing both — the paper's");
     println!("cost/power/area argument in numbers.");
+    Ok(())
 }

@@ -6,54 +6,70 @@
 //! cargo run --release -p remix-bench --bin corners
 //! ```
 
-use remix_core::corners::{Corner, ProcessCorner};
-use remix_core::model::{ExtractedParams, MixerModel};
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use remix_core::corners::{sweep_corners, Corner, ProcessCorner};
+use remix_core::model::MixerModel;
 use remix_core::{MixerConfig, MixerMode};
 
 fn main() {
     let base = MixerConfig::default();
+    // Keep the table tractable: off-TT corners only at 27 °C.
+    let mut corners = Vec::new();
+    for process in ProcessCorner::all() {
+        for temp_c in [-40.0, 27.0, 85.0] {
+            if process != ProcessCorner::Tt && temp_c != 27.0 {
+                continue;
+            }
+            corners.push(Corner {
+                process,
+                temp_c,
+                vdd: None,
+            });
+        }
+    }
+
     println!("PVT corner study (RF 2.45 GHz, IF 5 MHz)\n");
     println!(
         "{:>6} {:>6} {:>9} {:>9} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8}",
         "corner", "T(°C)", "CGa(dB)", "CGp(dB)", "NFa", "NFp", "IIP3a", "IIP3p", "Pa(mW)", "Pp(mW)"
     );
-    for process in ProcessCorner::all() {
-        for temp_c in [-40.0, 27.0, 85.0] {
-            // Keep the table tractable: off-TT corners only at 27 °C.
-            if process != ProcessCorner::Tt && temp_c != 27.0 {
-                continue;
+    let sweep = sweep_corners(&base, &corners);
+    for (corner, outcome) in &sweep.results {
+        match outcome.params() {
+            Some(params) => {
+                let cfg = corner.apply(&base);
+                let a = MixerModel::new(cfg.clone(), MixerMode::Active, params.clone());
+                let p = MixerModel::new(cfg, MixerMode::Passive, params.clone());
+                println!(
+                    "{:>6} {:>6.0} {:>9.1} {:>9.1} {:>8.1} {:>8.1} {:>10.1} {:>10.1} {:>8.2} {:>8.2}",
+                    corner.process.label(),
+                    corner.temp_c,
+                    a.conv_gain_db(2.45e9, 5e6),
+                    p.conv_gain_db(2.45e9, 5e6),
+                    a.nf_db(5e6),
+                    p.nf_db(5e6),
+                    a.iip3_dbm(),
+                    p.iip3_dbm(),
+                    a.power_mw(),
+                    p.power_mw(),
+                );
             }
-            let corner = Corner {
-                process,
-                temp_c,
-                vdd: None,
-            };
-            let cfg = corner.apply(&base);
-            match ExtractedParams::extract(&cfg) {
-                Ok(params) => {
-                    let a = MixerModel::new(cfg.clone(), MixerMode::Active, params.clone());
-                    let p = MixerModel::new(cfg, MixerMode::Passive, params);
-                    println!(
-                        "{:>6} {:>6.0} {:>9.1} {:>9.1} {:>8.1} {:>8.1} {:>10.1} {:>10.1} {:>8.2} {:>8.2}",
-                        process.label(),
-                        temp_c,
-                        a.conv_gain_db(2.45e9, 5e6),
-                        p.conv_gain_db(2.45e9, 5e6),
-                        a.nf_db(5e6),
-                        p.nf_db(5e6),
-                        a.iip3_dbm(),
-                        p.iip3_dbm(),
-                        a.power_mw(),
-                        p.power_mw(),
-                    );
-                }
-                Err(e) => println!(
-                    "{:>6} {:>6.0}  extraction failed: {e}",
-                    process.label(),
-                    temp_c
-                ),
-            }
+            None => println!(
+                "{:>6} {:>6.0}  extraction failed (full trace below)",
+                corner.process.label(),
+                corner.temp_c
+            ),
         }
+    }
+    println!("\n{}", sweep.summary_line());
+    for (corner, trace) in sweep.failures() {
+        println!(
+            "\n{} @ {:.0} °C failed:\n{}",
+            corner.process.label(),
+            corner.temp_c,
+            trace.render()
+        );
     }
     println!("\nexpected shape: FF fastest/highest gain, SS slowest; the");
     println!("active>passive gain and passive>active linearity orderings");

@@ -7,17 +7,26 @@
 //! cargo run --release -p remix-bench --bin fig10_iip3
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use remix_bench::{checked_plan, shared_evaluator};
 use remix_core::MixerMode;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("fig10 two-tone study failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     // Lint the two-tone FFT record (coherence, Nyquist, IM3 headroom)
     // before paying for extraction.
     let plan = checked_plan("fig10");
     println!(
         "two-tone record: n = {}, fs = {:.3} GHz (lint-clean)\n",
-        plan.fft_len.expect("fig10 plan declares an FFT"),
-        plan.sample_rate.expect("fig10 plan declares a rate") / 1e9,
+        plan.fft_len.ok_or("fig10 plan declares an FFT")?,
+        plan.sample_rate.ok_or("fig10 plan declares a rate")? / 1e9,
     );
 
     let eval = shared_evaluator();
@@ -28,9 +37,7 @@ fn main() {
         let m = eval.model(mode);
         let start = m.p1db_dbm() - 22.0;
         let pins: Vec<f64> = (0..10).map(|k| start + 2.0 * k as f64).collect();
-        let (sweep, result) = eval
-            .iip3_two_tone(mode, &pins)
-            .expect("two-tone extraction");
+        let (sweep, result) = eval.iip3_two_tone(mode, &pins)?;
 
         println!("{fig} — {} mode two-tone test (LO 2.4 GHz)\n", mode.label());
         println!(
@@ -65,4 +72,5 @@ fn main() {
         eval.model(MixerMode::Passive).iip3_dbm() - eval.model(MixerMode::Active).iip3_dbm(),
         6.57 - (-11.9),
     );
+    Ok(())
 }

@@ -5,15 +5,24 @@
 //! cargo run --release -p remix-bench --bin fig8_cg_vs_rf
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use remix_bench::{ascii_plot, checked_plan, shared_evaluator};
 use remix_core::MixerMode;
 use remix_rfkit::convgain::band_edges_3db;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("fig8 gain sweep failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     // Lint the sweep before paying for extraction; the grid is derived
     // from the linted plan so the two cannot drift apart.
     let plan = checked_plan("fig8");
-    let (f_min, f_max) = plan.sweep_band.expect("fig8 plan declares a sweep");
+    let (f_min, f_max) = plan.sweep_band.ok_or("fig8 plan declares a sweep")?;
 
     let eval = shared_evaluator();
     let f_if = 5e6;
@@ -67,4 +76,5 @@ fn main() {
         );
     }
     println!("\npaper: active 29.2 dB over 1–5.5 GHz; passive 25.5 dB over 0.5–5.1 GHz");
+    Ok(())
 }

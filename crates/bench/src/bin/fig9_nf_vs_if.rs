@@ -5,14 +5,23 @@
 //! cargo run --release -p remix-bench --bin fig9_nf_vs_if
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use remix_bench::{ascii_plot, checked_plan, shared_evaluator};
 use remix_core::MixerMode;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("fig9 noise sweep failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     // Lint the noise sweep (band must bracket the flicker corner and the
     // 5 MHz IF) before extraction; the grid derives from the linted plan.
     let plan = checked_plan("fig9");
-    let (if_min, if_max) = plan.noise_band.expect("fig9 plan declares a noise band");
+    let (if_min, if_max) = plan.noise_band.ok_or("fig9 plan declares a noise band")?;
 
     let eval = shared_evaluator();
     let f_rf = 2.45e9;
@@ -71,4 +80,5 @@ fn main() {
             .flicker_corner_hz()
             .map(|f| format!("{:.0} kHz", f / 1e3)),
     );
+    Ok(())
 }

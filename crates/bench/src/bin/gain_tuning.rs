@@ -9,16 +9,25 @@
 //! cargo run --release -p remix-bench --bin gain_tuning
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use remix_bench::shared_evaluator;
 use remix_core::MixerMode;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("gain-tuning study failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let eval = shared_evaluator();
 
     println!("active-mode gain vs Gm gate bias (2.45 GHz → 5 MHz)\n");
     println!("{:>10} {:>10}", "Vbias (V)", "CG (dB)");
     let biases: Vec<f64> = (0..8).map(|k| 0.45 + 0.05 * k as f64).collect();
-    for (vb, g) in eval.active_gain_vs_bias(&biases).expect("bias sweep") {
+    for (vb, g) in eval.active_gain_vs_bias(&biases)? {
         println!("{:>10.2} {:>10.2}", vb, g);
     }
 
@@ -29,9 +38,10 @@ fn main() {
         .iter()
         .map(|k| k * base_rf)
         .collect();
-    for (rf, g) in eval.passive_gain_vs_rf_feedback(&rfs).expect("rf sweep") {
+    for (rf, g) in eval.passive_gain_vs_rf_feedback(&rfs)? {
         println!("{:>10.0} {:>10.2}", rf, g);
     }
     println!("\neach 2× in RF buys ≈6 dB — the paper's \"another degree of");
     println!("freedom to configure the gain of the downconverter\".");
+    Ok(())
 }

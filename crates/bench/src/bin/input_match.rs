@@ -6,24 +6,30 @@
 //! cargo run --release -p remix-bench --bin input_match
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use remix_bench::shared_evaluator;
 use remix_core::MixerMode;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("input-match study failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let eval = shared_evaluator();
     let freqs: Vec<f64> = (1..=14).map(|k| 0.5e9 * k as f64).collect();
     println!("differential input S11 (dB re 100 Ω)\n");
     println!("{:>9} {:>10} {:>10}", "f (GHz)", "active", "passive");
-    let a = eval
-        .input_match_s11(MixerMode::Active, &freqs)
-        .expect("active S11");
-    let p = eval
-        .input_match_s11(MixerMode::Passive, &freqs)
-        .expect("passive S11");
+    let a = eval.input_match_s11(MixerMode::Active, &freqs)?;
+    let p = eval.input_match_s11(MixerMode::Passive, &freqs)?;
     for i in 0..freqs.len() {
         println!("{:>9.2} {:>10.1} {:>10.1}", freqs[i] / 1e9, a[i].1, p[i].1);
     }
     println!("\nthe match is set by the shared termination network, so the");
     println!("two modes track each other — reconfiguration does not disturb");
     println!("the RF port (no re-match needed on a mode switch).");
+    Ok(())
 }

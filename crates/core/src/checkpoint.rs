@@ -1,0 +1,455 @@
+//! Monte-Carlo checkpoint persistence.
+//!
+//! Long mismatch studies get interrupted — a laptop lid, a CI timeout, a
+//! faulted sample worth inspecting before continuing. This module writes
+//! every completed sample (pass *or* fail) to a small JSON file so
+//! [`iip2_study`](crate::montecarlo::iip2_study) can resume without
+//! recomputing. Per-sample RNG seeding makes the skip exact: sample `k`
+//! draws the same mismatch whether or not samples `0..k` were replayed.
+//!
+//! The JSON is hand-rolled (the workspace carries no serialization
+//! dependency) and deliberately small:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "seed": 53733,
+//!   "sigma_vt": 0.002,
+//!   "sigma_kp_frac": 0.005,
+//!   "samples": [
+//!     {"index": 0, "ok": true, "iip2_dbm": 66.2},
+//!     {"index": 7, "ok": false, "trace": "dc operating point: ..."}
+//!   ]
+//! }
+//! ```
+//!
+//! Failed samples persist their trace *summary* line only; the full
+//! attempt table lives in the process that observed the failure. A
+//! checkpoint whose mismatch configuration (seed or σ values) differs
+//! from the requested study is ignored rather than trusted — resuming
+//! someone else's run would silently mix distributions.
+
+use crate::montecarlo::{MismatchConfig, SampleOutcome};
+use remix_analysis::ConvergenceTrace;
+use std::fmt::Write as _;
+use std::path::Path;
+
+const VERSION: f64 = 1.0;
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the checkpoint document for `outcomes[i]` = sample `i`.
+///
+/// Non-finite IIP2 values (which should not occur — an `Ok` outcome is a
+/// solved sample) are dropped rather than emitted as invalid JSON, so
+/// the sample is simply recomputed on resume.
+pub fn render(mm: &MismatchConfig, outcomes: &[SampleOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"version\": {VERSION:?},");
+    let _ = writeln!(out, "  \"seed\": {},", mm.seed);
+    let _ = writeln!(out, "  \"sigma_vt\": {:?},", mm.sigma_vt);
+    let _ = writeln!(out, "  \"sigma_kp_frac\": {:?},", mm.sigma_kp_frac);
+    let _ = writeln!(out, "  \"samples\": [");
+    let mut first = true;
+    for (i, o) in outcomes.iter().enumerate() {
+        let line = match o {
+            SampleOutcome::Ok(v) if v.is_finite() => {
+                format!("    {{\"index\": {i}, \"ok\": true, \"iip2_dbm\": {v:?}}}")
+            }
+            SampleOutcome::Ok(_) => continue,
+            SampleOutcome::Failed(trace) => format!(
+                "    {{\"index\": {i}, \"ok\": false, \"trace\": \"{}\"}}",
+                escape_json(&trace.summary())
+            ),
+        };
+        if !first {
+            let _ = writeln!(out, ",");
+        }
+        let _ = write!(out, "{line}");
+        first = false;
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Writes the checkpoint for the completed `outcomes` to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the underlying write.
+pub fn save(path: &Path, mm: &MismatchConfig, outcomes: &[SampleOutcome]) -> std::io::Result<()> {
+    std::fs::write(path, render(mm, outcomes))
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, bools, null)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Option<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Json::Str),
+            b't' => self.eat_literal("true").map(|()| Json::Bool(true)),
+            b'f' => self.eat_literal("false").map(|()| Json::Bool(false)),
+            b'n' => self.eat_literal("null").map(|()| Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Json::Obj(pairs));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one full UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                    let ch = rest.chars().next()?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse::<f64>()
+            .ok()
+            .map(Json::Num)
+    }
+}
+
+fn parse(text: &str) -> Option<Json> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loader
+// ---------------------------------------------------------------------
+
+/// Parses checkpoint text into `(index, outcome)` pairs, or `None` when
+/// the document is malformed or was written for a different mismatch
+/// configuration (seed or σ mismatch).
+pub fn restore(text: &str, mm: &MismatchConfig) -> Option<Vec<(usize, SampleOutcome)>> {
+    let doc = parse(text)?;
+    if doc.get("version")?.as_num()? != VERSION {
+        return None;
+    }
+    let same_config = doc.get("seed")?.as_num()? == mm.seed as f64
+        && doc.get("sigma_vt")?.as_num()? == mm.sigma_vt
+        && doc.get("sigma_kp_frac")?.as_num()? == mm.sigma_kp_frac;
+    if !same_config {
+        return None;
+    }
+    let samples = match doc.get("samples")? {
+        Json::Arr(items) => items,
+        _ => return None,
+    };
+    let mut out = Vec::with_capacity(samples.len());
+    for s in samples {
+        let index = s.get("index")?.as_num()?;
+        if index < 0.0 || index.fract() != 0.0 {
+            return None;
+        }
+        let outcome = if s.get("ok")?.as_bool()? {
+            SampleOutcome::Ok(s.get("iip2_dbm")?.as_num()?)
+        } else {
+            SampleOutcome::Failed(ConvergenceTrace::new(s.get("trace")?.as_str()?))
+        };
+        out.push((index as usize, outcome));
+    }
+    Some(out)
+}
+
+/// Reads and validates the checkpoint at `path`; `None` when the file is
+/// missing, unreadable, malformed, or from a different configuration.
+pub fn load(path: &Path, mm: &MismatchConfig) -> Option<Vec<(usize, SampleOutcome)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    restore(&text, mm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm() -> MismatchConfig {
+        MismatchConfig::default()
+    }
+
+    #[test]
+    fn parser_handles_scalars_and_nesting() {
+        assert_eq!(parse("null"), Some(Json::Null));
+        assert_eq!(parse(" true "), Some(Json::Bool(true)));
+        assert_eq!(parse("-1.5e3"), Some(Json::Num(-1500.0)));
+        assert_eq!(parse(r#""a\"b\nA""#), Some(Json::Str("a\"b\nA".into())));
+        let doc = parse(r#"{"a": [1, {"b": false}], "c": "x"}"#).unwrap();
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        match doc.get("a") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items[0], Json::Num(1.0));
+                assert_eq!(items[1].get("b").and_then(Json::as_bool), Some(false));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        // Trailing garbage and truncation must not parse.
+        assert_eq!(parse("{} x"), None);
+        assert_eq!(parse(r#"{"a": "#), None);
+    }
+
+    #[test]
+    fn round_trips_passed_and_failed_samples() {
+        let outcomes = vec![
+            SampleOutcome::Ok(66.25),
+            SampleOutcome::Failed(ConvergenceTrace::new("dc operating point")),
+            SampleOutcome::Ok(58.0),
+        ];
+        let text = render(&mm(), &outcomes);
+        let restored = restore(&text, &mm()).unwrap();
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored[0], (0, SampleOutcome::Ok(66.25)));
+        assert_eq!(restored[2], (2, SampleOutcome::Ok(58.0)));
+        match &restored[1] {
+            (1, SampleOutcome::Failed(trace)) => {
+                assert!(trace.analysis.contains("dc operating point"));
+            }
+            other => panic!("expected failed sample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escaping_survives_hostile_trace_text() {
+        let trace = ConvergenceTrace::new("line\nwith \"quotes\" and \\slashes\\ and\ttabs");
+        let text = render(&mm(), &[SampleOutcome::Failed(trace.clone())]);
+        let restored = restore(&text, &mm()).unwrap();
+        match &restored[0].1 {
+            SampleOutcome::Failed(t) => assert!(t.analysis.contains("\"quotes\"")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_config_is_rejected() {
+        let text = render(&mm(), &[SampleOutcome::Ok(70.0)]);
+        let other_seed = MismatchConfig {
+            seed: mm().seed + 1,
+            ..mm()
+        };
+        assert!(restore(&text, &other_seed).is_none());
+        let other_sigma = MismatchConfig {
+            sigma_vt: 9e-3,
+            ..mm()
+        };
+        assert!(restore(&text, &other_sigma).is_none());
+        assert!(restore("not json at all", &mm()).is_none());
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped_not_emitted() {
+        let text = render(
+            &mm(),
+            &[SampleOutcome::Ok(f64::NAN), SampleOutcome::Ok(60.0)],
+        );
+        let restored = restore(&text, &mm()).unwrap();
+        assert_eq!(restored, vec![(1, SampleOutcome::Ok(60.0))]);
+    }
+}

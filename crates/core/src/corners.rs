@@ -7,6 +7,8 @@
 //! re-run the *entire* extraction flow — nothing is special-cased.
 
 use crate::config::MixerConfig;
+use crate::model::ExtractedParams;
+use remix_analysis::ConvergenceTrace;
 use remix_circuit::MosModel;
 
 /// The five classic process corners (NMOS letter first).
@@ -118,6 +120,99 @@ impl Corner {
     }
 }
 
+/// Outcome of one corner extraction.
+#[derive(Debug, Clone)]
+pub enum CornerOutcome {
+    /// The full extraction flow succeeded at this corner.
+    Ok(Box<ExtractedParams>),
+    /// The extraction failed; the trace records what the convergence
+    /// ladder tried before giving up.
+    Failed(ConvergenceTrace),
+}
+
+impl CornerOutcome {
+    /// `true` when the corner extracted.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CornerOutcome::Ok(_))
+    }
+
+    /// The extracted parameters, when the corner solved.
+    pub fn params(&self) -> Option<&ExtractedParams> {
+        match self {
+            CornerOutcome::Ok(p) => Some(p),
+            CornerOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure trace, when the corner did not solve.
+    pub fn trace(&self) -> Option<&ConvergenceTrace> {
+        match self {
+            CornerOutcome::Ok(_) => None,
+            CornerOutcome::Failed(t) => Some(t),
+        }
+    }
+}
+
+/// A completed corner sweep: one outcome per requested corner, in the
+/// order requested.
+#[derive(Debug, Clone)]
+pub struct CornerSweep {
+    /// `(corner, outcome)` pairs.
+    pub results: Vec<(Corner, CornerOutcome)>,
+}
+
+impl CornerSweep {
+    /// Number of corners that extracted.
+    pub fn n_ok(&self) -> usize {
+        self.results.iter().filter(|(_, o)| o.is_ok()).count()
+    }
+
+    /// Fraction of corners that extracted (1.0 for an empty sweep).
+    pub fn yield_fraction(&self) -> f64 {
+        if self.results.is_empty() {
+            1.0
+        } else {
+            self.n_ok() as f64 / self.results.len() as f64
+        }
+    }
+
+    /// `(corner, trace)` for every failed corner, in order.
+    pub fn failures(&self) -> impl Iterator<Item = (&Corner, &ConvergenceTrace)> {
+        self.results
+            .iter()
+            .filter_map(|(c, o)| o.trace().map(|t| (c, t)))
+    }
+
+    /// One-line yield summary, e.g. `corner yield 4/5 (80.0 %)`.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "corner yield {}/{} ({:.1} %)",
+            self.n_ok(),
+            self.results.len(),
+            100.0 * self.yield_fraction()
+        )
+    }
+}
+
+/// Runs the full extraction flow at every requested corner, isolating
+/// failures: a corner that refuses to converge is recorded with its
+/// convergence trace and the sweep continues to the next corner instead
+/// of aborting the design review at the first casualty.
+pub fn sweep_corners(base: &MixerConfig, corners: &[Corner]) -> CornerSweep {
+    let results = corners
+        .iter()
+        .map(|corner| {
+            let cfg = corner.apply(base);
+            let outcome = match ExtractedParams::extract(&cfg) {
+                Ok(params) => CornerOutcome::Ok(Box::new(params)),
+                Err(e) => CornerOutcome::Failed(crate::montecarlo::failure_trace(&e)),
+            };
+            (*corner, outcome)
+        })
+        .collect();
+    CornerSweep { results }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +288,52 @@ mod tests {
                 "{label}: active NF must not fall behind passive"
             );
         }
+    }
+
+    #[test]
+    fn corner_sweep_isolates_and_summarizes() {
+        let base = MixerConfig::default();
+        let sweep = sweep_corners(&base, &[Corner::typical()]);
+        assert_eq!(sweep.results.len(), 1);
+        assert_eq!(sweep.n_ok(), 1);
+        assert!(sweep.results[0].1.params().is_some());
+        assert!(sweep.failures().next().is_none());
+        assert_eq!(sweep.summary_line(), "corner yield 1/1 (100.0 %)");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn corner_sweep_keeps_going_past_failing_corners() {
+        use remix_analysis::FaultPlan;
+        let base = MixerConfig::default();
+        let corners: Vec<Corner> = [ProcessCorner::Tt, ProcessCorner::Ff, ProcessCorner::Ss]
+            .into_iter()
+            .map(|process| Corner {
+                process,
+                temp_c: 27.0,
+                vdd: None,
+            })
+            .collect();
+        // With every factorization failing, the sweep must still visit
+        // every corner and report 0 yield with a trace per casualty —
+        // not abort (or panic) at the first one.
+        let sweep = {
+            let _fault = FaultPlan::singular_pivot().arm();
+            sweep_corners(&base, &corners)
+        };
+        assert_eq!(sweep.results.len(), corners.len());
+        assert_eq!(sweep.n_ok(), 0);
+        assert_eq!(sweep.summary_line(), "corner yield 0/3 (0.0 %)");
+        for (corner, trace) in sweep.failures() {
+            assert!(
+                !trace.is_empty(),
+                "{}: failed corner must carry its ladder trace",
+                corner.process.label()
+            );
+        }
+        // Disarmed, the same sweep recovers.
+        let healthy = sweep_corners(&base, &corners[..1]);
+        assert_eq!(healthy.n_ok(), 1);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 pub mod baseline;
 pub mod bias;
+pub mod checkpoint;
 pub mod config;
 pub mod corners;
 pub mod eval;
@@ -55,7 +56,7 @@ pub mod tg;
 pub mod tia;
 
 pub use config::{MixerConfig, MixerMode};
-pub use corners::{Corner, ProcessCorner};
+pub use corners::{sweep_corners, Corner, CornerOutcome, CornerSweep, ProcessCorner};
 pub use eval::MixerEvaluator;
 pub use mixer::{LoDrive, MixerNodes, ReconfigurableMixer, RfDrive};
 pub use model::{ExtractedParams, MixerModel};

@@ -149,7 +149,7 @@ pub fn extract_gm_pair_poly(cfg: &MixerConfig) -> Result<Poly3, AnalysisError> {
         .iter()
         .map(|p| p.branch_current(probe_p) - p.branch_current(probe_n))
         .collect();
-    let c = polyfit(&x, &idiff, 3).map_err(AnalysisError::Singular)?;
+    let c = polyfit(&x, &idiff, 3).map_err(AnalysisError::singular)?;
     Ok(Poly3 {
         a1: c[1],
         a2: c[2],

@@ -158,7 +158,7 @@ pub fn characterize(cfg: &MixerConfig) -> Result<TcaParams, AnalysisError> {
         .iter()
         .map(|p| p.branch_current(probe))
         .collect();
-    let coeffs = polyfit(&x, &i_out, 3).map_err(AnalysisError::Singular)?;
+    let coeffs = polyfit(&x, &i_out, 3).map_err(AnalysisError::singular)?;
     let poly = Poly3 {
         a1: coeffs[1],
         a2: coeffs[2],

@@ -70,6 +70,8 @@ pub struct LuFactor<T> {
     perm: Vec<usize>,
     /// Parity of the permutation, used for determinants.
     sign_flips: usize,
+    /// Largest |a_ij| of the factored matrix (for pivot-growth estimates).
+    scale: f64,
 }
 
 /// Relative pivot threshold below which the matrix is declared singular.
@@ -138,6 +140,7 @@ impl<T: Scalar> LuFactor<T> {
             lu,
             perm,
             sign_flips,
+            scale,
         })
     }
 
@@ -219,6 +222,25 @@ impl<T: Scalar> LuFactor<T> {
             0.0
         } else {
             min / max
+        }
+    }
+
+    /// Reciprocal pivot growth `max |aᵢⱼ| / max |uᵢⱼ|`: values far below
+    /// one mean elimination amplified entries beyond the original matrix
+    /// scale, i.e. the factorization is numerically suspect even though
+    /// every pivot cleared the singularity threshold.
+    pub fn recip_pivot_growth(&self) -> f64 {
+        let n = self.dim();
+        let mut umax = 0.0f64;
+        for r in 0..n {
+            for c in r..n {
+                umax = umax.max(self.lu[(r, c)].magnitude());
+            }
+        }
+        if umax == 0.0 {
+            0.0
+        } else {
+            (self.scale / umax).min(1.0)
         }
     }
 }
@@ -350,6 +372,13 @@ mod tests {
         let mut bad = DenseMatrix::<f64>::identity(3);
         bad[(2, 2)] = 1e-12;
         assert!(LuFactor::factor(&bad).unwrap().rcond_estimate() < 1e-10);
+    }
+
+    #[test]
+    fn pivot_growth_benign_on_dominant_system() {
+        let a = DenseMatrix::from_rows(2, 2, vec![4.0, 1.0, 2.0, 3.0]);
+        let g = LuFactor::factor(&a).unwrap().recip_pivot_growth();
+        assert!(g > 0.5 && g <= 1.0, "growth {g}");
     }
 
     #[test]

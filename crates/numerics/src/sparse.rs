@@ -219,6 +219,8 @@ pub struct SparseLu<T> {
     upper: Vec<Vec<(usize, T)>>,
     /// Row permutation applied to the RHS.
     perm: Vec<usize>,
+    /// Largest |a_ij| of the factored matrix (for pivot-growth estimates).
+    scale: f64,
 }
 
 /// Pivot tolerance relative to the largest candidate in the column.
@@ -345,6 +347,7 @@ impl<T: Scalar> SparseLu<T> {
             lower,
             upper,
             perm,
+            scale,
         })
     }
 
@@ -357,6 +360,44 @@ impl<T: Scalar> SparseLu<T> {
     pub fn fill_nnz(&self) -> usize {
         self.lower.iter().map(Vec::len).sum::<usize>()
             + self.upper.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Crude reciprocal condition estimate from the pivot magnitudes:
+    /// `min |Uᵢᵢ| / max |Uᵢᵢ|`. Cheap (one pass over the stored diagonal)
+    /// and sufficient for flagging near-singular circuit matrices —
+    /// floating nodes held up only by gmin, broken feedback loops —
+    /// where a solve *succeeds* numerically but deserves distrust.
+    pub fn rcond_estimate(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for row in &self.upper {
+            // Diagonal is stored first in each upper row.
+            let m = row[0].1.magnitude();
+            min = min.min(m);
+            max = max.max(m);
+        }
+        if max == 0.0 {
+            0.0
+        } else {
+            min / max
+        }
+    }
+
+    /// Reciprocal pivot growth `max |aᵢⱼ| / max |uᵢⱼ|`: values far below
+    /// one mean elimination amplified entries, i.e. the threshold-pivoting
+    /// factorization was numerically unstable on this matrix.
+    pub fn recip_pivot_growth(&self) -> f64 {
+        let mut umax = 0.0f64;
+        for row in &self.upper {
+            for &(_, v) in row {
+                umax = umax.max(v.magnitude());
+            }
+        }
+        if umax == 0.0 {
+            0.0
+        } else {
+            (self.scale / umax).min(1.0)
+        }
     }
 
     /// Solves `A·x = b`.
@@ -506,6 +547,46 @@ mod tests {
         for (l, r) in ax.iter().zip(b.iter()) {
             assert!((*l - *r).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn sparse_rcond_flags_bad_conditioning() {
+        let mut good = TripletMatrix::new(3, 3);
+        for i in 0..3 {
+            good.push(i, i, 1.0);
+        }
+        let lu = SparseLu::factor(&good.to_csr()).unwrap();
+        assert!(lu.rcond_estimate() > 0.9);
+        assert!((lu.recip_pivot_growth() - 1.0).abs() < 1e-12);
+
+        let mut bad = TripletMatrix::new(3, 3);
+        bad.push(0, 0, 1.0);
+        bad.push(1, 1, 1.0);
+        bad.push(2, 2, 1e-12);
+        let lu = SparseLu::factor(&bad.to_csr()).unwrap();
+        assert!(lu.rcond_estimate() < 1e-10, "{}", lu.rcond_estimate());
+    }
+
+    #[test]
+    fn sparse_rcond_matches_dense_on_random_system() {
+        let n = 10;
+        let mut state = 0xC0FFEEu64;
+        let mut t = TripletMatrix::new(n, n);
+        for r in 0..n {
+            t.push(r, r, 4.0 + lcg(&mut state).abs());
+            let c = ((lcg(&mut state).abs() * n as f64) as usize).min(n - 1);
+            t.push(r, c, lcg(&mut state));
+        }
+        let sp = SparseLu::factor(&t.to_csr()).unwrap();
+        // Same order of magnitude as the dense estimate (pivot orders can
+        // differ): both are crude estimators, not exact condition numbers.
+        let de = crate::lu::LuFactor::factor(&t.to_dense()).unwrap();
+        let (a, b) = (sp.rcond_estimate(), de.rcond_estimate());
+        assert!(a > 0.0 && b > 0.0);
+        assert!(
+            a / b < 100.0 && b / a < 100.0,
+            "sparse {a:.3e} dense {b:.3e}"
+        );
     }
 
     #[test]
