@@ -64,7 +64,9 @@ impl AcResult {
 ///
 /// [`AnalysisError::Lint`] when the implied sweep plan fails the `SIM`
 /// rules; [`AnalysisError::Singular`] if the complex system cannot be
-/// factored at some frequency.
+/// factored at some frequency; [`AnalysisError::BudgetExceeded`] if a
+/// [`RunBudget`](remix_exec::RunBudget) armed on this thread runs out
+/// between frequency points.
 pub fn ac_sweep(
     circuit: &Circuit,
     op: &OperatingPoint,
@@ -77,6 +79,15 @@ pub fn ac_sweep(
     let mut rhs = vec![Complex::ZERO; dim];
     let mut solutions = Vec::with_capacity(freqs.len());
     for &f in freqs {
+        if let Err(i) = remix_exec::checkpoint() {
+            return Err(AnalysisError::interrupted_at(
+                "ac sweep",
+                crate::convergence::TraceStage::AcPoint { f },
+                i,
+                solutions.len(),
+                freqs.len(),
+            ));
+        }
         let omega = 2.0 * std::f64::consts::PI * f;
         assemble_ac(
             circuit,

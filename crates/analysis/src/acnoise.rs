@@ -143,7 +143,9 @@ impl NoiseResult {
 ///
 /// [`AnalysisError::Lint`] when the implied noise plan fails the `SIM`
 /// rules; [`AnalysisError::Singular`] if the AC system cannot be
-/// factored.
+/// factored; [`AnalysisError::BudgetExceeded`] if a
+/// [`RunBudget`](remix_exec::RunBudget) armed on this thread runs out
+/// between frequency points.
 pub fn output_noise(
     circuit: &Circuit,
     op: &OperatingPoint,
@@ -165,6 +167,15 @@ pub fn output_noise(
         .collect();
 
     for (fi, &f) in freqs.iter().enumerate() {
+        if let Err(i) = remix_exec::checkpoint() {
+            return Err(AnalysisError::interrupted_at(
+                "ac noise",
+                crate::convergence::TraceStage::AcPoint { f },
+                i,
+                fi,
+                freqs.len(),
+            ));
+        }
         let omega = 2.0 * std::f64::consts::PI * f;
         assemble_ac(
             circuit,

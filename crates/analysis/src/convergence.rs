@@ -187,6 +187,9 @@ pub enum AttemptOutcome {
         /// Measured residual (V).
         residual: f64,
     },
+    /// The run budget armed on this thread interrupted the attempt
+    /// (deadline, cancellation, or an iteration/step/matrix-size limit).
+    Interrupted(remix_exec::Interruption),
 }
 
 impl fmt::Display for AttemptOutcome {
@@ -200,6 +203,7 @@ impl fmt::Display for AttemptOutcome {
             AttemptOutcome::ResidualAbove { residual } => {
                 write!(f, "residual {residual:.3e} above tolerance")
             }
+            AttemptOutcome::Interrupted(i) => write!(f, "interrupted: {i}"),
         }
     }
 }

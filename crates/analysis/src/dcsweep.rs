@@ -1,7 +1,9 @@
 //! DC sweep: repeated operating points while stepping one source.
 
-use crate::error::AnalysisError;
+use crate::convergence::{StageKind, TraceStage};
+use crate::error::{AnalysisError, PartialProgress};
 use crate::op::{dc_operating_point, OpOptions, OperatingPoint};
+use crate::partial::{Interrupted, Partial};
 use remix_circuit::{Circuit, Element, Node, Waveform};
 
 /// Result of a DC sweep.
@@ -24,19 +26,15 @@ impl DcSweepResult {
     }
 }
 
-/// Sweeps the DC value of the named voltage source.
-///
-/// # Errors
-///
-/// * [`AnalysisError::UnknownProbe`] if the source does not exist or is
-///   not a voltage source;
-/// * any operating-point error at a sweep value.
-pub fn dc_sweep(
+/// Shared sweep driver: solves each value in order, stopping early on a
+/// budget interruption and returning the completed prefix with the
+/// interruption record.
+fn dc_sweep_inner(
     circuit: &Circuit,
     source_name: &str,
     values: &[f64],
     opts: &OpOptions,
-) -> Result<DcSweepResult, AnalysisError> {
+) -> Result<(DcSweepResult, Option<Interrupted>), AnalysisError> {
     let id = circuit
         .find_element(source_name)
         .ok_or_else(|| AnalysisError::UnknownProbe {
@@ -49,15 +47,99 @@ pub fn dc_sweep(
     }
     let mut work = circuit.clone();
     let mut points = Vec::with_capacity(values.len());
+    let mut interrupted = None;
     for &v in values {
+        // Sweep-point boundary: stop *between* points so the prefix
+        // below is always a set of fully converged operating points.
+        if let Err(i) = remix_exec::checkpoint() {
+            interrupted = Some(Interrupted::at(
+                "dc sweep",
+                TraceStage::Dc(StageKind::Direct),
+                i,
+            ));
+            break;
+        }
         if let Element::VoltageSource { wave, .. } = work.element_mut(id) {
             *wave = Waveform::Dc(v);
         }
-        points.push(dc_operating_point(&work, opts)?);
+        match dc_operating_point(&work, opts) {
+            Ok(op) => points.push(op),
+            Err(AnalysisError::BudgetExceeded {
+                interruption,
+                trace,
+                ..
+            }) => {
+                interrupted = Some(Interrupted {
+                    interruption,
+                    trace,
+                });
+                break;
+            }
+            Err(e) => return Err(e),
+        }
     }
-    Ok(DcSweepResult {
-        values: values.to_vec(),
-        points,
+    let completed = points.len();
+    Ok((
+        DcSweepResult {
+            values: values[..completed].to_vec(),
+            points,
+        },
+        interrupted,
+    ))
+}
+
+/// Sweeps the DC value of the named voltage source.
+///
+/// # Errors
+///
+/// * [`AnalysisError::UnknownProbe`] if the source does not exist or is
+///   not a voltage source;
+/// * [`AnalysisError::BudgetExceeded`] if a
+///   [`RunBudget`](remix_exec::RunBudget) armed on this thread runs out
+///   between or inside sweep points (use [`dc_sweep_partial`] to keep
+///   the completed prefix instead);
+/// * any operating-point error at a sweep value.
+pub fn dc_sweep(
+    circuit: &Circuit,
+    source_name: &str,
+    values: &[f64],
+    opts: &OpOptions,
+) -> Result<DcSweepResult, AnalysisError> {
+    let total = values.len();
+    let (res, interrupted) = dc_sweep_inner(circuit, source_name, values, opts)?;
+    match interrupted {
+        None => Ok(res),
+        Some(i) => Err(AnalysisError::BudgetExceeded {
+            interruption: i.interruption,
+            trace: i.trace,
+            partial: PartialProgress {
+                analysis: "dc sweep".into(),
+                completed: res.points.len(),
+                total,
+            },
+        }),
+    }
+}
+
+/// Sweeps the DC value of the named voltage source, degrading
+/// gracefully under a budget: when the
+/// [`RunBudget`](remix_exec::RunBudget) armed on this thread runs out,
+/// returns the operating points completed so far as a [`Partial`]
+/// carrying the interruption and its trace.
+///
+/// # Errors
+///
+/// Same as [`dc_sweep`], except a budget interruption is not an error.
+pub fn dc_sweep_partial(
+    circuit: &Circuit,
+    source_name: &str,
+    values: &[f64],
+    opts: &OpOptions,
+) -> Result<Partial<DcSweepResult>, AnalysisError> {
+    let (res, interrupted) = dc_sweep_inner(circuit, source_name, values, opts)?;
+    Ok(match interrupted {
+        None => Partial::complete(res),
+        Some(i) => Partial::interrupted(res, i),
     })
 }
 
@@ -110,6 +192,47 @@ mod tests {
         }
         assert!(curve[0].1 > 1.1);
         assert!(curve[curve.len() - 1].1 < 0.1);
+    }
+
+    #[test]
+    fn newton_budget_keeps_completed_prefix() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("vin", a, Circuit::gnd(), Waveform::Dc(0.0));
+        c.add_resistor("r1", a, b, 1e3);
+        c.add_resistor("r2", b, Circuit::gnd(), 1e3);
+        let vals = [0.0, 0.5, 1.0, 1.5];
+        let token = remix_exec::RunBudget::unlimited()
+            .with_newton_iterations(5)
+            .token();
+        let _guard = token.arm();
+        let partial = dc_sweep_partial(&c, "vin", &vals, &OpOptions::default()).unwrap();
+        assert!(!partial.is_complete());
+        assert!(partial.value.points.len() < vals.len());
+        assert_eq!(partial.value.values.len(), partial.value.points.len());
+        // The prefix holds only fully converged, correct points.
+        for (vin, vout) in partial.value.voltage_curve(b) {
+            assert!((vout - vin / 2.0).abs() < 1e-9, "({vin}, {vout})");
+        }
+        let why = partial.interruption.as_ref().unwrap();
+        assert_eq!(
+            why.interruption,
+            remix_exec::Interruption::NewtonIterations { limit: 5 }
+        );
+        assert!(!why.trace.is_empty());
+        // The strict entry point reports the same prefix as an error.
+        let token2 = remix_exec::RunBudget::unlimited()
+            .with_newton_iterations(5)
+            .token();
+        let _guard2 = token2.arm();
+        match dc_sweep(&c, "vin", &vals, &OpOptions::default()) {
+            Err(AnalysisError::BudgetExceeded { partial: p, .. }) => {
+                assert_eq!(p.completed, partial.value.points.len());
+                assert_eq!(p.total, vals.len());
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
     }
 
     #[test]

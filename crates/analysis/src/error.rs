@@ -14,6 +14,37 @@ use remix_numerics::{FactorError, IntegrationMethod};
 use std::error::Error;
 use std::fmt;
 
+/// How far an analysis got before a budget interruption stopped it.
+///
+/// Rides inside [`AnalysisError::BudgetExceeded`] as a small,
+/// comparable summary; analyses that can hand back the completed data
+/// itself do so through their `*_partial` entry points, which return
+/// [`Partial<T>`](crate::partial::Partial) instead of an error.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartialProgress {
+    /// The analysis that was interrupted (e.g. `"transient"`).
+    pub analysis: String,
+    /// Points / timesteps / samples completed before the interruption.
+    pub completed: usize,
+    /// Total planned units, when known up front (`0` when open-ended,
+    /// e.g. an adaptive transient).
+    pub total: usize,
+}
+
+impl fmt::Display for PartialProgress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.total > 0 {
+            write!(
+                f,
+                "{}: {}/{} units completed",
+                self.analysis, self.completed, self.total
+            )
+        } else {
+            write!(f, "{}: {} units completed", self.analysis, self.completed)
+        }
+    }
+}
+
 /// Errors produced by the analysis engines.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnalysisError {
@@ -58,6 +89,18 @@ pub enum AnalysisError {
         /// Description of the missing probe.
         probe: String,
     },
+    /// The [`RunBudget`](remix_exec::RunBudget) armed on this thread ran
+    /// out (deadline, cancellation, iteration/timestep limit, or a
+    /// matrix-size refusal) before the analysis finished.
+    BudgetExceeded {
+        /// Which budget dimension tripped.
+        interruption: remix_exec::Interruption,
+        /// Attempts made up to and including the interrupted one — never
+        /// empty, so a zero-deadline run still explains itself.
+        trace: ConvergenceTrace,
+        /// How far the analysis got.
+        partial: PartialProgress,
+    },
 }
 
 impl AnalysisError {
@@ -81,6 +124,9 @@ impl AnalysisError {
         error: FactorError,
     ) -> Self {
         use crate::convergence::{AttemptOutcome, StageAttempt, TraceStage};
+        if let FactorError::Budget(i) = error {
+            return AnalysisError::interrupted_at(analysis, TraceStage::AcPoint { f }, i, 0, 0);
+        }
         let mut attempt = StageAttempt::new(TraceStage::AcPoint { f });
         attempt.iterations = 1;
         attempt.outcome = match error {
@@ -96,13 +142,49 @@ impl AnalysisError {
         }
     }
 
+    /// Wraps a budget interruption observed mid-analysis: records a
+    /// single-attempt trace naming the interrupted stage, so even a
+    /// zero-deadline run returns a non-empty explanation.
+    pub(crate) fn interrupted_at(
+        analysis: &str,
+        stage: crate::convergence::TraceStage,
+        interruption: remix_exec::Interruption,
+        completed: usize,
+        total: usize,
+    ) -> Self {
+        use crate::convergence::{AttemptOutcome, StageAttempt};
+        let mut attempt = StageAttempt::new(stage);
+        attempt.outcome = AttemptOutcome::Interrupted(interruption);
+        let mut trace = ConvergenceTrace::new(analysis);
+        trace.push(attempt);
+        AnalysisError::BudgetExceeded {
+            interruption,
+            trace,
+            partial: PartialProgress {
+                analysis: analysis.into(),
+                completed,
+                total,
+            },
+        }
+    }
+
+    /// The budget interruption behind this error, when it is a
+    /// [`AnalysisError::BudgetExceeded`].
+    pub fn interruption(&self) -> Option<remix_exec::Interruption> {
+        match self {
+            AnalysisError::BudgetExceeded { interruption, .. } => Some(*interruption),
+            _ => None,
+        }
+    }
+
     /// The convergence trace attached to this error, when the variant
     /// carries one.
     pub fn trace(&self) -> Option<&ConvergenceTrace> {
         match self {
             AnalysisError::Singular { trace, .. }
             | AnalysisError::NoConvergence { trace, .. }
-            | AnalysisError::StepSizeUnderflow { trace, .. } => Some(trace),
+            | AnalysisError::StepSizeUnderflow { trace, .. }
+            | AnalysisError::BudgetExceeded { trace, .. } => Some(trace),
             AnalysisError::Lint(_) | AnalysisError::UnknownProbe { .. } => None,
         }
     }
@@ -112,7 +194,8 @@ impl AnalysisError {
         match &mut self {
             AnalysisError::Singular { trace, .. }
             | AnalysisError::NoConvergence { trace, .. }
-            | AnalysisError::StepSizeUnderflow { trace, .. } => *trace = new,
+            | AnalysisError::StepSizeUnderflow { trace, .. }
+            | AnalysisError::BudgetExceeded { trace, .. } => *trace = new,
             AnalysisError::Lint(_) | AnalysisError::UnknownProbe { .. } => {}
         }
         self
@@ -177,6 +260,17 @@ impl fmt::Display for AnalysisError {
                 Ok(())
             }
             AnalysisError::UnknownProbe { probe } => write!(f, "unknown probe: {probe}"),
+            AnalysisError::BudgetExceeded {
+                interruption,
+                trace,
+                partial,
+            } => {
+                write!(f, "run budget exceeded: {interruption} ({partial})")?;
+                if !trace.is_empty() {
+                    write!(f, "\n{}", trace.render())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -279,6 +373,31 @@ mod tests {
             attached.attempts[0].outcome,
             AttemptOutcome::Singular { step: 2 }
         );
+    }
+
+    #[test]
+    fn budget_exceeded_carries_nonempty_trace_and_progress() {
+        let e = AnalysisError::interrupted_at(
+            "dc sweep",
+            TraceStage::Dc(StageKind::Direct),
+            remix_exec::Interruption::DeadlineExpired { budget_ms: 0 },
+            3,
+            11,
+        );
+        assert_eq!(
+            e.interruption(),
+            Some(remix_exec::Interruption::DeadlineExpired { budget_ms: 0 })
+        );
+        let trace = e.trace().expect("BudgetExceeded carries a trace");
+        assert!(!trace.is_empty());
+        assert!(matches!(
+            trace.attempts[0].outcome,
+            AttemptOutcome::Interrupted(_)
+        ));
+        let text = e.to_string();
+        assert!(text.contains("run budget exceeded"), "{text}");
+        assert!(text.contains("3/11"), "{text}");
+        assert!(text.contains("convergence trace"), "{text}");
     }
 
     #[test]

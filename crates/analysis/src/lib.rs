@@ -46,6 +46,7 @@ pub mod dcsweep;
 pub mod error;
 pub mod fault;
 pub mod op;
+pub mod partial;
 pub mod plan;
 pub mod power;
 pub mod pss;
@@ -61,15 +62,16 @@ pub use convergence::{
     AttemptOutcome, ConvergencePolicy, ConvergenceTrace, StageAttempt, StageKind, TraceStage,
     ILL_CONDITION_RCOND,
 };
-pub use dcsweep::{dc_sweep, DcSweepResult};
-pub use error::AnalysisError;
+pub use dcsweep::{dc_sweep, dc_sweep_partial, DcSweepResult};
+pub use error::{AnalysisError, PartialProgress};
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultGuard, FaultKind, FaultPlan};
 pub use op::{dc_operating_point, OpOptions, OperatingPoint};
+pub use partial::{Interrupted, Partial};
 pub use plan::{fastest_stimulus, noise_plan, pss_plan, sweep_plan, tran_plan};
 pub use power::{supply_power, PowerReport};
-pub use pss::{periodic_steady_state, PeriodicSteadyState, PssOptions};
+pub use pss::{periodic_steady_state, PeriodicSteadyState, PssDegrade, PssOptions};
 pub use report::{bias_warnings, device_table, node_table};
-pub use tran::{transient, AdaptiveOptions, TranOptions, TranResult};
+pub use tran::{transient, transient_partial, AdaptiveOptions, TranOptions, TranResult};
 pub use trannoise::{noise_transient, NoiseTranConfig};
 pub use twoport::{input_impedance, two_port_y, SParams, YParams};

@@ -17,7 +17,7 @@ use crate::convergence::{
     AttemptOutcome, ConvergencePolicy, ConvergenceTrace, StageAttempt, StageKind, TraceStage,
     ILL_CONDITION_RCOND,
 };
-use crate::error::AnalysisError;
+use crate::error::{AnalysisError, PartialProgress};
 use crate::stamp::{assemble_real, RealMode};
 use remix_circuit::{Circuit, Element, ElementId, MnaLayout, MosCaps, MosEval, Node};
 use remix_numerics::{FactorError, TripletMatrix};
@@ -131,6 +131,10 @@ struct StageRun {
     converged: bool,
     /// The factorization failure that ended the run, if one did.
     factor_error: Option<FactorError>,
+    /// The budget interruption that ended the run, if one did. Unlike a
+    /// convergence failure this must not trigger further homotopy stages
+    /// or damping retries — the caller unwinds immediately.
+    interrupted: Option<remix_exec::Interruption>,
 }
 
 /// Runs one damped fixed-point stage at the given gmin / source scale /
@@ -160,6 +164,15 @@ fn converge_stage(
 
     let max_iter = crate::fault::newton_cap(opts.max_iter);
     for iter in 0..max_iter {
+        if let Err(i) = remix_exec::charge_newton_iteration() {
+            attempt.outcome = AttemptOutcome::Interrupted(i);
+            return StageRun {
+                attempt,
+                converged: false,
+                factor_error: None,
+                interrupted: Some(i),
+            };
+        }
         attempt.iterations = iter + 1;
         assemble_real(circuit, layout, x, &mode, &mut m, &mut rhs, Some(mos_evals));
         if diag_load > 0.0 {
@@ -175,10 +188,12 @@ fn converge_stage(
             Ok(lu) => lu,
             Err(e) => {
                 attempt.outcome = factor_outcome(&e);
+                let interrupted = budget_refusal(&e);
                 return StageRun {
                     attempt,
                     converged: false,
                     factor_error: Some(e),
+                    interrupted,
                 };
             }
         };
@@ -187,10 +202,12 @@ fn converge_stage(
             Ok(v) => v,
             Err(e) => {
                 attempt.outcome = factor_outcome(&e);
+                let interrupted = budget_refusal(&e);
                 return StageRun {
                     attempt,
                     converged: false,
                     factor_error: Some(e),
+                    interrupted,
                 };
             }
         };
@@ -220,6 +237,7 @@ fn converge_stage(
                 attempt,
                 converged: false,
                 factor_error: None,
+                interrupted: None,
             };
         }
         if max_change < opts.v_tol && alpha == 1.0 {
@@ -228,6 +246,7 @@ fn converge_stage(
                 attempt,
                 converged: true,
                 factor_error: None,
+                interrupted: None,
             };
         }
     }
@@ -236,6 +255,7 @@ fn converge_stage(
         attempt,
         converged: false,
         factor_error: None,
+        interrupted: None,
     }
 }
 
@@ -243,13 +263,24 @@ fn converge_stage(
 fn factor_outcome(e: &FactorError) -> AttemptOutcome {
     match e {
         FactorError::Singular { step } => AttemptOutcome::Singular { step: *step },
+        FactorError::Budget(i) => AttemptOutcome::Interrupted(*i),
         _ => AttemptOutcome::NotFinite,
     }
 }
 
+/// The budget interruption behind a factorization refusal, if that is
+/// what the error is.
+fn budget_refusal(e: &FactorError) -> Option<remix_exec::Interruption> {
+    match e {
+        FactorError::Budget(i) => Some(*i),
+        _ => None,
+    }
+}
+
 /// Walks one ladder stage of a [`ConvergencePolicy`], pushing every
-/// attempt into `trace`. Returns whether the stage converged and the
-/// last factorization failure seen inside it, if any.
+/// attempt into `trace`. Returns whether the stage converged, the last
+/// factorization failure seen inside it, and the budget interruption
+/// that cut it short, if any.
 #[allow(clippy::too_many_arguments)]
 fn run_stage(
     kind: StageKind,
@@ -260,13 +291,20 @@ fn run_stage(
     target_gmin: f64,
     mos_evals: &mut Vec<Option<MosEval>>,
     trace: &mut ConvergenceTrace,
-) -> (bool, Option<FactorError>) {
+) -> (bool, Option<FactorError>, Option<remix_exec::Interruption>) {
     x.iter_mut().for_each(|v| *v = 0.0);
     let stage = TraceStage::Dc(kind);
     let mut last_ferr: Option<FactorError> = None;
-    let record = |run: StageRun, ferr: &mut Option<FactorError>, t: &mut ConvergenceTrace| {
+    let mut interrupted: Option<remix_exec::Interruption> = None;
+    let record = |run: StageRun,
+                  ferr: &mut Option<FactorError>,
+                  intr: &mut Option<remix_exec::Interruption>,
+                  t: &mut ConvergenceTrace| {
         if run.factor_error.is_some() {
             *ferr = run.factor_error;
+        }
+        if run.interrupted.is_some() {
+            *intr = run.interrupted;
         }
         let ok = run.converged;
         t.push(run.attempt);
@@ -285,7 +323,7 @@ fn run_stage(
                 stage_opts,
                 mos_evals,
             );
-            record(run, &mut last_ferr, trace)
+            record(run, &mut last_ferr, &mut interrupted, trace)
         }
         StageKind::GminLadder { start } => {
             let mut ok = true;
@@ -293,7 +331,7 @@ fn run_stage(
                 let run = converge_stage(
                     circuit, layout, x, g, 1.0, 0.0, stage, stage_opts, mos_evals,
                 );
-                if !record(run, &mut last_ferr, trace) {
+                if !record(run, &mut last_ferr, &mut interrupted, trace) {
                     ok = false;
                     break;
                 }
@@ -316,7 +354,7 @@ fn run_stage(
                     stage_opts,
                     mos_evals,
                 );
-                if !record(run, &mut last_ferr, trace) {
+                if !record(run, &mut last_ferr, &mut interrupted, trace) {
                     ok = false;
                     break;
                 }
@@ -344,7 +382,10 @@ fn run_stage(
                     stage_opts,
                     mos_evals,
                 );
-                record(run, &mut last_ferr, trace);
+                record(run, &mut last_ferr, &mut interrupted, trace);
+                if interrupted.is_some() {
+                    return (false, last_ferr, interrupted);
+                }
                 if !x.iter().all(|v| v.is_finite()) {
                     x.iter_mut().for_each(|v| *v = 0.0);
                 }
@@ -361,10 +402,10 @@ fn run_stage(
                 stage_opts,
                 mos_evals,
             );
-            record(run, &mut last_ferr, trace)
+            record(run, &mut last_ferr, &mut interrupted, trace)
         }
     };
-    (converged, last_ferr)
+    (converged, last_ferr, interrupted)
 }
 
 /// Computes the DC operating point of a circuit.
@@ -378,7 +419,11 @@ fn run_stage(
 /// * [`AnalysisError::NoConvergence`] if every policy stage fails; the
 ///   attached [`ConvergenceTrace`] records each attempt, and any
 ///   warn-level lint findings are appended to the error context, since
-///   they often explain the stall.
+///   they often explain the stall;
+/// * [`AnalysisError::BudgetExceeded`] if a
+///   [`RunBudget`](remix_exec::RunBudget) armed on this thread ran out
+///   mid-solve — the homotopy ladder unwinds immediately (no further
+///   stages or damping retries) with the interrupted attempt recorded.
 pub fn dc_operating_point(
     circuit: &Circuit,
     opts: &OpOptions,
@@ -406,7 +451,7 @@ pub fn dc_operating_point(
             ..opts.clone()
         };
         for kind in &opts.policy.stages {
-            let (ok, ferr) = run_stage(
+            let (ok, ferr, interrupted) = run_stage(
                 *kind,
                 circuit,
                 &layout,
@@ -418,6 +463,17 @@ pub fn dc_operating_point(
             );
             if ferr.is_some() {
                 last_factor_error = ferr;
+            }
+            if let Some(i) = interrupted {
+                return Err(AnalysisError::BudgetExceeded {
+                    interruption: i,
+                    trace,
+                    partial: PartialProgress {
+                        analysis: "dc operating point".into(),
+                        completed: 0,
+                        total: 0,
+                    },
+                });
             }
             if ok {
                 converged = true;
@@ -825,6 +881,72 @@ mod tests {
                 .any(|d| d.contains("ERC012") && d.contains("ctrl")),
             "expected an ERC012 finding naming 'ctrl', got {diag:?}"
         );
+    }
+
+    #[test]
+    fn zero_deadline_interrupts_with_nonempty_trace() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.0));
+        c.add_resistor("r1", a, Circuit::gnd(), 1e3);
+        let token = remix_exec::RunBudget::unlimited()
+            .with_deadline(std::time::Duration::ZERO)
+            .token();
+        let _guard = token.arm();
+        match dc_operating_point(&c, &OpOptions::default()) {
+            Err(AnalysisError::BudgetExceeded {
+                interruption,
+                trace,
+                partial,
+            }) => {
+                assert!(matches!(
+                    interruption,
+                    remix_exec::Interruption::DeadlineExpired { .. }
+                ));
+                assert!(!trace.is_empty(), "interrupted attempt must be recorded");
+                assert_eq!(partial.analysis, "dc operating point");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn newton_budget_interrupts_mid_ladder() {
+        // A nonlinear bias point needs more than 2 Newton iterations;
+        // the iteration budget must stop the ladder without retries.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("r1", vdd, d, 10e3);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            d,
+            d,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        let token = remix_exec::RunBudget::unlimited()
+            .with_newton_iterations(2)
+            .token();
+        let _guard = token.arm();
+        match dc_operating_point(&c, &OpOptions::default()) {
+            Err(AnalysisError::BudgetExceeded {
+                interruption,
+                trace,
+                ..
+            }) => {
+                assert_eq!(
+                    interruption,
+                    remix_exec::Interruption::NewtonIterations { limit: 2 }
+                );
+                assert!(trace.total_iterations() <= 2, "{}", trace.render());
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
     }
 
     #[test]

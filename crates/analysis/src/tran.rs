@@ -11,8 +11,9 @@
 //! interval exactly keeps tones on their bins.
 
 use crate::convergence::{AttemptOutcome, ConvergenceTrace, StageAttempt, TraceStage};
-use crate::error::AnalysisError;
+use crate::error::{AnalysisError, PartialProgress};
 use crate::op::{dc_operating_point, structural_diagnosis, OpOptions, OperatingPoint};
+use crate::partial::{Interrupted, Partial};
 use crate::stamp::{
     assemble_real, cap_companion_current, mos_cap_branches, CapState, ElementState, RealMode,
 };
@@ -228,6 +229,20 @@ impl<'a> Integrator<'a> {
         let mut converged = false;
         let max_newton = crate::fault::newton_cap(self.opts.max_newton);
         for iter in 0..max_newton {
+            if let Err(i) = remix_exec::charge_newton_iteration() {
+                attempt.outcome = AttemptOutcome::Interrupted(i);
+                let mut trace = ConvergenceTrace::new("transient step");
+                trace.push(attempt);
+                return Err(AnalysisError::BudgetExceeded {
+                    interruption: i,
+                    trace,
+                    partial: PartialProgress {
+                        analysis: "transient".into(),
+                        completed: 0,
+                        total: 0,
+                    },
+                });
+            }
             attempt.iterations = iter + 1;
             let mode = RealMode::Tran {
                 t,
@@ -247,6 +262,20 @@ impl<'a> Integrator<'a> {
             );
             let lu = match crate::fault::factor(&m.to_csr()) {
                 Ok(lu) => lu,
+                Err(FactorError::Budget(i)) => {
+                    attempt.outcome = AttemptOutcome::Interrupted(i);
+                    let mut trace = ConvergenceTrace::new("transient step");
+                    trace.push(attempt);
+                    return Err(AnalysisError::BudgetExceeded {
+                        interruption: i,
+                        trace,
+                        partial: PartialProgress {
+                            analysis: "transient".into(),
+                            completed: 0,
+                            total: 0,
+                        },
+                    });
+                }
                 Err(e) => {
                     let outcome = match e {
                         FactorError::Singular { step } => AttemptOutcome::Singular { step },
@@ -427,16 +456,15 @@ impl<'a> Integrator<'a> {
     }
 }
 
-/// Runs a transient simulation.
-///
-/// # Errors
-///
-/// [`AnalysisError::Lint`] when the implied simulation plan fails the
-/// `SIM` rules (e.g. `SIM001`: the timestep cannot resolve the fastest
-/// stimulus in the netlist). Otherwise propagates operating-point
-/// errors, singular-matrix errors, Newton non-convergence (after
-/// sub-division down to femtosecond steps), and step-size underflow.
-pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, AnalysisError> {
+/// Shared transient driver: integrates the full grid, stopping early on
+/// a budget interruption. Returns the recorded prefix (always
+/// internally consistent — points land only after their step fully
+/// converged), the interruption if one occurred, and the planned step
+/// count.
+fn transient_inner(
+    circuit: &Circuit,
+    opts: &TranOptions,
+) -> Result<(TranResult, Option<Interrupted>, usize), AnalysisError> {
     crate::plan::gate(&crate::plan::tran_plan(circuit, opts))?;
     let mut integ = Integrator::init(circuit, opts)?;
     let n_steps = (opts.t_stop / opts.h).round() as usize;
@@ -448,8 +476,17 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, An
     }
     let mut estimators = vec![remix_numerics::LteEstimator::new(); integ.layout.node_unknowns()];
     let mut h_state = opts.h;
+    let mut interrupted = None;
     for k in 0..n_steps {
         let t0 = k as f64 * opts.h;
+        if let Err(i) = remix_exec::charge_timestep() {
+            interrupted = Some(Interrupted::at(
+                "transient",
+                TraceStage::TranStep { t: t0, h: opts.h },
+                i,
+            ));
+            break;
+        }
         // First grid step uses BE to damp the turn-on transient of the
         // companion history (standard SPICE practice).
         let method = if k == 0 {
@@ -457,11 +494,24 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, An
         } else {
             opts.method
         };
-        match &opts.adaptive {
-            Some(a) => {
-                integ.advance_adaptive(t0, opts.h, method, a, &mut estimators, &mut h_state)?
+        let advanced = match &opts.adaptive {
+            Some(a) => integ.advance_adaptive(t0, opts.h, method, a, &mut estimators, &mut h_state),
+            None => integ.advance(t0, opts.h, method),
+        };
+        match advanced {
+            Ok(()) => {}
+            Err(AnalysisError::BudgetExceeded {
+                interruption,
+                trace,
+                ..
+            }) => {
+                interrupted = Some(Interrupted {
+                    interruption,
+                    trace,
+                });
+                break;
             }
-            None => integ.advance(t0, opts.h, method)?,
+            Err(e) => return Err(e),
         }
         let t1 = (k + 1) as f64 * opts.h;
         if t1 >= opts.record_start {
@@ -469,10 +519,65 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, An
             solutions.push(integ.x.clone());
         }
     }
-    Ok(TranResult {
-        layout: integ.layout,
-        times,
-        solutions,
+    Ok((
+        TranResult {
+            layout: integ.layout,
+            times,
+            solutions,
+        },
+        interrupted,
+        n_steps,
+    ))
+}
+
+/// Runs a transient simulation.
+///
+/// # Errors
+///
+/// [`AnalysisError::Lint`] when the implied simulation plan fails the
+/// `SIM` rules (e.g. `SIM001`: the timestep cannot resolve the fastest
+/// stimulus in the netlist). Otherwise propagates operating-point
+/// errors, singular-matrix errors, Newton non-convergence (after
+/// sub-division down to femtosecond steps), step-size underflow, and
+/// [`AnalysisError::BudgetExceeded`] when a
+/// [`RunBudget`](remix_exec::RunBudget) armed on this thread runs out
+/// mid-run (use [`transient_partial`] to keep the completed prefix
+/// instead).
+pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, AnalysisError> {
+    let (res, interrupted, n_steps) = transient_inner(circuit, opts)?;
+    match interrupted {
+        None => Ok(res),
+        Some(i) => Err(AnalysisError::BudgetExceeded {
+            interruption: i.interruption,
+            trace: i.trace,
+            partial: PartialProgress {
+                analysis: "transient".into(),
+                completed: res.len(),
+                total: n_steps + 1,
+            },
+        }),
+    }
+}
+
+/// Runs a transient simulation, degrading gracefully under a budget:
+/// when the [`RunBudget`](remix_exec::RunBudget) armed on this thread
+/// runs out mid-run, returns the completed prefix of the waveform as a
+/// [`Partial`] carrying the interruption and its trace, instead of
+/// discarding the work behind an error.
+///
+/// # Errors
+///
+/// Same as [`transient`], except a budget interruption *after* the
+/// initial operating point is not an error (one during the operating
+/// point still is: there is no prefix worth returning).
+pub fn transient_partial(
+    circuit: &Circuit,
+    opts: &TranOptions,
+) -> Result<Partial<TranResult>, AnalysisError> {
+    let (res, interrupted, _) = transient_inner(circuit, opts)?;
+    Ok(match interrupted {
+        None => Partial::complete(res),
+        Some(i) => Partial::interrupted(res, i),
     })
 }
 
@@ -696,6 +801,70 @@ mod tests {
         // During the pulse: output low.
         let during: f64 = v[t.iter().position(|&x| x > 2.5e-9).unwrap()];
         assert!(during < 0.1, "during = {during}");
+    }
+
+    fn rc_fixture() -> (Circuit, Node) {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("v1", vin, Circuit::gnd(), Waveform::sine(0.5, 1e6));
+        c.add_resistor("r1", vin, out, 1e3);
+        c.add_capacitor("c1", out, Circuit::gnd(), 1e-9);
+        (c, out)
+    }
+
+    #[test]
+    fn timestep_budget_returns_clean_partial_prefix() {
+        let (c, _) = rc_fixture();
+        let token = remix_exec::RunBudget::unlimited()
+            .with_timesteps(10)
+            .token();
+        let _guard = token.arm();
+        let partial = transient_partial(&c, &TranOptions::new(1e-6, 1e-8)).unwrap();
+        assert!(!partial.is_complete());
+        // Initial point + exactly the charged steps; never half-written.
+        assert_eq!(partial.value.len(), 11, "got {}", partial.value.len());
+        assert!(partial
+            .value
+            .solutions
+            .iter()
+            .flatten()
+            .all(|v| v.is_finite()));
+        let why = partial.interruption.as_ref().unwrap();
+        assert_eq!(
+            why.interruption,
+            remix_exec::Interruption::Timesteps { limit: 10 }
+        );
+        assert!(!why.trace.is_empty());
+    }
+
+    #[test]
+    fn strict_transient_maps_interruption_to_budget_exceeded() {
+        let (c, _) = rc_fixture();
+        let token = remix_exec::RunBudget::unlimited().with_timesteps(3).token();
+        let _guard = token.arm();
+        match transient(&c, &TranOptions::new(1e-6, 1e-8)) {
+            Err(AnalysisError::BudgetExceeded { trace, partial, .. }) => {
+                assert!(!trace.is_empty());
+                assert_eq!(partial.analysis, "transient");
+                assert_eq!(partial.completed, 4);
+                assert_eq!(partial.total, 101);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbudgeted_partial_is_complete() {
+        let (c, out) = rc_fixture();
+        let full = transient(&c, &TranOptions::new(1e-6, 1e-8)).unwrap();
+        let partial = transient_partial(&c, &TranOptions::new(1e-6, 1e-8)).unwrap();
+        assert!(partial.is_complete());
+        assert_eq!(partial.value.len(), full.len());
+        assert_eq!(
+            partial.value.voltage_waveform(out),
+            full.voltage_waveform(out)
+        );
     }
 
     #[test]

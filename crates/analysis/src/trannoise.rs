@@ -63,7 +63,10 @@ impl Default for NoiseTranConfig {
 /// [`AnalysisError::Lint`] when the implied simulation plan fails the
 /// `SIM` rules (checked here against the *original* netlist, before the
 /// noise sources are injected); otherwise propagates operating-point and
-/// transient errors.
+/// transient errors, including [`AnalysisError::BudgetExceeded`] when a
+/// [`RunBudget`](remix_exec::RunBudget) armed on this thread runs out
+/// (checked before the noise paths are synthesized and throughout the
+/// underlying operating-point and transient solves).
 pub fn noise_transient(
     circuit: &Circuit,
     opts: &TranOptions,
@@ -74,6 +77,18 @@ pub fn noise_transient(
     let fs = 1.0 / opts.h;
     let n_samples = (opts.t_stop / opts.h).ceil() as usize + 2;
     let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Boundary check before committing to the (potentially megasample)
+    // noise-path synthesis below.
+    if let Err(i) = remix_exec::checkpoint() {
+        return Err(AnalysisError::interrupted_at(
+            "noise transient",
+            crate::convergence::TraceStage::TranStep { t: 0.0, h: opts.h },
+            i,
+            0,
+            0,
+        ));
+    }
 
     let mut noisy = circuit.clone();
     let mut source_count = 0usize;

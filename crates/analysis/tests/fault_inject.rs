@@ -274,6 +274,50 @@ fn op_recovers_from_a_single_poisoned_eval() {
     );
 }
 
+#[test]
+fn budget_trip_during_gmin_stepping_traces_both_fault_and_interruption() {
+    // One poisoned eval fails the direct stage and forces the gmin
+    // ladder; a Newton budget sized past the direct attempt then trips
+    // *inside* the ladder. The single trace must tell the whole story:
+    // the fault's NotFinite attempt and the interrupted ladder rung.
+    use remix_analysis::{AttemptOutcome, StageKind};
+
+    let c = amp();
+    let _fault = FaultPlan::nan_eval().for_events(1).arm();
+    let token = remix_exec::RunBudget::unlimited()
+        .with_newton_iterations(8)
+        .token();
+    let _budget = token.arm();
+    match dc_operating_point(&c, &OpOptions::default()) {
+        Err(AnalysisError::BudgetExceeded {
+            interruption,
+            trace,
+            ..
+        }) => {
+            assert_eq!(
+                interruption,
+                remix_exec::Interruption::NewtonIterations { limit: 8 }
+            );
+            assert!(
+                trace
+                    .attempts
+                    .iter()
+                    .any(|a| a.outcome == AttemptOutcome::NotFinite),
+                "the fault's failed attempt should be on record: {}",
+                trace.render()
+            );
+            let last = trace.attempts.last().unwrap();
+            assert!(
+                matches!(last.stage, TraceStage::Dc(StageKind::GminLadder { .. })),
+                "the budget should trip in the gmin ladder: {}",
+                trace.render()
+            );
+            assert_eq!(last.outcome, AttemptOutcome::Interrupted(interruption));
+        }
+        other => panic!("expected BudgetExceeded from the gmin ladder, got {other:?}"),
+    }
+}
+
 /// Compact deterministic random netlist (R/C/V/MOS) for the panic sweep.
 fn random_netlist(seed: u64, n_elements: usize) -> Circuit {
     let mut state = seed | 1;

@@ -47,6 +47,13 @@ fn row(label: &str, cfg: &MixerConfig) {
 }
 
 fn main() {
+    remix_bench::run_bin("ablation study", || {
+        run();
+        Ok(())
+    })
+}
+
+fn run() {
     let base = MixerConfig::default();
     println!("ablation of design mechanisms (CG/NF/IIP3 at 2.45 GHz, 5 MHz IF)\n");
     println!(

@@ -10,19 +10,16 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use remix_bench::shared_evaluator;
+use remix_bench::try_shared_evaluator;
 use remix_core::baseline::{BaselineKind, BaselineMixer};
 use remix_core::{MixerConfig, MixerMode};
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("baselines failed: {e}");
-        std::process::exit(1);
-    }
+    remix_bench::run_bin("baselines", run)
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let eval = shared_evaluator();
+    let eval = try_shared_evaluator()?;
     let base = MixerConfig::default();
     println!("building dedicated baselines (fresh extractions)…\n");
     let ded_a = BaselineMixer::new(BaselineKind::DedicatedActive, &base)?;

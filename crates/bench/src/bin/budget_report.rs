@@ -12,6 +12,13 @@ use remix_core::MixerMode;
 use remix_rfkit::budget::budget_table;
 
 fn main() {
+    remix_bench::run_bin("budget report", || {
+        run();
+        Ok(())
+    })
+}
+
+fn run() {
     let eval = shared_evaluator();
     for mode in [MixerMode::Active, MixerMode::Passive] {
         let m = eval.model(mode);

@@ -5,14 +5,28 @@
 //! ```text
 //! cargo run --release -p remix-bench --bin corners
 //! ```
+//!
+//! Set `REMIX_CORNERS_CHECKPOINT=<path>` to persist a version-2 study
+//! checkpoint after every corner: a deadline-interrupted run (see
+//! `REMIX_BENCH_DEADLINE_MS`) then resumes from it, computing only the
+//! corners it has not finished.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use remix_core::corners::{sweep_corners, Corner, ProcessCorner};
+use remix_core::corners::{sweep_corners_resumable, Corner, ProcessCorner};
 use remix_core::model::MixerModel;
 use remix_core::{MixerConfig, MixerMode};
+use std::path::PathBuf;
+
+/// Environment variable naming the study-checkpoint file; unset means
+/// no persistence (and no resume).
+const CHECKPOINT_ENV: &str = "REMIX_CORNERS_CHECKPOINT";
 
 fn main() {
+    remix_bench::run_bin("corner sweep", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let base = MixerConfig::default();
     // Keep the table tractable: off-TT corners only at 27 °C.
     let mut corners = Vec::new();
@@ -34,7 +48,9 @@ fn main() {
         "{:>6} {:>6} {:>9} {:>9} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8}",
         "corner", "T(°C)", "CGa(dB)", "CGp(dB)", "NFa", "NFp", "IIP3a", "IIP3p", "Pa(mW)", "Pp(mW)"
     );
-    let sweep = sweep_corners(&base, &corners);
+    let ckpt = std::env::var_os(CHECKPOINT_ENV).map(PathBuf::from);
+    let partial = sweep_corners_resumable(&base, &corners, ckpt.as_deref());
+    let sweep = &partial.value;
     for (corner, outcome) in &sweep.results {
         match outcome.params() {
             Some(params) => {
@@ -62,7 +78,12 @@ fn main() {
             ),
         }
     }
-    println!("\n{}", sweep.summary_line());
+    println!(
+        "\n{} ({} computed, {} resumed from checkpoint)",
+        sweep.summary_line(),
+        sweep.computed,
+        sweep.resumed
+    );
     for (corner, trace) in sweep.failures() {
         println!(
             "\n{} @ {:.0} °C failed:\n{}",
@@ -71,7 +92,19 @@ fn main() {
             trace.render()
         );
     }
+    if let Some(why) = &partial.interruption {
+        return Err(format!(
+            "interrupted ({}) after {} of {} corners; rerun with the same {} to finish the rest\n{}",
+            why.interruption,
+            sweep.results.len(),
+            corners.len(),
+            CHECKPOINT_ENV,
+            why.trace.render()
+        )
+        .into());
+    }
     println!("\nexpected shape: FF fastest/highest gain, SS slowest; the");
     println!("active>passive gain and passive>active linearity orderings");
     println!("hold at every corner (asserted in remix-core::corners tests).");
+    Ok(())
 }

@@ -9,14 +9,11 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use remix_bench::{checked_plan, shared_evaluator};
+use remix_bench::{checked_plan, try_shared_evaluator};
 use remix_core::MixerMode;
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("fig10 two-tone study failed: {e}");
-        std::process::exit(1);
-    }
+    remix_bench::run_bin("fig10 two-tone study", run)
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,7 +26,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         plan.sample_rate.ok_or("fig10 plan declares a rate")? / 1e9,
     );
 
-    let eval = shared_evaluator();
+    let eval = try_shared_evaluator()?;
     for (fig, mode) in [
         ("Fig. 10(a)", MixerMode::Passive),
         ("Fig. 10(b)", MixerMode::Active),

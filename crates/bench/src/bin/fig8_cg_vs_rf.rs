@@ -7,15 +7,12 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use remix_bench::{ascii_plot, checked_plan, shared_evaluator};
+use remix_bench::{ascii_plot, checked_plan, try_shared_evaluator};
 use remix_core::MixerMode;
 use remix_rfkit::convgain::band_edges_3db;
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("fig8 gain sweep failed: {e}");
-        std::process::exit(1);
-    }
+    remix_bench::run_bin("fig8 gain sweep", run)
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,7 +21,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let plan = checked_plan("fig8");
     let (f_min, f_max) = plan.sweep_band.ok_or("fig8 plan declares a sweep")?;
 
-    let eval = shared_evaluator();
+    let eval = try_shared_evaluator()?;
     let f_if = 5e6;
     // The paper sweeps 0.5–7 GHz.
     let step = 0.25e9;

@@ -7,14 +7,11 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use remix_bench::{ascii_plot, checked_plan, shared_evaluator};
+use remix_bench::{ascii_plot, checked_plan, try_shared_evaluator};
 use remix_core::MixerMode;
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("fig9 noise sweep failed: {e}");
-        std::process::exit(1);
-    }
+    remix_bench::run_bin("fig9 noise sweep", run)
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,7 +20,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let plan = checked_plan("fig9");
     let (if_min, if_max) = plan.noise_band.ok_or("fig9 plan declares a noise band")?;
 
-    let eval = shared_evaluator();
+    let eval = try_shared_evaluator()?;
     let f_rf = 2.45e9;
     // Log sweep 1 kHz .. 100 MHz like the paper's x axis, 5 pts/decade.
     let points = (5.0 * (if_max / if_min).log10()).round() as usize;

@@ -11,18 +11,15 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use remix_bench::shared_evaluator;
+use remix_bench::try_shared_evaluator;
 use remix_core::MixerMode;
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("gain-tuning study failed: {e}");
-        std::process::exit(1);
-    }
+    remix_bench::run_bin("gain-tuning study", run)
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let eval = shared_evaluator();
+    let eval = try_shared_evaluator()?;
 
     println!("active-mode gain vs Gm gate bias (2.45 GHz → 5 MHz)\n");
     println!("{:>10} {:>10}", "Vbias (V)", "CG (dB)");

@@ -8,18 +8,15 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use remix_bench::shared_evaluator;
+use remix_bench::try_shared_evaluator;
 use remix_core::MixerMode;
 
 fn main() {
-    if let Err(e) = run() {
-        eprintln!("input-match study failed: {e}");
-        std::process::exit(1);
-    }
+    remix_bench::run_bin("input-match study", run)
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let eval = shared_evaluator();
+    let eval = try_shared_evaluator()?;
     let freqs: Vec<f64> = (1..=14).map(|k| 0.5e9 * k as f64).collect();
     println!("differential input S11 (dB re 100 Ω)\n");
     println!("{:>9} {:>10} {:>10}", "f (GHz)", "active", "passive");

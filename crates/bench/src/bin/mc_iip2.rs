@@ -57,6 +57,13 @@ fn run(label: &str, mm: &MismatchConfig) {
 }
 
 fn main() {
+    remix_bench::run_bin("monte-carlo iip2 study", || {
+        generate();
+        Ok(())
+    })
+}
+
+fn generate() {
     println!("Monte-Carlo IIP2 vs device matching (TCA halves perturbed)");
     run(
         "raw Pelgrom matching",

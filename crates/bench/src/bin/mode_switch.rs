@@ -13,6 +13,13 @@ use remix_bench::shared_evaluator;
 use remix_core::MixerMode;
 
 fn main() {
+    remix_bench::run_bin("mode-switch transient", || {
+        run();
+        Ok(())
+    })
+}
+
+fn run() {
     let eval = shared_evaluator();
     println!("live mode-switch transient (LO 1.2 GHz, IF 5 MHz, ~40 devices)\n");
     for (first, second) in [

@@ -13,6 +13,13 @@ use remix_core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
 use remix_core::{MixerConfig, MixerMode};
 
 fn main() {
+    remix_bench::run_bin("op report", || {
+        run();
+        Ok(())
+    })
+}
+
+fn run() {
     let mixer = ReconfigurableMixer::new(MixerConfig::default());
     for mode in [MixerMode::Active, MixerMode::Passive] {
         let (ckt, _) = mixer.build(mode, &RfDrive::Bias, &LoDrive::held(2.4e9));

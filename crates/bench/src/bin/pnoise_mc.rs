@@ -20,6 +20,13 @@ use remix_dsp::psd::welch;
 use remix_dsp::window::Window;
 
 fn main() {
+    remix_bench::run_bin("pnoise monte-carlo", || {
+        run();
+        Ok(())
+    })
+}
+
+fn run() {
     let eval = shared_evaluator();
     let f_lo = 0.48e9; // sub-band LO keeps the step count tractable
     println!("Monte-Carlo transient noise vs analytic model (LO 0.48 GHz)\n");

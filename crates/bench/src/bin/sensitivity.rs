@@ -12,6 +12,13 @@ use remix_core::sensitivity::{sensitivity_table, standard_knobs};
 use remix_core::MixerConfig;
 
 fn main() {
+    remix_bench::run_bin("sensitivity study", || {
+        run();
+        Ok(())
+    })
+}
+
+fn run() {
     let base = MixerConfig::default();
     println!("metric change per +10% knob change (dB / dBm)\n");
     println!(

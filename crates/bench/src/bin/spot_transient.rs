@@ -13,6 +13,13 @@ use remix_bench::shared_evaluator;
 use remix_core::MixerMode;
 
 fn main() {
+    remix_bench::run_bin("spot transient", || {
+        run();
+        Ok(())
+    })
+}
+
+fn run() {
     let eval = shared_evaluator();
     println!("transistor-level transient vs behavioral model\n");
     println!(

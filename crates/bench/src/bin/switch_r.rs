@@ -18,6 +18,13 @@ use remix_core::tg::{size_tg_load, tg_load_conductance};
 use remix_core::MixerConfig;
 
 fn main() {
+    remix_bench::run_bin("switch-resistance curves", || {
+        run();
+        Ok(())
+    })
+}
+
+fn run() {
     let cfg = MixerConfig::default();
 
     println!(

@@ -31,6 +31,13 @@ fn print_row(r: &MixerSpecRow) {
 }
 
 fn main() {
+    remix_bench::run_bin("table1", || {
+        run();
+        Ok(())
+    })
+}
+
+fn run() {
     // Lint the compression record before paying for extraction.
     let _plan = checked_plan("table1");
 

@@ -16,15 +16,88 @@
 //! on the workloads behind those artifacts.
 
 use remix_core::{eval::MixerEvaluator, MixerConfig};
+use remix_exec::{JobError, JobOutcome, RunBudget, Supervisor, SupervisorOptions};
 use remix_lint::{lint_plan, LintConfig, SimPlan};
 use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Environment variable capping a supervised bench run's wall clock in
+/// milliseconds (see [`run_bin`]). Unset or unparsable means unlimited.
+pub const DEADLINE_ENV: &str = "REMIX_BENCH_DEADLINE_MS";
+
+fn bin_budget() -> RunBudget {
+    match std::env::var(DEADLINE_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(ms) => RunBudget::unlimited().with_deadline(Duration::from_millis(ms)),
+        None => RunBudget::unlimited(),
+    }
+}
+
+/// Shared driver for the bench binaries: runs `body` as one supervised
+/// job ([`remix_exec::Supervisor`]) and turns its outcome into the
+/// process exit status, replacing the per-bin `if let Err(e) = run()` /
+/// `exit(1)` boilerplate.
+///
+/// * The body executes with a fresh budget token armed on the thread.
+///   Set [`DEADLINE_ENV`] (`REMIX_BENCH_DEADLINE_MS`) to cap the wall
+///   clock: a watchdog thread then trips the token past the deadline
+///   and every budget-hooked analysis returns
+///   `AnalysisError::BudgetExceeded` — with its convergence trace —
+///   instead of running long.
+/// * Errors print as `<label> failed: <error>` and exit with status 1
+///   (analysis errors render their attempt table through `Display`).
+/// * Panics are caught by the supervisor and print as
+///   `<label> panicked: <payload>`, exiting with status 101 like an
+///   unsupervised panic would.
+pub fn run_bin(label: &str, mut body: impl FnMut() -> Result<(), Box<dyn std::error::Error>>) -> ! {
+    let sup = Supervisor::new(SupervisorOptions {
+        budget: bin_budget(),
+        // Figure regeneration is deterministic: a failed run would fail
+        // again, so spend no retries on it.
+        max_retries: 0,
+        ..SupervisorOptions::default()
+    });
+    let report = sup.run(label, |_token| {
+        body().map_err(|e| JobError::Fatal(e.to_string()))
+    });
+    match report.outcome {
+        JobOutcome::Done(()) => std::process::exit(0),
+        JobOutcome::Failed(msg) => {
+            eprintln!("{label} failed: {msg}");
+            std::process::exit(1);
+        }
+        JobOutcome::Panicked(msg) => {
+            eprintln!("{label} panicked: {msg}");
+            std::process::exit(101);
+        }
+    }
+}
+
+/// Shared evaluator for all binaries/benches (extraction is seconds),
+/// propagating extraction failure — including a tripped run budget —
+/// as an error instead of panicking. The first outcome (pass or fail)
+/// is cached for the life of the process.
+pub fn try_shared_evaluator() -> Result<&'static MixerEvaluator, remix_analysis::AnalysisError> {
+    static CACHE: OnceLock<Result<MixerEvaluator, remix_analysis::AnalysisError>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| MixerEvaluator::new(&MixerConfig::default()))
+        .as_ref()
+        .map_err(Clone::clone)
+}
 
 /// Shared evaluator for all binaries/benches (extraction is seconds).
+///
+/// # Panics
+///
+/// If the extraction fails; fallible callers should prefer
+/// [`try_shared_evaluator`].
 pub fn shared_evaluator() -> &'static MixerEvaluator {
-    static CACHE: OnceLock<MixerEvaluator> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        MixerEvaluator::new(&MixerConfig::default()).expect("mixer extraction failed")
-    })
+    match try_shared_evaluator() {
+        Ok(eval) => eval,
+        Err(e) => panic!("mixer extraction failed: {e}"),
+    }
 }
 
 /// Looks up the shipped measurement plan `label` (see
@@ -75,7 +148,7 @@ pub fn ascii_plot(
         out.push_str(&format!("{name:>10} |"));
         for &(_, y) in s.iter() {
             let lvl = ((y - ymin) / span * 9.0).round() as usize;
-            out.push(char::from_digit(lvl.min(9) as u32, 10).unwrap());
+            out.push(char::from_digit(lvl.min(9) as u32, 10).unwrap_or('9'));
         }
         out.push('\n');
     }

@@ -28,6 +28,32 @@
 //! checkpoint whose mismatch configuration (seed or σ values) differs
 //! from the requested study is ignored rather than trusted — resuming
 //! someone else's run would silently mix distributions.
+//!
+//! ## Generic study checkpoints (version 2)
+//!
+//! The Monte-Carlo format above is pinned (version 1) and stays as-is.
+//! Other interruptible sweeps — corner sweeps today, any indexed study
+//! tomorrow — use the *generic* version-2 document written by
+//! [`save_study`] and read back by [`load_study`]: a study label, a
+//! flat `(name, value)` configuration fingerprint, and one record per
+//! completed unit (a flat `f64` payload on success, a trace summary on
+//! failure):
+//!
+//! ```json
+//! {
+//!   "version": 2,
+//!   "study": "corners",
+//!   "config": [["base.vdd", 1.2], ["corner0.temp_c", 27.0]],
+//!   "records": [
+//!     {"index": 0, "ok": true, "values": [1.0, 2.0]},
+//!     {"index": 1, "ok": false, "trace": "dc operating point: ..."}
+//!   ]
+//! }
+//! ```
+//!
+//! The same trust rule applies: a document whose study label or
+//! configuration fingerprint differs from the request is ignored, never
+//! merged.
 
 use crate::montecarlo::{MismatchConfig, SampleOutcome};
 use remix_analysis::ConvergenceTrace;
@@ -368,6 +394,158 @@ pub fn load(path: &Path, mm: &MismatchConfig) -> Option<Vec<(usize, SampleOutcom
     restore(&text, mm)
 }
 
+// ---------------------------------------------------------------------
+// Generic study checkpoints (version 2)
+// ---------------------------------------------------------------------
+
+const STUDY_VERSION: f64 = 2.0;
+
+/// Outcome of one completed study unit, in the flat form the version-2
+/// checkpoint persists.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudyOutcome {
+    /// The unit solved; its result flattened to scalars (the study
+    /// defines the encoding — see e.g.
+    /// [`ExtractedParams::to_flat`](crate::model::ExtractedParams::to_flat)).
+    Ok(Vec<f64>),
+    /// The unit failed; the one-line trace summary.
+    Failed(String),
+}
+
+/// Renders a version-2 study checkpoint for the completed `records`
+/// (`(index, outcome)` pairs, any order).
+///
+/// Successful records containing non-finite values are dropped rather
+/// than emitted as invalid JSON; those units simply recompute on resume.
+pub fn render_study(
+    study: &str,
+    config: &[(String, f64)],
+    records: &[(usize, StudyOutcome)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"version\": {STUDY_VERSION:?},");
+    let _ = writeln!(out, "  \"study\": \"{}\",", escape_json(study));
+    let _ = writeln!(out, "  \"config\": [");
+    for (i, (name, value)) in config.iter().enumerate() {
+        let comma = if i + 1 == config.len() { "" } else { "," };
+        let _ = writeln!(out, "    [\"{}\", {value:?}]{comma}", escape_json(name));
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"records\": [");
+    let mut first = true;
+    for (index, outcome) in records {
+        let line = match outcome {
+            StudyOutcome::Ok(values) if values.iter().all(|v| v.is_finite()) => {
+                let joined = values
+                    .iter()
+                    .map(|v| format!("{v:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("    {{\"index\": {index}, \"ok\": true, \"values\": [{joined}]}}")
+            }
+            StudyOutcome::Ok(_) => continue,
+            StudyOutcome::Failed(trace) => format!(
+                "    {{\"index\": {index}, \"ok\": false, \"trace\": \"{}\"}}",
+                escape_json(trace)
+            ),
+        };
+        if !first {
+            let _ = writeln!(out, ",");
+        }
+        let _ = write!(out, "{line}");
+        first = false;
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Writes the version-2 study checkpoint to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the underlying write.
+pub fn save_study(
+    path: &Path,
+    study: &str,
+    config: &[(String, f64)],
+    records: &[(usize, StudyOutcome)],
+) -> std::io::Result<()> {
+    std::fs::write(path, render_study(study, config, records))
+}
+
+/// Parses version-2 checkpoint text into `(index, outcome)` pairs, or
+/// `None` when the document is malformed or was written for a different
+/// study label or configuration fingerprint.
+pub fn restore_study(
+    text: &str,
+    study: &str,
+    config: &[(String, f64)],
+) -> Option<Vec<(usize, StudyOutcome)>> {
+    let doc = parse(text)?;
+    if doc.get("version")?.as_num()? != STUDY_VERSION {
+        return None;
+    }
+    if doc.get("study")?.as_str()? != study {
+        return None;
+    }
+    let stored = match doc.get("config")? {
+        Json::Arr(items) => items,
+        _ => return None,
+    };
+    if stored.len() != config.len() {
+        return None;
+    }
+    for (item, (name, value)) in stored.iter().zip(config) {
+        let pair = match item {
+            Json::Arr(pair) if pair.len() == 2 => pair,
+            _ => return None,
+        };
+        if pair[0].as_str()? != name || pair[1].as_num()? != *value {
+            return None;
+        }
+    }
+    let records = match doc.get("records")? {
+        Json::Arr(items) => items,
+        _ => return None,
+    };
+    let mut out = Vec::with_capacity(records.len());
+    for r in records {
+        let index = r.get("index")?.as_num()?;
+        if index < 0.0 || index.fract() != 0.0 {
+            return None;
+        }
+        let outcome = if r.get("ok")?.as_bool()? {
+            let values = match r.get("values")? {
+                Json::Arr(items) => items
+                    .iter()
+                    .map(|v| v.as_num())
+                    .collect::<Option<Vec<f64>>>()?,
+                _ => return None,
+            };
+            StudyOutcome::Ok(values)
+        } else {
+            StudyOutcome::Failed(r.get("trace")?.as_str()?.to_string())
+        };
+        out.push((index as usize, outcome));
+    }
+    Some(out)
+}
+
+/// Reads and validates the version-2 checkpoint at `path`; `None` when
+/// the file is missing, unreadable, malformed, or from a different study
+/// or configuration.
+pub fn load_study(
+    path: &Path,
+    study: &str,
+    config: &[(String, f64)],
+) -> Option<Vec<(usize, StudyOutcome)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    restore_study(&text, study, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +619,54 @@ mod tests {
         };
         assert!(restore(&text, &other_sigma).is_none());
         assert!(restore("not json at all", &mm()).is_none());
+    }
+
+    fn study_config() -> Vec<(String, f64)> {
+        vec![("base.vdd".into(), 1.2), ("corner0.temp_c".into(), 27.0)]
+    }
+
+    #[test]
+    fn study_round_trips_records_in_order() {
+        let records = vec![
+            (0, StudyOutcome::Ok(vec![1.0, -2.5e-3])),
+            (
+                1,
+                StudyOutcome::Failed("dc operating point: gave up".into()),
+            ),
+            (3, StudyOutcome::Ok(vec![])),
+        ];
+        let text = render_study("corners", &study_config(), &records);
+        let restored = restore_study(&text, "corners", &study_config()).unwrap();
+        assert_eq!(restored, records);
+    }
+
+    #[test]
+    fn study_rejects_wrong_label_config_or_version() {
+        let records = vec![(0, StudyOutcome::Ok(vec![7.0]))];
+        let text = render_study("corners", &study_config(), &records);
+        assert!(restore_study(&text, "sweeps", &study_config()).is_none());
+        let mut other = study_config();
+        other[0].1 = 1.3;
+        assert!(restore_study(&text, "corners", &other).is_none());
+        other = study_config();
+        other.pop();
+        assert!(restore_study(&text, "corners", &other).is_none());
+        // A v1 Monte-Carlo document must not load as a study and vice
+        // versa.
+        let v1 = render(&mm(), &[SampleOutcome::Ok(60.0)]);
+        assert!(restore_study(&v1, "corners", &study_config()).is_none());
+        assert!(restore(&text, &mm()).is_none());
+    }
+
+    #[test]
+    fn study_drops_non_finite_payloads() {
+        let records = vec![
+            (0, StudyOutcome::Ok(vec![f64::NAN])),
+            (1, StudyOutcome::Ok(vec![4.0])),
+        ];
+        let text = render_study("corners", &study_config(), &records);
+        let restored = restore_study(&text, "corners", &study_config()).unwrap();
+        assert_eq!(restored, vec![(1, StudyOutcome::Ok(vec![4.0]))]);
     }
 
     #[test]

@@ -6,10 +6,14 @@
 //! device models (`kp`, `vt0`, flicker) with standard first-order laws and
 //! re-run the *entire* extraction flow — nothing is special-cased.
 
+use crate::checkpoint::StudyOutcome;
 use crate::config::MixerConfig;
 use crate::model::ExtractedParams;
-use remix_analysis::ConvergenceTrace;
+use remix_analysis::{
+    AnalysisError, ConvergenceTrace, Interrupted, Partial, StageKind, TraceStage,
+};
 use remix_circuit::MosModel;
+use std::path::Path;
 
 /// The five classic process corners (NMOS letter first).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +163,10 @@ impl CornerOutcome {
 pub struct CornerSweep {
     /// `(corner, outcome)` pairs.
     pub results: Vec<(Corner, CornerOutcome)>,
+    /// Corners extracted by this invocation.
+    pub computed: usize,
+    /// Corners restored from the checkpoint instead of recomputed.
+    pub resumed: usize,
 }
 
 impl CornerSweep {
@@ -194,23 +202,142 @@ impl CornerSweep {
     }
 }
 
+/// The study label of corner-sweep checkpoints.
+const CORNER_STUDY: &str = "corners";
+
+/// The configuration fingerprint a corner-sweep checkpoint is bound to:
+/// the model/supply scalars the outcome depends on plus every requested
+/// corner. A checkpoint written for a different base design or corner
+/// list is rejected on load, never merged.
+fn study_config(base: &MixerConfig, corners: &[Corner]) -> Vec<(String, f64)> {
+    let mut cfg = vec![
+        ("base.vdd".to_string(), base.vdd),
+        ("base.nmos.kp".to_string(), base.nmos.kp),
+        ("base.nmos.vt0".to_string(), base.nmos.vt0),
+        ("base.pmos.kp".to_string(), base.pmos.kp),
+        ("base.pmos.vt0".to_string(), base.pmos.vt0),
+        ("base.tca_vcm".to_string(), base.tca_vcm),
+        ("corners".to_string(), corners.len() as f64),
+    ];
+    for (i, c) in corners.iter().enumerate() {
+        let (sn, sp) = c.process.signs();
+        cfg.push((format!("corner{i}.nmos_sign"), sn));
+        cfg.push((format!("corner{i}.pmos_sign"), sp));
+        cfg.push((format!("corner{i}.temp_c"), c.temp_c));
+        cfg.push((format!("corner{i}.has_vdd"), f64::from(c.vdd.is_some())));
+        cfg.push((format!("corner{i}.vdd"), c.vdd.unwrap_or(0.0)));
+    }
+    cfg
+}
+
+fn study_record(outcome: &CornerOutcome) -> StudyOutcome {
+    match outcome {
+        CornerOutcome::Ok(p) => StudyOutcome::Ok(p.to_flat()),
+        CornerOutcome::Failed(t) => StudyOutcome::Failed(t.summary()),
+    }
+}
+
 /// Runs the full extraction flow at every requested corner, isolating
 /// failures: a corner that refuses to converge is recorded with its
 /// convergence trace and the sweep continues to the next corner instead
 /// of aborting the design review at the first casualty.
 pub fn sweep_corners(base: &MixerConfig, corners: &[Corner]) -> CornerSweep {
-    let results = corners
-        .iter()
-        .map(|corner| {
-            let cfg = corner.apply(base);
-            let outcome = match ExtractedParams::extract(&cfg) {
-                Ok(params) => CornerOutcome::Ok(Box::new(params)),
-                Err(e) => CornerOutcome::Failed(crate::montecarlo::failure_trace(&e)),
+    sweep_corners_resumable(base, corners, None).value
+}
+
+/// [`sweep_corners`] with checkpoint/resume and run-budget awareness.
+///
+/// When `checkpoint` names a file, every completed corner (pass *or*
+/// fail) is persisted there as a version-2 study checkpoint
+/// ([`crate::checkpoint::save_study`]) and a compatible existing
+/// checkpoint is resumed — completed corners are restored, not re-run.
+/// A checkpoint written for a different base configuration or corner
+/// list is ignored, as is a record whose payload no longer
+/// deserializes.
+///
+/// When a [`RunBudget`](remix_exec::RunBudget) armed on this thread
+/// trips — at a corner boundary or inside an extraction — the sweep
+/// stops and returns the completed prefix as an interrupted
+/// [`Partial`]; with a checkpoint, a later invocation finishes only the
+/// remaining corners.
+pub fn sweep_corners_resumable(
+    base: &MixerConfig,
+    corners: &[Corner],
+    checkpoint: Option<&Path>,
+) -> Partial<CornerSweep> {
+    let config = study_config(base, corners);
+    let mut restored: Vec<Option<CornerOutcome>> = vec![None; corners.len()];
+    if let Some(path) = checkpoint {
+        for (i, rec) in
+            crate::checkpoint::load_study(path, CORNER_STUDY, &config).unwrap_or_default()
+        {
+            if i >= corners.len() {
+                continue;
+            }
+            restored[i] = match rec {
+                StudyOutcome::Ok(values) => {
+                    ExtractedParams::from_flat(&values).map(|p| CornerOutcome::Ok(Box::new(p)))
+                }
+                StudyOutcome::Failed(trace) => {
+                    Some(CornerOutcome::Failed(ConvergenceTrace::new(trace)))
+                }
             };
-            (*corner, outcome)
-        })
-        .collect();
-    CornerSweep { results }
+        }
+    }
+    let mut sweep = CornerSweep {
+        results: Vec::with_capacity(corners.len()),
+        computed: 0,
+        resumed: 0,
+    };
+    for (i, corner) in corners.iter().enumerate() {
+        if let Some(done) = restored[i].take() {
+            sweep.results.push((*corner, done));
+            sweep.resumed += 1;
+            continue;
+        }
+        if let Err(intr) = remix_exec::checkpoint() {
+            return Partial::interrupted(
+                sweep,
+                Interrupted::at("corner sweep", TraceStage::Dc(StageKind::Direct), intr),
+            );
+        }
+        let cfg = corner.apply(base);
+        let outcome = match ExtractedParams::extract(&cfg) {
+            Ok(params) => CornerOutcome::Ok(Box::new(params)),
+            Err(AnalysisError::BudgetExceeded {
+                interruption,
+                trace,
+                ..
+            }) => {
+                // A budget trip mid-extraction interrupts the *sweep*,
+                // not this corner: nothing is recorded for it, so a
+                // resumed run recomputes the corner in full.
+                return Partial::interrupted(
+                    sweep,
+                    Interrupted {
+                        interruption,
+                        trace,
+                    },
+                );
+            }
+            Err(e) => CornerOutcome::Failed(crate::montecarlo::failure_trace(&e)),
+        };
+        sweep.results.push((*corner, outcome));
+        sweep.computed += 1;
+        if let Some(path) = checkpoint {
+            let records: Vec<(usize, StudyOutcome)> = sweep
+                .results
+                .iter()
+                .enumerate()
+                .map(|(k, (_, o))| (k, study_record(o)))
+                .collect();
+            // Checkpoint write failures must not kill the sweep the
+            // checkpoint exists to protect; the run just loses
+            // resumability.
+            let _ = crate::checkpoint::save_study(path, CORNER_STUDY, &config, &records);
+        }
+    }
+    Partial::complete(sweep)
 }
 
 #[cfg(test)]
@@ -293,12 +420,81 @@ mod tests {
     #[test]
     fn corner_sweep_isolates_and_summarizes() {
         let base = MixerConfig::default();
-        let sweep = sweep_corners(&base, &[Corner::typical()]);
+        let path =
+            std::env::temp_dir().join(format!("remix_corner_resume_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let sweep = sweep_corners_resumable(&base, &[Corner::typical()], Some(&path));
+        assert!(sweep.is_complete());
+        let sweep = sweep.value;
         assert_eq!(sweep.results.len(), 1);
+        assert_eq!(sweep.computed, 1);
+        assert_eq!(sweep.resumed, 0);
         assert_eq!(sweep.n_ok(), 1);
         assert!(sweep.results[0].1.params().is_some());
         assert!(sweep.failures().next().is_none());
         assert_eq!(sweep.summary_line(), "corner yield 1/1 (100.0 %)");
+
+        // A second invocation restores the corner from the checkpoint
+        // bit-for-bit instead of re-extracting.
+        let resumed = sweep_corners_resumable(&base, &[Corner::typical()], Some(&path));
+        assert!(resumed.is_complete());
+        let resumed = resumed.value;
+        assert_eq!(resumed.computed, 0, "completed corners must not re-run");
+        assert_eq!(resumed.resumed, 1);
+        assert_eq!(
+            resumed.results[0].1.params(),
+            sweep.results[0].1.params(),
+            "restored params must round-trip exactly"
+        );
+
+        // A different base design must reject the checkpoint rather
+        // than resume someone else's corners.
+        let other = MixerConfig {
+            vdd: base.vdd + 0.1,
+            ..base.clone()
+        };
+        let cfg = study_config(&other, &[Corner::typical()]);
+        assert!(crate::checkpoint::load_study(&path, CORNER_STUDY, &cfg).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_deadline_interrupts_the_sweep_before_any_extraction() {
+        let base = MixerConfig::default();
+        let budget = remix_exec::RunBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let token = budget.token();
+        let _guard = token.arm();
+        let partial = sweep_corners_resumable(&base, &[Corner::typical()], None);
+        assert!(!partial.is_complete());
+        assert!(partial.value.results.is_empty());
+        let why = partial.interruption.as_ref().unwrap();
+        assert!(matches!(
+            why.interruption,
+            remix_exec::Interruption::DeadlineExpired { .. }
+        ));
+        assert!(!why.trace.is_empty());
+        assert_eq!(why.trace.analysis, "corner sweep");
+    }
+
+    #[test]
+    fn budget_trip_mid_extraction_interrupts_with_the_analysis_trace() {
+        // A Newton budget far too small for a full extraction trips
+        // inside the first corner's flow; the sweep reports the
+        // interruption with the underlying analysis trace instead of
+        // recording the corner as failed.
+        let base = MixerConfig::default();
+        let budget = remix_exec::RunBudget::unlimited().with_newton_iterations(3);
+        let token = budget.token();
+        let _guard = token.arm();
+        let partial = sweep_corners_resumable(&base, &[Corner::typical()], None);
+        assert!(!partial.is_complete());
+        assert_eq!(partial.value.computed, 0);
+        let why = partial.interruption.as_ref().unwrap();
+        assert_eq!(
+            why.interruption,
+            remix_exec::Interruption::NewtonIterations { limit: 3 }
+        );
+        assert!(!why.trace.is_empty());
     }
 
     #[cfg(feature = "fault-inject")]

@@ -56,7 +56,9 @@ pub mod tg;
 pub mod tia;
 
 pub use config::{MixerConfig, MixerMode};
-pub use corners::{sweep_corners, Corner, CornerOutcome, CornerSweep, ProcessCorner};
+pub use corners::{
+    sweep_corners, sweep_corners_resumable, Corner, CornerOutcome, CornerSweep, ProcessCorner,
+};
 pub use eval::MixerEvaluator;
 pub use mixer::{LoDrive, MixerNodes, ReconfigurableMixer, RfDrive};
 pub use model::{ExtractedParams, MixerModel};

@@ -41,7 +41,7 @@ use remix_rfkit::{Poly3, SampleProcessor};
 pub const COMMUTATION_GAIN: f64 = 2.0 / std::f64::consts::PI;
 
 /// Everything extracted from the transistor level, mode-independent.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtractedParams {
     /// TCA characterization.
     pub tca: TcaParams,
@@ -241,6 +241,122 @@ impl ExtractedParams {
             power_active_mw: power[0],
             power_passive_mw: power[1],
             i_switch_active: cfg.tail_current / 2.0,
+            h_in_curve,
+            h_gate_curve,
+        })
+    }
+
+    /// Serializes every extracted quantity to a flat scalar vector — the
+    /// success payload of version-2 study checkpoints
+    /// ([`StudyOutcome::Ok`](crate::checkpoint::StudyOutcome)). Layout:
+    /// 23 scalars (TCA 9, TIA 6, Gm-pair polynomial 3, then `ron_quad`,
+    /// `rdeg`, `power_active_mw`, `power_passive_mw`,
+    /// `i_switch_active`), followed by the three `(f, value)` curves,
+    /// each length-prefixed.
+    pub fn to_flat(&self) -> Vec<f64> {
+        let n_curve = self.tia_in2_curve.len() + self.h_in_curve.len() + self.h_gate_curve.len();
+        let mut out = Vec::with_capacity(23 + 3 + 2 * n_curve);
+        out.extend([
+            self.tca.gm,
+            self.tca.rout,
+            self.tca.cout,
+            self.tca.pole_hz,
+            self.tca.poly.a1,
+            self.tca.poly.a2,
+            self.tca.poly.a3,
+            self.tca.en2_white,
+            self.tca.bias_current,
+            self.tia.zf0,
+            self.tia.corner_hz,
+            self.tia.rin_at_5mhz,
+            self.tia.out_noise_5mhz,
+            self.tia.in2_5mhz,
+            self.tia.supply_current,
+            self.poly_gm_pair.a1,
+            self.poly_gm_pair.a2,
+            self.poly_gm_pair.a3,
+            self.ron_quad,
+            self.rdeg,
+            self.power_active_mw,
+            self.power_passive_mw,
+            self.i_switch_active,
+        ]);
+        for curve in [&self.tia_in2_curve, &self.h_in_curve, &self.h_gate_curve] {
+            out.push(curve.len() as f64);
+            for &(f, v) in curve.iter() {
+                out.push(f);
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds parameters from [`to_flat`](Self::to_flat) output.
+    /// `None` when the vector is truncated, carries trailing data, or
+    /// encodes an invalid curve length — a malformed checkpoint record
+    /// then recomputes instead of deserializing garbage.
+    pub fn from_flat(flat: &[f64]) -> Option<Self> {
+        fn take<const N: usize>(flat: &[f64], pos: &mut usize) -> Option<[f64; N]> {
+            let s = flat.get(*pos..*pos + N)?;
+            *pos += N;
+            s.try_into().ok()
+        }
+        fn take_curve(flat: &[f64], pos: &mut usize) -> Option<Vec<(f64, f64)>> {
+            let n = *flat.get(*pos)?;
+            *pos += 1;
+            if !n.is_finite() || n < 0.0 || n.fract() != 0.0 {
+                return None;
+            }
+            let mut curve = Vec::with_capacity(n as usize);
+            for _ in 0..n as usize {
+                let [f, v] = take::<2>(flat, pos)?;
+                curve.push((f, v));
+            }
+            Some(curve)
+        }
+        let mut pos = 0;
+        let [gm, rout, cout, pole_hz, a1, a2, a3, en2_white, bias_current] =
+            take::<9>(flat, &mut pos)?;
+        let [zf0, corner_hz, rin_at_5mhz, out_noise_5mhz, in2_5mhz, supply_current] =
+            take::<6>(flat, &mut pos)?;
+        let [g1, g2, g3] = take::<3>(flat, &mut pos)?;
+        let [ron_quad, rdeg, power_active_mw, power_passive_mw, i_switch_active] =
+            take::<5>(flat, &mut pos)?;
+        let tia_in2_curve = take_curve(flat, &mut pos)?;
+        let h_in_curve = take_curve(flat, &mut pos)?;
+        let h_gate_curve = take_curve(flat, &mut pos)?;
+        if pos != flat.len() {
+            return None;
+        }
+        Some(ExtractedParams {
+            tca: TcaParams {
+                gm,
+                rout,
+                cout,
+                pole_hz,
+                poly: Poly3 { a1, a2, a3 },
+                en2_white,
+                bias_current,
+            },
+            tia: TiaParams {
+                zf0,
+                corner_hz,
+                rin_at_5mhz,
+                out_noise_5mhz,
+                in2_5mhz,
+                supply_current,
+            },
+            tia_in2_curve,
+            poly_gm_pair: Poly3 {
+                a1: g1,
+                a2: g2,
+                a3: g3,
+            },
+            ron_quad,
+            rdeg,
+            power_active_mw,
+            power_passive_mw,
+            i_switch_active,
             h_in_curve,
             h_gate_curve,
         })
@@ -816,6 +932,30 @@ mod tests {
             p.poly_gm_pair
         );
         assert!(!p.tia_in2_curve.is_empty());
+    }
+
+    #[test]
+    fn flat_encoding_round_trips_and_rejects_malformed() {
+        let p = extraction();
+        let flat = p.to_flat();
+        assert_eq!(
+            flat.len(),
+            23 + 3 + 2 * (p.tia_in2_curve.len() + p.h_in_curve.len() + p.h_gate_curve.len())
+        );
+        let back = ExtractedParams::from_flat(&flat).unwrap();
+        assert_eq!(&back, p);
+        // Truncation, trailing data, and corrupted curve lengths all
+        // refuse to deserialize.
+        assert!(ExtractedParams::from_flat(&flat[..flat.len() - 1]).is_none());
+        let mut longer = flat.clone();
+        longer.push(0.0);
+        assert!(ExtractedParams::from_flat(&longer).is_none());
+        let mut bad_len = flat.clone();
+        bad_len[23] = -1.0;
+        assert!(ExtractedParams::from_flat(&bad_len).is_none());
+        bad_len[23] = 2.5;
+        assert!(ExtractedParams::from_flat(&bad_len).is_none());
+        assert!(ExtractedParams::from_flat(&[]).is_none());
     }
 
     #[test]

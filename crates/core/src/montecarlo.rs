@@ -172,12 +172,19 @@ impl SampleOutcome {
 /// A completed Monte-Carlo study with per-sample outcomes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct McStudy {
-    /// Outcome of sample `i` at index `i`.
+    /// Outcome of sample `i` at index `i`. Shorter than the requested
+    /// `n_runs` when a run budget interrupted the study (see
+    /// [`interrupted`](Self::interrupted)).
     pub outcomes: Vec<SampleOutcome>,
     /// Samples evaluated by this invocation.
     pub computed: usize,
     /// Samples restored from the checkpoint instead of recomputed.
     pub resumed: usize,
+    /// `Some` when a [`RunBudget`](remix_exec::RunBudget) armed on this
+    /// thread stopped the study before every sample ran; the completed
+    /// prefix in `outcomes` is still valid and, with a checkpoint, a
+    /// later invocation finishes only the remaining samples.
+    pub interrupted: Option<remix_exec::Interruption>,
 }
 
 impl McStudy {
@@ -256,6 +263,12 @@ pub(crate) fn failure_trace(e: &AnalysisError) -> ConvergenceTrace {
 /// completed sample is persisted there and a compatible existing
 /// checkpoint is resumed (completed samples are restored, not re-run).
 /// A checkpoint written for a different seed or σ is ignored.
+///
+/// When a [`RunBudget`](remix_exec::RunBudget) armed on this thread
+/// trips — at a sample boundary or inside a sample — the study stops
+/// with [`McStudy::interrupted`] set and the completed prefix intact;
+/// with a checkpoint, a later invocation finishes only the remaining
+/// samples.
 pub fn iip2_study(base: &MixerConfig, mm: &MismatchConfig, checkpoint: Option<&Path>) -> McStudy {
     let mut restored: Vec<Option<SampleOutcome>> = vec![None; mm.n_runs];
     if let Some(path) = checkpoint {
@@ -269,6 +282,7 @@ pub fn iip2_study(base: &MixerConfig, mm: &MismatchConfig, checkpoint: Option<&P
         outcomes: Vec::with_capacity(mm.n_runs),
         computed: 0,
         resumed: 0,
+        interrupted: None,
     };
     for (i, slot) in restored.iter_mut().enumerate() {
         if let Some(done) = slot.take() {
@@ -276,13 +290,29 @@ pub fn iip2_study(base: &MixerConfig, mm: &MismatchConfig, checkpoint: Option<&P
             study.resumed += 1;
             continue;
         }
+        if let Err(intr) = remix_exec::checkpoint() {
+            // Deadline or cancellation: keep the completed prefix (and
+            // its checkpoint) instead of burning budget on samples that
+            // can no longer finish.
+            study.interrupted = Some(intr);
+            break;
+        }
         #[cfg(feature = "fault-inject")]
         let _fault =
             (mm.fault_sample == Some(i)).then(|| remix_analysis::FaultPlan::singular_pivot().arm());
         let mut rng = StdRng::seed_from_u64(sample_seed(mm.seed, i));
         let outcome = match iip2_sample(base, &mut rng, mm) {
             Ok(v) => SampleOutcome::Ok(v),
-            Err(e) => SampleOutcome::Failed(failure_trace(&e)),
+            Err(e) => {
+                if let Some(intr) = e.interruption() {
+                    // A budget trip mid-sample interrupts the *study*,
+                    // not this sample: nothing is recorded for it, so a
+                    // resumed run recomputes the sample in full.
+                    study.interrupted = Some(intr);
+                    break;
+                }
+                SampleOutcome::Failed(failure_trace(&e))
+            }
         };
         study.outcomes.push(outcome);
         study.computed += 1;
@@ -459,6 +489,58 @@ mod tests {
         assert_eq!(long.n_ok(), 4);
         assert!((long.yield_fraction() - 1.0).abs() < 1e-15);
         assert_eq!(long.summary_line(), "yield 4/4 (100.0 %)");
+    }
+
+    #[test]
+    fn interrupted_study_resumes_completing_only_remaining_samples() {
+        let path =
+            std::env::temp_dir().join(format!("remix_mc_interrupt_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let base = MixerConfig::default();
+        let mm = MismatchConfig {
+            n_runs: 3,
+            ..MismatchConfig::default()
+        };
+
+        // A zero deadline stops the study at the first sample boundary.
+        let interrupted = {
+            let budget =
+                remix_exec::RunBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+            let token = budget.token();
+            let _guard = token.arm();
+            iip2_study(&base, &mm, Some(&path))
+        };
+        assert_eq!(interrupted.computed, 0);
+        assert!(interrupted.outcomes.is_empty());
+        assert!(matches!(
+            interrupted.interrupted,
+            Some(remix_exec::Interruption::DeadlineExpired { .. })
+        ));
+
+        // Unbudgeted, the same invocation completes the study; the
+        // prefix computed before a mid-run interruption is never
+        // recomputed.
+        let first = {
+            let budget = remix_exec::RunBudget::unlimited().with_newton_iterations(150);
+            let token = budget.token();
+            let _guard = token.arm();
+            iip2_study(&base, &mm, Some(&path))
+        };
+        assert!(first.interrupted.is_some(), "budget should trip mid-study");
+        assert!(
+            first.computed < mm.n_runs,
+            "interruption must leave samples for the resume"
+        );
+        let resumed = iip2_study(&base, &mm, Some(&path));
+        assert!(resumed.interrupted.is_none());
+        assert_eq!(resumed.resumed, first.outcomes.len());
+        assert_eq!(resumed.computed, mm.n_runs - first.outcomes.len());
+        let fresh = iip2_study(&base, &mm, None);
+        assert_eq!(
+            resumed.outcomes, fresh.outcomes,
+            "resume must not change results"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

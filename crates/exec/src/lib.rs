@@ -1,0 +1,46 @@
+//! # remix-exec
+//!
+//! Bounded execution for the solver stack: cooperative cancellation,
+//! run budgets, and supervised job execution.
+//!
+//! Nothing in a Newton ladder or a transient grid is intrinsically
+//! bounded — a pathological bias point spins the damping cascade, a
+//! dense PSS grid multiplies periods, and a server in front of the
+//! engine has no lever beyond killing the process. This crate provides
+//! the lever:
+//!
+//! * [`RunBudget`] — a declarative budget (wall-clock deadline, Newton
+//!   iterations, timesteps, matrix dimension) compiled into a
+//!   [`CancelToken`];
+//! * [`CancelToken`] — a cloneable, thread-safe token the solver hot
+//!   paths charge against at factor/iteration/timestep/sweep-point
+//!   boundaries. Tokens are armed per thread with an RAII
+//!   [`BudgetGuard`] (mirroring the fault-injection plumbing in
+//!   `remix-analysis`), so the solver crates call free hooks
+//!   ([`charge_newton_iteration`], [`charge_timestep`], [`checkpoint`],
+//!   [`check_matrix_dim`]) without threading a token through every
+//!   signature;
+//! * [`Interruption`] — the typed reason a budget tripped, carried
+//!   upward inside `AnalysisError::BudgetExceeded`;
+//! * [`Supervisor`] — a job runner with per-job `catch_unwind`
+//!   isolation, jittered exponential retry for retryable failures, a
+//!   work queue, and a [`Watchdog`] thread that trips tokens whose
+//!   deadline passed even when the job stops calling hooks.
+//!
+//! The crate is dependency-free and knows nothing about circuits; the
+//! analysis layer owns the mapping from an [`Interruption`] to a typed
+//! partial result.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod budget;
+mod supervisor;
+
+pub use budget::{
+    active_token, charge_newton_iteration, charge_timestep, check_matrix_dim, checkpoint,
+    BudgetGuard, CancelToken, Interruption, RunBudget, DEFAULT_TIMESTEP_BUDGET,
+};
+pub use supervisor::{
+    Job, JobError, JobOutcome, JobReport, Supervisor, SupervisorOptions, Watchdog,
+};

@@ -104,11 +104,15 @@ pub enum RuleId {
     /// `SIM006` — transient duration shorter than the slowest circuit
     /// time constant: the record is dominated by settling.
     TranDuration,
+    /// `SIM007` — the plan's horizon/timestep imply more steps than the
+    /// default run budget admits and no checkpoint interval is declared:
+    /// an interrupted run would restart from zero.
+    UncheckpointedRun,
 }
 
 impl RuleId {
     /// Every rule, in code order (`ERC` first, then `SIM`).
-    pub const ALL: [RuleId; 19] = [
+    pub const ALL: [RuleId; 20] = [
         RuleId::DanglingNode,
         RuleId::NoDcPath,
         RuleId::VsourceLoop,
@@ -128,6 +132,7 @@ impl RuleId {
         RuleId::NoiseBand,
         RuleId::SweepRange,
         RuleId::TranDuration,
+        RuleId::UncheckpointedRun,
     ];
 
     /// The stable textual code (`ERC001_DANGLING_NODE`, …).
@@ -152,6 +157,7 @@ impl RuleId {
             RuleId::NoiseBand => "SIM004_NOISE_BAND",
             RuleId::SweepRange => "SIM005_SWEEP_RANGE",
             RuleId::TranDuration => "SIM006_TRAN_DURATION",
+            RuleId::UncheckpointedRun => "SIM007_UNCHECKPOINTED_RUN",
         }
     }
 
@@ -173,7 +179,8 @@ impl RuleId {
             | RuleId::IllScaled
             | RuleId::NoiseBand
             | RuleId::SweepRange
-            | RuleId::TranDuration => Severity::Warn,
+            | RuleId::TranDuration
+            | RuleId::UncheckpointedRun => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -200,6 +207,9 @@ impl RuleId {
             RuleId::NoiseBand => "noise band misses the IF / flicker-corner targets",
             RuleId::SweepRange => "sweep does not cover the declared RF band",
             RuleId::TranDuration => "transient shorter than the slowest time constant",
+            RuleId::UncheckpointedRun => {
+                "step count above the default run budget with no checkpoint interval"
+            }
         }
     }
 }

@@ -39,9 +39,9 @@
 //! Beyond the shape-based heuristics, the [`rank`](crate::diag::RuleId::StructuralSingular)
 //! pass proves structural MNA singularity exactly (`ERC012`) via maximum
 //! matching on the incidence bipartite graph, the [`plan`] module lints
-//! *simulation plans* (`SIM001`–`SIM006`: aliasing timesteps,
+//! *simulation plans* (`SIM001`–`SIM007`: aliasing timesteps,
 //! non-coherent FFT readouts, truncated PSS harmonics, mis-scoped noise
-//! bands and sweeps), and the [`fix`] module applies machine-applicable
+//! bands and sweeps, uncheckpointed marathon runs), and the [`fix`] module applies machine-applicable
 //! repairs to a fixpoint — the engine behind `remix-bench lint --fix`.
 //!
 //! The rule catalog lives in [`RuleId`]; `DESIGN.md` at the repository

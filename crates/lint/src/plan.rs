@@ -1,4 +1,4 @@
-//! Simulation-plan lint: `SIM001`–`SIM006`.
+//! Simulation-plan lint: `SIM001`–`SIM007`.
 //!
 //! A structurally sound netlist can still produce plausible-but-wrong
 //! numbers when the *analysis plan* is numerically unsound — a two-tone
@@ -79,6 +79,10 @@ pub struct SimPlan {
     pub sweep_band: Option<(f64, f64)>,
     /// Slowest circuit time constant the transient must out-run (s).
     pub slowest_tau: Option<f64>,
+    /// Simulated time between checkpoint writes (s), when the driver
+    /// persists resumable state. Declaring one tells `SIM007` that an
+    /// interrupted run resumes instead of restarting from zero.
+    pub checkpoint_interval: Option<f64>,
     /// Measurement intent the plan is judged against.
     pub targets: PlanTargets,
 }
@@ -145,6 +149,13 @@ impl SimPlan {
     /// Sets the slowest time constant (s).
     pub fn with_slowest_tau(mut self, tau: f64) -> Self {
         self.slowest_tau = Some(tau);
+        self
+    }
+
+    /// Sets the checkpoint interval (s of simulated time between
+    /// checkpoint writes).
+    pub fn with_checkpoint_interval(mut self, interval: f64) -> Self {
+        self.checkpoint_interval = Some(interval);
         self
     }
 
@@ -369,6 +380,26 @@ pub fn lint_plan(plan: &SimPlan, config: &LintConfig) -> LintReport {
         }
     }
 
+    // SIM007: implied step count vs the default run budget.
+    if let (Some(s), Some(h), Some(t)) =
+        (sev(RuleId::UncheckpointedRun), plan.timestep, plan.duration)
+    {
+        let budget = remix_exec::DEFAULT_TIMESTEP_BUDGET as f64;
+        if h > 0.0 && t / h > budget && plan.checkpoint_interval.is_none() {
+            emit(
+                RuleId::UncheckpointedRun,
+                s,
+                format!(
+                    "duration {t:.3e} s at timestep {h:.3e} s implies {:.3e} steps, above \
+                     the default run budget of {budget:.0e}: an interrupted run restarts \
+                     from zero — declare a checkpoint interval or split the sweep",
+                    t / h
+                ),
+                None,
+            );
+        }
+    }
+
     LintReport { diagnostics: out }
 }
 
@@ -391,6 +422,31 @@ mod tests {
     fn empty_plan_is_clean() {
         let report = lint_plan(&SimPlan::new("nothing declared"), &LintConfig::default());
         assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn sim007_step_count_vs_default_budget() {
+        // 10 ms at 1 ns: 10⁷ steps, an order above the default budget.
+        let runaway = SimPlan::new("marathon tran")
+            .with_timestep(1e-9)
+            .with_duration(10e-3);
+        let report = lint_plan(&runaway, &LintConfig::default());
+        let diags = report.by_rule(RuleId::UncheckpointedRun);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert!(diags[0].fix.is_none());
+        assert!(diags[0].message.contains("checkpoint"));
+
+        // Declaring a checkpoint interval silences the rule: the run
+        // resumes instead of restarting.
+        let resumable = runaway.clone().with_checkpoint_interval(1e-4);
+        assert_eq!(fired(&resumable, RuleId::UncheckpointedRun), 0);
+
+        // A plan inside the budget never fires.
+        let short = SimPlan::new("short tran")
+            .with_timestep(1e-9)
+            .with_duration(1e-5);
+        assert_eq!(fired(&short, RuleId::UncheckpointedRun), 0);
     }
 
     #[test]

@@ -71,6 +71,8 @@ pub enum NewtonError {
         /// Iteration at which divergence was detected.
         iteration: usize,
     },
+    /// The run budget armed on this thread interrupted the iteration.
+    Interrupted(remix_exec::Interruption),
 }
 
 impl fmt::Display for NewtonError {
@@ -87,6 +89,7 @@ impl fmt::Display for NewtonError {
             NewtonError::Diverged { iteration } => {
                 write!(f, "newton iteration diverged at iteration {iteration}")
             }
+            NewtonError::Interrupted(i) => write!(f, "newton iteration interrupted: {i}"),
         }
     }
 }
@@ -142,6 +145,7 @@ pub fn newton_solve<S: NonlinearSystem>(
     let mut fnorm = vecops::norm_inf(&f);
 
     for iter in 0..opts.max_iter {
+        remix_exec::charge_newton_iteration().map_err(NewtonError::Interrupted)?;
         if !fnorm.is_finite() {
             return Err(NewtonError::Diverged { iteration: iter });
         }

@@ -236,6 +236,7 @@ impl<T: Scalar> SparseLu<T> {
     /// [`FactorError::NotSquare`] / [`FactorError::NotFinite`] /
     /// [`FactorError::Singular`] as for the dense factorization.
     pub fn factor(a: &CsrMatrix<T>) -> Result<Self, FactorError> {
+        remix_exec::check_matrix_dim(a.rows()).map_err(FactorError::Budget)?;
         if a.rows() != a.cols() {
             return Err(FactorError::NotSquare {
                 rows: a.rows(),
@@ -297,9 +298,13 @@ impl<T: Scalar> SparseLu<T> {
 
             // --- extract pivot row into U ---
             let pivot_row = std::mem::take(&mut rows[k]);
-            let pivot_pos = pivot_row
-                .binary_search_by_key(&k, |e| e.0)
-                .expect("pivot entry must exist");
+            // The pivot-selection scan above only accepts rows holding
+            // a finite entry in column k, so the search cannot miss; a
+            // miss would be a broken factorization invariant, not a
+            // property of the input matrix.
+            let Ok(pivot_pos) = pivot_row.binary_search_by_key(&k, |e| e.0) else {
+                unreachable!("pivot entry must exist");
+            };
             let pivot_val = pivot_row[pivot_pos].1;
 
             // --- eliminate column k from all remaining rows ---
