@@ -75,6 +75,10 @@ pub fn ac_sweep(
     crate::plan::gate(&crate::plan::sweep_plan("ac sweep", freqs))?;
     let layout = op.layout.clone();
     let dim = layout.dim();
+    let _span = remix_telemetry::span("remix.analysis.ac")
+        .with_field("analysis", "ac")
+        .with_field("dim", dim)
+        .with_field("points", freqs.len());
     let mut m = TripletMatrix::<Complex>::new(dim, dim);
     let mut rhs = vec![Complex::ZERO; dim];
     let mut solutions = Vec::with_capacity(freqs.len());

@@ -154,6 +154,10 @@ pub fn output_noise(
     freqs: &[f64],
 ) -> Result<NoiseResult, AnalysisError> {
     crate::plan::gate(&crate::plan::noise_plan("output noise", freqs))?;
+    let _span = remix_telemetry::span("remix.analysis.acnoise")
+        .with_field("analysis", "acnoise")
+        .with_field("dim", op.layout.dim())
+        .with_field("points", freqs.len());
     let sources = noise_sources(circuit, op, ROOM_TEMP);
     let layout = &op.layout;
     let dim = layout.dim();

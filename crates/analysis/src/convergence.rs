@@ -275,8 +275,35 @@ impl ConvergenceTrace {
         }
     }
 
-    /// Records an attempt.
+    /// Records an attempt. Every attempt also ticks the per-stage
+    /// telemetry counters (`remix.analysis.convergence.attempts.*`), so
+    /// a bench record shows which homotopy rungs a run actually leaned
+    /// on.
     pub fn push(&mut self, attempt: StageAttempt) {
+        if remix_telemetry::is_armed() {
+            let stage = match attempt.stage {
+                TraceStage::Dc(StageKind::Direct) => "remix.analysis.convergence.attempts.direct",
+                TraceStage::Dc(StageKind::GminLadder { .. }) => {
+                    "remix.analysis.convergence.attempts.gmin_ladder"
+                }
+                TraceStage::Dc(StageKind::SourceRamp { .. }) => {
+                    "remix.analysis.convergence.attempts.source_ramp"
+                }
+                TraceStage::Dc(StageKind::PseudoTransient { .. }) => {
+                    "remix.analysis.convergence.attempts.pseudo_transient"
+                }
+                TraceStage::TranStep { .. } => "remix.analysis.convergence.attempts.tran_step",
+                TraceStage::AcPoint { .. } => "remix.analysis.convergence.attempts.ac_point",
+                TraceStage::PssBoundary { .. } => {
+                    "remix.analysis.convergence.attempts.pss_boundary"
+                }
+            };
+            remix_telemetry::counter_add(stage, 1);
+            remix_telemetry::counter_add(
+                "remix.analysis.convergence.iterations",
+                attempt.iterations as u64,
+            );
+        }
         self.attempts.push(attempt);
     }
 

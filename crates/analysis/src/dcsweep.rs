@@ -45,6 +45,10 @@ fn dc_sweep_inner(
             probe: format!("'{source_name}' is not a voltage source"),
         });
     }
+    let _span = remix_telemetry::span("remix.analysis.dcsweep")
+        .with_field("analysis", "dcsweep")
+        .with_field("elements", circuit.element_count())
+        .with_field("points", values.len());
     let mut work = circuit.clone();
     let mut points = Vec::with_capacity(values.len());
     let mut interrupted = None;

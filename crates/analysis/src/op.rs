@@ -435,6 +435,10 @@ pub fn dc_operating_point(
     let layout = MnaLayout::new(circuit);
     let dim = layout.dim();
     let n_elem = circuit.element_count();
+    let _span = remix_telemetry::span("remix.analysis.op")
+        .with_field("analysis", "op")
+        .with_field("dim", dim)
+        .with_field("elements", n_elem);
     let mut x = vec![0.0; dim];
     let mut mos_evals: Vec<Option<MosEval>> = vec![None; n_elem];
     let mut trace = ConvergenceTrace::new("dc operating point");
@@ -528,14 +532,18 @@ pub fn dc_operating_point(
     }
 
     let iterations = trace.total_iterations();
-    Ok(OperatingPoint {
+    let op = OperatingPoint {
         layout,
         solution: x,
         mos_evals,
         mos_caps,
         iterations,
         trace,
-    })
+    };
+    if let Some(rcond) = op.rcond() {
+        remix_telemetry::gauge_set("remix.analysis.op.rcond", rcond);
+    }
+    Ok(op)
 }
 
 #[cfg(test)]

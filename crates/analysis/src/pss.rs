@@ -147,6 +147,10 @@ pub fn periodic_steady_state(
     opts: &PssOptions,
 ) -> Result<PeriodicSteadyState, AnalysisError> {
     crate::plan::gate(&crate::plan::pss_plan(circuit, opts))?;
+    let _span = remix_telemetry::span("remix.analysis.pss")
+        .with_field("analysis", "pss")
+        .with_field("elements", circuit.element_count())
+        .with_field("steps_per_period", opts.steps_per_period);
     // Reduced-harmonic degradation: shed resolution up front so the
     // whole search fits the remaining timestep allowance (counters are
     // monotonic — there is no retrying after a trip).

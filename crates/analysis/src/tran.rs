@@ -468,6 +468,10 @@ fn transient_inner(
     crate::plan::gate(&crate::plan::tran_plan(circuit, opts))?;
     let mut integ = Integrator::init(circuit, opts)?;
     let n_steps = (opts.t_stop / opts.h).round() as usize;
+    let _span = remix_telemetry::span("remix.analysis.tran")
+        .with_field("analysis", "tran")
+        .with_field("elements", circuit.element_count())
+        .with_field("steps", n_steps);
     let mut times = Vec::new();
     let mut solutions = Vec::new();
     if opts.record_start <= 0.0 {

@@ -73,6 +73,9 @@ pub fn noise_transient(
     config: &NoiseTranConfig,
 ) -> Result<TranResult, AnalysisError> {
     crate::plan::gate(&crate::plan::tran_plan(circuit, opts))?;
+    let _span = remix_telemetry::span("remix.analysis.trannoise")
+        .with_field("analysis", "trannoise")
+        .with_field("elements", circuit.element_count());
     let op = dc_operating_point(circuit, &OpOptions::default())?;
     let fs = 1.0 / opts.h;
     let n_samples = (opts.t_stop / opts.h).ceil() as usize + 2;

@@ -96,6 +96,21 @@ fn deck_subject(path: &str, fix: bool, config: &LintConfig) -> Result<Subject, S
 }
 
 fn main() -> ExitCode {
+    // The lint CLI keeps its own exit semantics (deny-driven, not
+    // supervisor-driven), so it wraps its body in a recorder directly
+    // instead of going through `run_bin`.
+    let recorder = remix_bench::BenchRecorder::arm("lint");
+    let clean = run();
+    recorder.finish(clean);
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Full CLI body; `true` means deny-clean (exit 0).
+fn run() -> bool {
     let mut json = false;
     let mut fix = false;
     let mut decks: Vec<String> = Vec::new();
@@ -105,7 +120,7 @@ fn main() -> ExitCode {
             "--fix" => fix = true,
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other} (expected --json, --fix, or deck paths)");
-                return ExitCode::FAILURE;
+                return false;
             }
             deck => decks.push(deck.to_string()),
         }
@@ -121,7 +136,7 @@ fn main() -> ExitCode {
                 Ok(s) => out.push(s),
                 Err(e) => {
                     eprintln!("{e}");
-                    return ExitCode::FAILURE;
+                    return false;
                 }
             }
         }
@@ -191,7 +206,7 @@ fn main() -> ExitCode {
         if !json {
             println!("all netlists and plans are deny-clean");
         }
-        ExitCode::SUCCESS
+        true
     } else {
         if !json {
             println!(
@@ -203,6 +218,6 @@ fn main() -> ExitCode {
                 }
             );
         }
-        ExitCode::FAILURE
+        false
     }
 }

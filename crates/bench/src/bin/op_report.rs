@@ -28,6 +28,14 @@ fn run() {
                 println!("==== {} mode (LO held at its extreme) ====\n", mode.label());
                 println!("{}", device_table(&ckt, &op));
                 println!("{}", node_table(&ckt, &op));
+                match op.rcond() {
+                    Some(r) => println!("condition estimate: rcond ≈ {r:.3e}"),
+                    None => println!("condition estimate: unavailable"),
+                }
+                if let Some(w) = op.condition_warning() {
+                    println!("  ! {w}");
+                }
+                println!();
                 let warns = bias_warnings(&ckt, &op);
                 if warns.is_empty() {
                     println!("bias check: clean\n");

@@ -18,12 +18,24 @@
 use remix_core::{eval::MixerEvaluator, MixerConfig};
 use remix_exec::{JobError, JobOutcome, RunBudget, Supervisor, SupervisorOptions};
 use remix_lint::{lint_plan, LintConfig, SimPlan};
-use std::sync::OnceLock;
+use remix_telemetry::{BenchRecord, JsonLinesSink, Telemetry, TelemetryGuard};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Environment variable capping a supervised bench run's wall clock in
 /// milliseconds (see [`run_bin`]). Unset or unparsable means unlimited.
 pub const DEADLINE_ENV: &str = "REMIX_BENCH_DEADLINE_MS";
+
+/// Environment variable disabling the bench perf record (and the event
+/// log with it): set `REMIX_BENCH_RECORD=0` to run a binary without
+/// touching the filesystem. Any other value — or unset — records.
+pub const RECORD_ENV: &str = "REMIX_BENCH_RECORD";
+
+/// Environment variable overriding the JSON-lines event-log path. Set
+/// `REMIX_TELEMETRY_EVENTS=0` to keep the metrics record but skip the
+/// event log; any other value replaces the default
+/// `BENCH_<bin>.events.jsonl`.
+pub const EVENTS_ENV: &str = "REMIX_TELEMETRY_EVENTS";
 
 fn bin_budget() -> RunBudget {
     match std::env::var(DEADLINE_ENV)
@@ -51,7 +63,16 @@ fn bin_budget() -> RunBudget {
 /// * Panics are caught by the supervisor and print as
 ///   `<label> panicked: <payload>`, exiting with status 101 like an
 ///   unsupervised panic would.
+/// * Unless [`RECORD_ENV`] (`REMIX_BENCH_RECORD`) is `0`, the run
+///   executes under an armed telemetry context: spans and counters from
+///   every instrumented layer accumulate in a fresh registry, lifecycle
+///   events stream to `BENCH_<bin>.events.jsonl` ([`EVENTS_ENV`]
+///   overrides the path, `0` disables just the log), and the frozen
+///   snapshot is written as a versioned [`BenchRecord`] to
+///   `BENCH_<bin>.json` — pass or fail, so a failed run still leaves
+///   its perf trail.
 pub fn run_bin(label: &str, mut body: impl FnMut() -> Result<(), Box<dyn std::error::Error>>) -> ! {
+    let recorder = BenchRecorder::arm(label);
     let sup = Supervisor::new(SupervisorOptions {
         budget: bin_budget(),
         // Figure regeneration is deterministic: a failed run would fail
@@ -62,6 +83,7 @@ pub fn run_bin(label: &str, mut body: impl FnMut() -> Result<(), Box<dyn std::er
     let report = sup.run(label, |_token| {
         body().map_err(|e| JobError::Fatal(e.to_string()))
     });
+    recorder.finish(report.outcome.is_done());
     match report.outcome {
         JobOutcome::Done(()) => std::process::exit(0),
         JobOutcome::Failed(msg) => {
@@ -73,6 +95,122 @@ pub fn run_bin(label: &str, mut body: impl FnMut() -> Result<(), Box<dyn std::er
             std::process::exit(101);
         }
     }
+}
+
+/// Telemetry capture for one bench process: arms a context on
+/// construction (unless [`RECORD_ENV`] is `0`), streams lifecycle
+/// events to `BENCH_<bin>.events.jsonl` (see [`EVENTS_ENV`]), and
+/// writes the frozen snapshot as a versioned [`BenchRecord`] to
+/// `BENCH_<bin>.json` on [`finish`](BenchRecorder::finish).
+///
+/// [`run_bin`] uses it around the supervised job; binaries with their
+/// own exit semantics (the `lint` CLI) wrap their body in one directly.
+pub struct BenchRecorder {
+    telemetry: Telemetry,
+    guard: Option<TelemetryGuard>,
+    bin: String,
+    label: String,
+    enabled: bool,
+}
+
+impl BenchRecorder {
+    /// Builds the sink, arms the thread-local context, and starts
+    /// capturing. Observability must not fail the run: an unwritable
+    /// event log degrades to metrics-only with a note on stderr.
+    pub fn arm(label: &str) -> BenchRecorder {
+        let bin = bin_name(label);
+        let enabled = std::env::var(RECORD_ENV).map_or(true, |v| v != "0");
+        let telemetry = match event_log_path(&bin) {
+            Some(path) if enabled => match JsonLinesSink::create(path.as_ref()) {
+                Ok(sink) => Telemetry::with_sink(Arc::new(sink)),
+                Err(e) => {
+                    eprintln!("{label}: cannot create event log {path}: {e}");
+                    Telemetry::new()
+                }
+            },
+            _ => Telemetry::new(),
+        };
+        let guard = enabled.then(|| telemetry.arm());
+        BenchRecorder {
+            telemetry,
+            guard,
+            bin,
+            label: label.to_string(),
+            enabled,
+        }
+    }
+
+    /// Disarms, flushes the event log, and writes `BENCH_<bin>.json` —
+    /// pass or fail, so a failed run still leaves its perf trail.
+    pub fn finish(mut self, pass: bool) {
+        self.guard.take();
+        if !self.enabled {
+            return;
+        }
+        self.telemetry.sink().flush();
+        let record = BenchRecord::new(
+            self.bin.clone(),
+            self.label.clone(),
+            pass,
+            config_fingerprint(&self.label),
+            self.telemetry.snapshot(),
+        );
+        let path = format!("BENCH_{}.json", self.bin);
+        if let Err(e) = std::fs::write(&path, record.render_json()) {
+            eprintln!("{}: cannot write bench record {path}: {e}", self.label);
+        }
+    }
+}
+
+/// The record file stem: the executable name when available (matches
+/// the `[[bin]]` name in CI artifacts), otherwise a slug of the label.
+fn bin_name(label: &str) -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| slug(label))
+}
+
+/// Filesystem-safe lowercase slug (`fig8 gain sweep` → `fig8_gain_sweep`).
+fn slug(label: &str) -> String {
+    let s: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.is_empty() {
+        "bench".to_string()
+    } else {
+        s
+    }
+}
+
+/// Resolves the event-log path: [`EVENTS_ENV`] override, `0` meaning
+/// "no event log", default `BENCH_<bin>.events.jsonl`.
+fn event_log_path(bin: &str) -> Option<String> {
+    match std::env::var(EVENTS_ENV) {
+        Ok(v) if v == "0" => None,
+        Ok(v) if !v.is_empty() => Some(v),
+        _ => Some(format!("BENCH_{bin}.events.jsonl")),
+    }
+}
+
+/// Fingerprint (FNV-1a 64, hex) of the configuration a bench record
+/// measured: the default [`MixerConfig`] debug rendering plus the run
+/// label. Records with different fingerprints are not comparable
+/// point-to-point.
+fn config_fingerprint(label: &str) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{:?}|{label}", MixerConfig::default()).bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
 }
 
 /// Shared evaluator for all binaries/benches (extraction is seconds),
@@ -179,6 +317,20 @@ mod tests {
     #[should_panic(expected = "no shipped plan named")]
     fn unknown_plan_label_panics() {
         checked_plan("fig99");
+    }
+
+    #[test]
+    fn label_slugs_are_filesystem_safe() {
+        assert_eq!(slug("fig8 gain sweep"), "fig8_gain_sweep");
+        assert_eq!(slug("Table I"), "table_i");
+        assert_eq!(slug(""), "bench");
+    }
+
+    #[test]
+    fn config_fingerprint_is_deterministic_and_label_sensitive() {
+        assert_eq!(config_fingerprint("fig8"), config_fingerprint("fig8"));
+        assert_ne!(config_fingerprint("fig8"), config_fingerprint("fig9"));
+        assert_eq!(config_fingerprint("fig8").len(), 16);
     }
 
     #[test]

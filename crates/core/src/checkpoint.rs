@@ -127,7 +127,9 @@ pub fn render(mm: &MismatchConfig, outcomes: &[SampleOutcome]) -> String {
 ///
 /// Propagates filesystem errors from the underlying write.
 pub fn save(path: &Path, mm: &MismatchConfig, outcomes: &[SampleOutcome]) -> std::io::Result<()> {
-    std::fs::write(path, render(mm, outcomes))
+    let result = std::fs::write(path, render(mm, outcomes));
+    checkpoint_event("save", path, result.is_ok(), outcomes.len());
+    result
 }
 
 // ---------------------------------------------------------------------
@@ -390,8 +392,16 @@ pub fn restore(text: &str, mm: &MismatchConfig) -> Option<Vec<(usize, SampleOutc
 /// Reads and validates the checkpoint at `path`; `None` when the file is
 /// missing, unreadable, malformed, or from a different configuration.
 pub fn load(path: &Path, mm: &MismatchConfig) -> Option<Vec<(usize, SampleOutcome)>> {
-    let text = std::fs::read_to_string(path).ok()?;
-    restore(&text, mm)
+    let restored = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| restore(&text, mm));
+    checkpoint_event(
+        "load",
+        path,
+        restored.is_some(),
+        restored.as_ref().map_or(0, Vec::len),
+    );
+    restored
 }
 
 // ---------------------------------------------------------------------
@@ -473,7 +483,9 @@ pub fn save_study(
     config: &[(String, f64)],
     records: &[(usize, StudyOutcome)],
 ) -> std::io::Result<()> {
-    std::fs::write(path, render_study(study, config, records))
+    let result = std::fs::write(path, render_study(study, config, records));
+    checkpoint_event("save_study", path, result.is_ok(), records.len());
+    result
 }
 
 /// Parses version-2 checkpoint text into `(index, outcome)` pairs, or
@@ -542,8 +554,46 @@ pub fn load_study(
     study: &str,
     config: &[(String, f64)],
 ) -> Option<Vec<(usize, StudyOutcome)>> {
-    let text = std::fs::read_to_string(path).ok()?;
-    restore_study(&text, study, config)
+    let restored = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| restore_study(&text, study, config));
+    checkpoint_event(
+        "load_study",
+        path,
+        restored.is_some(),
+        restored.as_ref().map_or(0, Vec::len),
+    );
+    restored
+}
+
+/// Counts and (when an observing sink is armed) logs one checkpoint
+/// save/load. A failed load is an expected outcome — missing file on
+/// first run, stale configuration — not an error, so it is recorded
+/// rather than reported.
+fn checkpoint_event(op: &'static str, path: &Path, ok: bool, records: usize) {
+    if !remix_telemetry::is_armed() {
+        return;
+    }
+    remix_telemetry::counter_add(
+        if ok {
+            "remix.core.checkpoint.ops_ok"
+        } else {
+            "remix.core.checkpoint.ops_failed"
+        },
+        1,
+    );
+    remix_telemetry::event(
+        "remix.core.checkpoint",
+        vec![
+            ("op", remix_telemetry::FieldValue::from(op)),
+            (
+                "path",
+                remix_telemetry::FieldValue::from(path.display().to_string()),
+            ),
+            ("ok", remix_telemetry::FieldValue::from(u64::from(ok))),
+            ("records", remix_telemetry::FieldValue::from(records)),
+        ],
+    );
 }
 
 #[cfg(test)]

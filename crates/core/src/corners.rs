@@ -302,6 +302,9 @@ pub fn sweep_corners_resumable(
             );
         }
         let cfg = corner.apply(base);
+        let _span = remix_telemetry::span("remix.core.corners.corner")
+            .with_field("index", i)
+            .with_field("process", corner.process.label());
         let outcome = match ExtractedParams::extract(&cfg) {
             Ok(params) => CornerOutcome::Ok(Box::new(params)),
             Err(AnalysisError::BudgetExceeded {

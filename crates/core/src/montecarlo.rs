@@ -301,19 +301,30 @@ pub fn iip2_study(base: &MixerConfig, mm: &MismatchConfig, checkpoint: Option<&P
         let _fault =
             (mm.fault_sample == Some(i)).then(|| remix_analysis::FaultPlan::singular_pivot().arm());
         let mut rng = StdRng::seed_from_u64(sample_seed(mm.seed, i));
-        let outcome = match iip2_sample(base, &mut rng, mm) {
-            Ok(v) => SampleOutcome::Ok(v),
-            Err(e) => {
-                if let Some(intr) = e.interruption() {
-                    // A budget trip mid-sample interrupts the *study*,
-                    // not this sample: nothing is recorded for it, so a
-                    // resumed run recomputes the sample in full.
-                    study.interrupted = Some(intr);
-                    break;
+        let outcome = {
+            let _span =
+                remix_telemetry::span("remix.core.montecarlo.sample").with_field("index", i);
+            match iip2_sample(base, &mut rng, mm) {
+                Ok(v) => SampleOutcome::Ok(v),
+                Err(e) => {
+                    if let Some(intr) = e.interruption() {
+                        // A budget trip mid-sample interrupts the *study*,
+                        // not this sample: nothing is recorded for it, so a
+                        // resumed run recomputes the sample in full.
+                        study.interrupted = Some(intr);
+                        break;
+                    }
+                    SampleOutcome::Failed(failure_trace(&e))
                 }
-                SampleOutcome::Failed(failure_trace(&e))
             }
         };
+        remix_telemetry::counter_add(
+            match outcome {
+                SampleOutcome::Ok(_) => "remix.core.montecarlo.samples_ok",
+                SampleOutcome::Failed(_) => "remix.core.montecarlo.samples_failed",
+            },
+            1,
+        );
         study.outcomes.push(outcome);
         study.computed += 1;
         if let Some(path) = checkpoint {

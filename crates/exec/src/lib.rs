@@ -27,9 +27,9 @@
 //!   work queue, and a [`Watchdog`] thread that trips tokens whose
 //!   deadline passed even when the job stops calling hooks.
 //!
-//! The crate is dependency-free and knows nothing about circuits; the
-//! analysis layer owns the mapping from an [`Interruption`] to a typed
-//! partial result.
+//! The crate depends only on `remix-telemetry` (job lifecycle events)
+//! and knows nothing about circuits; the analysis layer owns the
+//! mapping from an [`Interruption`] to a typed partial result.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

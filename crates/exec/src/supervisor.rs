@@ -211,8 +211,15 @@ impl Supervisor {
     ) -> JobReport<T> {
         let total = self.opts.max_retries + 1;
         let mut last_failure: Option<JobOutcome<T>> = None;
+        remix_telemetry::counter_add("remix.exec.jobs", 1);
+        job_event(name, "queued", 0, 0, 0);
+        // Budget consumption of the most recent attempt, reported on the
+        // terminal `finished` event.
+        let mut spent = (0u64, 0u64);
         for attempt in 0..total {
             if attempt > 0 {
+                remix_telemetry::counter_add("remix.exec.retries", 1);
+                job_event(name, "retried", attempt, spent.0, spent.1);
                 std::thread::sleep(backoff_delay(&self.opts, name, attempt - 1));
             }
             let token = self.opts.budget.token();
@@ -221,23 +228,31 @@ impl Supervisor {
                 .budget
                 .deadline
                 .map(|_| Watchdog::spawn(token.clone(), self.opts.watchdog_poll));
+            job_event(name, "started", attempt, 0, 0);
             let guard = token.arm();
             let result = catch_unwind(AssertUnwindSafe(|| work(&token)));
             drop(guard);
+            spent = (token.newton_spent(), token.timesteps_spent());
+            if token.deadline_expired() {
+                remix_telemetry::counter_add("remix.exec.watchdog_trips", 1);
+                job_event(name, "watchdog_tripped", attempt, spent.0, spent.1);
+            }
             match result {
                 Ok(Ok(v)) => {
+                    job_event(name, "finished", attempt, spent.0, spent.1);
                     return JobReport {
                         name: name.to_string(),
                         outcome: JobOutcome::Done(v),
                         attempts: attempt + 1,
-                    }
+                    };
                 }
                 Ok(Err(JobError::Fatal(msg))) => {
+                    job_event(name, "finished", attempt, spent.0, spent.1);
                     return JobReport {
                         name: name.to_string(),
                         outcome: JobOutcome::Failed(msg),
                         attempts: attempt + 1,
-                    }
+                    };
                 }
                 Ok(Err(JobError::Retryable(msg))) => {
                     last_failure = Some(JobOutcome::Failed(msg));
@@ -247,6 +262,7 @@ impl Supervisor {
                 }
             }
         }
+        job_event(name, "finished", total.saturating_sub(1), spent.0, spent.1);
         JobReport {
             name: name.to_string(),
             outcome: last_failure.unwrap_or(JobOutcome::Failed("no attempts".into())),
@@ -290,6 +306,33 @@ impl Supervisor {
             })
             .collect()
     }
+}
+
+/// Emits one `remix.exec.job` lifecycle event (no-op unless an observing
+/// telemetry sink is armed on this thread).
+fn job_event(name: &str, state: &'static str, attempt: u32, newton_spent: u64, timesteps: u64) {
+    if !remix_telemetry::is_observing() {
+        return;
+    }
+    remix_telemetry::event(
+        "remix.exec.job",
+        vec![
+            ("job", remix_telemetry::FieldValue::from(name)),
+            ("state", remix_telemetry::FieldValue::from(state)),
+            (
+                "attempt",
+                remix_telemetry::FieldValue::from(u64::from(attempt)),
+            ),
+            (
+                "newton_spent",
+                remix_telemetry::FieldValue::from(newton_spent),
+            ),
+            (
+                "timesteps_spent",
+                remix_telemetry::FieldValue::from(timesteps),
+            ),
+        ],
+    );
 }
 
 fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {

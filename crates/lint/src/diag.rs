@@ -108,11 +108,16 @@ pub enum RuleId {
     /// default run budget admits and no checkpoint interval is declared:
     /// an interrupted run would restart from zero.
     UncheckpointedRun,
+    /// `SIM008` — a long run (implied step count above a tenth of the
+    /// default timestep budget) with no event log declared and no
+    /// observing telemetry sink armed: if it stalls or dies there is
+    /// nothing to diagnose from.
+    UnobservedLongRun,
 }
 
 impl RuleId {
     /// Every rule, in code order (`ERC` first, then `SIM`).
-    pub const ALL: [RuleId; 20] = [
+    pub const ALL: [RuleId; 21] = [
         RuleId::DanglingNode,
         RuleId::NoDcPath,
         RuleId::VsourceLoop,
@@ -133,6 +138,7 @@ impl RuleId {
         RuleId::SweepRange,
         RuleId::TranDuration,
         RuleId::UncheckpointedRun,
+        RuleId::UnobservedLongRun,
     ];
 
     /// The stable textual code (`ERC001_DANGLING_NODE`, …).
@@ -158,6 +164,7 @@ impl RuleId {
             RuleId::SweepRange => "SIM005_SWEEP_RANGE",
             RuleId::TranDuration => "SIM006_TRAN_DURATION",
             RuleId::UncheckpointedRun => "SIM007_UNCHECKPOINTED_RUN",
+            RuleId::UnobservedLongRun => "SIM008_UNOBSERVED_LONG_RUN",
         }
     }
 
@@ -180,7 +187,8 @@ impl RuleId {
             | RuleId::NoiseBand
             | RuleId::SweepRange
             | RuleId::TranDuration
-            | RuleId::UncheckpointedRun => Severity::Warn,
+            | RuleId::UncheckpointedRun
+            | RuleId::UnobservedLongRun => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -209,6 +217,9 @@ impl RuleId {
             RuleId::TranDuration => "transient shorter than the slowest time constant",
             RuleId::UncheckpointedRun => {
                 "step count above the default run budget with no checkpoint interval"
+            }
+            RuleId::UnobservedLongRun => {
+                "long run with no event log declared and no telemetry sink armed"
             }
         }
     }

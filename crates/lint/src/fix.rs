@@ -92,6 +92,12 @@ pub enum Fix {
         /// New duration (s).
         seconds: f64,
     },
+    /// Declare a JSON-lines event log so a long run leaves a
+    /// diagnosable trail.
+    DeclareEventLog {
+        /// Suggested log file path.
+        path: String,
+    },
 }
 
 impl Fix {
@@ -127,6 +133,9 @@ impl Fix {
             }
             Fix::ExtendDuration { seconds } => {
                 format!("extend the transient to {seconds:.3e} s")
+            }
+            Fix::DeclareEventLog { path } => {
+                format!("declare the JSON-lines event log '{path}'")
             }
         }
     }
@@ -180,6 +189,10 @@ impl Fix {
             Fix::ExtendDuration { seconds } => format!(
                 "{{\"action\":\"extend_duration\",\"seconds\":{}}}",
                 num(*seconds)
+            ),
+            Fix::DeclareEventLog { path } => format!(
+                "{{\"action\":\"declare_event_log\",\"path\":{}}}",
+                json_str(path)
             ),
         }
     }
@@ -253,6 +266,10 @@ impl Fix {
             }
             Fix::ExtendDuration { seconds } => {
                 plan.duration = Some(*seconds);
+                true
+            }
+            Fix::DeclareEventLog { path } => {
+                plan.event_log = Some(path.clone());
                 true
             }
             _ => false,

@@ -1,4 +1,4 @@
-//! Simulation-plan lint: `SIM001`–`SIM007`.
+//! Simulation-plan lint: `SIM001`–`SIM008`.
 //!
 //! A structurally sound netlist can still produce plausible-but-wrong
 //! numbers when the *analysis plan* is numerically unsound — a two-tone
@@ -83,6 +83,10 @@ pub struct SimPlan {
     /// persists resumable state. Declaring one tells `SIM007` that an
     /// interrupted run resumes instead of restarting from zero.
     pub checkpoint_interval: Option<f64>,
+    /// Path of the JSON-lines event log the driver writes, when one is
+    /// declared. Declaring one tells `SIM008` that a stalled or killed
+    /// long run leaves a diagnosable trail.
+    pub event_log: Option<String>,
     /// Measurement intent the plan is judged against.
     pub targets: PlanTargets,
 }
@@ -156,6 +160,12 @@ impl SimPlan {
     /// checkpoint writes).
     pub fn with_checkpoint_interval(mut self, interval: f64) -> Self {
         self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// Declares the JSON-lines event log path the driver writes.
+    pub fn with_event_log(mut self, path: &str) -> Self {
+        self.event_log = Some(path.to_string());
         self
     }
 
@@ -400,7 +410,55 @@ pub fn lint_plan(plan: &SimPlan, config: &LintConfig) -> LintReport {
         }
     }
 
+    // SIM008: long run with no observability declared. A run a tenth the
+    // size of the default timestep budget is long enough that a stall or
+    // kill without an event log (and without an armed observing
+    // telemetry sink) leaves nothing to diagnose from.
+    if let (Some(s), Some(h), Some(t)) =
+        (sev(RuleId::UnobservedLongRun), plan.timestep, plan.duration)
+    {
+        let threshold = remix_exec::DEFAULT_TIMESTEP_BUDGET as f64 / 10.0;
+        if h > 0.0
+            && t / h > threshold
+            && plan.event_log.is_none()
+            && !remix_telemetry::is_observing()
+        {
+            let log = format!("{}.events.jsonl", slug(&plan.name));
+            emit(
+                RuleId::UnobservedLongRun,
+                s,
+                format!(
+                    "duration {t:.3e} s at timestep {h:.3e} s implies {:.3e} steps with no \
+                     event log declared and no telemetry sink armed: if the run stalls or \
+                     dies there is nothing to diagnose from — declare a JSON-lines event \
+                     log or arm an observing sink",
+                    t / h
+                ),
+                Some(Fix::DeclareEventLog { path: log }),
+            );
+        }
+    }
+
     LintReport { diagnostics: out }
+}
+
+/// Filesystem-safe slug of a plan name for the suggested event-log path.
+fn slug(name: &str) -> String {
+    let s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.is_empty() {
+        "plan".to_string()
+    } else {
+        s
+    }
 }
 
 fn join_hz(v: &[f64]) -> String {
@@ -447,6 +505,49 @@ mod tests {
             .with_timestep(1e-9)
             .with_duration(1e-5);
         assert_eq!(fired(&short, RuleId::UncheckpointedRun), 0);
+    }
+
+    #[test]
+    fn sim008_long_run_without_observability() {
+        // 1 ms at 1 ns: 10⁶ steps, an order above a tenth of the default
+        // budget — long enough that a silent death is undiagnosable.
+        let blind = SimPlan::new("marathon tran")
+            .with_timestep(1e-9)
+            .with_duration(1e-3);
+        let report = lint_plan(&blind, &LintConfig::default());
+        let diags = report.by_rule(RuleId::UnobservedLongRun);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warn);
+        let fix = diags[0].fix.clone().expect("machine-applicable fix");
+        assert_eq!(
+            fix,
+            Fix::DeclareEventLog {
+                path: "marathon_tran.events.jsonl".to_string()
+            }
+        );
+
+        // The fix silences the rule.
+        let mut fixed = blind.clone();
+        assert!(fix.apply_to_plan(&mut fixed));
+        assert_eq!(fired(&fixed, RuleId::UnobservedLongRun), 0);
+
+        // Declaring an event log up front also silences it.
+        let logged = blind.clone().with_event_log("run.events.jsonl");
+        assert_eq!(fired(&logged, RuleId::UnobservedLongRun), 0);
+
+        // As does arming an observing telemetry sink on this thread.
+        let t = remix_telemetry::Telemetry::with_sink(std::sync::Arc::new(
+            remix_telemetry::MemorySink::new(),
+        ));
+        let _g = t.arm();
+        assert_eq!(fired(&blind, RuleId::UnobservedLongRun), 0);
+        drop(_g);
+
+        // A short plan never fires.
+        let short = SimPlan::new("short tran")
+            .with_timestep(1e-9)
+            .with_duration(1e-5);
+        assert_eq!(fired(&short, RuleId::UnobservedLongRun), 0);
     }
 
     #[test]

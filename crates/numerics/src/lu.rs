@@ -141,6 +141,7 @@ impl<T: Scalar> LuFactor<T> {
             }
         }
 
+        remix_telemetry::counter_add("remix.numerics.lu.factorizations", 1);
         Ok(LuFactor {
             lu,
             perm,

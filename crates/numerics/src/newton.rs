@@ -136,6 +136,9 @@ pub fn newton_solve<S: NonlinearSystem>(
 ) -> Result<NewtonReport, NewtonError> {
     let n = system.dim();
     assert_eq!(x0.len(), n, "initial guess dimension mismatch");
+    let _span = remix_telemetry::span("remix.numerics.newton.solve").with_field("dim", n);
+    // Fetched once so the hot loop below touches only a relaxed atomic.
+    let iter_counter = remix_telemetry::counter("remix.numerics.newton.iterations");
     let mut x = x0.to_vec();
     let mut f = vec![0.0; n];
     let mut jac = DenseMatrix::zeros(n, n);
@@ -146,10 +149,12 @@ pub fn newton_solve<S: NonlinearSystem>(
 
     for iter in 0..opts.max_iter {
         remix_exec::charge_newton_iteration().map_err(NewtonError::Interrupted)?;
+        iter_counter.add(1);
         if !fnorm.is_finite() {
             return Err(NewtonError::Diverged { iteration: iter });
         }
         if fnorm < opts.f_tol && iter > 0 {
+            remix_telemetry::histogram_observe("remix.numerics.newton.residual_norm", fnorm);
             return Ok(NewtonReport {
                 x,
                 iterations: iter,
@@ -215,6 +220,7 @@ pub fn newton_solve<S: NonlinearSystem>(
         let x_norm = vecops::norm_inf(&x);
         let step = alpha * vecops::norm_inf(&dx);
         if step < opts.dx_tol + opts.dx_rtol * x_norm && fnorm < opts.f_tol.max(1e-6) {
+            remix_telemetry::histogram_observe("remix.numerics.newton.residual_norm", fnorm);
             return Ok(NewtonReport {
                 x,
                 iterations: iter + 1,

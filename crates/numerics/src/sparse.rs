@@ -347,13 +347,19 @@ impl<T: Scalar> SparseLu<T> {
             upper[k] = pivot_row[pivot_pos..].to_vec();
         }
 
-        Ok(SparseLu {
+        let lu = SparseLu {
             n,
             lower,
             upper,
             perm,
             scale,
-        })
+        };
+        if remix_telemetry::is_armed() {
+            remix_telemetry::counter_add("remix.numerics.lu.factorizations", 1);
+            remix_telemetry::gauge_set("remix.numerics.lu.fill_nnz", lu.fill_nnz() as f64);
+            remix_telemetry::gauge_set("remix.numerics.lu.rcond", lu.rcond_estimate());
+        }
+        Ok(lu)
     }
 
     /// Dimension of the factored system.

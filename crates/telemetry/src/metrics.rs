@@ -1,0 +1,417 @@
+//! The process-wide metric registry: counters, gauges, fixed-bucket
+//! histograms and span roll-ups, with deterministically ordered
+//! snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Default histogram buckets for residual norms and other
+/// positive-and-tiny quantities: half-decade-ish log spacing from
+/// 1e-12 to 1e2, values above the last bound land in the overflow.
+pub const DEFAULT_RESIDUAL_BUCKETS: [f64; 8] = [1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0, 1e2];
+
+/// Default histogram buckets for durations in milliseconds.
+pub const DEFAULT_DURATION_BUCKETS_MS: [f64; 8] =
+    [0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0];
+
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Metric maps hold plain data; a panic mid-insert cannot leave them
+    // logically torn, so recover instead of cascading the poison.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Handle to one monotonic counter. Detached (default) handles are
+/// inert: `add` does nothing, `value` reads zero. Clone freely; all
+/// clones share the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n`. One relaxed atomic increment when attached.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (zero when detached).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to one last-value gauge (stored as `f64` bits). Detached
+/// handles are inert.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Replaces the gauge value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (`NaN` when detached or never set).
+    pub fn value(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(f64::NAN, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bounds, ascending; observations above the last bound are
+    /// counted only in `count`/`sum` (implicit overflow bucket).
+    bounds: Vec<f64>,
+    bucket_counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum, stored as `f64` bits and updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new(bounds: &[f64]) -> Self {
+        HistogramCore {
+            bounds: bounds.to_vec(),
+            bucket_counts: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn observe(&self, value: f64) {
+        if let Some(k) = self.bounds.iter().position(|&b| value <= b) {
+            self.bucket_counts[k].fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .bounds
+                .iter()
+                .zip(&self.bucket_counts)
+                .map(|(&b, c)| (b, c.load(Ordering::Relaxed)))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Handle to one fixed-bucket histogram. Detached handles are inert.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Records one observation: bumps the first bucket whose upper
+    /// bound admits `value` (or only the total, past the last bound).
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        if let Some(core) = &self.0 {
+            core.observe(value);
+        }
+    }
+}
+
+/// Registry of every metric one [`Telemetry`](crate::Telemetry) context
+/// accumulates. All handles stay valid for the registry's lifetime;
+/// snapshots are ordered by metric name so two identical runs render
+/// byte-identical.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCore>>>,
+    /// Span roll-up: name → (exit count, total duration ns).
+    spans: Mutex<BTreeMap<&'static str, (u64, u64)>>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get-or-create the named counter.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut map = lock_or_recover(&self.counters);
+        Counter(Some(Arc::clone(map.entry(name).or_default())))
+    }
+
+    /// Get-or-create the named gauge. A never-set gauge snapshots as
+    /// `0.0`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut map = lock_or_recover(&self.gauges);
+        Gauge(Some(Arc::clone(map.entry(name).or_default())))
+    }
+
+    /// Get-or-create the named histogram with
+    /// [`DEFAULT_RESIDUAL_BUCKETS`].
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.histogram_with_buckets(name, &DEFAULT_RESIDUAL_BUCKETS)
+    }
+
+    /// Get-or-create the named histogram with explicit bucket upper
+    /// bounds (ascending). Bounds are fixed by the first touch;
+    /// subsequent calls reuse the existing buckets.
+    pub fn histogram_with_buckets(&self, name: &'static str, bounds: &[f64]) -> Histogram {
+        let mut map = lock_or_recover(&self.histograms);
+        let core = map
+            .entry(name)
+            .or_insert_with(|| Arc::new(HistogramCore::new(bounds)));
+        Histogram(Some(Arc::clone(core)))
+    }
+
+    /// Folds one exited span into the per-name roll-up. Public so
+    /// deterministic tests (and replay tooling) can inject known
+    /// durations.
+    pub fn record_span(&self, name: &'static str, duration: Duration) {
+        let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        let mut map = lock_or_recover(&self.spans);
+        let slot = map.entry(name).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 = slot.1.saturating_add(ns);
+    }
+
+    /// Snapshot of every metric and span roll-up, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut metrics: Vec<MetricEntry> = Vec::new();
+        for (name, cell) in lock_or_recover(&self.counters).iter() {
+            metrics.push(MetricEntry {
+                name: (*name).to_string(),
+                value: MetricValue::Counter(cell.load(Ordering::Relaxed)),
+            });
+        }
+        for (name, cell) in lock_or_recover(&self.gauges).iter() {
+            metrics.push(MetricEntry {
+                name: (*name).to_string(),
+                value: MetricValue::Gauge(f64::from_bits(cell.load(Ordering::Relaxed))),
+            });
+        }
+        for (name, core) in lock_or_recover(&self.histograms).iter() {
+            metrics.push(MetricEntry {
+                name: (*name).to_string(),
+                value: MetricValue::Histogram(core.snapshot()),
+            });
+        }
+        metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        let spans = lock_or_recover(&self.spans)
+            .iter()
+            .map(|(name, &(count, total_ns))| SpanRollup {
+                name: (*name).to_string(),
+                count,
+                total_ns,
+            })
+            .collect();
+        MetricsSnapshot { metrics, spans }
+    }
+}
+
+/// One snapshot entry: a metric name with its frozen value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name (`remix.<crate>.<name>`).
+    pub name: String,
+    /// Frozen value.
+    pub value: MetricValue,
+}
+
+/// A frozen metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter total.
+    Counter(u64),
+    /// Last gauge value (`0.0` when never set).
+    Gauge(f64),
+    /// Fixed-bucket histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// Frozen fixed-bucket histogram state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// `(upper bound, observations at or below it and above the
+    /// previous bound)` in ascending bound order.
+    pub buckets: Vec<(f64, u64)>,
+    /// Total observations, including those above the last bound.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+/// Aggregated statistics of one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRollup {
+    /// Span name.
+    pub name: String,
+    /// Completed (exited) spans.
+    pub count: u64,
+    /// Total monotonic duration across those spans (ns).
+    pub total_ns: u64,
+}
+
+/// A frozen, deterministically ordered view of one registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counters, gauges and histograms, sorted by name.
+    pub metrics: Vec<MetricEntry>,
+    /// Span roll-ups, sorted by name.
+    pub spans: Vec<SpanRollup>,
+}
+
+impl MetricsSnapshot {
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty() && self.spans.is_empty()
+    }
+
+    /// Value of the named counter, when present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|m| match m.value {
+            MetricValue::Counter(v) if m.name == name => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Value of the named gauge, when present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find_map(|m| match m.value {
+            MetricValue::Gauge(v) if m.name == name => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Roll-up of the named span, when present.
+    pub fn span(&self, name: &str) -> Option<&SpanRollup> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The snapshot with everything wall-clock-dependent removed:
+    /// metrics whose name marks them as timings (`*_ns`, `*_ms`,
+    /// `*_seconds`) are dropped and span durations are zeroed (the
+    /// span *counts* stay). Two same-seed runs of a deterministic
+    /// workload must produce equal de-timed snapshots.
+    pub fn without_timings(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .filter(|m| {
+                    !(m.name.ends_with("_ns")
+                        || m.name.ends_with("_ms")
+                        || m.name.ends_with("_seconds"))
+                })
+                .cloned()
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|s| SpanRollup {
+                    name: s.name.clone(),
+                    count: s.count,
+                    total_ns: 0,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("remix.test.hits");
+        let b = reg.counter("remix.test.hits");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.value(), 5);
+        assert_eq!(reg.snapshot().counter("remix.test.hits"), Some(5));
+    }
+
+    #[test]
+    fn gauges_keep_the_last_value() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("remix.test.rcond");
+        g.set(1e-3);
+        g.set(1e-9);
+        assert_eq!(reg.snapshot().gauge("remix.test.rcond"), Some(1e-9));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with_buckets("remix.test.resid", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(500.0); // overflow: only count/sum
+        let snap = reg.snapshot();
+        let MetricValue::Histogram(hs) = &snap.metrics[0].value else {
+            panic!("expected histogram");
+        };
+        assert_eq!(hs.buckets, vec![(1.0, 1), (10.0, 1)]);
+        assert_eq!(hs.count, 3);
+        assert!((hs.sum - 505.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let reg = MetricsRegistry::new();
+        reg.counter("remix.z.last").add(1);
+        reg.gauge("remix.a.first").set(2.0);
+        reg.counter("remix.m.middle").add(1);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["remix.a.first", "remix.m.middle", "remix.z.last"]
+        );
+    }
+
+    #[test]
+    fn span_rollup_accumulates_and_detimes() {
+        let reg = MetricsRegistry::new();
+        reg.record_span("remix.test.work", Duration::from_nanos(100));
+        reg.record_span("remix.test.work", Duration::from_nanos(50));
+        let snap = reg.snapshot();
+        let s = snap.span("remix.test.work").expect("rollup");
+        assert_eq!((s.count, s.total_ns), (2, 150));
+        let detimed = snap.without_timings();
+        assert_eq!(detimed.span("remix.test.work").map(|s| s.total_ns), Some(0));
+        assert_eq!(detimed.span("remix.test.work").map(|s| s.count), Some(2));
+    }
+
+    #[test]
+    fn without_timings_drops_timing_named_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("remix.test.ok").add(1);
+        reg.gauge("remix.test.elapsed_ms").set(12.0);
+        let snap = reg.snapshot().without_timings();
+        assert_eq!(snap.metrics.len(), 1);
+        assert_eq!(snap.metrics[0].name, "remix.test.ok");
+    }
+}

@@ -1,0 +1,331 @@
+//! Versioned bench perf records (`BENCH_<bin>.json`).
+//!
+//! Every bench binary run under `remix_bench::run_bin` freezes its
+//! telemetry registry into one of these: the machine-readable perf
+//! trajectory future optimisation PRs are judged against. The layout
+//! is versioned like the lint report and the study checkpoints —
+//! consumers reject versions they do not understand instead of
+//! misreading them.
+
+use crate::json::{json_f64, json_str, parse_json, JsonValue};
+use crate::metrics::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot, SpanRollup};
+use std::fmt;
+
+/// Version of the [`BenchRecord`] JSON layout. History: 1 = first
+/// release (metrics snapshot + span roll-up + pass flag + config
+/// fingerprint).
+pub const BENCH_RECORD_SCHEMA_VERSION: u32 = 1;
+
+/// One bench binary's frozen perf record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Layout version ([`BENCH_RECORD_SCHEMA_VERSION`] when written by
+    /// this build).
+    pub schema_version: u32,
+    /// Binary name (`fig8_cg_vs_rf`), also the record's file stem.
+    pub bin: String,
+    /// Human-readable job label the supervisor ran.
+    pub label: String,
+    /// `true` when the supervised job completed.
+    pub pass: bool,
+    /// Fingerprint of the configuration the run measured (hex). Records
+    /// with different fingerprints are not comparable point-to-point.
+    pub config_fingerprint: String,
+    /// The frozen metrics and span roll-ups.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl BenchRecord {
+    /// Builds a version-current record.
+    pub fn new(
+        bin: impl Into<String>,
+        label: impl Into<String>,
+        pass: bool,
+        config_fingerprint: impl Into<String>,
+        snapshot: MetricsSnapshot,
+    ) -> BenchRecord {
+        BenchRecord {
+            schema_version: BENCH_RECORD_SCHEMA_VERSION,
+            bin: bin.into(),
+            label: label.into(),
+            pass,
+            config_fingerprint: config_fingerprint.into(),
+            snapshot,
+        }
+    }
+
+    /// Pretty JSON rendering, one metric per line (greppable by CI
+    /// smoke checks). Deterministic given a deterministic snapshot.
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        s.push_str(&format!("  \"bin\": {},\n", json_str(&self.bin)));
+        s.push_str(&format!("  \"label\": {},\n", json_str(&self.label)));
+        s.push_str(&format!("  \"pass\": {},\n", self.pass));
+        s.push_str(&format!(
+            "  \"config_fingerprint\": {},\n",
+            json_str(&self.config_fingerprint)
+        ));
+        s.push_str("  \"metrics\": [");
+        for (i, m) in self.snapshot.metrics.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    ");
+            s.push_str(&render_metric(m));
+        }
+        s.push_str(if self.snapshot.metrics.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"spans\": [");
+        for (i, sp) in self.snapshot.spans.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"count\": {}, \"total_ns\": {}}}",
+                json_str(&sp.name),
+                sp.count,
+                sp.total_ns
+            ));
+        }
+        s.push_str(if self.snapshot.spans.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parses a record written by [`BenchRecord::render_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`RecordError`] on malformed JSON, missing fields, or a schema
+    /// version this build does not understand.
+    pub fn parse_json(text: &str) -> Result<BenchRecord, RecordError> {
+        let doc = parse_json(text).map_err(|e| RecordError(e.to_string()))?;
+        let version = doc
+            .get("schema_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| RecordError("missing schema_version".into()))?;
+        if version != u64::from(BENCH_RECORD_SCHEMA_VERSION) {
+            return Err(RecordError(format!(
+                "unsupported schema_version {version} (this build reads \
+                 {BENCH_RECORD_SCHEMA_VERSION})"
+            )));
+        }
+        let str_field = |key: &str| -> Result<String, RecordError> {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| RecordError(format!("missing string field '{key}'")))
+        };
+        let metrics = doc
+            .get("metrics")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| RecordError("missing metrics array".into()))?
+            .iter()
+            .map(parse_metric)
+            .collect::<Result<Vec<_>, _>>()?;
+        let spans = doc
+            .get("spans")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| RecordError("missing spans array".into()))?
+            .iter()
+            .map(parse_span)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchRecord {
+            schema_version: version as u32,
+            bin: str_field("bin")?,
+            label: str_field("label")?,
+            pass: doc
+                .get("pass")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| RecordError("missing pass flag".into()))?,
+            config_fingerprint: str_field("config_fingerprint")?,
+            snapshot: MetricsSnapshot { metrics, spans },
+        })
+    }
+}
+
+fn render_metric(m: &MetricEntry) -> String {
+    match &m.value {
+        MetricValue::Counter(v) => format!(
+            "{{\"name\": {}, \"kind\": \"counter\", \"value\": {v}}}",
+            json_str(&m.name)
+        ),
+        MetricValue::Gauge(v) => format!(
+            "{{\"name\": {}, \"kind\": \"gauge\", \"value\": {}}}",
+            json_str(&m.name),
+            json_f64(*v)
+        ),
+        MetricValue::Histogram(h) => {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(b, c)| format!("[{}, {c}]", json_f64(*b)))
+                .collect();
+            format!(
+                "{{\"name\": {}, \"kind\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                 \"buckets\": [{}]}}",
+                json_str(&m.name),
+                h.count,
+                json_f64(h.sum),
+                buckets.join(", ")
+            )
+        }
+    }
+}
+
+fn parse_metric(v: &JsonValue) -> Result<MetricEntry, RecordError> {
+    let name = v
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| RecordError("metric without a name".into()))?
+        .to_string();
+    let kind = v
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| RecordError(format!("metric '{name}' without a kind")))?;
+    let value = match kind {
+        "counter" => MetricValue::Counter(
+            v.get("value")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| RecordError(format!("counter '{name}' without a value")))?,
+        ),
+        "gauge" => MetricValue::Gauge(
+            v.get("value")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| RecordError(format!("gauge '{name}' without a value")))?,
+        ),
+        "histogram" => {
+            let buckets = v
+                .get("buckets")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| RecordError(format!("histogram '{name}' without buckets")))?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr().unwrap_or(&[]);
+                    match (
+                        pair.first().and_then(JsonValue::as_f64),
+                        pair.get(1).and_then(JsonValue::as_u64),
+                    ) {
+                        (Some(b), Some(c)) => Ok((b, c)),
+                        _ => Err(RecordError(format!("histogram '{name}' malformed bucket"))),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            MetricValue::Histogram(HistogramSnapshot {
+                buckets,
+                count: v
+                    .get("count")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| RecordError(format!("histogram '{name}' without count")))?,
+                sum: v
+                    .get("sum")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| RecordError(format!("histogram '{name}' without sum")))?,
+            })
+        }
+        other => return Err(RecordError(format!("unknown metric kind '{other}'"))),
+    };
+    Ok(MetricEntry { name, value })
+}
+
+fn parse_span(v: &JsonValue) -> Result<SpanRollup, RecordError> {
+    match (
+        v.get("name").and_then(JsonValue::as_str),
+        v.get("count").and_then(JsonValue::as_u64),
+        v.get("total_ns").and_then(JsonValue::as_u64),
+    ) {
+        (Some(name), Some(count), Some(total_ns)) => Ok(SpanRollup {
+            name: name.to_string(),
+            count,
+            total_ns,
+        }),
+        _ => Err(RecordError("malformed span roll-up entry".into())),
+    }
+}
+
+/// Why a bench record could not be parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordError(pub String);
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bench record error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+    use std::time::Duration;
+
+    fn sample() -> BenchRecord {
+        let reg = MetricsRegistry::new();
+        reg.counter("remix.numerics.lu.factorizations").add(42);
+        reg.gauge("remix.analysis.op.rcond").set(3.5e-7);
+        reg.histogram_with_buckets("remix.numerics.newton.residual_norm", &[1e-9, 1e-6])
+            .observe(2e-8);
+        reg.record_span("remix.analysis.op", Duration::from_nanos(1_500));
+        BenchRecord::new(
+            "fig8_cg_vs_rf",
+            "fig8 gain sweep",
+            true,
+            "00ff00ff00ff00ff",
+            reg.snapshot(),
+        )
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let record = sample();
+        let json = record.render_json();
+        let parsed = BenchRecord::parse_json(&json).expect("parse");
+        assert_eq!(parsed, record);
+        // And rendering the parse is byte-identical.
+        assert_eq!(parsed.render_json(), json);
+    }
+
+    #[test]
+    fn unsupported_versions_are_rejected() {
+        let mut json = sample().render_json();
+        json = json.replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let err = BenchRecord::parse_json(&json).expect_err("must reject");
+        assert!(err.to_string().contains("unsupported schema_version"));
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        assert!(BenchRecord::parse_json("{}").is_err());
+        assert!(BenchRecord::parse_json("not json").is_err());
+        let no_pass = sample().render_json().replace("  \"pass\": true,\n", "");
+        assert!(BenchRecord::parse_json(&no_pass).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_json() {
+        let record = BenchRecord::new("empty", "empty", false, "0", MetricsSnapshot::default());
+        let parsed = BenchRecord::parse_json(&record.render_json()).expect("parse");
+        assert!(parsed.snapshot.is_empty());
+        assert!(!parsed.pass);
+    }
+
+    #[test]
+    fn metrics_render_one_per_line_for_grep() {
+        let json = sample().render_json();
+        let line = json
+            .lines()
+            .find(|l| l.contains("remix.numerics.lu.factorizations"))
+            .expect("factorization line");
+        assert!(
+            line.contains("\"kind\": \"counter\", \"value\": 42"),
+            "{line}"
+        );
+    }
+}

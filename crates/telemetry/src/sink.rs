@@ -1,0 +1,291 @@
+//! Event sinks: where span transitions and lifecycle events go.
+
+use crate::json::json_str;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// One typed field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, dimensions, indices).
+    U64(u64),
+    /// Floating-point (frequencies, residuals, seconds).
+    F64(f64),
+    /// Short text (mode labels, outcome names, paths).
+    Str(String),
+}
+
+impl FieldValue {
+    /// JSON rendering of just the value.
+    pub(crate) fn to_json(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::F64(v) if v.is_finite() => format!("{v:e}"),
+            FieldValue::F64(_) => "null".to_string(),
+            FieldValue::Str(s) => json_str(s),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// What kind of moment an [`Event`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span was entered.
+    SpanEnter,
+    /// A span exited after the given monotonic duration.
+    SpanExit {
+        /// Span duration (ns).
+        duration_ns: u64,
+    },
+    /// A point-in-time occurrence (job state change, checkpoint write).
+    Point,
+}
+
+impl EventKind {
+    fn label(&self) -> &'static str {
+        match self {
+            EventKind::SpanEnter => "span_enter",
+            EventKind::SpanExit { .. } => "span_exit",
+            EventKind::Point => "point",
+        }
+    }
+}
+
+/// One observability event, as delivered to a [`Sink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event/span name (`remix.<crate>.<name>`).
+    pub name: &'static str,
+    /// The kind of moment.
+    pub kind: EventKind,
+    /// Attached key/value fields, in attachment order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Builds a [`EventKind::Point`] event.
+    pub fn point(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Event {
+        Event {
+            name,
+            kind: EventKind::Point,
+            fields,
+        }
+    }
+
+    /// One-line JSON object form, the unit of the JSON-lines log:
+    /// `{"event":"point","name":"…","fields":{…}}` (plus
+    /// `"duration_ns"` for span exits).
+    pub fn render_json(&self) -> String {
+        let mut s = format!(
+            "{{\"event\":{},\"name\":{}",
+            json_str(self.kind.label()),
+            json_str(self.name)
+        );
+        if let EventKind::SpanExit { duration_ns } = self.kind {
+            s.push_str(&format!(",\"duration_ns\":{duration_ns}"));
+        }
+        if !self.fields.is_empty() {
+            s.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&json_str(k));
+                s.push(':');
+                s.push_str(&v.to_json());
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Where events go. Implementations must be cheap and infallible from
+/// the caller's perspective: observability never turns a good run into
+/// a failed one.
+pub trait Sink: Send + Sync {
+    /// Delivers one event.
+    fn record(&self, event: &Event);
+
+    /// `true` when recorded events are actually retained somewhere.
+    /// The hooks skip constructing events entirely when this is
+    /// `false`, which is what makes the disabled path near-free.
+    fn is_observing(&self) -> bool {
+        true
+    }
+
+    /// Pushes any buffered events to their destination. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// The default sink: drops everything. [`Sink::is_observing`] returns
+/// `false`, so callers never even build the events.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _event: &Event) {}
+
+    fn is_observing(&self) -> bool {
+        false
+    }
+}
+
+/// Test sink: collects every event in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MemorySink {
+    /// New empty collector.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Everything recorded so far, in delivery order.
+    pub fn events(&self) -> Vec<Event> {
+        lock_or_recover(&self.events).clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        lock_or_recover(&self.events).push(event.clone());
+    }
+}
+
+/// Appends one JSON object per event to a file — the bench binaries'
+/// event log. Write errors are swallowed (observability must not fail
+/// the run); [`JsonLinesSink::flush`] pushes the buffer out.
+#[derive(Debug)]
+pub struct JsonLinesSink {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonLinesSink {
+    /// Creates (truncates) the log file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`File::create`] failure.
+    pub fn create(path: &Path) -> std::io::Result<JsonLinesSink> {
+        Ok(JsonLinesSink {
+            path: path.to_path_buf(),
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn record(&self, event: &Event) {
+        let mut w = lock_or_recover(&self.writer);
+        let _ = writeln!(w, "{}", event.render_json());
+    }
+
+    fn flush(&self) {
+        let _ = lock_or_recover(&self.writer).flush();
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_shapes() {
+        let e = Event::point("remix.test.tick", vec![]);
+        assert_eq!(
+            e.render_json(),
+            "{\"event\":\"point\",\"name\":\"remix.test.tick\"}"
+        );
+        let e = Event {
+            name: "remix.test.work",
+            kind: EventKind::SpanExit { duration_ns: 1500 },
+            fields: vec![
+                ("dim", FieldValue::from(42usize)),
+                ("mode", FieldValue::from("active")),
+                ("f", FieldValue::from(2.4e9)),
+            ],
+        };
+        assert_eq!(
+            e.render_json(),
+            "{\"event\":\"span_exit\",\"name\":\"remix.test.work\",\"duration_ns\":1500,\
+             \"fields\":{\"dim\":42,\"mode\":\"active\",\"f\":2.4e9}}"
+        );
+    }
+
+    #[test]
+    fn non_finite_fields_render_null() {
+        let e = Event::point("remix.test.nan", vec![("v", FieldValue::F64(f64::NAN))]);
+        assert!(e.render_json().contains("\"v\":null"));
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("remix-telemetry-test-sink");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join(format!("events-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonLinesSink::create(&path).expect("create sink");
+            assert!(sink.is_observing());
+            sink.record(&Event::point("remix.test.a", vec![]));
+            sink.record(&Event::point("remix.test.b", vec![]));
+        }
+        let text = std::fs::read_to_string(&path).expect("read log");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("remix.test.a"));
+        assert!(lines[1].contains("remix.test.b"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,163 @@
+//! Scoped spans: RAII timing regions with key/value fields.
+
+use crate::sink::{Event, EventKind, FieldValue};
+use crate::{with_active, Telemetry};
+use std::time::Instant;
+
+/// Opens a span on the armed telemetry context of this thread.
+///
+/// The returned guard measures the monotonic time until it drops, then
+/// folds `(count += 1, total_ns += elapsed)` into the registry's span
+/// roll-up and — when the sink observes — emits `span_enter`/
+/// `span_exit` events carrying the attached fields.
+///
+/// With no context armed the guard is empty: creating and dropping it
+/// costs one thread-local read and no allocation.
+pub fn span(name: &'static str) -> SpanGuard {
+    let inner = with_active(|t| ActiveSpan {
+        name,
+        telemetry: t.clone(),
+        fields: Vec::new(),
+        start: Instant::now(),
+        entered: false,
+    });
+    let mut guard = SpanGuard { inner };
+    if let Some(s) = &mut guard.inner {
+        if s.telemetry.sink().is_observing() {
+            s.entered = true;
+            s.telemetry.sink().record(&Event {
+                name,
+                kind: EventKind::SpanEnter,
+                fields: Vec::new(),
+            });
+            // Restart the clock below the enter-event I/O so the
+            // measured duration is the body's, not the sink's.
+            s.start = Instant::now();
+        }
+    }
+    guard
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    telemetry: Telemetry,
+    fields: Vec<(&'static str, FieldValue)>,
+    start: Instant,
+    entered: bool,
+}
+
+/// RAII span handle returned by [`span`]. Attach fields with
+/// [`SpanGuard::with_field`]; the span exits when the guard drops.
+#[must_use = "a span measures the scope holding the guard"]
+pub struct SpanGuard {
+    inner: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attaches one key/value field (builder style). No-op on an empty
+    /// (disarmed) guard.
+    pub fn with_field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        if let Some(s) = &mut self.inner {
+            s.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// `true` when a context was armed at creation.
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(s) = self.inner.take() else { return };
+        let elapsed = s.start.elapsed();
+        s.telemetry.registry().record_span(s.name, elapsed);
+        if s.entered {
+            s.telemetry.sink().record(&Event {
+                name: s.name,
+                kind: EventKind::SpanExit {
+                    duration_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                },
+                fields: s.fields,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("armed", &self.inner.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use std::sync::Arc;
+
+    #[test]
+    fn disarmed_spans_are_empty() {
+        let g = span("remix.test.idle").with_field("k", 1u64);
+        assert!(!g.is_armed());
+        drop(g);
+    }
+
+    #[test]
+    fn spans_roll_up_into_the_registry() {
+        let t = Telemetry::new();
+        {
+            let _g = t.arm();
+            for _ in 0..3 {
+                let _s = span("remix.test.step");
+            }
+        }
+        let snap = t.snapshot();
+        let roll = snap.span("remix.test.step").expect("rollup");
+        assert_eq!(roll.count, 3);
+    }
+
+    #[test]
+    fn observing_sinks_get_enter_and_exit_with_fields() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::with_sink(sink.clone());
+        {
+            let _g = t.arm();
+            let _s = span("remix.test.op")
+                .with_field("dim", 7u64)
+                .with_field("mode", "active");
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::SpanEnter);
+        let EventKind::SpanExit { .. } = events[1].kind else {
+            panic!("expected span exit, got {:?}", events[1].kind);
+        };
+        assert_eq!(events[1].fields.len(), 2);
+        // The roll-up still accumulates alongside the sink.
+        assert_eq!(t.snapshot().span("remix.test.op").map(|s| s.count), Some(1));
+    }
+
+    #[test]
+    fn span_survives_context_switch_mid_scope() {
+        let outer = Telemetry::new();
+        let inner = Telemetry::new();
+        let g = outer.arm();
+        let s = span("remix.test.crossing");
+        drop(g);
+        let _g2 = inner.arm();
+        drop(s); // must land in OUTER's registry (captured at entry)
+        assert_eq!(
+            outer
+                .snapshot()
+                .span("remix.test.crossing")
+                .map(|r| r.count),
+            Some(1)
+        );
+        assert!(inner.snapshot().span("remix.test.crossing").is_none());
+    }
+}

@@ -11,6 +11,7 @@
 //! | [`dsp`] | FFT, windows, PSD, coherent tone plans, signal generators |
 //! | [`circuit`] | netlists, 65 nm MOSFET model, transmission gates, MNA |
 //! | [`lint`] | clippy-style ERC engine: stable rule ids, severities, text/JSON reports |
+//! | [`telemetry`] | metrics registry, scoped spans, event sinks, bench perf records |
 //! | [`analysis`] | DC op (homotopy), AC, transient, `.NOISE`, MC noise, power |
 //! | [`rfkit`] | IIP3/IIP2/P1dB algebra, two-tone harness, behavioral blocks, Table I data |
 //! | [`core`] | the reconfigurable mixer: TCA, quad, TIA/OTA, TG loads, models, evaluation |
@@ -50,3 +51,4 @@ pub use remix_dsp as dsp;
 pub use remix_lint as lint;
 pub use remix_numerics as numerics;
 pub use remix_rfkit as rfkit;
+pub use remix_telemetry as telemetry;

@@ -1,0 +1,106 @@
+//! Golden-file and determinism tests for the bench perf record: CI
+//! (the perf-smoke step) and any trend tooling grep and parse
+//! `BENCH_<bin>.json`, so its shape — the `schema_version` field, key
+//! names, one-metric-per-line layout, float formatting — is a
+//! compatibility contract. Any change must bump
+//! `BENCH_RECORD_SCHEMA_VERSION` and regenerate
+//! `tests/golden/bench_record.json`.
+
+use remix::analysis::{dc_operating_point, OpOptions};
+use remix::core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
+use remix::core::{MixerConfig, MixerMode};
+use remix::telemetry::{
+    BenchRecord, MetricsRegistry, MetricsSnapshot, Telemetry, BENCH_RECORD_SCHEMA_VERSION,
+};
+use std::time::Duration;
+
+const GOLDEN: &str = include_str!("golden/bench_record.json");
+
+/// A registry populated with every metric kind and a span, all from
+/// fixed values — no clocks, no solves — so the rendered record is
+/// byte-reproducible.
+fn golden_snapshot() -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    reg.counter("remix.numerics.lu.factorizations").add(42);
+    reg.gauge("remix.analysis.op.rcond").set(3.25e-7);
+    let h = reg.histogram("remix.numerics.newton.residual_norm");
+    h.observe(1e-9);
+    h.observe(2.5);
+    reg.record_span("remix.analysis.op", Duration::from_nanos(1_250_000));
+    reg.snapshot()
+}
+
+fn golden_record() -> BenchRecord {
+    BenchRecord::new(
+        "golden_bin",
+        "golden label",
+        true,
+        "00000000deadbeef",
+        golden_snapshot(),
+    )
+}
+
+#[test]
+fn record_json_matches_the_golden_file() {
+    let actual = golden_record().render_json();
+    assert_eq!(
+        actual.trim(),
+        GOLDEN.trim(),
+        "bench record JSON drifted from tests/golden/bench_record.json — \
+         if the change is intentional, bump BENCH_RECORD_SCHEMA_VERSION \
+         and regenerate the golden file.\nactual:\n{actual}"
+    );
+}
+
+#[test]
+fn golden_file_pins_the_current_schema_version() {
+    assert!(
+        GOLDEN.contains(&format!(
+            "\"schema_version\": {BENCH_RECORD_SCHEMA_VERSION}"
+        )),
+        "golden file was generated for a different schema version"
+    );
+}
+
+#[test]
+fn record_round_trips_through_its_own_parser() {
+    let record = golden_record();
+    let parsed = BenchRecord::parse_json(&record.render_json()).unwrap();
+    assert_eq!(parsed, record);
+    // And the golden file itself parses back to the same record.
+    assert_eq!(BenchRecord::parse_json(GOLDEN).unwrap(), record);
+}
+
+/// Two identical solves under two fresh telemetry contexts must yield
+/// identical records once wall-clock timings are masked out: counters,
+/// gauges, histograms, and span *counts* are functions of the work
+/// alone. This is what lets CI diff two records point-to-point.
+#[test]
+fn same_work_yields_identical_records_without_timings() {
+    let mixer = ReconfigurableMixer::new(MixerConfig::default());
+    let (ckt, _) = mixer.build(MixerMode::Active, &RfDrive::Bias, &LoDrive::held(2.4e9));
+
+    let solve_snapshot = || {
+        let telemetry = Telemetry::new();
+        {
+            let _guard = telemetry.arm();
+            dc_operating_point(&ckt, &OpOptions::default()).unwrap();
+        }
+        telemetry.snapshot()
+    };
+
+    let a = BenchRecord::new("det", "det", true, "fp", solve_snapshot());
+    let b = BenchRecord::new("det", "det", true, "fp", solve_snapshot());
+    assert_ne!(
+        a.snapshot.without_timings(),
+        MetricsSnapshot::default(),
+        "the solve should have recorded something"
+    );
+    assert_eq!(a.snapshot.without_timings(), b.snapshot.without_timings());
+    // The masked records render identically too.
+    let mask = |r: BenchRecord| BenchRecord {
+        snapshot: r.snapshot.without_timings(),
+        ..r
+    };
+    assert_eq!(mask(a).render_json(), mask(b).render_json());
+}

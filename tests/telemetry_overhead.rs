@@ -1,0 +1,146 @@
+//! Guard-rail tests for the telemetry layer's two core promises:
+//!
+//! 1. Disabled (or no-op-sink) telemetry is cheap enough to leave the
+//!    instrumentation hooks in hot numerical loops permanently.
+//! 2. Arming telemetry observes a solve without perturbing it — the
+//!    Newton iteration count and the solution are bit-identical with
+//!    and without an armed context.
+
+use remix::analysis::{dc_operating_point, OpOptions};
+use remix::core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
+use remix::core::{MixerConfig, MixerMode};
+use remix::numerics::dense::DenseMatrix;
+use remix::numerics::newton::{newton_solve, NewtonOptions, NonlinearSystem};
+use remix::telemetry::{MemorySink, Telemetry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A million relaxed-atomic increments through a pre-fetched handle —
+/// the exact pattern `newton_solve` uses — must stay far below human
+/// (and CI) perception. The bound is deliberately generous: this test
+/// exists to catch a mutex or allocation sneaking into [`Counter::add`],
+/// which would blow past it by orders of magnitude, not to benchmark.
+#[test]
+fn noop_sink_counter_hot_loop_is_cheap() {
+    let telemetry = Telemetry::new(); // NoopSink: nothing observes
+    let _guard = telemetry.arm();
+    let counter = remix::telemetry::counter("overhead.test.increments");
+    let _span = remix::telemetry::span("overhead.test.loop");
+    let start = Instant::now();
+    for _ in 0..1_000_000 {
+        counter.add(1);
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(
+        telemetry.snapshot().counter("overhead.test.increments"),
+        Some(1_000_000)
+    );
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "1e6 counter increments took {elapsed:?}; the disabled-telemetry \
+         hot path regressed from a relaxed atomic add"
+    );
+}
+
+/// Hooks that fire while no context is armed must also stay near-free:
+/// the disarmed check is one thread-local read.
+#[test]
+fn disarmed_hooks_are_cheap() {
+    assert!(!remix::telemetry::is_armed());
+    let start = Instant::now();
+    for _ in 0..1_000_000 {
+        remix::telemetry::counter_add("overhead.test.disarmed", 1);
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "1e6 disarmed hook calls took {elapsed:?}"
+    );
+}
+
+/// Observation must not perturb the observed solve: the full-mixer
+/// operating point converges in the same number of Newton iterations to
+/// the same solution whether or not telemetry is armed, and the armed
+/// run's metrics actually recorded the work.
+#[test]
+fn armed_newton_matches_disarmed_newton() {
+    let mixer = ReconfigurableMixer::new(MixerConfig::default());
+    let (ckt, _) = mixer.build(MixerMode::Active, &RfDrive::Bias, &LoDrive::held(2.4e9));
+
+    let plain = dc_operating_point(&ckt, &OpOptions::default()).unwrap();
+
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = Telemetry::with_sink(sink.clone());
+    let observed = {
+        let _guard = telemetry.arm();
+        dc_operating_point(&ckt, &OpOptions::default()).unwrap()
+    };
+
+    assert_eq!(plain.iterations, observed.iterations);
+    assert_eq!(plain.solution, observed.solution);
+
+    let snap = telemetry.snapshot();
+    let iters = snap
+        .counter("remix.analysis.convergence.iterations")
+        .expect("armed solve should record homotopy iterations");
+    assert_eq!(iters, observed.iterations as u64);
+    let op_span = snap
+        .span("remix.analysis.op")
+        .expect("armed solve should record an op span");
+    assert!(op_span.count >= 1);
+    assert!(
+        snap.counter("remix.numerics.lu.factorizations")
+            .unwrap_or(0)
+            > 0,
+        "armed solve should count LU factorizations"
+    );
+}
+
+/// Same non-perturbation promise for the numerics-level Newton driver
+/// (the one with the instrumented hot loop): identical root and
+/// iteration count armed vs disarmed, and the armed run's counter
+/// charges every loop pass the budget hook saw.
+#[test]
+fn armed_newton_solve_records_without_perturbing() {
+    /// f(v) = 1e-14·(e^{v/0.025} − 1) − 1e-3, the classic stiff diode.
+    struct DiodeLike;
+    impl NonlinearSystem for DiodeLike {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&mut self, x: &[f64], out: &mut [f64]) {
+            out[0] = 1e-14 * ((x[0] / 0.025).exp() - 1.0) - 1e-3;
+        }
+        fn jacobian(&mut self, x: &[f64], out: &mut DenseMatrix<f64>) {
+            out[(0, 0)] = 1e-14 / 0.025 * (x[0] / 0.025).exp();
+        }
+    }
+
+    let plain = newton_solve(&mut DiodeLike, &[0.5], &NewtonOptions::default()).unwrap();
+
+    let telemetry = Telemetry::new();
+    let observed = {
+        let _guard = telemetry.arm();
+        newton_solve(&mut DiodeLike, &[0.5], &NewtonOptions::default()).unwrap()
+    };
+
+    assert_eq!(plain.iterations, observed.iterations);
+    assert_eq!(plain.x, observed.x);
+
+    let snap = telemetry.snapshot();
+    // The counter charges every loop pass including the final
+    // convergence check, so it can exceed the reported iteration count
+    // by one — but never undercount it.
+    let iters = snap
+        .counter("remix.numerics.newton.iterations")
+        .expect("armed newton_solve should record iterations");
+    assert!(
+        iters >= observed.iterations as u64 && iters > 0,
+        "counter {iters} vs reported {}",
+        observed.iterations
+    );
+    let solve = snap
+        .span("remix.numerics.newton.solve")
+        .expect("armed newton_solve should record a span");
+    assert_eq!(solve.count, 1);
+}
