@@ -34,7 +34,7 @@ impl AcResult {
         let i = self
             .layout
             .branch_index(id)
-            .expect("element has no branch current");
+            .expect("element has no branch current"); // audit: allow(AUD001): documented caller contract; panics only for elements without branch currents
         self.solutions[idx][i]
     }
 
@@ -75,7 +75,7 @@ pub fn ac_sweep(
     crate::plan::gate(&crate::plan::sweep_plan("ac sweep", freqs))?;
     let layout = op.layout.clone();
     let dim = layout.dim();
-    let _span = remix_telemetry::span("remix.analysis.ac")
+    let _span = remix_telemetry::span(remix_telemetry::names::ANALYSIS_AC)
         .with_field("analysis", "ac")
         .with_field("dim", dim)
         .with_field("points", freqs.len());

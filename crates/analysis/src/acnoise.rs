@@ -154,7 +154,7 @@ pub fn output_noise(
     freqs: &[f64],
 ) -> Result<NoiseResult, AnalysisError> {
     crate::plan::gate(&crate::plan::noise_plan("output noise", freqs))?;
-    let _span = remix_telemetry::span("remix.analysis.acnoise")
+    let _span = remix_telemetry::span(remix_telemetry::names::ANALYSIS_ACNOISE)
         .with_field("analysis", "acnoise")
         .with_field("dim", op.layout.dim())
         .with_field("points", freqs.len());

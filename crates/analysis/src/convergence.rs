@@ -282,25 +282,29 @@ impl ConvergenceTrace {
     pub fn push(&mut self, attempt: StageAttempt) {
         if remix_telemetry::is_armed() {
             let stage = match attempt.stage {
-                TraceStage::Dc(StageKind::Direct) => "remix.analysis.convergence.attempts.direct",
+                TraceStage::Dc(StageKind::Direct) => {
+                    remix_telemetry::names::CONVERGENCE_ATTEMPTS_DIRECT
+                }
                 TraceStage::Dc(StageKind::GminLadder { .. }) => {
-                    "remix.analysis.convergence.attempts.gmin_ladder"
+                    remix_telemetry::names::CONVERGENCE_ATTEMPTS_GMIN_LADDER
                 }
                 TraceStage::Dc(StageKind::SourceRamp { .. }) => {
-                    "remix.analysis.convergence.attempts.source_ramp"
+                    remix_telemetry::names::CONVERGENCE_ATTEMPTS_SOURCE_RAMP
                 }
                 TraceStage::Dc(StageKind::PseudoTransient { .. }) => {
-                    "remix.analysis.convergence.attempts.pseudo_transient"
+                    remix_telemetry::names::CONVERGENCE_ATTEMPTS_PSEUDO_TRANSIENT
                 }
-                TraceStage::TranStep { .. } => "remix.analysis.convergence.attempts.tran_step",
-                TraceStage::AcPoint { .. } => "remix.analysis.convergence.attempts.ac_point",
+                TraceStage::TranStep { .. } => {
+                    remix_telemetry::names::CONVERGENCE_ATTEMPTS_TRAN_STEP
+                }
+                TraceStage::AcPoint { .. } => remix_telemetry::names::CONVERGENCE_ATTEMPTS_AC_POINT,
                 TraceStage::PssBoundary { .. } => {
-                    "remix.analysis.convergence.attempts.pss_boundary"
+                    remix_telemetry::names::CONVERGENCE_ATTEMPTS_PSS_BOUNDARY
                 }
             };
             remix_telemetry::counter_add(stage, 1);
             remix_telemetry::counter_add(
-                "remix.analysis.convergence.iterations",
+                remix_telemetry::names::CONVERGENCE_ITERATIONS,
                 attempt.iterations as u64,
             );
         }

@@ -45,7 +45,7 @@ fn dc_sweep_inner(
             probe: format!("'{source_name}' is not a voltage source"),
         });
     }
-    let _span = remix_telemetry::span("remix.analysis.dcsweep")
+    let _span = remix_telemetry::span(remix_telemetry::names::ANALYSIS_DCSWEEP)
         .with_field("analysis", "dcsweep")
         .with_field("elements", circuit.element_count())
         .with_field("points", values.len());

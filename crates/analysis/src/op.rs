@@ -435,7 +435,7 @@ pub fn dc_operating_point(
     let layout = MnaLayout::new(circuit);
     let dim = layout.dim();
     let n_elem = circuit.element_count();
-    let _span = remix_telemetry::span("remix.analysis.op")
+    let _span = remix_telemetry::span(remix_telemetry::names::ANALYSIS_OP)
         .with_field("analysis", "op")
         .with_field("dim", dim)
         .with_field("elements", n_elem);
@@ -541,7 +541,7 @@ pub fn dc_operating_point(
         trace,
     };
     if let Some(rcond) = op.rcond() {
-        remix_telemetry::gauge_set("remix.analysis.op.rcond", rcond);
+        remix_telemetry::gauge_set(remix_telemetry::names::ANALYSIS_OP_RCOND, rcond);
     }
     Ok(op)
 }

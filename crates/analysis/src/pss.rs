@@ -147,7 +147,7 @@ pub fn periodic_steady_state(
     opts: &PssOptions,
 ) -> Result<PeriodicSteadyState, AnalysisError> {
     crate::plan::gate(&crate::plan::pss_plan(circuit, opts))?;
-    let _span = remix_telemetry::span("remix.analysis.pss")
+    let _span = remix_telemetry::span(remix_telemetry::names::ANALYSIS_PSS)
         .with_field("analysis", "pss")
         .with_field("elements", circuit.element_count())
         .with_field("steps_per_period", opts.steps_per_period);

@@ -317,7 +317,7 @@ impl<'a> Integrator<'a> {
             match e {
                 Element::Capacitor { a, b, c, .. } => {
                     let ElementState::Cap(st) = &mut self.states[idx] else {
-                        unreachable!()
+                        unreachable!() // audit: allow(AUD002): states are built in lockstep with elements
                     };
                     let v_new = self.layout.voltage(&x, *a) - self.layout.voltage(&x, *b);
                     let i_new = cap_companion_current(*c, &coeffs, v_new, st);
@@ -326,14 +326,14 @@ impl<'a> Integrator<'a> {
                 }
                 Element::Inductor { a, b, .. } => {
                     let ElementState::Ind(st) = &mut self.states[idx] else {
-                        unreachable!()
+                        unreachable!() // audit: allow(AUD002): states are built in lockstep with elements
                     };
                     st.i = self.layout.branch_current(&x, eid);
                     st.v = self.layout.voltage(&x, *a) - self.layout.voltage(&x, *b);
                 }
                 Element::Mos { dev, .. } => {
                     let ElementState::MosCaps(sts) = &mut self.states[idx] else {
-                        unreachable!()
+                        unreachable!() // audit: allow(AUD002): states are built in lockstep with elements
                     };
                     if let Some(caps) = &self.mos_caps[idx] {
                         let branches = mos_cap_branches(dev.d, dev.g, dev.s, dev.b, caps);
@@ -468,7 +468,7 @@ fn transient_inner(
     crate::plan::gate(&crate::plan::tran_plan(circuit, opts))?;
     let mut integ = Integrator::init(circuit, opts)?;
     let n_steps = (opts.t_stop / opts.h).round() as usize;
-    let _span = remix_telemetry::span("remix.analysis.tran")
+    let _span = remix_telemetry::span(remix_telemetry::names::ANALYSIS_TRAN)
         .with_field("analysis", "tran")
         .with_field("elements", circuit.element_count())
         .with_field("steps", n_steps);

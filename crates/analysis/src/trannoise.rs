@@ -73,7 +73,7 @@ pub fn noise_transient(
     config: &NoiseTranConfig,
 ) -> Result<TranResult, AnalysisError> {
     crate::plan::gate(&crate::plan::tran_plan(circuit, opts))?;
-    let _span = remix_telemetry::span("remix.analysis.trannoise")
+    let _span = remix_telemetry::span(remix_telemetry::names::ANALYSIS_TRANNOISE)
         .with_field("analysis", "trannoise")
         .with_field("elements", circuit.element_count());
     let op = dc_operating_point(circuit, &OpOptions::default())?;

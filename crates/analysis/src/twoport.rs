@@ -73,7 +73,7 @@ fn set_port_drive(circuit: &mut Circuit, port: ElementId, mag: f64) {
         *ac_mag = mag;
         *ac_phase = 0.0;
     } else {
-        panic!("port element is not a voltage source");
+        panic!("port element is not a voltage source"); // audit: allow(AUD002): ports are validated to be voltage sources when the two-port is built
     }
 }
 

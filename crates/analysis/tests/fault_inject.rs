@@ -6,6 +6,8 @@
 //! return a *structured* [`AnalysisError`] carrying a non-empty
 //! [`ConvergenceTrace`]: never a panic, never a silently NaN-poisoned
 //! result vector.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 #![cfg(feature = "fault-inject")]
 
 use proptest::prelude::*;

@@ -1,0 +1,82 @@
+//! Per-thread isolation of the fault-injection plan
+//! (`--features fault-inject`) — the third entry in the
+//! `remix_audit::catalog` thread-local inventory.
+//!
+//! A fault plan armed on one pool worker must corrupt only that
+//! worker: the whole point of deterministic fault injection is that a
+//! failure-isolating sweep can poison one sample while its siblings
+//! solve clean, on the same registry, at the same time.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
+#![cfg(feature = "fault-inject")]
+
+use remix_analysis::{dc_operating_point, FaultPlan, OpOptions};
+use remix_circuit::{Circuit, MosModel, Waveform};
+use std::thread;
+
+/// Minimal nonlinear fixture: a common-source stage whose OP needs
+/// both factorizations and device evaluations (so every fault kind
+/// has something to corrupt).
+fn amp() -> Circuit {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let g = c.node("g");
+    let d = c.node("d");
+    c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+    c.add_vsource("vg", g, Circuit::gnd(), Waveform::Dc(0.55));
+    c.add_resistor("rd", vdd, d, 1e3);
+    c.add_mosfet(
+        "m1",
+        MosModel::nmos_65nm(),
+        5e-6,
+        65e-9,
+        d,
+        g,
+        Circuit::gnd(),
+        Circuit::gnd(),
+    );
+    c
+}
+
+#[test]
+fn fault_plans_are_isolated_per_thread() {
+    // One faulted worker among clean siblings: only it may fail.
+    let faulted = thread::spawn(|| {
+        let ckt = amp();
+        let _g = FaultPlan::singular_pivot().arm();
+        dc_operating_point(&ckt, &OpOptions::default()).is_err()
+    });
+    let clean: Vec<_> = (0..4)
+        .map(|_| {
+            thread::spawn(|| {
+                let ckt = amp();
+                dc_operating_point(&ckt, &OpOptions::default()).is_ok()
+            })
+        })
+        .collect();
+
+    assert!(
+        faulted.join().expect("faulted worker"),
+        "the armed thread must see the singular pivot"
+    );
+    for (i, h) in clean.into_iter().enumerate() {
+        assert!(
+            h.join().expect("clean worker"),
+            "clean sibling {i} must be untouched by the other thread's plan"
+        );
+    }
+}
+
+#[test]
+fn disarm_restores_the_thread() {
+    // After the guard drops, the same thread solves clean again.
+    let ckt = amp();
+    {
+        let _g = FaultPlan::nan_eval().arm();
+        assert!(dc_operating_point(&ckt, &OpOptions::default()).is_err());
+    }
+    assert!(
+        dc_operating_point(&ckt, &OpOptions::default()).is_ok(),
+        "dropping the FaultGuard must disarm the plan"
+    );
+}

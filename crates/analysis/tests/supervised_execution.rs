@@ -12,6 +12,7 @@
 //! tests pick, the returned prefix is internally consistent and every
 //! value in it is finite.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use proptest::prelude::*;
 use remix_analysis::{
     ac_sweep, dc_operating_point, dc_sweep, dc_sweep_partial, noise_transient, output_noise,

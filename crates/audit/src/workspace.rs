@@ -1,0 +1,109 @@
+//! Workspace source discovery: which files the audit covers.
+//!
+//! The audit certifies *library* code — the code pool workers execute.
+//! It walks `src/` and `crates/*/src/` recursively and skips:
+//!
+//! * `shims/` — offline stand-ins for external crates, not our code;
+//! * `tests/`, `benches/`, `examples/` — not shipped to workers
+//!   (in-file `#[cfg(test)]` modules are instead exempted per-line by
+//!   the scanner);
+//! * `target/` and hidden directories.
+//!
+//! Paths come back workspace-relative with forward slashes, sorted, so
+//! reports are deterministic across machines.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Recursively collects the `.rs` files under `root` that the audit
+/// covers, as sorted workspace-relative forward-slash paths.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut found = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect(&src, &mut found)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let member_src = member.join("src");
+            if member_src.is_dir() {
+                collect(&member_src, &mut found)?;
+            }
+        }
+    }
+    let mut rel: Vec<String> = found
+        .iter()
+        .filter_map(|p| p.strip_prefix(root).ok())
+        .map(|p| {
+            p.components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    rel.sort();
+    rel.dedup();
+    Ok(rel)
+}
+
+const SKIP_DIRS: &[&str] = &[
+    "tests", "benches", "examples", "target", "shims", "fixtures",
+];
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_sources(&root).expect("walk");
+        assert!(files.iter().any(|f| f == "src/lib.rs"), "root lib");
+        assert!(
+            files.iter().any(|f| f == "crates/audit/src/workspace.rs"),
+            "this very file"
+        );
+        assert!(
+            files.iter().all(|f| !f.starts_with("shims/")),
+            "shims excluded"
+        );
+        assert!(
+            files.iter().all(|f| !f.contains("/tests/")),
+            "tests dirs excluded"
+        );
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "deterministic order");
+    }
+}

@@ -1,0 +1,4 @@
+// Fixture: AUD001_UNWRAP_IN_LIB — unjustified unwrap in lib code.
+pub fn lookup(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

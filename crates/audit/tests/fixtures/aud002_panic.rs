@@ -1,0 +1,6 @@
+// Fixture: AUD002_PANIC_IN_LIB — unjustified panic in lib code.
+pub fn must(flag: bool) {
+    if !flag {
+        panic!("invariant violated");
+    }
+}

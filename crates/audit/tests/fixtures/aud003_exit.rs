@@ -1,0 +1,4 @@
+// Fixture: AUD003_PROCESS_EXIT — exit outside remix_bench::run_bin.
+pub fn bail() {
+    std::process::exit(3);
+}

@@ -1,0 +1,4 @@
+// Fixture: AUD004_AD_HOC_TIMING — wall clock outside telemetry/exec.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

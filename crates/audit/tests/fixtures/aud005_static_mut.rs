@@ -1,0 +1,3 @@
+// Fixture: AUD005_STATIC_MUT — unsynchronized shared state.
+// audit: allow(AUD005): suppression attempts are ignored for this rule
+static mut HITS: u64 = 0;

@@ -1,0 +1,4 @@
+// Fixture: AUD006_THREAD_SPAWN — raw spawn outside the exec crate.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

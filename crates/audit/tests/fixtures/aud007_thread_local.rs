@@ -1,0 +1,4 @@
+// Fixture: AUD007_UNREGISTERED_THREAD_LOCAL — not in the catalog.
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+}

@@ -1,0 +1,4 @@
+// Fixture: AUD008_UNKNOWN_METRIC_NAME — literal outside the catalog.
+pub fn record() {
+    remix_telemetry::counter_add("remix.rogue.widgets", 1);
+}

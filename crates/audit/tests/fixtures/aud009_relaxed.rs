@@ -1,0 +1,5 @@
+// Fixture: AUD009_UNJUSTIFIED_RELAXED — no relaxed-ok justification.
+use std::sync::atomic::{AtomicU64, Ordering};
+pub fn read(cell: &AtomicU64) -> u64 {
+    cell.load(Ordering::Relaxed)
+}

@@ -2,6 +2,7 @@
 //! sweep with coherent FFT readout and intercept extraction (the
 //! heaviest behavioral measurement in the repository).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench harness: panicking on setup failure is the contract
 use criterion::{criterion_group, criterion_main, Criterion};
 use remix_bench::shared_evaluator;
 use remix_core::MixerMode;

@@ -1,6 +1,7 @@
 //! Criterion bench for the Fig. 8 workload: the full conversion-gain-vs-RF
 //! sweep (28 points, both modes) on the extracted behavioral model.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench harness: panicking on setup failure is the contract
 use criterion::{criterion_group, criterion_main, Criterion};
 use remix_bench::shared_evaluator;
 use remix_core::MixerMode;

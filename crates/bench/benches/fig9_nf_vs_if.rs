@@ -1,6 +1,7 @@
 //! Criterion bench for the Fig. 9 workload: NF and CG vs IF sweeps
 //! (26 log-spaced points, both modes) including the flicker-corner search.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench harness: panicking on setup failure is the contract
 use criterion::{criterion_group, criterion_main, Criterion};
 use remix_bench::shared_evaluator;
 use remix_core::MixerMode;

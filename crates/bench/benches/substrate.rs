@@ -3,6 +3,7 @@
 //! a DC operating point of the full mixer netlist, one AC sweep point,
 //! 1k transient steps, and a 64k-point FFT.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench harness: panicking on setup failure is the contract
 use criterion::{criterion_group, criterion_main, Criterion};
 use remix_analysis::{ac_sweep, dc_operating_point, transient, OpOptions, TranOptions};
 use remix_core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};

@@ -2,6 +2,7 @@
 //! columns (gain/NF/IIP3/P1dB/power/band edges) from the extracted model,
 //! plus the full extraction itself.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench harness: panicking on setup failure is the contract
 use criterion::{criterion_group, criterion_main, Criterion};
 use remix_bench::shared_evaluator;
 use remix_core::{model::ExtractedParams, MixerConfig, MixerMode};

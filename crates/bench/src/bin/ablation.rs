@@ -6,8 +6,6 @@
 //! cargo run --release -p remix-bench --bin ablation
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_analysis::{dc_operating_point, OpOptions};
 use remix_core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
 use remix_core::model::{ExtractedParams, MixerModel};

@@ -8,8 +8,6 @@
 //! cargo run --release -p remix-bench --bin baselines
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_bench::try_shared_evaluator;
 use remix_core::baseline::{BaselineKind, BaselineMixer};
 use remix_core::{MixerConfig, MixerMode};

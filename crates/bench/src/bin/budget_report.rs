@@ -5,8 +5,6 @@
 //! cargo run --release -p remix-bench --bin budget_report
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_bench::shared_evaluator;
 use remix_core::MixerMode;
 use remix_rfkit::budget::budget_table;

@@ -11,8 +11,6 @@
 //! `REMIX_BENCH_DEADLINE_MS`) then resumes from it, computing only the
 //! corners it has not finished.
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_core::corners::{sweep_corners_resumable, Corner, ProcessCorner};
 use remix_core::model::MixerModel;
 use remix_core::{MixerConfig, MixerMode};

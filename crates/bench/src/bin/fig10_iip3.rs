@@ -7,8 +7,6 @@
 //! cargo run --release -p remix-bench --bin fig10_iip3
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_bench::{checked_plan, try_shared_evaluator};
 use remix_core::MixerMode;
 

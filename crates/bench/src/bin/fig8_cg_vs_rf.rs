@@ -5,8 +5,6 @@
 //! cargo run --release -p remix-bench --bin fig8_cg_vs_rf
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_bench::{ascii_plot, checked_plan, try_shared_evaluator};
 use remix_core::MixerMode;
 use remix_rfkit::convgain::band_edges_3db;

@@ -9,8 +9,6 @@
 //! cargo run --release -p remix-bench --bin gain_tuning
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_bench::try_shared_evaluator;
 use remix_core::MixerMode;
 

@@ -6,8 +6,6 @@
 //! cargo run --release -p remix-bench --bin input_match
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_bench::try_shared_evaluator;
 use remix_core::MixerMode;
 

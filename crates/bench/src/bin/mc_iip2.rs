@@ -11,8 +11,6 @@
 //! cargo run --release -p remix-bench --bin mc_iip2
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_core::montecarlo::{iip2_study, summarize, MismatchConfig};
 use remix_core::MixerConfig;
 

@@ -6,8 +6,6 @@
 //! cargo run --release -p remix-bench --bin op_report
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_analysis::{bias_warnings, dc_operating_point, device_table, node_table, OpOptions};
 use remix_core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
 use remix_core::{MixerConfig, MixerMode};

@@ -10,8 +10,6 @@
 //! cargo run --release -p remix-bench --bin pnoise_mc
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_analysis::{noise_transient, NoiseTranConfig, TranOptions};
 use remix_bench::shared_evaluator;
 use remix_core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};

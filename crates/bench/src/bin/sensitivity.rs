@@ -6,8 +6,6 @@
 //! cargo run --release -p remix-bench --bin sensitivity
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_core::sensitivity::{sensitivity_table, standard_knobs};
 use remix_core::MixerConfig;
 

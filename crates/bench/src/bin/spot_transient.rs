@@ -7,8 +7,6 @@
 //! cargo run --release -p remix-bench --bin spot_transient
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_bench::shared_evaluator;
 use remix_core::MixerMode;
 

@@ -11,8 +11,6 @@
 //! cargo run --release -p remix-bench --bin switch_r
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_circuit::{size_tg_for_resistance, tg_on_resistance};
 use remix_core::tg::{size_tg_load, tg_load_conductance};
 use remix_core::MixerConfig;

@@ -9,8 +9,6 @@
 //! cargo run --release -p remix-bench --bin table1
 //! ```
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
-
 use remix_bench::{checked_plan, shared_evaluator};
 use remix_core::MixerMode;
 use remix_rfkit::specs::{table1_literature, MixerSpecRow};

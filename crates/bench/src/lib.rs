@@ -234,7 +234,7 @@ pub fn try_shared_evaluator() -> Result<&'static MixerEvaluator, remix_analysis:
 pub fn shared_evaluator() -> &'static MixerEvaluator {
     match try_shared_evaluator() {
         Ok(eval) => eval,
-        Err(e) => panic!("mixer extraction failed: {e}"),
+        Err(e) => panic!("mixer extraction failed: {e}"), // audit: allow(AUD002): bench CLI entry: aborting with the extraction error is the contract
     }
 }
 
@@ -251,10 +251,10 @@ pub fn checked_plan(label: &str) -> SimPlan {
     let (_, plan) = remix_core::plans::shipped_plans()
         .into_iter()
         .find(|(l, _)| *l == label)
-        .unwrap_or_else(|| panic!("no shipped plan named {label:?}"));
+        .unwrap_or_else(|| panic!("no shipped plan named {label:?}")); // audit: allow(AUD002): bench CLI entry: a misnamed shipped plan is a build bug
     let report = lint_plan(&plan, &LintConfig::default());
     if !report.is_clean() {
-        panic!("{label} plan fails simulation-plan lint:\n{report}");
+        panic!("{label} plan fails simulation-plan lint:\n{report}"); // audit: allow(AUD002): bench CLI entry: shipped plans must pass their own lint gate
     }
     if report.warn_count() > 0 {
         eprint!("{label} plan lint warnings:\n{report}");

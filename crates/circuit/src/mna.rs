@@ -78,7 +78,7 @@ impl MnaLayout {
     pub fn branch_current(&self, solution: &[f64], id: ElementId) -> f64 {
         let idx = self
             .branch_index(id)
-            .expect("element has no branch current");
+            .expect("element has no branch current"); // audit: allow(AUD001): documented caller contract; panics only for elements without branch currents
         solution[idx]
     }
 }

@@ -424,7 +424,7 @@ pub fn from_spice(text: &str) -> Result<Circuit, SpiceParseError> {
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
         let card = toks[0];
-        let kind = card.chars().next().unwrap().to_ascii_uppercase();
+        let kind = card.chars().next().unwrap().to_ascii_uppercase(); // audit: allow(AUD001): toks[0] came from split_whitespace, so the card is non-empty
         let name = &card[1..];
         let bad = |reason: &str| SpiceParseError::BadLine {
             line: idx + 1,

@@ -30,7 +30,7 @@ pub fn nmos_vgs_for_current(
         id_at(vdd) > 0.0,
         "device cannot carry {target} A even at vgs = {vdd}"
     );
-    brent(id_at, 0.0, vdd, 1e-9).expect("current is monotone in vgs")
+    brent(id_at, 0.0, vdd, 1e-9).expect("current is monotone in vgs") // audit: allow(AUD001): the bracket is asserted two lines up; Brent cannot fail on a sign-changing interval
 }
 
 /// Saturation check: `true` if an NMOS at the given bias has

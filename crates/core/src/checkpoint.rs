@@ -576,14 +576,14 @@ fn checkpoint_event(op: &'static str, path: &Path, ok: bool, records: usize) {
     }
     remix_telemetry::counter_add(
         if ok {
-            "remix.core.checkpoint.ops_ok"
+            remix_telemetry::names::CORE_CHECKPOINT_OPS_OK
         } else {
-            "remix.core.checkpoint.ops_failed"
+            remix_telemetry::names::CORE_CHECKPOINT_OPS_FAILED
         },
         1,
     );
     remix_telemetry::event(
-        "remix.core.checkpoint",
+        remix_telemetry::names::CORE_CHECKPOINT,
         vec![
             ("op", remix_telemetry::FieldValue::from(op)),
             (

@@ -302,7 +302,7 @@ pub fn sweep_corners_resumable(
             );
         }
         let cfg = corner.apply(base);
-        let _span = remix_telemetry::span("remix.core.corners.corner")
+        let _span = remix_telemetry::span(remix_telemetry::names::CORE_CORNERS_CORNER)
             .with_field("index", i)
             .with_field("process", corner.process.label());
         let outcome = match ExtractedParams::extract(&cfg) {

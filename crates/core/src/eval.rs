@@ -101,7 +101,7 @@ impl MixerEvaluator {
     ) -> Result<(Ip3Sweep, Ip3Result), remix_rfkit::ip3::Ip3Error> {
         let m = self.model(mode);
         let f_lo = 2.4e9;
-        let plan = TwoTonePlan::new(5e6, 6e6, 1 << 15, 0.5e6).expect("two-tone plan");
+        let plan = TwoTonePlan::new(5e6, 6e6, 1 << 15, 0.5e6).expect("two-tone plan"); // audit: allow(AUD001): constant paper plan parameters; validated by a unit test
         let fs = plan.fs();
         let n = plan.n();
         let mut sweep = Ip3Sweep::default();
@@ -141,7 +141,7 @@ impl MixerEvaluator {
         let m = self.model(mode);
         let f_lo = 2.4e9;
         let f_if = 5e6;
-        let plan = CoherentPlan::new(&[f_if], 1 << 15, 0.5e6).expect("plan");
+        let plan = CoherentPlan::new(&[f_if], 1 << 15, 0.5e6).expect("plan"); // audit: allow(AUD001): constant paper plan parameters; validated by a unit test
         let mut gains = Vec::with_capacity(pin_dbm.len());
         for &pin in pin_dbm {
             let a = dbm_to_vpeak(pin, Z0);
@@ -210,8 +210,8 @@ impl MixerEvaluator {
         let (ckt, nodes) = mixer.build(mode, &RfDrive::Ac, &LoDrive::held(2.4e9));
         let op = dc_operating_point(&ckt, &OpOptions::default())?;
         let ac = ac_sweep(&ckt, &op, freqs)?;
-        let pre_p = ckt.find_node("rfc_p").expect("pre node");
-        let pre_n = ckt.find_node("rfc_n").expect("pre node");
+        let pre_p = ckt.find_node("rfc_p").expect("pre node"); // audit: allow(AUD001): the generated mixer netlist always has the rfc_p balun node
+        let pre_n = ckt.find_node("rfc_n").expect("pre node"); // audit: allow(AUD001): the generated mixer netlist always has the rfc_n balun node
         let rs = self.model(mode).config().rs;
         let z0_diff = 2.0 * rs;
         Ok(freqs
@@ -401,7 +401,7 @@ impl MixerEvaluator {
         opts.max_periods = 400;
         opts.v_tol = 2e-4;
         let pss = periodic_steady_state(&ckt, &opts)?;
-        let vdd_src = ckt.find_element("vdd").expect("vdd source");
+        let vdd_src = ckt.find_element("vdd").expect("vdd source"); // audit: allow(AUD001): the generated mixer netlist always has the vdd source
         let i_avg = pss.average_branch_current(vdd_src);
         Ok(-i_avg * m.config().vdd * 1e3)
     }

@@ -302,8 +302,8 @@ pub fn iip2_study(base: &MixerConfig, mm: &MismatchConfig, checkpoint: Option<&P
             (mm.fault_sample == Some(i)).then(|| remix_analysis::FaultPlan::singular_pivot().arm());
         let mut rng = StdRng::seed_from_u64(sample_seed(mm.seed, i));
         let outcome = {
-            let _span =
-                remix_telemetry::span("remix.core.montecarlo.sample").with_field("index", i);
+            let _span = remix_telemetry::span(remix_telemetry::names::CORE_MONTECARLO_SAMPLE)
+                .with_field("index", i);
             match iip2_sample(base, &mut rng, mm) {
                 Ok(v) => SampleOutcome::Ok(v),
                 Err(e) => {
@@ -320,8 +320,8 @@ pub fn iip2_study(base: &MixerConfig, mm: &MismatchConfig, checkpoint: Option<&P
         };
         remix_telemetry::counter_add(
             match outcome {
-                SampleOutcome::Ok(_) => "remix.core.montecarlo.samples_ok",
-                SampleOutcome::Failed(_) => "remix.core.montecarlo.samples_failed",
+                SampleOutcome::Ok(_) => remix_telemetry::names::CORE_MONTECARLO_SAMPLES_OK,
+                SampleOutcome::Failed(_) => remix_telemetry::names::CORE_MONTECARLO_SAMPLES_FAILED,
             },
             1,
         );

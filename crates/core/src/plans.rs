@@ -27,7 +27,7 @@ pub const F_IF: f64 = 5e6;
 pub fn fig8_plan() -> SimPlan {
     let freqs: Vec<f64> = (1..=28).map(|k| 0.25e9 * k as f64).collect();
     SimPlan::new("fig8 conversion gain vs RF")
-        .with_sweep(freqs[0], *freqs.last().unwrap())
+        .with_sweep(freqs[0], *freqs.last().unwrap()) // audit: allow(AUD001): the 1..=28 grid is non-empty by construction
         .with_targets(PlanTargets::paper())
 }
 
@@ -37,7 +37,7 @@ pub fn fig8_plan() -> SimPlan {
 pub fn fig9_plan() -> SimPlan {
     let ifs: Vec<f64> = (0..=25).map(|k| 1e3 * 10f64.powf(k as f64 / 5.0)).collect();
     SimPlan::new("fig9 NF vs IF")
-        .with_noise_band(ifs[0], *ifs.last().unwrap())
+        .with_noise_band(ifs[0], *ifs.last().unwrap()) // audit: allow(AUD001): the 0..=25 grid is non-empty by construction
         .with_targets(PlanTargets::paper())
 }
 
@@ -45,7 +45,7 @@ pub fn fig9_plan() -> SimPlan {
 /// bins coherent in a 32k record at 0.5 MHz resolution, behavioral
 /// record sampled fast enough for the 2.4 GHz LO.
 pub fn fig10_plan() -> SimPlan {
-    let tt = TwoTonePlan::new(F_IF, 6e6, 1 << 15, 0.5e6).expect("paper two-tone plan");
+    let tt = TwoTonePlan::new(F_IF, 6e6, 1 << 15, 0.5e6).expect("paper two-tone plan"); // audit: allow(AUD001): constant paper plan parameters; validated by a unit test
     SimPlan::new("fig10 two-tone IIP3")
         .with_fft(tt.fs(), tt.n())
         .with_tones(&tt.plan.tones())
@@ -57,7 +57,7 @@ pub fn fig10_plan() -> SimPlan {
 /// Table I compression record: single IF tone in the same 32k coherent
 /// record the 1 dB compression sweep uses.
 pub fn table1_plan() -> SimPlan {
-    let plan = CoherentPlan::new(&[F_IF], 1 << 15, 0.5e6).expect("paper compression plan");
+    let plan = CoherentPlan::new(&[F_IF], 1 << 15, 0.5e6).expect("paper compression plan"); // audit: allow(AUD001): constant paper plan parameters; validated by a unit test
     SimPlan::new("table1 compression")
         .with_fft(plan.fs, plan.n)
         .with_tones(&plan.tones())

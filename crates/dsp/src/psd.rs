@@ -111,7 +111,7 @@ pub fn welch(signal: &[f64], fs: f64, segment_len: usize, window: Window) -> Psd
         count += 1;
         start += hop;
     }
-    let mut psd = acc.expect("at least one segment");
+    let mut psd = acc.expect("at least one segment"); // audit: allow(AUD001): segment-count validation above guarantees at least one iteration
     for v in &mut psd.values {
         *v /= count as f64;
     }

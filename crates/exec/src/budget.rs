@@ -194,11 +194,14 @@ impl CancelToken {
 
     /// Newton iterations charged so far.
     pub fn newton_spent(&self) -> u64 {
+        // audit: relaxed-ok: advisory progress read of one monotonic
+        // cell; budget enforcement happens in the charging RMW itself.
         self.inner.newton_used.load(Ordering::Relaxed)
     }
 
     /// Timesteps charged so far.
     pub fn timesteps_spent(&self) -> u64 {
+        // audit: relaxed-ok: advisory progress read, as newton_spent.
         self.inner.steps_used.load(Ordering::Relaxed)
     }
 
@@ -243,6 +246,8 @@ impl CancelToken {
     /// allowance is spent (or the deadline/cancellation fired).
     pub fn charge_newton(&self) -> Result<(), Interruption> {
         self.checkpoint()?;
+        // audit: relaxed-ok: the fetch_add's RMW atomicity alone makes
+        // the charge exact across clones; no other memory rides on it.
         let used = self.inner.newton_used.fetch_add(1, Ordering::Relaxed);
         if used >= self.inner.newton_limit {
             return Err(Interruption::NewtonIterations {
@@ -256,6 +261,7 @@ impl CancelToken {
     /// spent (or the deadline/cancellation fired).
     pub fn charge_timestep(&self) -> Result<(), Interruption> {
         self.checkpoint()?;
+        // audit: relaxed-ok: exact-by-RMW charge, as charge_newton.
         let used = self.inner.steps_used.fetch_add(1, Ordering::Relaxed);
         if used >= self.inner.steps_limit {
             return Err(Interruption::Timesteps {

@@ -211,14 +211,14 @@ impl Supervisor {
     ) -> JobReport<T> {
         let total = self.opts.max_retries + 1;
         let mut last_failure: Option<JobOutcome<T>> = None;
-        remix_telemetry::counter_add("remix.exec.jobs", 1);
+        remix_telemetry::counter_add(remix_telemetry::names::EXEC_JOBS, 1);
         job_event(name, "queued", 0, 0, 0);
         // Budget consumption of the most recent attempt, reported on the
         // terminal `finished` event.
         let mut spent = (0u64, 0u64);
         for attempt in 0..total {
             if attempt > 0 {
-                remix_telemetry::counter_add("remix.exec.retries", 1);
+                remix_telemetry::counter_add(remix_telemetry::names::EXEC_RETRIES, 1);
                 job_event(name, "retried", attempt, spent.0, spent.1);
                 std::thread::sleep(backoff_delay(&self.opts, name, attempt - 1));
             }
@@ -234,7 +234,7 @@ impl Supervisor {
             drop(guard);
             spent = (token.newton_spent(), token.timesteps_spent());
             if token.deadline_expired() {
-                remix_telemetry::counter_add("remix.exec.watchdog_trips", 1);
+                remix_telemetry::counter_add(remix_telemetry::names::EXEC_WATCHDOG_TRIPS, 1);
                 job_event(name, "watchdog_tripped", attempt, spent.0, spent.1);
             }
             match result {
@@ -315,7 +315,7 @@ fn job_event(name: &str, state: &'static str, attempt: u32, newton_spent: u64, t
         return;
     }
     remix_telemetry::event(
-        "remix.exec.job",
+        remix_telemetry::names::EXEC_JOB,
         vec![
             ("job", remix_telemetry::FieldValue::from(name)),
             ("state", remix_telemetry::FieldValue::from(state)),

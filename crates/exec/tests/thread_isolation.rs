@@ -1,0 +1,116 @@
+//! Per-thread budget isolation and cross-thread cancellation — the
+//! exec half of the parallel-scale-out certification.
+//!
+//! A pool worker arms its own `RunBudget` token via `BudgetGuard`
+//! (`CancelToken::arm`, per the `remix_audit::catalog` inventory);
+//! charges on one worker must never drain another worker's budget,
+//! while a `CancelToken` clone must deliver cancellation *across*
+//! threads. These tests pin both directions and run under CI's
+//! ThreadSanitizer job.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
+
+use remix_exec::{charge_newton_iteration, checkpoint, Interruption, RunBudget};
+use std::sync::mpsc;
+use std::thread;
+
+#[test]
+fn budgets_are_isolated_per_thread() {
+    // Worker A has a 10-iteration budget; worker B charges 1000
+    // iterations against its own unlimited budget. A's budget must be
+    // untouched by B's charges.
+    // `RunBudget::token()` mints a fresh ledger; clones of one token
+    // share it. Each worker gets its own ledger here.
+    let token_a = RunBudget::unlimited().with_newton_iterations(10).token();
+    let token_b = RunBudget::unlimited().token();
+    let ledger_b = token_b.clone();
+
+    let ha = thread::spawn(move || {
+        let _g = token_a.arm();
+        let mut charged = 0u64;
+        loop {
+            match charge_newton_iteration() {
+                Ok(()) => charged += 1,
+                Err(Interruption::NewtonIterations { .. }) => break,
+                Err(other) => panic!("unexpected interruption: {other:?}"),
+            }
+        }
+        charged
+    });
+    let hb = thread::spawn(move || {
+        let _g = token_b.arm();
+        for _ in 0..1_000 {
+            charge_newton_iteration().expect("unlimited budget");
+        }
+    });
+
+    let charged_by_a = ha.join().expect("worker a");
+    hb.join().expect("worker b");
+    assert_eq!(charged_by_a, 10, "A exhausts exactly its own allowance");
+    assert_eq!(ledger_b.newton_spent(), 1_000, "B's ledger counts only B");
+}
+
+#[test]
+fn disarmed_threads_charge_nothing() {
+    let token = RunBudget::unlimited().with_newton_iterations(5).token();
+    let h = thread::spawn(|| {
+        // No guard armed here: the free hooks must be inert.
+        for _ in 0..100 {
+            charge_newton_iteration().expect("disarmed charge is free");
+        }
+    });
+    h.join().expect("worker");
+    assert_eq!(token.newton_spent(), 0, "nothing leaked into the budget");
+}
+
+#[test]
+fn cancellation_crosses_threads() {
+    // The main thread cancels; a worker parked in a checkpoint loop
+    // must observe it. Release/acquire on the cancelled flag gives the
+    // worker a happens-before edge to everything before cancel().
+    let token = RunBudget::unlimited().token();
+    let worker_token = token.clone();
+    let (started_tx, started_rx) = mpsc::channel();
+
+    let h = thread::spawn(move || {
+        let _g = worker_token.arm();
+        started_tx.send(()).expect("signal start");
+        loop {
+            if let Err(i) = checkpoint() {
+                return i;
+            }
+            thread::yield_now();
+        }
+    });
+
+    started_rx.recv().expect("worker started");
+    token.cancel();
+    let interruption = h.join().expect("worker");
+    assert!(
+        matches!(interruption, Interruption::Cancelled),
+        "worker observed the cross-thread cancel, got {interruption:?}"
+    );
+}
+
+#[test]
+fn clones_share_one_ledger() {
+    // Token clones on many threads all charge the same budget: the
+    // fetch_add RMW atomicity (the AUD009 relaxed-ok argument) makes
+    // the combined total exact.
+    let ledger = RunBudget::unlimited().token();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let t = ledger.clone();
+            thread::spawn(move || {
+                let _g = t.arm();
+                for _ in 0..500 {
+                    charge_newton_iteration().expect("unlimited");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    assert_eq!(ledger.newton_spent(), 8 * 500);
+}

@@ -406,14 +406,15 @@ fn ill_scaled(ckt: &Circuit, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
     }
     let Some(&(g_min, min_name)) = extremes
         .iter()
+        // audit: allow(AUD001): margins are checked finite before ranking
         .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
     else {
         return;
     };
     let &(g_max, max_name) = extremes
         .iter()
-        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
-        .unwrap();
+        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap()) // audit: allow(AUD001): margins are checked finite before ranking
+        .unwrap(); // audit: allow(AUD001): extremes is non-empty: the min_by above already matched
     let decades = (g_max / g_min).log10();
     if decades > ILL_SCALED_DECADES {
         out.push(Diagnostic {

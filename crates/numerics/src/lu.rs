@@ -141,7 +141,7 @@ impl<T: Scalar> LuFactor<T> {
             }
         }
 
-        remix_telemetry::counter_add("remix.numerics.lu.factorizations", 1);
+        remix_telemetry::counter_add(remix_telemetry::names::LU_FACTORIZATIONS, 1);
         Ok(LuFactor {
             lu,
             perm,

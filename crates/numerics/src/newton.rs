@@ -136,9 +136,9 @@ pub fn newton_solve<S: NonlinearSystem>(
 ) -> Result<NewtonReport, NewtonError> {
     let n = system.dim();
     assert_eq!(x0.len(), n, "initial guess dimension mismatch");
-    let _span = remix_telemetry::span("remix.numerics.newton.solve").with_field("dim", n);
+    let _span = remix_telemetry::span(remix_telemetry::names::NEWTON_SOLVE).with_field("dim", n);
     // Fetched once so the hot loop below touches only a relaxed atomic.
-    let iter_counter = remix_telemetry::counter("remix.numerics.newton.iterations");
+    let iter_counter = remix_telemetry::counter(remix_telemetry::names::NEWTON_ITERATIONS);
     let mut x = x0.to_vec();
     let mut f = vec![0.0; n];
     let mut jac = DenseMatrix::zeros(n, n);
@@ -154,7 +154,7 @@ pub fn newton_solve<S: NonlinearSystem>(
             return Err(NewtonError::Diverged { iteration: iter });
         }
         if fnorm < opts.f_tol && iter > 0 {
-            remix_telemetry::histogram_observe("remix.numerics.newton.residual_norm", fnorm);
+            remix_telemetry::histogram_observe(remix_telemetry::names::NEWTON_RESIDUAL_NORM, fnorm);
             return Ok(NewtonReport {
                 x,
                 iterations: iter,
@@ -220,7 +220,7 @@ pub fn newton_solve<S: NonlinearSystem>(
         let x_norm = vecops::norm_inf(&x);
         let step = alpha * vecops::norm_inf(&dx);
         if step < opts.dx_tol + opts.dx_rtol * x_norm && fnorm < opts.f_tol.max(1e-6) {
-            remix_telemetry::histogram_observe("remix.numerics.newton.residual_norm", fnorm);
+            remix_telemetry::histogram_observe(remix_telemetry::names::NEWTON_RESIDUAL_NORM, fnorm);
             return Ok(NewtonReport {
                 x,
                 iterations: iter + 1,

@@ -303,7 +303,7 @@ impl<T: Scalar> SparseLu<T> {
             // miss would be a broken factorization invariant, not a
             // property of the input matrix.
             let Ok(pivot_pos) = pivot_row.binary_search_by_key(&k, |e| e.0) else {
-                unreachable!("pivot entry must exist");
+                unreachable!("pivot entry must exist"); // audit: allow(AUD002): a miss is a broken factorization invariant, per the comment above
             };
             let pivot_val = pivot_row[pivot_pos].1;
 
@@ -355,9 +355,9 @@ impl<T: Scalar> SparseLu<T> {
             scale,
         };
         if remix_telemetry::is_armed() {
-            remix_telemetry::counter_add("remix.numerics.lu.factorizations", 1);
-            remix_telemetry::gauge_set("remix.numerics.lu.fill_nnz", lu.fill_nnz() as f64);
-            remix_telemetry::gauge_set("remix.numerics.lu.rcond", lu.rcond_estimate());
+            remix_telemetry::counter_add(remix_telemetry::names::LU_FACTORIZATIONS, 1);
+            remix_telemetry::gauge_set(remix_telemetry::names::LU_FILL_NNZ, lu.fill_nnz() as f64);
+            remix_telemetry::gauge_set(remix_telemetry::names::LU_RCOND, lu.rcond_estimate());
         }
         Ok(lu)
     }

@@ -43,7 +43,11 @@ pub enum JsonValue {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any number (JSON does not distinguish integer kinds).
+    /// A non-negative integer without fraction or exponent, kept
+    /// exact: `u64` counters above 2^53 would otherwise lose
+    /// precision through an `f64` detour.
+    Int(u64),
+    /// Any other number (JSON does not distinguish integer kinds).
     Num(f64),
     /// A string.
     Str(String),
@@ -67,14 +71,18 @@ impl JsonValue {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Num(v) => Some(*v),
+            JsonValue::Int(v) => Some(*v as f64),
             JsonValue::Null => Some(f64::NAN),
             _ => None,
         }
     }
 
-    /// The number as an unsigned integer, when it is one.
+    /// The number as an unsigned integer, when it is one. Integers
+    /// parsed as [`JsonValue::Int`] come back bit-exact at any
+    /// magnitude.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            JsonValue::Int(v) => Some(*v),
             JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
             _ => None,
         }
@@ -205,11 +213,16 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("malformed number"))?;
+        // Plain non-negative integers stay exact (u64 counters and
+        // span nanosecond totals exceed f64's 2^53 integer range).
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(JsonValue::Int(v));
+        }
+        text.parse::<f64>()
             .map(JsonValue::Num)
-            .ok_or_else(|| self.err("malformed number"))
+            .map_err(|_| self.err("malformed number"))
     }
 
     fn string(&mut self) -> Result<String, JsonError> {

@@ -52,6 +52,7 @@
 
 mod json;
 mod metrics;
+pub mod names;
 mod record;
 mod sink;
 mod span;

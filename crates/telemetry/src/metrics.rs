@@ -33,12 +33,17 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(cell) = &self.0 {
+            // audit: relaxed-ok: single-cell monotonic RMW; cross-thread
+            // exactness is only claimed after a join, which supplies the
+            // happens-before edge.
             cell.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// Current value (zero when detached).
     pub fn value(&self) -> u64 {
+        // audit: relaxed-ok: single-cell read of a monotonic total;
+        // mid-run reads are advisory, exact totals are read post-join.
         self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
     }
 }
@@ -50,18 +55,27 @@ pub struct Gauge(Option<Arc<AtomicU64>>);
 
 impl Gauge {
     /// Replaces the gauge value.
+    ///
+    /// Gauges *publish* derived results (an rcond after a
+    /// factorization, a fill count after a symbolic pass): a
+    /// release-store paired with the acquire-load in
+    /// [`Gauge::value`]/snapshotting gives cross-thread readers — a
+    /// watchdog sampling mid-run, the parallel supervisor's aggregator
+    /// — a happens-before edge to the work that produced the value,
+    /// not just the bits themselves.
     #[inline]
     pub fn set(&self, value: f64) {
         if let Some(cell) = &self.0 {
-            cell.store(value.to_bits(), Ordering::Relaxed);
+            cell.store(value.to_bits(), Ordering::Release);
         }
     }
 
-    /// Current value (`NaN` when detached or never set).
+    /// Current value (`NaN` when detached or never set). Acquire-load:
+    /// see [`Gauge::set`].
     pub fn value(&self) -> f64 {
         self.0
             .as_ref()
-            .map_or(f64::NAN, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+            .map_or(f64::NAN, |c| f64::from_bits(c.load(Ordering::Acquire)))
     }
 }
 
@@ -88,17 +102,24 @@ impl HistogramCore {
 
     fn observe(&self, value: f64) {
         if let Some(k) = self.bounds.iter().position(|&b| value <= b) {
+            // audit: relaxed-ok: independent monotonic cells; a snapshot
+            // racing an observe may see bucket/count momentarily skewed
+            // by one, which the post-join determinism contract permits.
             self.bucket_counts[k].fetch_add(1, Ordering::Relaxed);
         }
+        // audit: relaxed-ok: same single-cell monotonic argument.
         self.count.fetch_add(1, Ordering::Relaxed);
+        // The CAS retry loop publishes nothing beyond the sum cell
+        // itself: read-modify-write atomicity alone keeps it lossless.
+        // audit: relaxed-ok: CAS retry loop over one cell.
         let mut cur = self.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + value).to_bits();
             match self.sum_bits.compare_exchange_weak(
                 cur,
                 next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // audit: relaxed-ok: success order, single cell.
+                Ordering::Relaxed, // audit: relaxed-ok: failure order, retry only.
             ) {
                 Ok(_) => break,
                 Err(seen) => cur = seen,
@@ -112,9 +133,14 @@ impl HistogramCore {
                 .bounds
                 .iter()
                 .zip(&self.bucket_counts)
+                // audit: relaxed-ok: snapshot exactness is only promised
+                // once writer threads are joined (happens-before via
+                // join); mid-run snapshots are explicitly advisory.
                 .map(|(&b, c)| (b, c.load(Ordering::Relaxed)))
                 .collect(),
+            // audit: relaxed-ok: see bucket loads above.
             count: self.count.load(Ordering::Relaxed),
+            // audit: relaxed-ok: see bucket loads above.
             sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
         }
     }
@@ -201,13 +227,16 @@ impl MetricsRegistry {
         for (name, cell) in lock_or_recover(&self.counters).iter() {
             metrics.push(MetricEntry {
                 name: (*name).to_string(),
+                // audit: relaxed-ok: monotonic totals are exact after
+                // writer joins; mid-run snapshots are advisory.
                 value: MetricValue::Counter(cell.load(Ordering::Relaxed)),
             });
         }
         for (name, cell) in lock_or_recover(&self.gauges).iter() {
             metrics.push(MetricEntry {
                 name: (*name).to_string(),
-                value: MetricValue::Gauge(f64::from_bits(cell.load(Ordering::Relaxed))),
+                // Acquire pairs with the release-store in `Gauge::set`.
+                value: MetricValue::Gauge(f64::from_bits(cell.load(Ordering::Acquire))),
             });
         }
         for (name, core) in lock_or_recover(&self.histograms).iter() {

@@ -1,0 +1,167 @@
+//! The central catalog of every production metric, span and event name.
+//!
+//! Telemetry names are part of the stack's observable interface: CI
+//! smoke checks grep bench records for them, perf guard-rails compare
+//! snapshots by them, and a typo'd name silently forks a metric into a
+//! never-read twin. Every string handed to the registry or the sink
+//! from production code therefore lives here, and the workspace audit
+//! (`remix-audit`, rule `AUD008_UNKNOWN_METRIC_NAME`) denies any
+//! `"remix.*"` string literal that appears outside this module in
+//! non-test code — call sites must name the constant instead.
+//!
+//! Naming convention: `remix.<crate>.<subsystem>.<quantity>`, with
+//! timing-derived metrics suffixed `_ns`/`_ms`/`_seconds` so
+//! [`MetricsSnapshot::without_timings`](crate::MetricsSnapshot::without_timings)
+//! can mask them deterministically.
+
+/// Counter: matrix factorizations performed (dense and sparse LU).
+pub const LU_FACTORIZATIONS: &str = "remix.numerics.lu.factorizations";
+/// Gauge: non-zeros in the most recent sparse LU's filled factors.
+pub const LU_FILL_NNZ: &str = "remix.numerics.lu.fill_nnz";
+/// Gauge: cheap `min|Uii|/max|Uii|` condition estimate of the most
+/// recent factorization.
+pub const LU_RCOND: &str = "remix.numerics.lu.rcond";
+/// Span: one damped-Newton solve.
+pub const NEWTON_SOLVE: &str = "remix.numerics.newton.solve";
+/// Counter: Newton iterations across all solves.
+pub const NEWTON_ITERATIONS: &str = "remix.numerics.newton.iterations";
+/// Histogram: residual norms observed by the Newton loop.
+pub const NEWTON_RESIDUAL_NORM: &str = "remix.numerics.newton.residual_norm";
+
+/// Span: one operating-point analysis.
+pub const ANALYSIS_OP: &str = "remix.analysis.op";
+/// Gauge: rcond estimate of the final operating-point factorization.
+pub const ANALYSIS_OP_RCOND: &str = "remix.analysis.op.rcond";
+/// Span: one DC sweep.
+pub const ANALYSIS_DCSWEEP: &str = "remix.analysis.dcsweep";
+/// Span: one transient analysis.
+pub const ANALYSIS_TRAN: &str = "remix.analysis.tran";
+/// Span: one small-signal AC analysis.
+pub const ANALYSIS_AC: &str = "remix.analysis.ac";
+/// Span: one periodic steady-state analysis.
+pub const ANALYSIS_PSS: &str = "remix.analysis.pss";
+/// Span: one AC noise analysis.
+pub const ANALYSIS_ACNOISE: &str = "remix.analysis.acnoise";
+/// Span: one transient noise analysis.
+pub const ANALYSIS_TRANNOISE: &str = "remix.analysis.trannoise";
+
+/// Counter: cumulative Newton iterations burned by the homotopy ladder.
+pub const CONVERGENCE_ITERATIONS: &str = "remix.analysis.convergence.iterations";
+/// Counter: direct-Newton attempts in the homotopy ladder.
+pub const CONVERGENCE_ATTEMPTS_DIRECT: &str = "remix.analysis.convergence.attempts.direct";
+/// Counter: gmin-stepping attempts in the homotopy ladder.
+pub const CONVERGENCE_ATTEMPTS_GMIN_LADDER: &str =
+    "remix.analysis.convergence.attempts.gmin_ladder";
+/// Counter: source-ramp attempts in the homotopy ladder.
+pub const CONVERGENCE_ATTEMPTS_SOURCE_RAMP: &str =
+    "remix.analysis.convergence.attempts.source_ramp";
+/// Counter: pseudo-transient attempts in the homotopy ladder.
+pub const CONVERGENCE_ATTEMPTS_PSEUDO_TRANSIENT: &str =
+    "remix.analysis.convergence.attempts.pseudo_transient";
+/// Counter: per-timestep Newton attempts in transient analyses.
+pub const CONVERGENCE_ATTEMPTS_TRAN_STEP: &str = "remix.analysis.convergence.attempts.tran_step";
+/// Counter: per-frequency-point solve attempts in AC analyses.
+pub const CONVERGENCE_ATTEMPTS_AC_POINT: &str = "remix.analysis.convergence.attempts.ac_point";
+/// Counter: PSS boundary-condition solve attempts.
+pub const CONVERGENCE_ATTEMPTS_PSS_BOUNDARY: &str =
+    "remix.analysis.convergence.attempts.pss_boundary";
+
+/// Event: supervised-job lifecycle transition (queued/started/retried/
+/// finished/watchdog_tripped).
+pub const EXEC_JOB: &str = "remix.exec.job";
+/// Counter: jobs submitted to a supervisor.
+pub const EXEC_JOBS: &str = "remix.exec.jobs";
+/// Counter: job retry attempts.
+pub const EXEC_RETRIES: &str = "remix.exec.retries";
+/// Counter: watchdog deadline trips.
+pub const EXEC_WATCHDOG_TRIPS: &str = "remix.exec.watchdog_trips";
+
+/// Event: study checkpoint written or restored.
+pub const CORE_CHECKPOINT: &str = "remix.core.checkpoint";
+/// Counter: successfully computed samples recorded in checkpoints.
+pub const CORE_CHECKPOINT_OPS_OK: &str = "remix.core.checkpoint.ops_ok";
+/// Counter: failed samples recorded in checkpoints.
+pub const CORE_CHECKPOINT_OPS_FAILED: &str = "remix.core.checkpoint.ops_failed";
+/// Span: one Monte-Carlo sample extraction.
+pub const CORE_MONTECARLO_SAMPLE: &str = "remix.core.montecarlo.sample";
+/// Counter: Monte-Carlo samples that converged.
+pub const CORE_MONTECARLO_SAMPLES_OK: &str = "remix.core.montecarlo.samples_ok";
+/// Counter: Monte-Carlo samples that failed with a trace.
+pub const CORE_MONTECARLO_SAMPLES_FAILED: &str = "remix.core.montecarlo.samples_failed";
+/// Span: one process corner evaluation.
+pub const CORE_CORNERS_CORNER: &str = "remix.core.corners.corner";
+
+/// Every production name, for conformance checks and documentation.
+/// Sorted; [`names_are_canonical`](self) below pins uniqueness.
+pub const ALL: &[&str] = &[
+    ANALYSIS_AC,
+    ANALYSIS_ACNOISE,
+    CONVERGENCE_ATTEMPTS_AC_POINT,
+    CONVERGENCE_ATTEMPTS_DIRECT,
+    CONVERGENCE_ATTEMPTS_GMIN_LADDER,
+    CONVERGENCE_ATTEMPTS_PSEUDO_TRANSIENT,
+    CONVERGENCE_ATTEMPTS_PSS_BOUNDARY,
+    CONVERGENCE_ATTEMPTS_SOURCE_RAMP,
+    CONVERGENCE_ATTEMPTS_TRAN_STEP,
+    CONVERGENCE_ITERATIONS,
+    ANALYSIS_DCSWEEP,
+    ANALYSIS_OP,
+    ANALYSIS_OP_RCOND,
+    ANALYSIS_PSS,
+    ANALYSIS_TRAN,
+    ANALYSIS_TRANNOISE,
+    CORE_CHECKPOINT,
+    CORE_CHECKPOINT_OPS_FAILED,
+    CORE_CHECKPOINT_OPS_OK,
+    CORE_CORNERS_CORNER,
+    CORE_MONTECARLO_SAMPLE,
+    CORE_MONTECARLO_SAMPLES_FAILED,
+    CORE_MONTECARLO_SAMPLES_OK,
+    EXEC_JOB,
+    EXEC_JOBS,
+    EXEC_RETRIES,
+    EXEC_WATCHDOG_TRIPS,
+    LU_FACTORIZATIONS,
+    LU_FILL_NNZ,
+    LU_RCOND,
+    NEWTON_ITERATIONS,
+    NEWTON_RESIDUAL_NORM,
+    NEWTON_SOLVE,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_canonical() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(
+                name.starts_with("remix."),
+                "'{name}' must use the remix.<crate>.<name> convention"
+            );
+            assert!(
+                name.split('.').all(|seg| {
+                    !seg.is_empty()
+                        && seg
+                            .chars()
+                            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+                }),
+                "'{name}' must be dotted lowercase snake_case"
+            );
+            assert!(seen.insert(*name), "'{name}' listed twice");
+        }
+    }
+
+    #[test]
+    fn timing_suffix_convention_is_respected() {
+        // Nothing in the catalog accidentally looks like a timing
+        // metric unless it is one; without_timings() masks by suffix.
+        for name in ALL {
+            if name.ends_with("_ns") || name.ends_with("_ms") || name.ends_with("_seconds") {
+                panic!("'{name}' would be masked by without_timings(); none expected today");
+            }
+        }
+    }
+}

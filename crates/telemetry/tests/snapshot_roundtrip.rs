@@ -1,0 +1,140 @@
+//! Property test: a [`BenchRecord`] survives `render_json` →
+//! `parse_json` for arbitrary snapshots — hostile metric names
+//! (quotes, backslashes, control characters, non-ASCII) and the full
+//! `f64` bit space for gauges, including NaN and the infinities.
+//!
+//! One documented normalization applies: the JSON layer renders
+//! non-finite floats as `null` and parses `null` back as NaN, so
+//! every non-finite gauge normalizes to NaN on the way round. The
+//! property therefore compares finite values exactly and collapses
+//! all non-finite values to "NaN after one round trip".
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
+
+use proptest::prelude::*;
+use remix_telemetry::{
+    BenchRecord, HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot, SpanRollup,
+};
+
+/// Decodes a drawn u64 into a hostile-but-valid metric name: each
+/// nibble selects from an alphabet that includes JSON-escape-relevant
+/// characters (the shim has no string strategy, so names are derived
+/// from integers).
+fn hostile_name(bits: u64, salt: usize) -> String {
+    const ALPHABET: [char; 16] = [
+        'a', 'Z', '0', '.', '_', '"', '\\', '\n', '\t', '\r', '\u{1}', '\u{7f}', 'é', '≤', '🔥',
+        ' ',
+    ];
+    let mut name = format!("m{salt}_");
+    for shift in (0..64).step_by(4) {
+        name.push(ALPHABET[((bits >> shift) & 0xF) as usize]);
+    }
+    name
+}
+
+/// `f64` from raw bits: covers NaN payloads, infinities, subnormals.
+fn gauge_value(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+/// What a value must look like after one round trip.
+fn normalize(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::NAN
+    }
+}
+
+fn roundtrip(record: &BenchRecord) -> BenchRecord {
+    BenchRecord::parse_json(&record.render_json()).expect("rendered JSON must parse")
+}
+
+fn values_match(rendered: f64, parsed: f64) -> bool {
+    let want = normalize(rendered);
+    (want.is_nan() && parsed.is_nan()) || want == parsed
+}
+
+proptest! {
+    #[test]
+    fn bench_record_roundtrips_hostile_names_and_gauges(
+        name_bits in proptest::collection::vec(any::<u64>(), 1..6),
+        gauge_bits in proptest::collection::vec(any::<u64>(), 1..6),
+        counter_vals in proptest::collection::vec(any::<u64>(), 1..6),
+        pass in any::<bool>(),
+    ) {
+        let n = name_bits.len().min(gauge_bits.len()).min(counter_vals.len());
+        let mut metrics = Vec::new();
+        for i in 0..n {
+            metrics.push(MetricEntry {
+                name: hostile_name(name_bits[i], 2 * i),
+                value: MetricValue::Counter(counter_vals[i]),
+            });
+            metrics.push(MetricEntry {
+                name: hostile_name(name_bits[i].rotate_left(17), 2 * i + 1),
+                value: MetricValue::Gauge(gauge_value(gauge_bits[i])),
+            });
+        }
+        let snapshot = MetricsSnapshot { metrics, spans: vec![] };
+        let record = BenchRecord::new("proptest_bin", "hostile label \"x\"", pass, "00ff", snapshot);
+        let back = roundtrip(&record);
+
+        prop_assert_eq!(back.schema_version, record.schema_version);
+        prop_assert_eq!(&back.bin, &record.bin);
+        prop_assert_eq!(&back.label, &record.label);
+        prop_assert_eq!(back.pass, record.pass);
+        prop_assert_eq!(back.snapshot.metrics.len(), record.snapshot.metrics.len());
+        for (orig, rt) in record.snapshot.metrics.iter().zip(&back.snapshot.metrics) {
+            prop_assert!(orig.name == rt.name, "name must survive escaping: {:?}", orig.name);
+            match (&orig.value, &rt.value) {
+                (MetricValue::Counter(a), MetricValue::Counter(b)) => prop_assert_eq!(a, b),
+                (MetricValue::Gauge(a), MetricValue::Gauge(b)) => prop_assert!(
+                    values_match(*a, *b),
+                    "gauge {} -> {} violates the normalization contract", a, b
+                ),
+                (a, b) => prop_assert!(false, "metric kind flipped: {:?} -> {:?}", a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn histograms_and_spans_roundtrip(
+        bucket_counts in proptest::collection::vec(any::<u32>(), 1..8),
+        sum_bits in any::<u64>(),
+        span_count in any::<u32>(),
+        span_ns in any::<u64>(),
+    ) {
+        let buckets: Vec<(f64, u64)> = bucket_counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((i as f64 + 1.0) * 0.5, u64::from(*c)))
+            .collect();
+        let count: u64 = buckets.iter().map(|(_, c)| c).sum::<u64>() + 3;
+        let hist = HistogramSnapshot { buckets, count, sum: gauge_value(sum_bits) };
+        let snapshot = MetricsSnapshot {
+            metrics: vec![MetricEntry {
+                name: "remix.test.hist \"quoted\"\\".to_string(),
+                value: MetricValue::Histogram(hist.clone()),
+            }],
+            spans: vec![SpanRollup {
+                name: "remix.test.span\n".to_string(),
+                count: u64::from(span_count),
+                total_ns: span_ns,
+            }],
+        };
+        let record = BenchRecord::new("hist_bin", "l", true, "ab", snapshot);
+        let back = roundtrip(&record);
+
+        let MetricValue::Histogram(rt) = &back.snapshot.metrics[0].value else {
+            return Err(TestCaseError::fail("histogram kind flipped"));
+        };
+        prop_assert_eq!(rt.count, hist.count);
+        prop_assert_eq!(rt.buckets.len(), hist.buckets.len());
+        for ((ob, oc), (rb, rc)) in hist.buckets.iter().zip(&rt.buckets) {
+            prop_assert!(ob == rb, "bucket bound drifted: {} -> {}", ob, rb);
+            prop_assert_eq!(oc, rc);
+        }
+        prop_assert!(values_match(hist.sum, rt.sum));
+        prop_assert_eq!(&back.snapshot.spans, &record.snapshot.spans);
+    }
+}

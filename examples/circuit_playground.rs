@@ -10,6 +10,7 @@
 //! cargo run --release --example circuit_playground
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example: panicking on setup failure is fine in demo code
 use remix::analysis::{
     ac_sweep, dc_operating_point, dc_sweep, log_space, output_noise, transient, OpOptions,
     TranOptions,

@@ -13,6 +13,7 @@
 //! cargo run --release --example design_optimizer
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example: panicking on setup failure is fine in demo code
 use remix::core::model::{ExtractedParams, MixerModel};
 use remix::core::{MixerConfig, MixerMode};
 

@@ -10,6 +10,7 @@
 //! Files land in `target/`: `mixer_active.cir`, `mixer_passive.cir`,
 //! `mixer_active.dot` (render with `dot -Tsvg`).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example: panicking on setup failure is fine in demo code
 use remix::circuit::{from_spice, to_dot, to_spice};
 use remix::core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
 use remix::core::{MixerConfig, MixerMode};

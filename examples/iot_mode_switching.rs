@@ -13,6 +13,7 @@
 //! cargo run --release --example iot_mode_switching
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example: panicking on setup failure is fine in demo code
 use remix::core::{eval::MixerEvaluator, MixerConfig, MixerMode};
 use remix::dsp::units::{db_to_ratio, dbm_to_watts, watts_to_dbm, BOLTZMANN, T0};
 

@@ -9,6 +9,7 @@
 //! cargo run --release --example pss_waveforms
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example: panicking on setup failure is fine in demo code
 use remix::analysis::{periodic_steady_state, PssOptions};
 use remix::core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
 use remix::core::{MixerConfig, MixerMode};

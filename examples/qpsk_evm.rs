@@ -14,6 +14,7 @@
 //! cargo run --release --example qpsk_evm
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example: panicking on setup failure is fine in demo code
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use remix::core::{eval::MixerEvaluator, MixerConfig, MixerMode};

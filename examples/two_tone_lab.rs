@@ -8,6 +8,7 @@
 //! cargo run --release --example two_tone_lab
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example: panicking on setup failure is fine in demo code
 use remix::core::{eval::MixerEvaluator, MixerConfig, MixerMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -15,6 +15,7 @@
 //! | [`analysis`] | DC op (homotopy), AC, transient, `.NOISE`, MC noise, power |
 //! | [`rfkit`] | IIP3/IIP2/P1dB algebra, two-tone harness, behavioral blocks, Table I data |
 //! | [`core`] | the reconfigurable mixer: TCA, quad, TIA/OTA, TG loads, models, evaluation |
+//! | [`audit`] | workspace static analysis: AUD rules certifying the stack for parallel scale-out |
 //!
 //! ## Quick start
 //!
@@ -45,6 +46,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use remix_analysis as analysis;
+pub use remix_audit as audit;
 pub use remix_circuit as circuit;
 pub use remix_core as core;
 pub use remix_dsp as dsp;

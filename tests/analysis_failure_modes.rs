@@ -1,6 +1,7 @@
 //! Failure-injection tests: the analysis engines must fail *loudly and
 //! legibly* on broken inputs, never hang or return garbage.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use remix::analysis::{
     ac_sweep, dc_operating_point, dc_sweep, output_noise, transient, AnalysisError, OpOptions,
     TranOptions,

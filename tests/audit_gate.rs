@@ -1,0 +1,74 @@
+//! End-to-end test of the `audit` binary — the exact gate CI runs.
+//!
+//! Proves the CLI contract: exit 0 and a clean summary on the real
+//! workspace, non-zero exit for every seeded violation fixture, and
+//! well-formed versioned JSON under `--json`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
+
+use std::path::Path;
+use std::process::Command;
+
+fn audit_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_audit"))
+}
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_audit_exits_zero() {
+    let out = audit_bin()
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run audit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "workspace audit must pass:\n{stdout}");
+    assert!(stdout.contains("0 deny"), "summary line present: {stdout}");
+}
+
+#[test]
+fn every_fixture_fails_the_gate() {
+    let fixtures = workspace_root().join("crates/audit/tests/fixtures");
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&fixtures)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let out = audit_bin().arg(&path).output().expect("run audit");
+        assert!(
+            !out.status.success(),
+            "fixture {} must fail the gate:\n{}",
+            path.display(),
+            String::from_utf8_lossy(&out.stdout)
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, 9, "one fixture per AUD rule");
+}
+
+#[test]
+fn json_flag_emits_versioned_report() {
+    let fixture = workspace_root().join("crates/audit/tests/fixtures/aud001_unwrap.rs");
+    let out = audit_bin()
+        .arg("--json")
+        .arg(&fixture)
+        .output()
+        .expect("run audit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success());
+    assert!(stdout.contains("\"schema_version\": 1"));
+    assert!(stdout.contains("\"tool\": \"remix-audit\""));
+    assert!(stdout.contains("\"rule\":\"AUD001_UNWRAP_IN_LIB\""));
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = audit_bin().arg("--nope").output().expect("run audit");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -6,6 +6,7 @@
 //! `BENCH_RECORD_SCHEMA_VERSION` and regenerate
 //! `tests/golden/bench_record.json`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use remix::analysis::{dc_operating_point, OpOptions};
 use remix::core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
 use remix::core::{MixerConfig, MixerMode};

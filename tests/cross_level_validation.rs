@@ -6,6 +6,7 @@
 //! the strongest evidence that the behavioral sweeps regenerating the
 //! paper's figures are anchored in the circuit.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use remix::core::{eval::MixerEvaluator, MixerConfig, MixerMode};
 use std::sync::OnceLock;
 

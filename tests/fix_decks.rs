@@ -6,6 +6,7 @@
 //! attached), which is what makes `remix-bench lint --fix` exit
 //! non-zero listing them.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use remix::circuit::{from_spice, to_spice};
 use remix::lint::{fix_circuit, import_spice, lint, LintConfig, RuleId, Severity};
 

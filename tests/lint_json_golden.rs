@@ -4,6 +4,7 @@
 //! objects, float formatting — is a compatibility contract. Any change
 //! must bump `SCHEMA_VERSION` and regenerate `tests/golden/lint_report.json`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use remix::circuit::from_spice;
 use remix::lint::{lint, LintConfig, SCHEMA_VERSION};
 

@@ -3,6 +3,7 @@
 //! netlist that lints clean must actually solve, and one the solver
 //! rejects structurally should have been flagged.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use proptest::prelude::*;
 use remix::analysis::{dc_operating_point, AnalysisError, OpOptions};
 use remix::circuit::{Circuit, MosModel, Waveform};

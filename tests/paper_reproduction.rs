@@ -6,6 +6,7 @@
 //! not the UMC PDK — see DESIGN.md); orderings and crossovers are
 //! asserted strictly.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use remix::core::{eval::MixerEvaluator, MixerConfig, MixerMode};
 use remix::rfkit::specs::{ACTIVE_TARGETS, PASSIVE_TARGETS};
 use std::sync::OnceLock;

@@ -2,6 +2,7 @@
 //! actual output, and the budget view agreeing with the end-to-end
 //! models.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use remix::core::{eval::MixerEvaluator, MixerConfig, MixerMode};
 use remix::dsp::{Spectrum, Window};
 use remix::rfkit::budget::budget_rows;

@@ -2,6 +2,7 @@
 //! netlist is exported to a SPICE deck, re-imported, and solved — the
 //! reconstructed circuit must produce the *same operating point*.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use remix::analysis::{dc_operating_point, supply_power, OpOptions};
 use remix::circuit::{from_spice, to_spice};
 use remix::core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};

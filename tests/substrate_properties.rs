@@ -5,6 +5,7 @@
 //! systems, FFT/Goertzel consistency, Parseval, linearity-metric algebra,
 //! and the MOSFET model's gradient/physics invariants under random bias.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use proptest::prelude::*;
 use remix::circuit::MosModel;
 use remix::dsp::{amplitude_spectrum, goertzel_amplitude};

@@ -6,6 +6,7 @@
 //!    Newton iteration count and the solution are bit-identical with
 //!    and without an armed context.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
 use remix::analysis::{dc_operating_point, OpOptions};
 use remix::core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
 use remix::core::{MixerConfig, MixerMode};
