@@ -335,6 +335,7 @@ mod tests {
                 message: "circuit contains no elements".into(),
                 nodes: vec![],
                 elements: vec![],
+                line: None,
                 fix: None,
             }],
         };

@@ -66,7 +66,9 @@ pub use dcsweep::{dc_sweep, dc_sweep_partial, DcSweepResult};
 pub use error::{AnalysisError, PartialProgress};
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultGuard, FaultKind, FaultPlan};
-pub use op::{dc_operating_point, OpOptions, OperatingPoint};
+pub use op::{
+    dc_operating_point, dc_operating_point_dense, LinearSolverKind, OpOptions, OperatingPoint,
+};
 pub use partial::{Interrupted, Partial};
 pub use plan::{fastest_stimulus, noise_plan, pss_plan, sweep_plan, tran_plan};
 pub use power::{supply_power, PowerReport};

@@ -20,7 +20,23 @@ use crate::convergence::{
 use crate::error::{AnalysisError, PartialProgress};
 use crate::stamp::{assemble_real, RealMode};
 use remix_circuit::{Circuit, Element, ElementId, MnaLayout, MosCaps, MosEval, Node};
-use remix_numerics::{FactorError, TripletMatrix};
+use remix_numerics::{FactorError, LuFactor, SparseLu, TripletMatrix};
+
+/// Which linear-algebra path factors the MNA system each Newton step.
+///
+/// The sparse path is the production solver; the dense path is an
+/// independent reference implementation (different pivoting order,
+/// different elimination code, no fault-injection hooks) used by the
+/// differential oracle in `tests/` to cross-check operating points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinearSolverKind {
+    /// Sparse LU via `remix_numerics::SparseLu` (default).
+    #[default]
+    Sparse,
+    /// Dense LU with partial pivoting via `remix_numerics::LuFactor`,
+    /// factoring the densified MNA matrix.
+    Dense,
+}
 
 /// Options controlling the operating-point solve.
 #[derive(Debug, Clone)]
@@ -36,6 +52,8 @@ pub struct OpOptions {
     pub gmin: f64,
     /// The homotopy ladder to walk when the direct solve stalls.
     pub policy: ConvergencePolicy,
+    /// The linear-algebra path used per Newton step.
+    pub solver: LinearSolverKind,
 }
 
 impl Default for OpOptions {
@@ -46,7 +64,41 @@ impl Default for OpOptions {
             dv_max: 0.3,
             gmin: 1e-12,
             policy: ConvergencePolicy::default(),
+            solver: LinearSolverKind::default(),
         }
+    }
+}
+
+/// One factored MNA system, behind either linear-algebra path.
+enum Factored {
+    Sparse(SparseLu<f64>),
+    Dense(LuFactor<f64>),
+}
+
+impl Factored {
+    fn rcond_estimate(&self) -> f64 {
+        match self {
+            Factored::Sparse(lu) => lu.rcond_estimate(),
+            Factored::Dense(lu) => lu.rcond_estimate(),
+        }
+    }
+
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>, FactorError> {
+        match self {
+            Factored::Sparse(lu) => lu.solve(b),
+            Factored::Dense(lu) => lu.solve(b),
+        }
+    }
+}
+
+/// Factors the assembled system through the selected path. The sparse
+/// path keeps the fault-injection hook; the dense reference path
+/// deliberately bypasses it so the oracle's two solves fail
+/// independently.
+fn factor_system(m: &TripletMatrix<f64>, kind: LinearSolverKind) -> Result<Factored, FactorError> {
+    match kind {
+        LinearSolverKind::Sparse => crate::fault::factor(&m.to_csr()).map(Factored::Sparse),
+        LinearSolverKind::Dense => LuFactor::factor(&m.to_csr().to_dense()).map(Factored::Dense),
     }
 }
 
@@ -184,7 +236,7 @@ fn converge_stage(
                 rhs[i] += diag_load * x[i];
             }
         }
-        let lu = match crate::fault::factor(&m.to_csr()) {
+        let lu = match factor_system(&m, opts.solver) {
             Ok(lu) => lu,
             Err(e) => {
                 attempt.outcome = factor_outcome(&e);
@@ -546,6 +598,25 @@ pub fn dc_operating_point(
     Ok(op)
 }
 
+/// [`dc_operating_point`] through the dense reference LU path
+/// ([`LinearSolverKind::Dense`]): same Newton iteration and homotopy
+/// ladder, independent linear algebra. Exists for differential testing —
+/// solve a circuit both ways and compare node voltages.
+///
+/// # Errors
+///
+/// Same as [`dc_operating_point`].
+pub fn dc_operating_point_dense(
+    circuit: &Circuit,
+    opts: &OpOptions,
+) -> Result<OperatingPoint, AnalysisError> {
+    let opts = OpOptions {
+        solver: LinearSolverKind::Dense,
+        ..opts.clone()
+    };
+    dc_operating_point(circuit, &opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +624,35 @@ mod tests {
 
     fn op(circuit: &Circuit) -> OperatingPoint {
         dc_operating_point(circuit, &OpOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn dense_reference_path_matches_sparse() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        c.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("rl", vdd, out, 2e3);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            out,
+            out,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        let sparse = dc_operating_point(&c, &OpOptions::default()).unwrap();
+        let dense = dc_operating_point_dense(&c, &OpOptions::default()).unwrap();
+        for n in [vdd, out] {
+            let (a, b) = (sparse.voltage(n), dense.voltage(n));
+            assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                "node {}: sparse {a} vs dense {b}",
+                c.node_name(n)
+            );
+        }
     }
 
     #[test]

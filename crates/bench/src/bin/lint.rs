@@ -20,7 +20,7 @@
 use remix_core::mixer::{LoDrive, ReconfigurableMixer, RfDrive};
 use remix_core::plans::shipped_plans;
 use remix_core::{MixerConfig, MixerMode};
-use remix_lint::{fix_circuit, lint, lint_plan, Fix, LintConfig, LintReport, RuleId};
+use remix_lint::{fix_circuit, lint, lint_deck, lint_plan, Fix, LintConfig, LintReport, RuleId};
 use std::process::ExitCode;
 
 /// One linted subject: a built-in netlist, a shipped plan, or a deck.
@@ -70,26 +70,46 @@ fn builtin_subjects() -> Vec<Subject> {
     out
 }
 
-/// Lints one SPICE deck from disk; with `fix`, applies every
+/// Lints one SPICE deck from disk — deck-structure rules
+/// (ERC014–ERC016) included; with `fix`, applies every
 /// machine-applicable fix to fixpoint and rewrites the deck in place.
+/// Deck-structure findings have no machine fix and are merged into the
+/// post-fix report, surfacing as unfixable (the rewrite emits the
+/// flattened circuit, so a rewritten deck no longer contains them).
 fn deck_subject(path: &str, fix: bool, config: &LintConfig) -> Result<Subject, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read deck: {e}"))?;
-    let mut circuit =
-        remix_circuit::from_spice(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    let parsed =
+        remix_circuit::parse_spice(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
     if fix {
+        const DECK_RULES: [RuleId; 3] = [
+            RuleId::ParamHygiene,
+            RuleId::SubcktInstance,
+            RuleId::ParamCycle,
+        ];
+        let deck_diags: Vec<_> = lint_deck(&parsed, config)
+            .diagnostics
+            .into_iter()
+            .filter(|d| DECK_RULES.contains(&d.rule))
+            .collect();
+        let mut circuit = parsed.circuit;
         let outcome = fix_circuit(&mut circuit, config);
         if !outcome.applied.is_empty() {
             let fixed = remix_circuit::to_spice(&circuit, &format!("{path} (remix-lint --fix)"));
             std::fs::write(path, fixed).map_err(|e| format!("{path}: cannot write deck: {e}"))?;
         }
+        let mut report = outcome.report;
+        report.diagnostics.extend(deck_diags);
+        report
+            .diagnostics
+            .sort_by(|a, b| (a.rule.code(), a.line).cmp(&(b.rule.code(), b.line)));
         Ok(Subject {
             name: path.to_string(),
-            report: outcome.report,
+            report,
             applied: outcome.applied,
         })
     } else {
-        Ok(Subject::plain(path, lint(&circuit, config)))
+        Ok(Subject::plain(path, lint_deck(&parsed, config)))
     }
 }
 

@@ -1,0 +1,362 @@
+//! Arithmetic expression evaluation for SPICE decks.
+//!
+//! `.param` right-hand sides and `{expr}` value positions share one tiny
+//! grammar, evaluated against a scope of already-resolved parameters:
+//!
+//! ```text
+//! expr   := term (('+' | '-') term)*
+//! term   := unary (('*' | '/') unary)*
+//! unary  := ('+' | '-') unary | atom
+//! atom   := '(' expr ')' | NUMBER | IDENT
+//! NUMBER := SPICE literal with optional SI suffix (1k, 2.2MEG, 1.5e-3)
+//! IDENT  := [A-Za-z_][A-Za-z0-9_]*   (parameter reference, case-insensitive)
+//! ```
+//!
+//! Division follows IEEE-754 (a zero divisor yields an infinity and is
+//! left for the ERC008 value lint to reject) so evaluation itself can
+//! only fail on malformed syntax or an unknown parameter name.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why an expression failed to evaluate. Carries the offending token so
+/// parse errors can quote it verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExprError {
+    /// The token the evaluator choked on (empty at unexpected end).
+    pub token: String,
+    /// Human-readable explanation.
+    pub reason: String,
+    /// The unknown parameter name, when that is the failure.
+    pub unknown_param: Option<String>,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.token.is_empty() {
+            write!(f, "{}", self.reason)
+        } else {
+            write!(f, "{} at '{}'", self.reason, self.token)
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// Parses one SPICE value literal: a float with an optional SI suffix
+/// (`meg` before `m`; `f` only when the remainder parses, since `1e-15`
+/// also ends in a letter-like tail). Case-insensitive. `inf` is allowed.
+pub fn parse_value(tok: &str) -> Option<f64> {
+    let t = tok.trim();
+    if t.eq_ignore_ascii_case("inf") {
+        return Some(f64::INFINITY);
+    }
+    let lower = t.to_ascii_lowercase();
+    let (num, mult) = if let Some(stripped) = lower.strip_suffix("meg") {
+        (stripped.to_string(), 1e6)
+    } else if let Some(stripped) = lower.strip_suffix('t') {
+        (stripped.to_string(), 1e12)
+    } else if let Some(stripped) = lower.strip_suffix('g') {
+        (stripped.to_string(), 1e9)
+    } else if let Some(stripped) = lower.strip_suffix('k') {
+        (stripped.to_string(), 1e3)
+    } else if let Some(stripped) = lower.strip_suffix('m') {
+        (stripped.to_string(), 1e-3)
+    } else if let Some(stripped) = lower.strip_suffix('u') {
+        (stripped.to_string(), 1e-6)
+    } else if let Some(stripped) = lower.strip_suffix('n') {
+        (stripped.to_string(), 1e-9)
+    } else if let Some(stripped) = lower.strip_suffix('p') {
+        (stripped.to_string(), 1e-12)
+    } else if let Some(stripped) = lower.strip_suffix('f') {
+        // Ambiguous with exponent forms like `1e-15` — only treat as femto
+        // when the remainder parses.
+        (stripped.to_string(), 1e-15)
+    } else {
+        (lower.clone(), 1.0)
+    };
+    match num.parse::<f64>() {
+        Ok(v) => Some(v * mult),
+        Err(_) => lower.parse::<f64>().ok(),
+    }
+}
+
+/// One lexed token of the expression grammar.
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Num(f64),
+    Ident(String),
+    Op(char),
+}
+
+impl Token {
+    fn display(&self) -> String {
+        match self {
+            Token::Num(v) => format!("{v}"),
+            Token::Ident(s) => s.clone(),
+            Token::Op(c) => c.to_string(),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<Token>, ExprError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if matches!(c, '+' | '-' | '*' | '/' | '(' | ')') {
+            out.push(Token::Op(c));
+            i += 1;
+        } else if c.is_ascii_digit() || c == '.' {
+            // Numeric core (digits and dots), optional exponent with its
+            // own sign, then any trailing alphabetic SI suffix.
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                i += 1;
+            }
+            if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                let mut j = i + 1;
+                if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+                    j += 1;
+                }
+                if j < chars.len() && chars[j].is_ascii_digit() {
+                    i = j;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            while i < chars.len() && chars[i].is_ascii_alphabetic() {
+                i += 1;
+            }
+            let tok: String = chars[start..i].iter().collect();
+            let v = parse_value(&tok).ok_or_else(|| ExprError {
+                token: tok.clone(),
+                reason: "bad numeric literal".into(),
+                unknown_param: None,
+            })?;
+            out.push(Token::Num(v));
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let tok: String = chars[start..i].iter().collect();
+            out.push(Token::Ident(tok.to_ascii_lowercase()));
+        } else {
+            return Err(ExprError {
+                token: c.to_string(),
+                reason: "unexpected character".into(),
+                unknown_param: None,
+            });
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    scope: &'a HashMap<String, f64>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn err(&self, reason: &str) -> ExprError {
+        ExprError {
+            token: self.peek().map(Token::display).unwrap_or_default(),
+            reason: reason.into(),
+            unknown_param: None,
+        }
+    }
+
+    fn eat_op(&mut self, ops: &[char]) -> Option<char> {
+        if let Some(Token::Op(c)) = self.peek() {
+            if ops.contains(c) {
+                let c = *c;
+                self.pos += 1;
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn expr(&mut self) -> Result<f64, ExprError> {
+        let mut v = self.term()?;
+        while let Some(op) = self.eat_op(&['+', '-']) {
+            let rhs = self.term()?;
+            v = if op == '+' { v + rhs } else { v - rhs };
+        }
+        Ok(v)
+    }
+
+    fn term(&mut self) -> Result<f64, ExprError> {
+        let mut v = self.unary()?;
+        while let Some(op) = self.eat_op(&['*', '/']) {
+            let rhs = self.unary()?;
+            v = if op == '*' { v * rhs } else { v / rhs };
+        }
+        Ok(v)
+    }
+
+    fn unary(&mut self) -> Result<f64, ExprError> {
+        if self.eat_op(&['-']).is_some() {
+            return Ok(-self.unary()?);
+        }
+        if self.eat_op(&['+']).is_some() {
+            return self.unary();
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<f64, ExprError> {
+        match self.peek() {
+            Some(Token::Num(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(Token::Ident(name)) => {
+                let name = name.clone();
+                self.pos += 1;
+                self.scope.get(&name).copied().ok_or_else(|| ExprError {
+                    token: name.clone(),
+                    reason: format!("unknown parameter '{name}'"),
+                    unknown_param: Some(name),
+                })
+            }
+            Some(Token::Op('(')) => {
+                self.pos += 1;
+                let v = self.expr()?;
+                if self.eat_op(&[')']).is_none() {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(v)
+            }
+            _ => Err(self.err("expected a number, parameter, or '('")),
+        }
+    }
+}
+
+/// Evaluates `src` against `scope` (parameter names are lowercase).
+///
+/// # Errors
+///
+/// [`ExprError`] on malformed syntax or an unknown parameter; the error
+/// quotes the offending token, and `unknown_param` is set when the
+/// failure is an unresolved name (so callers can distinguish "typo in
+/// the grammar" from "undefined `.param`").
+pub fn eval_expr(src: &str, scope: &HashMap<String, f64>) -> Result<f64, ExprError> {
+    let toks = lex(src)?;
+    if toks.is_empty() {
+        return Err(ExprError {
+            token: String::new(),
+            reason: "empty expression".into(),
+            unknown_param: None,
+        });
+    }
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+        scope,
+    };
+    let v = p.expr()?;
+    if p.pos != toks.len() {
+        return Err(p.err("trailing tokens after expression"));
+    }
+    Ok(v)
+}
+
+/// The parameter names referenced by `src`, lowercased, in order of first
+/// appearance. Lexing errors yield the names seen so far — the later
+/// [`eval_expr`] call reports the syntax problem with position context.
+pub fn expr_idents(src: &str) -> Vec<String> {
+    let mut seen = Vec::new();
+    if let Ok(toks) = lex(src) {
+        for t in toks {
+            if let Token::Ident(name) = t {
+                if !seen.contains(&name) {
+                    seen.push(name);
+                }
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn si_suffixes() {
+        assert_eq!(parse_value("1k"), Some(1e3));
+        assert_eq!(parse_value("2.2MEG"), Some(2.2e6));
+        assert_eq!(parse_value("3u"), Some(3e-6));
+        assert_eq!(parse_value("4n"), Some(4e-9));
+        assert_eq!(parse_value("5p"), Some(5e-12));
+        assert_eq!(parse_value("1.5e-3"), Some(1.5e-3));
+        assert_eq!(parse_value("inf"), Some(f64::INFINITY));
+        assert_eq!(parse_value("7g"), Some(7e9));
+        assert_eq!(parse_value("nope"), None);
+    }
+
+    #[test]
+    fn arithmetic_with_precedence_and_parens() {
+        let s = scope(&[]);
+        assert_eq!(eval_expr("1+2*3", &s).unwrap(), 7.0);
+        assert_eq!(eval_expr("(1+2)*3", &s).unwrap(), 9.0);
+        assert_eq!(eval_expr("8/2/2", &s).unwrap(), 2.0);
+        assert_eq!(eval_expr("-3+1", &s).unwrap(), -2.0);
+        assert_eq!(eval_expr("2*-3", &s).unwrap(), -6.0);
+        assert_eq!(eval_expr(" 1k + 500 ", &s).unwrap(), 1500.0);
+        assert_eq!(eval_expr("2.2meg/2", &s).unwrap(), 1.1e6);
+    }
+
+    #[test]
+    fn parameters_resolve_case_insensitively() {
+        let s = scope(&[("rload", 1e3), ("n", 4.0)]);
+        assert_eq!(eval_expr("RLOAD*N", &s).unwrap(), 4e3);
+        assert_eq!(eval_expr("rload/(n-2)", &s).unwrap(), 500.0);
+    }
+
+    #[test]
+    fn unknown_parameter_is_typed() {
+        let e = eval_expr("2*zap", &scope(&[])).unwrap_err();
+        assert_eq!(e.unknown_param.as_deref(), Some("zap"));
+        assert!(e.to_string().contains("zap"));
+    }
+
+    #[test]
+    fn syntax_errors_quote_the_token() {
+        let s = scope(&[]);
+        assert!(eval_expr("", &s).is_err());
+        assert!(eval_expr("1+", &s).is_err());
+        assert!(eval_expr("(1+2", &s).unwrap_err().to_string().contains(")"));
+        let e = eval_expr("1 ~ 2", &s).unwrap_err();
+        assert!(e.to_string().contains('~'), "{e}");
+        let e = eval_expr("1 2", &s).unwrap_err();
+        assert!(e.reason.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn division_follows_ieee() {
+        assert!(eval_expr("1/0", &scope(&[])).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn ident_extraction_orders_and_dedupes() {
+        assert_eq!(expr_idents("a*B + a/(c-1)"), vec!["a", "b", "c"]);
+        assert!(expr_idents("1+2").is_empty());
+    }
+}

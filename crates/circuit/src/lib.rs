@@ -35,6 +35,7 @@
 pub mod consts;
 pub mod dot;
 pub mod element;
+pub mod expr;
 pub mod mna;
 pub mod mos;
 pub mod netlist;
@@ -45,10 +46,13 @@ pub mod waveform;
 
 pub use dot::to_dot;
 pub use element::{Element, Mosfet};
+pub use expr::{eval_expr, expr_idents, parse_value, ExprError};
 pub use mna::{stamp_conductance, stamp_current, stamp_transconductance, MnaLayout};
 pub use mos::{MosCaps, MosEval, MosModel, MosPolarity, MosRegion};
 pub use netlist::{Circuit, CircuitError};
 pub use node::{ElementId, Node};
-pub use spice::{from_spice, to_spice, SpiceParseError};
+pub use spice::{
+    from_spice, parse_spice, to_spice, DeckFinding, DeckFindingKind, SpiceDeck, SpiceParseError,
+};
 pub use tgate::{size_tg_for_resistance, tg_on_resistance, TgSizing, TransmissionGate};
 pub use waveform::Waveform;

@@ -2,10 +2,11 @@
 //!
 //! The exporter writes a `Circuit` as a SPICE deck (so designs built here
 //! can be inspected with any external tool and diffed in reviews); the
-//! importer reads the same dialect back. Round-tripping is exact for the
+//! importer reads the same dialect back — extended with the deck-level
+//! constructs a topology library needs. Round-tripping is exact for the
 //! supported element set and is enforced by property tests.
 //!
-//! Dialect notes (documented, deliberately small):
+//! Dialect notes (documented, deliberately bounded):
 //!
 //! * `R/C/L/V/I/G/E` cards with SI-suffixed or scientific values;
 //! * `M` cards reference `.model` cards carrying the full parameter set of
@@ -13,28 +14,114 @@
 //! * sources support `DC`, `SIN(off amp freq phase delay)` — phase in
 //!   *radians* — `PULSE(v1 v2 delay rise fall width period)`, and
 //!   `PWL(t1 v1 t2 v2 …)`; an optional trailing `AC mag phase` follows;
-//! * node `0` is ground; other node names are preserved verbatim.
+//! * `.subckt name ports… [p=default…]` / `.ends` definitions with
+//!   `Xname nodes… subcktname [p=value…]` instantiation, flattened with
+//!   hierarchical names (`x1.r1`, `x1.mid`); node `0`/`gnd` is global
+//!   ground at every depth;
+//! * `.param name=expr …` definitions and `{expr}` arithmetic in any
+//!   value token (numbers, parameters, `+ - * /`, parens, SI suffixes —
+//!   see [`crate::expr`]);
+//! * lines beginning with `+` continue the previous card; `*` starts a
+//!   comment line and `;` a trailing comment;
+//! * analysis/bookkeeping directives (`.option`, `.temp`, `.dc`, `.ac`,
+//!   `.tran`, `.noise`, `.print`, …) are tolerated and skipped; unknown
+//!   directives are errors, and `.include`/`.lib` are rejected outright
+//!   (decks must be self-contained);
+//! * node `0` is ground; other node names are preserved verbatim when
+//!   they are emitter-safe (see [`to_spice`] name hardening).
+//!
+//! The lenient structural findings a deck can carry without failing to
+//! parse (unused parameters, skipped instances, parameter cycles) are
+//! reported as [`DeckFinding`]s on [`SpiceDeck`] so `remix-lint` can gate
+//! them under its usual severity configuration (rules ERC014–ERC016).
 
 use crate::element::Element;
+use crate::expr::{eval_expr, expr_idents, parse_value};
 use crate::mos::{MosModel, MosPolarity};
 use crate::netlist::Circuit;
 use crate::node::Node;
 use crate::waveform::Waveform;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
+/// Characters a name may contain in an emitted deck without breaking
+/// tokenization: anything outside this set (whitespace, comment markers,
+/// braces, `=`, …) is replaced on export.
+fn safe_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':' | '+' | '-' | '#')
+}
+
+fn sanitize_component(raw: &str) -> String {
+    let mut s: String = raw
+        .chars()
+        .map(|c| if safe_name_char(c) { c } else { '_' })
+        .collect();
+    if s.is_empty() {
+        s.push('_');
+    }
+    s
+}
+
+/// Deterministic injective renaming for deck emission: every raw name
+/// maps to a token-safe name, and distinct raw names never collapse onto
+/// one emitted name (collisions get a `_2`, `_3`, … suffix in first-seen
+/// order). Safe, unique names map to themselves.
+struct NameTable {
+    taken: HashSet<String>,
+    map: HashMap<String, String>,
+}
+
+impl NameTable {
+    fn new(reserved: &[&str]) -> Self {
+        NameTable {
+            taken: reserved.iter().map(|s| s.to_ascii_lowercase()).collect(),
+            map: HashMap::new(),
+        }
+    }
+
+    fn assign(&mut self, raw: &str) -> String {
+        if let Some(m) = self.map.get(raw) {
+            return m.clone();
+        }
+        let base = sanitize_component(raw);
+        let mut cand = base.clone();
+        let mut k = 2;
+        while !self.taken.insert(cand.to_ascii_lowercase()) {
+            cand = format!("{base}_{k}");
+            k += 1;
+        }
+        self.map.insert(raw.to_string(), cand.clone());
+        cand
+    }
+}
+
 /// Writes a circuit as a SPICE deck.
+///
+/// Name hardening: node and element names containing whitespace, comment
+/// markers, or other token-breaking characters are rewritten to safe
+/// names (unsafe characters become `_`, collisions are suffixed), so the
+/// emitted deck always re-parses and the renaming is injective — two
+/// distinct nodes never merge. Names that are already safe and unique are
+/// preserved verbatim.
 pub fn to_spice(circuit: &Circuit, title: &str) -> String {
     let mut out = String::new();
-    out.push_str(&format!("* {title}\n"));
-    let node = |n: Node| {
+    let safe_title: String = title
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    out.push_str(&format!("* {safe_title}\n"));
+    // `0`/`gnd` are reserved so a hostile node name cannot alias ground.
+    let mut node_names = NameTable::new(&["0", "gnd"]);
+    let mut element_names = NameTable::new(&[]);
+    let mut node = |n: Node| {
         if n.is_ground() {
             "0".to_string()
         } else {
-            circuit.node_name(n).to_string()
+            node_names.assign(circuit.node_name(n))
         }
     };
+    let mut ename = |raw: &str| element_names.assign(raw);
     // Collect distinct MOS models (keyed by rendered parameters).
     let mut models: Vec<(String, MosModel)> = Vec::new();
     let mut model_name = |m: &MosModel| -> String {
@@ -97,13 +184,16 @@ pub fn to_spice(circuit: &Circuit, title: &str) -> String {
     for e in circuit.elements() {
         match e {
             Element::Resistor { name, a, b, r } => {
-                out.push_str(&format!("R{name} {} {} {r:e}\n", node(*a), node(*b)));
+                let (name, a, b) = (ename(name), node(*a), node(*b));
+                out.push_str(&format!("R{name} {a} {b} {r:e}\n"));
             }
             Element::Capacitor { name, a, b, c } => {
-                out.push_str(&format!("C{name} {} {} {c:e}\n", node(*a), node(*b)));
+                let (name, a, b) = (ename(name), node(*a), node(*b));
+                out.push_str(&format!("C{name} {a} {b} {c:e}\n"));
             }
             Element::Inductor { name, a, b, l } => {
-                out.push_str(&format!("L{name} {} {} {l:e}\n", node(*a), node(*b)));
+                let (name, a, b) = (ename(name), node(*a), node(*b));
+                out.push_str(&format!("L{name} {a} {b} {l:e}\n"));
             }
             Element::VoltageSource {
                 name,
@@ -118,12 +208,8 @@ pub fn to_spice(circuit: &Circuit, title: &str) -> String {
                 } else {
                     String::new()
                 };
-                out.push_str(&format!(
-                    "V{name} {} {} {}{ac}\n",
-                    node(*p),
-                    node(*n),
-                    wave(w)
-                ));
+                let (name, p, n) = (ename(name), node(*p), node(*n));
+                out.push_str(&format!("V{name} {p} {n} {}{ac}\n", wave(w)));
             }
             Element::CurrentSource {
                 name,
@@ -137,12 +223,8 @@ pub fn to_spice(circuit: &Circuit, title: &str) -> String {
                 } else {
                     String::new()
                 };
-                out.push_str(&format!(
-                    "I{name} {} {} {}{ac}\n",
-                    node(*p),
-                    node(*n),
-                    wave(w)
-                ));
+                let (name, p, n) = (ename(name), node(*p), node(*n));
+                out.push_str(&format!("I{name} {p} {n} {}{ac}\n", wave(w)));
             }
             Element::Vccs {
                 name,
@@ -152,13 +234,9 @@ pub fn to_spice(circuit: &Circuit, title: &str) -> String {
                 cn,
                 gm,
             } => {
-                out.push_str(&format!(
-                    "G{name} {} {} {} {} {gm:e}\n",
-                    node(*p),
-                    node(*n),
-                    node(*cp),
-                    node(*cn)
-                ));
+                let (name, p, n) = (ename(name), node(*p), node(*n));
+                let (cp, cn) = (node(*cp), node(*cn));
+                out.push_str(&format!("G{name} {p} {n} {cp} {cn} {gm:e}\n"));
             }
             Element::Vcvs {
                 name,
@@ -168,24 +246,17 @@ pub fn to_spice(circuit: &Circuit, title: &str) -> String {
                 cn,
                 gain,
             } => {
-                out.push_str(&format!(
-                    "E{name} {} {} {} {} {gain:e}\n",
-                    node(*p),
-                    node(*n),
-                    node(*cp),
-                    node(*cn)
-                ));
+                let (name, p, n) = (ename(name), node(*p), node(*n));
+                let (cp, cn) = (node(*cp), node(*cn));
+                out.push_str(&format!("E{name} {p} {n} {cp} {cn} {gain:e}\n"));
             }
             Element::Mos { name, dev } => {
                 let model = model_name(&dev.model);
+                let (name, d, g) = (ename(name), node(dev.d), node(dev.g));
+                let (s, b) = (node(dev.s), node(dev.b));
                 out.push_str(&format!(
-                    "M{name} {} {} {} {} {model} W={:e} L={:e}\n",
-                    node(dev.d),
-                    node(dev.g),
-                    node(dev.s),
-                    node(dev.b),
-                    dev.w,
-                    dev.l
+                    "M{name} {d} {g} {s} {b} {model} W={:e} L={:e}\n",
+                    dev.w, dev.l
                 ));
             }
         }
@@ -204,7 +275,8 @@ pub fn to_spice(circuit: &Circuit, title: &str) -> String {
     out
 }
 
-/// Errors produced by the SPICE reader.
+/// Errors produced by the SPICE reader. Every variant carries the
+/// 1-based source line and quotes the offending token in its `Display`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpiceParseError {
     /// A line could not be interpreted.
@@ -216,9 +288,88 @@ pub enum SpiceParseError {
     },
     /// An `M` card referenced an undeclared model.
     UnknownModel {
+        /// 1-based line number.
+        line: usize,
         /// The referenced model name.
         model: String,
     },
+    /// A dot directive outside the supported + tolerated grammar.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The directive token as written (`.foo`).
+        directive: String,
+    },
+    /// `.include`/`.lib`: decks must be self-contained.
+    UnsupportedInclude {
+        /// 1-based line number.
+        line: usize,
+        /// The directive token as written.
+        directive: String,
+    },
+    /// A `{…}` expression (or `.param` right-hand side) failed to
+    /// evaluate for a reason other than an undefined parameter.
+    BadExpression {
+        /// 1-based line number.
+        line: usize,
+        /// The expression text.
+        expr: String,
+        /// What the evaluator objected to.
+        reason: String,
+    },
+    /// A card expression referenced a parameter with no resolved value.
+    UndefinedParam {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved parameter name.
+        name: String,
+    },
+    /// A `.subckt` block was never closed by `.ends`.
+    UnclosedSubckt {
+        /// 1-based line of the `.subckt` header.
+        line: usize,
+        /// The subckt name.
+        name: String,
+    },
+    /// `.ends` with no open `.subckt`.
+    MisplacedEnds {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// `.subckt` inside another `.subckt` body (definitions do not nest;
+    /// instantiate with `X` cards instead).
+    NestedSubckt {
+        /// 1-based line number.
+        line: usize,
+        /// The inner subckt name.
+        name: String,
+    },
+    /// Subckt instantiation recursion (a subckt reachable from its own
+    /// body, or instance nesting beyond the depth cap).
+    RecursiveSubckt {
+        /// 1-based line of the offending `X` card.
+        line: usize,
+        /// The subckt being re-entered.
+        name: String,
+    },
+}
+
+impl SpiceParseError {
+    /// The 1-based source line the error is anchored to.
+    pub fn line(&self) -> usize {
+        match self {
+            SpiceParseError::BadLine { line, .. }
+            | SpiceParseError::UnknownModel { line, .. }
+            | SpiceParseError::UnknownDirective { line, .. }
+            | SpiceParseError::UnsupportedInclude { line, .. }
+            | SpiceParseError::BadExpression { line, .. }
+            | SpiceParseError::UndefinedParam { line, .. }
+            | SpiceParseError::UnclosedSubckt { line, .. }
+            | SpiceParseError::MisplacedEnds { line }
+            | SpiceParseError::NestedSubckt { line, .. }
+            | SpiceParseError::RecursiveSubckt { line, .. } => *line,
+        }
+    }
 }
 
 impl fmt::Display for SpiceParseError {
@@ -227,8 +378,39 @@ impl fmt::Display for SpiceParseError {
             SpiceParseError::BadLine { line, reason } => {
                 write!(f, "line {line}: {reason}")
             }
-            SpiceParseError::UnknownModel { model } => {
-                write!(f, "unknown .model '{model}'")
+            SpiceParseError::UnknownModel { line, model } => {
+                write!(f, "line {line}: unknown .model '{model}'")
+            }
+            SpiceParseError::UnknownDirective { line, directive } => {
+                write!(f, "line {line}: unknown directive '{directive}'")
+            }
+            SpiceParseError::UnsupportedInclude { line, directive } => {
+                write!(
+                    f,
+                    "line {line}: '{directive}' is not supported — decks must be self-contained"
+                )
+            }
+            SpiceParseError::BadExpression { line, expr, reason } => {
+                write!(f, "line {line}: bad expression '{{{expr}}}': {reason}")
+            }
+            SpiceParseError::UndefinedParam { line, name } => {
+                write!(f, "line {line}: undefined parameter '{name}'")
+            }
+            SpiceParseError::UnclosedSubckt { line, name } => {
+                write!(f, "line {line}: .subckt '{name}' is never closed by .ends")
+            }
+            SpiceParseError::MisplacedEnds { line } => {
+                write!(f, "line {line}: '.ends' with no open .subckt")
+            }
+            SpiceParseError::NestedSubckt { line, name } => {
+                write!(
+                    f,
+                    "line {line}: nested .subckt '{name}' — definitions do not nest, \
+                     instantiate with an X card instead"
+                )
+            }
+            SpiceParseError::RecursiveSubckt { line, name } => {
+                write!(f, "line {line}: recursive instantiation of subckt '{name}'")
             }
         }
     }
@@ -236,39 +418,801 @@ impl fmt::Display for SpiceParseError {
 
 impl Error for SpiceParseError {}
 
-fn parse_value(tok: &str) -> Option<f64> {
-    let t = tok.trim();
-    if t.eq_ignore_ascii_case("inf") {
-        return Some(f64::INFINITY);
+/// Lenient deck-structure findings: conditions a deck can carry while
+/// still producing a circuit. Surfaced through `remix-lint` as rules
+/// ERC014 (parameter hygiene), ERC015 (subckt instantiation), ERC016
+/// (parameter cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeckFindingKind {
+    /// A global `.param` defined but never referenced.
+    UnusedParam,
+    /// A `.param` right-hand side referencing a name that is never
+    /// defined (the parameter stays unresolved; using it in a card is a
+    /// hard [`SpiceParseError::UndefinedParam`]).
+    UndefinedParam,
+    /// An `X` card referencing a subckt that is never defined; the
+    /// instance is skipped.
+    UnknownSubckt,
+    /// An `X` card whose node count does not match the subckt's declared
+    /// port count; the instance is skipped.
+    SubcktArity,
+    /// `.param` definitions in (or depending on) a dependency cycle.
+    ParamCycle,
+}
+
+/// One structural finding recorded while parsing a deck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeckFinding {
+    /// What kind of structural problem this is.
+    pub kind: DeckFindingKind,
+    /// 1-based source line the finding is anchored to.
+    pub line: usize,
+    /// The parameter / subckt / instance name at fault.
+    pub subject: String,
+    /// Full human-readable description.
+    pub detail: String,
+}
+
+/// A parsed deck: the flattened circuit plus every lenient structural
+/// finding recorded on the way (see [`DeckFinding`]).
+#[derive(Debug, Clone)]
+pub struct SpiceDeck {
+    /// The flattened circuit (subckts expanded, parameters substituted).
+    pub circuit: Circuit,
+    /// Structural findings that did not prevent parsing.
+    pub findings: Vec<DeckFinding>,
+}
+
+/// Directives recognized but deliberately skipped: analysis and
+/// bookkeeping cards this frontend does not simulate from deck text.
+const TOLERATED_DIRECTIVES: &[&str] = &[
+    "option", "options", "temp", "nodeset", "ic", "op", "dc", "ac", "tran", "tf", "noise", "pss",
+    "print", "plot", "probe", "save", "meas", "measure", "width",
+];
+
+/// Instantiation depth cap — also the backstop against mutually
+/// recursive subckts that never revisit the same name.
+const SUBCKT_DEPTH_MAX: usize = 16;
+
+/// Physical → logical lines: strips `;` trailing comments, drops blank
+/// and `*` comment lines, and joins `+` continuation lines onto their
+/// predecessor (keeping the first line's number).
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let body = match raw.find(';') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let line = body.trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        if let Some(cont) = line.strip_prefix('+') {
+            if let Some((_, prev)) = out.last_mut() {
+                prev.push(' ');
+                prev.push_str(cont.trim());
+                continue;
+            }
+            // A leading `+` with nothing to continue: keep it as its own
+            // line so the card dispatcher reports it with a line number.
+        }
+        out.push((idx + 1, line.to_string()));
     }
-    // SI suffixes (SPICE style, case-insensitive; MEG before M).
-    let lower = t.to_ascii_lowercase();
-    let (num, mult) = if let Some(stripped) = lower.strip_suffix("meg") {
-        (stripped.to_string(), 1e6)
-    } else if let Some(stripped) = lower.strip_suffix('t') {
-        (stripped.to_string(), 1e12)
-    } else if let Some(stripped) = lower.strip_suffix('g') {
-        (stripped.to_string(), 1e9)
-    } else if let Some(stripped) = lower.strip_suffix('k') {
-        (stripped.to_string(), 1e3)
-    } else if let Some(stripped) = lower.strip_suffix('m') {
-        (stripped.to_string(), 1e-3)
-    } else if let Some(stripped) = lower.strip_suffix('u') {
-        (stripped.to_string(), 1e-6)
-    } else if let Some(stripped) = lower.strip_suffix('n') {
-        (stripped.to_string(), 1e-9)
-    } else if let Some(stripped) = lower.strip_suffix('p') {
-        (stripped.to_string(), 1e-12)
-    } else if let Some(stripped) = lower.strip_suffix('f') {
-        // Ambiguous with exponent forms like `1e-15` — only treat as femto
-        // when the remainder parses.
-        (stripped.to_string(), 1e-15)
-    } else {
-        (lower.clone(), 1.0)
+    out
+}
+
+/// Whitespace tokenizer that keeps `{…}` expression groups atomic, so
+/// `{r * 2}` (spaces and all) travels as one token.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    for c in line.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Replaces every `{expr}` in a token with its evaluated value, recording
+/// referenced parameter names into `used`.
+fn substitute(
+    tok: &str,
+    scope: &HashMap<String, f64>,
+    used: &mut HashSet<String>,
+    line: usize,
+) -> Result<String, SpiceParseError> {
+    if !tok.contains('{') {
+        return Ok(tok.to_string());
+    }
+    let chars: Vec<char> = tok.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] != '{' {
+            out.push(chars[i]);
+            i += 1;
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut j = i + 1;
+        while j < chars.len() && depth > 0 {
+            match chars[j] {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if depth != 0 {
+            return Err(SpiceParseError::BadExpression {
+                line,
+                expr: tok.to_string(),
+                reason: "unterminated '{'".into(),
+            });
+        }
+        let inner: String = chars[i + 1..j - 1].iter().collect();
+        for id in expr_idents(&inner) {
+            used.insert(id);
+        }
+        match eval_expr(&inner, scope) {
+            Ok(v) => out.push_str(&format!("{v:e}")),
+            Err(e) => {
+                return Err(match e.unknown_param {
+                    Some(name) => SpiceParseError::UndefinedParam { line, name },
+                    None => SpiceParseError::BadExpression {
+                        line,
+                        expr: inner,
+                        reason: e.to_string(),
+                    },
+                })
+            }
+        }
+        i = j;
+    }
+    Ok(out)
+}
+
+/// Strips one matching outer `{…}` pair, if the whole string is braced.
+fn strip_outer_braces(s: &str) -> &str {
+    let t = s.trim();
+    if !(t.starts_with('{') && t.ends_with('}') && t.len() >= 2) {
+        return t;
+    }
+    // Only strip when the opening brace matches the final character.
+    let mut depth = 0usize;
+    for (i, c) in t.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 && i != t.len() - 1 {
+                    return t;
+                }
+            }
+            _ => {}
+        }
+    }
+    &t[1..t.len() - 1]
+}
+
+/// One global `.param` assignment, pre-resolution.
+struct RawParam {
+    name: String,
+    rhs: String,
+    line: usize,
+}
+
+/// One `.subckt` definition.
+struct SubcktDef {
+    ports: Vec<String>,
+    defaults: Vec<(String, String)>,
+    body: Vec<(usize, String)>,
+    line: usize,
+}
+
+/// The deck split into its structural pieces by the first pass.
+struct DeckStructure {
+    models_raw: Vec<(usize, String)>,
+    params_raw: Vec<RawParam>,
+    subckts: HashMap<String, SubcktDef>,
+    top_lines: Vec<(usize, String)>,
+}
+
+/// Splits `name=value` assignments out of tokens, erroring on anything
+/// else. Used by `.param` tails and subckt default lists.
+fn parse_assignments(
+    toks: &[String],
+    line: usize,
+    what: &str,
+) -> Result<Vec<(String, String)>, SpiceParseError> {
+    let mut out = Vec::new();
+    for t in toks {
+        let Some((k, v)) = t.split_once('=') else {
+            return Err(SpiceParseError::BadLine {
+                line,
+                reason: format!("expected name=value in {what}, got '{t}'"),
+            });
+        };
+        if k.is_empty() || v.is_empty() {
+            return Err(SpiceParseError::BadLine {
+                line,
+                reason: format!("expected name=value in {what}, got '{t}'"),
+            });
+        }
+        out.push((
+            k.trim().to_ascii_lowercase(),
+            strip_outer_braces(v).to_string(),
+        ));
+    }
+    Ok(out)
+}
+
+/// First pass: route every logical line into models / params / subckt
+/// definitions / top-level cards, enforcing block structure.
+fn scan_structure(lines: &[(usize, String)]) -> Result<DeckStructure, SpiceParseError> {
+    let mut st = DeckStructure {
+        models_raw: Vec::new(),
+        params_raw: Vec::new(),
+        subckts: HashMap::new(),
+        top_lines: Vec::new(),
     };
-    match num.parse::<f64>() {
-        Ok(v) => Some(v * mult),
-        Err(_) => lower.parse::<f64>().ok(),
+    // (lowercased name, original name, def under construction)
+    let mut open: Option<(String, SubcktDef)> = None;
+    for (line_no, text) in lines {
+        let line_no = *line_no;
+        if !text.starts_with('.') {
+            match &mut open {
+                Some((_, def)) => def.body.push((line_no, text.clone())),
+                None => st.top_lines.push((line_no, text.clone())),
+            }
+            continue;
+        }
+        let toks = tokenize(text);
+        let directive = toks[0].trim_start_matches('.').to_ascii_lowercase(); // audit: allow(AUD001): tokenize never yields empty tokens and the line starts with '.'
+        match directive.as_str() {
+            "model" => st.models_raw.push((line_no, text.clone())),
+            "param" | "parameters" => {
+                let assigns = parse_assignments(&toks[1..], line_no, ".param")?;
+                if assigns.is_empty() {
+                    return Err(SpiceParseError::BadLine {
+                        line: line_no,
+                        reason: ".param with no assignments".into(),
+                    });
+                }
+                match &mut open {
+                    Some((_, def)) => def.defaults.extend(assigns),
+                    None => st
+                        .params_raw
+                        .extend(assigns.into_iter().map(|(name, rhs)| RawParam {
+                            name,
+                            rhs,
+                            line: line_no,
+                        })),
+                }
+            }
+            "subckt" => {
+                if toks.len() < 2 {
+                    return Err(SpiceParseError::BadLine {
+                        line: line_no,
+                        reason: ".subckt needs a name".into(),
+                    });
+                }
+                let name = toks[1].clone();
+                if open.is_some() {
+                    return Err(SpiceParseError::NestedSubckt {
+                        line: line_no,
+                        name,
+                    });
+                }
+                let mut ports = Vec::new();
+                let mut default_toks = Vec::new();
+                for t in &toks[2..] {
+                    if t.contains('=') {
+                        default_toks.push(t.clone());
+                    } else if default_toks.is_empty() {
+                        ports.push(t.to_ascii_lowercase());
+                    } else {
+                        return Err(SpiceParseError::BadLine {
+                            line: line_no,
+                            reason: format!(
+                                "subckt port '{t}' after parameter defaults — ports must come first"
+                            ),
+                        });
+                    }
+                }
+                let defaults = parse_assignments(&default_toks, line_no, "subckt defaults")?;
+                open = Some((
+                    name.to_ascii_lowercase(),
+                    SubcktDef {
+                        ports,
+                        defaults,
+                        body: Vec::new(),
+                        line: line_no,
+                    },
+                ));
+            }
+            "ends" => match open.take() {
+                Some((name, def)) => {
+                    st.subckts.insert(name, def);
+                }
+                None => return Err(SpiceParseError::MisplacedEnds { line: line_no }),
+            },
+            "end" => {
+                if let Some((name, def)) = open {
+                    return Err(SpiceParseError::UnclosedSubckt {
+                        line: def.line,
+                        name,
+                    });
+                }
+                // `.end` terminates the deck; anything after is ignored.
+                return Ok(st);
+            }
+            "include" | "inc" | "lib" => {
+                return Err(SpiceParseError::UnsupportedInclude {
+                    line: line_no,
+                    directive: toks[0].clone(),
+                })
+            }
+            d if TOLERATED_DIRECTIVES.contains(&d) => {}
+            _ => {
+                return Err(SpiceParseError::UnknownDirective {
+                    line: line_no,
+                    directive: toks[0].clone(),
+                })
+            }
+        }
+    }
+    if let Some((name, def)) = open {
+        return Err(SpiceParseError::UnclosedSubckt {
+            line: def.line,
+            name,
+        });
+    }
+    Ok(st)
+}
+
+/// Iteratively resolves global `.param` definitions, recording
+/// undefined-reference and cycle findings for the leftovers.
+fn resolve_params(
+    params_raw: &[RawParam],
+    used: &mut HashSet<String>,
+    findings: &mut Vec<DeckFinding>,
+) -> Result<HashMap<String, f64>, SpiceParseError> {
+    // Redefinition is last-wins (SPICE convention).
+    let mut order: Vec<&RawParam> = Vec::new();
+    for p in params_raw {
+        if let Some(pos) = order.iter().position(|q| q.name == p.name) {
+            order[pos] = p;
+        } else {
+            order.push(p);
+        }
+    }
+    for p in &order {
+        for id in expr_idents(&p.rhs) {
+            used.insert(id);
+        }
+    }
+    let defined: HashSet<&str> = order.iter().map(|p| p.name.as_str()).collect();
+    let mut scope: HashMap<String, f64> = HashMap::new();
+    let mut pending: Vec<&RawParam> = order.clone();
+    loop {
+        let mut progressed = false;
+        let mut next = Vec::new();
+        for p in pending {
+            let deps = expr_idents(&p.rhs);
+            if deps.iter().all(|d| scope.contains_key(d)) {
+                let v = eval_expr(&p.rhs, &scope).map_err(|e| SpiceParseError::BadExpression {
+                    line: p.line,
+                    expr: p.rhs.clone(),
+                    reason: e.to_string(),
+                })?;
+                scope.insert(p.name.clone(), v);
+                progressed = true;
+            } else {
+                next.push(p);
+            }
+        }
+        pending = next;
+        if pending.is_empty() || !progressed {
+            break;
+        }
+    }
+    if !pending.is_empty() {
+        // Poisoned = depends (transitively) on a name that is simply not
+        // defined; the rest form (or hang off) a dependency cycle.
+        let mut poisoned: HashSet<&str> = HashSet::new();
+        let mut reported_missing: HashSet<String> = HashSet::new();
+        loop {
+            let mut grew = false;
+            for p in &pending {
+                if poisoned.contains(p.name.as_str()) {
+                    continue;
+                }
+                for dep in expr_idents(&p.rhs) {
+                    let missing = !defined.contains(dep.as_str());
+                    if missing && reported_missing.insert(dep.clone()) {
+                        findings.push(DeckFinding {
+                            kind: DeckFindingKind::UndefinedParam,
+                            line: p.line,
+                            subject: dep.clone(),
+                            detail: format!(
+                                ".param '{}' references undefined parameter '{dep}'",
+                                p.name
+                            ),
+                        });
+                    }
+                    if missing || poisoned.contains(dep.as_str()) {
+                        poisoned.insert(p.name.as_str());
+                        grew = true;
+                        break;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        let cycle: Vec<&&RawParam> = pending
+            .iter()
+            .filter(|p| !poisoned.contains(p.name.as_str()))
+            .collect();
+        if let Some(first) = cycle.first() {
+            let names: Vec<&str> = cycle.iter().map(|p| p.name.as_str()).collect();
+            findings.push(DeckFinding {
+                kind: DeckFindingKind::ParamCycle,
+                line: first.line,
+                subject: names.join(", "),
+                detail: format!(
+                    ".param definitions form a dependency cycle: {}",
+                    names.join(" → ")
+                ),
+            });
+        }
+    }
+    Ok(scope)
+}
+
+/// Parses `.model` cards (with `{expr}` substitution in parameter
+/// values) into the global model table.
+fn parse_models(
+    models_raw: &[(usize, String)],
+    scope: &HashMap<String, f64>,
+    used: &mut HashSet<String>,
+) -> Result<HashMap<String, MosModel>, SpiceParseError> {
+    let mut models = HashMap::new();
+    for (line_no, text) in models_raw {
+        let line = *line_no;
+        let mut toks = Vec::new();
+        for t in tokenize(text) {
+            toks.push(substitute(&t, scope, used, line)?);
+        }
+        if toks.len() < 3 {
+            return Err(SpiceParseError::BadLine {
+                line,
+                reason: "malformed .model card".into(),
+            });
+        }
+        let name = toks[1].to_string();
+        let polarity = match toks[2].to_ascii_uppercase().as_str() {
+            "NMOS" => MosPolarity::Nmos,
+            "PMOS" => MosPolarity::Pmos,
+            other => {
+                return Err(SpiceParseError::BadLine {
+                    line,
+                    reason: format!("unknown model kind '{other}'"),
+                })
+            }
+        };
+        let mut base = match polarity {
+            MosPolarity::Nmos => MosModel::nmos_65nm(),
+            MosPolarity::Pmos => MosModel::pmos_65nm(),
+        };
+        for kv in &toks[3..] {
+            let Some((k, v)) = kv.split_once('=') else {
+                continue;
+            };
+            let Some(v) = parse_value(v) else {
+                return Err(SpiceParseError::BadLine {
+                    line,
+                    reason: format!("bad value in '{kv}'"),
+                });
+            };
+            match k.to_ascii_uppercase().as_str() {
+                "VTO" => base.vt0 = v,
+                "KP" => base.kp = v,
+                "GAMMA" => base.gamma = v,
+                "PHI" => base.phi = v,
+                "LAMBDA" => base.lambda = v,
+                "THETA" => base.theta = v,
+                "N" => base.n = v,
+                "COX" => base.cox = v,
+                "COV" => base.cov = v,
+                "CJ" => base.cj = v,
+                "GAMMAN" => base.gamma_noise = v,
+                "KF" => base.kf = v,
+                "AF" => base.af = v,
+                _ => {}
+            }
+        }
+        models.insert(name, base);
+    }
+    Ok(models)
+}
+
+/// Maps a node token to its flattened global name: ground stays ground
+/// at every depth, subckt ports map to the caller's nodes, and internal
+/// nodes get the hierarchical instance prefix.
+fn resolve_node(tok: &str, node_map: &HashMap<String, String>, prefix: &str) -> String {
+    let low = tok.to_ascii_lowercase();
+    if low == "0" || low == "gnd" {
+        return "0".to_string();
+    }
+    if let Some(outer) = node_map.get(&low) {
+        return outer.clone();
+    }
+    format!("{prefix}{tok}")
+}
+
+/// Recursive card expander: walks top-level (then subckt-body) lines,
+/// building the flattened circuit.
+struct Expander<'a> {
+    models: &'a HashMap<String, MosModel>,
+    subckts: &'a HashMap<String, SubcktDef>,
+    globals: &'a HashMap<String, f64>,
+    circuit: Circuit,
+    findings: Vec<DeckFinding>,
+    used: HashSet<String>,
+}
+
+impl Expander<'_> {
+    fn node_of(&mut self, tok: &str, node_map: &HashMap<String, String>, prefix: &str) -> Node {
+        self.circuit.node(&resolve_node(tok, node_map, prefix))
+    }
+
+    fn expand(
+        &mut self,
+        lines: &[(usize, String)],
+        prefix: &str,
+        node_map: &HashMap<String, String>,
+        scope: &HashMap<String, f64>,
+        stack: &mut Vec<String>,
+    ) -> Result<(), SpiceParseError> {
+        for (line_no, text) in lines {
+            let line = *line_no;
+            let mut toks: Vec<String> = Vec::new();
+            for t in tokenize(text) {
+                toks.push(substitute(&t, scope, &mut self.used, line)?);
+            }
+            if toks.is_empty() {
+                continue;
+            }
+            let card = toks[0].clone();
+            let Some(kind) = card.chars().next().map(|c| c.to_ascii_uppercase()) else {
+                continue;
+            };
+            if kind == 'X' {
+                self.expand_instance(&toks, line, prefix, node_map, scope, stack)?;
+                continue;
+            }
+            let name = format!("{prefix}{}", &card[kind.len_utf8()..]);
+            let bad = |reason: &str| SpiceParseError::BadLine {
+                line,
+                reason: reason.to_string(),
+            };
+            let toks: Vec<&str> = toks.iter().map(String::as_str).collect();
+            match kind {
+                'R' | 'C' | 'L' => {
+                    if toks.len() < 4 {
+                        return Err(bad("expected: card n1 n2 value"));
+                    }
+                    let a = self.node_of(toks[1], node_map, prefix);
+                    let b = self.node_of(toks[2], node_map, prefix);
+                    let v = parse_value(toks[3])
+                        .ok_or_else(|| bad(&format!("bad value '{}'", toks[3])))?;
+                    match kind {
+                        'R' => self.circuit.add_resistor(&name, a, b, v),
+                        'C' => self.circuit.add_capacitor(&name, a, b, v),
+                        _ => self.circuit.add_inductor(&name, a, b, v),
+                    };
+                }
+                'V' | 'I' => {
+                    if toks.len() < 4 {
+                        return Err(bad("expected: source n+ n- spec"));
+                    }
+                    let p = self.node_of(toks[1], node_map, prefix);
+                    let n = self.node_of(toks[2], node_map, prefix);
+                    let (wave, ac_mag, ac_phase) = parse_waveform(&toks[3..]).ok_or_else(|| {
+                        bad(&format!("bad source spec '{}'", toks[3..].join(" ")))
+                    })?;
+                    if kind == 'V' {
+                        self.circuit
+                            .add_vsource_ac(&name, p, n, wave, ac_mag, ac_phase);
+                    } else {
+                        self.circuit.add_isource_ac(&name, p, n, wave, ac_mag);
+                    }
+                }
+                'G' | 'E' => {
+                    if toks.len() < 6 {
+                        return Err(bad("expected: ctrl-source p n cp cn value"));
+                    }
+                    let p = self.node_of(toks[1], node_map, prefix);
+                    let n = self.node_of(toks[2], node_map, prefix);
+                    let cp = self.node_of(toks[3], node_map, prefix);
+                    let cn = self.node_of(toks[4], node_map, prefix);
+                    let v = parse_value(toks[5])
+                        .ok_or_else(|| bad(&format!("bad value '{}'", toks[5])))?;
+                    if kind == 'G' {
+                        self.circuit.add_vccs(&name, p, n, cp, cn, v);
+                    } else {
+                        self.circuit.add_vcvs(&name, p, n, cp, cn, v);
+                    }
+                }
+                'M' => {
+                    if toks.len() < 6 {
+                        return Err(bad("expected: M d g s b model W= L="));
+                    }
+                    let d = self.node_of(toks[1], node_map, prefix);
+                    let g = self.node_of(toks[2], node_map, prefix);
+                    let s = self.node_of(toks[3], node_map, prefix);
+                    let b = self.node_of(toks[4], node_map, prefix);
+                    let model =
+                        self.models
+                            .get(toks[5])
+                            .cloned()
+                            .ok_or(SpiceParseError::UnknownModel {
+                                line,
+                                model: toks[5].to_string(),
+                            })?;
+                    let mut w = None;
+                    let mut l = None;
+                    for kv in &toks[6..] {
+                        if let Some((k, v)) = kv.split_once('=') {
+                            let v = parse_value(v)
+                                .ok_or_else(|| bad(&format!("bad W/L value '{kv}'")))?;
+                            match k.to_ascii_uppercase().as_str() {
+                                "W" => w = Some(v),
+                                "L" => l = Some(v),
+                                _ => {}
+                            }
+                        }
+                    }
+                    let (Some(w), Some(l)) = (w, l) else {
+                        return Err(bad("MOS card missing W= or L="));
+                    };
+                    self.circuit.add_mosfet(&name, model, w, l, d, g, s, b);
+                }
+                other => {
+                    return Err(bad(&format!("unsupported card '{other}'")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flattens one `X` card. Dangling / arity-mismatched instantiations
+    /// are recorded as findings and skipped, not parse errors — the lint
+    /// layer (ERC015) decides whether they reject the deck.
+    fn expand_instance(
+        &mut self,
+        toks: &[String],
+        line: usize,
+        prefix: &str,
+        node_map: &HashMap<String, String>,
+        scope: &HashMap<String, f64>,
+        stack: &mut Vec<String>,
+    ) -> Result<(), SpiceParseError> {
+        let inst = format!("{prefix}{}", toks[0].to_ascii_lowercase());
+        let mut conn: Vec<&String> = Vec::new();
+        let mut override_toks: Vec<String> = Vec::new();
+        for t in &toks[1..] {
+            if t.contains('=') {
+                override_toks.push(t.clone());
+            } else {
+                conn.push(t);
+            }
+        }
+        let Some(sub_tok) = conn.pop() else {
+            return Err(SpiceParseError::BadLine {
+                line,
+                reason: "expected: X<name> nodes… subcktname [p=value…]".into(),
+            });
+        };
+        let key = sub_tok.to_ascii_lowercase();
+        let Some(def) = self.subckts.get(&key) else {
+            self.findings.push(DeckFinding {
+                kind: DeckFindingKind::UnknownSubckt,
+                line,
+                subject: sub_tok.clone(),
+                detail: format!(
+                    "instance '{inst}' references undefined subckt '{sub_tok}'; instance skipped"
+                ),
+            });
+            return Ok(());
+        };
+        if conn.len() != def.ports.len() {
+            self.findings.push(DeckFinding {
+                kind: DeckFindingKind::SubcktArity,
+                line,
+                subject: sub_tok.clone(),
+                detail: format!(
+                    "instance '{inst}' connects {} node(s) but subckt '{sub_tok}' declares {} \
+                     port(s); instance skipped",
+                    conn.len(),
+                    def.ports.len()
+                ),
+            });
+            return Ok(());
+        }
+        if stack.contains(&key) || stack.len() >= SUBCKT_DEPTH_MAX {
+            return Err(SpiceParseError::RecursiveSubckt {
+                line,
+                name: sub_tok.clone(),
+            });
+        }
+        // Local scope: globals, then declared defaults (evaluated in
+        // order, so later defaults may reference earlier ones), then
+        // instance overrides (evaluated in the caller's scope).
+        let mut child_scope = self.globals.clone();
+        for (k, rhs) in &def.defaults {
+            for id in expr_idents(rhs) {
+                self.used.insert(id);
+            }
+            let v = eval_expr(rhs, &child_scope).map_err(|e| match e.unknown_param {
+                Some(name) => SpiceParseError::UndefinedParam {
+                    line: def.line,
+                    name,
+                },
+                None => SpiceParseError::BadExpression {
+                    line: def.line,
+                    expr: rhs.clone(),
+                    reason: e.to_string(),
+                },
+            })?;
+            child_scope.insert(k.clone(), v);
+        }
+        for (k, rhs) in parse_assignments(&override_toks, line, "instance parameters")? {
+            for id in expr_idents(&rhs) {
+                self.used.insert(id);
+            }
+            let v = eval_expr(&rhs, scope).map_err(|e| match e.unknown_param {
+                Some(name) => SpiceParseError::UndefinedParam { line, name },
+                None => SpiceParseError::BadExpression {
+                    line,
+                    expr: rhs.clone(),
+                    reason: e.to_string(),
+                },
+            })?;
+            child_scope.insert(k, v);
+        }
+        let mut child_map = HashMap::new();
+        for (port, outer_tok) in def.ports.iter().zip(conn) {
+            child_map.insert(port.clone(), resolve_node(outer_tok, node_map, prefix));
+        }
+        let child_prefix = format!("{inst}.");
+        stack.push(key);
+        let body = def.body.clone();
+        let result = self.expand(&body, &child_prefix, &child_map, &child_scope, stack);
+        stack.pop();
+        result
     }
 }
 
@@ -349,168 +1293,69 @@ fn parse_waveform(tokens: &[&str]) -> Option<(Waveform, f64, f64)> {
     Some((wave, ac_mag, ac_phase))
 }
 
+/// Parses a SPICE deck into a flattened circuit plus the lenient
+/// structural findings recorded along the way.
+///
+/// This is the full-fidelity entry point: `remix-lint`'s `import_spice`
+/// builds on it so ERC014–ERC016 can gate the findings. [`from_spice`]
+/// is the shorthand that keeps only the circuit.
+///
+/// # Errors
+///
+/// [`SpiceParseError`] — every variant carries the offending 1-based
+/// line number (see [`SpiceParseError::line`]).
+pub fn parse_spice(text: &str) -> Result<SpiceDeck, SpiceParseError> {
+    let lines = logical_lines(text);
+    let st = scan_structure(&lines)?;
+    let mut findings = Vec::new();
+    let mut used: HashSet<String> = HashSet::new();
+    let globals = resolve_params(&st.params_raw, &mut used, &mut findings)?;
+    let models = parse_models(&st.models_raw, &globals, &mut used)?;
+    let mut ex = Expander {
+        models: &models,
+        subckts: &st.subckts,
+        globals: &globals,
+        circuit: Circuit::new(),
+        findings,
+        used,
+    };
+    let empty_map = HashMap::new();
+    let mut stack = Vec::new();
+    ex.expand(&st.top_lines, "", &empty_map, &globals, &mut stack)?;
+    let Expander {
+        circuit,
+        mut findings,
+        used,
+        ..
+    } = ex;
+    // Defined-but-never-referenced global params, in definition order.
+    for p in &st.params_raw {
+        if !used.contains(&p.name)
+            && !findings
+                .iter()
+                .any(|f| f.kind == DeckFindingKind::UnusedParam && f.subject == p.name)
+        {
+            findings.push(DeckFinding {
+                kind: DeckFindingKind::UnusedParam,
+                line: p.line,
+                subject: p.name.clone(),
+                detail: format!(".param '{}' is defined but never referenced", p.name),
+            });
+        }
+    }
+    Ok(SpiceDeck { circuit, findings })
+}
+
 /// Parses a SPICE deck produced by [`to_spice`] (or hand-written in the
-/// same dialect) into a fresh [`Circuit`].
+/// same dialect) into a fresh [`Circuit`], discarding the lenient
+/// structural findings ([`parse_spice`] keeps them; the linted importer
+/// in `remix-lint` is the gated entry point).
 ///
 /// # Errors
 ///
 /// [`SpiceParseError`] with the offending line.
 pub fn from_spice(text: &str) -> Result<Circuit, SpiceParseError> {
-    let mut circuit = Circuit::new();
-    // First pass: models.
-    let mut models: HashMap<String, MosModel> = HashMap::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if !line.to_ascii_lowercase().starts_with(".model") {
-            continue;
-        }
-        let toks: Vec<&str> = line.split_whitespace().collect();
-        if toks.len() < 3 {
-            return Err(SpiceParseError::BadLine {
-                line: idx + 1,
-                reason: "malformed .model card".into(),
-            });
-        }
-        let name = toks[1].to_string();
-        let polarity = match toks[2].to_ascii_uppercase().as_str() {
-            "NMOS" => MosPolarity::Nmos,
-            "PMOS" => MosPolarity::Pmos,
-            other => {
-                return Err(SpiceParseError::BadLine {
-                    line: idx + 1,
-                    reason: format!("unknown model kind '{other}'"),
-                })
-            }
-        };
-        let mut base = match polarity {
-            MosPolarity::Nmos => MosModel::nmos_65nm(),
-            MosPolarity::Pmos => MosModel::pmos_65nm(),
-        };
-        for kv in &toks[3..] {
-            let Some((k, v)) = kv.split_once('=') else {
-                continue;
-            };
-            let Some(v) = parse_value(v) else {
-                return Err(SpiceParseError::BadLine {
-                    line: idx + 1,
-                    reason: format!("bad value in '{kv}'"),
-                });
-            };
-            match k.to_ascii_uppercase().as_str() {
-                "VTO" => base.vt0 = v,
-                "KP" => base.kp = v,
-                "GAMMA" => base.gamma = v,
-                "PHI" => base.phi = v,
-                "LAMBDA" => base.lambda = v,
-                "THETA" => base.theta = v,
-                "N" => base.n = v,
-                "COX" => base.cox = v,
-                "COV" => base.cov = v,
-                "CJ" => base.cj = v,
-                "GAMMAN" => base.gamma_noise = v,
-                "KF" => base.kf = v,
-                "AF" => base.af = v,
-                _ => {}
-            }
-        }
-        models.insert(name, base);
-    }
-
-    // Second pass: elements.
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('*') || line.starts_with('.') {
-            continue;
-        }
-        let toks: Vec<&str> = line.split_whitespace().collect();
-        let card = toks[0];
-        let kind = card.chars().next().unwrap().to_ascii_uppercase(); // audit: allow(AUD001): toks[0] came from split_whitespace, so the card is non-empty
-        let name = &card[1..];
-        let bad = |reason: &str| SpiceParseError::BadLine {
-            line: idx + 1,
-            reason: reason.to_string(),
-        };
-        let mut node_of = |tok: &str| circuit.node(tok);
-        match kind {
-            'R' | 'C' | 'L' => {
-                if toks.len() < 4 {
-                    return Err(bad("expected: X<name> n1 n2 value"));
-                }
-                let a = node_of(toks[1]);
-                let b = node_of(toks[2]);
-                let v = parse_value(toks[3]).ok_or_else(|| bad("bad value"))?;
-                match kind {
-                    'R' => circuit.add_resistor(name, a, b, v),
-                    'C' => circuit.add_capacitor(name, a, b, v),
-                    _ => circuit.add_inductor(name, a, b, v),
-                };
-            }
-            'V' | 'I' => {
-                if toks.len() < 4 {
-                    return Err(bad("expected: source n+ n- spec"));
-                }
-                let p = node_of(toks[1]);
-                let n = node_of(toks[2]);
-                let (wave, ac_mag, ac_phase) =
-                    parse_waveform(&toks[3..]).ok_or_else(|| bad("bad source spec"))?;
-                if kind == 'V' {
-                    circuit.add_vsource_ac(name, p, n, wave, ac_mag, ac_phase);
-                } else {
-                    circuit.add_isource_ac(name, p, n, wave, ac_mag);
-                }
-            }
-            'G' | 'E' => {
-                if toks.len() < 6 {
-                    return Err(bad("expected: ctrl-source p n cp cn value"));
-                }
-                let p = node_of(toks[1]);
-                let n = node_of(toks[2]);
-                let cp = node_of(toks[3]);
-                let cn = node_of(toks[4]);
-                let v = parse_value(toks[5]).ok_or_else(|| bad("bad value"))?;
-                if kind == 'G' {
-                    circuit.add_vccs(name, p, n, cp, cn, v);
-                } else {
-                    circuit.add_vcvs(name, p, n, cp, cn, v);
-                }
-            }
-            'M' => {
-                if toks.len() < 6 {
-                    return Err(bad("expected: M d g s b model W= L="));
-                }
-                let d = node_of(toks[1]);
-                let g = node_of(toks[2]);
-                let s = node_of(toks[3]);
-                let b = node_of(toks[4]);
-                let model = models
-                    .get(toks[5])
-                    .cloned()
-                    .ok_or(SpiceParseError::UnknownModel {
-                        model: toks[5].to_string(),
-                    })?;
-                let mut w = None;
-                let mut l = None;
-                for kv in &toks[6..] {
-                    if let Some((k, v)) = kv.split_once('=') {
-                        let v = parse_value(v).ok_or_else(|| bad("bad W/L value"))?;
-                        match k.to_ascii_uppercase().as_str() {
-                            "W" => w = Some(v),
-                            "L" => l = Some(v),
-                            _ => {}
-                        }
-                    }
-                }
-                let (Some(w), Some(l)) = (w, l) else {
-                    return Err(bad("MOS card missing W= or L="));
-                };
-                circuit.add_mosfet(name, model, w, l, d, g, s, b);
-            }
-            other => {
-                return Err(bad(&format!("unsupported card '{other}'")));
-            }
-        }
-    }
-    Ok(circuit)
+    parse_spice(text).map(|d| d.circuit)
 }
 
 #[cfg(test)]
@@ -633,19 +1478,6 @@ mod tests {
     }
 
     #[test]
-    fn si_suffixes() {
-        assert_eq!(parse_value("1k"), Some(1e3));
-        assert_eq!(parse_value("2.2MEG"), Some(2.2e6));
-        assert_eq!(parse_value("3u"), Some(3e-6));
-        assert_eq!(parse_value("4n"), Some(4e-9));
-        assert_eq!(parse_value("5p"), Some(5e-12));
-        assert_eq!(parse_value("1.5e-3"), Some(1.5e-3));
-        assert_eq!(parse_value("inf"), Some(f64::INFINITY));
-        assert_eq!(parse_value("7g"), Some(7e9));
-        assert_eq!(parse_value("nope"), None);
-    }
-
-    #[test]
     fn hand_written_deck() {
         let deck = "* divider\n\
                     Vs in 0 DC 2.0\n\
@@ -679,10 +1511,298 @@ mod tests {
     fn errors_are_located() {
         let err = from_spice("R1 a b\n").unwrap_err();
         assert!(matches!(err, SpiceParseError::BadLine { line: 1, .. }));
-        let err = from_spice("Mbad d g s b nomodel W=1u L=65n\n").unwrap_err();
-        assert!(matches!(err, SpiceParseError::UnknownModel { .. }));
+        let err = from_spice("* t\nMbad d g s b nomodel W=1u L=65n\n").unwrap_err();
+        assert!(matches!(err, SpiceParseError::UnknownModel { line: 2, .. }));
+        assert!(err.to_string().contains("nomodel"), "{err}");
+        assert_eq!(err.line(), 2);
         let err = from_spice("Qbjt a b c\n").unwrap_err();
         assert!(err.to_string().contains("unsupported card"));
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn every_error_variant_displays_its_line_and_token() {
+        let cases: Vec<SpiceParseError> = vec![
+            from_spice(".bogus x\n").unwrap_err(),
+            from_spice(".include other.cir\n").unwrap_err(),
+            from_spice("R1 a 0 {1+}\n").unwrap_err(),
+            from_spice("R1 a 0 {zap}\n").unwrap_err(),
+            from_spice(".subckt s a\nR1 a 0 1k\n").unwrap_err(),
+            from_spice("R1 a 0 1k\n.ends\n").unwrap_err(),
+            from_spice(".subckt s a\n.subckt t b\n.ends\n.ends\n").unwrap_err(),
+            from_spice(".subckt s a\nX1 a s\n.ends\nX0 0 s\n").unwrap_err(),
+        ];
+        for err in cases {
+            let text = err.to_string();
+            assert!(
+                text.contains(&format!("line {}", err.line())),
+                "no line in '{text}'"
+            );
+        }
+        assert!(matches!(
+            from_spice(".bogus x\n").unwrap_err(),
+            SpiceParseError::UnknownDirective { line: 1, .. }
+        ));
+        assert!(from_spice(".include a.cir\n")
+            .unwrap_err()
+            .to_string()
+            .contains("self-contained"));
+        assert!(from_spice("R1 a 0 {zap}\n")
+            .unwrap_err()
+            .to_string()
+            .contains("zap"));
+    }
+
+    #[test]
+    fn tolerated_directives_are_skipped() {
+        let deck = "* tolerant\n\
+                    .option reltol=1e-4\n\
+                    .temp 27\n\
+                    .dc Vs 0 1.2 0.1\n\
+                    Vs in 0 DC 1.0\n\
+                    R1 in 0 1k\n\
+                    .ac dec 10 1 1g\n\
+                    .tran 1n 1u\n\
+                    .print v(in)\n\
+                    .end\n\
+                    garbage after end is ignored\n";
+        let c = from_spice(deck).unwrap();
+        assert_eq!(c.element_count(), 2);
+    }
+
+    #[test]
+    fn continuation_lines_and_inline_comments() {
+        let deck = "Vlo lo 0 SIN(0.6 0.6\n+ 2.4e9 0 0) ; carrier\nR1 lo 0 1k\n.end\n";
+        let c = from_spice(deck).unwrap();
+        let Element::VoltageSource { wave, .. } = c.element(c.find_element("lo").unwrap()) else {
+            panic!()
+        };
+        assert!(matches!(wave, Waveform::Sin { freq, .. } if *freq == 2.4e9));
+    }
+
+    #[test]
+    fn params_and_expressions_evaluate() {
+        let deck = "* params\n\
+                    .param rbase=1k ratio=2 rtop={rbase*ratio}\n\
+                    Vs in 0 DC {ratio * 0.6}\n\
+                    R1 in mid {rtop}\n\
+                    R2 mid 0 {rbase}\n\
+                    C1 mid 0 {1p + 1p}\n\
+                    .end\n";
+        let c = from_spice(deck).unwrap();
+        let Element::Resistor { r, .. } = c.element(c.find_element("1").unwrap()) else {
+            panic!()
+        };
+        assert_eq!(*r, 2e3);
+        let Element::VoltageSource { wave, .. } = c.element(c.find_element("s").unwrap()) else {
+            panic!()
+        };
+        assert_eq!(*wave, Waveform::Dc(1.2));
+        let cap = c
+            .elements()
+            .iter()
+            .find_map(|e| match e {
+                Element::Capacitor { c, .. } => Some(*c),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(cap, 2e-12);
+    }
+
+    #[test]
+    fn subckt_flattening_with_hierarchical_names() {
+        let deck = "* lib\n\
+                    .subckt rcdiv a b rv=1k\n\
+                    R1 a mid {rv}\n\
+                    R2 mid b {rv}\n\
+                    C1 mid 0 1p\n\
+                    .ends\n\
+                    Vs in 0 DC 1.0\n\
+                    X1 in out rcdiv\n\
+                    X2 out 0 rcdiv rv=2k\n\
+                    .end\n";
+        let c = from_spice(deck).unwrap();
+        // 1 source + 2 instances × 3 elements.
+        assert_eq!(c.element_count(), 7);
+        assert!(c.find_element("x1.1").is_some(), "hierarchical name");
+        assert!(c.find_node("x1.mid").is_some(), "hierarchical node");
+        assert!(c.find_node("x2.mid").is_some());
+        // Port mapping: x1's `b` is the shared `out` node, not a copy.
+        let Element::Resistor { b, .. } = c.element(c.find_element("x1.2").unwrap()) else {
+            panic!()
+        };
+        assert_eq!(c.node_name(*b), "out");
+        // Instance override: x2's resistors are 2k.
+        let Element::Resistor { r, .. } = c.element(c.find_element("x2.1").unwrap()) else {
+            panic!()
+        };
+        assert_eq!(*r, 2e3);
+        // Ground inside the subckt is global ground.
+        let cap_b = c
+            .elements()
+            .iter()
+            .find_map(|e| match e {
+                Element::Capacitor { b, .. } => Some(*b),
+                _ => None,
+            })
+            .unwrap();
+        assert!(cap_b.is_ground());
+    }
+
+    #[test]
+    fn nested_instantiation_flattens_recursively() {
+        let deck = "* nested\n\
+                    .subckt leg a\n\
+                    Rl a 0 1k\n\
+                    .ends\n\
+                    .subckt pair p\n\
+                    X1 p leg\n\
+                    Rp p 0 10k\n\
+                    .ends\n\
+                    Vs top 0 DC 1.0\n\
+                    Xp top pair\n\
+                    .end\n";
+        let c = from_spice(deck).unwrap();
+        assert_eq!(c.element_count(), 3);
+        assert!(c.find_element("xp.x1.l").is_some(), "two-level name");
+    }
+
+    #[test]
+    fn subckt_defaults_reference_globals_and_each_other() {
+        let deck = ".param base=100\n\
+                    .subckt t a rv={base*2} rw={rv+base}\n\
+                    R1 a 0 {rw}\n\
+                    .ends\n\
+                    Vs in 0 DC 1\n\
+                    X1 in t\n\
+                    .end\n";
+        let c = from_spice(deck).unwrap();
+        let Element::Resistor { r, .. } = c.element(c.find_element("x1.1").unwrap()) else {
+            panic!()
+        };
+        assert_eq!(*r, 300.0);
+    }
+
+    #[test]
+    fn recursive_subckt_is_an_error() {
+        let deck = ".subckt s a\nX1 a s\n.ends\nX0 in s\nR1 in 0 1k\n.end\n";
+        let err = from_spice(deck).unwrap_err();
+        assert!(
+            matches!(err, SpiceParseError::RecursiveSubckt { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dangling_and_arity_mismatched_instances_are_findings() {
+        let deck = "Vs in 0 DC 1.0\n\
+                    R1 in 0 1k\n\
+                    Xa in 0 nosuch\n\
+                    .subckt two a b\nRt a b 1k\n.ends\n\
+                    Xb in two\n\
+                    .end\n";
+        let parsed = parse_spice(deck).unwrap();
+        assert_eq!(parsed.circuit.element_count(), 2, "instances skipped");
+        let kinds: Vec<DeckFindingKind> = parsed.findings.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&DeckFindingKind::UnknownSubckt));
+        assert!(kinds.contains(&DeckFindingKind::SubcktArity));
+        for f in &parsed.findings {
+            assert!(f.line > 0);
+            assert!(!f.detail.is_empty());
+        }
+    }
+
+    #[test]
+    fn unused_and_undefined_params_are_findings() {
+        let deck = ".param lonely=3 broken={ghost*2}\n\
+                    Vs in 0 DC 1.0\nR1 in 0 1k\n.end\n";
+        let parsed = parse_spice(deck).unwrap();
+        let kinds: Vec<DeckFindingKind> = parsed.findings.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&DeckFindingKind::UnusedParam), "{kinds:?}");
+        assert!(
+            kinds.contains(&DeckFindingKind::UndefinedParam),
+            "{kinds:?}"
+        );
+        // `ghost` is the undefined subject; `lonely` the unused one.
+        assert!(parsed
+            .findings
+            .iter()
+            .any(|f| f.kind == DeckFindingKind::UndefinedParam && f.subject == "ghost"));
+        assert!(parsed
+            .findings
+            .iter()
+            .any(|f| f.kind == DeckFindingKind::UnusedParam && f.subject == "lonely"));
+    }
+
+    #[test]
+    fn param_cycles_are_findings_not_hangs() {
+        let deck = ".param a={b+1} b={a+1}\nVs in 0 DC 1.0\nR1 in 0 1k\n.end\n";
+        let parsed = parse_spice(deck).unwrap();
+        assert!(parsed
+            .findings
+            .iter()
+            .any(|f| f.kind == DeckFindingKind::ParamCycle && f.detail.contains("a")));
+        // Cycle members reference each other, so ERC014 stays quiet.
+        assert!(!parsed
+            .findings
+            .iter()
+            .any(|f| f.kind == DeckFindingKind::UnusedParam));
+        // Using a cyclic param in a card is a hard error.
+        let deck2 = ".param a={b+1} b={a+1}\nR1 in 0 {a}\n.end\n";
+        assert!(matches!(
+            from_spice(deck2).unwrap_err(),
+            SpiceParseError::UndefinedParam { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn hostile_node_names_are_escaped_injectively() {
+        let mut c = Circuit::new();
+        let a = c.node("a b");
+        let b = c.node("a_b");
+        let w = c.node("w;x*y");
+        c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.0));
+        c.add_resistor("r1", a, b, 1e3);
+        c.add_resistor("r2", b, w, 1e3);
+        c.add_resistor("r3", w, Circuit::gnd(), 1e3);
+        let deck = to_spice(&c, "hostile");
+        let back = from_spice(&deck).unwrap();
+        assert_eq!(back.element_count(), c.element_count());
+        assert_eq!(back.node_count(), c.node_count(), "no nodes merged");
+        // The deck stays stable under a further round trip.
+        assert_eq!(to_spice(&back, "hostile"), deck);
+        // Distinct hostile names stayed distinct: `a b` → `a_b` collides
+        // with the honest `a_b`, which gets suffixed.
+        assert!(deck.contains(" a_b "), "{deck}");
+        assert!(deck.contains("a_b_2"), "{deck}");
+    }
+
+    #[test]
+    fn hostile_element_names_and_titles_are_escaped() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("v 1", a, Circuit::gnd(), Waveform::Dc(1.0));
+        c.add_resistor("r{1}", a, Circuit::gnd(), 1e3);
+        let deck = to_spice(&c, "multi\nline title");
+        assert!(deck.starts_with("* multi line title\n"));
+        let back = from_spice(&deck).unwrap();
+        assert_eq!(back.element_count(), 2);
+        // A hostile ground-aliasing node name cannot capture `gnd`.
+        let mut c2 = Circuit::new();
+        let g = c2.node("gn d");
+        c2.add_vsource("v1", g, Circuit::gnd(), Waveform::Dc(1.0));
+        c2.add_resistor("r1", g, Circuit::gnd(), 1e3);
+        let deck2 = to_spice(&c2, "alias");
+        let back2 = from_spice(&deck2).unwrap();
+        assert_eq!(back2.node_count(), c2.node_count(), "{deck2}");
+    }
+
+    #[test]
+    fn emit_parse_emit_is_stable() {
+        let c = demo_circuit();
+        let deck1 = to_spice(&c, "stable");
+        let deck2 = to_spice(&from_spice(&deck1).unwrap(), "stable");
+        assert_eq!(deck1, deck2);
     }
 
     #[test]

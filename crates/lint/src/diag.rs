@@ -7,8 +7,10 @@ use std::fmt;
 /// [`LintReport::render_json`]. Bumped whenever the shape of the emitted
 /// object changes so downstream consumers of `remix-bench lint --json`
 /// can detect drift. History: 1 = PR 1 (`deny`/`warn`/`diagnostics`),
-/// 2 = this field plus per-diagnostic `fix` objects.
-pub const SCHEMA_VERSION: u32 = 2;
+/// 2 = this field plus per-diagnostic `fix` objects, 3 = optional
+/// per-diagnostic `line` (deck source line for frontend rules
+/// ERC014–ERC016).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// How seriously a finding is treated.
 ///
@@ -86,6 +88,18 @@ pub enum RuleId {
     /// `ERC013` — element values span enough decades that LU pivots of
     /// the assembled MNA matrix risk catastrophic cancellation.
     IllScaled,
+    /// `ERC014` — a `.param` in the source deck that is defined but never
+    /// referenced, or whose definition references a name that is never
+    /// defined (deck-frontend hygiene; reported via `lint_deck`).
+    ParamHygiene,
+    /// `ERC015` — an `X` card referencing an undefined subckt, or one
+    /// whose node count does not match the subckt's declared port arity
+    /// (the parser skips the instance; this rule decides whether the deck
+    /// is still acceptable).
+    SubcktInstance,
+    /// `ERC016` — `.param` definitions forming (or depending on) a
+    /// dependency cycle: the members can never resolve to values.
+    ParamCycle,
     /// `SIM001` — transient timestep at or beyond the Nyquist limit of
     /// the fastest declared stimulus (LO aliases into the record).
     TimestepVsLo,
@@ -117,7 +131,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in code order (`ERC` first, then `SIM`).
-    pub const ALL: [RuleId; 21] = [
+    pub const ALL: [RuleId; 24] = [
         RuleId::DanglingNode,
         RuleId::NoDcPath,
         RuleId::VsourceLoop,
@@ -131,6 +145,9 @@ impl RuleId {
         RuleId::DeadUnderMode,
         RuleId::StructuralSingular,
         RuleId::IllScaled,
+        RuleId::ParamHygiene,
+        RuleId::SubcktInstance,
+        RuleId::ParamCycle,
         RuleId::TimestepVsLo,
         RuleId::NoncoherentFft,
         RuleId::PssHarmonics,
@@ -157,6 +174,9 @@ impl RuleId {
             RuleId::DeadUnderMode => "ERC011_DEAD_UNDER_MODE",
             RuleId::StructuralSingular => "ERC012_STRUCTURAL_SINGULAR",
             RuleId::IllScaled => "ERC013_ILL_SCALED",
+            RuleId::ParamHygiene => "ERC014_PARAM_HYGIENE",
+            RuleId::SubcktInstance => "ERC015_SUBCKT_INSTANCE",
+            RuleId::ParamCycle => "ERC016_PARAM_CYCLE",
             RuleId::TimestepVsLo => "SIM001_TIMESTEP_VS_LO",
             RuleId::NoncoherentFft => "SIM002_NONCOHERENT_FFT",
             RuleId::PssHarmonics => "SIM003_PSS_HARMONICS",
@@ -184,6 +204,7 @@ impl RuleId {
             RuleId::BulkNotRail
             | RuleId::DeadUnderMode
             | RuleId::IllScaled
+            | RuleId::ParamHygiene
             | RuleId::NoiseBand
             | RuleId::SweepRange
             | RuleId::TranDuration
@@ -209,6 +230,9 @@ impl RuleId {
             RuleId::DeadUnderMode => "element with no effect as configured",
             RuleId::StructuralSingular => "MNA equations provably lack a structural full rank",
             RuleId::IllScaled => "element values span enough decades to threaten LU pivots",
+            RuleId::ParamHygiene => "unused or undefined `.param` in the source deck",
+            RuleId::SubcktInstance => "subckt instantiation dangling or with mismatched arity",
+            RuleId::ParamCycle => "`.param` definitions form a dependency cycle",
             RuleId::TimestepVsLo => "transient timestep at/beyond the stimulus Nyquist limit",
             RuleId::NoncoherentFft => "FFT tones off the coherent bin grid or beyond Nyquist",
             RuleId::PssHarmonics => "PSS harmonics truncated below the intermod order",
@@ -244,6 +268,9 @@ pub struct Diagnostic {
     pub nodes: Vec<String>,
     /// Names of the elements involved (may be empty).
     pub elements: Vec<String>,
+    /// 1-based source-deck line, for rules that fire on deck text rather
+    /// than on the built circuit (ERC014–ERC016 via `lint_deck`).
+    pub line: Option<usize>,
     /// Machine-applicable repair, when one exists (clippy's
     /// `MachineApplicable` suggestions). Applied by the `--fix` engine in
     /// [`crate::fix`].
@@ -257,6 +284,9 @@ impl Diagnostic {
     pub fn render(&self) -> String {
         let mut s = format!("{}[{}]: {}", self.severity, self.rule, self.message);
         let mut prov = Vec::new();
+        if let Some(line) = self.line {
+            prov.push(format!("line {line}"));
+        }
         if !self.nodes.is_empty() {
             prov.push(format!("nodes: {}", self.nodes.join(", ")));
         }
@@ -277,10 +307,15 @@ impl Diagnostic {
             Some(f) => format!(",\"fix\":{}", f.to_json()),
             None => String::new(),
         };
+        let line = match self.line {
+            Some(n) => format!(",\"line\":{n}"),
+            None => String::new(),
+        };
         format!(
-            "{{\"rule\":{},\"severity\":{},\"message\":{},\"nodes\":[{}],\"elements\":[{}]{}}}",
+            "{{\"rule\":{},\"severity\":{}{},\"message\":{},\"nodes\":[{}],\"elements\":[{}]{}}}",
             json_str(self.rule.code()),
             json_str(&self.severity.to_string()),
+            line,
             json_str(&self.message),
             self.nodes
                 .iter()
@@ -437,6 +472,7 @@ mod tests {
                     message: "node 'x' is dangling".into(),
                     nodes: vec!["x".into()],
                     elements: vec!["r1".into()],
+                    line: None,
                     fix: None,
                 },
                 Diagnostic {
@@ -445,6 +481,7 @@ mod tests {
                     message: "bulk of 'm1' floats".into(),
                     nodes: vec![],
                     elements: vec!["m1".into()],
+                    line: None,
                     fix: None,
                 },
             ],
@@ -479,6 +516,7 @@ mod tests {
                 message: "bad \"quote\"\nline".into(),
                 nodes: vec![],
                 elements: vec!["r\\1".into()],
+                line: None,
                 fix: None,
             }],
         };
@@ -501,6 +539,7 @@ mod tests {
             message: "node 'mid' connects only to capacitors".into(),
             nodes: vec!["mid".into()],
             elements: vec![],
+            line: None,
             fix: Some(Fix::GroundTie {
                 node: "mid".into(),
                 ohms: 1e9,
@@ -515,6 +554,29 @@ mod tests {
         .render_json();
         assert!(
             json.contains("\"fix\":{\"action\":\"ground_tie\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn deck_lines_render_in_text_and_json() {
+        let d = Diagnostic {
+            rule: RuleId::ParamHygiene,
+            severity: Severity::Warn,
+            message: ".param 'lonely' is defined but never referenced".into(),
+            nodes: vec![],
+            elements: vec!["lonely".into()],
+            line: Some(3),
+            fix: None,
+        };
+        let text = d.render();
+        assert!(text.contains("(line 3;"), "{text}");
+        let json = LintReport {
+            diagnostics: vec![d],
+        }
+        .render_json();
+        assert!(
+            json.contains("\"severity\":\"warn\",\"line\":3,\"message\""),
             "{json}"
         );
     }

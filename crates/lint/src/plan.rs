@@ -224,6 +224,7 @@ pub fn lint_plan(plan: &SimPlan, config: &LintConfig) -> LintReport {
             message,
             nodes: vec![],
             elements: vec![plan.name.clone()],
+            line: None,
             fix,
         });
     };

@@ -375,6 +375,7 @@ fn structural_singular(
                 ),
                 nodes,
                 elements: elems,
+                line: None,
                 fix,
             });
         }
@@ -427,6 +428,7 @@ fn ill_scaled(ckt: &Circuit, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
             ),
             nodes: vec![],
             elements: vec![max_name.to_string(), min_name.to_string()],
+            line: None,
             fix: None,
         });
     }

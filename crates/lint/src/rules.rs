@@ -101,6 +101,7 @@ impl<'a> Pass<'a> {
                 .map(|n| self.ckt.node_name(n).to_string())
                 .collect(),
             elements,
+            line: None,
             fix,
         });
     }

@@ -1,9 +1,10 @@
-//! Linted SPICE import: parse a deck, then run the full ERC pass before
-//! handing the circuit to callers.
+//! Linted SPICE import: parse a deck, then run the full ERC pass — both
+//! the circuit-shape rules and the deck-structure rules (ERC014–ERC016)
+//! — before handing the circuit to callers.
 
 use crate::config::LintConfig;
-use crate::diag::LintReport;
-use remix_circuit::{from_spice, Circuit, SpiceParseError};
+use crate::diag::{Diagnostic, LintReport, RuleId, Severity};
+use remix_circuit::{parse_spice, Circuit, DeckFindingKind, SpiceDeck, SpiceParseError};
 use std::fmt;
 
 /// Why a linted import failed.
@@ -35,7 +36,47 @@ impl From<SpiceParseError> for ImportError {
     }
 }
 
-/// Parses a SPICE deck and lints the result.
+/// Lints a parsed deck: the circuit-shape rules over the flattened
+/// circuit, plus the deck-structure rules over the parser's
+/// [`DeckFinding`]s — ERC014 (`.param` hygiene), ERC015 (subckt
+/// instantiation), ERC016 (`.param` cycle). Deck diagnostics carry the
+/// 1-based source line; the combined report is ordered by rule code.
+///
+/// Deck rules have no machine-applicable `fix`: the `--fix` rewrite
+/// emits the flattened circuit, which by construction contains no
+/// `.param` or `X` cards, so applying any circuit fix clears them.
+///
+/// [`DeckFinding`]: remix_circuit::DeckFinding
+pub fn lint_deck(deck: &SpiceDeck, config: &LintConfig) -> LintReport {
+    let mut report = crate::lint(&deck.circuit, config);
+    for f in &deck.findings {
+        let rule = match f.kind {
+            DeckFindingKind::UnusedParam | DeckFindingKind::UndefinedParam => RuleId::ParamHygiene,
+            DeckFindingKind::UnknownSubckt | DeckFindingKind::SubcktArity => RuleId::SubcktInstance,
+            DeckFindingKind::ParamCycle => RuleId::ParamCycle,
+        };
+        let severity = config.severity_of(rule);
+        if severity == Severity::Allow {
+            continue;
+        }
+        report.diagnostics.push(Diagnostic {
+            rule,
+            severity,
+            message: f.detail.clone(),
+            nodes: vec![],
+            elements: vec![f.subject.clone()],
+            line: Some(f.line),
+            fix: None,
+        });
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (a.rule.code(), a.line).cmp(&(b.rule.code(), b.line)));
+    report
+}
+
+/// Parses a SPICE deck and lints the result — deck-structure rules
+/// included.
 ///
 /// On success the report still carries any warn-level findings so
 /// callers can surface them; a deck with deny-level findings is
@@ -57,10 +98,10 @@ impl From<SpiceParseError> for ImportError {
 /// assert!(report.is_empty());
 /// ```
 pub fn import_spice(deck: &str, config: &LintConfig) -> Result<(Circuit, LintReport), ImportError> {
-    let circuit = from_spice(deck)?;
-    let report = crate::lint(&circuit, config);
+    let parsed = parse_spice(deck)?;
+    let report = lint_deck(&parsed, config);
     if report.is_clean() {
-        Ok((circuit, report))
+        Ok((parsed.circuit, report))
     } else {
         Err(ImportError::Lint(report))
     }
@@ -106,5 +147,90 @@ mod tests {
             import_spice("r1 a\n", &LintConfig::default()),
             Err(ImportError::Parse(_))
         ));
+    }
+
+    const UNUSED_PARAM_DECK: &str = "* one warn\n\
+        .param lonely=3\n\
+        v1 in 0 dc 1.0\nr2 in 0 1k\n.end\n";
+
+    #[test]
+    fn warn_level_finding_surfaces_but_circuit_still_returns() {
+        // The deck parses and trips exactly one warn-level rule (ERC014):
+        // the circuit must come back along with the surfaced report.
+        let (ckt, report) = import_spice(UNUSED_PARAM_DECK, &LintConfig::default()).unwrap();
+        assert_eq!(ckt.element_count(), 2);
+        assert_eq!(report.warn_count(), 1);
+        assert_eq!(report.deny_count(), 0);
+        let diags = report.by_rule(RuleId::ParamHygiene);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, Some(2));
+        assert!(diags[0].message.contains("lonely"));
+    }
+
+    #[test]
+    fn warn_level_finding_denies_under_override() {
+        let cfg = LintConfig::default().deny(RuleId::ParamHygiene);
+        match import_spice(UNUSED_PARAM_DECK, &cfg) {
+            Err(ImportError::Lint(report)) => {
+                assert_eq!(report.deny_count(), 1);
+            }
+            other => panic!("expected lint rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn erc014_fires_and_suppresses() {
+        let parsed = remix_circuit::parse_spice(UNUSED_PARAM_DECK).unwrap();
+        let fired = lint_deck(&parsed, &LintConfig::default());
+        assert_eq!(fired.by_rule(RuleId::ParamHygiene).len(), 1);
+        let quiet = lint_deck(&parsed, &LintConfig::default().allow(RuleId::ParamHygiene));
+        assert!(quiet.by_rule(RuleId::ParamHygiene).is_empty());
+        assert!(quiet.is_clean());
+    }
+
+    #[test]
+    fn erc015_fires_and_suppresses() {
+        let deck = "v1 in 0 dc 1.0\nr2 in 0 1k\nx1 in 0 nosuch\n.end\n";
+        let parsed = remix_circuit::parse_spice(deck).unwrap();
+        let fired = lint_deck(&parsed, &LintConfig::default());
+        let diags = fired.by_rule(RuleId::SubcktInstance);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert_eq!(diags[0].line, Some(3));
+        let quiet = lint_deck(
+            &parsed,
+            &LintConfig::default().allow(RuleId::SubcktInstance),
+        );
+        assert!(quiet.by_rule(RuleId::SubcktInstance).is_empty());
+    }
+
+    #[test]
+    fn erc016_fires_and_suppresses() {
+        let deck = ".param a={b*2} b={a/2}\nv1 in 0 dc 1.0\nr2 in 0 1k\n.end\n";
+        let parsed = remix_circuit::parse_spice(deck).unwrap();
+        let fired = lint_deck(&parsed, &LintConfig::default());
+        let diags = fired.by_rule(RuleId::ParamCycle);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert!(diags[0].message.contains("cycle"));
+        let quiet = lint_deck(&parsed, &LintConfig::default().allow(RuleId::ParamCycle));
+        assert!(quiet.by_rule(RuleId::ParamCycle).is_empty());
+    }
+
+    #[test]
+    fn deck_diagnostics_sort_into_rule_code_order() {
+        // ERC005 (circuit) + ERC014 (deck) + ERC015 (deck): the merged
+        // report stays ordered by code, with lines rendered.
+        let deck = ".param lonely=1\n\
+                    v1 in 0 dc 1.0\nr2 in 0 1k\n\
+                    c3 in mid 1p\nc4 mid 0 1p\n\
+                    x1 in 0 nosuch\n.end\n";
+        let parsed = remix_circuit::parse_spice(deck).unwrap();
+        let report = lint_deck(&parsed, &LintConfig::default());
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        assert_eq!(codes, sorted, "{codes:?}");
+        assert!(report.render_text().contains("line 6"));
     }
 }

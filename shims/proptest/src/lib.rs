@@ -53,11 +53,28 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// Config running `PROPTEST_CASES` cases when that environment
+    /// variable is set (matching upstream's env override), else
+    /// `default_cases`. Lets CI raise the case count of expensive
+    /// harnesses without patching every `proptest_config` header.
+    pub fn env_or(default_cases: u32) -> Self {
+        ProptestConfig {
+            cases: env_cases().unwrap_or(default_cases),
+        }
+    }
+}
+
+/// `PROPTEST_CASES` parsed as a case count, if set and valid.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(64),
+        }
     }
 }
 

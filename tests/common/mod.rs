@@ -1,0 +1,255 @@
+//! Shared deterministic deck machinery for the frontend-hardening
+//! harnesses (`frontend_fuzz`, `differential_oracle`).
+//!
+//! Everything here is seeded: the same `u64` always yields the same
+//! deck, so a failing proptest case number reproduces byte-for-byte
+//! without a persistence file. The generator is *structure-aware* — it
+//! emits grammatically valid decks exercising `.param`, `{expr}`
+//! arithmetic, `.subckt`/`.ends` definitions, `X` instantiation with
+//! parameter overrides, comments, and continuation lines — and it is
+//! *deny-clean by construction*: every node keeps a resistive DC path
+//! to ground, element-name suffixes are globally unique per scope, and
+//! values stay within ~3 decades (far inside the ERC013 envelope).
+
+// Each integration-test binary compiles its own copy of this module and
+// none of them uses every helper.
+#![allow(dead_code)]
+
+/// SplitMix64: tiny, seedable, and good enough to drive deck shapes.
+/// Same generator family as `tests/lint_properties.rs`.
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// `true` with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// A grammatically valid, deny-clean SPICE deck drawn from `seed`.
+///
+/// Shape: global `.param`s (one literal, one `{expr}`), zero to two
+/// `.subckt` definitions with default parameters and internal nodes, a
+/// DC source feeding a resistor chain to ground, optional shunt caps,
+/// `X` instances (some with parameter overrides, some chained so
+/// flattening nests names), an optional VCCS, and an optional
+/// diode-connected MOSFET with its `.model` card.
+pub fn structured_deck(seed: u64) -> String {
+    let mut rng = SplitMix64::new(seed);
+    let mut deck = format!("* structured fuzz deck (seed {seed})\n");
+
+    // Globals: rbase in [100, 5000] ohms, rload a brace expression.
+    let rbase = 100 * (1 + rng.below(50));
+    let scale_num = 2 + rng.below(6); // rload = rbase * (scale_num/2)
+    deck += &format!(".param rbase={rbase}\n");
+    deck += &format!(".param rload={{rbase*{scale_num}/2}}\n");
+
+    let n_sub = rng.below(3) as usize;
+    for k in 0..n_sub {
+        deck += &format!(".subckt s{k} a b rv={{rload}}\n");
+        // Continuation-line coverage: split one card across a `+` line.
+        deck += &format!("rs{k}a a m\n+ {{rv}}\n");
+        deck += &format!("rs{k}b m b {{rv/2+{}}}\n", 10 * (k + 1));
+        if rng.chance(1, 2) {
+            deck += &format!("cs{k} m b 1p ; shunt\n");
+        }
+        deck += ".ends\n";
+    }
+
+    let vdd_tenths = 6 + rng.below(7); // 0.6 V .. 1.2 V
+    deck += &format!("v0 in 0 dc 0.{vdd_tenths}\n");
+
+    // Resistor chain in -> t0 -> ... -> 0; every interior node gets two
+    // resistors, so nothing dangles and every cap sees a DC path.
+    let n_chain = 2 + rng.below(3) as usize; // 2..=4 segments
+    let mut card = 1u64; // global element-name suffix counter
+    let mut prev = "in".to_string();
+    for i in 0..n_chain {
+        let next = if i + 1 == n_chain {
+            "0".to_string()
+        } else {
+            format!("t{i}")
+        };
+        let mult = 1 + rng.below(3);
+        deck += &format!("r{card} {prev} {next} {{rbase*{mult}}}\n");
+        card += 1;
+        if next != "0" && rng.chance(1, 3) {
+            deck += &format!("c{card} {next} 0 {}p\n", 1 + rng.below(9));
+            card += 1;
+        }
+        prev = next;
+    }
+    let interior = n_chain - 1; // t0 .. t{interior-1} exist
+
+    for k in 0..n_sub {
+        let at = if interior == 0 {
+            "in".to_string()
+        } else {
+            format!("t{}", rng.below(interior as u64))
+        };
+        deck += &format!("x{k} {at} 0 s{k}");
+        if rng.chance(1, 2) {
+            deck += " rv={rbase*2}";
+        }
+        deck += "\n";
+    }
+    // Chained instantiation: a subckt bridging two distinct nets, so
+    // flattening has to splice hierarchical names into the middle of
+    // the chain.
+    if n_sub > 0 && interior >= 1 && rng.chance(1, 2) {
+        deck += &format!("xbr in t0 s{}\n", n_sub - 1);
+    }
+
+    if interior >= 1 && rng.chance(1, 3) {
+        deck += &format!("g{card} t0 0 in 0 1m\n");
+        card += 1;
+    }
+    if interior >= 1 && rng.chance(1, 4) {
+        deck += ".model nch nmos vto=0.45 kp=200u\n";
+        deck += &format!("m{card} t0 t0 0 0 nch w=10u l=1u\n");
+    }
+    deck += ".end\n";
+    deck
+}
+
+/// Byte-level hostile mutation of a valid deck: truncation, line
+/// duplication/deletion, character swaps, and junk insertion. The
+/// result is frequently *invalid* — that is the point; the parser must
+/// reject it with a lined error instead of panicking.
+pub fn mutate_deck(deck: &str, rng: &mut SplitMix64) -> String {
+    let mut text = deck.to_string();
+    let ops = 1 + rng.below(4);
+    for _ in 0..ops {
+        match rng.below(5) {
+            0 => {
+                // Truncate at an arbitrary char boundary.
+                let cut = rng.below(text.len().max(1) as u64) as usize;
+                let cut = text
+                    .char_indices()
+                    .map(|(i, _)| i)
+                    .take_while(|&i| i <= cut)
+                    .last()
+                    .unwrap_or(0);
+                text.truncate(cut);
+            }
+            1 => {
+                // Duplicate a random line.
+                let lines: Vec<&str> = text.lines().collect();
+                if !lines.is_empty() {
+                    let j = rng.below(lines.len() as u64) as usize;
+                    let dup = lines[j].to_string();
+                    let mut out: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+                    out.insert(j, dup);
+                    text = out.join("\n");
+                    text.push('\n');
+                }
+            }
+            2 => {
+                // Delete a random line.
+                let lines: Vec<&str> = text.lines().collect();
+                if lines.len() > 1 {
+                    let j = rng.below(lines.len() as u64) as usize;
+                    let mut out: Vec<&str> = lines.clone();
+                    out.remove(j);
+                    text = out.join("\n");
+                    text.push('\n');
+                }
+            }
+            3 => {
+                // Insert junk drawn from grammar-adjacent bytes.
+                const JUNK: &[u8] = b"{}()+-*/=. \trxcvmgs0123456789paramsubcktendinclib";
+                let at = rng.below(text.len().max(1) as u64) as usize;
+                let at = text
+                    .char_indices()
+                    .map(|(i, _)| i)
+                    .take_while(|&i| i <= at)
+                    .last()
+                    .unwrap_or(0);
+                let n = 1 + rng.below(6);
+                let junk: String = (0..n)
+                    .map(|_| JUNK[rng.below(JUNK.len() as u64) as usize] as char)
+                    .collect();
+                text.insert_str(at, &junk);
+            }
+            _ => {
+                // Case-flip a run of characters.
+                if !text.is_empty() {
+                    let chars: Vec<char> = text.chars().collect();
+                    let at = rng.below(chars.len() as u64) as usize;
+                    let run = 1 + rng.below(8) as usize;
+                    text = chars
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| {
+                            if i >= at && i < at + run && c.is_ascii_alphabetic() {
+                                (c as u8 ^ 0x20) as char
+                            } else {
+                                c
+                            }
+                        })
+                        .collect();
+                }
+            }
+        }
+    }
+    text
+}
+
+/// Appends a known circuit-level defect to a clean deck, ahead of its
+/// `.end`: a cap-only node (ERC005, fixable by ground tie) or a
+/// duplicate instance suffix (ERC009, fixable by rename). Used to feed
+/// `fix_circuit` non-trivial work in the fixpoint fuzz.
+pub fn inject_defect(deck: &str, rng: &mut SplitMix64) -> String {
+    let defect = if rng.chance(1, 2) {
+        // `qonly` gets exactly one connection, through a capacitor.
+        "c999 in qonly 1p\n"
+    } else {
+        // Suffix `1` is always taken by the chain's first resistor.
+        "c1 in 0 2p\n"
+    };
+    match deck.rfind(".end") {
+        Some(pos) => {
+            let mut out = deck.to_string();
+            out.insert_str(pos, defect);
+            out
+        }
+        None => format!("{deck}{defect}"),
+    }
+}
+
+/// Random byte soup (UTF-8-lossy) for the never-panics harness: mostly
+/// printable ASCII with embedded newlines and occasional raw high bytes.
+pub fn byte_soup(seed: u64, len: usize) -> String {
+    let mut rng = SplitMix64::new(seed);
+    let bytes: Vec<u8> = (0..len)
+        .map(|_| match rng.below(20) {
+            0 => b'\n',
+            1 => b'{',
+            2 => b'}',
+            3..=4 => b'+',
+            5 => b'.',
+            6..=15 => b' ' + rng.below(95) as u8,
+            _ => rng.below(256) as u8,
+        })
+        .collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}

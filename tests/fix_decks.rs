@@ -7,8 +7,8 @@
 //! non-zero listing them.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
-use remix::circuit::{from_spice, to_spice};
-use remix::lint::{fix_circuit, import_spice, lint, LintConfig, RuleId, Severity};
+use remix::circuit::{from_spice, parse_spice, to_spice};
+use remix::lint::{fix_circuit, import_spice, lint, lint_deck, LintConfig, RuleId, Severity};
 
 /// How a fixture is expected to behave under `--fix`.
 enum Expect {
@@ -143,6 +143,64 @@ fn unfixable_decks_survive_the_fixpoint_with_no_fix_attached() {
             rule.code(),
             outcome.report
         );
+    }
+}
+
+/// Deck-structure rules (ERC014–ERC016) live above the flattened
+/// circuit, so they go through `lint_deck` rather than the
+/// circuit-table cases above. No machine fix exists for them: the
+/// `--fix` rewrite emits the flattened netlist, which cannot contain
+/// them by construction.
+#[test]
+fn deck_structure_fixtures_fire_their_rules_with_lines() {
+    let cases = [
+        (
+            "erc014_unused_param.cir",
+            include_str!("decks/erc014_unused_param.cir"),
+            RuleId::ParamHygiene,
+            Severity::Warn,
+        ),
+        (
+            "erc015_subckt_arity.cir",
+            include_str!("decks/erc015_subckt_arity.cir"),
+            RuleId::SubcktInstance,
+            Severity::Deny,
+        ),
+        (
+            "erc016_param_cycle.cir",
+            include_str!("decks/erc016_param_cycle.cir"),
+            RuleId::ParamCycle,
+            Severity::Deny,
+        ),
+    ];
+    for (file, deck, rule, sev) in cases {
+        let parsed = parse_spice(deck).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let report = lint_deck(&parsed, &LintConfig::default());
+        let hits = report.by_rule(rule);
+        assert!(
+            !hits.is_empty(),
+            "{file}: {} silent:\n{report}",
+            rule.code()
+        );
+        assert!(
+            hits.iter().all(|d| d.severity == sev),
+            "{file}: severity drifted"
+        );
+        assert!(
+            hits.iter().all(|d| d.line.is_some()),
+            "{file}: deck findings must carry source lines:\n{report}"
+        );
+        assert!(
+            hits.iter().all(|d| d.fix.is_none()),
+            "{file}: deck-structure rules have no machine fix"
+        );
+        // Strict-importer behavior matches the severity: warn-only
+        // decks import, deny decks are rejected.
+        let imported = import_spice(deck, &LintConfig::default());
+        match sev {
+            Severity::Warn => assert!(imported.is_ok(), "{file}: warn deck rejected"),
+            _ => assert!(imported.is_err(), "{file}: deny deck imported"),
+        }
     }
 }
 

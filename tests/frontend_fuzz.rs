@@ -1,0 +1,156 @@
+//! Structure-aware frontend fuzzing: the SPICE parser must never
+//! panic, every rejection must carry an in-bounds line number, the
+//! autofix engine must terminate and be idempotent on arbitrary parsed
+//! decks, and the emitter must reach a fixpoint after one round trip.
+//!
+//! Case counts default to 1024 and scale with `PROPTEST_CASES` (the CI
+//! `frontend-fuzz` job runs 2048). Seeding is fully deterministic: a
+//! failing case number reproduces without a persistence file.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
+
+mod common;
+
+use common::{byte_soup, inject_defect, mutate_deck, structured_deck, SplitMix64};
+use proptest::prelude::*;
+use remix::circuit::{from_spice, parse_spice, to_spice};
+use remix::lint::{fix_circuit, LintConfig};
+
+/// Fixpoint bound mirrored from `remix-lint`'s fix engine
+/// (`MAX_ROUNDS`): each round must make progress, and the rule set is
+/// finite, so any run that hits the cap indicates a repair loop.
+const FIX_ROUNDS_CAP: usize = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::env_or(1024))]
+
+    /// Arbitrary byte soup: the parser may reject (it almost always
+    /// will), but it must return, not panic — and the error must point
+    /// at a physical line of the input.
+    #[test]
+    fn parser_never_panics_on_byte_soup(seed in any::<u64>(), len in 0usize..400) {
+        let text = byte_soup(seed, len);
+        if let Err(e) = parse_spice(&text) {
+            let n_lines = text.lines().count().max(1);
+            prop_assert!(
+                e.line() >= 1 && e.line() <= n_lines,
+                "error line {} outside 1..={n_lines} for soup seed {seed}: {e}",
+                e.line()
+            );
+        }
+    }
+
+    /// Grammatical decks put through hostile byte-level mutations:
+    /// still no panics, still lined errors.
+    #[test]
+    fn parser_never_panics_on_mutated_grammar_decks(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed ^ 0xdead_beef);
+        let text = mutate_deck(&structured_deck(seed), &mut rng);
+        if let Err(e) = parse_spice(&text) {
+            let n_lines = text.lines().count().max(1);
+            prop_assert!(
+                e.line() >= 1 && e.line() <= n_lines,
+                "error line {} outside 1..={n_lines} for mutated seed {seed}: {e}",
+                e.line()
+            );
+        }
+    }
+
+    /// Un-mutated generator output is always accepted: the generator is
+    /// the oracle corpus, so a parse failure here is a generator or
+    /// parser bug either way.
+    #[test]
+    fn generator_decks_always_parse(seed in any::<u64>()) {
+        let deck = structured_deck(seed);
+        let parsed = parse_spice(&deck);
+        prop_assert!(
+            parsed.is_ok(),
+            "generator deck (seed {seed}) rejected: {}\n{deck}",
+            parsed.err().map(|e| e.to_string()).unwrap_or_default()
+        );
+    }
+
+    /// `fix_circuit` on defect-injected decks: terminates inside the
+    /// round cap and a second run is a no-op (idempotence at the
+    /// fixpoint).
+    #[test]
+    fn fix_engine_terminates_and_is_idempotent(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed ^ 0x5eed);
+        let deck = inject_defect(&structured_deck(seed), &mut rng);
+        let mut ckt = match from_spice(&deck) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "defect deck (seed {seed}) must stay parseable: {e}"
+            ))),
+        };
+        let config = LintConfig::default();
+        let first = fix_circuit(&mut ckt, &config);
+        prop_assert!(
+            first.rounds <= FIX_ROUNDS_CAP,
+            "fixpoint took {} rounds (cap {FIX_ROUNDS_CAP}) on seed {seed}",
+            first.rounds
+        );
+        let second = fix_circuit(&mut ckt, &config);
+        prop_assert!(
+            second.applied.is_empty(),
+            "fix_circuit not idempotent on seed {seed}: re-run applied {:?}",
+            second.applied.iter().map(|f| f.describe()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Emit → parse → emit is a fixpoint: the first emission normalizes
+    /// (flattens hierarchy, lowercases, rewrites values as `{:e}`), and
+    /// everything after that must be byte-identical.
+    #[test]
+    fn emit_parse_emit_reaches_fixpoint(seed in any::<u64>()) {
+        let deck = structured_deck(seed);
+        let ckt = from_spice(&deck).unwrap();
+        let once = to_spice(&ckt, "fixpoint");
+        let reparsed = match from_spice(&once) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "emitted deck (seed {seed}) rejected by own parser: {e}\n{once}"
+            ))),
+        };
+        let twice = to_spice(&reparsed, "fixpoint");
+        prop_assert_eq!(once, twice);
+    }
+}
+
+/// A tiny pinned corpus of historically tricky inputs, run every build
+/// regardless of `PROPTEST_CASES`: regressions here caught real bugs in
+/// review (unterminated braces, `.end` inside a subckt, lone `+`).
+#[test]
+fn pinned_hostile_corpus_never_panics() {
+    let corpus: &[&str] = &[
+        "",
+        "+",
+        "+ continuation without a first line\n",
+        "* title only",
+        ".end",
+        ".ends",
+        ".subckt a\n.end\n",
+        ".subckt a b\n.subckt c d\n.ends\n.ends\n",
+        "r1 a b {unterminated\n.end\n",
+        "r1 a b {1/0}\n.end\n",
+        ".param x={x}\nr1 a 0 {x}\n.end\n",
+        ".param a={b} b={a}\nr1 in 0 1k\n.end\n",
+        "x1 a b nothere\n.end\n",
+        ".include other.cir\n.end\n",
+        ".model q nmos\n.end\n",
+        "v1 in 0 dc\n.end\n",
+        "r1 in 0 1k extra tokens here\n.end\n",
+        "\u{0}\u{1}\u{2}{{{{",
+    ];
+    for (i, text) in corpus.iter().enumerate() {
+        // Must return — Ok or a lined Err — for every entry.
+        if let Err(e) = parse_spice(text) {
+            let n_lines = text.lines().count().max(1);
+            assert!(
+                e.line() >= 1 && e.line() <= n_lines,
+                "corpus[{i}]: error line {} outside 1..={n_lines}: {e}",
+                e.line()
+            );
+        }
+    }
+}

@@ -1,30 +1,36 @@
 //! Golden-file test for the machine-readable lint report: downstream
 //! tooling (the CI artifact upload, editor integrations) parses this
-//! JSON, so its shape — the `schema_version` field, key names, fix
-//! objects, float formatting — is a compatibility contract. Any change
-//! must bump `SCHEMA_VERSION` and regenerate `tests/golden/lint_report.json`.
+//! JSON, so its shape — the `schema_version` field, key names, the
+//! optional per-diagnostic `line`, fix objects, float formatting — is a
+//! compatibility contract. Any change must bump `SCHEMA_VERSION` and
+//! regenerate `tests/golden/lint_report.json`.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
-use remix::circuit::from_spice;
-use remix::lint::{lint, LintConfig, SCHEMA_VERSION};
+use remix::circuit::parse_spice;
+use remix::lint::{lint_deck, LintConfig, SCHEMA_VERSION};
 
 const GOLDEN: &str = include_str!("golden/lint_report.json");
 
 /// A deck chosen to exercise every part of the JSON shape: a deny with
-/// a fix (ERC005 ground tie), a deny without (ERC001), and the
-/// top-level counters.
+/// a fix (ERC005 ground tie), a deny without (ERC001), deck-structure
+/// findings with source lines (ERC014 hygiene, ERC015 dangling
+/// instance, ERC016 parameter cycle), and the top-level counters.
 const DECK: &str = "* golden\n\
+                    .param lonely=1\n\
+                    .param a={b*2}\n\
+                    .param b={a/2}\n\
                     v1 in 0 dc 1.0\n\
                     r2 in 0 1k\n\
                     c3 in mid 1p\n\
                     c4 mid 0 1p\n\
                     r5 in stub 1k\n\
+                    x9 in nosuch\n\
                     .end\n";
 
 #[test]
 fn json_report_matches_the_golden_file() {
-    let ckt = from_spice(DECK).unwrap();
-    let report = lint(&ckt, &LintConfig::default());
+    let parsed = parse_spice(DECK).unwrap();
+    let report = lint_deck(&parsed, &LintConfig::default());
     let actual = report.render_json();
     assert_eq!(
         actual.trim(),
@@ -40,5 +46,20 @@ fn golden_file_pins_the_current_schema_version() {
     assert!(
         GOLDEN.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")),
         "golden file was generated for a different schema version"
+    );
+}
+
+#[test]
+fn golden_file_covers_the_new_deck_rules_with_lines() {
+    for code in [
+        "ERC014_PARAM_HYGIENE",
+        "ERC015_SUBCKT_INSTANCE",
+        "ERC016_PARAM_CYCLE",
+    ] {
+        assert!(GOLDEN.contains(code), "golden file lost {code}");
+    }
+    assert!(
+        GOLDEN.contains("\"line\":"),
+        "golden file lost per-diagnostic source lines"
     );
 }
