@@ -29,12 +29,20 @@ use std::path::Path;
 const PROCESS_EXIT_ALLOW: &[&str] = &["crates/bench/src/lib.rs"];
 
 /// Crates allowed to read wall clocks directly: the budget/watchdog
-/// machinery and the telemetry span layer, which everything else is
-/// required to go through.
-const TIMING_ALLOW_PREFIXES: &[&str] = &["crates/telemetry/src/", "crates/exec/src/"];
+/// machinery, the telemetry span layer, and the serve frontier (frame
+/// deadlines, admission latency, load-shed estimates are wall-clock by
+/// nature); everything else is required to go through them.
+const TIMING_ALLOW_PREFIXES: &[&str] = &[
+    "crates/telemetry/src/",
+    "crates/exec/src/",
+    "crates/serve/src/",
+];
 
-/// The only crate allowed to spawn threads: the supervised executor.
-const SPAWN_ALLOW_PREFIXES: &[&str] = &["crates/exec/src/"];
+/// Crates allowed to spawn threads: the supervised executor, and the
+/// serve crate's accept/connection/worker loops (each worker still
+/// runs jobs through `Supervisor::run`, so budgets and telemetry are
+/// re-armed per job).
+const SPAWN_ALLOW_PREFIXES: &[&str] = &["crates/exec/src/", "crates/serve/src/"];
 
 /// The metric-name catalog module (`remix_telemetry::names`), the one
 /// place `"remix.*"` literals are the point.

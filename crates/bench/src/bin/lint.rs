@@ -79,6 +79,17 @@ fn builtin_subjects() -> Vec<Subject> {
 fn deck_subject(path: &str, fix: bool, config: &LintConfig) -> Result<Subject, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read deck: {e}"))?;
+    // Operator-supplied decks may split model cards into sibling files:
+    // resolve `.include` sandboxed to the deck's own directory (depth-
+    // capped, no `..`/absolute escapes) before parsing. Decks arriving
+    // over the serve protocol never get this — the string parser
+    // refuses `.include` outright there.
+    let root = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."));
+    let text = remix_circuit::resolve_includes(&text, root)
+        .map_err(|e| format!("{path}: include error: {e}"))?;
     let parsed =
         remix_circuit::parse_spice(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
     if fix {

@@ -38,10 +38,10 @@ pub const RECORD_ENV: &str = "REMIX_BENCH_RECORD";
 pub const EVENTS_ENV: &str = "REMIX_TELEMETRY_EVENTS";
 
 fn bin_budget() -> RunBudget {
-    match std::env::var(DEADLINE_ENV)
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-    {
+    // Typed env read: a malformed REMIX_BENCH_DEADLINE_MS warns on the
+    // `remix.exec.env.malformed` counter/event and falls back to
+    // unlimited, instead of being silently ignored.
+    match remix_exec::env_u64_or_warn(DEADLINE_ENV, None) {
         Some(ms) => RunBudget::unlimited().with_deadline(Duration::from_millis(ms)),
         None => RunBudget::unlimited(),
     }
@@ -118,7 +118,14 @@ impl BenchRecorder {
     /// capturing. Observability must not fail the run: an unwritable
     /// event log degrades to metrics-only with a note on stderr.
     pub fn arm(label: &str) -> BenchRecorder {
-        let bin = bin_name(label);
+        BenchRecorder::arm_with_bin(label, &bin_name(label))
+    }
+
+    /// Like [`arm`](BenchRecorder::arm) but with an explicit record
+    /// stem: `arm_with_bin("serve load", "serve")` writes
+    /// `BENCH_serve.json` regardless of the executable's file name.
+    pub fn arm_with_bin(label: &str, bin: &str) -> BenchRecorder {
+        let bin = slug(bin);
         let enabled = std::env::var(RECORD_ENV).map_or(true, |v| v != "0");
         let telemetry = match event_log_path(&bin) {
             Some(path) if enabled => match JsonLinesSink::create(path.as_ref()) {

@@ -36,6 +36,7 @@ pub mod consts;
 pub mod dot;
 pub mod element;
 pub mod expr;
+pub mod include;
 pub mod mna;
 pub mod mos;
 pub mod netlist;
@@ -47,6 +48,7 @@ pub mod waveform;
 pub use dot::to_dot;
 pub use element::{Element, Mosfet};
 pub use expr::{eval_expr, expr_idents, parse_value, ExprError};
+pub use include::{parse_spice_file, resolve_includes, INCLUDE_MAX_BYTES, INCLUDE_MAX_DEPTH};
 pub use mna::{stamp_conductance, stamp_current, stamp_transconductance, MnaLayout};
 pub use mos::{MosCaps, MosEval, MosModel, MosPolarity, MosRegion};
 pub use netlist::{Circuit, CircuitError};

@@ -26,7 +26,10 @@
 //! * analysis/bookkeeping directives (`.option`, `.temp`, `.dc`, `.ac`,
 //!   `.tran`, `.noise`, `.print`, …) are tolerated and skipped; unknown
 //!   directives are errors, and `.include`/`.lib` are rejected outright
-//!   (decks must be self-contained);
+//!   by the string parser (decks from untrusted transports must be
+//!   self-contained). Trusted *filesystem* decks may opt into `.include`
+//!   through [`crate::include::resolve_includes`], which flattens
+//!   depth-capped, root-confined includes before parsing;
 //! * node `0` is ground; other node names are preserved verbatim when
 //!   they are emitter-safe (see [`to_spice`] name hardening).
 //!
@@ -352,6 +355,23 @@ pub enum SpiceParseError {
         /// The subckt being re-entered.
         name: String,
     },
+    /// `.include` resolution refused the directive: hostile path
+    /// (absolute, `..` traversal, or escaping the deck root through a
+    /// symlink), depth cap, cycle, unreadable file, or expansion-size
+    /// cap. Only produced by [`resolve_includes`](crate::include);
+    /// the bare string parser keeps refusing `.include` with
+    /// [`SpiceParseError::UnsupportedInclude`] — network/untrusted
+    /// decks never touch the filesystem.
+    IncludeDenied {
+        /// 1-based line of the `.include` directive *in the file that
+        /// contains it* (nested includes anchor to their own file; the
+        /// reason names the offending path).
+        line: usize,
+        /// The include path as written on the directive.
+        path: String,
+        /// Why resolution refused it.
+        reason: String,
+    },
 }
 
 impl SpiceParseError {
@@ -367,7 +387,8 @@ impl SpiceParseError {
             | SpiceParseError::UnclosedSubckt { line, .. }
             | SpiceParseError::MisplacedEnds { line }
             | SpiceParseError::NestedSubckt { line, .. }
-            | SpiceParseError::RecursiveSubckt { line, .. } => *line,
+            | SpiceParseError::RecursiveSubckt { line, .. }
+            | SpiceParseError::IncludeDenied { line, .. } => *line,
         }
     }
 }
@@ -411,6 +432,9 @@ impl fmt::Display for SpiceParseError {
             }
             SpiceParseError::RecursiveSubckt { line, name } => {
                 write!(f, "line {line}: recursive instantiation of subckt '{name}'")
+            }
+            SpiceParseError::IncludeDenied { line, path, reason } => {
+                write!(f, "line {line}: .include '{path}' denied: {reason}")
             }
         }
     }

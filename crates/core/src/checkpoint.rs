@@ -121,14 +121,45 @@ pub fn render(mm: &MismatchConfig, outcomes: &[SampleOutcome]) -> String {
     out
 }
 
-/// Writes the checkpoint for the completed `outcomes` to `path`.
+/// Writes the checkpoint for the completed `outcomes` to `path`,
+/// atomically (see [`atomic_write`]): a crash mid-save leaves the
+/// previous checkpoint intact, never a torn file.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors from the underlying write.
+/// Propagates filesystem errors from the underlying write or rename.
 pub fn save(path: &Path, mm: &MismatchConfig, outcomes: &[SampleOutcome]) -> std::io::Result<()> {
-    let result = std::fs::write(path, render(mm, outcomes));
+    let result = atomic_write(path, &render(mm, outcomes));
     checkpoint_event("save", path, result.is_ok(), outcomes.len());
+    result
+}
+
+/// Crash-safe file replacement: write the full contents to a sibling
+/// temp file (suffixed with the writer's pid so concurrent savers
+/// cannot collide), fsync it, and atomically rename it over `path`.
+/// A kill at any instant leaves either the old file or the new one —
+/// the in-place `fs::write` this replaces could leave a torn prefix
+/// that [`load`]/[`load_study`] would have to reject, losing every
+/// completed sample.
+fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".to_string());
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        // Durability before visibility: the rename must never expose a
+        // file whose bytes are still in the page cache of a dying box.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the temp file is harmless if it stays.
+        let _ = std::fs::remove_file(&tmp);
+    }
     result
 }
 
@@ -472,18 +503,20 @@ pub fn render_study(
     out
 }
 
-/// Writes the version-2 study checkpoint to `path`.
+/// Writes the version-2 study checkpoint to `path`, atomically (see
+/// [`atomic_write`]): a kill mid-save leaves the previous checkpoint,
+/// never a torn file.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors from the underlying write.
+/// Propagates filesystem errors from the underlying write or rename.
 pub fn save_study(
     path: &Path,
     study: &str,
     config: &[(String, f64)],
     records: &[(usize, StudyOutcome)],
 ) -> std::io::Result<()> {
-    let result = std::fs::write(path, render_study(study, config, records));
+    let result = atomic_write(path, &render_study(study, config, records));
     checkpoint_event("save_study", path, result.is_ok(), records.len());
     result
 }
@@ -717,6 +750,92 @@ mod tests {
         let text = render_study("corners", &study_config(), &records);
         let restored = restore_study(&text, "corners", &study_config()).unwrap();
         assert_eq!(restored, vec![(1, StudyOutcome::Ok(vec![4.0]))]);
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("remix_ckpt_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let path = temp_path("atomic.json");
+        let _ = std::fs::remove_file(&path);
+        save(&path, &mm(), &[SampleOutcome::Ok(66.0)]).expect("save");
+        let restored = load(&path, &mm()).expect("load");
+        assert_eq!(restored, vec![(0, SampleOutcome::Ok(66.0))]);
+        // No .tmp siblings linger after a successful save.
+        let dir = path.parent().expect("parent");
+        let stem = path
+            .file_name()
+            .expect("name")
+            .to_string_lossy()
+            .into_owned();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .expect("read_dir")
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&stem) && n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_checkpoint_is_rejected_then_resume_recovers() {
+        // Simulates the failure mode the atomic rename prevents: a
+        // writer killed mid-save leaving a truncated document. The
+        // loader must reject the torn file outright (no partial trust),
+        // and the next save must restore a loadable checkpoint.
+        let path = temp_path("torn.json");
+        let outcomes = vec![
+            SampleOutcome::Ok(66.25),
+            SampleOutcome::Failed(ConvergenceTrace::new("dc operating point")),
+            SampleOutcome::Ok(58.0),
+        ];
+        save(&path, &mm(), &outcomes).expect("save");
+        let full = std::fs::read_to_string(&path).expect("read");
+        for cut in [1, full.len() / 2, full.len() - 2] {
+            std::fs::write(&path, &full[..cut]).expect("tear");
+            assert!(
+                load(&path, &mm()).is_none(),
+                "torn checkpoint (cut at {cut}) must be rejected, not half-trusted"
+            );
+        }
+        // Resume path: the study recomputes and saves again; the new
+        // checkpoint round-trips in full.
+        save(&path, &mm(), &outcomes).expect("re-save");
+        let restored = load(&path, &mm()).expect("reload");
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored[0], (0, SampleOutcome::Ok(66.25)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_study_checkpoint_is_rejected_then_resume_recovers() {
+        let path = temp_path("torn_study.json");
+        let records = vec![
+            (0, StudyOutcome::Ok(vec![1.0, 2.0])),
+            (2, StudyOutcome::Failed("gave up".into())),
+        ];
+        save_study(&path, "corners", &study_config(), &records).expect("save");
+        let full = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &full[..full.len() * 2 / 3]).expect("tear");
+        assert!(load_study(&path, "corners", &study_config()).is_none());
+        save_study(&path, "corners", &study_config(), &records).expect("re-save");
+        assert_eq!(
+            load_study(&path, "corners", &study_config()).expect("reload"),
+            records
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_write_to_unwritable_dir_errors_cleanly() {
+        let path = Path::new("/nonexistent-remix-dir/ckpt.json");
+        assert!(save(path, &mm(), &[SampleOutcome::Ok(1.0)]).is_err());
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Admission control: a bounded job queue that sheds instead of
+//! growing without bound.
+//!
+//! A service in front of the solver has two overload failure modes:
+//! unbounded queueing (every job eventually times out, memory grows)
+//! and silent drops. The [`AdmissionQueue`] refuses work *at the door*
+//! with a typed [`Shed`] reason the caller can serialize back to the
+//! client: the queue is full, or the job's deadline cannot survive the
+//! estimated wait (tracked as an EWMA of recent service times). Both
+//! outcomes count on `remix.exec.admission.sheds`, and the depth gauge
+//! tracks every transition.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Why the queue refused a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shed {
+    /// The queue is at its configured depth bound.
+    QueueFull {
+        /// Current depth (== the configured bound).
+        depth: usize,
+    },
+    /// The job's deadline is shorter than the estimated queue wait: it
+    /// would expire before a worker reached it, so refusing now lets
+    /// the client retry elsewhere instead of burning a slot.
+    DeadlineHopeless {
+        /// Current depth at refusal.
+        depth: usize,
+        /// Estimated wait for a new arrival (ms, EWMA-based).
+        estimated_wait_ms: u64,
+        /// The deadline the job declared (ms).
+        deadline_ms: u64,
+    },
+    /// The queue is closed (service shutting down).
+    Closed,
+}
+
+impl Shed {
+    /// Stable lowercase reason tag for wire protocols.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Shed::QueueFull { .. } => "queue_full",
+            Shed::DeadlineHopeless { .. } => "deadline",
+            Shed::Closed => "closed",
+        }
+    }
+
+    /// Queue depth observed at refusal (0 for [`Shed::Closed`]).
+    pub fn depth(&self) -> usize {
+        match self {
+            Shed::QueueFull { depth } | Shed::DeadlineHopeless { depth, .. } => *depth,
+            Shed::Closed => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Shed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Shed::QueueFull { depth } => write!(f, "queue full at depth {depth}"),
+            Shed::DeadlineHopeless {
+                depth,
+                estimated_wait_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "deadline {deadline_ms} ms cannot survive the estimated \
+                 {estimated_wait_ms} ms wait at depth {depth}"
+            ),
+            Shed::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    /// EWMA of recent job service times (ms); 0 until the first report.
+    ewma_service_ms: f64,
+}
+
+/// Bounded FIFO admission queue with deadline-based load shedding.
+///
+/// Producers call [`try_submit`](AdmissionQueue::try_submit) (never
+/// blocks — refusal is immediate and typed); workers block on
+/// [`pop`](AdmissionQueue::pop) /
+/// [`pop_timeout`](AdmissionQueue::pop_timeout) and report completed
+/// service times back via
+/// [`record_service_ms`](AdmissionQueue::record_service_ms) so the
+/// shedding estimate tracks the observed load.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    max_depth: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// New queue refusing submissions beyond `max_depth` (min 1).
+    pub fn new(max_depth: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+                ewma_service_ms: 0.0,
+            }),
+            available: Condvar::new(),
+            max_depth: max_depth.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        // Queue items are plain data; a poisoned lock can only come
+        // from a panic inside this module's own short critical
+        // sections — recover the data rather than cascade.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configured depth bound.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Estimated wait for a new arrival (ms): depth × EWMA service
+    /// time. Zero until a service time has been reported.
+    pub fn estimated_wait_ms(&self) -> u64 {
+        let inner = self.lock();
+        (inner.queue.len() as f64 * inner.ewma_service_ms) as u64
+    }
+
+    /// Admits `item`, or refuses with a typed [`Shed`]. `deadline_ms`
+    /// is the job's declared wall-clock budget; a job whose deadline is
+    /// below the estimated queue wait is refused as
+    /// [`Shed::DeadlineHopeless`]. Returns the depth after admission.
+    ///
+    /// # Errors
+    ///
+    /// [`Shed`] when the queue is full, closed, or the deadline cannot
+    /// survive the estimated wait. Every refusal counts on
+    /// `remix.exec.admission.sheds`.
+    pub fn try_submit(&self, item: T, deadline_ms: Option<u64>) -> Result<usize, Shed> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(self.shed(Shed::Closed));
+        }
+        let depth = inner.queue.len();
+        if depth >= self.max_depth {
+            return Err(self.shed(Shed::QueueFull { depth }));
+        }
+        if let Some(deadline_ms) = deadline_ms {
+            // Wait for everything already queued plus this job's own
+            // service time; only meaningful once an EWMA exists.
+            let estimated_wait_ms = ((depth as f64 + 1.0) * inner.ewma_service_ms) as u64;
+            if inner.ewma_service_ms > 0.0 && estimated_wait_ms > deadline_ms {
+                return Err(self.shed(Shed::DeadlineHopeless {
+                    depth,
+                    estimated_wait_ms,
+                    deadline_ms,
+                }));
+            }
+        }
+        inner.queue.push_back(item);
+        let depth = inner.queue.len();
+        remix_telemetry::gauge_set(remix_telemetry::names::EXEC_ADMISSION_DEPTH, depth as f64);
+        drop(inner);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    fn shed(&self, shed: Shed) -> Shed {
+        remix_telemetry::counter_add(remix_telemetry::names::EXEC_ADMISSION_SHEDS, 1);
+        shed
+    }
+
+    /// Blocks until an item is available or the queue closes empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                remix_telemetry::gauge_set(
+                    remix_telemetry::names::EXEC_ADMISSION_DEPTH,
+                    inner.queue.len() as f64,
+                );
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`pop`](AdmissionQueue::pop) but gives up after `timeout`
+    /// (workers poll their shutdown flag between waits).
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                remix_telemetry::gauge_set(
+                    remix_telemetry::names::EXEC_ADMISSION_DEPTH,
+                    inner.queue.len() as f64,
+                );
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let (guard, result) = self
+                .available
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+            if result.timed_out() {
+                return inner.queue.pop_front();
+            }
+        }
+    }
+
+    /// Folds one completed service time into the shedding EWMA
+    /// (α = 0.3: responsive to load shifts, stable against outliers).
+    pub fn record_service_ms(&self, service_ms: f64) {
+        if !service_ms.is_finite() || service_ms < 0.0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.ewma_service_ms = if inner.ewma_service_ms == 0.0 {
+            service_ms
+        } else {
+            0.7 * inner.ewma_service_ms + 0.3 * service_ms
+        };
+    }
+
+    /// Closes the queue: pending items still drain, new submissions
+    /// shed as [`Shed::Closed`], and blocked workers wake.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// `true` once [`close`](AdmissionQueue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_depth_then_sheds_full() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_submit(1, None), Ok(1));
+        assert_eq!(q.try_submit(2, None), Ok(2));
+        assert_eq!(q.try_submit(3, None), Err(Shed::QueueFull { depth: 2 }));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_submit(3, None), Ok(2));
+    }
+
+    #[test]
+    fn hopeless_deadlines_shed_once_service_time_is_known() {
+        let q = AdmissionQueue::new(16);
+        // No EWMA yet: any deadline is admitted.
+        assert!(q.try_submit(0, Some(1)).is_ok());
+        q.record_service_ms(100.0);
+        // Depth 1 + the new job = 2 × 100 ms estimated; a 50 ms
+        // deadline cannot survive it.
+        match q.try_submit(1, Some(50)) {
+            Err(Shed::DeadlineHopeless {
+                depth,
+                estimated_wait_ms,
+                deadline_ms,
+            }) => {
+                assert_eq!(depth, 1);
+                assert_eq!(deadline_ms, 50);
+                assert!(estimated_wait_ms >= 100);
+            }
+            other => panic!("expected deadline shed, got {other:?}"),
+        }
+        // A roomy deadline still gets in.
+        assert!(q.try_submit(2, Some(10_000)).is_ok());
+    }
+
+    #[test]
+    fn close_wakes_workers_and_sheds_submissions() {
+        let q = Arc::new(AdmissionQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let worker = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(worker.join().ok(), Some(None));
+        assert_eq!(q.try_submit(1, None), Err(Shed::Closed));
+    }
+
+    #[test]
+    fn pending_items_drain_after_close() {
+        let q = AdmissionQueue::new(4);
+        q.try_submit(7, None).expect("admit");
+        q.close();
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_when_idle() {
+        let q = AdmissionQueue::<u32>::new(4);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn ewma_tracks_recent_service_times() {
+        let q = AdmissionQueue::<u32>::new(4);
+        q.record_service_ms(100.0);
+        q.record_service_ms(f64::NAN); // ignored
+        q.record_service_ms(200.0);
+        q.try_submit(1, None).expect("admit");
+        let est = q.estimated_wait_ms();
+        assert!((100..=200).contains(&est), "estimate {est} out of range");
+    }
+}

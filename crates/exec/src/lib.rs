@@ -34,13 +34,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod admission;
 mod budget;
+mod env;
 mod supervisor;
 
+pub use admission::{AdmissionQueue, Shed};
 pub use budget::{
     active_token, charge_newton_iteration, charge_timestep, check_matrix_dim, checkpoint,
     BudgetGuard, CancelToken, Interruption, RunBudget, DEFAULT_TIMESTEP_BUDGET,
 };
+pub use env::{env_u64, env_u64_or_warn, warn_malformed, EnvValue};
 pub use supervisor::{
-    Job, JobError, JobOutcome, JobReport, Supervisor, SupervisorOptions, Watchdog,
+    retry_backoff, Job, JobError, JobOutcome, JobReport, Supervisor, SupervisorOptions, Watchdog,
 };

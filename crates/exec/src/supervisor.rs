@@ -177,10 +177,18 @@ fn name_hash(name: &str) -> u64 {
 /// named job: `base · 2^attempt · u`, `u ∈ [0.5, 1.0)`, capped.
 /// Deterministic in `(name, attempt)` so supervised runs replay.
 pub(crate) fn backoff_delay(opts: &SupervisorOptions, name: &str, attempt: u32) -> Duration {
-    let exp = opts.backoff_base.saturating_mul(1u32 << attempt.min(16));
+    retry_backoff(name, attempt, opts.backoff_base, opts.backoff_cap)
+}
+
+/// The supervisor's deterministic jittered backoff, exposed for other
+/// retry loops (the serve client reuses it so client-side retries
+/// replay exactly like supervised ones): `base · 2^attempt · u`,
+/// `u ∈ [0.5, 1.0)` seeded from `(name, attempt)`, capped at `cap`.
+pub fn retry_backoff(name: &str, attempt: u32, base: Duration, cap: Duration) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(16));
     let u = splitmix64(name_hash(name) ^ u64::from(attempt)) as f64 / u64::MAX as f64;
     let jittered = exp.mul_f64(0.5 + 0.5 * u);
-    jittered.min(opts.backoff_cap)
+    jittered.min(cap)
 }
 
 /// Supervised job runner: every attempt runs under its own freshly

@@ -1,0 +1,86 @@
+//! The serve binary: bind, print the address, run until stdin closes.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--chaos SPEC]
+//! ```
+//!
+//! Flags override the `REMIX_SERVE_*` environment. The bound address
+//! is printed on the first stdout line (`listening on <addr>`) so
+//! harnesses using `--addr 127.0.0.1:0` can discover the real port.
+
+use remix_serve::chaos::ChaosConfig;
+use remix_serve::server::{ServeConfig, Server};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--chaos SPEC]\n\
+                     chaos spec: drop:<n>[,torn:<n>][,delay:<n>:<ms>][,panic:<n>]";
+
+fn parse_args(config: &mut ServeConfig) -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = value(&args, i, "--addr")?,
+            "--workers" => match value(&args, i, "--workers")?.parse::<usize>() {
+                Ok(n) if n >= 1 => config.workers = n,
+                _ => return Err("--workers must be a positive integer".to_string()),
+            },
+            "--queue-depth" => match value(&args, i, "--queue-depth")?.parse::<usize>() {
+                Ok(n) if n >= 1 => config.queue_depth = n,
+                _ => return Err("--queue-depth must be a positive integer".to_string()),
+            },
+            "--chaos" => config.chaos = ChaosConfig::parse(&value(&args, i, "--chaos")?)?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut config = ServeConfig::from_env();
+    if let Err(message) = parse_args(&mut config) {
+        if !message.is_empty() {
+            eprintln!("error: {message}");
+        }
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    if config.chaos.is_active() {
+        eprintln!("chaos active: {:?}", config.chaos);
+    }
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    // Run until stdin closes (harness-friendly lifecycle: the parent
+    // closes the pipe or dies, and the server drains and exits 0).
+    let mut sink = String::new();
+    loop {
+        sink.clear();
+        match std::io::stdin().read_line(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let snapshot = server.shutdown();
+    let jobs_ok = snapshot
+        .counter(remix_telemetry::names::SERVE_JOBS_OK)
+        .unwrap_or(0);
+    let sheds = snapshot
+        .counter(remix_telemetry::names::SERVE_SHEDS)
+        .unwrap_or(0);
+    eprintln!("serve: drained; jobs_ok={jobs_ok} sheds={sheds}");
+    ExitCode::SUCCESS
+}

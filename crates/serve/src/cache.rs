@@ -1,0 +1,351 @@
+//! Result cache keyed by job fingerprint, with single-flight dedup.
+//!
+//! Identical jobs (same kind, parameters, and deck — budgets and ids
+//! excluded) hit a bounded FIFO cache of rendered result bodies. A
+//! miss makes the first caller the **leader**; concurrent callers with
+//! the same fingerprint **join** and block until the leader publishes,
+//! instead of redundantly re-running the same simulation. Only
+//! complete `ok` results are published: a partial produced under a
+//! small budget must never be served to a request that brought a
+//! larger one, and failures should re-run (the failure may have been
+//! a budget or chaos artifact).
+//!
+//! Fingerprints are FNV-1a 64 — the same scheme the bench config
+//! fingerprint and the supervisor's retry jitter use.
+
+use crate::protocol::{JobKind, JobRequest};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// FNV-1a 64 over the job's identity: kind, parameters, deck.
+pub fn job_fingerprint(job: &JobRequest) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    mix(job.kind.name().as_bytes());
+    match &job.kind {
+        JobKind::Op => {}
+        JobKind::DcSweep {
+            source,
+            start,
+            stop,
+            points,
+        } => {
+            mix(source.as_bytes());
+            mix(&start.to_bits().to_le_bytes());
+            mix(&stop.to_bits().to_le_bytes());
+            mix(&(*points as u64).to_le_bytes());
+        }
+        JobKind::Tran { t_stop, dt } => {
+            mix(&t_stop.to_bits().to_le_bytes());
+            mix(&dt.to_bits().to_le_bytes());
+        }
+    }
+    mix(job.deck.as_bytes());
+    h
+}
+
+/// What a lookup decided.
+pub enum Lookup {
+    /// Cached body, served immediately.
+    Hit(String),
+    /// This caller computes; it MUST call
+    /// [`ResultCache::publish`] or [`ResultCache::abandon`] when done.
+    Lead(FlightGuard),
+    /// A leader finished while we waited: its published body.
+    Joined(String),
+    /// The leader abandoned (failed / partial / panicked) or the wait
+    /// timed out; the caller should run the job itself without
+    /// publishing.
+    JoinFailed,
+}
+
+struct Flight {
+    done: Mutex<Option<Option<String>>>,
+    cv: Condvar,
+}
+
+/// RAII claim on a single-flight slot. Dropping without
+/// [`ResultCache::publish`] counts as abandonment, so a panicking
+/// leader never wedges its joiners.
+pub struct FlightGuard {
+    cache: Arc<CacheInner>,
+    key: u64,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if !self.published {
+            self.cache.finish(self.key, &self.flight, None);
+        }
+    }
+}
+
+struct CacheInner {
+    map: Mutex<CacheMap>,
+}
+
+struct CacheMap {
+    ready: HashMap<u64, String>,
+    order: VecDeque<u64>,
+    inflight: HashMap<u64, Arc<Flight>>,
+    capacity: usize,
+}
+
+impl CacheInner {
+    fn finish(&self, key: u64, flight: &Arc<Flight>, body: Option<String>) {
+        {
+            let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+            map.inflight.remove(&key);
+            if let Some(body) = body.clone() {
+                if map.ready.len() >= map.capacity {
+                    if let Some(evict) = map.order.pop_front() {
+                        map.ready.remove(&evict);
+                    }
+                }
+                if map.ready.insert(key, body).is_none() {
+                    map.order.push_back(key);
+                }
+            }
+        }
+        let mut done = flight.done.lock().unwrap_or_else(PoisonError::into_inner);
+        *done = Some(body);
+        flight.cv.notify_all();
+    }
+}
+
+/// Bounded single-flight result cache. See the module docs.
+pub struct ResultCache {
+    inner: Arc<CacheInner>,
+    join_timeout: Duration,
+}
+
+impl ResultCache {
+    /// New cache holding up to `capacity` rendered results; joiners
+    /// wait at most `join_timeout` for a leader before going solo.
+    pub fn new(capacity: usize, join_timeout: Duration) -> Self {
+        ResultCache {
+            inner: Arc::new(CacheInner {
+                map: Mutex::new(CacheMap {
+                    ready: HashMap::new(),
+                    order: VecDeque::new(),
+                    inflight: HashMap::new(),
+                    capacity: capacity.max(1),
+                }),
+            }),
+            join_timeout,
+        }
+    }
+
+    /// Looks up `key`; counts hits / misses / joins on the serve
+    /// metric names.
+    pub fn lookup(&self, key: u64) -> Lookup {
+        let flight = {
+            let mut map = self
+                .inner
+                .map
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(body) = map.ready.get(&key) {
+                remix_telemetry::counter_add(remix_telemetry::names::SERVE_CACHE_HITS, 1);
+                return Lookup::Hit(body.clone());
+            }
+            if let Some(flight) = map.inflight.get(&key) {
+                remix_telemetry::counter_add(remix_telemetry::names::SERVE_CACHE_JOINS, 1);
+                Arc::clone(flight)
+            } else {
+                remix_telemetry::counter_add(remix_telemetry::names::SERVE_CACHE_MISSES, 1);
+                let flight = Arc::new(Flight {
+                    done: Mutex::new(None),
+                    cv: Condvar::new(),
+                });
+                map.inflight.insert(key, Arc::clone(&flight));
+                return Lookup::Lead(FlightGuard {
+                    cache: Arc::clone(&self.inner),
+                    key,
+                    flight,
+                    published: false,
+                });
+            }
+        };
+        // Joiner: wait for the leader to publish or abandon.
+        let mut done = flight.done.lock().unwrap_or_else(PoisonError::into_inner);
+        let deadline = std::time::Instant::now() + self.join_timeout;
+        loop {
+            if let Some(outcome) = done.clone() {
+                return match outcome {
+                    Some(body) => Lookup::Joined(body),
+                    None => Lookup::JoinFailed,
+                };
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Lookup::JoinFailed;
+            }
+            let (guard, _) = flight
+                .cv
+                .wait_timeout(done, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            done = guard;
+        }
+    }
+
+    /// Publishes the leader's complete `ok` body to cache and joiners.
+    pub fn publish(&self, mut guard: FlightGuard, body: String) {
+        guard.published = true;
+        self.inner.finish(guard.key, &guard.flight, Some(body));
+    }
+
+    /// Explicitly abandons the flight (failure / partial): joiners
+    /// unblock and re-run solo, nothing is cached. Dropping the guard
+    /// does the same — this form just documents intent at call sites.
+    pub fn abandon(&self, guard: FlightGuard) {
+        drop(guard);
+    }
+
+    /// Number of ready entries (for stats).
+    pub fn len(&self) -> usize {
+        self.inner
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ready
+            .len()
+    }
+
+    /// `true` when no results are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::JobRequest;
+
+    fn job(deck: &str, kind: JobKind) -> JobRequest {
+        JobRequest {
+            id: "x".to_string(),
+            kind,
+            deck: deck.to_string(),
+            deadline_ms: None,
+            newton_budget: None,
+            timestep_budget: None,
+            events: false,
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_id_and_budgets_but_not_identity() {
+        let a = job("v1 a 0 1\n.end\n", JobKind::Op);
+        let mut b = a.clone();
+        b.id = "different".to_string();
+        b.deadline_ms = Some(5);
+        b.newton_budget = Some(10);
+        b.events = true;
+        assert_eq!(job_fingerprint(&a), job_fingerprint(&b));
+        let c = job("v1 a 0 2\n.end\n", JobKind::Op);
+        assert_ne!(job_fingerprint(&a), job_fingerprint(&c));
+        let d = job(
+            "v1 a 0 1\n.end\n",
+            JobKind::Tran {
+                t_stop: 1e-6,
+                dt: 1e-9,
+            },
+        );
+        assert_ne!(job_fingerprint(&a), job_fingerprint(&d));
+    }
+
+    #[test]
+    fn lead_publish_hit_cycle() {
+        let cache = ResultCache::new(8, Duration::from_millis(100));
+        let guard = match cache.lookup(42) {
+            Lookup::Lead(g) => g,
+            _ => panic!("first lookup must lead"),
+        };
+        cache.publish(guard, "{\"x\":1}".to_string());
+        match cache.lookup(42) {
+            Lookup::Hit(body) => assert_eq!(body, "{\"x\":1}"),
+            _ => panic!("second lookup must hit"),
+        }
+    }
+
+    #[test]
+    fn joiner_receives_leaders_body() {
+        let cache = Arc::new(ResultCache::new(8, Duration::from_secs(2)));
+        let guard = match cache.lookup(7) {
+            Lookup::Lead(g) => g,
+            _ => panic!("must lead"),
+        };
+        let cache2 = Arc::clone(&cache);
+        let joiner = std::thread::spawn(move || match cache2.lookup(7) {
+            Lookup::Joined(body) => body,
+            other => panic!(
+                "joiner must join, got {}",
+                match other {
+                    Lookup::Hit(_) => "hit",
+                    Lookup::Lead(_) => "lead",
+                    Lookup::JoinFailed => "join-failed",
+                    Lookup::Joined(_) => unreachable!(),
+                }
+            ),
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        cache.publish(guard, "{\"y\":2}".to_string());
+        assert_eq!(joiner.join().expect("join"), "{\"y\":2}");
+    }
+
+    #[test]
+    fn abandoned_flight_unblocks_joiners_without_caching() {
+        let cache = Arc::new(ResultCache::new(8, Duration::from_secs(2)));
+        let guard = match cache.lookup(9) {
+            Lookup::Lead(g) => g,
+            _ => panic!("must lead"),
+        };
+        let cache2 = Arc::clone(&cache);
+        let joiner = std::thread::spawn(move || matches!(cache2.lookup(9), Lookup::JoinFailed));
+        std::thread::sleep(Duration::from_millis(20));
+        cache.abandon(guard);
+        assert!(joiner.join().expect("join"), "joiner must see failure");
+        assert!(cache.is_empty());
+        // The key is claimable again.
+        assert!(matches!(cache.lookup(9), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn dropped_guard_counts_as_abandonment() {
+        let cache = ResultCache::new(8, Duration::from_millis(50));
+        {
+            let _guard = match cache.lookup(1) {
+                Lookup::Lead(g) => g,
+                _ => panic!("must lead"),
+            };
+            // Simulated leader panic: guard dropped unpublished.
+        }
+        assert!(matches!(cache.lookup(1), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = ResultCache::new(2, Duration::from_millis(50));
+        for key in [1u64, 2, 3] {
+            match cache.lookup(key) {
+                Lookup::Lead(g) => cache.publish(g, format!("{{\"k\":{key}}}")),
+                _ => panic!("must lead"),
+            }
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(cache.lookup(1), Lookup::Lead(_))); // evicted
+        assert!(matches!(cache.lookup(3), Lookup::Hit(_)));
+    }
+}

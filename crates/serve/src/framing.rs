@@ -1,0 +1,289 @@
+//! Bounded request framing: newline-delimited frames with a byte cap,
+//! a per-frame completion deadline (slow-loris defense), and an idle
+//! timeout — every failure mode typed, none panicking.
+//!
+//! The reader is generic over [`Read`] so tests drive it from
+//! in-memory cursors; on a real socket the server sets a short
+//! `set_read_timeout` slice and the reader turns each `WouldBlock`/
+//! `TimedOut` tick into a deadline / stop-flag check, so a peer that
+//! dribbles one byte per second cannot pin a connection handler
+//! beyond `frame_deadline`, and shutdown never waits for a silent
+//! peer longer than one poll slice.
+
+use crate::protocol::ProtocolError;
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Framing failure. Only some variants are answerable on the wire —
+/// a torn frame means the peer is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Peer closed the connection mid-frame.
+    Torn {
+        /// Bytes of the incomplete frame received before the close.
+        partial_bytes: usize,
+    },
+    /// The frame exceeded the byte cap before a newline.
+    TooLong {
+        /// The configured cap (bytes).
+        limit: usize,
+    },
+    /// The frame was not completed within the deadline.
+    Timeout {
+        /// The configured deadline (ms).
+        deadline_ms: u64,
+    },
+    /// The frame is not valid UTF-8.
+    Utf8,
+    /// Transport error from the underlying stream.
+    Io(std::io::ErrorKind),
+}
+
+impl FrameError {
+    /// The wire-answerable protocol error, when one exists (`Torn` and
+    /// `Io` have no peer left to answer).
+    pub fn to_protocol(&self) -> Option<ProtocolError> {
+        match self {
+            FrameError::TooLong { limit } => Some(ProtocolError::LineTooLong { limit: *limit }),
+            FrameError::Timeout { deadline_ms } => Some(ProtocolError::Timeout {
+                deadline_ms: *deadline_ms,
+            }),
+            FrameError::Utf8 => Some(ProtocolError::InvalidUtf8),
+            FrameError::Torn { .. } | FrameError::Io(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Torn { partial_bytes } => {
+                write!(f, "connection closed mid-frame ({partial_bytes} bytes in)")
+            }
+            FrameError::TooLong { limit } => write!(f, "frame exceeds {limit} bytes"),
+            FrameError::Timeout { deadline_ms } => {
+                write!(f, "frame not completed within {deadline_ms} ms")
+            }
+            FrameError::Utf8 => write!(f, "frame is not valid UTF-8"),
+            FrameError::Io(kind) => write!(f, "transport error: {kind:?}"),
+        }
+    }
+}
+
+/// Framing limits; see field docs for defaults.
+#[derive(Debug, Clone)]
+pub struct FrameLimits {
+    /// Byte cap per frame (default 256 KiB).
+    pub max_line_bytes: usize,
+    /// A started frame must complete within this window.
+    pub frame_deadline: Duration,
+    /// A connection with no traffic for this long reads as closed.
+    pub idle_timeout: Duration,
+}
+
+impl Default for FrameLimits {
+    fn default() -> Self {
+        FrameLimits {
+            max_line_bytes: crate::protocol::DEFAULT_MAX_LINE_BYTES,
+            frame_deadline: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Newline-delimited frame reader over any [`Read`].
+pub struct FrameReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    limits: FrameLimits,
+    stop: Option<Arc<AtomicBool>>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// New reader with `limits`.
+    pub fn new(inner: R, limits: FrameLimits) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            limits,
+            stop: None,
+        }
+    }
+
+    /// Registers a shutdown flag checked on every poll tick: once set,
+    /// an idle connection reads as cleanly closed instead of waiting
+    /// out the idle timeout.
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Acquire))
+    }
+
+    fn take_line(&mut self, newline_at: usize) -> Result<String, FrameError> {
+        let mut line: Vec<u8> = self.buf.drain(..=newline_at).collect();
+        line.pop(); // the newline
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        String::from_utf8(line).map_err(|_| FrameError::Utf8)
+    }
+
+    /// Reads the next complete frame. `Ok(None)` means the peer closed
+    /// cleanly between frames (or the stop flag was raised while
+    /// idle); every other ending is a typed [`FrameError`].
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] on oversized, torn, timed-out, non-UTF-8 frames
+    /// or transport failure.
+    pub fn read_frame(&mut self) -> Result<Option<String>, FrameError> {
+        let started = Instant::now();
+        let deadline_ms = self.limits.frame_deadline.as_millis() as u64;
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                if pos > self.limits.max_line_bytes {
+                    return Err(FrameError::TooLong {
+                        limit: self.limits.max_line_bytes,
+                    });
+                }
+                return self.take_line(pos).map(Some);
+            }
+            if self.buf.len() > self.limits.max_line_bytes {
+                return Err(FrameError::TooLong {
+                    limit: self.limits.max_line_bytes,
+                });
+            }
+            let mid_frame = !self.buf.is_empty();
+            if mid_frame && started.elapsed() > self.limits.frame_deadline {
+                return Err(FrameError::Timeout { deadline_ms });
+            }
+            if !mid_frame {
+                if self.stopped() {
+                    return Ok(None);
+                }
+                if started.elapsed() > self.limits.idle_timeout {
+                    return Ok(None);
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(FrameError::Torn {
+                            partial_bytes: self.buf.len(),
+                        })
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    // Poll tick: loop back to the deadline checks.
+                }
+                Err(e) => return Err(FrameError::Io(e.kind())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn reader(bytes: &[u8], max: usize) -> FrameReader<Cursor<Vec<u8>>> {
+        FrameReader::new(
+            Cursor::new(bytes.to_vec()),
+            FrameLimits {
+                max_line_bytes: max,
+                ..FrameLimits::default()
+            },
+        )
+    }
+
+    #[test]
+    fn splits_frames_and_strips_crlf() {
+        let mut r = reader(b"one\r\ntwo\nthree", 1024);
+        assert_eq!(r.read_frame(), Ok(Some("one".to_string())));
+        assert_eq!(r.read_frame(), Ok(Some("two".to_string())));
+        assert_eq!(r.read_frame(), Err(FrameError::Torn { partial_bytes: 5 }));
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_none() {
+        let mut r = reader(b"only\n", 1024);
+        assert_eq!(r.read_frame(), Ok(Some("only".to_string())));
+        assert_eq!(r.read_frame(), Ok(None));
+    }
+
+    #[test]
+    fn oversized_frame_is_too_long_even_without_newline() {
+        let mut r = reader(&[b'x'; 200], 64);
+        assert_eq!(r.read_frame(), Err(FrameError::TooLong { limit: 64 }));
+    }
+
+    #[test]
+    fn oversized_frame_with_newline_is_too_long() {
+        let mut big = vec![b'x'; 200];
+        big.push(b'\n');
+        let mut r = reader(&big, 64);
+        assert_eq!(r.read_frame(), Err(FrameError::TooLong { limit: 64 }));
+    }
+
+    #[test]
+    fn invalid_utf8_is_typed() {
+        let mut r = reader(&[0xff, 0xfe, b'\n'], 1024);
+        assert_eq!(r.read_frame(), Err(FrameError::Utf8));
+    }
+
+    #[test]
+    fn stop_flag_reads_as_clean_close_when_idle() {
+        struct Forever;
+        impl Read for Forever {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            }
+        }
+        let stop = Arc::new(AtomicBool::new(true));
+        let mut r = FrameReader::new(Forever, FrameLimits::default()).with_stop(Arc::clone(&stop));
+        assert_eq!(r.read_frame(), Ok(None));
+    }
+
+    #[test]
+    fn slow_frame_times_out() {
+        struct OneByteThenBlock(bool);
+        impl Read for OneByteThenBlock {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0 {
+                    Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+                } else {
+                    self.0 = true;
+                    buf[0] = b'{';
+                    Ok(1)
+                }
+            }
+        }
+        let mut r = FrameReader::new(
+            OneByteThenBlock(false),
+            FrameLimits {
+                frame_deadline: Duration::from_millis(10),
+                ..FrameLimits::default()
+            },
+        );
+        assert_eq!(r.read_frame(), Err(FrameError::Timeout { deadline_ms: 10 }));
+    }
+}

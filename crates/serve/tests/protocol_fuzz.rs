@@ -1,0 +1,273 @@
+//! Protocol robustness fuzzing: byte soup, oversized lines, truncated
+//! frames, and interleaved half-requests must all land on a typed
+//! protocol error or a shed — never a panic, never a wedged
+//! connection. Mirrors the frontend fuzz suite's structure: property
+//! blocks with deterministic seeding plus a pinned hostile corpus
+//! that can never regress silently.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panicking on setup failure is the point
+
+use proptest::prelude::*;
+use remix_serve::protocol::{decode_request, encode_job, JobKind, JobRequest};
+use remix_serve::{FrameError, FrameLimits, FrameReader, ServeConfig, Server};
+use std::io::{Cursor, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// SplitMix64: deterministic byte-soup source (same generator the
+/// exec backoff jitter and the frontend fuzz harness use).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn byte_soup(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = SplitMix64(seed);
+    (0..len).map(|_| (rng.next() & 0xff) as u8).collect()
+}
+
+/// Soup biased toward JSON-looking fragments: exercises the decoder's
+/// field validation, not just the tokenizer's first byte.
+fn json_soup(seed: u64) -> String {
+    const FRAGMENTS: &[&str] = &[
+        "{",
+        "}",
+        "\"op\"",
+        ":",
+        "\"job\"",
+        "\"ping\"",
+        ",",
+        "\"id\"",
+        "\"kind\"",
+        "\"deck\"",
+        "\"tran\"",
+        "null",
+        "-1",
+        "1e999",
+        "0.0",
+        "[",
+        "]",
+        "\"t_stop\"",
+        "\"dt\"",
+        "\"points\"",
+        "\\",
+        "\"",
+        "{}",
+        "true",
+        "9999999999999999999999",
+        "\"source\"",
+        "\"deadline_ms\"",
+    ];
+    let mut rng = SplitMix64(seed);
+    let n = (rng.next() % 24) as usize;
+    (0..n)
+        .map(|_| FRAGMENTS[(rng.next() as usize) % FRAGMENTS.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::env_or(1024))]
+
+    /// Arbitrary bytes (lossy-decoded): decode returns, never panics,
+    /// and failures are typed with stable non-empty codes.
+    #[test]
+    fn decode_never_panics_on_byte_soup(seed in any::<u64>(), len in 0usize..300) {
+        let soup = byte_soup(seed, len);
+        let text = String::from_utf8_lossy(&soup);
+        if let Err(e) = decode_request(&text, 4096) {
+            prop_assert!(!e.code().is_empty());
+        }
+    }
+
+    /// JSON-shaped soup: same contract, deeper into the decoder.
+    #[test]
+    fn decode_never_panics_on_json_soup(seed in any::<u64>()) {
+        let text = json_soup(seed);
+        if let Err(e) = decode_request(&text, 4096) {
+            prop_assert!(!e.code().is_empty());
+        }
+    }
+
+    /// The frame reader over arbitrary byte streams: terminates with
+    /// frames or a typed error, and an oversized first line is always
+    /// `TooLong`, never an allocation blowup.
+    #[test]
+    fn frame_reader_never_panics_on_byte_soup(seed in any::<u64>(), len in 0usize..600) {
+        let soup = byte_soup(seed, len);
+        let mut reader = FrameReader::new(
+            Cursor::new(soup),
+            FrameLimits { max_line_bytes: 128, ..FrameLimits::default() },
+        );
+        // Bounded pull loop: at most len+1 frames can exist.
+        for _ in 0..=len {
+            match reader.read_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(
+                    FrameError::Torn { .. }
+                    | FrameError::TooLong { .. }
+                    | FrameError::Utf8
+                    | FrameError::Timeout { .. }
+                    | FrameError::Io(_),
+                ) => break,
+            }
+        }
+    }
+
+    /// Encode → decode is the identity on every representable job.
+    #[test]
+    fn encode_decode_round_trips(
+        seed in any::<u64>(),
+        kind_sel in 0u32..3,
+        deadline_raw in 0u64..60_000,
+        events in any::<bool>(),
+    ) {
+        // 0 doubles as "no deadline declared".
+        let deadline = (deadline_raw > 0).then_some(deadline_raw);
+        let mut rng = SplitMix64(seed);
+        let kind = match kind_sel {
+            0 => JobKind::Op,
+            1 => JobKind::DcSweep {
+                source: format!("s{}", rng.next() % 100),
+                start: (rng.next() % 1000) as f64 / 100.0,
+                stop: (rng.next() % 1000) as f64 / 100.0 + 10.0,
+                points: (rng.next() % 100 + 1) as usize,
+            },
+            _ => JobKind::Tran {
+                t_stop: 1e-3,
+                dt: 1e-6,
+            },
+        };
+        let job = JobRequest {
+            id: format!("job-{seed:x}"),
+            kind,
+            deck: "* d\nv1 a 0 1\nr2 a 0 1k\n.end\n\"\\\u{7}".to_string(),
+            deadline_ms: deadline,
+            newton_budget: deadline.map(|d| d * 2),
+            timestep_budget: None,
+            events,
+        };
+        let decoded = decode_request(&encode_job(&job), 4096).expect("self-encoded jobs decode");
+        match decoded {
+            remix_serve::RequestFrame::Job(back) => prop_assert_eq!(*back, job),
+            other => prop_assert!(false, "expected job frame, got {:?}", other),
+        }
+    }
+}
+
+/// Pinned hostile corpus: each entry must produce a typed error with
+/// the expected stable code. New decoder failure modes get pinned
+/// here so codes never drift.
+#[test]
+fn pinned_hostile_corpus_maps_to_stable_codes() {
+    let cases: &[(&str, &str)] = &[
+        ("", "invalid_json"),
+        ("   ", "invalid_json"),
+        ("nonsense", "invalid_json"),
+        ("{\"op\":\"job\"", "invalid_json"),
+        ("[1,2,3]", "not_an_object"),
+        ("\"just a string\"", "not_an_object"),
+        ("{\"op\":\"reboot\"}", "unknown_op"),
+        ("{\"op\":\"job\",\"kind\":\"op\",\"deck\":\"x\"}", "missing_field"),
+        ("{\"op\":\"job\",\"id\":\"a\",\"deck\":\"x\"}", "missing_field"),
+        ("{\"op\":\"job\",\"id\":\"a\",\"kind\":\"op\"}", "missing_field"),
+        ("{\"op\":\"job\",\"id\":\"a\",\"kind\":\"warp\",\"deck\":\"x\"}", "unknown_kind"),
+        ("{\"op\":\"job\",\"id\":7,\"kind\":\"op\",\"deck\":\"x\"}", "bad_field"),
+        (
+            "{\"op\":\"job\",\"id\":\"a\",\"kind\":\"tran\",\"deck\":\"x\",\"params\":{\"t_stop\":0,\"dt\":1e-6}}",
+            "bad_field",
+        ),
+        (
+            "{\"op\":\"job\",\"id\":\"a\",\"kind\":\"tran\",\"deck\":\"x\",\"params\":{\"t_stop\":1e-6,\"dt\":1e-3}}",
+            "bad_field",
+        ),
+        (
+            "{\"op\":\"job\",\"id\":\"a\",\"kind\":\"dc_sweep\",\"deck\":\"x\",\"params\":{\"source\":\"v\",\"start\":0,\"stop\":1,\"points\":0}}",
+            "bad_field",
+        ),
+        (
+            "{\"op\":\"job\",\"id\":\"a\",\"kind\":\"tran\",\"deck\":\"x\"}",
+            "missing_field",
+        ),
+    ];
+    for (line, want) in cases {
+        match decode_request(line, 4096) {
+            Err(e) => assert_eq!(e.code(), *want, "input: {line}"),
+            Ok(f) => panic!("hostile input decoded: {line} -> {f:?}"),
+        }
+    }
+    // Deck size cap is enforced with its own code.
+    let big = format!(
+        "{{\"op\":\"job\",\"id\":\"a\",\"kind\":\"op\",\"deck\":\"{}\"}}",
+        "x".repeat(200)
+    );
+    match decode_request(&big, 64) {
+        Err(e) => assert_eq!(e.code(), "deck_too_large"),
+        Ok(_) => panic!("oversized deck accepted"),
+    }
+}
+
+/// Live-server property: torn half-requests, oversized lines, and
+/// abrupt disconnects against a real listener. After every abuse the
+/// server still answers a clean ping — no panic, no wedge.
+#[test]
+fn live_server_survives_truncation_interleaving_and_soup() {
+    let server = Server::start(ServeConfig {
+        max_line_bytes: 512,
+        frame_deadline_ms: 300,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let abuses: &[&[u8]] = &[
+        b"{\"op\":\"job\",\"id\":\"half", // truncated mid-string, then close
+        b"{\"op\":\"ping\"}\n{\"op\":\"jo", // complete frame then half frame
+        b"\xff\xfe\x00garbage\n",         // non-UTF-8 line
+        b"{}\n{}\n{}\n",                  // rapid empty objects
+        b"\n\n\n\n",                      // bare newlines
+    ];
+    for abuse in abuses {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(abuse).expect("write abuse");
+        // Half-close or abrupt drop — both paths must be survivable.
+        drop(s);
+    }
+    // Oversized line: must get line_too_long back (or a clean close),
+    // not a hang past the frame deadline.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let huge = vec![b'a'; 4096];
+    s.write_all(&huge).expect("write oversized");
+    s.write_all(b"\n").expect("newline");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut buf = Vec::new();
+    let _ = s.read_to_end(&mut buf);
+    let answer = String::from_utf8_lossy(&buf);
+    assert!(
+        answer.is_empty() || answer.contains("line_too_long"),
+        "oversized line answered with: {answer}"
+    );
+    drop(s);
+    // Deterministic soup volleys on one connection.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    for seed in 0..16u64 {
+        let mut soup = byte_soup(seed, 60);
+        soup.retain(|&b| b != b'\n');
+        soup.push(b'\n');
+        if s.write_all(&soup).is_err() {
+            break; // server already closed on us — that's a valid typed path
+        }
+    }
+    drop(s);
+    // The server is still healthy.
+    let mut c = remix_serve::Client::connect(addr, Duration::from_secs(1)).expect("connect");
+    c.ping().expect("server must still answer after abuse");
+    server.shutdown();
+}

@@ -76,6 +76,58 @@ pub const EXEC_RETRIES: &str = "remix.exec.retries";
 /// Counter: watchdog deadline trips.
 pub const EXEC_WATCHDOG_TRIPS: &str = "remix.exec.watchdog_trips";
 
+/// Counter: admission-queue rejections (queue full or hopeless
+/// deadline); the typed `Shed` response rides back to the caller.
+pub const EXEC_ADMISSION_SHEDS: &str = "remix.exec.admission.sheds";
+/// Gauge: current admission-queue depth.
+pub const EXEC_ADMISSION_DEPTH: &str = "remix.exec.admission.depth";
+/// Event: environment-variable parse outcome worth surfacing (a set
+/// but unparsable value, with the fallback applied).
+pub const EXEC_ENV: &str = "remix.exec.env";
+/// Counter: environment variables that were set but failed to parse
+/// (the run falls back explicitly instead of silently ignoring them).
+pub const EXEC_ENV_MALFORMED: &str = "remix.exec.env.malformed";
+
+/// Event: service connection lifecycle (accepted/rejected/closed).
+pub const SERVE_CONN: &str = "remix.serve.conn";
+/// Counter: connections accepted by the service.
+pub const SERVE_CONNECTIONS: &str = "remix.serve.connections";
+/// Counter: request frames read (valid or not).
+pub const SERVE_FRAMES: &str = "remix.serve.frames";
+/// Counter: frames rejected with a typed protocol error.
+pub const SERVE_PROTOCOL_ERRORS: &str = "remix.serve.protocol_errors";
+/// Span: one admitted service job, admission to terminal response.
+pub const SERVE_JOB: &str = "remix.serve.job";
+/// Counter: jobs that completed with a full result.
+pub const SERVE_JOBS_OK: &str = "remix.serve.jobs_ok";
+/// Counter: jobs that completed with a budget-tripped partial prefix.
+pub const SERVE_JOBS_PARTIAL: &str = "remix.serve.jobs_partial";
+/// Counter: jobs that failed (lint rejection, analysis error, panic).
+pub const SERVE_JOBS_FAILED: &str = "remix.serve.jobs_failed";
+/// Counter: admissions refused with a typed shed response.
+pub const SERVE_SHEDS: &str = "remix.serve.sheds";
+/// Counter: results served straight from the fingerprint cache.
+pub const SERVE_CACHE_HITS: &str = "remix.serve.cache.hits";
+/// Counter: cache misses that computed (and possibly populated) fresh.
+pub const SERVE_CACHE_MISSES: &str = "remix.serve.cache.misses";
+/// Counter: requests that joined an identical in-flight job
+/// (single-flight dedup) instead of recomputing.
+pub const SERVE_CACHE_JOINS: &str = "remix.serve.cache.joins";
+/// Gauge: admission-queue depth as seen by the service.
+pub const SERVE_QUEUE_DEPTH: &str = "remix.serve.queue_depth";
+/// Counter: chaos faults injected (dropped connections, torn frames,
+/// delayed reads, worker panics).
+pub const SERVE_CHAOS_INJECTED: &str = "remix.serve.chaos.injected";
+/// Gauge: load-generator sustained throughput (jobs per second).
+pub const SERVE_LOAD_JOBS_PER_SEC: &str = "remix.serve.load.jobs_per_sec";
+/// Gauge: load-generator p99 latency of *accepted* jobs (ms; masked by
+/// `without_timings()` like every timing-derived metric).
+pub const SERVE_LOAD_P99_MS: &str = "remix.serve.load.p99_ms";
+/// Gauge: load-generator cache hit rate over completed jobs (0..=1).
+pub const SERVE_LOAD_CACHE_HIT_RATE: &str = "remix.serve.load.cache_hit_rate";
+/// Counter: typed shed responses observed by the load generator.
+pub const SERVE_LOAD_SHEDS: &str = "remix.serve.load.sheds";
+
 /// Event: study checkpoint written or restored.
 pub const CORE_CHECKPOINT: &str = "remix.core.checkpoint";
 /// Counter: successfully computed samples recorded in checkpoints.
@@ -117,6 +169,10 @@ pub const ALL: &[&str] = &[
     CORE_MONTECARLO_SAMPLE,
     CORE_MONTECARLO_SAMPLES_FAILED,
     CORE_MONTECARLO_SAMPLES_OK,
+    EXEC_ADMISSION_DEPTH,
+    EXEC_ADMISSION_SHEDS,
+    EXEC_ENV,
+    EXEC_ENV_MALFORMED,
     EXEC_JOB,
     EXEC_JOBS,
     EXEC_RETRIES,
@@ -127,6 +183,24 @@ pub const ALL: &[&str] = &[
     NEWTON_ITERATIONS,
     NEWTON_RESIDUAL_NORM,
     NEWTON_SOLVE,
+    SERVE_CACHE_HITS,
+    SERVE_CACHE_JOINS,
+    SERVE_CACHE_MISSES,
+    SERVE_CHAOS_INJECTED,
+    SERVE_CONN,
+    SERVE_CONNECTIONS,
+    SERVE_FRAMES,
+    SERVE_JOB,
+    SERVE_JOBS_FAILED,
+    SERVE_JOBS_OK,
+    SERVE_JOBS_PARTIAL,
+    SERVE_LOAD_CACHE_HIT_RATE,
+    SERVE_LOAD_JOBS_PER_SEC,
+    SERVE_LOAD_P99_MS,
+    SERVE_LOAD_SHEDS,
+    SERVE_PROTOCOL_ERRORS,
+    SERVE_QUEUE_DEPTH,
+    SERVE_SHEDS,
 ];
 
 #[cfg(test)]
@@ -157,10 +231,16 @@ mod tests {
     #[test]
     fn timing_suffix_convention_is_respected() {
         // Nothing in the catalog accidentally looks like a timing
-        // metric unless it is one; without_timings() masks by suffix.
+        // metric unless it is one; without_timings() masks by suffix,
+        // so every timing-suffixed name must be deliberate.
+        const EXPECTED_TIMINGS: &[&str] = &[super::SERVE_LOAD_P99_MS];
         for name in ALL {
             if name.ends_with("_ns") || name.ends_with("_ms") || name.ends_with("_seconds") {
-                panic!("'{name}' would be masked by without_timings(); none expected today");
+                assert!(
+                    EXPECTED_TIMINGS.contains(name),
+                    "'{name}' would be masked by without_timings(); add it to \
+                     EXPECTED_TIMINGS only if it really measures time"
+                );
             }
         }
     }

@@ -16,6 +16,7 @@
 //! | [`rfkit`] | IIP3/IIP2/P1dB algebra, two-tone harness, behavioral blocks, Table I data |
 //! | [`core`] | the reconfigurable mixer: TCA, quad, TIA/OTA, TG loads, models, evaluation |
 //! | [`audit`] | workspace static analysis: AUD rules certifying the stack for parallel scale-out |
+//! | [`serve`] | overload-safe JSON-lines-over-TCP batch simulation service with admission control |
 //!
 //! ## Quick start
 //!
@@ -53,4 +54,5 @@ pub use remix_dsp as dsp;
 pub use remix_lint as lint;
 pub use remix_numerics as numerics;
 pub use remix_rfkit as rfkit;
+pub use remix_serve as serve;
 pub use remix_telemetry as telemetry;

@@ -13,8 +13,10 @@ mod common;
 
 use common::{byte_soup, inject_defect, mutate_deck, structured_deck, SplitMix64};
 use proptest::prelude::*;
-use remix::circuit::{from_spice, parse_spice, to_spice};
+use remix::circuit::{from_spice, parse_spice, resolve_includes, to_spice};
 use remix::lint::{fix_circuit, LintConfig};
+use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// Fixpoint bound mirrored from `remix-lint`'s fix engine
 /// (`MAX_ROUNDS`): each round must make progress, and the rule set is
@@ -98,6 +100,36 @@ proptest! {
         );
     }
 
+    /// Hostile `.include` paths through the sandboxed resolver: every
+    /// outcome is Ok or a lined `IncludeDenied` (never a panic), and a
+    /// canary deck parked *outside* the root is never spliced in — the
+    /// resolver must not read past its sandbox no matter how the path
+    /// fragments combine.
+    #[test]
+    fn include_resolver_confines_hostile_paths(seed in any::<u64>()) {
+        let root = include_fuzz_root();
+        let mut rng = SplitMix64::new(seed ^ 0x1dc1_0de5);
+        const FRAGMENTS: &[&str] =
+            &["..", ".", "a", "canary.cir", "ok.inc", "", "~", "etc", "...."];
+        let n = 1 + (rng.next() % 5) as usize;
+        let path = (0..n)
+            .map(|_| FRAGMENTS[(rng.next() as usize) % FRAGMENTS.len()])
+            .collect::<Vec<_>>()
+            .join("/");
+        let deck = format!("v1 a 0 1\n.include {path}\n.end\n");
+        match resolve_includes(&deck, root) {
+            Ok(flat) => prop_assert!(
+                !flat.contains(CANARY_MARKER),
+                "resolver read outside its root via '{path}'"
+            ),
+            Err(e) => prop_assert!(
+                e.line() >= 1 && e.line() <= 3,
+                "error line {} outside 1..=3 for include path '{path}': {e}",
+                e.line()
+            ),
+        }
+    }
+
     /// Emit → parse → emit is a fixpoint: the first emission normalizes
     /// (flattens hierarchy, lowercases, rewrites values as `{:e}`), and
     /// everything after that must be byte-identical.
@@ -115,6 +147,31 @@ proptest! {
         let twice = to_spice(&reparsed, "fixpoint");
         prop_assert_eq!(once, twice);
     }
+}
+
+/// Unique text planted in the out-of-root canary: appearing in any
+/// flattened deck proves a sandbox escape.
+const CANARY_MARKER: &str = "rcanary_outside_root";
+
+/// Shared fixture for the include-resolver fuzz cases: a sandbox root
+/// containing one legitimate include target (`ok.inc`), with a canary
+/// deck parked in the *parent* directory where any `..`/absolute/
+/// symlink escape would land.
+fn include_fuzz_root() -> &'static PathBuf {
+    static ROOT: OnceLock<PathBuf> = OnceLock::new();
+    ROOT.get_or_init(|| {
+        let outer =
+            std::env::temp_dir().join(format!("remix-frontend-fuzz-{}", std::process::id()));
+        let root = outer.join("root");
+        std::fs::create_dir_all(&root).expect("create fuzz root");
+        std::fs::write(
+            outer.join("canary.cir"),
+            format!("{CANARY_MARKER} a 0 1k\n"),
+        )
+        .expect("write canary");
+        std::fs::write(root.join("ok.inc"), "r2 a 0 2k\n").expect("write ok.inc");
+        root
+    })
 }
 
 /// A tiny pinned corpus of historically tricky inputs, run every build
@@ -151,6 +208,37 @@ fn pinned_hostile_corpus_never_panics() {
                 "corpus[{i}]: error line {} outside 1..={n_lines}: {e}",
                 e.line()
             );
+        }
+    }
+}
+
+/// Pinned hostile include paths, run every build: each must come back
+/// as a lined typed error (never a panic, never an out-of-root read).
+#[test]
+fn pinned_hostile_include_corpus_is_refused_with_lines() {
+    let root = include_fuzz_root();
+    let corpus: &[&str] = &[
+        "/etc/passwd",
+        "../canary.cir",
+        "a/../../canary.cir",
+        "..",
+        "....//....//x",
+        "~/secrets.cir",
+        "",
+        "\u{0}bad",
+    ];
+    for (i, hostile) in corpus.iter().enumerate() {
+        let deck = format!(".include {hostile}\n.end\n");
+        match resolve_includes(&deck, root) {
+            Ok(flat) => assert!(
+                !flat.contains(CANARY_MARKER),
+                "include corpus[{i}] ('{hostile}') escaped the root"
+            ),
+            Err(e) => assert!(
+                e.line() >= 1 && e.line() <= 2,
+                "include corpus[{i}]: error line {} out of bounds: {e}",
+                e.line()
+            ),
         }
     }
 }
