@@ -62,10 +62,10 @@ pub use convergence::{
     AttemptOutcome, ConvergencePolicy, ConvergenceTrace, StageAttempt, StageKind, TraceStage,
     ILL_CONDITION_RCOND,
 };
-pub use dcsweep::{dc_sweep, dc_sweep_partial, DcSweepResult};
+pub use dcsweep::{dc_sweep, dc_sweep_parallel, dc_sweep_partial, DcSweepResult};
 pub use error::{AnalysisError, PartialProgress};
 #[cfg(feature = "fault-inject")]
-pub use fault::{FaultGuard, FaultKind, FaultPlan};
+pub use fault::{active_plan, FaultGuard, FaultKind, FaultPlan};
 pub use op::{
     dc_operating_point, dc_operating_point_dense, LinearSolverKind, OpOptions, OperatingPoint,
 };

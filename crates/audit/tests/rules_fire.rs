@@ -41,6 +41,10 @@ fn each_fixture_is_convicted_by_its_rule() {
         ("aud005_static_mut.rs", AuditRule::StaticMut),
         ("aud006_spawn.rs", AuditRule::ThreadSpawn),
         ("aud007_thread_local.rs", AuditRule::UnregisteredThreadLocal),
+        (
+            "aud007_pool_thread_local.rs",
+            AuditRule::UnregisteredThreadLocal,
+        ),
         ("aud008_metric_name.rs", AuditRule::UnknownMetricName),
         ("aud009_relaxed.rs", AuditRule::UnjustifiedRelaxed),
     ];
@@ -56,12 +60,26 @@ fn each_fixture_is_convicted_by_its_rule() {
 
 #[test]
 fn every_rule_has_a_fixture() {
-    // The case table above must stay in sync with the rule catalog.
+    // The case table above must stay in sync with the rule catalog:
+    // every rule has at least one fixture (keyed by its `aud00N_`
+    // file-name prefix) and every fixture names a real rule — a rule
+    // may have several fixtures (AUD007 proves both the generic and
+    // the pool-lookalike conviction).
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
-    let fixtures = std::fs::read_dir(dir).expect("fixtures dir").count();
+    let mut covered = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(dir).expect("fixtures dir") {
+        let name = entry.expect("entry").file_name();
+        let name = name.to_string_lossy();
+        let prefix = name.split('_').next().expect("fixture prefix").to_string();
+        assert!(
+            prefix.starts_with("aud") && prefix.len() == 6,
+            "fixture {name} must be named aud00N_<what>.rs"
+        );
+        covered.insert(prefix);
+    }
     assert_eq!(
-        fixtures,
+        covered.len(),
         AuditRule::ALL.len(),
-        "one fixture per rule, no orphans"
+        "one fixture prefix per rule, no orphans: {covered:?}"
     );
 }

@@ -6,12 +6,15 @@
 //! cargo run --release -p remix-bench --bin corners
 //! ```
 //!
-//! Set `REMIX_CORNERS_CHECKPOINT=<path>` to persist a version-2 study
+//! Set `REMIX_CORNERS_CHECKPOINT=<path>` to persist a bitmap study
 //! checkpoint after every corner: a deadline-interrupted run (see
 //! `REMIX_BENCH_DEADLINE_MS`) then resumes from it, computing only the
-//! corners it has not finished.
+//! corners it has not finished. Corners run on the work-stealing study
+//! pool — `REMIX_EXEC_WORKERS=<n>` pins the worker count (`0`/unset
+//! means every available core) and `REMIX_EXEC_POOL_CHAOS` arms the
+//! deterministic fault schedule.
 
-use remix_core::corners::{sweep_corners_resumable, Corner, ProcessCorner};
+use remix_core::corners::{sweep_corners_resumable_with, Corner, ProcessCorner};
 use remix_core::model::MixerModel;
 use remix_core::{MixerConfig, MixerMode};
 use std::path::PathBuf;
@@ -41,13 +44,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("PVT corner study (RF 2.45 GHz, IF 5 MHz)\n");
+    println!("PVT corner study (RF 2.45 GHz, IF 5 MHz)");
+    let pool = remix_bench::study_pool();
+    println!();
     println!(
         "{:>6} {:>6} {:>9} {:>9} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8}",
         "corner", "T(°C)", "CGa(dB)", "CGp(dB)", "NFa", "NFp", "IIP3a", "IIP3p", "Pa(mW)", "Pp(mW)"
     );
     let ckpt = std::env::var_os(CHECKPOINT_ENV).map(PathBuf::from);
-    let partial = sweep_corners_resumable(&base, &corners, ckpt.as_deref());
+    let partial = sweep_corners_resumable_with(&base, &corners, ckpt.as_deref(), &pool);
     let sweep = &partial.value;
     for (corner, outcome) in &sweep.results {
         match outcome.params() {

@@ -10,12 +10,17 @@
 //! ```text
 //! cargo run --release -p remix-bench --bin mc_iip2
 //! ```
+//!
+//! Samples run on the work-stealing study pool: `REMIX_EXEC_WORKERS=<n>`
+//! pins the worker count (`0`/unset means every available core; the
+//! study result is identical for any count) and `REMIX_EXEC_POOL_CHAOS`
+//! exercises the deterministic fault schedule.
 
-use remix_core::montecarlo::{iip2_study, summarize, MismatchConfig};
+use remix_core::montecarlo::{iip2_study_with, summarize, MismatchConfig};
 use remix_core::MixerConfig;
 
-fn run(label: &str, mm: &MismatchConfig) {
-    let study = iip2_study(&MixerConfig::default(), mm, None);
+fn run(label: &str, mm: &MismatchConfig, pool: &remix_exec::PoolOptions) {
+    let study = iip2_study_with(&MixerConfig::default(), mm, None, pool);
     println!(
         "\n{label}: σ(ΔVt) = {:.1} mV, σ(Δβ/β) = {:.2} %  ({} samples, {})",
         mm.sigma_vt * 1e3,
@@ -63,12 +68,14 @@ fn main() {
 
 fn generate() {
     println!("Monte-Carlo IIP2 vs device matching (TCA halves perturbed)");
+    let pool = remix_bench::study_pool();
     run(
         "raw Pelgrom matching",
         &MismatchConfig {
             n_runs: 40,
             ..MismatchConfig::default()
         },
+        &pool,
     );
     run(
         "common-centroid-quality matching",
@@ -78,6 +85,7 @@ fn generate() {
             n_runs: 40,
             ..MismatchConfig::default()
         },
+        &pool,
     );
     println!("\nfinding: the paper's >65 dBm needs ~half-mV effective ΔVt —");
     println!("layout-level matching, not just topology, carries the claim.");

@@ -9,6 +9,12 @@
 //! ```text
 //! cargo run --release -p remix-bench --bin pnoise_mc
 //! ```
+//!
+//! The two modes are independent transient runs, so they dispatch to
+//! the work-stealing study pool: `REMIX_EXEC_WORKERS=<n>` pins the
+//! worker count (`0`/unset means every available core) and
+//! `REMIX_EXEC_POOL_CHAOS` arms the deterministic fault schedule.
+//! Reports print in mode order regardless of which finishes first.
 
 use remix_analysis::{noise_transient, NoiseTranConfig, TranOptions};
 use remix_bench::shared_evaluator;
@@ -27,8 +33,12 @@ fn main() {
 fn run() {
     let eval = shared_evaluator();
     let f_lo = 0.48e9; // sub-band LO keeps the step count tractable
-    println!("Monte-Carlo transient noise vs analytic model (LO 0.48 GHz)\n");
-    for mode in [MixerMode::Passive, MixerMode::Active] {
+    println!("Monte-Carlo transient noise vs analytic model (LO 0.48 GHz)");
+    let pool = remix_bench::study_pool();
+    println!();
+    let modes = [MixerMode::Passive, MixerMode::Active];
+    let indices: Vec<usize> = (0..modes.len()).collect();
+    let report = |mode: MixerMode| -> String {
         let m = eval.model(mode);
         let mixer = ReconfigurableMixer::new(m.config().clone());
         let (ckt, nodes) = mixer.build(mode, &RfDrive::Bias, &LoDrive::sine(f_lo));
@@ -39,7 +49,6 @@ fn run() {
             amplitude_boost: 10.0,
             ..NoiseTranConfig::default()
         };
-        print!("{:<8} running {n_total} steps… ", mode.label());
         match noise_transient(&ckt, &opts, &cfg) {
             Ok(res) => {
                 let (p, q) = nodes.if_out(mode);
@@ -55,14 +64,40 @@ fn run() {
                 // EMF-referred conversion gain).
                 let four_kt0_rs = 4.0 * 1.380649e-23 * 290.0 * 100.0;
                 let nf_mc = 10.0 * (out_psd / (cg * cg) / four_kt0_rs).log10();
-                println!(
-                    "MC NF ≈ {:.1} dB | analytic model {:.1} dB",
+                format!(
+                    "{:<8} {n_total} steps: MC NF ≈ {:.1} dB | analytic model {:.1} dB",
+                    mode.label(),
                     nf_mc,
                     m.nf_db(5e6)
+                )
+            }
+            Err(e) => format!("{:<8} failed: {e}", mode.label()),
+        }
+    };
+    let run = remix_exec::run_tasks(
+        &indices,
+        &pool,
+        |ctx| remix_exec::TaskResult::Done(report(modes[ctx.index])),
+        |_, _| {},
+    );
+    // Outcomes come back sorted by mode index, so the report order is
+    // stable no matter which transient finishes first.
+    for (i, outcome) in &run.outcomes {
+        match outcome {
+            remix_exec::TaskOutcome::Done(line) => println!("{line}"),
+            remix_exec::TaskOutcome::Failed(why) => {
+                println!("{:<8} died: {why}", modes[*i].label());
+            }
+            remix_exec::TaskOutcome::TimedOut { attempts, .. } => {
+                println!(
+                    "{:<8} timed out after {attempts} attempt(s)",
+                    modes[*i].label()
                 );
             }
-            Err(e) => println!("failed: {e}"),
         }
+    }
+    if let Some(why) = &run.interrupted {
+        println!("study interrupted: {why}");
     }
     println!("\nreading: the MC estimate sits several dB above the analytic");
     println!("budget, for understood reasons — (a) the 0.48 GHz LO (chosen so");

@@ -269,6 +269,25 @@ pub fn checked_plan(label: &str) -> SimPlan {
     plan
 }
 
+/// Pool options for the study binaries (`mc_iip2`, `corners`,
+/// `pnoise_mc`): honors `REMIX_EXEC_WORKERS` and
+/// `REMIX_EXEC_POOL_CHAOS` via [`remix_exec::PoolOptions::from_env`]
+/// and prints the resolved policy, so a bench log always says how
+/// parallel the run actually was.
+pub fn study_pool() -> remix_exec::PoolOptions {
+    let pool = remix_exec::PoolOptions::from_env();
+    println!(
+        "parallelism: {} worker(s){}",
+        pool.parallelism.worker_count(),
+        if pool.chaos.is_active() {
+            " [pool chaos active]"
+        } else {
+            ""
+        }
+    );
+    pool
+}
+
 /// Renders a crude ASCII plot of `(x, y)` series for terminal inspection.
 pub fn ascii_plot(
     series: &[(&str, &[(f64, f64)])],

@@ -134,33 +134,13 @@ pub fn save(path: &Path, mm: &MismatchConfig, outcomes: &[SampleOutcome]) -> std
     result
 }
 
-/// Crash-safe file replacement: write the full contents to a sibling
-/// temp file (suffixed with the writer's pid so concurrent savers
-/// cannot collide), fsync it, and atomically rename it over `path`.
-/// A kill at any instant leaves either the old file or the new one —
-/// the in-place `fs::write` this replaces could leave a torn prefix
-/// that [`load`]/[`load_study`] would have to reject, losing every
-/// completed sample.
+/// Crash-safe file replacement (tmp + fsync + rename), shared with the
+/// rest of the stack through [`remix_exec::atomic_write`]: a kill at
+/// any instant leaves either the old file or the new one — an in-place
+/// `fs::write` could leave a torn prefix that [`load`]/[`load_study`]
+/// would have to reject, losing every completed sample.
 fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
-    use std::io::Write as _;
-    let file_name = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "checkpoint".to_string());
-    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
-    let result = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(contents.as_bytes())?;
-        // Durability before visibility: the rename must never expose a
-        // file whose bytes are still in the page cache of a dying box.
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        // Best-effort cleanup; the temp file is harmless if it stays.
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
+    remix_exec::atomic_write(path, contents)
 }
 
 // ---------------------------------------------------------------------
@@ -599,6 +579,319 @@ pub fn load_study(
     restored
 }
 
+// ---------------------------------------------------------------------
+// Bitmap study checkpoints (version 3)
+// ---------------------------------------------------------------------
+
+const BITMAP_VERSION: f64 = 3.0;
+
+/// Renders a version-3 bitmap study checkpoint.
+///
+/// Version 2 implicitly assumed in-order completion: a document was the
+/// records written so far, and resuming trusted whatever prefix it
+/// held. A work-stealing pool completes units *out of order*, so
+/// version 3 makes the completed set explicit: a `total` unit count, a
+/// `completed` bitmap (`'1'` per finished index), and sparse, any-order
+/// records. The bitmap and the record index set must match exactly —
+/// any divergence (a torn file, a partial external edit) rejects the
+/// whole document rather than resuming from a lie.
+///
+/// Successful records containing non-finite values are dropped (bit
+/// cleared) rather than emitted as invalid JSON; those units simply
+/// recompute on resume. Records with `index >= total` are dropped too.
+pub fn render_study_v3(
+    study: &str,
+    config: &[(String, f64)],
+    total: usize,
+    records: &[(usize, StudyOutcome)],
+) -> String {
+    let kept: Vec<&(usize, StudyOutcome)> = records
+        .iter()
+        .filter(|(index, outcome)| {
+            *index < total
+                && match outcome {
+                    StudyOutcome::Ok(values) => values.iter().all(|v| v.is_finite()),
+                    StudyOutcome::Failed(_) => true,
+                }
+        })
+        .collect();
+    let mut bitmap = vec!['0'; total];
+    for (index, _) in &kept {
+        bitmap[*index] = '1';
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"version\": {BITMAP_VERSION:?},");
+    let _ = writeln!(out, "  \"study\": \"{}\",", escape_json(study));
+    let _ = writeln!(out, "  \"config\": [");
+    for (i, (name, value)) in config.iter().enumerate() {
+        let comma = if i + 1 == config.len() { "" } else { "," };
+        let _ = writeln!(out, "    [\"{}\", {value:?}]{comma}", escape_json(name));
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"total\": {total},");
+    let _ = writeln!(
+        out,
+        "  \"completed\": \"{}\",",
+        bitmap.iter().collect::<String>()
+    );
+    let _ = writeln!(out, "  \"records\": [");
+    for (i, (index, outcome)) in kept.iter().enumerate() {
+        let comma = if i + 1 == kept.len() { "" } else { "," };
+        let line = match outcome {
+            StudyOutcome::Ok(values) => {
+                let joined = values
+                    .iter()
+                    .map(|v| format!("{v:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("    {{\"index\": {index}, \"ok\": true, \"values\": [{joined}]}}{comma}")
+            }
+            StudyOutcome::Failed(trace) => format!(
+                "    {{\"index\": {index}, \"ok\": false, \"trace\": \"{}\"}}{comma}",
+                escape_json(trace)
+            ),
+        };
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Writes the version-3 bitmap checkpoint to `path`, atomically: a kill
+/// between any two saves leaves one complete, self-consistent document.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the underlying write or rename.
+pub fn save_study_v3(
+    path: &Path,
+    study: &str,
+    config: &[(String, f64)],
+    total: usize,
+    records: &[(usize, StudyOutcome)],
+) -> std::io::Result<()> {
+    let result = atomic_write(path, &render_study_v3(study, config, total, records));
+    checkpoint_event("save_bitmap", path, result.is_ok(), records.len());
+    result
+}
+
+/// Parses version-3 checkpoint text into `(index, outcome)` pairs
+/// sorted by index and clipped to `total`, or `None` when the document
+/// is malformed, from a different study/configuration, or internally
+/// inconsistent (bitmap and record set must agree bit-for-bit — a torn
+/// or hand-edited document is rejected outright, never half-trusted).
+/// A document written for a different unit count loads fine: per-index
+/// seeding makes studies prefix-stable, so size changes clip or extend
+/// rather than reject.
+pub fn restore_study_v3(
+    text: &str,
+    study: &str,
+    config: &[(String, f64)],
+    total: usize,
+) -> Option<Vec<(usize, StudyOutcome)>> {
+    let doc = parse(text)?;
+    if doc.get("version")?.as_num()? != BITMAP_VERSION {
+        return None;
+    }
+    if doc.get("study")?.as_str()? != study {
+        return None;
+    }
+    let stored = match doc.get("config")? {
+        Json::Arr(items) => items,
+        _ => return None,
+    };
+    if stored.len() != config.len() {
+        return None;
+    }
+    for (item, (name, value)) in stored.iter().zip(config) {
+        let pair = match item {
+            Json::Arr(pair) if pair.len() == 2 => pair,
+            _ => return None,
+        };
+        if pair[0].as_str()? != name || pair[1].as_num()? != *value {
+            return None;
+        }
+    }
+    // The document is validated against its *own* recorded size: a
+    // study may legitimately be re-run with a different unit count
+    // (per-index seeding makes a short study a strict prefix of a long
+    // one), so a size difference filters rather than rejects — but any
+    // internal bitmap/record divergence still rejects outright.
+    let stored_total = doc.get("total")?.as_num()?;
+    if stored_total < 0.0 || stored_total.fract() != 0.0 {
+        return None;
+    }
+    let stored_total = stored_total as usize;
+    let bitmap = doc.get("completed")?.as_str()?;
+    if bitmap.len() != stored_total || bitmap.bytes().any(|b| b != b'0' && b != b'1') {
+        return None;
+    }
+    let records = match doc.get("records")? {
+        Json::Arr(items) => items,
+        _ => return None,
+    };
+    let mut seen = vec![false; stored_total];
+    let mut out = Vec::with_capacity(records.len());
+    for r in records {
+        let index = r.get("index")?.as_num()?;
+        if index < 0.0 || index.fract() != 0.0 {
+            return None;
+        }
+        let index = index as usize;
+        // Every record must be inside the document, claimed by the
+        // bitmap, and unique.
+        if index >= stored_total || bitmap.as_bytes()[index] != b'1' || seen[index] {
+            return None;
+        }
+        seen[index] = true;
+        let outcome = if r.get("ok")?.as_bool()? {
+            let values = match r.get("values")? {
+                Json::Arr(items) => items
+                    .iter()
+                    .map(|v| v.as_num())
+                    .collect::<Option<Vec<f64>>>()?,
+                _ => return None,
+            };
+            StudyOutcome::Ok(values)
+        } else {
+            StudyOutcome::Failed(r.get("trace")?.as_str()?.to_string())
+        };
+        out.push((index, outcome));
+    }
+    // …and every bitmap claim must be backed by a record.
+    let claimed = bitmap.bytes().filter(|&b| b == b'1').count();
+    if claimed != out.len() {
+        return None;
+    }
+    // Only now, with the document proven self-consistent, clip to the
+    // requested study size.
+    out.retain(|&(index, _)| index < total);
+    out.sort_by_key(|&(index, _)| index);
+    Some(out)
+}
+
+/// Reads and validates the version-3 checkpoint at `path`; `None` when
+/// missing, unreadable, malformed, inconsistent, or from a different
+/// study shape.
+pub fn load_study_v3(
+    path: &Path,
+    study: &str,
+    config: &[(String, f64)],
+    total: usize,
+) -> Option<Vec<(usize, StudyOutcome)>> {
+    let restored = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| restore_study_v3(&text, study, config, total));
+    checkpoint_event(
+        "load_bitmap",
+        path,
+        restored.is_some(),
+        restored.as_ref().map_or(0, Vec::len),
+    );
+    restored
+}
+
+/// Loads a study checkpoint in whatever version it was written:
+/// version 3 (bitmap) first, then legacy version 2 — so a study
+/// interrupted under an older binary resumes seamlessly under the
+/// pooled drivers, which always *save* version 3. Legacy records with
+/// `index >= total` are dropped rather than trusted.
+pub fn load_study_any(
+    path: &Path,
+    study: &str,
+    config: &[(String, f64)],
+    total: usize,
+) -> Option<Vec<(usize, StudyOutcome)>> {
+    let restored = std::fs::read_to_string(path).ok().and_then(|text| {
+        restore_study_v3(&text, study, config, total).or_else(|| {
+            restore_study(&text, study, config).map(|records| {
+                let mut records: Vec<(usize, StudyOutcome)> = records
+                    .into_iter()
+                    .filter(|(index, _)| *index < total)
+                    .collect();
+                records.sort_by_key(|&(index, _)| index);
+                records
+            })
+        })
+    });
+    checkpoint_event(
+        "load_any",
+        path,
+        restored.is_some(),
+        restored.as_ref().map_or(0, Vec::len),
+    );
+    restored
+}
+
+/// The version-3 configuration fingerprint of a Monte-Carlo mismatch
+/// study — the same trust boundary the version-1 format enforced
+/// through its dedicated `seed`/σ fields.
+pub fn mc_study_config(mm: &MismatchConfig) -> Vec<(String, f64)> {
+    vec![
+        ("seed".to_string(), mm.seed as f64),
+        ("sigma_vt".to_string(), mm.sigma_vt),
+        ("sigma_kp_frac".to_string(), mm.sigma_kp_frac),
+    ]
+}
+
+/// Converts a Monte-Carlo sample outcome into the flat study record
+/// version 3 persists (`Ok(iip2) → values: [iip2]`).
+pub fn mc_record(outcome: &SampleOutcome) -> StudyOutcome {
+    match outcome {
+        SampleOutcome::Ok(v) => StudyOutcome::Ok(vec![*v]),
+        SampleOutcome::Failed(trace) => StudyOutcome::Failed(trace.summary()),
+    }
+}
+
+/// Loads a Monte-Carlo checkpoint in whatever version it was written —
+/// version 3 (bitmap, what the pooled driver saves) first, then the
+/// pinned version-1 format — as `(index, outcome)` pairs. A restored
+/// failure carries its persisted trace summary, exactly as version 1
+/// did.
+pub fn load_mc_any(
+    path: &Path,
+    mm: &MismatchConfig,
+    total: usize,
+) -> Option<Vec<(usize, SampleOutcome)>> {
+    let config = mc_study_config(mm);
+    let restored = std::fs::read_to_string(path).ok().and_then(|text| {
+        restore_study_v3(&text, "mc_iip2", &config, total)
+            .map(|records| {
+                records
+                    .into_iter()
+                    .filter_map(|(index, outcome)| {
+                        let sample = match outcome {
+                            StudyOutcome::Ok(values) => SampleOutcome::Ok(*values.first()?),
+                            StudyOutcome::Failed(trace) => {
+                                SampleOutcome::Failed(ConvergenceTrace::new(&trace))
+                            }
+                        };
+                        Some((index, sample))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .or_else(|| {
+                restore(&text, mm).map(|samples| {
+                    let mut samples: Vec<(usize, SampleOutcome)> = samples
+                        .into_iter()
+                        .filter(|(index, _)| *index < total)
+                        .collect();
+                    samples.sort_by_key(|&(index, _)| index);
+                    samples
+                })
+            })
+    });
+    checkpoint_event(
+        "load_any",
+        path,
+        restored.is_some(),
+        restored.as_ref().map_or(0, Vec::len),
+    );
+    restored
+}
+
 /// Counts and (when an observing sink is armed) logs one checkpoint
 /// save/load. A failed load is an expected outcome — missing file on
 /// first run, stale configuration — not an error, so it is recorded
@@ -846,5 +1139,150 @@ mod tests {
         );
         let restored = restore(&text, &mm()).unwrap();
         assert_eq!(restored, vec![(1, SampleOutcome::Ok(60.0))]);
+    }
+
+    #[test]
+    fn bitmap_round_trips_out_of_order_sparse_records() {
+        // A pool completes units in arbitrary order; the document must
+        // come back sorted, with holes preserved as holes.
+        let records = vec![
+            (5, StudyOutcome::Ok(vec![5.0])),
+            (0, StudyOutcome::Failed("gave up".into())),
+            (3, StudyOutcome::Ok(vec![-1.0, 2.0])),
+        ];
+        let text = render_study_v3("corners", &study_config(), 8, &records);
+        assert!(text.contains("\"completed\": \"10010100\""));
+        let restored = restore_study_v3(&text, "corners", &study_config(), 8).unwrap();
+        assert_eq!(
+            restored,
+            vec![
+                (0, StudyOutcome::Failed("gave up".into())),
+                (3, StudyOutcome::Ok(vec![-1.0, 2.0])),
+                (5, StudyOutcome::Ok(vec![5.0])),
+            ]
+        );
+    }
+
+    #[test]
+    fn bitmap_rejects_wrong_shape_and_inconsistency() {
+        let records = vec![(1, StudyOutcome::Ok(vec![7.0]))];
+        let text = render_study_v3("corners", &study_config(), 4, &records);
+        // Wrong label or config: rejected.
+        assert!(restore_study_v3(&text, "sweeps", &study_config(), 4).is_none());
+        let mut other = study_config();
+        other[0].1 = 1.3;
+        assert!(restore_study_v3(&text, "corners", &other, 4).is_none());
+        // A different requested size clips/extends instead of rejecting
+        // (studies are prefix-stable), so the record at index 1 survives
+        // both a grow and a shrink-to-2, but not a shrink-to-1.
+        assert_eq!(
+            restore_study_v3(&text, "corners", &study_config(), 6).unwrap(),
+            vec![(1, StudyOutcome::Ok(vec![7.0]))]
+        );
+        assert!(restore_study_v3(&text, "corners", &study_config(), 1)
+            .unwrap()
+            .is_empty());
+        // A v2 document is not a v3 document and vice versa.
+        let v2 = render_study("corners", &study_config(), &records);
+        assert!(restore_study_v3(&v2, "corners", &study_config(), 4).is_none());
+        assert!(restore_study(&text, "corners", &study_config()).is_none());
+        // Bitmap claiming an index with no record backing it: rejected.
+        let lying = text.replace("\"0100\"", "\"0110\"");
+        assert!(restore_study_v3(&lying, "corners", &study_config(), 4).is_none());
+        // Record present but bitmap denies it: rejected.
+        let denying = text.replace("\"0100\"", "\"0000\"");
+        assert!(restore_study_v3(&denying, "corners", &study_config(), 4).is_none());
+    }
+
+    #[test]
+    fn bitmap_drops_non_finite_and_out_of_range_records() {
+        let records = vec![
+            (0, StudyOutcome::Ok(vec![f64::INFINITY])),
+            (1, StudyOutcome::Ok(vec![4.0])),
+            (9, StudyOutcome::Ok(vec![1.0])), // beyond total
+        ];
+        let text = render_study_v3("corners", &study_config(), 3, &records);
+        assert!(text.contains("\"completed\": \"010\""));
+        let restored = restore_study_v3(&text, "corners", &study_config(), 3).unwrap();
+        assert_eq!(restored, vec![(1, StudyOutcome::Ok(vec![4.0]))]);
+    }
+
+    #[test]
+    fn torn_bitmap_checkpoint_is_rejected() {
+        let path = temp_path("torn_bitmap.json");
+        let records = vec![
+            (0, StudyOutcome::Ok(vec![1.0])),
+            (2, StudyOutcome::Failed("gave up".into())),
+        ];
+        save_study_v3(&path, "corners", &study_config(), 4, &records).expect("save");
+        let full = std::fs::read_to_string(&path).expect("read");
+        for cut in [1, full.len() / 2, full.len() - 2] {
+            std::fs::write(&path, &full[..cut]).expect("tear");
+            assert!(
+                load_study_v3(&path, "corners", &study_config(), 4).is_none(),
+                "torn bitmap checkpoint (cut at {cut}) must be rejected"
+            );
+        }
+        save_study_v3(&path, "corners", &study_config(), 4, &records).expect("re-save");
+        assert_eq!(
+            load_study_v3(&path, "corners", &study_config(), 4).expect("reload"),
+            records
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_study_any_reads_both_versions() {
+        let path = temp_path("any_version.json");
+        let records = vec![(0, StudyOutcome::Ok(vec![1.5]))];
+        // Legacy v2 document on disk → still resumes.
+        save_study(&path, "corners", &study_config(), &records).expect("save v2");
+        assert_eq!(
+            load_study_any(&path, "corners", &study_config(), 4).expect("v2 fallback"),
+            records
+        );
+        // v3 document → preferred path.
+        save_study_v3(&path, "corners", &study_config(), 4, &records).expect("save v3");
+        assert_eq!(
+            load_study_any(&path, "corners", &study_config(), 4).expect("v3"),
+            records
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_mc_any_reads_v1_and_v3_monte_carlo_checkpoints() {
+        let path = temp_path("mc_any.json");
+        let outcomes = vec![
+            SampleOutcome::Ok(66.25),
+            SampleOutcome::Failed(ConvergenceTrace::new("dc operating point")),
+        ];
+        // Legacy v1 document.
+        save(&path, &mm(), &outcomes).expect("save v1");
+        let from_v1 = load_mc_any(&path, &mm(), 4).expect("v1 fallback");
+        assert_eq!(from_v1.len(), 2);
+        assert_eq!(from_v1[0], (0, SampleOutcome::Ok(66.25)));
+        // v3 bitmap document written by the pooled driver.
+        let records: Vec<(usize, StudyOutcome)> = outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (i, mc_record(o)))
+            .collect();
+        save_study_v3(&path, "mc_iip2", &mc_study_config(&mm()), 4, &records).expect("save v3");
+        let from_v3 = load_mc_any(&path, &mm(), 4).expect("v3");
+        assert_eq!(from_v3[0], (0, SampleOutcome::Ok(66.25)));
+        match &from_v3[1].1 {
+            SampleOutcome::Failed(trace) => {
+                assert!(trace.analysis.contains("dc operating point"));
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        // A different mismatch config rejects both versions.
+        let other = MismatchConfig {
+            seed: mm().seed + 1,
+            ..mm()
+        };
+        assert!(load_mc_any(&path, &other, 4).is_none());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -237,6 +237,24 @@ fn study_record(outcome: &CornerOutcome) -> StudyOutcome {
     }
 }
 
+/// Maps a pool outcome back into the sweep's vocabulary: a contained
+/// panic or an exhausted per-corner deadline is a *failed corner* with
+/// a one-line trace, never a dead sweep.
+fn pool_corner(outcome: &remix_exec::TaskOutcome<CornerOutcome>) -> CornerOutcome {
+    match outcome {
+        remix_exec::TaskOutcome::Done(corner) => corner.clone(),
+        remix_exec::TaskOutcome::Failed(trace) => {
+            CornerOutcome::Failed(ConvergenceTrace::new(trace.clone()))
+        }
+        remix_exec::TaskOutcome::TimedOut {
+            attempts,
+            budget_ms,
+        } => CornerOutcome::Failed(ConvergenceTrace::new(format!(
+            "corner timed out: {attempts} attempt(s) exhausted the {budget_ms} ms per-corner budget"
+        ))),
+    }
+}
+
 /// Runs the full extraction flow at every requested corner, isolating
 /// failures: a corner that refuses to converge is recorded with its
 /// convergence trace and the sweep continues to the next corner instead
@@ -245,36 +263,54 @@ pub fn sweep_corners(base: &MixerConfig, corners: &[Corner]) -> CornerSweep {
     sweep_corners_resumable(base, corners, None).value
 }
 
-/// [`sweep_corners`] with checkpoint/resume and run-budget awareness.
+/// [`sweep_corners`] with checkpoint/resume and run-budget awareness,
+/// on the default (serial) pool.
+pub fn sweep_corners_resumable(
+    base: &MixerConfig,
+    corners: &[Corner],
+    checkpoint: Option<&Path>,
+) -> Partial<CornerSweep> {
+    sweep_corners_resumable_with(
+        base,
+        corners,
+        checkpoint,
+        &remix_exec::PoolOptions::default(),
+    )
+}
+
+/// [`sweep_corners`] with checkpoint/resume, run-budget awareness and
+/// an explicit [`remix_exec::PoolOptions`] — the parallel entry point.
 ///
 /// When `checkpoint` names a file, every completed corner (pass *or*
-/// fail) is persisted there as a version-2 study checkpoint
-/// ([`crate::checkpoint::save_study`]) and a compatible existing
-/// checkpoint is resumed — completed corners are restored, not re-run.
-/// A checkpoint written for a different base configuration or corner
-/// list is ignored, as is a record whose payload no longer
+/// fail) is persisted there as a version-3 bitmap study checkpoint
+/// ([`crate::checkpoint::save_study_v3`]) — correct under out-of-order
+/// completion — and a compatible existing checkpoint (version 3 or
+/// legacy version 2) is resumed: completed corners are restored, not
+/// re-run. A checkpoint written for a different base configuration or
+/// corner list is ignored, as is a record whose payload no longer
 /// deserializes.
 ///
 /// When a [`RunBudget`](remix_exec::RunBudget) armed on this thread
 /// trips — at a corner boundary or inside an extraction — the sweep
 /// stops and returns the completed prefix as an interrupted
 /// [`Partial`]; with a checkpoint, a later invocation finishes only the
-/// remaining corners.
-pub fn sweep_corners_resumable(
+/// remaining corners (including any completed out of order, which the
+/// bitmap retains beyond the returned prefix).
+pub fn sweep_corners_resumable_with(
     base: &MixerConfig,
     corners: &[Corner],
     checkpoint: Option<&Path>,
+    pool: &remix_exec::PoolOptions,
 ) -> Partial<CornerSweep> {
     let config = study_config(base, corners);
-    let mut restored: Vec<Option<CornerOutcome>> = vec![None; corners.len()];
+    let mut slots: Vec<Option<CornerOutcome>> = vec![None; corners.len()];
+    let mut records: Vec<(usize, StudyOutcome)> = Vec::new();
     if let Some(path) = checkpoint {
         for (i, rec) in
-            crate::checkpoint::load_study(path, CORNER_STUDY, &config).unwrap_or_default()
+            crate::checkpoint::load_study_any(path, CORNER_STUDY, &config, corners.len())
+                .unwrap_or_default()
         {
-            if i >= corners.len() {
-                continue;
-            }
-            restored[i] = match rec {
+            let outcome = match rec {
                 StudyOutcome::Ok(values) => {
                     ExtractedParams::from_flat(&values).map(|p| CornerOutcome::Ok(Box::new(p)))
                 }
@@ -282,65 +318,106 @@ pub fn sweep_corners_resumable(
                     Some(CornerOutcome::Failed(ConvergenceTrace::new(trace)))
                 }
             };
+            if let Some(outcome) = outcome {
+                records.push((i, study_record(&outcome)));
+                slots[i] = Some(outcome);
+            }
         }
+    }
+    let resumed = records.len();
+    let todo: Vec<usize> = (0..corners.len()).filter(|&i| slots[i].is_none()).collect();
+    // A budget trip mid-extraction carries the analysis trace; the pool
+    // reports only the typed interruption, so the first trace is handed
+    // out-of-band to the Partial below.
+    let first_trace: std::sync::Mutex<Option<ConvergenceTrace>> = std::sync::Mutex::new(None);
+    // A fault plan armed on the caller thread must also bite on pool
+    // workers: capture it here and re-arm per task (counters restart
+    // per corner — the deterministic parallel semantics).
+    #[cfg(feature = "fault-inject")]
+    let caller_fault = remix_analysis::active_plan();
+    let run = remix_exec::run_tasks(
+        &todo,
+        pool,
+        |ctx| {
+            let i = ctx.index;
+            #[cfg(feature = "fault-inject")]
+            let _fault = caller_fault.map(remix_analysis::FaultPlan::arm);
+            let cfg = corners[i].apply(base);
+            let _span = remix_telemetry::span(remix_telemetry::names::CORE_CORNERS_CORNER)
+                .with_field("index", i)
+                .with_field("process", corners[i].process.label());
+            match ExtractedParams::extract(&cfg) {
+                Ok(params) => remix_exec::TaskResult::Done(CornerOutcome::Ok(Box::new(params))),
+                Err(AnalysisError::BudgetExceeded {
+                    interruption,
+                    trace,
+                    ..
+                }) => {
+                    // Interrupts the *sweep* (or re-dispatches a
+                    // straggler under a per-corner deadline); nothing
+                    // is recorded for the corner, so a resumed run
+                    // recomputes it in full.
+                    if let Ok(mut slot) = first_trace.lock() {
+                        if slot.is_none() {
+                            *slot = Some(trace);
+                        }
+                    }
+                    remix_exec::TaskResult::Interrupted(interruption)
+                }
+                Err(e) => remix_exec::TaskResult::Done(CornerOutcome::Failed(
+                    crate::montecarlo::failure_trace(&e),
+                )),
+            }
+        },
+        |index, outcome| {
+            records.push((index, study_record(&pool_corner(outcome))));
+            if let Some(path) = checkpoint {
+                // Checkpoint write failures must not kill the sweep the
+                // checkpoint exists to protect; the run just loses
+                // resumability.
+                let _ = crate::checkpoint::save_study_v3(
+                    path,
+                    CORNER_STUDY,
+                    &config,
+                    corners.len(),
+                    &records,
+                );
+            }
+        },
+    );
+    let computed = run.outcomes.len();
+    for (i, outcome) in &run.outcomes {
+        slots[*i] = Some(pool_corner(outcome));
     }
     let mut sweep = CornerSweep {
         results: Vec::with_capacity(corners.len()),
-        computed: 0,
-        resumed: 0,
+        computed,
+        resumed,
     };
-    for (i, corner) in corners.iter().enumerate() {
-        if let Some(done) = restored[i].take() {
-            sweep.results.push((*corner, done));
-            sweep.resumed += 1;
-            continue;
-        }
-        if let Err(intr) = remix_exec::checkpoint() {
-            return Partial::interrupted(
-                sweep,
-                Interrupted::at("corner sweep", TraceStage::Dc(StageKind::Direct), intr),
-            );
-        }
-        let cfg = corner.apply(base);
-        let _span = remix_telemetry::span(remix_telemetry::names::CORE_CORNERS_CORNER)
-            .with_field("index", i)
-            .with_field("process", corner.process.label());
-        let outcome = match ExtractedParams::extract(&cfg) {
-            Ok(params) => CornerOutcome::Ok(Box::new(params)),
-            Err(AnalysisError::BudgetExceeded {
-                interruption,
-                trace,
-                ..
-            }) => {
-                // A budget trip mid-extraction interrupts the *sweep*,
-                // not this corner: nothing is recorded for it, so a
-                // resumed run recomputes the corner in full.
-                return Partial::interrupted(
-                    sweep,
-                    Interrupted {
-                        interruption,
-                        trace,
-                    },
-                );
-            }
-            Err(e) => CornerOutcome::Failed(crate::montecarlo::failure_trace(&e)),
-        };
-        sweep.results.push((*corner, outcome));
-        sweep.computed += 1;
-        if let Some(path) = checkpoint {
-            let records: Vec<(usize, StudyOutcome)> = sweep
-                .results
-                .iter()
-                .enumerate()
-                .map(|(k, (_, o))| (k, study_record(o)))
-                .collect();
-            // Checkpoint write failures must not kill the sweep the
-            // checkpoint exists to protect; the run just loses
-            // resumability.
-            let _ = crate::checkpoint::save_study(path, CORNER_STUDY, &config, &records);
+    for (i, slot) in slots.iter_mut().enumerate() {
+        match slot.take() {
+            Some(done) => sweep.results.push((corners[i], done)),
+            None => break,
         }
     }
-    Partial::complete(sweep)
+    match run.interrupted {
+        None => Partial::complete(sweep),
+        Some(interruption) => {
+            let trace = first_trace.lock().ok().and_then(|mut slot| slot.take());
+            let interrupted = match trace {
+                Some(trace) => Interrupted {
+                    interruption,
+                    trace,
+                },
+                None => Interrupted::at(
+                    "corner sweep",
+                    TraceStage::Dc(StageKind::Direct),
+                    interruption,
+                ),
+            };
+            Partial::interrupted(sweep, interrupted)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -256,6 +256,24 @@ pub(crate) fn failure_trace(e: &AnalysisError) -> ConvergenceTrace {
     }
 }
 
+/// Maps a pool outcome back into the study's sample vocabulary: a
+/// contained panic or an exhausted per-sample deadline is a *failed
+/// sample* with a one-line trace, never a dead study.
+fn pool_sample(outcome: &remix_exec::TaskOutcome<SampleOutcome>) -> SampleOutcome {
+    match outcome {
+        remix_exec::TaskOutcome::Done(sample) => sample.clone(),
+        remix_exec::TaskOutcome::Failed(trace) => {
+            SampleOutcome::Failed(ConvergenceTrace::new(trace.clone()))
+        }
+        remix_exec::TaskOutcome::TimedOut {
+            attempts,
+            budget_ms,
+        } => SampleOutcome::Failed(ConvergenceTrace::new(format!(
+            "sample timed out: {attempts} attempt(s) exhausted the {budget_ms} ms per-sample budget"
+        ))),
+    }
+}
+
 /// Runs the failure-isolating Monte-Carlo IIP2 study.
 ///
 /// Every sample is attempted; failures are recorded with their traces
@@ -269,72 +287,116 @@ pub(crate) fn failure_trace(e: &AnalysisError) -> ConvergenceTrace {
 /// with [`McStudy::interrupted`] set and the completed prefix intact;
 /// with a checkpoint, a later invocation finishes only the remaining
 /// samples.
+///
+/// Equivalent to [`iip2_study_with`] on the default (serial) pool.
 pub fn iip2_study(base: &MixerConfig, mm: &MismatchConfig, checkpoint: Option<&Path>) -> McStudy {
-    let mut restored: Vec<Option<SampleOutcome>> = vec![None; mm.n_runs];
+    iip2_study_with(base, mm, checkpoint, &remix_exec::PoolOptions::default())
+}
+
+/// [`iip2_study`] on an explicit [`remix_exec::PoolOptions`] — the
+/// parallel entry point.
+///
+/// Samples are dispatched to the work-stealing pool; per-sample RNG
+/// seeding plus the pool's ordered telemetry merge make the study's
+/// outcomes and its `without_timings()` snapshot identical for any
+/// worker count, including chaos-injected panics (which land as typed
+/// [`SampleOutcome::Failed`] records, keyed deterministically by
+/// sample index). Checkpoints are written in the version-3 bitmap
+/// format after every completion, so a kill mid-study resumes exactly
+/// the uncomputed set even when completion ran out of order; legacy
+/// version-1 checkpoints still load.
+///
+/// Under an interruption, [`McStudy::outcomes`] keeps the longest
+/// contiguous completed prefix (the serial contract), while the
+/// checkpoint retains *every* completed sample for the resume.
+pub fn iip2_study_with(
+    base: &MixerConfig,
+    mm: &MismatchConfig,
+    checkpoint: Option<&Path>,
+    pool: &remix_exec::PoolOptions,
+) -> McStudy {
+    let mut slots: Vec<Option<SampleOutcome>> = vec![None; mm.n_runs];
+    let mut records: Vec<(usize, crate::checkpoint::StudyOutcome)> = Vec::new();
     if let Some(path) = checkpoint {
-        for (i, outcome) in crate::checkpoint::load(path, mm).unwrap_or_default() {
-            if i < mm.n_runs {
-                restored[i] = Some(outcome);
-            }
+        for (i, outcome) in crate::checkpoint::load_mc_any(path, mm, mm.n_runs).unwrap_or_default()
+        {
+            records.push((i, crate::checkpoint::mc_record(&outcome)));
+            slots[i] = Some(outcome);
         }
     }
-    let mut study = McStudy {
-        outcomes: Vec::with_capacity(mm.n_runs),
-        computed: 0,
-        resumed: 0,
-        interrupted: None,
-    };
-    for (i, slot) in restored.iter_mut().enumerate() {
-        if let Some(done) = slot.take() {
-            study.outcomes.push(done);
-            study.resumed += 1;
-            continue;
-        }
-        if let Err(intr) = remix_exec::checkpoint() {
-            // Deadline or cancellation: keep the completed prefix (and
-            // its checkpoint) instead of burning budget on samples that
-            // can no longer finish.
-            study.interrupted = Some(intr);
-            break;
-        }
-        #[cfg(feature = "fault-inject")]
-        let _fault =
-            (mm.fault_sample == Some(i)).then(|| remix_analysis::FaultPlan::singular_pivot().arm());
-        let mut rng = StdRng::seed_from_u64(sample_seed(mm.seed, i));
-        let outcome = {
+    let resumed = records.len();
+    let todo: Vec<usize> = (0..mm.n_runs).filter(|&i| slots[i].is_none()).collect();
+    let config = crate::checkpoint::mc_study_config(mm);
+    // A fault plan armed on the caller thread must also bite on pool
+    // workers: capture it here and re-arm per task (counters restart
+    // per sample — the deterministic parallel semantics). The study's
+    // own `fault_sample` casualty takes precedence for its sample.
+    #[cfg(feature = "fault-inject")]
+    let caller_fault = remix_analysis::active_plan();
+    let run = remix_exec::run_tasks(
+        &todo,
+        pool,
+        |ctx| {
+            let i = ctx.index;
+            #[cfg(feature = "fault-inject")]
+            let _fault = if mm.fault_sample == Some(i) {
+                Some(remix_analysis::FaultPlan::singular_pivot().arm())
+            } else {
+                caller_fault.map(remix_analysis::FaultPlan::arm)
+            };
+            let mut rng = StdRng::seed_from_u64(sample_seed(mm.seed, i));
             let _span = remix_telemetry::span(remix_telemetry::names::CORE_MONTECARLO_SAMPLE)
                 .with_field("index", i);
             match iip2_sample(base, &mut rng, mm) {
-                Ok(v) => SampleOutcome::Ok(v),
-                Err(e) => {
-                    if let Some(intr) = e.interruption() {
-                        // A budget trip mid-sample interrupts the *study*,
-                        // not this sample: nothing is recorded for it, so a
-                        // resumed run recomputes the sample in full.
-                        study.interrupted = Some(intr);
-                        break;
-                    }
-                    SampleOutcome::Failed(failure_trace(&e))
-                }
+                Ok(v) => remix_exec::TaskResult::Done(SampleOutcome::Ok(v)),
+                Err(e) => match e.interruption() {
+                    // A budget trip mid-sample interrupts the *study*
+                    // (or, under a per-sample deadline, re-dispatches
+                    // the straggler); nothing is recorded for the
+                    // sample, so a resumed run recomputes it in full.
+                    Some(intr) => remix_exec::TaskResult::Interrupted(intr),
+                    None => remix_exec::TaskResult::Done(SampleOutcome::Failed(failure_trace(&e))),
+                },
             }
-        };
-        remix_telemetry::counter_add(
-            match outcome {
-                SampleOutcome::Ok(_) => remix_telemetry::names::CORE_MONTECARLO_SAMPLES_OK,
-                SampleOutcome::Failed(_) => remix_telemetry::names::CORE_MONTECARLO_SAMPLES_FAILED,
-            },
-            1,
-        );
-        study.outcomes.push(outcome);
-        study.computed += 1;
-        if let Some(path) = checkpoint {
-            // Checkpoint write failures must not kill the study the
-            // checkpoint exists to protect; the run just loses
-            // resumability.
-            let _ = crate::checkpoint::save(path, mm, &study.outcomes);
+        },
+        |index, outcome| {
+            let sample = pool_sample(outcome);
+            remix_telemetry::counter_add(
+                match sample {
+                    SampleOutcome::Ok(_) => remix_telemetry::names::CORE_MONTECARLO_SAMPLES_OK,
+                    SampleOutcome::Failed(_) => {
+                        remix_telemetry::names::CORE_MONTECARLO_SAMPLES_FAILED
+                    }
+                },
+                1,
+            );
+            records.push((index, crate::checkpoint::mc_record(&sample)));
+            if let Some(path) = checkpoint {
+                // Checkpoint write failures must not kill the study the
+                // checkpoint exists to protect; the run just loses
+                // resumability.
+                let _ =
+                    crate::checkpoint::save_study_v3(path, "mc_iip2", &config, mm.n_runs, &records);
+            }
+        },
+    );
+    let computed = run.outcomes.len();
+    for (i, outcome) in &run.outcomes {
+        slots[*i] = Some(pool_sample(outcome));
+    }
+    let mut outcomes = Vec::with_capacity(mm.n_runs);
+    for slot in &mut slots {
+        match slot.take() {
+            Some(done) => outcomes.push(done),
+            None => break,
         }
     }
-    study
+    McStudy {
+        outcomes,
+        computed,
+        resumed,
+        interrupted: run.interrupted,
+    }
 }
 
 /// Runs the Monte-Carlo IIP2 study; returns one IIP2 (dBm) per sample,

@@ -140,6 +140,7 @@ impl RunBudget {
                 steps_used: AtomicU64::new(0),
                 steps_limit: self.timesteps.unwrap_or(u64::MAX),
                 max_matrix_dim: self.max_matrix_dim.unwrap_or(usize::MAX),
+                parent: None,
             }),
         }
     }
@@ -155,6 +156,70 @@ struct Inner {
     steps_used: AtomicU64,
     steps_limit: u64,
     max_matrix_dim: usize,
+    /// Budget this one is derived from (see [`CancelToken::child`]):
+    /// charges propagate upward and the parent's cancellation/deadline
+    /// are visible through the child, but never the reverse.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn deadline_expired(&self) -> bool {
+        match self.deadline {
+            Some(d) => self.started.elapsed() >= d,
+            None => false,
+        }
+    }
+
+    fn deadline_interruption(&self) -> Interruption {
+        Interruption::DeadlineExpired {
+            budget_ms: self.deadline.map(|d| d.as_millis() as u64).unwrap_or(0),
+        }
+    }
+
+    /// First expired deadline walking self → ancestors.
+    fn expired_in_chain(&self) -> Option<Interruption> {
+        if self.deadline_expired() {
+            return Some(self.deadline_interruption());
+        }
+        self.parent.as_ref().and_then(|p| p.expired_in_chain())
+    }
+
+    fn cancelled_in_chain(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+            || self.parent.as_ref().is_some_and(|p| p.cancelled_in_chain())
+    }
+
+    /// Charges one Newton iteration on this node and every ancestor;
+    /// the first exhausted allowance in the chain reports.
+    fn charge_newton_account(&self) -> Result<(), Interruption> {
+        // audit: relaxed-ok: the fetch_add's RMW atomicity alone makes
+        // the charge exact across clones; no other memory rides on it.
+        let used = self.newton_used.fetch_add(1, Ordering::Relaxed);
+        if used >= self.newton_limit {
+            return Err(Interruption::NewtonIterations {
+                limit: self.newton_limit,
+            });
+        }
+        match &self.parent {
+            Some(p) => p.charge_newton_account(),
+            None => Ok(()),
+        }
+    }
+
+    /// Charges one timestep on this node and every ancestor.
+    fn charge_timestep_account(&self) -> Result<(), Interruption> {
+        // audit: relaxed-ok: exact-by-RMW charge, as charge_newton.
+        let used = self.steps_used.fetch_add(1, Ordering::Relaxed);
+        if used >= self.steps_limit {
+            return Err(Interruption::Timesteps {
+                limit: self.steps_limit,
+            });
+        }
+        match &self.parent {
+            Some(p) => p.charge_timestep_account(),
+            None => Ok(()),
+        }
+    }
 }
 
 /// A cloneable, thread-safe handle to one run's budget state.
@@ -174,9 +239,10 @@ impl CancelToken {
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
-    /// `true` once [`cancel`](Self::cancel) was called.
+    /// `true` once [`cancel`](Self::cancel) was called on this token or
+    /// on any ancestor it was [derived](Self::child) from.
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Acquire)
+        self.inner.cancelled_in_chain()
     }
 
     /// Wall-clock time since the token was created.
@@ -184,11 +250,33 @@ impl CancelToken {
         self.inner.started.elapsed()
     }
 
-    /// `true` once the wall-clock deadline has passed.
+    /// `true` once this token's own wall-clock deadline has passed.
+    /// Deliberately ignores ancestors so a pool can tell a straggling
+    /// attempt (child deadline) from a dying study (parent deadline);
+    /// [`checkpoint`](Self::checkpoint) consults the whole chain.
     pub fn deadline_expired(&self) -> bool {
-        match self.inner.deadline {
-            Some(d) => self.inner.started.elapsed() >= d,
-            None => false,
+        self.inner.deadline_expired()
+    }
+
+    /// Derives a child token for one sub-unit of this run (a pool
+    /// attempt): charges propagate to this token — its cumulative
+    /// Newton/timestep allowances still bind — and its cancellation or
+    /// deadline is visible through the child, but cancelling the child
+    /// (or the child's own `deadline` expiring) never trips this token.
+    /// The child's clock starts now.
+    pub fn child(&self, deadline: Option<Duration>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                started: Instant::now(),
+                deadline,
+                newton_used: AtomicU64::new(0),
+                newton_limit: u64::MAX,
+                steps_used: AtomicU64::new(0),
+                steps_limit: u64::MAX,
+                max_matrix_dim: self.inner.max_matrix_dim,
+                parent: Some(Arc::clone(&self.inner)),
+            }),
         }
     }
 
@@ -220,21 +308,13 @@ impl CancelToken {
         )
     }
 
-    fn deadline_interruption(&self) -> Interruption {
-        Interruption::DeadlineExpired {
-            budget_ms: self
-                .inner
-                .deadline
-                .map(|d| d.as_millis() as u64)
-                .unwrap_or(0),
-        }
-    }
-
     /// Cheap cancellation/deadline check for sweep-point and
-    /// factorization boundaries; charges nothing.
+    /// factorization boundaries; charges nothing. Consults the whole
+    /// ancestry chain (an expired deadline anywhere takes precedence in
+    /// reporting the cause, then cancellation anywhere).
     pub fn checkpoint(&self) -> Result<(), Interruption> {
-        if self.deadline_expired() {
-            return Err(self.deadline_interruption());
+        if let Some(i) = self.inner.expired_in_chain() {
+            return Err(i);
         }
         if self.is_cancelled() {
             return Err(Interruption::Cancelled);
@@ -243,32 +323,19 @@ impl CancelToken {
     }
 
     /// Charges one Newton iteration; trips when the cumulative
-    /// allowance is spent (or the deadline/cancellation fired).
+    /// allowance — of this token or any ancestor — is spent (or the
+    /// deadline/cancellation fired).
     pub fn charge_newton(&self) -> Result<(), Interruption> {
         self.checkpoint()?;
-        // audit: relaxed-ok: the fetch_add's RMW atomicity alone makes
-        // the charge exact across clones; no other memory rides on it.
-        let used = self.inner.newton_used.fetch_add(1, Ordering::Relaxed);
-        if used >= self.inner.newton_limit {
-            return Err(Interruption::NewtonIterations {
-                limit: self.inner.newton_limit,
-            });
-        }
-        Ok(())
+        self.inner.charge_newton_account()
     }
 
-    /// Charges one timestep; trips when the cumulative allowance is
-    /// spent (or the deadline/cancellation fired).
+    /// Charges one timestep; trips when the cumulative allowance — of
+    /// this token or any ancestor — is spent (or the
+    /// deadline/cancellation fired).
     pub fn charge_timestep(&self) -> Result<(), Interruption> {
         self.checkpoint()?;
-        // audit: relaxed-ok: exact-by-RMW charge, as charge_newton.
-        let used = self.inner.steps_used.fetch_add(1, Ordering::Relaxed);
-        if used >= self.inner.steps_limit {
-            return Err(Interruption::Timesteps {
-                limit: self.inner.steps_limit,
-            });
-        }
-        Ok(())
+        self.inner.charge_timestep_account()
     }
 
     /// Pre-flight memory check: refuses matrices above the budgeted
@@ -427,6 +494,78 @@ mod tests {
         clone.cancel();
         assert_eq!(token.checkpoint(), Err(Interruption::Cancelled));
         assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn child_charges_propagate_to_parent_allowance() {
+        let parent = RunBudget::unlimited().with_newton_iterations(3).token();
+        let child = parent.child(None);
+        assert!(child.charge_newton().is_ok());
+        assert!(child.charge_newton().is_ok());
+        assert!(child.charge_newton().is_ok());
+        // The child itself is unlimited; the parent's account trips.
+        assert_eq!(
+            child.charge_newton(),
+            Err(Interruption::NewtonIterations { limit: 3 })
+        );
+        // A sibling sees the same exhausted parent account.
+        let sibling = parent.child(None);
+        assert!(sibling.charge_newton().is_err());
+    }
+
+    #[test]
+    fn cancellation_flows_down_the_chain_not_up() {
+        let parent = RunBudget::unlimited().token();
+        let child = parent.child(None);
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel must not trip parent");
+        assert!(parent.checkpoint().is_ok());
+        let child2 = parent.child(None);
+        parent.cancel();
+        assert!(child2.is_cancelled());
+        assert_eq!(child2.checkpoint(), Err(Interruption::Cancelled));
+    }
+
+    #[test]
+    fn child_deadline_is_attempt_local() {
+        let parent = RunBudget::unlimited().token();
+        let child = parent.child(Some(Duration::ZERO));
+        assert!(child.deadline_expired());
+        assert_eq!(
+            child.checkpoint(),
+            Err(Interruption::DeadlineExpired { budget_ms: 0 })
+        );
+        assert!(!parent.deadline_expired());
+        assert!(parent.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn parent_deadline_reported_through_child_checkpoint() {
+        let parent = RunBudget::unlimited().with_deadline(Duration::ZERO).token();
+        let child = parent.child(None);
+        // deadline_expired is own-deadline only (straggler detection)…
+        assert!(!child.deadline_expired());
+        // …but the chain-aware checkpoint still reports the study dying.
+        assert_eq!(
+            child.checkpoint(),
+            Err(Interruption::DeadlineExpired { budget_ms: 0 })
+        );
+        assert!(child.charge_timestep().is_err());
+    }
+
+    #[test]
+    fn child_timestep_charges_bind_parent_limit() {
+        let parent = RunBudget::unlimited().with_timesteps(2).token();
+        let child = parent.child(None);
+        assert!(child.charge_timestep().is_ok());
+        assert!(child.charge_timestep().is_ok());
+        assert_eq!(
+            child.charge_timestep(),
+            Err(Interruption::Timesteps { limit: 2 })
+        );
+        // Attempt-local accounting stays attempt-local.
+        assert_eq!(child.timesteps_spent(), 3);
     }
 
     #[test]

@@ -25,7 +25,13 @@
 //! * [`Supervisor`] — a job runner with per-job `catch_unwind`
 //!   isolation, jittered exponential retry for retryable failures, a
 //!   work queue, and a [`Watchdog`] thread that trips tokens whose
-//!   deadline passed even when the job stops calling hooks.
+//!   deadline passed even when the job stops calling hooks;
+//! * [`run_tasks`] (the `pool` module) — a work-stealing study pool:
+//!   per-worker deques, panic isolation per task, per-attempt child
+//!   budget tokens, deterministic telemetry merge, a straggler
+//!   watchdog, and a deterministic chaos layer for soak testing;
+//! * [`atomic_write`] — the crash-safe (tmp + fsync + rename) file
+//!   replacement under every persistence layer in the stack.
 //!
 //! The crate depends only on `remix-telemetry` (job lifecycle events)
 //! and knows nothing about circuits; the analysis layer owns the
@@ -37,6 +43,8 @@
 mod admission;
 mod budget;
 mod env;
+mod persist;
+mod pool;
 mod supervisor;
 
 pub use admission::{AdmissionQueue, Shed};
@@ -45,6 +53,11 @@ pub use budget::{
     BudgetGuard, CancelToken, Interruption, RunBudget, DEFAULT_TIMESTEP_BUDGET,
 };
 pub use env::{env_u64, env_u64_or_warn, warn_malformed, EnvValue};
+pub use persist::atomic_write;
+pub use pool::{
+    run_tasks, Parallelism, PoolChaos, PoolOptions, PoolRun, PoolStats, TaskContext, TaskOutcome,
+    TaskResult, WorkerContext, WorkerGuard, ENV_POOL_CHAOS, ENV_WORKERS,
+};
 pub use supervisor::{
     retry_backoff, Job, JobError, JobOutcome, JobReport, Supervisor, SupervisorOptions, Watchdog,
 };

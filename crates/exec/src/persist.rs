@@ -1,0 +1,86 @@
+//! Crash-safe file replacement, shared by every persistence layer in
+//! the stack (study checkpoints, the serve result cache).
+//!
+//! The protocol is write-to-temp → fsync → rename: a kill at any
+//! instant leaves either the old file or the new one on disk, never a
+//! torn prefix. Loaders still validate what they read — a torn file
+//! can exist if something *else* wrote the path — but with this writer
+//! a rejected document never costs previously persisted work.
+
+use std::io;
+use std::path::Path;
+
+/// Crash-safe file replacement: writes the full contents to a sibling
+/// temp file (suffixed with the writer's pid so concurrent savers
+/// cannot collide), fsyncs it, and atomically renames it over `path`.
+/// An in-place `fs::write` could be interrupted after truncation,
+/// leaving a torn prefix the loader would have to reject — losing every
+/// record the file held.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the create, write, fsync or
+/// rename; on error the temp file is removed best-effort and `path`
+/// still holds its previous contents.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    use std::io::Write as _;
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "persist".to_string());
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        // Durability before visibility: the rename must never expose a
+        // file whose bytes are still in the page cache of a dying box.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the temp file is harmless if it stays.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("remix_persist_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn replaces_contents_and_leaves_no_temp_files() {
+        let path = temp_path("replace.txt");
+        let _ = std::fs::remove_file(&path);
+        atomic_write(&path, "first").expect("write");
+        atomic_write(&path, "second").expect("overwrite");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "second");
+        let dir = path.parent().expect("parent");
+        let stem = path
+            .file_name()
+            .expect("name")
+            .to_string_lossy()
+            .into_owned();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .expect("read_dir")
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&stem) && n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unwritable_destination_errors_and_cleans_up() {
+        let path = Path::new("/nonexistent-remix-dir/persist.txt");
+        assert!(atomic_write(path, "x").is_err());
+    }
+}

@@ -7,6 +7,9 @@
 //! Flags override the `REMIX_SERVE_*` environment. The bound address
 //! is printed on the first stdout line (`listening on <addr>`) so
 //! harnesses using `--addr 127.0.0.1:0` can discover the real port.
+//! Set `REMIX_SERVE_CACHE_FILE=<path>` to persist the result cache
+//! across restarts (fingerprint-checked on load, written atomically
+//! on graceful shutdown).
 
 use remix_serve::chaos::ChaosConfig;
 use remix_serve::server::{ServeConfig, Server};

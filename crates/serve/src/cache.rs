@@ -212,6 +212,41 @@ impl ResultCache {
         drop(guard);
     }
 
+    /// Ready entries in eviction (FIFO) order, oldest first — the
+    /// persistence snapshot.
+    pub fn entries(&self) -> Vec<(u64, String)> {
+        let map = self
+            .inner
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.order
+            .iter()
+            .filter_map(|key| map.ready.get(key).map(|body| (*key, body.clone())))
+            .collect()
+    }
+
+    /// Inserts a ready entry directly (no single-flight), respecting
+    /// capacity FIFO eviction. Used to reload a persisted snapshot on
+    /// startup; later duplicates of a key are ignored.
+    pub fn seed(&self, key: u64, body: String) {
+        let mut map = self
+            .inner
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if map.ready.contains_key(&key) {
+            return;
+        }
+        if map.ready.len() >= map.capacity {
+            if let Some(evict) = map.order.pop_front() {
+                map.ready.remove(&evict);
+            }
+        }
+        map.ready.insert(key, body);
+        map.order.push_back(key);
+    }
+
     /// Number of ready entries (for stats).
     pub fn len(&self) -> usize {
         self.inner
@@ -225,6 +260,101 @@ impl ResultCache {
     /// `true` when no results are cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Version tag of the persisted-cache document.
+pub const PERSIST_VERSION: u64 = 1;
+
+/// Fingerprint a persisted cache must match to be reloaded: FNV-1a 64
+/// (hex) over the crate version plus a result-schema tag. Bodies
+/// rendered by a different build may differ byte-for-byte for the same
+/// job, and a stale body replayed as a hit would be silently wrong —
+/// so a mismatched snapshot is rejected wholesale, never merged.
+pub fn persist_fingerprint() -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in concat!(env!("CARGO_PKG_VERSION"), "|result-schema-v1").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+impl ResultCache {
+    /// Renders the ready entries as a version-1 persistence document
+    /// (see [`PERSIST_VERSION`]); written via the crash-safe
+    /// `remix_exec::atomic_write` on graceful shutdown.
+    pub fn render_persist(&self, fingerprint: &str) -> String {
+        let mut entries = String::new();
+        for (key, body) in self.entries() {
+            if !entries.is_empty() {
+                entries.push(',');
+            }
+            entries.push_str(&format!("[{key},{}]", crate::protocol::json_escape(&body)));
+        }
+        format!(
+            "{{\"version\":{PERSIST_VERSION},\"fingerprint\":{},\"entries\":[{entries}]}}",
+            crate::protocol::json_escape(fingerprint),
+        )
+    }
+
+    /// Restores a persisted snapshot into the (empty) cache, oldest
+    /// entry first so FIFO eviction order survives the round trip.
+    /// Returns the number of entries seeded.
+    ///
+    /// # Errors
+    ///
+    /// A description of the defect when the document is malformed, a
+    /// different version, or fingerprinted by a different build —
+    /// rejection is wholesale; nothing is seeded.
+    pub fn load_persist(&self, text: &str, fingerprint: &str) -> Result<usize, String> {
+        let doc = remix_telemetry::parse_json(text).map_err(|e| e.to_string())?;
+        match doc
+            .get("version")
+            .and_then(remix_telemetry::JsonValue::as_u64)
+        {
+            Some(PERSIST_VERSION) => {}
+            other => return Err(format!("unsupported cache version {other:?}")),
+        }
+        match doc
+            .get("fingerprint")
+            .and_then(remix_telemetry::JsonValue::as_str)
+        {
+            Some(found) if found == fingerprint => {}
+            Some(found) => {
+                return Err(format!(
+                    "fingerprint mismatch: snapshot {found}, this build {fingerprint}"
+                ))
+            }
+            None => return Err("missing fingerprint".to_string()),
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(remix_telemetry::JsonValue::as_arr)
+            .ok_or("missing entries array")?;
+        let mut parsed = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            let pair = entry
+                .as_arr()
+                .ok_or_else(|| format!("entry {i} not a pair"))?;
+            match pair {
+                [key, body] => {
+                    let key = key
+                        .as_u64()
+                        .ok_or_else(|| format!("entry {i} key not a u64"))?;
+                    let body = body
+                        .as_str()
+                        .ok_or_else(|| format!("entry {i} body not a string"))?;
+                    parsed.push((key, body.to_string()));
+                }
+                _ => return Err(format!("entry {i} not a [key, body] pair")),
+            }
+        }
+        let n = parsed.len();
+        for (key, body) in parsed {
+            self.seed(key, body);
+        }
+        Ok(n)
     }
 }
 
@@ -347,5 +477,65 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert!(matches!(cache.lookup(1), Lookup::Lead(_))); // evicted
         assert!(matches!(cache.lookup(3), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn persist_round_trips_entries_in_eviction_order() {
+        let cache = ResultCache::new(8, Duration::from_millis(50));
+        for key in [5u64, u64::MAX, 1] {
+            match cache.lookup(key) {
+                Lookup::Lead(g) => cache.publish(g, format!("{{\"k\":\"{key}\",\"s\":\"a\\nb\"}}")),
+                _ => panic!("must lead"),
+            }
+        }
+        let fp = persist_fingerprint();
+        let doc = cache.render_persist(&fp);
+        let restored = ResultCache::new(8, Duration::from_millis(50));
+        assert_eq!(restored.load_persist(&doc, &fp), Ok(3));
+        assert_eq!(restored.entries(), cache.entries());
+        // u64::MAX survives bit-exact (the parser keeps large ints).
+        match restored.lookup(u64::MAX) {
+            Lookup::Hit(body) => assert!(body.contains(&u64::MAX.to_string())),
+            _ => panic!("persisted entry must hit"),
+        }
+    }
+
+    #[test]
+    fn persist_rejects_mismatched_fingerprint_version_and_garbage() {
+        let cache = ResultCache::new(8, Duration::from_millis(50));
+        match cache.lookup(3) {
+            Lookup::Lead(g) => cache.publish(g, "{}".to_string()),
+            _ => panic!("must lead"),
+        }
+        let fp = persist_fingerprint();
+        let doc = cache.render_persist(&fp);
+        let restored = ResultCache::new(8, Duration::from_millis(50));
+        let err = restored.load_persist(&doc, "other-build").unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        let wrong_version = doc.replace("\"version\":1", "\"version\":9");
+        let err = restored.load_persist(&wrong_version, &fp).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        assert!(restored.load_persist("{not json", &fp).is_err());
+        // A torn write (truncated document) must also reject.
+        assert!(restored.load_persist(&doc[..doc.len() / 2], &fp).is_err());
+        // Wholesale rejection: nothing seeded by any failed load.
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn seed_ignores_duplicates_and_respects_capacity() {
+        let cache = ResultCache::new(2, Duration::from_millis(50));
+        cache.seed(1, "a".to_string());
+        cache.seed(1, "b".to_string()); // ignored: first seed wins
+        cache.seed(2, "c".to_string());
+        cache.seed(3, "d".to_string()); // evicts 1
+        assert_eq!(
+            cache.entries(),
+            vec![(2, "c".to_string()), (3, "d".to_string())]
+        );
+        match cache.lookup(2) {
+            Lookup::Hit(body) => assert_eq!(body, "c"),
+            _ => panic!("seeded entry must hit"),
+        }
     }
 }

@@ -68,6 +68,10 @@ pub struct ServeConfig {
     pub max_deadline_ms: u64,
     /// Result-cache capacity (rendered bodies).
     pub cache_capacity: usize,
+    /// Persist the result cache here: loaded (fingerprint-checked) on
+    /// startup, written crash-safely on graceful shutdown. `None`
+    /// keeps the cache purely in-memory.
+    pub cache_file: Option<std::path::PathBuf>,
     /// Deterministic fault schedule.
     pub chaos: ChaosConfig,
 }
@@ -86,6 +90,7 @@ impl Default for ServeConfig {
             default_deadline_ms: 2_000,
             max_deadline_ms: 30_000,
             cache_capacity: 256,
+            cache_file: None,
             chaos: ChaosConfig::default(),
         }
     }
@@ -107,6 +112,11 @@ impl ServeConfig {
         c.default_deadline_ms =
             get("REMIX_SERVE_DEFAULT_DEADLINE_MS", c.default_deadline_ms).max(1);
         c.max_deadline_ms = get("REMIX_SERVE_MAX_DEADLINE_MS", c.max_deadline_ms).max(1);
+        if let Some(path) = std::env::var_os("REMIX_SERVE_CACHE_FILE") {
+            if !path.is_empty() {
+                c.cache_file = Some(std::path::PathBuf::from(path));
+            }
+        }
         if let Ok(spec) = std::env::var("REMIX_SERVE_CHAOS") {
             match ChaosConfig::parse(&spec) {
                 Ok(chaos) => c.chaos = chaos,
@@ -177,6 +187,7 @@ impl Server {
             telemetry: Telemetry::new(),
             config,
         });
+        load_cache_file(&shared);
         let mut workers = Vec::new();
         for i in 0..shared.config.workers {
             let shared2 = Arc::clone(&shared);
@@ -211,7 +222,8 @@ impl Server {
         self.shared.telemetry.snapshot()
     }
 
-    /// Graceful stop: refuse new work, drain, join every thread.
+    /// Graceful stop: refuse new work, drain, join every thread, and
+    /// (when configured) persist the result cache crash-safely.
     pub fn shutdown(mut self) -> remix_telemetry::MetricsSnapshot {
         self.shared.stop.store(true, Ordering::Release);
         self.shared.queue.close();
@@ -230,7 +242,78 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        save_cache_file(&self.shared);
         self.shared.telemetry.snapshot()
+    }
+}
+
+/// Seeds the result cache from [`ServeConfig::cache_file`] on startup.
+/// A missing file is a cold start; a malformed, differently-versioned,
+/// or foreign-fingerprint snapshot is rejected wholesale (counted and
+/// logged on `remix.serve.cache.persist.rejected`) — a stale body
+/// replayed as a hit would be silently wrong.
+fn load_cache_file(shared: &Arc<Shared>) {
+    let Some(path) = shared.config.cache_file.as_deref() else {
+        return;
+    };
+    let _guard = shared.telemetry.arm();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return; // cold start: nothing persisted yet
+    };
+    match shared
+        .cache
+        .load_persist(&text, &crate::cache::persist_fingerprint())
+    {
+        Ok(n) => {
+            remix_telemetry::counter_add(names::SERVE_CACHE_PERSIST_LOADED, n as u64);
+            remix_telemetry::event(
+                names::SERVE_CACHE_PERSIST_LOADED,
+                vec![
+                    ("entries", FieldValue::from(n as u64)),
+                    ("path", FieldValue::from(path.display().to_string())),
+                ],
+            );
+        }
+        Err(why) => {
+            remix_telemetry::counter_add(names::SERVE_CACHE_PERSIST_REJECTED, 1);
+            remix_telemetry::event(
+                names::SERVE_CACHE_PERSIST_REJECTED,
+                vec![
+                    ("reason", FieldValue::from(why.clone())),
+                    ("path", FieldValue::from(path.display().to_string())),
+                ],
+            );
+            eprintln!("serve: persisted cache {} rejected: {why}", path.display());
+        }
+    }
+}
+
+/// Writes the result cache to [`ServeConfig::cache_file`] through
+/// `remix_exec::atomic_write` (tmp + rename), so a crash mid-shutdown
+/// leaves the previous snapshot intact instead of a torn one.
+fn save_cache_file(shared: &Arc<Shared>) {
+    let Some(path) = shared.config.cache_file.as_deref() else {
+        return;
+    };
+    let _guard = shared.telemetry.arm();
+    let doc = shared
+        .cache
+        .render_persist(&crate::cache::persist_fingerprint());
+    match remix_exec::atomic_write(path, &doc) {
+        Ok(()) => {
+            remix_telemetry::counter_add(
+                names::SERVE_CACHE_PERSIST_SAVED,
+                shared.cache.len() as u64,
+            );
+            remix_telemetry::event(
+                names::SERVE_CACHE_PERSIST_SAVED,
+                vec![
+                    ("entries", FieldValue::from(shared.cache.len() as u64)),
+                    ("path", FieldValue::from(path.display().to_string())),
+                ],
+            );
+        }
+        Err(e) => eprintln!("serve: cannot persist cache {}: {e}", path.display()),
     }
 }
 

@@ -377,3 +377,53 @@ fn shutdown_is_prompt_with_idle_connections_open() {
         started.elapsed()
     );
 }
+
+#[test]
+fn cache_persists_across_a_restart_and_rejects_foreign_snapshots() {
+    let dir = std::env::temp_dir().join(format!("remix_serve_persist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("cache.json");
+    let config = || ServeConfig {
+        cache_file: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    // First life: compute once, shut down gracefully.
+    let server = boot(config());
+    let first = c_submit(&server, "life1");
+    assert!(!first.cached);
+    let snapshot = server.shutdown();
+    assert_eq!(
+        snapshot.counter(remix_telemetry::names::SERVE_CACHE_PERSIST_SAVED),
+        Some(1)
+    );
+    assert!(path.exists(), "snapshot must be written");
+    // Second life: the very first submission is already a hit.
+    let server = boot(config());
+    let revived = c_submit(&server, "life2");
+    assert!(revived.cached, "raw: {}", revived.raw);
+    let snapshot = server.shutdown();
+    assert_eq!(
+        snapshot.counter(remix_telemetry::names::SERVE_CACHE_PERSIST_LOADED),
+        Some(1)
+    );
+    // Third life with a corrupted snapshot: rejected wholesale, cold start.
+    std::fs::write(
+        &path,
+        "{\"version\":1,\"fingerprint\":\"beef\",\"entries\":[]}",
+    )
+    .expect("corrupt");
+    let server = boot(config());
+    let cold = c_submit(&server, "life3");
+    assert!(!cold.cached, "foreign snapshot must not seed the cache");
+    let snapshot = server.shutdown();
+    assert_eq!(
+        snapshot.counter(remix_telemetry::names::SERVE_CACHE_PERSIST_REJECTED),
+        Some(1)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn c_submit(server: &Server, id: &str) -> remix_serve::JobResponse {
+    let mut c = client(server);
+    c.submit(&job(id, JobKind::Op, GOOD_DECK)).expect("submit")
+}

@@ -131,6 +131,25 @@ impl Telemetry {
         let previous = ACTIVE.with(|a| a.borrow_mut().replace(self.clone()));
         TelemetryGuard { previous }
     }
+
+    /// The context armed on this thread, if any (a cheap clone). A pool
+    /// captures it before spawning workers so tasks observe the
+    /// caller's context instead of running dark.
+    pub fn current() -> Option<Telemetry> {
+        with_active(Telemetry::clone)
+    }
+
+    /// A context sharing this one's sink but with a fresh, empty
+    /// registry. Pool tasks arm one fork per task: live events still
+    /// stream to the shared sink, while metrics accumulate privately so
+    /// the caller can [`MetricsRegistry::absorb`] the task registries
+    /// in deterministic task order after the workers join.
+    pub fn fork(&self) -> Telemetry {
+        Telemetry {
+            registry: Arc::new(MetricsRegistry::new()),
+            sink: Arc::clone(&self.sink),
+        }
+    }
 }
 
 thread_local! {
@@ -254,6 +273,28 @@ mod tests {
         let observed = Telemetry::with_sink(Arc::new(MemorySink::new()));
         let _g = observed.arm();
         assert!(is_observing());
+    }
+
+    #[test]
+    fn current_clones_the_armed_context_and_fork_shares_the_sink() {
+        assert!(Telemetry::current().is_none());
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::with_sink(sink.clone());
+        let _g = t.arm();
+        let current = Telemetry::current().expect("armed");
+        let fork = current.fork();
+        {
+            let _fg = fork.arm();
+            counter_add("remix.test.forked", 7);
+            event("remix.test.forked_event", vec![]);
+        }
+        // Fork's metrics are private until absorbed…
+        assert_eq!(t.snapshot().counter("remix.test.forked"), None);
+        assert_eq!(fork.snapshot().counter("remix.test.forked"), Some(7));
+        t.registry().absorb(fork.registry());
+        assert_eq!(t.snapshot().counter("remix.test.forked"), Some(7));
+        // …but its events stream straight to the shared sink.
+        assert_eq!(sink.events().len(), 1);
     }
 
     #[test]

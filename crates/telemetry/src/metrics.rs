@@ -127,6 +127,34 @@ impl HistogramCore {
         }
     }
 
+    /// Adds a frozen histogram's buckets and totals into this one
+    /// (bucket-by-position; used by [`MetricsRegistry::absorb`]).
+    fn absorb(&self, hs: &HistogramSnapshot) {
+        for (k, (_, c)) in hs.buckets.iter().enumerate() {
+            if let Some(cell) = self.bucket_counts.get(k) {
+                // audit: relaxed-ok: absorb runs post-join; single-cell
+                // monotonic RMW.
+                cell.fetch_add(*c, Ordering::Relaxed);
+            }
+        }
+        // audit: relaxed-ok: post-join monotonic RMW, as buckets.
+        self.count.fetch_add(hs.count, Ordering::Relaxed);
+        // audit: relaxed-ok: CAS retry loop over one cell.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + hs.sum).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed, // audit: relaxed-ok: success order, single cell.
+                Ordering::Relaxed, // audit: relaxed-ok: failure order, retry only.
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             buckets: self
@@ -219,6 +247,61 @@ impl MetricsRegistry {
         let slot = map.entry(name).or_insert((0, 0));
         slot.0 += 1;
         slot.1 = slot.1.saturating_add(ns);
+    }
+
+    /// Folds `other`'s contents into this registry: counters, histogram
+    /// buckets/totals and span roll-ups *add*; gauges *overwrite* (the
+    /// last absorbed value wins, a never-set-but-touched gauge carries
+    /// its `0.0` across). Metric names keyed in `other` but absent here
+    /// are created, so snapshot shape is preserved.
+    ///
+    /// This is how a parallel driver keeps last-value gauges
+    /// deterministic: each task runs against a fresh forked registry,
+    /// and after the workers join the caller absorbs the task
+    /// registries in ascending task order — the final gauge values are
+    /// then exactly what a serial run would have left behind.
+    pub fn absorb(&self, other: &MetricsRegistry) {
+        let counters: Vec<(&'static str, u64)> = lock_or_recover(&other.counters)
+            .iter()
+            // audit: relaxed-ok: absorb runs after the writers joined;
+            // the join supplies the happens-before edge.
+            .map(|(name, cell)| (*name, cell.load(Ordering::Relaxed)))
+            .collect();
+        for (name, v) in counters {
+            self.counter(name).add(v);
+        }
+        let gauges: Vec<(&'static str, u64)> = lock_or_recover(&other.gauges)
+            .iter()
+            .map(|(name, cell)| (*name, cell.load(Ordering::Acquire)))
+            .collect();
+        for (name, bits) in gauges {
+            self.gauge(name).set(f64::from_bits(bits));
+        }
+        let histograms: Vec<(&'static str, Arc<HistogramCore>)> =
+            lock_or_recover(&other.histograms)
+                .iter()
+                .map(|(name, core)| (*name, Arc::clone(core)))
+                .collect();
+        for (name, core) in histograms {
+            let mine = {
+                let mut map = lock_or_recover(&self.histograms);
+                Arc::clone(
+                    map.entry(name)
+                        .or_insert_with(|| Arc::new(HistogramCore::new(&core.bounds))),
+                )
+            };
+            mine.absorb(&core.snapshot());
+        }
+        let spans: Vec<(&'static str, (u64, u64))> = lock_or_recover(&other.spans)
+            .iter()
+            .map(|(name, &stats)| (*name, stats))
+            .collect();
+        let mut map = lock_or_recover(&self.spans);
+        for (name, (count, total_ns)) in spans {
+            let slot = map.entry(name).or_insert((0, 0));
+            slot.0 += count;
+            slot.1 = slot.1.saturating_add(total_ns);
+        }
     }
 
     /// Snapshot of every metric and span roll-up, sorted by name.
@@ -432,6 +515,75 @@ mod tests {
         let detimed = snap.without_timings();
         assert_eq!(detimed.span("remix.test.work").map(|s| s.total_ns), Some(0));
         assert_eq!(detimed.span("remix.test.work").map(|s| s.count), Some(2));
+    }
+
+    #[test]
+    fn absorb_adds_counters_histograms_spans_and_overwrites_gauges() {
+        let a = MetricsRegistry::new();
+        a.counter("remix.test.hits").add(2);
+        a.gauge("remix.test.rcond").set(1e-3);
+        a.histogram_with_buckets("remix.test.resid", &[1.0, 10.0])
+            .observe(0.5);
+        a.record_span("remix.test.work", Duration::from_nanos(100));
+
+        let b = MetricsRegistry::new();
+        b.counter("remix.test.hits").add(3);
+        b.counter("remix.test.only_b").add(1);
+        b.gauge("remix.test.rcond").set(1e-9);
+        b.histogram_with_buckets("remix.test.resid", &[1.0, 10.0])
+            .observe(5.0);
+        b.record_span("remix.test.work", Duration::from_nanos(50));
+
+        a.absorb(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.counter("remix.test.hits"), Some(5));
+        assert_eq!(snap.counter("remix.test.only_b"), Some(1));
+        assert_eq!(snap.gauge("remix.test.rcond"), Some(1e-9));
+        let MetricValue::Histogram(hs) = &snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "remix.test.resid")
+            .expect("histogram present")
+            .value
+        else {
+            panic!("expected histogram");
+        };
+        assert_eq!(hs.buckets, vec![(1.0, 1), (10.0, 1)]);
+        assert_eq!(hs.count, 2);
+        assert!((hs.sum - 5.5).abs() < 1e-12);
+        let s = snap.span("remix.test.work").expect("rollup");
+        assert_eq!((s.count, s.total_ns), (2, 150));
+    }
+
+    #[test]
+    fn ordered_absorb_reproduces_serial_gauge_history() {
+        // Three "tasks" each set the same gauge; absorbing their
+        // registries in ascending task order must leave the highest
+        // task's value, exactly as a serial loop would.
+        let caller = MetricsRegistry::new();
+        let tasks: Vec<MetricsRegistry> = (0..3)
+            .map(|i| {
+                let r = MetricsRegistry::new();
+                r.gauge("remix.test.last").set(f64::from(i) * 10.0);
+                r
+            })
+            .collect();
+        for t in &tasks {
+            caller.absorb(t);
+        }
+        assert_eq!(caller.snapshot().gauge("remix.test.last"), Some(20.0));
+    }
+
+    #[test]
+    fn absorb_carries_touched_but_never_set_entries() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        b.gauge("remix.test.touched");
+        b.counter("remix.test.zero");
+        a.absorb(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.gauge("remix.test.touched"), Some(0.0));
+        assert_eq!(snap.counter("remix.test.zero"), Some(0));
     }
 
     #[test]

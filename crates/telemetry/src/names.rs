@@ -88,6 +88,18 @@ pub const EXEC_ENV: &str = "remix.exec.env";
 /// (the run falls back explicitly instead of silently ignoring them).
 pub const EXEC_ENV_MALFORMED: &str = "remix.exec.env.malformed";
 
+/// Event: work-stealing-pool lifecycle transition (started / worker
+/// up / task panicked / straggler redispatched / chaos injected /
+/// finished). Lifecycle rides on events only — the pool writes nothing
+/// into the registry, so serial and parallel runs snapshot
+/// byte-identically.
+pub const EXEC_POOL: &str = "remix.exec.pool";
+/// Span: one whole pool run (dispatch to last join), recorded on the
+/// caller's registry. Its `total_ns` is the study's wall clock — the
+/// number the parallel-soak speedup gate compares across worker
+/// counts; `without_timings()` zeroes it like every span total.
+pub const EXEC_POOL_RUN: &str = "remix.exec.pool.run";
+
 /// Event: service connection lifecycle (accepted/rejected/closed).
 pub const SERVE_CONN: &str = "remix.serve.conn";
 /// Counter: connections accepted by the service.
@@ -113,6 +125,16 @@ pub const SERVE_CACHE_MISSES: &str = "remix.serve.cache.misses";
 /// Counter: requests that joined an identical in-flight job
 /// (single-flight dedup) instead of recomputing.
 pub const SERVE_CACHE_JOINS: &str = "remix.serve.cache.joins";
+/// Counter: cache entries restored from the persisted cache file on
+/// startup.
+pub const SERVE_CACHE_PERSIST_LOADED: &str = "remix.serve.cache.persist.loaded";
+/// Counter: cache entries written to the persisted cache file on
+/// graceful shutdown.
+pub const SERVE_CACHE_PERSIST_SAVED: &str = "remix.serve.cache.persist.saved";
+/// Counter: persisted cache files rejected wholesale (unreadable,
+/// malformed, wrong version, or fingerprint mismatch) — the service
+/// starts cold instead of serving stale bodies.
+pub const SERVE_CACHE_PERSIST_REJECTED: &str = "remix.serve.cache.persist.rejected";
 /// Gauge: admission-queue depth as seen by the service.
 pub const SERVE_QUEUE_DEPTH: &str = "remix.serve.queue_depth";
 /// Counter: chaos faults injected (dropped connections, torn frames,
@@ -175,6 +197,8 @@ pub const ALL: &[&str] = &[
     EXEC_ENV_MALFORMED,
     EXEC_JOB,
     EXEC_JOBS,
+    EXEC_POOL,
+    EXEC_POOL_RUN,
     EXEC_RETRIES,
     EXEC_WATCHDOG_TRIPS,
     LU_FACTORIZATIONS,
@@ -186,6 +210,9 @@ pub const ALL: &[&str] = &[
     SERVE_CACHE_HITS,
     SERVE_CACHE_JOINS,
     SERVE_CACHE_MISSES,
+    SERVE_CACHE_PERSIST_LOADED,
+    SERVE_CACHE_PERSIST_REJECTED,
+    SERVE_CACHE_PERSIST_SAVED,
     SERVE_CHAOS_INJECTED,
     SERVE_CONN,
     SERVE_CONNECTIONS,

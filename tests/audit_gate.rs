@@ -49,7 +49,10 @@ fn every_fixture_fails_the_gate() {
         );
         seen += 1;
     }
-    assert_eq!(seen, 9, "one fixture per AUD rule");
+    assert_eq!(
+        seen, 10,
+        "one fixture per AUD rule, plus the AUD007 pool-thread-local lookalike"
+    );
 }
 
 #[test]
