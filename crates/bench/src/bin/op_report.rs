@@ -24,6 +24,7 @@ fn run() {
         match dc_operating_point(&ckt, &OpOptions::default()) {
             Ok(op) => {
                 println!("==== {} mode (LO held at its extreme) ====\n", mode.label());
+                println!("{}\n", ckt.stats());
                 println!("{}", device_table(&ckt, &op));
                 println!("{}", node_table(&ckt, &op));
                 match op.rcond() {

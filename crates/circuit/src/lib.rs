@@ -51,7 +51,7 @@ pub use expr::{eval_expr, expr_idents, parse_value, ExprError};
 pub use include::{parse_spice_file, resolve_includes, INCLUDE_MAX_BYTES, INCLUDE_MAX_DEPTH};
 pub use mna::{stamp_conductance, stamp_current, stamp_transconductance, MnaLayout};
 pub use mos::{MosCaps, MosEval, MosModel, MosPolarity, MosRegion};
-pub use netlist::{Circuit, CircuitError};
+pub use netlist::{Circuit, CircuitError, CircuitStats};
 pub use node::{ElementId, Node};
 pub use spice::{
     from_spice, parse_spice, to_spice, DeckFinding, DeckFindingKind, SpiceDeck, SpiceParseError,

@@ -190,30 +190,44 @@ pub struct MosCaps {
 
 /// Smoothed positive-part function `sp(x) = a·ln(1+e^{x/a})` and its
 /// derivative (logistic sigmoid).
+///
+/// Evaluated branch-free via `ln_1p` of the *decaying* exponential on
+/// each side of zero, so the value/derivative pair is exact to machine
+/// precision for every finite `x` — no cutoff thresholds whose crossings
+/// would put a (tiny but Newton-visible) kink in the weak-inversion
+/// characteristic that family-(c) MedRadio bias points live on.
 fn softplus(x: f64, a: f64) -> (f64, f64) {
     let z = x / a;
-    if z > 40.0 {
-        (x, 1.0)
-    } else if z < -40.0 {
-        // exp underflows; value ~ a·e^z, derivative ~ e^z.
-        let e = z.exp();
-        (a * e, e)
+    if z >= 0.0 {
+        let e = (-z).exp(); // e ∈ (0, 1]: never overflows
+        (x + a * e.ln_1p(), 1.0 / (1.0 + e))
     } else {
-        let e = z.exp();
-        ((a * (1.0 + e).ln()), e / (1.0 + e))
+        let e = z.exp(); // e ∈ (0, 1): underflow is the true limit
+        (a * e.ln_1p(), e / (1.0 + e))
     }
 }
 
 impl MosModel {
     /// Effective threshold (canonical frame) for bulk–source voltage `vbs`.
     ///
-    /// `vth = vt0 + γ(√(φ − vbs) − √φ)`, with the argument clamped to keep
-    /// the square root real; returns `(vth, ∂vth/∂vbs)`.
+    /// `vth = vt0 + γ(√(φ − vbs) − √φ)`, with the square-root argument
+    /// floored *smoothly* at 1 mV: `arg = ε + sp(φ − vbs − ε)` with a
+    /// 10 mV-wide softplus. A hard `.max(1e-3)` clamp would freeze the
+    /// value past `vbs ≈ φ` while still reporting the un-clamped slope
+    /// `−γ/(2√ε)` — an inconsistent Jacobian that stalls Newton exactly
+    /// where forward-body-biased weak-inversion designs operate. The
+    /// smooth floor keeps value and derivative consistent (C¹) for every
+    /// `vbs`; for `vbs` below `φ − ε` by a few floor widths the deviation
+    /// from the textbook expression is below 1e-30 V. Returns
+    /// `(vth, ∂vth/∂vbs)`.
     pub fn threshold(&self, vbs: f64) -> (f64, f64) {
-        let arg = (self.phi - vbs).max(1e-3);
+        const EPS: f64 = 1e-3;
+        const WIDTH: f64 = 0.01;
+        let (sp, dsp) = softplus(self.phi - vbs - EPS, WIDTH);
+        let arg = EPS + sp;
         let sq = arg.sqrt();
         let vth = self.vt0 + self.gamma * (sq - self.phi.sqrt());
-        let dvth_dvbs = -self.gamma / (2.0 * sq);
+        let dvth_dvbs = -self.gamma * dsp / (2.0 * sq);
         (vth, dvth_dvbs)
     }
 
@@ -559,6 +573,71 @@ mod tests {
         let f2 = m.flicker_noise_psd(&e, w, l, 1e6);
         assert!((f1 / f2 - 1e3).abs() < 1.0);
         assert_eq!(m.flicker_noise_psd(&e, w, l, 0.0), 0.0);
+    }
+
+    #[test]
+    fn weak_inversion_gm_finite_and_monotone() {
+        // Sweep vgs from deep subthreshold through the boundary into
+        // strong inversion at 1 mV steps. The smoothed model must give a
+        // finite, strictly positive, monotonically increasing gm with no
+        // derivative kink: the second difference of id (i.e. the change
+        // in gm per step) must stay bounded relative to gm itself. This
+        // is the corner the sub-50 µW MedRadio front-end bias points
+        // (family (c) of remix-topo) live on.
+        let m = nmos();
+        let dv = 1e-3;
+        let mut prev_gm: Option<f64> = None;
+        let mut v = 0.05;
+        while v <= 0.9 {
+            let e = m.evaluate(0.6, v, 0.0, 0.0);
+            assert!(e.gm.is_finite(), "gm not finite at vgs = {v}");
+            assert!(e.gm > 0.0, "gm not positive at vgs = {v}");
+            assert!(e.id.is_finite() && e.id > 0.0, "id bad at vgs = {v}");
+            if let Some(p) = prev_gm {
+                assert!(e.gm > p, "gm not monotone at vgs = {v}: {} <= {p}", e.gm);
+                // No kink: gm may not jump by more than 10 % of itself
+                // over a 1 mV step (the true subthreshold growth rate is
+                // e^{2dv/a} − 1 ≈ 5.9 % per mV).
+                assert!(
+                    (e.gm - p) / e.gm < 0.1,
+                    "gm kink at vgs = {v}: {p} -> {}",
+                    e.gm
+                );
+            }
+            prev_gm = Some(e.gm);
+            v += dv;
+        }
+    }
+
+    #[test]
+    fn threshold_smooth_under_forward_body_bias() {
+        // The smooth floor must keep the reported slope consistent with
+        // the value everywhere — including past vbs ≈ φ where the old
+        // hard clamp froze the value but kept reporting −γ/(2√ε).
+        let m = nmos();
+        let h = 1e-4;
+        let mut vbs = -1.0;
+        while vbs <= 1.2 {
+            let (vth, slope) = m.threshold(vbs);
+            assert!(vth.is_finite() && slope.is_finite());
+            assert!(slope <= 0.0, "vth must not increase with vbs");
+            let (vp, _) = m.threshold(vbs + h);
+            let (vm, _) = m.threshold(vbs - h);
+            let fd = (vp - vm) / (2.0 * h);
+            // Tolerance: central-difference truncation (~h²/6a² relative
+            // in the exponential tail) plus an absolute floor for the
+            // deep tail where cancellation noise dominates the
+            // vanishing slope. The old hard clamp failed this by ~5.5
+            // absolute — 12 orders of magnitude beyond the floor.
+            assert!(
+                (fd - slope).abs() <= 1e-3 * slope.abs() + 1e-12,
+                "Jacobian inconsistent at vbs = {vbs}: analytic {slope}, fd {fd}"
+            );
+            vbs += 0.01;
+        }
+        // Deep forward body bias must still evaluate to finite values.
+        let e = m.evaluate(0.3, 0.25, 0.0, 1.0);
+        assert!(e.id.is_finite() && e.gm.is_finite() && e.gmbs.is_finite());
     }
 
     #[test]

@@ -64,6 +64,84 @@ impl fmt::Display for CircuitError {
 
 impl Error for CircuitError {}
 
+/// Structural census of a circuit: node/element/branch counts by kind.
+///
+/// Produced by [`Circuit::stats`] so generated topologies (see the
+/// `remix-topo` crate) are inspectable without emitting a deck. The MNA
+/// system size of the circuit is `voltage_unknowns + branch_unknowns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Total nodes including ground.
+    pub nodes: usize,
+    /// Non-ground nodes (MNA voltage unknowns).
+    pub voltage_unknowns: usize,
+    /// Extra MNA branch-current unknowns (voltage sources, inductors,
+    /// VCVS).
+    pub branch_unknowns: usize,
+    /// Resistors.
+    pub resistors: usize,
+    /// Capacitors.
+    pub capacitors: usize,
+    /// Inductors.
+    pub inductors: usize,
+    /// Independent voltage sources.
+    pub vsources: usize,
+    /// Independent current sources.
+    pub isources: usize,
+    /// Voltage-controlled current sources.
+    pub vccs: usize,
+    /// Voltage-controlled voltage sources.
+    pub vcvs: usize,
+    /// MOSFETs.
+    pub mosfets: usize,
+}
+
+impl CircuitStats {
+    /// Total element count (all kinds).
+    pub fn elements(&self) -> usize {
+        self.resistors
+            + self.capacitors
+            + self.inductors
+            + self.vsources
+            + self.isources
+            + self.vccs
+            + self.vcvs
+            + self.mosfets
+    }
+
+    /// Size of the MNA system the circuit solves
+    /// (`voltage_unknowns + branch_unknowns`).
+    pub fn unknowns(&self) -> usize {
+        self.voltage_unknowns + self.branch_unknowns
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "nodes {} ({} voltage unknowns), elements {}, mna unknowns {}",
+            self.nodes,
+            self.voltage_unknowns,
+            self.elements(),
+            self.unknowns()
+        )?;
+        write!(
+            f,
+            "  R {}  C {}  L {}  V {}  I {}  VCCS {}  VCVS {}  MOS {}  branches {}",
+            self.resistors,
+            self.capacitors,
+            self.inductors,
+            self.vsources,
+            self.isources,
+            self.vccs,
+            self.vcvs,
+            self.mosfets,
+            self.branch_unknowns
+        )
+    }
+}
+
 /// A circuit under construction: named nodes plus an ordered element list.
 ///
 /// # Examples
@@ -171,6 +249,32 @@ impl Circuit {
     /// recorded defect), the first insertion wins.
     pub fn find_element(&self, name: &str) -> Option<ElementId> {
         self.element_names.get(name).copied()
+    }
+
+    /// Structural census: node/element/branch counts by kind, so a
+    /// generated topology is inspectable without emitting a deck.
+    pub fn stats(&self) -> CircuitStats {
+        let mut s = CircuitStats {
+            nodes: self.node_count(),
+            voltage_unknowns: self.unknown_node_count(),
+            ..CircuitStats::default()
+        };
+        for e in &self.elements {
+            if e.needs_branch_current() {
+                s.branch_unknowns += 1;
+            }
+            match e {
+                Element::Resistor { .. } => s.resistors += 1,
+                Element::Capacitor { .. } => s.capacitors += 1,
+                Element::Inductor { .. } => s.inductors += 1,
+                Element::VoltageSource { .. } => s.vsources += 1,
+                Element::CurrentSource { .. } => s.isources += 1,
+                Element::Vccs { .. } => s.vccs += 1,
+                Element::Vcvs { .. } => s.vcvs += 1,
+                Element::Mos { .. } => s.mosfets += 1,
+            }
+        }
+        s
     }
 
     /// Typed defects recorded while building (invalid values, duplicate
@@ -697,6 +801,49 @@ mod tests {
         let s = c.to_string();
         assert!(s.contains("rload"));
         assert!(s.contains("2 nodes"));
+    }
+
+    #[test]
+    fn stats_census_counts_by_kind() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("v1", a, Circuit::gnd(), Waveform::Dc(1.2));
+        c.add_resistor("r1", a, b, 1e3);
+        c.add_capacitor("c1", b, Circuit::gnd(), 1e-12);
+        c.add_inductor("l1", a, b, 1e-9);
+        c.add_isource("i1", a, Circuit::gnd(), Waveform::Dc(1e-3));
+        c.add_vccs("g1", b, Circuit::gnd(), a, Circuit::gnd(), 1e-3);
+        c.add_vcvs("e1", b, Circuit::gnd(), a, Circuit::gnd(), 2.0);
+        c.add_mosfet(
+            "m1",
+            MosModel::nmos_65nm(),
+            10e-6,
+            65e-9,
+            a,
+            b,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        let s = c.stats();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.voltage_unknowns, 2);
+        assert_eq!(s.resistors, 1);
+        assert_eq!(s.capacitors, 1);
+        assert_eq!(s.inductors, 1);
+        assert_eq!(s.vsources, 1);
+        assert_eq!(s.isources, 1);
+        assert_eq!(s.vccs, 1);
+        assert_eq!(s.vcvs, 1);
+        assert_eq!(s.mosfets, 1);
+        assert_eq!(s.elements(), 8);
+        assert_eq!(s.elements(), c.element_count());
+        // Branch unknowns: vsource + inductor + vcvs.
+        assert_eq!(s.branch_unknowns, 3);
+        assert_eq!(s.unknowns(), 5);
+        let text = s.to_string();
+        assert!(text.contains("MOS 1"), "{text}");
+        assert!(text.contains("mna unknowns 5"), "{text}");
     }
 
     #[test]

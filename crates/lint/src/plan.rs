@@ -43,6 +43,17 @@ impl PlanTargets {
             rf_band: Some((0.5e9, 5.5e9)),
         }
     }
+
+    /// Targets for the MedRadio front-end family (`remix-topo`):
+    /// 401–406 MHz RF band, ~1 MHz IF. No flicker-corner claim — the
+    /// family's studies measure power, not noise.
+    pub fn medradio() -> Self {
+        PlanTargets {
+            if_freq: Some(1e6),
+            flicker_corner: None,
+            rf_band: Some((401e6, 406e6)),
+        }
+    }
 }
 
 /// Engine-independent description of one analysis run.
@@ -645,6 +656,22 @@ mod tests {
             ),
             0
         );
+    }
+
+    #[test]
+    fn medradio_targets_judge_band_coverage() {
+        // A sweep across the full MedRadio band satisfies SIM005…
+        let ok = SimPlan::new("medradio_band")
+            .with_sweep(400e6, 410e6)
+            .with_targets(PlanTargets::medradio());
+        assert_eq!(fired(&ok, RuleId::SweepRange), 0);
+        // …while one that stops short of 406 MHz is flagged.
+        let bad = SimPlan::new("medradio_narrow")
+            .with_sweep(401e6, 403e6)
+            .with_targets(PlanTargets::medradio());
+        assert_eq!(fired(&bad, RuleId::SweepRange), 1);
+        // The preset makes no flicker-corner claim.
+        assert_eq!(PlanTargets::medradio().flicker_corner, None);
     }
 
     #[test]

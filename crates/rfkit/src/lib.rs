@@ -48,6 +48,9 @@ pub use convgain::{band_edges_3db, conversion_gain_db};
 pub use ip3::{extract_ip3, spot_iip3_dbm, Ip3Result, Ip3Sweep};
 pub use nonlin::{cascade_a_iip3, Poly3};
 pub use p1db::extract_p1db;
-pub use specs::{table1_literature, MixerSpecRow, PaperTargets, ACTIVE_TARGETS, PASSIVE_TARGETS};
+pub use specs::{
+    table1_literature, topo_family_rows, MixerSpecRow, PaperTargets, ACTIVE_TARGETS,
+    PASSIVE_TARGETS,
+};
 pub use twotone::{TwoTonePlan, TwoToneReadout};
 pub use zsmodel::{iip2_factor, iip3_factor, ImpedanceModel, SeriesRc, TiaInput};

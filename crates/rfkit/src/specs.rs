@@ -169,6 +169,52 @@ pub fn table1_literature() -> Vec<MixerSpecRow> {
     ]
 }
 
+/// Spec rows for the `remix-topo` circuit families — approximate
+/// published targets the topology library's studies are compared
+/// against. Like [`table1_literature`] these are *data*, not
+/// re-runnable artifacts: the N-path receiver row follows the
+/// mixer-first literature (Roy & Sharad, PAPERS.md), the
+/// single-balanced row follows Mahmou & Faitah, and the MedRadio row
+/// follows the sub-50 µW 401–406 MHz front-end of Chang et al.
+pub fn topo_family_rows() -> Vec<MixerSpecRow> {
+    use SpecValue::*;
+    vec![
+        MixerSpecRow {
+            label: "npath-rx".into(),
+            gain_db: Range(-3.0, 0.0), // passive: conversion loss only
+            nf_db: AtMost(5.0),
+            iip3_dbm: AtLeast(10.0),
+            p1db_dbm: AtLeast(0.0),
+            power_mw: AtMost(5.0), // LO distribution dominates
+            bandwidth_ghz: Range(0.1, 2.0),
+            technology: "65nm".into(),
+            supply_v: 1.2,
+        },
+        MixerSpecRow {
+            label: "single-balanced".into(),
+            gain_db: Value(11.3),
+            nf_db: Value(12.0),
+            iip3_dbm: Value(-4.0),
+            p1db_dbm: Value(-14.0),
+            power_mw: AtMost(1.0),
+            bandwidth_ghz: Range(2.0, 2.6),
+            technology: "65nm".into(),
+            supply_v: 1.2,
+        },
+        MixerSpecRow {
+            label: "medradio-fe".into(),
+            gain_db: Value(20.0),
+            nf_db: AtMost(12.0),
+            iip3_dbm: Na,
+            p1db_dbm: Na,
+            power_mw: AtMost(0.05), // the sub-50 µW headline spec
+            bandwidth_ghz: Range(0.401, 0.406),
+            technology: "65nm".into(),
+            supply_v: 1.2,
+        },
+    ]
+}
+
 /// The paper's reported values for "This work" — the reproduction targets
 /// asserted by the integration tests.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -259,6 +305,25 @@ mod tests {
             assert!(ACTIVE_TARGETS.p1db_dbm < PASSIVE_TARGETS.p1db_dbm);
             assert!((ACTIVE_TARGETS.power_mw - PASSIVE_TARGETS.power_mw).abs() < 0.5);
         }
+    }
+
+    #[test]
+    fn topo_rows_carry_family_targets() {
+        let rows = topo_family_rows();
+        assert_eq!(rows.len(), 3);
+        let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["npath-rx", "single-balanced", "medradio-fe"]);
+        // The MedRadio headline: sub-50 µW in the 401–406 MHz band.
+        let med = &rows[2];
+        assert_eq!(med.power_mw, SpecValue::AtMost(0.05));
+        assert_eq!(med.bandwidth_ghz, SpecValue::Range(0.401, 0.406));
+        // Every family row is a 1.2 V 65 nm design like the paper.
+        for r in &rows {
+            assert_eq!(r.technology, "65nm");
+            assert!((r.supply_v - 1.2).abs() < f64::EPSILON);
+        }
+        // The passive N-path row has loss, not gain.
+        assert!(rows[0].gain_db.representative().unwrap() <= 0.0);
     }
 
     #[test]

@@ -165,6 +165,15 @@ pub const CORE_MONTECARLO_SAMPLES_FAILED: &str = "remix.core.montecarlo.samples_
 /// Span: one process corner evaluation.
 pub const CORE_CORNERS_CORNER: &str = "remix.core.corners.corner";
 
+/// Span: one LO point of an N-path input-impedance sweep.
+pub const TOPO_ZIN_POINT: &str = "remix.topo.zin.point";
+/// Span: one topology-study sample (Monte-Carlo or corner).
+pub const TOPO_STUDY_SAMPLE: &str = "remix.topo.study.sample";
+/// Counter: topology-study samples that solved.
+pub const TOPO_STUDY_SAMPLES_OK: &str = "remix.topo.study.samples_ok";
+/// Counter: topology-study samples that failed.
+pub const TOPO_STUDY_SAMPLES_FAILED: &str = "remix.topo.study.samples_failed";
+
 /// Every production name, for conformance checks and documentation.
 /// Sorted; [`names_are_canonical`](self) below pins uniqueness.
 pub const ALL: &[&str] = &[
@@ -228,6 +237,10 @@ pub const ALL: &[&str] = &[
     SERVE_PROTOCOL_ERRORS,
     SERVE_QUEUE_DEPTH,
     SERVE_SHEDS,
+    TOPO_STUDY_SAMPLE,
+    TOPO_STUDY_SAMPLES_FAILED,
+    TOPO_STUDY_SAMPLES_OK,
+    TOPO_ZIN_POINT,
 ];
 
 #[cfg(test)]

@@ -1,0 +1,130 @@
+//! Typed parameter-validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A topology generator rejected its parameters.
+///
+/// Every generator validates before building, so a [`TopoError`] is the
+/// *only* failure mode of generation: a params struct that validates
+/// produces a defect-free, lint-deny-clean circuit (a property test in
+/// `tests/topo_families.rs` holds the generators to this).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopoError {
+    /// A numeric parameter fell outside its documented range.
+    OutOfRange {
+        /// Family name (`"mixer_first"`, `"single_balanced"`, `"medradio"`).
+        family: &'static str,
+        /// Parameter name as it appears on the params struct.
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// The N-path phase count is unsupported (must be 2, 4, or 8).
+    BadPhaseCount {
+        /// The requested phase count.
+        n: usize,
+    },
+    /// A derived constraint between parameters failed (e.g. LO must
+    /// clear the RF probe grid, or the subthreshold bias must actually
+    /// sit below threshold).
+    Constraint {
+        /// Family name.
+        family: &'static str,
+        /// What the constraint requires, rendered for humans.
+        requirement: String,
+    },
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoError::OutOfRange {
+                family,
+                param,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "{family}: parameter '{param}' = {value:e} outside documented range \
+                 [{min:e}, {max:e}]"
+            ),
+            TopoError::BadPhaseCount { n } => {
+                write!(
+                    f,
+                    "mixer_first: phase count {n} unsupported (use 2, 4, or 8)"
+                )
+            }
+            TopoError::Constraint {
+                family,
+                requirement,
+            } => write!(f, "{family}: constraint violated: {requirement}"),
+        }
+    }
+}
+
+impl Error for TopoError {}
+
+/// Checks one numeric parameter against its inclusive documented range.
+///
+/// # Errors
+///
+/// [`TopoError::OutOfRange`] when `value` is non-finite or outside
+/// `[min, max]`.
+pub(crate) fn in_range(
+    family: &'static str,
+    param: &'static str,
+    value: f64,
+    min: f64,
+    max: f64,
+) -> Result<(), TopoError> {
+    if value.is_finite() && (min..=max).contains(&value) {
+        Ok(())
+    } else {
+        Err(TopoError::OutOfRange {
+            family,
+            param,
+            value,
+            min,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_legibly() {
+        let e = TopoError::OutOfRange {
+            family: "mixer_first",
+            param: "switch_w",
+            value: 1.0,
+            min: 5e-6,
+            max: 100e-6,
+        };
+        let s = e.to_string();
+        assert!(s.contains("mixer_first") && s.contains("switch_w"));
+        assert!(TopoError::BadPhaseCount { n: 3 }.to_string().contains('3'));
+        let c = TopoError::Constraint {
+            family: "medradio",
+            requirement: "vbias below threshold".into(),
+        };
+        assert!(c.to_string().contains("vbias"));
+    }
+
+    #[test]
+    fn in_range_accepts_bounds_rejects_outside() {
+        assert!(in_range("f", "p", 1.0, 1.0, 2.0).is_ok());
+        assert!(in_range("f", "p", 2.0, 1.0, 2.0).is_ok());
+        assert!(in_range("f", "p", 0.999, 1.0, 2.0).is_err());
+        assert!(in_range("f", "p", f64::NAN, 1.0, 2.0).is_err());
+        assert!(in_range("f", "p", f64::INFINITY, 1.0, 2.0).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Family (a): passive mixer-first receiver front-end.
+//!
+//! An N-path switch quad driven by non-overlapping LO phases commutates
+//! the RF port onto N baseband R‖C loads. Seen from the antenna the
+//! baseband low-pass is frequency-translated to the LO: the input
+//! impedance is high (≈ `R_sw + γ·N·R_bb`-ish) inside the synthesized
+//! band around `f_lo` and collapses toward `R_sw` outside it — a
+//! high-Q bandpass filter with no inductors whose centre frequency is
+//! the LO (Roy & Sharad, PAPERS.md). The [`crate::zin`] driver measures
+//! exactly this: `|Z_in(f_rf)|` versus swept LO.
+
+use crate::error::{in_range, TopoError};
+use crate::FAMILY_MIXER_FIRST;
+use remix_circuit::{Circuit, Element, ElementId, MosModel, Node, Waveform};
+
+/// How the LO phases are driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoMode {
+    /// Rail-to-rail non-overlapping pulse trains at `f_lo` (transient
+    /// operation — the N-path behaviour).
+    #[default]
+    Running,
+    /// Phase 0 held on at `vdd`, every other phase held off — a
+    /// DC-measurable configuration used by the corner/Monte-Carlo
+    /// studies to extract the held-on port resistance.
+    HeldOn,
+}
+
+/// Parameters of the N-path mixer-first receiver.
+///
+/// Documented ranges (inclusive) are enforced by
+/// [`validate`](MixerFirstParams::validate); the property tests sweep
+/// them end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixerFirstParams {
+    /// Number of LO phases N ∈ {2, 4, 8}.
+    pub n_phases: usize,
+    /// Switch width (m), `[1 µm, 200 µm]`.
+    pub switch_w: f64,
+    /// Switch length (m), `[60 nm, 1 µm]`.
+    pub switch_l: f64,
+    /// Per-path baseband resistance (Ω), `[50, 10 kΩ]`.
+    pub r_bb: f64,
+    /// Per-path baseband capacitance (F), `[10 pF, 100 nF]`.
+    pub c_bb: f64,
+    /// Source (antenna) resistance (Ω), `[10, 1 kΩ]`.
+    pub rs: f64,
+    /// LO frequency (Hz), `[1 MHz, 5 GHz]`.
+    pub f_lo: f64,
+    /// LO rail voltage (V), `[0.8, 1.5]`; must clear the switch
+    /// threshold by ≥ 0.2 V.
+    pub vdd: f64,
+    /// LO drive mode.
+    pub lo_mode: LoMode,
+    /// Switch device model.
+    pub nmos: MosModel,
+}
+
+impl Default for MixerFirstParams {
+    fn default() -> Self {
+        MixerFirstParams {
+            n_phases: 4,
+            switch_w: 30e-6,
+            switch_l: 65e-9,
+            r_bb: 500.0,
+            c_bb: 3.2e-9,
+            rs: 50.0,
+            f_lo: 10e6,
+            vdd: 1.2,
+            lo_mode: LoMode::Running,
+            nmos: MosModel::nmos_65nm(),
+        }
+    }
+}
+
+/// A generated mixer-first receiver: the circuit plus the handles the
+/// analysis drivers need.
+#[derive(Debug, Clone)]
+pub struct MixerFirstRx {
+    /// The compiled netlist.
+    pub circuit: Circuit,
+    /// The RF EMF source (`vrf`), DC 0 until a driver installs a probe
+    /// tone; its branch current is the (negated) port current.
+    pub rf_emf: ElementId,
+    /// EMF-side port node (before the source resistance).
+    pub rf_port: Node,
+    /// Antenna node the switch quad commutates (after `rs`) — the node
+    /// whose impedance the N-path synthesizes.
+    pub rf: Node,
+    /// Per-phase baseband nodes.
+    pub basebands: Vec<Node>,
+}
+
+impl MixerFirstParams {
+    /// Checks every parameter against its documented range.
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError`] naming the offending parameter or constraint.
+    pub fn validate(&self) -> Result<(), TopoError> {
+        if !matches!(self.n_phases, 2 | 4 | 8) {
+            return Err(TopoError::BadPhaseCount { n: self.n_phases });
+        }
+        let f = FAMILY_MIXER_FIRST;
+        in_range(f, "switch_w", self.switch_w, 1e-6, 200e-6)?;
+        in_range(f, "switch_l", self.switch_l, 60e-9, 1e-6)?;
+        in_range(f, "r_bb", self.r_bb, 50.0, 10e3)?;
+        in_range(f, "c_bb", self.c_bb, 10e-12, 100e-9)?;
+        in_range(f, "rs", self.rs, 10.0, 1e3)?;
+        in_range(f, "f_lo", self.f_lo, 1e6, 5e9)?;
+        in_range(f, "vdd", self.vdd, 0.8, 1.5)?;
+        if self.vdd < self.nmos.vt0 + 0.2 {
+            return Err(TopoError::Constraint {
+                family: f,
+                requirement: format!(
+                    "LO rail {} V must clear the switch threshold {} V by ≥ 0.2 V",
+                    self.vdd, self.nmos.vt0
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Compiles the parameters to a circuit.
+    ///
+    /// The generated netlist is defect-free and lint-deny-clean for any
+    /// validated parameter set (property-tested). The RF EMF is emitted
+    /// at DC 0 with unit AC magnitude so the same circuit serves DC,
+    /// AC, and transient drivers; transient drivers install their probe
+    /// tone through [`MixerFirstRx::set_rf_tone`].
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError`] when validation fails; generation itself cannot fail.
+    pub fn generate(&self) -> Result<MixerFirstRx, TopoError> {
+        self.validate()?;
+        let mut ckt = Circuit::new();
+        let rf_port = ckt.node("rfin");
+        let rf = ckt.node("rf");
+        let rf_emf =
+            ckt.add_vsource_ac("vrf", rf_port, Circuit::gnd(), Waveform::Dc(0.0), 1.0, 0.0);
+        ckt.add_resistor("rs", rf_port, rf, self.rs);
+        let t_lo = 1.0 / self.f_lo;
+        let slot = t_lo / self.n_phases as f64;
+        let edge = 0.05 * slot;
+        let mut basebands = Vec::with_capacity(self.n_phases);
+        for k in 0..self.n_phases {
+            let lo = ckt.node(&format!("lo{k}"));
+            let bb = ckt.node(&format!("bb{k}"));
+            let wave = match self.lo_mode {
+                LoMode::Running => Waveform::Pulse {
+                    v1: 0.0,
+                    v2: self.vdd,
+                    delay: k as f64 * slot,
+                    rise: edge,
+                    fall: edge,
+                    width: 0.85 * slot,
+                    period: t_lo,
+                },
+                LoMode::HeldOn => Waveform::Dc(if k == 0 { self.vdd } else { 0.0 }),
+            };
+            ckt.add_vsource(&format!("vlo{k}"), lo, Circuit::gnd(), wave);
+            ckt.add_mosfet(
+                &format!("msw{k}"),
+                self.nmos.clone(),
+                self.switch_w,
+                self.switch_l,
+                rf,
+                lo,
+                bb,
+                Circuit::gnd(),
+            );
+            ckt.add_resistor(&format!("rbb{k}"), bb, Circuit::gnd(), self.r_bb);
+            ckt.add_capacitor(&format!("cbb{k}"), bb, Circuit::gnd(), self.c_bb);
+            basebands.push(bb);
+        }
+        Ok(MixerFirstRx {
+            circuit: ckt,
+            rf_emf,
+            rf_port,
+            rf,
+            basebands,
+        })
+    }
+
+    /// Emits the generated circuit as a SPICE deck (round-trips through
+    /// `import_spice`).
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError`] when validation fails.
+    pub fn emit(&self) -> Result<String, TopoError> {
+        let rx = self.generate()?;
+        Ok(remix_circuit::to_spice(
+            &rx.circuit,
+            &format!(
+                "remix-topo mixer_first N={} f_lo={:.3e}",
+                self.n_phases, self.f_lo
+            ),
+        ))
+    }
+}
+
+impl MixerFirstRx {
+    /// Installs a sinusoidal probe tone on the RF EMF (amplitude in
+    /// volts EMF, frequency in Hz).
+    pub fn set_rf_tone(&mut self, amplitude: f64, freq: f64) {
+        if let Element::VoltageSource { wave, .. } = self.circuit.element_mut(self.rf_emf) {
+            *wave = Waveform::Sin {
+                offset: 0.0,
+                amplitude,
+                freq,
+                phase: 0.0,
+                delay: 0.0,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_lint::{lint, LintConfig};
+
+    #[test]
+    fn default_params_generate_clean_circuit() {
+        let p = MixerFirstParams::default();
+        let rx = p.generate().unwrap();
+        assert!(rx.circuit.defects().is_empty());
+        let report = lint(&rx.circuit, &LintConfig::default());
+        assert_eq!(report.deny_count(), 0, "{}", report.render_text());
+        let s = rx.circuit.stats();
+        assert_eq!(s.mosfets, 4);
+        // EMF + 4 LO drives.
+        assert_eq!(s.vsources, 5);
+        assert_eq!(s.resistors, 1 + 4);
+        assert_eq!(s.capacitors, 4);
+        assert_eq!(rx.basebands.len(), 4);
+    }
+
+    #[test]
+    fn phase_count_validated() {
+        let p = MixerFirstParams {
+            n_phases: 3,
+            ..MixerFirstParams::default()
+        };
+        assert_eq!(p.validate(), Err(TopoError::BadPhaseCount { n: 3 }));
+        for n in [2, 4, 8] {
+            let p = MixerFirstParams {
+                n_phases: n,
+                ..MixerFirstParams::default()
+            };
+            assert_eq!(p.generate().unwrap().basebands.len(), n);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected_with_param_name() {
+        let p = MixerFirstParams {
+            switch_w: 1.0,
+            ..MixerFirstParams::default()
+        };
+        match p.validate() {
+            Err(TopoError::OutOfRange { param, .. }) => assert_eq!(param, "switch_w"),
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+        let p = MixerFirstParams {
+            vdd: 0.45,
+            ..MixerFirstParams::default()
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(TopoError::OutOfRange { param: "vdd", .. })
+        ));
+        // An in-range rail can still fail the headroom constraint when
+        // the device threshold is high (slow corner, thick-oxide switch).
+        let p = MixerFirstParams {
+            vdd: 1.2,
+            nmos: MosModel {
+                vt0: 1.05,
+                ..MosModel::nmos_65nm()
+            },
+            ..MixerFirstParams::default()
+        };
+        assert!(matches!(p.validate(), Err(TopoError::Constraint { .. })));
+    }
+
+    #[test]
+    fn held_on_mode_is_dc_measurable() {
+        let p = MixerFirstParams {
+            lo_mode: LoMode::HeldOn,
+            ..MixerFirstParams::default()
+        };
+        let rx = p.generate().unwrap();
+        let op =
+            remix_analysis::dc_operating_point(&rx.circuit, &remix_analysis::OpOptions::default())
+                .unwrap();
+        // All quiescent voltages near 0: the port floats at 0 V EMF.
+        assert!(op.voltage(rx.rf).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rf_tone_installs_on_emf() {
+        let p = MixerFirstParams::default();
+        let mut rx = p.generate().unwrap();
+        rx.set_rf_tone(0.05, 10e6);
+        match rx.circuit.element(rx.rf_emf) {
+            Element::VoltageSource { wave, .. } => {
+                assert!(matches!(wave, Waveform::Sin { freq, .. } if *freq == 10e6));
+            }
+            other => panic!("wrong element {other:?}"),
+        }
+    }
+}

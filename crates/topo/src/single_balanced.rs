@@ -1,0 +1,302 @@
+//! Family (b): single-balanced active mixer (Mahmou & Faitah,
+//! PAPERS.md).
+//!
+//! A common-source transconductor converts the RF voltage to a current;
+//! a differential LO pair commutates that current between two resistive
+//! IF loads. Single-balanced means the RF device is single-ended: the
+//! LO feeds through to the IF at full strength (the price paid for the
+//! lowest possible current budget), while conversion gain is
+//! `(2/π)·gm·R_L` — the family's spec row in `rfkit::specs` carries the
+//! published targets.
+
+use crate::error::{in_range, TopoError};
+use crate::FAMILY_SINGLE_BALANCED;
+use remix_circuit::{Circuit, ElementId, MosModel, Node, Waveform};
+
+/// Parameters of the single-balanced mixer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleBalancedParams {
+    /// Transconductor width (m), `[2 µm, 200 µm]`.
+    pub w_gm: f64,
+    /// Switching-pair width (m), `[2 µm, 200 µm]`.
+    pub w_sw: f64,
+    /// Channel length (m), `[60 nm, 1 µm]`.
+    pub l: f64,
+    /// IF load resistance (Ω), `[100, 20 kΩ]`.
+    pub r_load: f64,
+    /// IF load capacitance (F), `[10 fF, 10 pF]`.
+    pub c_load: f64,
+    /// Supply (V), `[1.0, 1.5]`.
+    pub vdd: f64,
+    /// RF gate bias (V), `[0.4, 0.8]` — strong inversion for the
+    /// transconductor.
+    pub vbias_rf: f64,
+    /// LO common-mode (V), `[0.5, 1.1]`.
+    pub vcm_lo: f64,
+    /// LO amplitude per side (V), `[0.1, 0.6]`.
+    pub lo_amp: f64,
+    /// LO frequency (Hz), `[1 MHz, 5 GHz]`.
+    pub f_lo: f64,
+    /// RF frequency (Hz), `[1 MHz, 5 GHz]`; must differ from `f_lo`.
+    pub f_rf: f64,
+    /// RF amplitude (V), `[1 mV, 100 mV]` — small-signal drive.
+    pub rf_amp: f64,
+    /// Device model for all three transistors.
+    pub nmos: MosModel,
+}
+
+impl Default for SingleBalancedParams {
+    fn default() -> Self {
+        SingleBalancedParams {
+            w_gm: 8e-6,
+            w_sw: 16e-6,
+            l: 65e-9,
+            r_load: 2e3,
+            c_load: 100e-15,
+            vdd: 1.2,
+            vbias_rf: 0.45,
+            vcm_lo: 0.85,
+            lo_amp: 0.3,
+            f_lo: 10e6,
+            f_rf: 11e6,
+            rf_amp: 10e-3,
+            nmos: MosModel::nmos_65nm(),
+        }
+    }
+}
+
+/// A generated single-balanced mixer with its analysis handles.
+#[derive(Debug, Clone)]
+pub struct SingleBalancedMixer {
+    /// The compiled netlist.
+    pub circuit: Circuit,
+    /// RF gate-drive source (`vrf`): DC bias + RF tone.
+    pub rf_source: ElementId,
+    /// RF gate node.
+    pub rf: Node,
+    /// Common-source node of the switching pair (transconductor drain).
+    pub tail: Node,
+    /// Positive IF output.
+    pub if_p: Node,
+    /// Negative IF output.
+    pub if_n: Node,
+}
+
+impl SingleBalancedParams {
+    /// Intermediate frequency `|f_lo − f_rf|` the mixer downconverts to.
+    pub fn if_freq(&self) -> f64 {
+        (self.f_lo - self.f_rf).abs()
+    }
+
+    /// Checks every parameter against its documented range.
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError`] naming the offending parameter or constraint.
+    pub fn validate(&self) -> Result<(), TopoError> {
+        let f = FAMILY_SINGLE_BALANCED;
+        in_range(f, "w_gm", self.w_gm, 2e-6, 200e-6)?;
+        in_range(f, "w_sw", self.w_sw, 2e-6, 200e-6)?;
+        in_range(f, "l", self.l, 60e-9, 1e-6)?;
+        in_range(f, "r_load", self.r_load, 100.0, 20e3)?;
+        in_range(f, "c_load", self.c_load, 10e-15, 10e-12)?;
+        in_range(f, "vdd", self.vdd, 1.0, 1.5)?;
+        in_range(f, "vbias_rf", self.vbias_rf, 0.4, 0.8)?;
+        in_range(f, "vcm_lo", self.vcm_lo, 0.5, 1.1)?;
+        in_range(f, "lo_amp", self.lo_amp, 0.1, 0.6)?;
+        in_range(f, "f_lo", self.f_lo, 1e6, 5e9)?;
+        in_range(f, "f_rf", self.f_rf, 1e6, 5e9)?;
+        in_range(f, "rf_amp", self.rf_amp, 1e-3, 100e-3)?;
+        if self.if_freq() < 1e3 {
+            return Err(TopoError::Constraint {
+                family: f,
+                requirement: format!(
+                    "f_lo = {:.3e} and f_rf = {:.3e} must differ by ≥ 1 kHz (the IF)",
+                    self.f_lo, self.f_rf
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Compiles the parameters to a circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError`] when validation fails.
+    pub fn generate(&self) -> Result<SingleBalancedMixer, TopoError> {
+        self.validate()?;
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let rf = ckt.node("rf");
+        let lop = ckt.node("lop");
+        let lon = ckt.node("lon");
+        let tail = ckt.node("tail");
+        let if_p = ckt.node("ifp");
+        let if_n = ckt.node("ifn");
+        ckt.add_vsource("vdd", vdd, Circuit::gnd(), Waveform::Dc(self.vdd));
+        let rf_source = ckt.add_vsource(
+            "vrf",
+            rf,
+            Circuit::gnd(),
+            Waveform::Sin {
+                offset: self.vbias_rf,
+                amplitude: self.rf_amp,
+                freq: self.f_rf,
+                phase: 0.0,
+                delay: 0.0,
+            },
+        );
+        ckt.add_vsource(
+            "vlop",
+            lop,
+            Circuit::gnd(),
+            Waveform::Sin {
+                offset: self.vcm_lo,
+                amplitude: self.lo_amp,
+                freq: self.f_lo,
+                phase: 0.0,
+                delay: 0.0,
+            },
+        );
+        ckt.add_vsource(
+            "vlon",
+            lon,
+            Circuit::gnd(),
+            Waveform::Sin {
+                offset: self.vcm_lo,
+                amplitude: self.lo_amp,
+                freq: self.f_lo,
+                phase: std::f64::consts::PI,
+                delay: 0.0,
+            },
+        );
+        ckt.add_mosfet(
+            "mgm",
+            self.nmos.clone(),
+            self.w_gm,
+            self.l,
+            tail,
+            rf,
+            Circuit::gnd(),
+            Circuit::gnd(),
+        );
+        ckt.add_mosfet(
+            "mswp",
+            self.nmos.clone(),
+            self.w_sw,
+            self.l,
+            if_p,
+            lop,
+            tail,
+            Circuit::gnd(),
+        );
+        ckt.add_mosfet(
+            "mswn",
+            self.nmos.clone(),
+            self.w_sw,
+            self.l,
+            if_n,
+            lon,
+            tail,
+            Circuit::gnd(),
+        );
+        ckt.add_resistor("rlp", vdd, if_p, self.r_load);
+        ckt.add_resistor("rln", vdd, if_n, self.r_load);
+        ckt.add_capacitor("clp", if_p, Circuit::gnd(), self.c_load);
+        ckt.add_capacitor("cln", if_n, Circuit::gnd(), self.c_load);
+        Ok(SingleBalancedMixer {
+            circuit: ckt,
+            rf_source,
+            rf,
+            tail,
+            if_p,
+            if_n,
+        })
+    }
+
+    /// Emits the generated circuit as a SPICE deck.
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError`] when validation fails.
+    pub fn emit(&self) -> Result<String, TopoError> {
+        let m = self.generate()?;
+        Ok(remix_circuit::to_spice(
+            &m.circuit,
+            &format!(
+                "remix-topo single_balanced f_lo={:.3e} f_rf={:.3e}",
+                self.f_lo, self.f_rf
+            ),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remix_analysis::{dc_operating_point, OpOptions};
+    use remix_lint::{lint, LintConfig};
+
+    #[test]
+    fn default_params_generate_clean_circuit() {
+        let m = SingleBalancedParams::default().generate().unwrap();
+        assert!(m.circuit.defects().is_empty());
+        let report = lint(&m.circuit, &LintConfig::default());
+        assert_eq!(report.deny_count(), 0, "{}", report.render_text());
+        let s = m.circuit.stats();
+        assert_eq!(s.mosfets, 3);
+        assert_eq!(s.resistors, 2);
+        assert_eq!(s.vsources, 4);
+    }
+
+    #[test]
+    fn bias_point_is_balanced_and_active() {
+        let p = SingleBalancedParams::default();
+        let m = p.generate().unwrap();
+        let op = dc_operating_point(&m.circuit, &OpOptions::default()).unwrap();
+        // At t = 0 both LO gates sit at the common-mode, so the pair
+        // splits the tail current evenly: the IF outputs match.
+        let (vp, vn) = (op.voltage(m.if_p), op.voltage(m.if_n));
+        assert!((vp - vn).abs() < 1e-6, "imbalance {vp} vs {vn}");
+        // The loads drop real voltage: the transconductor conducts.
+        assert!(vp < p.vdd - 0.01, "no tail current ({vp} V at IF)");
+        assert!(op.voltage(m.tail) > 0.05, "pair not on");
+    }
+
+    #[test]
+    fn if_constraint_enforced() {
+        let p = SingleBalancedParams {
+            f_rf: 10e6,
+            f_lo: 10e6,
+            ..SingleBalancedParams::default()
+        };
+        assert!(matches!(p.validate(), Err(TopoError::Constraint { .. })));
+        assert!((SingleBalancedParams::default().if_freq() - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn range_violations_name_the_parameter() {
+        for (p, want) in [
+            (
+                SingleBalancedParams {
+                    r_load: 1.0,
+                    ..SingleBalancedParams::default()
+                },
+                "r_load",
+            ),
+            (
+                SingleBalancedParams {
+                    vbias_rf: 0.95,
+                    ..SingleBalancedParams::default()
+                },
+                "vbias_rf",
+            ),
+        ] {
+            match p.validate() {
+                Err(TopoError::OutOfRange { param, .. }) => assert_eq!(param, want),
+                other => panic!("expected OutOfRange({want}), got {other:?}"),
+            }
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //! | [`core`] | the reconfigurable mixer: TCA, quad, TIA/OTA, TG loads, models, evaluation |
 //! | [`audit`] | workspace static analysis: AUD rules certifying the stack for parallel scale-out |
 //! | [`serve`] | overload-safe JSON-lines-over-TCP batch simulation service with admission control |
+//! | [`exec`] | run budgets, supervision, and the work-stealing study pool |
+//! | [`topo`] | parametric topology families: N-path mixer-first RX, single-balanced mixer, MedRadio front-end |
 //!
 //! ## Quick start
 //!
@@ -51,8 +53,10 @@ pub use remix_audit as audit;
 pub use remix_circuit as circuit;
 pub use remix_core as core;
 pub use remix_dsp as dsp;
+pub use remix_exec as exec;
 pub use remix_lint as lint;
 pub use remix_numerics as numerics;
 pub use remix_rfkit as rfkit;
 pub use remix_serve as serve;
 pub use remix_telemetry as telemetry;
+pub use remix_topo as topo;
